@@ -1,0 +1,95 @@
+"""Figure 11 — slice-version speedups: knees and the improved fix.
+
+Paper: the simple version (barrier every picture) shows *knees*
+whenever ceil(slices / P) drops — 352x240 has 15 slices so nothing
+improves past 8 workers; the improved version (barrier only at I/P
+pictures) exposes the slices of consecutive B-pictures and restores
+good speedups at every resolution.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable
+from repro.parallel import SliceMode
+from repro.parallel.stats import speedup_curve
+
+from benchmarks.conftest import PAPER_CASES
+
+SWEEP = [1, 2, 4, 6, 8, 10, 12, 14]
+PICTURES = 130  # ten gop-13 GOPs: steady state for a slice-level run
+
+
+def test_fig11_slice_speedups(benchmark, env, record):
+    def run():
+        curves = {}
+        for res in PAPER_CASES:
+            profile = env.profile(res, 13, pictures=PICTURES)
+            for mode in (SliceMode.SIMPLE, SliceMode.IMPROVED):
+                curves[(res, mode.value)] = speedup_curve(
+                    lambda p: env.run_slice(profile, p, mode), SWEEP
+                )
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["case"] + [f"P={p}" for p in SWEEP],
+        title="Figure 11: slice-version speedup vs workers",
+    )
+    for (res, mode), curve in curves.items():
+        table.add_row(f"{res}/{mode}", *[round(curve[p], 2) for p in SWEEP])
+    record(table.render())
+
+    for res in PAPER_CASES:
+        simple = curves[(res, "simple")]
+        improved = curves[(res, "improved")]
+        slices = env.profile(res, 13, pictures=13).slices_per_picture
+        # Simple version saturates once P exceeds slices/picture.
+        if slices < 14:
+            assert simple[14] < slices + 1, (
+                f"{res}: simple speedup {simple[14]:.1f} above {slices}-slice cap"
+            )
+            # Improved version breaks through the cap.
+            assert improved[14] > simple[14] * 1.2, res
+        # Improved is never worse anywhere on the sweep.
+        for p in SWEEP:
+            assert improved[p] >= simple[p] * 0.95, (res, p)
+
+
+def test_fig11_simple_knee_positions(benchmark, env, record):
+    """The knee structure: speedup improves only when ceil(slices/P)
+    drops (paper: 'there is an improvement ... only when the load is
+    divided equally')."""
+    res = next(iter(PAPER_CASES))
+    profile = env.profile(res, 13, pictures=PICTURES)
+    slices = profile.slices_per_picture
+
+    def run():
+        return {
+            p: env.run_slice(profile, p, SliceMode.SIMPLE).pictures_per_second
+            for p in range(1, 15)
+        }
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for p in range(2, 15):
+        gain = rates[p] / rates[p - 1]
+        bound_dropped = -(-slices // p) < -(-slices // (p - 1))
+        rows.append((p, -(-slices // p), round(gain, 3), bound_dropped))
+    table = TextTable(
+        ["P", "ceil(slices/P)", "rate gain", "bound dropped?"],
+        title=f"Figure 11 knees: {res}, {slices} slices/picture (simple version)",
+    )
+    for row in rows:
+        table.add_row(*row)
+    record(table.render())
+
+    # Knee structure: adding a worker helps much more when the
+    # ceil(slices/P) bound drops than when it does not (slice costs
+    # vary, so between-knee gains are small but nonzero — as in the
+    # paper's own curves).
+    drop_gains = [g for _, _, g, d in rows if d]
+    flat_gains = [g for _, _, g, d in rows if not d]
+    assert max(flat_gains) < 1.2, f"non-knee gain too large: {max(flat_gains)}"
+    assert sum(drop_gains) / len(drop_gains) > sum(flat_gains) / len(flat_gains) + 0.1

@@ -1,0 +1,53 @@
+"""Figure 12 — synchronisation wait time over execution time.
+
+Paper: the average sync/exec ratio of the workers grows with the
+worker count; the improved version stays well below the simple one;
+the curve's local *drops* mirror the Fig. 11 knees (reversed); the
+task-queue component itself is negligible.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable
+from repro.parallel import SliceMode
+from repro.parallel.stats import sync_ratio
+
+from benchmarks.conftest import PAPER_CASES
+
+SWEEP = [2, 4, 6, 8, 10, 12, 14]
+PICTURES = 130
+
+
+def test_fig12_sync_over_exec(benchmark, env, record):
+    def run():
+        out = {}
+        for res in PAPER_CASES:
+            profile = env.profile(res, 13, pictures=PICTURES)
+            for mode in (SliceMode.SIMPLE, SliceMode.IMPROVED):
+                for p in SWEEP:
+                    result = env.run_slice(profile, p, mode)
+                    out[(res, mode.value, p)] = sync_ratio(result)
+        return out
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["case"] + [f"P={p}" for p in SWEEP],
+        title="Figure 12: avg worker sync/exec ratio, slice versions",
+    )
+    for res in PAPER_CASES:
+        for mode in ("simple", "improved"):
+            table.add_row(
+                f"{res}/{mode}",
+                *[round(ratios[(res, mode, p)], 3) for p in SWEEP],
+            )
+    record(table.render())
+
+    for res in PAPER_CASES:
+        # Sync grows with P for the simple version...
+        assert ratios[(res, "simple", 14)] > ratios[(res, "simple", 2)], res
+        # ...and the improved version sits below the simple one at scale.
+        for p in (8, 10, 12, 14):
+            assert (
+                ratios[(res, "improved", p)] < ratios[(res, "simple", p)]
+            ), (res, p)

@@ -1,0 +1,72 @@
+"""Figure 14 — read miss rate vs cache size (working sets).
+
+Paper (64-byte lines): the read miss rate drops dramatically once the
+per-processor cache exceeds 16-32 KB *provided it has some
+associativity*; direct-mapped caches may need more than 64 KB.  Left
+panel: GOP version, 1 processor; right panel: simple slice version, 8
+processors.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable
+from repro.cache import CacheConfig, generate_decode_trace, simulate
+
+from benchmarks.conftest import PAPER_CASES
+
+CAPACITIES = [4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10]
+ASSOCS = [1, 2, 0]  # direct-mapped, 2-way, fully associative
+TRACE_PICTURES = 7
+
+
+def test_fig14_cache_size_sweep(benchmark, env, record):
+    res = next(iter(PAPER_CASES))
+    data = env.stream(res, 13)
+
+    def run():
+        out = {}
+        for procs in (1, 8):
+            trace = generate_decode_trace(
+                data, processors=procs, max_pictures=TRACE_PICTURES
+            )
+            for cap in CAPACITIES:
+                for assoc in ASSOCS:
+                    total, _ = simulate(
+                        trace,
+                        CacheConfig(line_size=64, capacity=cap, associativity=assoc),
+                    )
+                    out[(procs, cap, assoc)] = total.read_miss_rate
+        return out
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    blocks = []
+    for procs, label in ((1, "GOP version, 1 processor"),
+                         (8, "simple slice version, 8 processors")):
+        table = TextTable(
+            ["cache size", "direct-mapped %", "2-way %", "fully-assoc %"],
+            title=f"Figure 14 ({label}), 64B lines, {res}",
+        )
+        for cap in CAPACITIES:
+            table.add_row(
+                f"{cap >> 10}KB",
+                *[round(rates[(procs, cap, a)] * 100, 3) for a in ASSOCS],
+            )
+        blocks.append(table.render())
+    record("\n\n".join(blocks))
+
+    from repro.analysis import working_set_knee
+
+    def knee(procs: int, assoc: int) -> int:
+        sweep = {cap: rates[(procs, cap, assoc)] for cap in CAPACITIES}
+        found = working_set_knee(sweep, threshold=0.35)
+        return found if found is not None else CAPACITIES[-1] * 2
+
+    for procs in (1, 8):
+        # With full associativity the working set fits by 16-32KB...
+        assert knee(procs, 0) <= 32 << 10, f"{procs}p FA knee at {knee(procs, 0)}"
+        # ...while direct-mapped caches need substantially more (the
+        # paper: 'may need to be larger than 64K bytes').
+        assert knee(procs, 1) >= 2 * knee(procs, 0), (
+            f"{procs}p: DM knee {knee(procs, 1)} vs FA knee {knee(procs, 0)}"
+        )

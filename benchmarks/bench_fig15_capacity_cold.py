@@ -1,0 +1,62 @@
+"""Figure 15 — capacity misses relative to cold misses vs cache size.
+
+Paper: beyond the (small) working set, the number of capacity misses
+is small compared to cold misses — so larger caches buy little, and
+the working set does not grow with picture size or processor count.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable
+from repro.cache import CacheConfig, generate_decode_trace, simulate
+
+from benchmarks.conftest import PAPER_CASES
+
+CAPACITIES = [8 << 10, 32 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20]
+TRACE_PICTURES = 7
+
+
+def test_fig15_capacity_over_cold(benchmark, env, record):
+    res = next(iter(PAPER_CASES))
+    data = env.stream(res, 13)
+
+    def run():
+        out = {}
+        for procs in (1, 8):
+            trace = generate_decode_trace(
+                data, processors=procs, max_pictures=TRACE_PICTURES
+            )
+            for cap in CAPACITIES:
+                total, _ = simulate(
+                    trace,
+                    CacheConfig(line_size=64, capacity=cap, associativity=0),
+                )
+                out[(procs, cap)] = total
+        return out
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["cache size", "1p capacity/cold", "8p capacity/cold",
+         "8p coherence share %"],
+        title=f"Figure 15: read capacity vs cold misses, fully-assoc, {res}",
+    )
+    for cap in CAPACITIES:
+        one, eight = stats[(1, cap)], stats[(8, cap)]
+        table.add_row(
+            f"{cap >> 10}KB",
+            round(one.capacity_to_cold_ratio, 2),
+            round(eight.capacity_to_cold_ratio, 2),
+            round(eight.coherence_misses / max(eight.misses, 1) * 100, 1),
+        )
+    record(table.render())
+
+    for procs in (1, 8):
+        ratios = [stats[(procs, cap)].capacity_to_cold_ratio for cap in CAPACITIES]
+        # At the paper's 1MB operating point, cold misses dominate:
+        # capacity misses are the small remainder (Fig. 15).
+        assert ratios[-1] < 1.0, f"{procs}p: capacity still dominates at 1MB"
+        assert ratios[0] > ratios[-1]
+    # Sharing misses stay a small fraction even at 8 processors.
+    big = stats[(8, 256 << 10)]
+    assert big.coherence_misses < 0.2 * big.misses

@@ -1,0 +1,55 @@
+"""Figure 5 — GOP-version speedup vs worker count.
+
+Paper: speedup (pictures/sec with P workers over 1 worker) is *almost
+linear* in all cases — every resolution and every GOP size {4, 13,
+16, 31}.  We sweep P over 1..14 for each (resolution, GOP size) cell
+and check near-linearity.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable, ascii_series
+from repro.parallel.stats import speedup_curve
+from repro.video.streams import PAPER_GOP_SIZES
+
+from benchmarks.conftest import BENCH_PICTURES, PAPER_CASES
+
+SWEEP = [1, 2, 4, 6, 8, 10, 12, 14]
+
+
+def test_fig5_gop_speedup(benchmark, env, record):
+    def run():
+        curves = {}
+        for res in PAPER_CASES:
+            for gop_size in PAPER_GOP_SIZES:
+                # Keep enough GOPs that 14 workers stay busy.
+                pictures = max(BENCH_PICTURES, gop_size * 14 * 2)
+                profile = env.profile_with_gop_size(res, gop_size, pictures)
+                curves[(res, gop_size)] = speedup_curve(
+                    lambda p: env.run_gop(profile, p), SWEEP
+                )
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["case"] + [f"P={p}" for p in SWEEP],
+        title="Figure 5: GOP-version speedup vs workers (paper: near-linear)",
+    )
+    for (res, gop_size), curve in curves.items():
+        table.add_row(
+            f"{res}/gop{gop_size}", *[round(curve[p], 2) for p in SWEEP]
+        )
+    chart = ascii_series(
+        [(p, curves[next(iter(curves))][p]) for p in SWEEP],
+        label=f"speedup, {next(iter(curves))[0]}/gop{next(iter(curves))[1]}",
+    )
+    record(table.render() + "\n\n" + chart)
+
+    for (res, gop_size), curve in curves.items():
+        # Near-linear: >= 75% efficiency at P=14, monotone throughout.
+        values = [curve[p] for p in SWEEP]
+        assert values == sorted(values), f"{res}/gop{gop_size} not monotone"
+        assert curve[14] > 0.75 * 14, (
+            f"{res}/gop{gop_size}: speedup {curve[14]:.1f} at P=14"
+        )

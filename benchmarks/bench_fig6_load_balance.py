@@ -1,0 +1,63 @@
+"""Figure 6 — GOP-version load balance vs GOP size.
+
+Paper: with small GOPs the min/max/average computing times of the
+workers are close together; as the GOP size grows, tasks get fewer and
+larger and the imbalance becomes visible — an artifact of the finite
+stream length (one extra task per worker looks large).  We measure
+(max - min)/mean across workers for each GOP size at a fixed stream
+length, expecting the spread to grow with GOP size.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable
+from repro.parallel.stats import load_balance
+from repro.smp import CHALLENGE
+from repro.video.streams import PAPER_GOP_SIZES
+
+from benchmarks.conftest import PAPER_CASES
+
+WORKERS = 14
+#: Fixed stream length, as in the paper (its streams are 1120 pictures).
+PICTURES = 1120
+
+
+def test_fig6_load_balance(benchmark, env, record):
+    res = "352x240" if "352x240" in PAPER_CASES else next(iter(PAPER_CASES))
+
+    def run():
+        out = {}
+        for gop_size in PAPER_GOP_SIZES:
+            profile = env.profile_with_gop_size(res, gop_size, PICTURES)
+            result = env.run_gop(profile, WORKERS)
+            out[gop_size] = load_balance(result)
+        return out
+
+    balances = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["GOP size", "tasks", "min s", "max s", "mean s", "spread %"],
+        title=(
+            f"Figure 6: worker computing time spread, {res}, "
+            f"{WORKERS} workers, {PICTURES} pictures"
+        ),
+    )
+    spreads = {}
+    for gop_size, (lo, hi, mean) in balances.items():
+        spread = (hi - lo) / mean * 100
+        spreads[gop_size] = spread
+        table.add_row(
+            gop_size,
+            PICTURES // gop_size,
+            round(CHALLENGE.seconds(lo), 2),
+            round(CHALLENGE.seconds(hi), 2),
+            round(CHALLENGE.seconds(mean), 2),
+            round(spread, 1),
+        )
+    record(table.render())
+
+    # Paper shape: small GOPs balanced, imbalance grows with GOP size.
+    assert spreads[4] < spreads[31], (
+        f"spread did not grow with GOP size: {spreads}"
+    )
+    assert spreads[4] < 15.0, f"small GOPs should balance well: {spreads[4]:.1f}%"

@@ -1,0 +1,49 @@
+"""Figure 7 — ideal vs actual worker time (memory stalls).
+
+Paper: pixie's ideal time vs prof's actual time summed over workers
+shows 10-30% of time stalled in the memory system, ~20% on average,
+across resolutions, GOP sizes and processor counts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable
+from repro.parallel.stats import ideal_vs_actual
+
+from benchmarks.conftest import PAPER_CASES
+
+SWEEP = [2, 6, 10, 14]
+
+
+def test_fig7_ideal_vs_actual(benchmark, env, record):
+    def run():
+        out = {}
+        for res in PAPER_CASES:
+            profile = env.profile(res, 13)
+            for workers in SWEEP:
+                result = env.run_gop(profile, workers)
+                out[(res, workers)] = ideal_vs_actual(result)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["case", "ideal Gcycles", "actual Gcycles", "stall %"],
+        title="Figure 7: ideal (pixie) vs actual (prof) worker time, GOP version",
+    )
+    fractions = []
+    for (res, workers), (ideal, actual) in results.items():
+        stall = (actual - ideal) / actual * 100
+        fractions.append(stall)
+        table.add_row(
+            f"{res} P={workers}",
+            round(ideal / 1e9, 2),
+            round(actual / 1e9, 2),
+            round(stall, 1),
+        )
+    mean = sum(fractions) / len(fractions)
+    record(table.render() + f"\n\nmean stall fraction: {mean:.1f}% (paper: ~20%, band 10-30%)")
+
+    for f in fractions:
+        assert 9.0 <= f <= 31.0, f"stall fraction {f:.1f}% outside the paper band"
+    assert 13.0 <= mean <= 27.0

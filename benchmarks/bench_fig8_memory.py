@@ -1,0 +1,56 @@
+"""Figure 8 — measured memory requirements of the GOP approach.
+
+Paper: memory use grows (roughly linearly) with the number of
+processors, the GOP size and the picture resolution, because every
+decoded picture waits for the in-order display process while P workers
+keep decoding ahead.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable, format_bytes
+from repro.video.streams import PAPER_GOP_SIZES
+
+from benchmarks.conftest import PAPER_CASES
+
+WORKER_SWEEP = [2, 6, 10, 14]
+PICTURES = 496  # enough GOPs for 14 workers at every GOP size
+
+
+def test_fig8_gop_memory(benchmark, env, record):
+    def run():
+        out = {}
+        res_list = list(PAPER_CASES)[:2]  # two resolutions suffice for the trend
+        for res in res_list:
+            for gop_size in (PAPER_GOP_SIZES[0], 13, PAPER_GOP_SIZES[-1]):
+                for workers in WORKER_SWEEP:
+                    profile = env.profile_with_gop_size(res, gop_size, PICTURES)
+                    result = env.run_gop(profile, workers)
+                    out[(res, gop_size, workers)] = result.memory.peak()
+        return out
+
+    peaks = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["case"] + [f"P={p}" for p in WORKER_SWEEP],
+        title="Figure 8: peak memory of the GOP-level decoder",
+    )
+    cases = sorted({(res, gop) for res, gop, _ in peaks})
+    for res, gop in cases:
+        table.add_row(
+            f"{res}/gop{gop}",
+            *[format_bytes(peaks[(res, gop, p)]) for p in WORKER_SWEEP],
+        )
+    record(table.render())
+
+    # Growth along all three axes (paper's conclusion).
+    for res, gop in cases:
+        assert peaks[(res, gop, 14)] > peaks[(res, gop, 2)], (res, gop)
+    res_list = sorted({r for r, _, _ in peaks})
+    if len(res_list) > 1:
+        small, large = res_list[0], res_list[-1]
+        # Note: sorted() on names puts 352x240 before 704x480.
+        assert peaks[(large, 13, 14)] > peaks[(small, 13, 14)]
+    gops = sorted({g for _, g, _ in peaks})
+    first_res = cases[0][0]
+    assert peaks[(first_res, gops[-1], 14)] > peaks[(first_res, gops[0], 14)]

@@ -1,0 +1,97 @@
+"""Figure 9 — the analytical memory model mem(x) = scan(x) + frames(x).
+
+Paper: the model predicts memory over time for three cases; the third
+(1408x960, 31 pictures/GOP, 11 workers) exceeds the machine's 500 MB
+programme memory and cannot be run.  The model is validated against
+the measured behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import TextTable, ascii_series, format_bytes
+from repro.mpeg2.frame import frame_bytes
+from repro.parallel import GopLevelDecoder, MemoryModel, ParallelConfig
+from repro.smp import CHALLENGE, challenge
+
+from benchmarks.conftest import PAPER_CASES
+
+#: The paper's three Figure 9 cases: (resolution, GOP size, workers).
+CASES = [
+    ("352x240", 13, 11),
+    ("704x480", 13, 11),
+    ("1408x960", 31, 11),
+]
+
+
+def test_fig9_memory_model(benchmark, env, record):
+    cases = [c for c in CASES if c[0] in PAPER_CASES]
+
+    def run():
+        out = {}
+        for res, gop_size, workers in cases:
+            profile = env.profile_with_gop_size(res, gop_size, 1120)
+            model = MemoryModel.from_profile(profile, workers)
+            out[(res, gop_size, workers)] = model
+        return out
+
+    models = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    blocks = []
+    table = TextTable(
+        ["case", "peak mem", "steady-state frames", "fits 500MB?"],
+        title="Figure 9: analytical memory model, 1120 pictures, 11 workers",
+    )
+    for (res, gop_size, workers), model in models.items():
+        table.add_row(
+            f"{res}/gop{gop_size}",
+            format_bytes(model.peak_bytes()),
+            format_bytes(model.steady_state_frames()),
+            "yes" if model.fits(CHALLENGE) else "NO (paper: cannot be run)",
+        )
+    blocks.append(table.render())
+
+    # mem(x) curve of the first case, sampled over time.
+    key = next(iter(models))
+    model = models[key]
+    curve = model.curve(points=12)
+    blocks.append(
+        ascii_series(
+            [(round(CHALLENGE.seconds(t), 1), m / 1e6) for t, m in curve],
+            label=f"mem(x) in MB over seconds, {key[0]}/gop{key[1]}",
+        )
+    )
+    record("\n\n".join(blocks))
+
+    # The paper's infeasibility result.
+    if ("1408x960", 31, 11) in models:
+        big = models[("1408x960", 31, 11)]
+        assert not big.fits(CHALLENGE)
+        assert big.steady_state_frames() > 500e6
+    small = models[next(iter(models))]
+    assert small.fits(CHALLENGE) or small.frame_bytes > frame_bytes(704, 480)
+
+
+def test_fig9_model_validated_against_simulation(benchmark, env, record):
+    """The paper: 'the model has been verified to be very close to the
+    actual behavior of the system'."""
+    res = next(iter(PAPER_CASES))
+
+    def run():
+        profile = env.profile(res, 13, pictures=156)
+        workers = 6
+        model = MemoryModel.from_profile(profile, workers)
+        result = GopLevelDecoder(profile).run(
+            ParallelConfig(workers=workers, machine=challenge(16))
+        )
+        return model.peak_bytes(), result.memory.peak()
+
+    predicted, measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        f"Figure 9 validation ({res}, 156 pictures, 6 workers)\n"
+        f"model peak:    {format_bytes(predicted)}\n"
+        f"measured peak: {format_bytes(measured)}\n"
+        f"ratio: {predicted / measured:.2f}"
+    )
+    assert predicted == pytest.approx(measured, rel=0.40)

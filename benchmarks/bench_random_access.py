@@ -1,0 +1,54 @@
+"""Sections 5.1.1 / 5.2 — random-access (play-control) latency.
+
+Paper (qualitative): after a seek, the GOP decomposition leaves one
+worker to decode the landing GOP alone, while the slice decomposition
+puts every worker on the first picture — so the slice version responds
+far faster to fast-forward/reverse.  We quantify the claim with the
+same cost model the throughput results use.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable
+from repro.parallel.random_access import seek_latency
+
+from benchmarks.conftest import PAPER_CASES
+
+WORKER_SWEEP = [1, 4, 8, 14]
+
+
+def test_random_access_latency(benchmark, env, record):
+    def run():
+        out = {}
+        for res in PAPER_CASES:
+            profile = env.profile(res, 13, pictures=26)
+            for workers in WORKER_SWEEP:
+                out[(res, workers)] = seek_latency(
+                    profile, gop_index=1, workers=workers
+                )
+        return out
+
+    latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["case", "GOP-level ms", "slice-level ms", "advantage"],
+        title="Random-access latency to first displayed picture after a seek",
+    )
+    for (res, workers), lat in latencies.items():
+        table.add_row(
+            f"{res} P={workers}",
+            round(lat.gop_level * 1e3, 1),
+            round(lat.slice_level * 1e3, 1),
+            f"{lat.advantage:.1f}x",
+        )
+    record(table.render())
+
+    for res in PAPER_CASES:
+        # One worker: no advantage. Many workers: the slice version's
+        # response improves with P, the GOP version's does not.
+        assert abs(latencies[(res, 1)].advantage - 1.0) < 0.05
+        assert latencies[(res, 8)].advantage > 2.0
+        assert (
+            latencies[(res, 14)].gop_level
+            == latencies[(res, 1)].gop_level
+        )

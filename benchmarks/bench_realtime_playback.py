@@ -1,0 +1,135 @@
+"""Real-time playback (the paper's title claim), as a deadline test.
+
+The throughput tables show average rates; real-time playback is a
+*deadline* property: every picture must reach the display by its
+30 pics/s slot.  This extension experiment paces the display process
+and finds the smallest worker count with zero late pictures per
+resolution and decoder — quantifying the paper's conclusion that
+"we can achieve real time decoding for reasonable sized pictures
+(352x240, 704x480) on small-scale shared memory multiprocessors"
+while 1408x960 is out of reach for this machine generation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable
+from repro.parallel import SliceMode
+
+from benchmarks.conftest import PAPER_CASES
+
+RATES = (30.0, 25.0)
+MAX_WORKERS = 14
+PICTURES = 390
+#: A quarter-second player preroll absorbs the pipeline-fill transient.
+PREROLL = 8
+
+
+def _min_workers(run) -> tuple[int | None, dict[int, int]]:
+    late_by_p: dict[int, int] = {}
+    for workers in range(1, MAX_WORKERS + 1):
+        result = run(workers)
+        late_by_p[workers] = result.late_pictures
+        if result.met_realtime:
+            return workers, late_by_p
+    return None, late_by_p
+
+
+def test_realtime_deadlines(benchmark, env, record):
+    def sweep():
+        out = {}
+        for res in PAPER_CASES:
+            profile = env.profile(res, 13, pictures=PICTURES)
+            for rate in RATES:
+                out[(res, "GOP", rate)] = _min_workers(
+                    lambda p: env.run_gop(
+                        profile, p, display_rate_hz=rate,
+                        display_preroll_pictures=PREROLL,
+                    )
+                )
+                out[(res, "improved slice", rate)] = _min_workers(
+                    lambda p: env.run_slice(
+                        profile, p, SliceMode.IMPROVED, display_rate_hz=rate,
+                        display_preroll_pictures=PREROLL,
+                    )
+                )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["case", "rate", "workers for 0 late pics", "late pics at P=14"],
+        title=(
+            f"Real-time playback deadlines ({PICTURES} pictures, "
+            f"{PREROLL}-picture preroll)"
+        ),
+    )
+    for (res, version, rate), (needed, late_by_p) in results.items():
+        table.add_row(
+            f"{res}/{version}",
+            f"{rate:.0f}/s",
+            needed if needed is not None else f">{MAX_WORKERS}",
+            late_by_p[max(late_by_p)],
+        )
+    record(table.render())
+
+    # The paper's conclusion mapped to deadlines: real-time at 352x240,
+    # (near-)real-time at 704x480 — its 26.6-27.4 pics/s covers a 25/s
+    # display — and 1408x960 out of reach on this machine generation.
+    #
+    # Note the structural finding: the GOP decoder misses deadlines at
+    # 352x240 even at P=14 with a small preroll, despite having the
+    # throughput — each GOP is decoded serially by one worker, so a
+    # picture can trail its slot by up to a serial-GOP decode time
+    # (~2.4 s). See test_realtime_required_preroll below.
+    if "352x240" in PAPER_CASES:
+        needed, _ = results[("352x240", "improved slice", 30.0)]
+        assert needed is not None and needed <= 14
+    if "704x480" in PAPER_CASES:
+        needed25, _ = results[("704x480", "improved slice", 25.0)]
+        assert needed25 is not None and needed25 <= 14
+        needed30, _ = results[("704x480", "GOP", 30.0)]
+        assert needed30 is None  # 26-27 pics/s max: 30/s not sustainable
+    if "1408x960" in PAPER_CASES:
+        for rate in RATES:
+            needed, _ = results[("1408x960", "GOP", rate)]
+            assert needed is None, "1408x960 should not be real-time here"
+
+
+def test_realtime_required_preroll(benchmark, env, record):
+    """Playback buffer each decomposition needs at 30 pics/s, P=14.
+
+    Quantifies Section 5.1.1's latency argument: the GOP decoder needs
+    roughly a serial-GOP decode time of buffer; the slice decoder needs
+    a handful of pictures.
+    """
+    res = "352x240" if "352x240" in PAPER_CASES else next(iter(PAPER_CASES))
+    profile = env.profile(res, 13, pictures=PICTURES)
+    period = 1.0 / 30.0
+
+    def run():
+        out = {}
+        gop = env.run_gop(profile, 14, display_rate_hz=30.0)
+        sl = env.run_slice(
+            profile, 14, SliceMode.IMPROVED, display_rate_hz=30.0
+        )
+        for name, result in (("GOP", gop), ("improved slice", sl)):
+            # Lateness shrinks one period per preroll picture, so the
+            # zero-preroll max lateness gives the required buffer.
+            out[name] = -(-result.max_lateness_seconds // period)
+        return out
+
+    needed = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["version", "required preroll (pictures)", "buffer seconds"],
+        title=f"Preroll needed for deadline-free 30/s playback, {res}, P=14",
+    )
+    for name, pictures in needed.items():
+        table.add_row(name, int(pictures), round(pictures / 30.0, 2))
+    record(table.render())
+
+    if res == "352x240":
+        # GOP: about a serial-GOP decode (13 pics at ~5.4/s => ~70
+        # display slots). Slice: a few pictures.
+        assert needed["GOP"] > 5 * needed["improved slice"]
+        assert needed["improved slice"] <= 15

@@ -1,0 +1,66 @@
+"""Section 3 — bit-rate robustness.
+
+Paper: across streams of widely varying bit rates, decoding time for a
+given picture size stays within 10-15% of the test streams', and the
+*speedups are consistent* — bit rate does not change parallel
+behaviour.  We encode the smallest configured resolution at half and
+at 1.5x its nominal rate and compare decode cycles and speedup curves.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable
+from repro.smp import DEFAULT_COST_MODEL
+
+from benchmarks.conftest import PAPER_CASES
+
+SWEEP = [1, 4, 8, 14]
+
+
+def test_sec3_bitrate_robustness(benchmark, env, record):
+    res = next(iter(PAPER_CASES))
+    nominal = PAPER_CASES[res][2]
+    rates_to_try = [nominal // 2, nominal, nominal * 3 // 2]
+
+    def run():
+        out = {}
+        for rate in rates_to_try:
+            profile = env.profile(res, 13, bit_rate=rate)
+            cycles = (
+                DEFAULT_COST_MODEL.decode_cycles(profile.total_counters())
+                / profile.picture_count
+            )
+            base = env.run_gop(profile, 1).pictures_per_second
+            speedups = {
+                p: env.run_gop(profile, p).pictures_per_second / base for p in SWEEP
+            }
+            out[rate] = (cycles, speedups)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    nominal_cycles = results[nominal][0]
+    table = TextTable(
+        ["bit rate", "cycles/pic (M)", "vs nominal %"]
+        + [f"S(P={p})" for p in SWEEP],
+        title=f"Section 3: bit-rate sensitivity, {res}, GOP version",
+    )
+    for rate, (cycles, speedups) in results.items():
+        table.add_row(
+            f"{rate/1e6:.2f}Mb/s",
+            round(cycles / 1e6, 1),
+            round((cycles / nominal_cycles - 1) * 100, 1),
+            *[round(speedups[p], 2) for p in SWEEP],
+        )
+    record(
+        table.render()
+        + "\n\npaper: decode times within 10-15% across bit rates; speedups consistent"
+    )
+
+    for rate, (cycles, speedups) in results.items():
+        # Decode time moves modestly with bit rate (paper: 10-15%; our
+        # band is wider because the rate sweep here is 3x end to end).
+        assert abs(cycles / nominal_cycles - 1) < 0.35, rate
+        # Speedups are consistent across rates.
+        for p in SWEEP:
+            assert abs(speedups[p] - results[nominal][1][p]) < 0.12 * p, (rate, p)

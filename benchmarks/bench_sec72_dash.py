@@ -1,0 +1,77 @@
+"""Section 7.2 — distributed shared memory (Stanford DASH).
+
+Paper: on DASH, for 704x480 pictures, the improved slice version runs
+1.8x / 3.4x / 5.2x faster on 8 / 16 / 32 processors than on 4 (one
+cluster); the GOP version speeds up a little less; remote-miss latency
+— not synchronisation — is the impediment, so data placement (local
+GOP queues + stealing) should help.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable
+from repro.parallel import SliceMode
+from repro.smp import dash
+
+from benchmarks.conftest import PAPER_CASES
+
+PAPER_DASH = {8: 1.8, 16: 3.4, 32: 5.2}
+PROC_SWEEP = [4, 8, 16, 32]
+PICTURES = 1092  # 84 GOPs: keeps 32 GOP-level workers busy
+
+
+def test_sec72_dash_speedups(benchmark, env, record):
+    res = "704x480" if "704x480" in PAPER_CASES else next(iter(PAPER_CASES))
+    profile = env.profile(res, 13, pictures=PICTURES)
+
+    def run():
+        out = {}
+        for procs in PROC_SWEEP:
+            # The paper's DASH counts are decode processors; scan and
+            # display ride on two extra CPUs (cluster structure follows
+            # the decode processors).
+            machine = dash(procs + 2)
+            workers = procs
+            out[("improved", procs)] = env.run_slice(
+                profile, workers, SliceMode.IMPROVED, machine=machine
+            ).pictures_per_second
+            out[("gop", procs)] = env.run_gop(
+                profile, workers, machine=machine
+            ).pictures_per_second
+            # Data placement: the paper's proposed per-memory task
+            # queues with round-robin GOP placement + work stealing,
+            # implemented structurally in PlacedGopDecoder.
+            from repro.parallel import PlacedGopDecoder, ParallelConfig
+
+            placed = PlacedGopDecoder(profile).run(
+                ParallelConfig(workers=workers, machine=machine)
+            )
+            out[("gop+placement", procs)] = placed.pictures_per_second
+        return out
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["version"]
+        + [f"{p}p" for p in PROC_SWEEP[1:]]
+        + [f"paper {p}p" for p in PROC_SWEEP[1:]],
+        title=f"Section 7.2: DASH speedup over 4 processors, {res}",
+    )
+    for version in ("improved", "gop", "gop+placement"):
+        speedups = [rates[(version, p)] / rates[(version, 4)] for p in PROC_SWEEP[1:]]
+        paper = [
+            PAPER_DASH[p] if version == "improved" else "-" for p in PROC_SWEEP[1:]
+        ]
+        table.add_row(version, *[round(s, 2) for s in speedups], *paper)
+    record(table.render())
+
+    imp = {p: rates[("improved", p)] / rates[("improved", 4)] for p in PROC_SWEEP[1:]}
+    for procs, paper in PAPER_DASH.items():
+        assert 0.7 * paper < imp[procs] < 1.4 * paper, (
+            f"{procs}p: {imp[procs]:.2f} vs paper {paper}"
+        )
+    # Sub-linear on DASH: well below the UMA near-linear curve.
+    assert imp[32] < 7.0
+    # Placement recovers performance (the paper's recommendation).
+    for procs in PROC_SWEEP[1:]:
+        assert rates[("gop+placement", procs)] > rates[("gop", procs)]

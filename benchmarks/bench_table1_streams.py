@@ -1,0 +1,75 @@
+"""Table 1 — the test-stream matrix.
+
+Paper: four resolutions x GOP sizes {4, 13, 16, 31}, 1120 pictures,
+30 pics/s, 5-7 Mb/s, I/P distance 3, one slice per macroblock row.
+We regenerate the matrix and report each stream's parameters plus the
+measured bytes of its encoded GOP (from the gop-13 encodes; other GOP
+sizes are reported via the measured bytes-per-picture).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable
+from repro.video.streams import PAPER_GOP_SIZES, paper_stream_matrix
+
+from benchmarks.conftest import BENCH_PICTURES, PAPER_CASES
+
+
+def test_table1_stream_matrix(benchmark, env, record):
+    def build():
+        rows = []
+        for res in PAPER_CASES:
+            profile = env.profile(res, 13, pictures=13)
+            bytes_per_pic = profile.total_bytes / profile.picture_count
+            for gop_size in PAPER_GOP_SIZES:
+                rows.append(
+                    (
+                        res,
+                        gop_size,
+                        profile.slices_per_picture,
+                        profile.frame_bytes,
+                        bytes_per_pic,
+                        profile.bit_rate,
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["stream", "GOP size", "slices/pic", "frame bytes", "coded B/pic", "bit rate"],
+        title=(
+            "Table 1: test streams "
+            f"(I/P distance 3, 30 pics/s, {BENCH_PICTURES} pictures simulated)"
+        ),
+    )
+    for res, gop, slices, fbytes, bpp, rate in rows:
+        table.add_row(f"{res}/gop{gop}", gop, slices, fbytes, bpp, rate)
+    out = [table.render()]
+
+    # Paper cross-check: slices per picture are 8/15/30/60 and the
+    # 1120-picture file sizes land near Table 2's 25 MB / 45 MB.
+    spec_table = TextTable(
+        ["resolution", "paper slices/pic", "measured", "paper file MB", "measured MB"],
+        title="Cross-check against the paper (1120-picture streams)",
+    )
+    paper_slices = {"176x120": 8, "352x240": 15, "704x480": 30, "1408x960": 60}
+    paper_file_mb = {"352x240": 25, "704x480": 25, "1408x960": 45}
+    for res in PAPER_CASES:
+        profile = env.profile(res, 13, pictures=13)
+        mb_1120 = profile.total_bytes / profile.picture_count * 1120 / 1e6
+        spec_table.add_row(
+            res,
+            paper_slices.get(res, "-"),
+            profile.slices_per_picture,
+            paper_file_mb.get(res, "-"),
+            round(mb_1120, 1),
+        )
+    out.append(spec_table.render())
+    record("\n\n".join(out))
+
+    for res in PAPER_CASES:
+        profile = env.profile(res, 13, pictures=13)
+        assert profile.slices_per_picture == paper_slices.get(
+            res, profile.slices_per_picture
+        )

@@ -1,0 +1,56 @@
+"""Table 2 — scan-process rate (pictures/second scanned).
+
+Paper: the scan process reads a 25 MB / 1120-picture stream in
+4.5-6.5 s (170-250 pics/s) at 352x240 and 704x480, and the 45 MB
+1408x960 stream in 11-14 s (80-100 pics/s).  We run the scan process
+alone on the simulated machine and measure the same rate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable
+from repro.smp import DEFAULT_COST_MODEL, CHALLENGE
+
+from benchmarks.conftest import PAPER_CASES
+
+#: Table 2 rows: (scan seconds range, pics/sec range) for 1120 pictures.
+PAPER_TABLE2 = {
+    "352x240": ((4.5, 6.5), (170, 250)),
+    "704x480": ((4.5, 6.5), (170, 250)),
+    "1408x960": ((11.0, 14.0), (80, 100)),
+}
+
+
+def test_table2_scan_rate(benchmark, env, record):
+    def run():
+        rows = []
+        for res in PAPER_CASES:
+            profile = env.profile(res, 13, pictures=13)
+            bytes_1120 = profile.total_bytes / profile.picture_count * 1120
+            cycles = DEFAULT_COST_MODEL.scan_cycles(int(bytes_1120))
+            seconds = CHALLENGE.seconds(cycles)
+            rows.append((res, bytes_1120 / 1e6, seconds, 1120 / seconds))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["resolution", "file MB (1120 pics)", "scan s", "pics/s",
+         "paper scan s", "paper pics/s"],
+        title="Table 2: scan process rate",
+    )
+    for res, mb, secs, rate in rows:
+        if res in PAPER_TABLE2:
+            (s_lo, s_hi), (r_lo, r_hi) = PAPER_TABLE2[res]
+            paper_s, paper_r = f"{s_lo}-{s_hi}", f"{r_lo}-{r_hi}"
+        else:
+            paper_s = paper_r = "-"
+        table.add_row(res, round(mb, 1), round(secs, 1), round(rate), paper_s, paper_r)
+    record(table.render())
+
+    # Shape check: the scan rate must sit in (or near) the paper band —
+    # our streams' sizes track the paper's, so rates should too.
+    for res, mb, secs, rate in rows:
+        if res in PAPER_TABLE2:
+            (_, _), (r_lo, r_hi) = PAPER_TABLE2[res]
+            assert 0.5 * r_lo < rate < 2.0 * r_hi, f"{res}: {rate} pics/s"

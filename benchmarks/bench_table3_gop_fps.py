@@ -1,0 +1,43 @@
+"""Table 3 — maximum pictures/second of the GOP-level decoder.
+
+Paper (14 workers on the 16-processor Challenge):
+352x240 -> 69.9, 704x480 -> 26.6, 1408x960 -> 7.3 pictures/second.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import comparison_table
+
+from benchmarks.conftest import PAPER_CASES
+
+PAPER_TABLE3 = {"352x240": 69.9, "704x480": 26.6, "1408x960": 7.3}
+WORKERS = 14
+
+
+def test_table3_gop_max_fps(benchmark, env, record):
+    def run():
+        rates = {}
+        for res in PAPER_CASES:
+            profile = env.profile(res, 13)
+            rates[res] = env.run_gop(profile, WORKERS).pictures_per_second
+        return rates
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record(
+        comparison_table(
+            f"Table 3: max pictures/sec, GOP version, {WORKERS} workers",
+            [
+                (res, PAPER_TABLE3.get(res), round(rate, 1))
+                for res, rate in rates.items()
+            ],
+        )
+    )
+
+    # Shape: ordering and rough magnitudes must match the paper.
+    ordered = [rates[r] for r in rates]
+    assert ordered == sorted(ordered, reverse=True)
+    for res, rate in rates.items():
+        paper = PAPER_TABLE3.get(res)
+        if paper:
+            assert 0.5 * paper < rate < 2.0 * paper, f"{res}: {rate:.1f} vs {paper}"

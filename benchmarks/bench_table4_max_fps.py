@@ -1,0 +1,78 @@
+"""Table 4 — maximum frames/second of all three decoders.
+
+Paper (14 workers):
+
+==========  =======  =======  ========
+version     352x240  704x480  1408x960
+==========  =======  =======  ========
+simple        27.4     15.1      6.6
+improved      54.4     21.6      6.8
+GOP           69.9     26.6      7.3
+==========  =======  =======  ========
+
+Shape to reproduce: GOP > improved > simple everywhere; the gap closes
+at the largest resolution (more slices per picture feed the simple
+version); real-time (30 fps) is reached for 352x240 and nearly for
+704x480.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable
+from repro.parallel import SliceMode
+
+from benchmarks.conftest import PAPER_CASES
+
+PAPER_TABLE4 = {
+    "simple": {"352x240": 27.4, "704x480": 15.1, "1408x960": 6.6},
+    "improved": {"352x240": 54.4, "704x480": 21.6, "1408x960": 6.8},
+    "GOP": {"352x240": 69.9, "704x480": 26.6, "1408x960": 7.3},
+}
+WORKERS = 14
+
+
+def test_table4_max_fps_all_versions(benchmark, env, record):
+    def run():
+        out = {}
+        for res in PAPER_CASES:
+            profile = env.profile(res, 13)
+            out[("simple", res)] = env.run_slice(
+                profile, WORKERS, SliceMode.SIMPLE
+            ).pictures_per_second
+            out[("improved", res)] = env.run_slice(
+                profile, WORKERS, SliceMode.IMPROVED
+            ).pictures_per_second
+            out[("GOP", res)] = env.run_gop(profile, WORKERS).pictures_per_second
+        return out
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["version"]
+        + [f"{res}" for res in PAPER_CASES]
+        + [f"paper {res}" for res in PAPER_CASES],
+        title=f"Table 4: max frames/sec, {WORKERS} workers",
+    )
+    for version in ("simple", "improved", "GOP"):
+        measured = [round(rates[(version, res)], 1) for res in PAPER_CASES]
+        paper = [PAPER_TABLE4[version].get(res, "-") for res in PAPER_CASES]
+        table.add_row(version, *measured, *paper)
+    record(table.render())
+
+    for res in PAPER_CASES:
+        si, im, gp = (
+            rates[("simple", res)],
+            rates[("improved", res)],
+            rates[("GOP", res)],
+        )
+        # Paper ordering: GOP >= improved >= simple.  Our improved
+        # version synchronises a little better than the paper's 1997
+        # implementation (see EXPERIMENTS.md), so a narrow GOP-vs-
+        # improved tie is tolerated; simple must stay clearly last.
+        assert im >= si * 1.1, f"{res}: improved {im:.1f} not above simple {si:.1f}"
+        assert gp >= im * 0.93, f"{res}: GOP {gp:.1f} far below improved {im:.1f}"
+    if "352x240" in PAPER_CASES:
+        # Real-time decoding of 352x240 must be achieved (paper's
+        # headline result).
+        assert rates[("improved", "352x240")] > 30.0
+        assert rates[("GOP", "352x240")] > 30.0

@@ -1,0 +1,151 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every file in this directory regenerates one table or figure of the
+paper (see DESIGN.md's experiment index).  The heavy inputs — encoded
+test streams and their work profiles — are built once and cached on
+disk (``~/.cache/repro-streams`` by default), so the first run pays a
+few minutes of encoding and every later run starts instantly.
+
+Scale
+-----
+Result-bearing experiments run at the paper's true resolutions
+(352x240, 704x480, 1408x960 at 5/5/7 Mb/s).  One GOP of each stream is
+encoded with the real encoder; longer runs tile that measured GOP
+(exactly how the paper built its 1120-picture streams from a repeated
+clip).  ``REPRO_BENCH_PICTURES`` (default 364 = 28 GOPs of 13) sets
+the simulated stream length; ``REPRO_BENCH_FAST=1`` drops to the small
+176x120 resolution for a quick smoke pass.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel import GopLevelDecoder, ParallelConfig, SliceLevelDecoder, SliceMode
+from repro.parallel.profile import (
+    StreamProfile,
+    cached_profile,
+    slice_gops,
+    synthesize_profile,
+    tile_profile,
+)
+from repro.smp import CostModel, challenge
+from repro.video.streams import TestStreamSpec, build_stream
+
+#: Paper resolutions with their Section 3 bit rates.
+PAPER_CASES = {
+    "352x240": (352, 240, 5_000_000),
+    "704x480": (704, 480, 5_000_000),
+    "1408x960": (1408, 960, 7_000_000),
+}
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") == "1"
+if FAST:
+    PAPER_CASES = {"176x120": (176, 120, 1_250_000)}
+
+#: Simulated stream length in pictures (paper: 1120 = 86 gop-13 GOPs;
+#: shorter runs under-utilise 14 GOP-level workers at the endgame).
+BENCH_PICTURES = int(os.environ.get("REPRO_BENCH_PICTURES", "1092"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class BenchEnv:
+    """Lazy, disk-cached access to streams, profiles and runs."""
+
+    def __init__(self) -> None:
+        self._streams: dict[tuple, bytes] = {}
+        self._profiles: dict[tuple, StreamProfile] = {}
+
+    # ------------------------------------------------------------------
+    def spec(self, res: str, gop_size: int = 13, bit_rate: int | None = None,
+             pictures: int | None = None) -> TestStreamSpec:
+        w, h, default_rate = PAPER_CASES[res]
+        # Two GOPs: the first absorbs the rate controller's warm-up and
+        # is dropped at profiling time; the second is steady state.
+        return TestStreamSpec(
+            name=f"bench/{res}/gop{gop_size}",
+            width=w,
+            height=h,
+            gop_size=gop_size,
+            pictures=pictures or 2 * gop_size,
+            bit_rate=bit_rate or default_rate,
+        )
+
+    def stream(self, res: str, gop_size: int = 13, **kw) -> bytes:
+        spec = self.spec(res, gop_size, **kw)
+        key = (spec.cache_key(),)
+        if key not in self._streams:
+            self._streams[key] = build_stream(spec)
+        return self._streams[key]
+
+    def profile(
+        self, res: str, gop_size: int = 13, pictures: int | None = None, **kw
+    ) -> StreamProfile:
+        """A measured steady-state profile tiled to ``pictures``."""
+        base = self._profiles_base(res, gop_size, **kw)
+        target = pictures or BENCH_PICTURES
+        repeats = max((target + base.picture_count - 1) // base.picture_count, 1)
+        return tile_profile(base, repeats) if repeats > 1 else base
+
+    def profile_with_gop_size(
+        self, res: str, gop_size: int, pictures: int | None = None
+    ) -> StreamProfile:
+        """A profile restructured to ``gop_size`` from measured gop-13 data."""
+        base = self._profiles_base(res, 13)
+        target = pictures or BENCH_PICTURES
+        gops = max(target // gop_size, 1)
+        return synthesize_profile(base, gop_size, gops)
+
+    def _profiles_base(self, res: str, gop_size: int = 13, **kw) -> StreamProfile:
+        """Measured profile with the warm-up GOP dropped (steady state)."""
+        spec = self.spec(res, gop_size, **kw)
+        key = (spec.cache_key(),)
+        if key not in self._profiles:
+            data = self.stream(res, gop_size, **kw)
+            full = cached_profile(data, spec.cache_key())
+            self._profiles[key] = (
+                slice_gops(full, 1) if len(full.gops) > 1 else full
+            )
+        return self._profiles[key]
+
+    # ------------------------------------------------------------------
+    def run_gop(self, profile: StreamProfile, workers: int, **kw) -> "DecodeRunResult":
+        machine = kw.pop("machine", challenge(max(workers + 2, 16)))
+        dec = GopLevelDecoder(profile)
+        return dec.run(ParallelConfig(workers=workers, machine=machine, **kw))
+
+    def run_slice(
+        self, profile: StreamProfile, workers: int, mode: SliceMode, **kw
+    ) -> "DecodeRunResult":
+        machine = kw.pop("machine", challenge(max(workers + 2, 16)))
+        dec = SliceLevelDecoder(profile)
+        return dec.run(ParallelConfig(workers=workers, machine=machine, **kw), mode)
+
+
+@pytest.fixture(scope="session")
+def env() -> BenchEnv:
+    return BenchEnv()
+
+
+@pytest.fixture(scope="session")
+def resolutions() -> list[str]:
+    return list(PAPER_CASES)
+
+
+@pytest.fixture
+def record(request, capsys):
+    """Print a report and persist it under benchmarks/results/."""
+
+    def _record(text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n[saved to {os.path.relpath(path)}]")
+
+    return _record

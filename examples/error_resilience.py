@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Error resilience: losing slices on the wire, concealing on decode.
+
+Slice independence — every predictor resets at a slice boundary — is
+the property the paper's fine-grained parallel decomposition rests on.
+The same property bounds the blast radius of transmission errors: a
+corrupt slice costs one macroblock row, not the picture.  This example
+simulates a lossy channel that corrupts a fraction of slices and
+compares the strict decoder (fails) with the resilient decoder
+(conceals and keeps playing), reporting quality versus loss rate.
+
+Run:  python examples/error_resilience.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import TextTable
+from repro.mpeg2.counters import WorkCounters
+from repro.mpeg2.decoder import SequenceDecoder, decode_sequence
+from repro.mpeg2.encoder import EncoderConfig, encode_sequence
+from repro.mpeg2.index import build_index
+from repro.video.metrics import sequence_psnr
+from repro.video.synthetic import SyntheticVideo
+
+
+def corrupt_fraction(stream: bytes, fraction: float, seed: int) -> bytes:
+    """Zero the payloads of a random ``fraction`` of slices."""
+    idx = build_index(stream)
+    slices = [s for g in idx.gops for p in g.pictures for s in p.slices]
+    rng = random.Random(seed)
+    victims = rng.sample(slices, k=max(int(len(slices) * fraction), 1))
+    out = bytearray(stream)
+    for s in victims:
+        out[s.payload_start : s.payload_end] = bytes(
+            s.payload_end - s.payload_start
+        )
+    return bytes(out)
+
+
+def main() -> None:
+    video = SyntheticVideo(width=176, height=120, seed=17)
+    frames = video.frames(26)
+    stream = encode_sequence(frames, EncoderConfig(gop_size=13, qscale_code=3))
+    clean = decode_sequence(stream)
+    print(
+        f"clean stream: {len(stream):,} bytes, "
+        f"PSNR {sequence_psnr(frames, clean):.1f} dB\n"
+    )
+
+    table = TextTable(
+        ["slice loss", "strict decoder", "concealed slices", "PSNR dB"],
+        title="Decoding under slice loss (resilient decoder conceals)",
+    )
+    for fraction in (0.01, 0.05, 0.15, 0.30):
+        damaged = corrupt_fraction(stream, fraction, seed=1)
+        try:
+            decode_sequence(damaged)
+            strict = "decoded (!)"
+        except Exception as exc:
+            strict = f"fails ({type(exc).__name__})"
+        counters = WorkCounters()
+        decoded = SequenceDecoder(damaged, resilient=True).decode_all(counters)
+        table.add_row(
+            f"{fraction:.0%}",
+            strict,
+            counters.concealed_slices,
+            round(sequence_psnr(frames, decoded), 1),
+        )
+    print(table.render())
+    print(
+        "\nConcealment copies the co-located row from the forward reference\n"
+        "(grey for I-pictures), so quality degrades gracefully with loss —\n"
+        "damage from a lost reference row persists only until the next\n"
+        "I-picture, i.e. one GOP (the same closed-GOP boundary the\n"
+        "parallel decoders exploit)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Locality study: reproduce the paper's Section 5.3 methodology.
+
+Generates a memory-reference trace from a real decode (the decoder is
+instrumented, TangoLite-style), then sweeps cache organisations:
+
+* line size at fixed capacity  -> spatial locality (Fig. 13 shape);
+* capacity x associativity     -> working sets (Fig. 14 shape);
+* capacity vs cold miss split  -> temporal locality (Fig. 15 shape).
+
+Run:  python examples/locality_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable, doubling_ratios
+from repro.cache import CacheConfig, generate_decode_trace, simulate
+from repro.cache.cachesim import line_size_sweep
+from repro.mpeg2.encoder import EncoderConfig, encode_sequence
+from repro.video.synthetic import SyntheticVideo
+
+
+def main() -> None:
+    video = SyntheticVideo(width=176, height=120, seed=3)
+    stream = encode_sequence(video.frames(13), EncoderConfig(gop_size=13, qscale_code=3))
+    trace = generate_decode_trace(stream, processors=8, max_pictures=7)
+    print(
+        f"trace: {len(trace):,} word references over 7 pictures "
+        f"({trace.read_count:,} reads / {trace.write_count:,} writes), "
+        f"8 processors\n"
+    )
+
+    # Spatial locality: Fig. 13.
+    sweep = line_size_sweep(trace, [16, 32, 64, 128, 256])
+    ratios = doubling_ratios(sweep)
+    t = TextTable(["line size", "read miss %", "ratio"], title="Line-size sweep (1MB fully-assoc)")
+    sizes = sorted(sweep)
+    for i, ls in enumerate(sizes):
+        t.add_row(f"{ls}B", round(sweep[ls] * 100, 3), round(ratios[i - 1], 2) if i else "-")
+    print(t.render())
+    print("-> miss rate ~halves per doubling: sequential access dominates\n")
+
+    # Working sets: Fig. 14.
+    t = TextTable(
+        ["capacity", "direct-mapped %", "2-way %", "fully-assoc %"],
+        title="Cache-size sweep (64B lines)",
+    )
+    for cap in (8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10):
+        row = []
+        for assoc in (1, 2, 0):
+            total, _ = simulate(
+                trace, CacheConfig(line_size=64, capacity=cap, associativity=assoc)
+            )
+            row.append(round(total.read_miss_rate * 100, 2))
+        t.add_row(f"{cap >> 10}KB", *row)
+    print(t.render())
+    print(
+        "-> the working set fits in 16-32KB given associativity;\n"
+        "   direct-mapped caches need 64KB+ (paper Fig. 14)\n"
+    )
+
+    # Temporal locality: Fig. 15.
+    t = TextTable(
+        ["capacity", "cold", "capacity", "coherence", "capacity/cold"],
+        title="Miss classification (fully-assoc, 64B lines)",
+    )
+    for cap in (16 << 10, 64 << 10, 256 << 10, 1 << 20):
+        total, _ = simulate(
+            trace, CacheConfig(line_size=64, capacity=cap, associativity=0)
+        )
+        t.add_row(
+            f"{cap >> 10}KB",
+            total.cold_misses,
+            total.capacity_conflict_misses,
+            total.coherence_misses,
+            round(total.capacity_to_cold_ratio, 2),
+        )
+    print(t.render())
+    print(
+        "-> beyond the working set, cold misses dominate: bigger caches\n"
+        "   buy little, and sharing misses stay negligible (paper Fig. 15)"
+    )
+
+
+if __name__ == "__main__":
+    main()

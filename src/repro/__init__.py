@@ -1,0 +1,34 @@
+"""Reproduction of *Real-Time Parallel MPEG-2 Decoding in Software*.
+
+Bilas, Fritts, Singh — IPPS 1997, Princeton University.
+
+The package is organised as the paper's system is:
+
+``repro.bitstream``
+    Bit-level I/O and MPEG start-code handling.
+``repro.mpeg2``
+    A from-scratch MPEG-2 codec substrate: VLC coding, zig-zag scans,
+    quantization, 8x8 DCT/IDCT, motion estimation/compensation, the
+    sequence/GOP/picture/slice/macroblock/block syntax, a full encoder
+    and a sequential reference decoder.
+``repro.video``
+    Synthetic test-video generation reproducing the paper's Table 1
+    stream matrix (four resolutions x four GOP sizes).
+``repro.smp``
+    A deterministic discrete-event simulator of a bus-based
+    cache-coherent shared-memory multiprocessor (the SGI Challenge of
+    the paper) including a NUMA (Stanford DASH-like) configuration.
+``repro.cache``
+    A trace-driven cache simulator with miss classification — the
+    TangoLite analogue used for the paper's locality study (Figs 13-15).
+``repro.parallel``
+    The paper's contribution: the scan/worker/display parallel decoder
+    architecture with GOP-level, simple slice-level and improved
+    slice-level task decompositions, plus the analytical memory model.
+``repro.analysis``
+    Speedup/load-balance/synchronization analysis and table rendering.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

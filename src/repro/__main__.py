@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``encode``    synthesize a test clip and encode it to an .m2v file
+``info``      scan a stream and print its structure (the scan process)
+``decode``    decode a stream; optionally dump frames as PGM files
+``simulate``  run a parallel decoder on the simulated multiprocessor
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    from repro.mpeg2.encoder import EncoderConfig, encode_sequence
+    from repro.video.synthetic import SyntheticVideo
+
+    video = SyntheticVideo(
+        width=args.width, height=args.height, seed=args.seed
+    )
+    frames = video.frames(args.frames)
+    config = EncoderConfig(
+        gop_size=args.gop_size,
+        qscale_code=args.qscale,
+        target_bits_per_picture=(
+            int(args.bit_rate / 30.0) if args.bit_rate else None
+        ),
+        bit_rate=args.bit_rate or 5_000_000,
+    )
+    data = encode_sequence(frames, config)
+    with open(args.output, "wb") as fh:
+        fh.write(data)
+    rate = len(data) * 8 * 30 / len(frames)
+    print(
+        f"encoded {len(frames)} pictures {args.width}x{args.height} -> "
+        f"{args.output} ({len(data):,} bytes, {rate/1e6:.2f} Mb/s at 30 pics/s)"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.analysis import TextTable
+    from repro.mpeg2.index import build_index
+
+    with open(args.input, "rb") as fh:
+        data = fh.read()
+    idx = build_index(data)
+    seq = idx.sequence_header
+    print(
+        f"{args.input}: {seq.width}x{seq.height} @ {seq.frame_rate} pics/s, "
+        f"{seq.bit_rate/1e6:.2f} Mb/s nominal, {len(data):,} bytes"
+    )
+    print(
+        f"{len(idx.gops)} GOPs, {idx.picture_count} pictures, "
+        f"{idx.slice_count} slices ({idx.slices_per_picture}/picture)"
+    )
+    table = TextTable(["GOP", "pictures", "types (coding order)", "bytes"])
+    for gi, gop in enumerate(idx.gops[: args.max_gops]):
+        types = "".join(p.picture_type.letter for p in gop.pictures)
+        table.add_row(gi, len(gop.pictures), types, gop.wire_bytes)
+    print(table.render())
+    if len(idx.gops) > args.max_gops:
+        print(f"... ({len(idx.gops) - args.max_gops} more GOPs)")
+    return 0
+
+
+def _cmd_decode(args: argparse.Namespace) -> int:
+    from repro.mpeg2.counters import WorkCounters
+    from repro.mpeg2.decoder import SequenceDecoder
+
+    with open(args.input, "rb") as fh:
+        data = fh.read()
+    counters = WorkCounters()
+    decoder = SequenceDecoder(data, resilient=args.resilient)
+    frames = decoder.decode_all(counters)
+    print(
+        f"decoded {len(frames)} pictures; {counters.macroblocks:,} macroblocks, "
+        f"{counters.coefficients:,} coefficients, {counters.bits:,} bits"
+    )
+    if counters.concealed_slices:
+        print(f"concealed {counters.concealed_slices} corrupt slices")
+    if args.dump_dir:
+        os.makedirs(args.dump_dir, exist_ok=True)
+        for i, frame in enumerate(frames):
+            y, _, _ = frame.display_view()
+            path = os.path.join(args.dump_dir, f"frame{i:04d}.pgm")
+            with open(path, "wb") as fh:
+                fh.write(f"P5\n{y.shape[1]} {y.shape[0]}\n255\n".encode())
+                fh.write(y.tobytes())
+        print(f"wrote {len(frames)} PGM luma frames to {args.dump_dir}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.analysis import TextTable, format_bytes
+    from repro.parallel import (
+        GopLevelDecoder,
+        MacroblockLevelDecoder,
+        ParallelConfig,
+        SliceLevelDecoder,
+        SliceMode,
+        profile_stream,
+    )
+    from repro.parallel.profile import tile_profile
+    from repro.smp import challenge, dash
+
+    with open(args.input, "rb") as fh:
+        data = fh.read()
+    profile, _ = profile_stream(data)
+    if args.repeat > 1:
+        profile = tile_profile(profile, args.repeat)
+
+    if args.machine == "dash":
+        machine = dash(max(args.processors, args.workers + 2))
+    else:
+        machine = challenge(max(args.processors, args.workers + 2))
+    config = ParallelConfig(
+        workers=args.workers,
+        machine=machine,
+        display_rate_hz=args.rate,
+        display_preroll_pictures=args.preroll,
+    )
+
+    if args.decoder == "gop":
+        result = GopLevelDecoder(profile).run(config)
+    elif args.decoder == "slice-simple":
+        result = SliceLevelDecoder(profile).run(config, SliceMode.SIMPLE)
+    elif args.decoder == "slice-improved":
+        result = SliceLevelDecoder(profile).run(config, SliceMode.IMPROVED)
+    elif args.decoder == "macroblock":
+        result = MacroblockLevelDecoder(profile).run(config)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.decoder)
+
+    table = TextTable(["metric", "value"], title=f"{args.decoder} decoder, {machine.name}")
+    table.add_row("pictures", result.picture_count)
+    table.add_row("simulated seconds", round(result.finish_seconds, 2))
+    table.add_row("pictures/second", round(result.pictures_per_second, 2))
+    table.add_row("peak memory", format_bytes(result.peak_memory))
+    table.add_row("mean sync/exec", round(result.mean_sync_ratio, 4))
+    if args.rate:
+        table.add_row("late pictures", result.late_pictures)
+        table.add_row("max lateness s", round(result.max_lateness_seconds, 3))
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel MPEG-2 decoding reproduction (IPPS 1997)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    enc = sub.add_parser("encode", help="encode a synthetic clip")
+    enc.add_argument("output")
+    enc.add_argument("--width", type=int, default=176)
+    enc.add_argument("--height", type=int, default=120)
+    enc.add_argument("--frames", type=int, default=26)
+    enc.add_argument("--gop-size", type=int, default=13)
+    enc.add_argument("--qscale", type=int, default=3)
+    enc.add_argument("--seed", type=int, default=0)
+    enc.add_argument("--bit-rate", type=int, default=None,
+                     help="enable rate control toward this bits/second")
+    enc.set_defaults(func=_cmd_encode)
+
+    info = sub.add_parser("info", help="print stream structure")
+    info.add_argument("input")
+    info.add_argument("--max-gops", type=int, default=8)
+    info.set_defaults(func=_cmd_info)
+
+    dec = sub.add_parser("decode", help="decode a stream")
+    dec.add_argument("input")
+    dec.add_argument("--dump-dir", help="write luma planes as PGM files")
+    dec.add_argument("--resilient", action="store_true",
+                     help="conceal corrupt slices instead of failing")
+    dec.set_defaults(func=_cmd_decode)
+
+    simp = sub.add_parser("simulate", help="simulated parallel decode")
+    simp.add_argument("input")
+    simp.add_argument("--decoder", default="gop",
+                      choices=["gop", "slice-simple", "slice-improved", "macroblock"])
+    simp.add_argument("--workers", type=int, default=4)
+    simp.add_argument("--machine", default="challenge", choices=["challenge", "dash"])
+    simp.add_argument("--processors", type=int, default=16)
+    simp.add_argument("--rate", type=float, default=None,
+                      help="pace the display at this rate (pics/s)")
+    simp.add_argument("--preroll", type=int, default=0,
+                      help="paced-playback startup buffer in pictures")
+    simp.add_argument("--repeat", type=int, default=1,
+                      help="tile the stream's GOPs this many times")
+    simp.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

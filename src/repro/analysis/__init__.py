@@ -1,0 +1,31 @@
+"""Result analysis and text rendering for the experiment harness.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints it with the helpers here: aligned text tables for tables,
+ASCII series for figures, and paper-vs-measured comparison rows for
+EXPERIMENTS.md.
+"""
+
+from repro.analysis.report import (
+    TextTable,
+    ascii_series,
+    comparison_table,
+    doubling_ratios,
+    format_bytes,
+)
+from repro.analysis.locality import (
+    amdahl_speedup,
+    spatial_locality_score,
+    working_set_knee,
+)
+
+__all__ = [
+    "TextTable",
+    "ascii_series",
+    "comparison_table",
+    "doubling_ratios",
+    "format_bytes",
+    "amdahl_speedup",
+    "spatial_locality_score",
+    "working_set_knee",
+]

@@ -1,0 +1,53 @@
+"""Locality analysis helpers for the Section 5.3 experiments."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+
+def working_set_knee(
+    miss_rates: Mapping[int, float], threshold: float = 0.35
+) -> int | None:
+    """The capacity at which the miss rate collapses (Fig. 14's knee).
+
+    Returns the smallest capacity whose miss rate falls below
+    ``threshold`` times the smallest-capacity rate, or ``None`` if the
+    sweep never gets there (the working set exceeds every cache
+    evaluated — the paper's direct-mapped caveat).
+    """
+    if not miss_rates:
+        raise ValueError("empty miss-rate sweep")
+    capacities = sorted(miss_rates)
+    base = miss_rates[capacities[0]]
+    if base == 0.0:
+        return capacities[0]
+    for cap in capacities:
+        if miss_rates[cap] < threshold * base:
+            return cap
+    return None
+
+
+def spatial_locality_score(miss_rates: Mapping[int, float]) -> float:
+    """Mean per-doubling improvement of a line-size sweep (Fig. 13).
+
+    2.0 means the miss rate exactly halves per line-size doubling —
+    perfectly sequential access; 1.0 means no spatial locality at all.
+    """
+    sizes = sorted(miss_rates)
+    if len(sizes) < 2:
+        raise ValueError("need at least two line sizes")
+    ratios = []
+    for a, b in zip(sizes, sizes[1:]):
+        if miss_rates[b] == 0.0:
+            continue
+        ratios.append(miss_rates[a] / miss_rates[b])
+    if not ratios:
+        raise ValueError("all larger-line miss rates are zero")
+    return sum(ratios) / len(ratios)
+
+
+def amdahl_speedup(serial_fraction: float, processors: int) -> float:
+    """Amdahl's law — the macroblock-level decomposition's ceiling."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError(f"serial fraction out of range: {serial_fraction}")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / processors)

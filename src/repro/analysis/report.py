@@ -1,0 +1,108 @@
+"""Text rendering: tables, ASCII series, paper-vs-measured rows."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class TextTable:
+    """A right-aligned monospace table (first column left-aligned)."""
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            parts = [cells[0].ljust(widths[0])]
+            parts += [c.rjust(w) for c, w in zip(cells[1:], widths[1:])]
+            return "  ".join(parts)
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_row(self.headers))
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(fmt_row(r) for r in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def ascii_series(
+    points: Iterable[tuple[float, float]],
+    width: int = 50,
+    label: str = "",
+) -> str:
+    """A one-line-per-point bar rendering of an (x, y) series."""
+    pts = list(points)
+    if not pts:
+        return f"{label}: (no data)"
+    peak = max(y for _, y in pts) or 1.0
+    lines = [label] if label else []
+    for x, y in pts:
+        bar = "#" * max(int(round(width * y / peak)), 0)
+        lines.append(f"  {_fmt(x):>8}  {bar} {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def comparison_table(
+    title: str,
+    rows: Iterable[tuple[str, object, object]],
+    paper_label: str = "paper",
+    measured_label: str = "measured",
+) -> str:
+    """Paper-vs-measured rows with a ratio column (EXPERIMENTS.md food)."""
+    table = TextTable(["case", paper_label, measured_label, "ratio"], title=title)
+    for name, paper, measured in rows:
+        ratio = ""
+        if isinstance(paper, (int, float)) and isinstance(measured, (int, float)) and paper:
+            ratio = f"{measured / paper:.2f}x"
+        table.add_row(name, paper, measured, ratio)
+    return table.render()
+
+
+def doubling_ratios(series: dict[int, float]) -> list[float]:
+    """Successive ratios y[k]/y[k+1] for doubling x keys (Fig. 13).
+
+    A value near 2.0 means the metric halves per doubling.
+    """
+    keys = sorted(series)
+    return [
+        series[a] / series[b] if series[b] else float("inf")
+        for a, b in zip(keys, keys[1:])
+    ]
+
+
+def format_bytes(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024:
+            return f"{n:.1f}{unit}"
+        n /= 1024
+    return f"{n:.1f}TB"

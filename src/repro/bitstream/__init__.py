@@ -1,0 +1,47 @@
+"""Bit-level I/O and MPEG start-code handling.
+
+MPEG streams are a sequence of variable-length codes interspersed with
+byte-aligned *start codes* (the 24-bit prefix ``0x000001`` followed by a
+one-byte code value).  This package provides:
+
+* :class:`~repro.bitstream.writer.BitWriter` — MSB-first bit emission.
+* :class:`~repro.bitstream.reader.BitReader` — MSB-first bit parsing with
+  cheap position save/restore (needed for speculative VLC decode).
+* :mod:`~repro.bitstream.startcodes` — the start-code constants of the
+  MPEG-2 video syntax and a fast scanner used by the paper's *scan
+  process* to find GOP / picture / slice boundaries without decoding.
+"""
+
+from repro.bitstream.reader import BitReader
+from repro.bitstream.writer import BitWriter
+from repro.bitstream.startcodes import (
+    START_CODE_PREFIX,
+    SEQUENCE_HEADER_CODE,
+    SEQUENCE_END_CODE,
+    GROUP_START_CODE,
+    PICTURE_START_CODE,
+    USER_DATA_START_CODE,
+    EXTENSION_START_CODE,
+    SLICE_START_CODE_MIN,
+    SLICE_START_CODE_MAX,
+    is_slice_start_code,
+    find_start_codes,
+    StartCodeHit,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "START_CODE_PREFIX",
+    "SEQUENCE_HEADER_CODE",
+    "SEQUENCE_END_CODE",
+    "GROUP_START_CODE",
+    "PICTURE_START_CODE",
+    "USER_DATA_START_CODE",
+    "EXTENSION_START_CODE",
+    "SLICE_START_CODE_MIN",
+    "SLICE_START_CODE_MAX",
+    "is_slice_start_code",
+    "find_start_codes",
+    "StartCodeHit",
+]

@@ -1,0 +1,56 @@
+"""Start-code emulation prevention.
+
+The paper's parallel decoders rely on start codes being unique,
+byte-aligned sync points: the scan process locates GOP / picture /
+slice tasks purely by searching for ``00 00 01``.  The real MPEG-2
+tables are hand-crafted so no legal VLC sequence emulates a start code;
+our constructed codebooks don't carry that guarantee, so we apply
+H.264-style emulation prevention at the byte layer instead: inside
+every payload, a ``00 00`` pair followed by a byte <= 0x03 gets a
+``0x03`` stuffing byte inserted.  The property "no ``00 00 01`` inside
+any escaped payload" is verified by the test suite, which is exactly
+the property the scan process needs.
+"""
+
+from __future__ import annotations
+
+
+def escape_payload(payload: bytes) -> bytes:
+    """Insert emulation-prevention bytes into ``payload``.
+
+    After escaping, the payload contains no ``00 00 0x`` pattern with
+    ``x <= 3``, hence no start-code prefix.
+    """
+    out = bytearray()
+    zeros = 0
+    for b in payload:
+        if zeros >= 2 and b <= 0x03:
+            out.append(0x03)
+            zeros = 0
+        out.append(b)
+        zeros = zeros + 1 if b == 0 else 0
+    return bytes(out)
+
+
+def unescape_payload(payload: bytes) -> bytes:
+    """Remove emulation-prevention bytes (inverse of escape_payload)."""
+    out = bytearray()
+    zeros = 0
+    i = 0
+    n = len(payload)
+    while i < n:
+        b = payload[i]
+        if zeros >= 2 and b == 0x03:
+            # Stuffing byte: drop it, reset the zero run.
+            zeros = 0
+            i += 1
+            continue
+        out.append(b)
+        zeros = zeros + 1 if b == 0 else 0
+        i += 1
+    return bytes(out)
+
+
+def contains_start_code_prefix(payload: bytes) -> bool:
+    """True if ``payload`` contains the ``00 00 01`` prefix."""
+    return b"\x00\x00\x01" in payload

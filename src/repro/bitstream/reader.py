@@ -1,0 +1,158 @@
+"""MSB-first bit reader used by the decoders.
+
+Decoding MPEG requires three access patterns, all provided here:
+
+* sequential ``read_bits`` for fixed-length fields,
+* ``peek_bits`` for table-driven VLC decode (look at up to *n* bits,
+  then consume only the matched codeword length),
+* byte alignment + start-code resynchronisation for the slice layer.
+
+The reader also counts the bits it hands out (``bits_consumed``), which
+feeds the paper-calibrated cycle cost model: bitstream parsing cost in
+the paper is proportional to the stream's bit rate, not the pixel rate.
+"""
+
+from __future__ import annotations
+
+
+class BitstreamError(Exception):
+    """Raised on malformed or truncated bitstream input."""
+
+
+class BitReader:
+    """Read an MSB-first bit string from ``bytes``.
+
+    Parameters
+    ----------
+    data:
+        The backing buffer.  It is not copied; treat it as immutable.
+    start_bit:
+        Bit offset at which reading starts (default 0).
+    """
+
+    __slots__ = ("_data", "_pos", "_nbits")
+
+    def __init__(self, data: bytes, start_bit: int = 0) -> None:
+        self._data = data
+        self._nbits = len(data) * 8
+        if not 0 <= start_bit <= self._nbits:
+            raise ValueError(f"start_bit {start_bit} out of range")
+        self._pos = start_bit
+
+    # ------------------------------------------------------------------
+    # position management
+    # ------------------------------------------------------------------
+    @property
+    def bit_position(self) -> int:
+        """Current absolute bit offset from the start of the buffer."""
+        return self._pos
+
+    @bit_position.setter
+    def bit_position(self, pos: int) -> None:
+        if not 0 <= pos <= self._nbits:
+            raise ValueError(f"bit position {pos} out of range")
+        self._pos = pos
+
+    @property
+    def bits_remaining(self) -> int:
+        return self._nbits - self._pos
+
+    @property
+    def is_aligned(self) -> bool:
+        return self._pos % 8 == 0
+
+    def align(self) -> None:
+        """Skip forward to the next byte boundary (no-op if aligned)."""
+        self._pos = (self._pos + 7) & ~7
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read_bits(self, nbits: int) -> int:
+        """Consume and return ``nbits`` bits as an unsigned integer."""
+        if nbits < 0:
+            raise ValueError(f"nbits must be >= 0, got {nbits}")
+        if nbits == 0:
+            return 0
+        pos = self._pos
+        end = pos + nbits
+        if end > self._nbits:
+            raise BitstreamError(
+                f"read past end of stream (want {nbits} bits at {pos}, "
+                f"have {self._nbits - pos})"
+            )
+        first = pos >> 3
+        last = (end + 7) >> 3
+        chunk = int.from_bytes(self._data[first:last], "big")
+        shift = last * 8 - end
+        self._pos = end
+        return (chunk >> shift) & ((1 << nbits) - 1)
+
+    def peek_bits(self, nbits: int) -> int:
+        """Return the next ``nbits`` bits without consuming them.
+
+        Bits past the end of the buffer read as zero — this lets
+        table-driven VLC decoders peek a fixed window near the stream
+        tail; an actual overrun is then caught when the decoded length
+        is consumed with :meth:`read_bits`.
+        """
+        if nbits < 0:
+            raise ValueError(f"nbits must be >= 0, got {nbits}")
+        if nbits == 0:
+            return 0
+        pos = self._pos
+        end = pos + nbits
+        pad = 0
+        if end > self._nbits:
+            pad = end - self._nbits
+            end = self._nbits
+        first = pos >> 3
+        last = (end + 7) >> 3
+        chunk = int.from_bytes(self._data[first:last], "big")
+        shift = last * 8 - end
+        got = end - pos
+        val = (chunk >> shift) & ((1 << got) - 1) if got else 0
+        return val << pad
+
+    def read_bit(self) -> int:
+        return self.read_bits(1)
+
+    def skip_bits(self, nbits: int) -> None:
+        if self._pos + nbits > self._nbits:
+            raise BitstreamError("skip past end of stream")
+        self._pos += nbits
+
+    def read_signed(self, nbits: int) -> int:
+        """Read a two's-complement signed value of ``nbits`` bits."""
+        raw = self.read_bits(nbits)
+        sign = 1 << (nbits - 1)
+        return raw - (1 << nbits) if raw & sign else raw
+
+    # ------------------------------------------------------------------
+    # start-code resynchronisation
+    # ------------------------------------------------------------------
+    def next_start_code(self) -> int | None:
+        """Align and scan forward to the next ``00 00 01 xx`` pattern.
+
+        Positions the reader *after* the 4-byte start code and returns
+        the code value ``xx``, or returns ``None`` (reader at EOF) if no
+        further start code exists.
+        """
+        self.align()
+        data = self._data
+        i = self._pos >> 3
+        n = len(data)
+        while True:
+            j = data.find(b"\x00\x00\x01", i)
+            if j < 0 or j + 3 >= n:
+                self._pos = self._nbits
+                return None
+            self._pos = (j + 4) * 8
+            return data[j + 3]
+
+    def at_start_code(self) -> bool:
+        """True if the (aligned) reader is positioned at a start code."""
+        if self._pos % 8:
+            return False
+        i = self._pos >> 3
+        return self._data[i : i + 3] == b"\x00\x00\x01"

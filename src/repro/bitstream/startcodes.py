@@ -1,0 +1,84 @@
+"""MPEG-2 video start codes and the fast scanner.
+
+The scanner is the substrate of the paper's *scan process*: it walks an
+encoded stream looking only for the byte-aligned ``00 00 01 xx``
+patterns, classifying each hit (sequence / GOP / picture / slice), and
+never touches the VLC-coded payload.  This is what makes the GOP-level
+and slice-level task queues cheap to build — tasks are located by
+scanning, not by decoding (Section 4 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The 24-bit byte-aligned prefix of every MPEG start code.
+START_CODE_PREFIX = 0x000001
+
+# Start-code values (ISO/IEC 13818-2 Table 6-1).
+PICTURE_START_CODE = 0x00
+SLICE_START_CODE_MIN = 0x01
+SLICE_START_CODE_MAX = 0xAF
+USER_DATA_START_CODE = 0xB2
+SEQUENCE_HEADER_CODE = 0xB3
+SEQUENCE_ERROR_CODE = 0xB4
+EXTENSION_START_CODE = 0xB5
+SEQUENCE_END_CODE = 0xB7
+GROUP_START_CODE = 0xB8
+
+
+def is_slice_start_code(code: int) -> bool:
+    """True for the slice start-code value range ``0x01..0xAF``.
+
+    The code value encodes ``slice_vertical_position`` (the macroblock
+    row the slice starts on, 1-based), which is how the scan process
+    can tell slices apart without decoding them.
+    """
+    return SLICE_START_CODE_MIN <= code <= SLICE_START_CODE_MAX
+
+
+@dataclass(frozen=True)
+class StartCodeHit:
+    """One start code located in a byte buffer.
+
+    Attributes
+    ----------
+    offset:
+        Byte offset of the first ``0x00`` of the 4-byte start code.
+    code:
+        The start-code value byte (e.g. ``GROUP_START_CODE``).
+    """
+
+    offset: int
+    code: int
+
+    @property
+    def payload_offset(self) -> int:
+        """Byte offset of the first byte after the 4-byte start code."""
+        return self.offset + 4
+
+    @property
+    def is_slice(self) -> bool:
+        return is_slice_start_code(self.code)
+
+
+def find_start_codes(
+    data: bytes, start: int = 0, end: int | None = None
+) -> list[StartCodeHit]:
+    """Locate every start code in ``data[start:end]``.
+
+    Runs at scan-process speed: a byte-level substring search with no
+    bit-level decoding.  Overlapping zero runs (e.g. ``00 00 00 01``)
+    are handled per the spec — any number of zero bytes may precede
+    the ``00 00 01`` prefix and the *last* possible alignment wins.
+    """
+    if end is None:
+        end = len(data)
+    hits: list[StartCodeHit] = []
+    i = start
+    while True:
+        j = data.find(b"\x00\x00\x01", i, end)
+        if j < 0 or j + 3 >= end:
+            return hits
+        hits.append(StartCodeHit(offset=j, code=data[j + 3]))
+        i = j + 4

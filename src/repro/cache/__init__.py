@@ -1,0 +1,30 @@
+"""Trace-driven cache simulation: the paper's locality study substrate.
+
+The paper drove a memory-system simulator with TangoLite-generated
+reference traces to characterise the decoder's spatial and temporal
+locality (Section 5.3, Figs. 13-15).  Here the instrumented decoder
+itself emits its logical accesses (bitstream reads, coefficient-buffer
+traffic, motion-compensation reference reads, reconstruction writes);
+:mod:`~repro.cache.trace` lays them out in a simulated address space
+and :mod:`~repro.cache.cachesim` replays them through set-associative
+caches with invalidation-based coherence and miss classification
+(cold / coherence / capacity+conflict).
+"""
+
+from repro.cache.trace import (
+    AccessRecorder,
+    AddressSpaceLayout,
+    MemoryTrace,
+    generate_decode_trace,
+)
+from repro.cache.cachesim import CacheConfig, CacheStats, simulate
+
+__all__ = [
+    "AccessRecorder",
+    "AddressSpaceLayout",
+    "MemoryTrace",
+    "generate_decode_trace",
+    "CacheConfig",
+    "CacheStats",
+    "simulate",
+]

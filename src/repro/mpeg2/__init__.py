@@ -1,0 +1,32 @@
+"""From-scratch MPEG-2 codec substrate.
+
+This package implements the codec the paper parallelizes: the layered
+sequence/GOP/picture/slice/macroblock/block syntax, variable-length
+coding, zig-zag scanning, quantization, the 8x8 DCT/IDCT, motion
+estimation and compensation, a complete encoder and the sequential
+reference decoder.
+
+The public surface mirrors the MPEG Software Simulation Group decoder
+the paper builds on:
+
+* :func:`repro.mpeg2.encoder.encode_sequence` — frames -> bitstream
+* :class:`repro.mpeg2.decoder.SequenceDecoder` — bitstream -> frames,
+  with slice- and GOP-granular entry points used by the parallel
+  decoders in :mod:`repro.parallel`.
+"""
+
+from repro.mpeg2.constants import PictureType, MACROBLOCK_SIZE, BLOCK_SIZE
+from repro.mpeg2.encoder import EncoderConfig, encode_sequence
+from repro.mpeg2.decoder import SequenceDecoder, decode_sequence
+from repro.mpeg2.gop import GopStructure
+
+__all__ = [
+    "PictureType",
+    "MACROBLOCK_SIZE",
+    "BLOCK_SIZE",
+    "EncoderConfig",
+    "encode_sequence",
+    "SequenceDecoder",
+    "decode_sequence",
+    "GopStructure",
+]

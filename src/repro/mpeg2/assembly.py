@@ -1,0 +1,72 @@
+"""Stream assembly: start-code framing + emulation-safe payloads.
+
+The encoder produces each syntactic unit (sequence header, GOP header,
+picture header, slice) as an independent byte payload; the assembler
+frames each with its start code and applies emulation prevention so
+start codes remain unique sync points (see
+:mod:`repro.bitstream.emulation`).  The decoder side extracts and
+unescapes payloads from the framed stream.
+"""
+
+from __future__ import annotations
+
+from repro.bitstream import (
+    SEQUENCE_END_CODE,
+    StartCodeHit,
+    find_start_codes,
+)
+from repro.bitstream.emulation import escape_payload, unescape_payload
+
+
+class StreamAssembler:
+    """Accumulates framed segments into a byte stream."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+        self._size = 0
+
+    def add_segment(self, code: int, payload: bytes) -> int:
+        """Frame ``payload`` with start code ``code``; returns wire size."""
+        if not 0 <= code <= 0xFF:
+            raise ValueError(f"start code value out of range: {code}")
+        framed = b"\x00\x00\x01" + bytes([code]) + escape_payload(payload)
+        self._parts.append(framed)
+        self._size += len(framed)
+        return len(framed)
+
+    def add_sequence_end(self) -> None:
+        self._parts.append(b"\x00\x00\x01" + bytes([SEQUENCE_END_CODE]))
+        self._size += 4
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+def segment_payload(data: bytes, hits: list[StartCodeHit], i: int) -> bytes:
+    """Extract and unescape the payload of the ``i``-th start-code hit.
+
+    The payload runs from just after the start code to the next start
+    code (or end of stream).
+    """
+    start = hits[i].payload_offset
+    end = hits[i + 1].offset if i + 1 < len(hits) else len(data)
+    return unescape_payload(data[start:end])
+
+
+def payload_range(data: bytes, hits: list[StartCodeHit], i: int) -> tuple[int, int]:
+    """Wire byte range (escaped form) of the ``i``-th hit's payload."""
+    start = hits[i].payload_offset
+    end = hits[i + 1].offset if i + 1 < len(hits) else len(data)
+    return start, end
+
+
+__all__ = [
+    "StreamAssembler",
+    "segment_payload",
+    "payload_range",
+    "find_start_codes",
+]

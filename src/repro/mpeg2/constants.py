@@ -1,0 +1,63 @@
+"""Shared constants of the MPEG-2 video syntax subset we implement.
+
+Scope (documented in DESIGN.md): 4:2:0 chroma, progressive frames,
+MPEG-1-style picture headers, half-pel motion vectors, linear
+quantiser-scale mapping.  These are the parts the paper's decoder
+exercises; interlace and scalability are explicitly out of scope there
+too (Section 7.3 lists them as future work).
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Luma samples per macroblock edge.
+MACROBLOCK_SIZE = 16
+#: Samples per DCT block edge.
+BLOCK_SIZE = 8
+#: Blocks per macroblock in 4:2:0 (4 luma + Cb + Cr).
+BLOCKS_PER_MACROBLOCK = 6
+
+#: Saturation bounds for dequantized DCT coefficients (ISO 13818-2 7.4.3).
+COEFF_MIN = -2048
+COEFF_MAX = 2047
+
+#: Quantized level bounds representable by the 12-bit escape coding.
+LEVEL_MIN = -2047
+LEVEL_MAX = 2047
+
+#: Intra-DC precision in bits (we fix 8: differential DC steps of 8).
+INTRA_DC_PRECISION = 8
+
+#: quantiser_scale_code is 5 bits, 1..31; linear mapping q = 2 * code.
+QSCALE_CODE_MIN = 1
+QSCALE_CODE_MAX = 31
+
+
+class PictureType(enum.IntEnum):
+    """picture_coding_type field values (ISO 11172-2 / 13818-2)."""
+
+    I = 1
+    P = 2
+    B = 3
+
+    @property
+    def is_reference(self) -> bool:
+        """I and P pictures are prediction references; B never is."""
+        return self is not PictureType.B
+
+    @property
+    def letter(self) -> str:
+        return self.name
+
+
+def quantiser_scale(code: int) -> int:
+    """Linear quantiser-scale mapping (MPEG-2 ``q_scale_type == 0``)."""
+    if not QSCALE_CODE_MIN <= code <= QSCALE_CODE_MAX:
+        raise ValueError(f"quantiser_scale_code out of range: {code}")
+    return 2 * code
+
+
+def mb_ceil(samples: int) -> int:
+    """Number of macroblocks covering ``samples`` pixels (pad to 16)."""
+    return (samples + MACROBLOCK_SIZE - 1) // MACROBLOCK_SIZE

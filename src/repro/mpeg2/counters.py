@@ -1,0 +1,58 @@
+"""Work counters: the decoder's self-instrumentation.
+
+The paper measures where decode time goes with ``pixie`` (ideal
+instruction counts) and ``prof`` (actual time).  Our analogue: every
+decode entry point fills a :class:`WorkCounters` with exact operation
+counts — bits parsed, blocks transformed, pixels predicted/written —
+and the cost model in :mod:`repro.smp.costs` converts those to
+simulated R4400 cycles.  Keeping the counters separate from the cost
+model lets benchmarks re-cost a single decode under different machine
+models (SMP vs DASH) without re-decoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class WorkCounters:
+    """Operation counts accumulated while decoding some unit of stream."""
+
+    #: Bits consumed from the bitstream (VLC + fixed fields).
+    bits: int = 0
+    #: VLC symbols decoded (table lookups).
+    vlc_symbols: int = 0
+    #: Headers parsed (sequence + GOP + picture + slice).
+    headers: int = 0
+    #: Macroblocks processed (decoded or skipped).
+    macroblocks: int = 0
+    #: Macroblocks reconstructed via motion compensation.
+    mc_macroblocks: int = 0
+    #: Macroblocks using bidirectional prediction (two fetches).
+    bidir_macroblocks: int = 0
+    #: 8x8 blocks run through inverse quantization + IDCT.
+    idct_blocks: int = 0
+    #: Nonzero coefficients decoded (run/level pairs).
+    coefficients: int = 0
+    #: Pixels fetched by motion compensation (all planes).
+    mc_pixels: int = 0
+    #: Pixels written to the output frame (all planes).
+    pixels: int = 0
+    #: Slices dropped and concealed by the resilient decoder.
+    concealed_slices: int = 0
+
+    def add(self, other: "WorkCounters") -> "WorkCounters":
+        """Accumulate ``other`` into self (returns self for chaining)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def copy(self) -> "WorkCounters":
+        return WorkCounters(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __bool__(self) -> bool:
+        return any(getattr(self, f.name) for f in fields(self))

@@ -1,0 +1,206 @@
+"""Sequential reference decoder, with GOP- and slice-granular entry points.
+
+:class:`SequenceDecoder` is the uniprocessor baseline of the paper.
+Its decomposition into :meth:`decode_gop`, :meth:`decode_picture` and
+the slice-level :func:`repro.mpeg2.macroblock.decode_slice` is exactly
+the task granularity menu of Section 4 — the parallel decoders in
+:mod:`repro.parallel` call these same entry points from worker
+processes.
+
+Reference management follows the standard: the two most recent I/P
+pictures are held; a P predicts from the newer one; a B predicts
+forward from the older and backward from the newer.  Decoded frames
+carry their temporal reference; display order is obtained by sorting
+within each (closed) GOP.
+"""
+
+from __future__ import annotations
+
+from repro.bitstream.emulation import unescape_payload
+from repro.bitstream.reader import BitstreamError
+from repro.mpeg2.blockcoding import BlockSyntaxError
+from repro.mpeg2.counters import WorkCounters
+from repro.mpeg2.frame import Frame
+from repro.mpeg2.index import (
+    GopIndex,
+    PictureIndex,
+    StreamIndex,
+    build_index,
+)
+from repro.mpeg2.macroblock import (
+    PictureCodingContext,
+    SliceDecodeError,
+    decode_slice,
+)
+from repro.mpeg2.reconstruct import copy_macroblock
+from repro.mpeg2.vlc import VLCError
+
+
+class DecodeError(Exception):
+    """Raised when reference pictures needed by the stream are missing."""
+
+
+#: Exceptions a corrupt slice payload can legitimately raise; the
+#: resilient decoder conceals the slice on any of these.
+SLICE_CORRUPTION_ERRORS = (
+    BitstreamError,
+    BlockSyntaxError,
+    SliceDecodeError,
+    VLCError,
+    ValueError,
+)
+
+
+def conceal_slice(ctx: PictureCodingContext, vertical_position: int) -> None:
+    """Replace a lost slice's macroblock row.
+
+    Classic concealment: copy the co-located row from the forward
+    reference when one exists, else fill mid-grey.  Slice independence
+    (predictors reset at every slice) is what confines the damage to
+    one row — the same property the parallel decomposition uses.
+    """
+    row = vertical_position - 1
+    if ctx.fwd is not None:
+        for col in range(ctx.mb_width):
+            copy_macroblock(ctx.out, ctx.fwd, row, col)
+    else:
+        y0 = row * 16
+        ctx.out.y[y0 : y0 + 16, :] = 128
+        ctx.out.cb[y0 // 2 : y0 // 2 + 8, :] = 128
+        ctx.out.cr[y0 // 2 : y0 // 2 + 8, :] = 128
+
+
+class SequenceDecoder:
+    """Decode a framed MPEG-2 stream produced by :mod:`repro.mpeg2.encoder`.
+
+    Parameters
+    ----------
+    data:
+        The complete coded stream.
+    index:
+        Optional pre-built scan index (the parallel decoders share one
+        index between the scan process and the workers).
+    resilient:
+        When true, a slice whose payload fails to parse is concealed
+        (see :func:`conceal_slice`) instead of aborting the decode.
+    """
+
+    def __init__(
+        self,
+        data: bytes,
+        index: StreamIndex | None = None,
+        resilient: bool = False,
+    ) -> None:
+        self.data = data
+        self.index = index if index is not None else build_index(data)
+        self.seq = self.index.sequence_header
+        self.resilient = resilient
+
+    # ------------------------------------------------------------------
+    # picture granularity
+    # ------------------------------------------------------------------
+    def decode_picture(
+        self,
+        pic: PictureIndex,
+        fwd: Frame | None,
+        bwd: Frame | None,
+        counters: WorkCounters | None = None,
+    ) -> Frame:
+        """Decode one picture given its reference frames."""
+        local = WorkCounters()
+        header = pic.header()
+        local.headers += 1
+        local.bits += (pic.header_payload_end - pic.header_payload_start + 4) * 8
+        out = Frame.blank(self.seq.width, self.seq.height)
+        out.temporal_reference = pic.temporal_reference
+        ctx = PictureCodingContext(
+            seq=self.seq, pic=header, out=out, fwd=fwd, bwd=bwd
+        )
+        if header.picture_type.letter != "I" and fwd is None:
+            raise DecodeError(
+                f"{header.picture_type.letter}-picture without forward reference"
+            )
+        if header.picture_type.letter == "B" and bwd is None:
+            raise DecodeError("B-picture without backward reference")
+        for sl in pic.slices:
+            payload = unescape_payload(
+                self.data[sl.payload_start : sl.payload_end]
+            )
+            if self.resilient:
+                try:
+                    decode_slice(payload, sl.vertical_position, ctx, local)
+                except SLICE_CORRUPTION_ERRORS:
+                    conceal_slice(ctx, sl.vertical_position)
+                    local.concealed_slices += 1
+            else:
+                decode_slice(payload, sl.vertical_position, ctx, local)
+        if counters is not None:
+            counters.add(local)
+        return out
+
+    def slice_payload(self, sl) -> bytes:
+        """Unescaped payload bytes of a slice (worker-process fetch)."""
+        return unescape_payload(self.data[sl.payload_start : sl.payload_end])
+
+    def make_context(
+        self, pic: PictureIndex, fwd: Frame | None, bwd: Frame | None
+    ) -> PictureCodingContext:
+        """Build a decode context with a fresh output frame.
+
+        Used by the slice-level parallel decoders, where many workers
+        decode slices of the same picture into one shared frame.
+        """
+        out = Frame.blank(self.seq.width, self.seq.height)
+        out.temporal_reference = pic.temporal_reference
+        return PictureCodingContext(
+            seq=self.seq, pic=pic.header(), out=out, fwd=fwd, bwd=bwd
+        )
+
+    # ------------------------------------------------------------------
+    # GOP granularity
+    # ------------------------------------------------------------------
+    def decode_gop(
+        self, gop: GopIndex, counters: WorkCounters | None = None
+    ) -> list[Frame]:
+        """Decode one closed GOP; returns frames in *display* order.
+
+        This is exactly the unit of work of a GOP-level worker process
+        (paper Section 5.1): the GOP is self-contained, so no state is
+        shared with other tasks.
+        """
+        if not gop.closed_gop:
+            raise DecodeError(
+                "GOP-level decode requires closed GOPs (paper assumption)"
+            )
+        local = WorkCounters()
+        local.headers += 1
+        local.bits += (gop.header_payload_end - gop.header_payload_start + 4) * 8
+        ref_old: Frame | None = None
+        ref_new: Frame | None = None
+        decoded: list[Frame] = []
+        for pic in gop.pictures:
+            if pic.picture_type.is_reference:
+                frame = self.decode_picture(pic, ref_new, None, local)
+                ref_old, ref_new = ref_new, frame
+            else:
+                frame = self.decode_picture(pic, ref_old, ref_new, local)
+            decoded.append(frame)
+        decoded.sort(key=lambda f: f.temporal_reference)
+        if counters is not None:
+            counters.add(local)
+        return decoded
+
+    # ------------------------------------------------------------------
+    # whole stream
+    # ------------------------------------------------------------------
+    def decode_all(self, counters: WorkCounters | None = None) -> list[Frame]:
+        """Decode the entire sequence in display order."""
+        frames: list[Frame] = []
+        for gop in self.index.gops:
+            frames.extend(self.decode_gop(gop, counters))
+        return frames
+
+
+def decode_sequence(data: bytes) -> list[Frame]:
+    """Convenience: decode a stream to display-ordered frames."""
+    return SequenceDecoder(data).decode_all()

@@ -1,0 +1,387 @@
+"""MPEG-2 encoder: produces the test streams the decoders consume.
+
+The paper generated its streams with the MPEG Software Simulation
+Group encoder; this module plays that role.  The structure matches the
+classic reference encoder:
+
+* GOP structure ``I (B B P)*`` with configurable size and I/P distance
+  (the paper fixes the distance at 3);
+* full-search motion estimation with half-pel refinement;
+* SAD-based inter/intra mode decision per macroblock;
+* one slice per macroblock row (the paper notes its streams, like most
+  public ones, have exactly this slice structure);
+* optional per-picture proportional rate control for the bit-rate
+  robustness experiment (paper Section 3).
+
+The encoder's reconstruction loop *is* the decoder: every reference
+picture is decoded back from its own freshly coded bits, making
+encoder references and decoder output bit-exact by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitstream import (
+    GROUP_START_CODE,
+    PICTURE_START_CODE,
+    SEQUENCE_HEADER_CODE,
+    BitWriter,
+)
+from repro.mpeg2.constants import (
+    MACROBLOCK_SIZE,
+    PictureType,
+    quantiser_scale,
+)
+from repro.mpeg2.dct import fdct
+from repro.mpeg2.frame import Frame
+from repro.mpeg2.gop import GopStructure
+from repro.mpeg2.headers import GopHeader, PictureHeader, SequenceHeader
+from repro.mpeg2.macroblock import (
+    MacroblockPlan,
+    PictureCodingContext,
+    decode_slice,
+    encode_slice,
+)
+from repro.mpeg2.motion import MotionVector, full_search, intra_activity
+from repro.mpeg2.mv_coding import required_f_code
+from repro.mpeg2.quant import quantize_intra, quantize_non_intra
+from repro.mpeg2.reconstruct import (
+    extract_macroblock,
+    form_prediction,
+    prediction_blocks,
+)
+from repro.mpeg2.scan import ALTERNATE, ZIGZAG, scan_block
+
+
+@dataclass
+class EncoderConfig:
+    """Knobs of the encoder.
+
+    ``qscale_code`` sets the base quantiser (1..31, quantiser scale is
+    twice that).  When ``target_bits_per_picture`` is set, a simple
+    proportional controller adapts the quantiser toward that budget —
+    enough to produce the "widely varying bit rates" of the paper's
+    Section 3 robustness check.
+    """
+
+    gop_size: int = 13
+    ip_distance: int = 3
+    qscale_code: int = 8
+    search_range: int = 7
+    frame_rate_code: int = 5
+    bit_rate: int = 5_000_000
+    target_bits_per_picture: int | None = None
+    #: Use the MPEG-2 alternate coefficient scan (interlace-oriented).
+    alternate_scan: bool = False
+    #: Inter mode wins when its SAD <= intra activity + this bias.
+    inter_bias: int = 64
+    #: Bidirectional mode gets this SAD head start over fwd/bwd-only.
+    bi_bias: int = 128
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.qscale_code <= 31:
+            raise ValueError(f"qscale_code out of range: {self.qscale_code}")
+        if self.search_range < 1:
+            raise ValueError("search_range must be >= 1")
+
+
+@dataclass
+class _PicturePlan:
+    """Mode decisions for one picture: plans per slice row + MV stats."""
+
+    rows: list[list[MacroblockPlan]]
+    max_fwd_component: int
+    max_bwd_component: int
+
+
+class _RateController:
+    """Proportional quantiser adaptation toward a per-picture bit budget."""
+
+    def __init__(self, base_code: int, target_bits: int | None) -> None:
+        self._q = float(base_code)
+        self._target = target_bits
+
+    @property
+    def qscale_code(self) -> int:
+        return int(round(min(max(self._q, 1.0), 31.0)))
+
+    def update(self, actual_bits: int) -> None:
+        if self._target is None or actual_bits <= 0:
+            return
+        ratio = actual_bits / self._target
+        # Square-root damping keeps the loop stable across scene cuts.
+        self._q = min(max(self._q * ratio**0.5, 1.0), 31.0)
+
+
+def encode_sequence(frames: list[Frame], config: EncoderConfig | None = None) -> bytes:
+    """Encode ``frames`` (display order) into a framed MPEG-2 stream."""
+    # Imported here: assembly imports bitstream only, no cycle, but keep
+    # the module namespace minimal at import time.
+    from repro.mpeg2.assembly import StreamAssembler
+
+    if not frames:
+        raise ValueError("cannot encode an empty sequence")
+    config = config or EncoderConfig()
+    width = frames[0].display_width
+    height = frames[0].display_height
+    for f in frames:
+        if (f.display_width, f.display_height) != (width, height):
+            raise ValueError("all frames must share one display size")
+
+    seq = SequenceHeader(
+        width=width,
+        height=height,
+        frame_rate_code=config.frame_rate_code,
+        bit_rate=config.bit_rate,
+    )
+    structure = GopStructure(config.gop_size, config.ip_distance)
+    if len(frames) % config.gop_size != 0:
+        raise ValueError(
+            f"frame count {len(frames)} is not a whole number of "
+            f"{config.gop_size}-picture GOPs"
+        )
+
+    assembler = StreamAssembler()
+    w = BitWriter()
+    seq.write(w)
+    assembler.add_segment(SEQUENCE_HEADER_CODE, w.getvalue())
+
+    rate = _RateController(config.qscale_code, config.target_bits_per_picture)
+    for gop_start in range(0, len(frames), config.gop_size):
+        gop_frames = frames[gop_start : gop_start + config.gop_size]
+        _encode_gop(
+            gop_frames, gop_start, seq, structure, config, assembler, rate
+        )
+    assembler.add_sequence_end()
+    return assembler.getvalue()
+
+
+def _encode_gop(
+    gop_frames: list[Frame],
+    gop_start: int,
+    seq: SequenceHeader,
+    structure: GopStructure,
+    config: EncoderConfig,
+    assembler,
+    rate: _RateController,
+) -> None:
+    w = BitWriter()
+    GopHeader(
+        time_code_pictures=gop_start,
+        closed_gop=True,
+        broken_link=False,
+        frame_rate=seq.frame_rate,
+    ).write(w)
+    assembler.add_segment(GROUP_START_CODE, w.getvalue())
+
+    ref_old: Frame | None = None
+    ref_new: Frame | None = None
+    for display_idx in structure.coding_order():
+        ptype = structure.type_of(display_idx)
+        if ptype.is_reference:
+            fwd, bwd = ref_new, None
+        else:
+            fwd, bwd = ref_old, ref_new
+        recon = _encode_picture(
+            gop_frames[display_idx],
+            display_idx,
+            ptype,
+            fwd,
+            bwd,
+            seq,
+            config,
+            assembler,
+            rate,
+        )
+        if ptype.is_reference:
+            ref_old, ref_new = ref_new, recon
+
+
+def _encode_picture(
+    source: Frame,
+    temporal_reference: int,
+    ptype: PictureType,
+    fwd: Frame | None,
+    bwd: Frame | None,
+    seq: SequenceHeader,
+    config: EncoderConfig,
+    assembler,
+    rate: _RateController,
+) -> Frame | None:
+    """Encode one picture; returns its reconstruction if it is a reference."""
+    qscale_code = rate.qscale_code
+    plan = _decide_modes(source, ptype, fwd, bwd, config, seq, qscale_code)
+
+    header = PictureHeader(
+        temporal_reference=temporal_reference,
+        picture_type=ptype,
+        forward_f_code=required_f_code(plan.max_fwd_component),
+        backward_f_code=required_f_code(plan.max_bwd_component),
+        alternate_scan=config.alternate_scan,
+    )
+    w = BitWriter()
+    header.write(w)
+    picture_bits = 8 * assembler.add_segment(PICTURE_START_CODE, w.getvalue())
+
+    slice_payloads: list[bytes] = []
+    mbw = source.mb_width
+    for row, row_plans in enumerate(plan.rows):
+        w = BitWriter()
+        encode_slice(w, row_plans, row, mbw, qscale_code, header)
+        w.align()
+        payload = w.getvalue()
+        slice_payloads.append(payload)
+        picture_bits += 8 * assembler.add_segment(row + 1, payload)
+    rate.update(picture_bits)
+
+    if not ptype.is_reference:
+        return None
+    # Decode-back reconstruction: references are rebuilt from the coded
+    # bits themselves, so encoder refs == decoder output bit-for-bit.
+    out = Frame.blank(source.display_width, source.display_height)
+    out.temporal_reference = temporal_reference
+    ctx = PictureCodingContext(seq=seq, pic=header, out=out, fwd=fwd, bwd=bwd)
+    for row, payload in enumerate(slice_payloads):
+        decode_slice(payload, row + 1, ctx)
+    return out
+
+
+# ======================================================================
+# mode decision
+# ======================================================================
+def _decide_modes(
+    source: Frame,
+    ptype: PictureType,
+    fwd: Frame | None,
+    bwd: Frame | None,
+    config: EncoderConfig,
+    seq: SequenceHeader,
+    qscale_code: int,
+) -> _PicturePlan:
+    qscale = quantiser_scale(qscale_code)
+    order = ALTERNATE if config.alternate_scan else ZIGZAG
+    mbw, mbh = source.mb_width, source.mb_height
+    rows: list[list[MacroblockPlan]] = []
+    max_fwd = max_bwd = 0
+
+    for row in range(mbh):
+        plans: list[MacroblockPlan] = []
+        for col in range(mbw):
+            address = row * mbw + col
+            first_or_last = col == 0 or col == mbw - 1
+            mb_plan, fwd_mag, bwd_mag = _decide_macroblock(
+                source, row, col, address, ptype, fwd, bwd, config, seq,
+                qscale, order,
+            )
+            max_fwd = max(max_fwd, fwd_mag)
+            max_bwd = max(max_bwd, bwd_mag)
+            if mb_plan is None:
+                continue
+            if _can_skip(mb_plan, plans, ptype, first_or_last):
+                continue
+            plans.append(mb_plan)
+        rows.append(plans)
+    return _PicturePlan(rows=rows, max_fwd_component=max_fwd, max_bwd_component=max_bwd)
+
+
+def _can_skip(
+    plan: MacroblockPlan,
+    previous: list[MacroblockPlan],
+    ptype: PictureType,
+    first_or_last: bool,
+) -> bool:
+    """MPEG skipped-macroblock legality + profitability check."""
+    if first_or_last or plan.intra or plan.cbp != 0:
+        return False
+    if ptype is PictureType.P:
+        # P skip reconstructs a co-located copy: requires the zero vector.
+        return plan.mv_fwd == MotionVector.ZERO
+    if ptype is PictureType.B:
+        # B skip repeats the mode and vectors of the last *coded*
+        # macroblock (skipped ones don't change that state, so chains
+        # of skips against the same coded MB are fine).
+        if not previous:
+            return False
+        prev = previous[-1]
+        if prev.intra:
+            return False
+        return prev.mv_fwd == plan.mv_fwd and prev.mv_bwd == plan.mv_bwd
+    return False
+
+
+def _decide_macroblock(
+    source: Frame,
+    row: int,
+    col: int,
+    address: int,
+    ptype: PictureType,
+    fwd: Frame | None,
+    bwd: Frame | None,
+    config: EncoderConfig,
+    seq: SequenceHeader,
+    qscale: int,
+    order,
+) -> tuple[MacroblockPlan | None, int, int]:
+    """Choose the coding mode of one macroblock.
+
+    Returns (plan, max |fwd component|, max |bwd component|); the plan
+    is never None (skipping is decided by the caller, which needs
+    neighbour context).
+    """
+    cur = extract_macroblock(source, row, col)
+    y0, x0 = row * MACROBLOCK_SIZE, col * MACROBLOCK_SIZE
+    luma = source.y[y0 : y0 + 16, x0 : x0 + 16]
+
+    if ptype is PictureType.I:
+        return _intra_plan(cur, address, seq, qscale, order), 0, 0
+
+    assert fwd is not None
+    est_f = full_search(luma, fwd.y, y0, x0, config.search_range)
+    mv_fwd: MotionVector | None = est_f.mv
+    mv_bwd: MotionVector | None = None
+    best_sad = est_f.sad
+
+    if ptype is PictureType.B:
+        assert bwd is not None
+        est_b = full_search(luma, bwd.y, y0, x0, config.search_range)
+        pred_bi = form_prediction(row, col, est_f.mv, est_b.mv, fwd, bwd)
+        sad_bi = int(np.abs(pred_bi.y - luma.astype(np.int32)).sum())
+        choices = [
+            (est_f.sad, est_f.mv, None),
+            (est_b.sad, None, est_b.mv),
+            (sad_bi - config.bi_bias, est_f.mv, est_b.mv),
+        ]
+        best_sad, mv_fwd, mv_bwd = min(choices, key=lambda c: c[0])
+
+    activity = intra_activity(luma)
+    if best_sad > activity + config.inter_bias:
+        return _intra_plan(cur, address, seq, qscale, order), 0, 0
+
+    pred = form_prediction(row, col, mv_fwd, mv_bwd, fwd, bwd)
+    residual = cur - prediction_blocks(pred)
+    coeffs = fdct(residual)
+    levels = quantize_non_intra(coeffs, seq.non_intra_quant_matrix, qscale)
+    plan = MacroblockPlan(
+        address=address,
+        intra=False,
+        levels=scan_block(levels, order),
+        mv_fwd=mv_fwd,
+        mv_bwd=mv_bwd,
+    )
+    fwd_mag = max(abs(mv_fwd.dy), abs(mv_fwd.dx)) if mv_fwd else 0
+    bwd_mag = max(abs(mv_bwd.dy), abs(mv_bwd.dx)) if mv_bwd else 0
+    return plan, fwd_mag, bwd_mag
+
+
+def _intra_plan(
+    cur: np.ndarray, address: int, seq: SequenceHeader, qscale: int,
+    order=ZIGZAG,
+) -> MacroblockPlan:
+    coeffs = fdct(cur)
+    levels = quantize_intra(coeffs, seq.intra_quant_matrix, qscale)
+    return MacroblockPlan(
+        address=address, intra=True, levels=scan_block(levels, order)
+    )

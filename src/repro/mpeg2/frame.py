@@ -1,0 +1,138 @@
+"""Decoded-picture storage: 4:2:0 YCbCr frames padded to macroblocks.
+
+A coded picture covers an integer number of 16x16 macroblocks; display
+dimensions may be smaller (e.g. the paper's 176x120 streams are coded
+as 176x128 with 8 macroblock rows).  Planes are stored at coded size;
+:meth:`Frame.display_view` crops to the display rectangle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mpeg2.constants import MACROBLOCK_SIZE, mb_ceil
+
+
+@dataclass
+class Frame:
+    """One 4:2:0 picture: full-resolution Y, quarter-resolution Cb/Cr.
+
+    Attributes
+    ----------
+    y, cb, cr:
+        ``uint8`` planes at *coded* size (multiples of 16 / 8).
+    display_width, display_height:
+        The visible rectangle (<= coded size).
+    """
+
+    y: np.ndarray
+    cb: np.ndarray
+    cr: np.ndarray
+    display_width: int
+    display_height: int
+    temporal_reference: int = field(default=0, compare=False)
+
+    @classmethod
+    def blank(cls, width: int, height: int) -> "Frame":
+        """A zeroed frame for a ``width`` x ``height`` display size."""
+        mbw, mbh = mb_ceil(width), mb_ceil(height)
+        cw, ch = mbw * MACROBLOCK_SIZE, mbh * MACROBLOCK_SIZE
+        return cls(
+            y=np.zeros((ch, cw), dtype=np.uint8),
+            cb=np.zeros((ch // 2, cw // 2), dtype=np.uint8),
+            cr=np.zeros((ch // 2, cw // 2), dtype=np.uint8),
+            display_width=width,
+            display_height=height,
+        )
+
+    @classmethod
+    def from_planes(
+        cls, y: np.ndarray, cb: np.ndarray, cr: np.ndarray
+    ) -> "Frame":
+        """Build a frame from display-size planes, padding to coded size.
+
+        Padding replicates the edge rows/columns, which keeps motion
+        estimation near the border well behaved (no artificial black
+        band creating spurious residual energy).
+        """
+        h, w = y.shape
+        if cb.shape != (h // 2, w // 2) or cr.shape != (h // 2, w // 2):
+            raise ValueError(
+                f"chroma shape {cb.shape} does not match 4:2:0 for luma {y.shape}"
+            )
+        frame = cls.blank(w, h)
+        ch, cw = frame.y.shape
+        frame.y[:, :] = _edge_pad(y, ch, cw)
+        frame.cb[:, :] = _edge_pad(cb, ch // 2, cw // 2)
+        frame.cr[:, :] = _edge_pad(cr, ch // 2, cw // 2)
+        return frame
+
+    # ------------------------------------------------------------------
+    @property
+    def coded_width(self) -> int:
+        return self.y.shape[1]
+
+    @property
+    def coded_height(self) -> int:
+        return self.y.shape[0]
+
+    @property
+    def mb_width(self) -> int:
+        """Macroblocks per row."""
+        return self.coded_width // MACROBLOCK_SIZE
+
+    @property
+    def mb_height(self) -> int:
+        """Macroblock rows (== slices per picture in the paper's streams)."""
+        return self.coded_height // MACROBLOCK_SIZE
+
+    @property
+    def nbytes(self) -> int:
+        """Stored size in bytes (what the paper's memory model counts)."""
+        return self.y.nbytes + self.cb.nbytes + self.cr.nbytes
+
+    def display_view(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Crop planes to the display rectangle (views, no copies)."""
+        w, h = self.display_width, self.display_height
+        return (
+            self.y[:h, :w],
+            self.cb[: (h + 1) // 2, : (w + 1) // 2],
+            self.cr[: (h + 1) // 2, : (w + 1) // 2],
+        )
+
+    def copy(self) -> "Frame":
+        return Frame(
+            y=self.y.copy(),
+            cb=self.cb.copy(),
+            cr=self.cr.copy(),
+            display_width=self.display_width,
+            display_height=self.display_height,
+            temporal_reference=self.temporal_reference,
+        )
+
+    def same_pixels(self, other: "Frame") -> bool:
+        """Bit-exact equality of the display rectangles."""
+        mine = self.display_view()
+        theirs = other.display_view()
+        return all(np.array_equal(a, b) for a, b in zip(mine, theirs))
+
+
+def _edge_pad(plane: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Pad ``plane`` to ``(out_h, out_w)`` by replicating its edges."""
+    h, w = plane.shape
+    if (h, w) == (out_h, out_w):
+        return plane
+    return np.pad(plane, ((0, out_h - h), (0, out_w - w)), mode="edge")
+
+
+def frame_bytes(width: int, height: int) -> int:
+    """Bytes of one coded 4:2:0 frame for a display size.
+
+    This is the ``frames(x)`` unit of the paper's analytical memory
+    model (Fig. 9): 1.5 bytes per coded pixel.
+    """
+    cw = mb_ceil(width) * MACROBLOCK_SIZE
+    ch = mb_ceil(height) * MACROBLOCK_SIZE
+    return cw * ch * 3 // 2

@@ -1,0 +1,214 @@
+"""Scan-built stream index: the data structure the scan process makes.
+
+The paper's scan process reads the stream, finds start codes, and
+builds the task queues — GOP tasks for the coarse-grained decoder,
+picture/slice tasks for the fine-grained one — *without decoding*
+(Section 5.1, Table 2).  :func:`build_index` is that operation: a
+single pass over the bytes locating every sequence / GOP / picture /
+slice boundary.  Picture headers (a few bytes each) are additionally
+parsed for the temporal reference and picture type; the paper notes
+the scan process can read the type field to construct closed tasks.
+
+Byte counts recorded here feed the scan-rate model (Table 2) and the
+memory model (Figs. 8-9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bitstream import (
+    GROUP_START_CODE,
+    PICTURE_START_CODE,
+    SEQUENCE_END_CODE,
+    SEQUENCE_HEADER_CODE,
+    find_start_codes,
+)
+from repro.bitstream.emulation import unescape_payload
+from repro.bitstream.reader import BitReader
+from repro.mpeg2.constants import PictureType, mb_ceil
+from repro.mpeg2.headers import GopHeader, PictureHeader, SequenceHeader
+
+
+class StreamIndexError(Exception):
+    """Raised on streams whose layering is malformed."""
+
+
+@dataclass
+class SliceIndex:
+    """One slice: vertical position + wire byte range of its payload."""
+
+    vertical_position: int
+    payload_start: int
+    payload_end: int
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes on the wire including the 4-byte start code."""
+        return (self.payload_end - self.payload_start) + 4
+
+
+@dataclass
+class PictureIndex:
+    """One picture: header info + its slices."""
+
+    picture_type: PictureType
+    temporal_reference: int
+    forward_f_code: int
+    backward_f_code: int
+    alternate_scan: bool
+    header_payload_start: int
+    header_payload_end: int
+    slices: list[SliceIndex] = field(default_factory=list)
+
+    @property
+    def start_offset(self) -> int:
+        """Wire offset of the picture start code."""
+        return self.header_payload_start - 4
+
+    @property
+    def end_offset(self) -> int:
+        return self.slices[-1].payload_end if self.slices else self.header_payload_end
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.end_offset - self.start_offset
+
+    def header(self) -> PictureHeader:
+        return PictureHeader(
+            temporal_reference=self.temporal_reference,
+            picture_type=self.picture_type,
+            forward_f_code=self.forward_f_code,
+            backward_f_code=self.backward_f_code,
+            alternate_scan=self.alternate_scan,
+        )
+
+
+@dataclass
+class GopIndex:
+    """One group of pictures: header flags + its pictures."""
+
+    closed_gop: bool
+    broken_link: bool
+    header_payload_start: int
+    header_payload_end: int
+    pictures: list[PictureIndex] = field(default_factory=list)
+
+    @property
+    def start_offset(self) -> int:
+        return self.header_payload_start - 4
+
+    @property
+    def end_offset(self) -> int:
+        return self.pictures[-1].end_offset if self.pictures else self.header_payload_end
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.end_offset - self.start_offset
+
+    def display_order(self) -> list[int]:
+        """Positions (coding order) sorted by temporal reference."""
+        return sorted(
+            range(len(self.pictures)),
+            key=lambda i: self.pictures[i].temporal_reference,
+        )
+
+
+@dataclass
+class StreamIndex:
+    """The complete scan product for one coded video sequence."""
+
+    sequence_header: SequenceHeader
+    gops: list[GopIndex]
+    total_bytes: int
+
+    @property
+    def picture_count(self) -> int:
+        return sum(len(g.pictures) for g in self.gops)
+
+    @property
+    def slice_count(self) -> int:
+        return sum(len(p.slices) for g in self.gops for p in g.pictures)
+
+    @property
+    def slices_per_picture(self) -> int:
+        """Slices in the first picture (uniform in our streams)."""
+        return len(self.gops[0].pictures[0].slices)
+
+    @property
+    def mb_width(self) -> int:
+        return mb_ceil(self.sequence_header.width)
+
+    @property
+    def mb_height(self) -> int:
+        return mb_ceil(self.sequence_header.height)
+
+
+def build_index(data: bytes) -> StreamIndex:
+    """Single-pass scan of ``data`` into a :class:`StreamIndex`.
+
+    This is the computational content of the paper's scan process; its
+    cost model charges cycles per byte scanned (Table 2).
+    """
+    hits = find_start_codes(data)
+    if not hits or hits[0].code != SEQUENCE_HEADER_CODE:
+        raise StreamIndexError("stream does not begin with a sequence header")
+
+    seq: SequenceHeader | None = None
+    gops: list[GopIndex] = []
+    current_gop: GopIndex | None = None
+    current_pic: PictureIndex | None = None
+
+    for i, hit in enumerate(hits):
+        start = hit.payload_offset
+        end = hits[i + 1].offset if i + 1 < len(hits) else len(data)
+        if hit.code == SEQUENCE_HEADER_CODE:
+            if seq is not None:
+                raise StreamIndexError("repeated sequence header unsupported")
+            seq = SequenceHeader.read(BitReader(unescape_payload(data[start:end])))
+        elif hit.code == GROUP_START_CODE:
+            if seq is None:
+                raise StreamIndexError("GOP before sequence header")
+            gh = GopHeader.read(
+                BitReader(unescape_payload(data[start:end])), seq.frame_rate
+            )
+            current_gop = GopIndex(
+                closed_gop=gh.closed_gop,
+                broken_link=gh.broken_link,
+                header_payload_start=start,
+                header_payload_end=end,
+            )
+            gops.append(current_gop)
+            current_pic = None
+        elif hit.code == PICTURE_START_CODE:
+            if current_gop is None:
+                raise StreamIndexError("picture outside any GOP")
+            ph = PictureHeader.read(BitReader(unescape_payload(data[start:end])))
+            current_pic = PictureIndex(
+                picture_type=ph.picture_type,
+                temporal_reference=ph.temporal_reference,
+                forward_f_code=ph.forward_f_code,
+                backward_f_code=ph.backward_f_code,
+                alternate_scan=ph.alternate_scan,
+                header_payload_start=start,
+                header_payload_end=end,
+            )
+            current_gop.pictures.append(current_pic)
+        elif hit.is_slice:
+            if current_pic is None:
+                raise StreamIndexError("slice outside any picture")
+            current_pic.slices.append(
+                SliceIndex(
+                    vertical_position=hit.code,
+                    payload_start=start,
+                    payload_end=end,
+                )
+            )
+        elif hit.code == SEQUENCE_END_CODE:
+            break
+        else:
+            raise StreamIndexError(f"unexpected start code 0x{hit.code:02X}")
+
+    if seq is None or not gops:
+        raise StreamIndexError("stream contains no GOPs")
+    return StreamIndex(sequence_header=seq, gops=gops, total_bytes=len(data))

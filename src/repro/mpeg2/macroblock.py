@@ -1,0 +1,556 @@
+"""Macroblock and slice layer: syntax, predictors, reconstruction.
+
+This module implements both directions of the slice payload syntax:
+
+* :func:`encode_slice` serialises a row of macroblock *plans* (the
+  encoder's mode decisions) into slice payload bits;
+* :func:`decode_slice` parses a slice payload and reconstructs its
+  macroblocks into the output frame.
+
+Both share :class:`SliceState` — the DC predictors, motion-vector
+predictors (PMVs) and quantiser scale that MPEG threads through a
+slice.  All predictors reset at slice boundaries, which is the
+property that makes slices independently decodable and thus usable as
+parallel tasks (paper Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bitstream import BitReader, BitWriter
+from repro.mpeg2 import mv_coding
+from repro.mpeg2.blockcoding import decode_block, encode_block
+from repro.mpeg2.constants import PictureType, quantiser_scale
+from repro.mpeg2.counters import WorkCounters
+from repro.mpeg2.dct import idct_rounded
+from repro.mpeg2.frame import Frame
+from repro.mpeg2.headers import PictureHeader, SequenceHeader, SliceHeader
+from repro.mpeg2.motion import MotionVector
+from repro.mpeg2.quant import dequantize_intra, dequantize_non_intra
+from repro.mpeg2.reconstruct import (
+    Prediction,
+    copy_macroblock,
+    form_prediction,
+    write_macroblock,
+)
+from repro.mpeg2.scan import ALTERNATE, ZIGZAG, unscan_block
+from repro.mpeg2.tables import (
+    CODED_BLOCK_PATTERN,
+    DC_SIZE_CHROMA,
+    DC_SIZE_LUMA,
+    MB_ADDRESS_INCREMENT,
+    MB_TYPE_TABLES,
+    MBA_ESCAPE,
+    MBA_ESCAPE_VALUE,
+    MbMode,
+)
+
+#: Initial/reset value of the intra DC predictors (level space).
+DC_PREDICTOR_RESET = 128
+
+
+class SliceDecodeError(Exception):
+    """Raised on syntactically impossible slice payloads."""
+
+
+@dataclass
+class SliceState:
+    """Predictor state threaded through one slice (both directions)."""
+
+    qscale_code: int
+    dc_pred: list[int] = field(
+        default_factory=lambda: [DC_PREDICTOR_RESET] * 3
+    )
+    pmv_fwd: MotionVector = MotionVector.ZERO
+    pmv_bwd: MotionVector = MotionVector.ZERO
+    #: (mc_fwd, mc_bwd) of the previous macroblock — B skipped-MB rule.
+    prev_motion: tuple[bool, bool] | None = None
+    #: Absolute vectors of the previous macroblock (B skipped-MB rule).
+    prev_mv_fwd: MotionVector = MotionVector.ZERO
+    prev_mv_bwd: MotionVector = MotionVector.ZERO
+
+    @property
+    def qscale(self) -> int:
+        return quantiser_scale(self.qscale_code)
+
+    def reset_dc(self) -> None:
+        self.dc_pred = [DC_PREDICTOR_RESET] * 3
+
+    def reset_pmv(self) -> None:
+        self.pmv_fwd = MotionVector.ZERO
+        self.pmv_bwd = MotionVector.ZERO
+
+
+@dataclass(frozen=True)
+class MacroblockPlan:
+    """One coded macroblock as decided by the encoder.
+
+    ``levels`` is the (6, 64) scan-ordered quantized coefficient
+    array; all-zero rows become uncoded blocks via the CBP.  Motion
+    vectors are absolute, in half-pel luma units.
+    """
+
+    address: int
+    intra: bool
+    levels: np.ndarray
+    mv_fwd: MotionVector | None = None
+    mv_bwd: MotionVector | None = None
+
+    def __post_init__(self) -> None:
+        if self.levels.shape != (6, 64):
+            raise ValueError(f"levels must be (6, 64), got {self.levels.shape}")
+        if self.intra and (self.mv_fwd or self.mv_bwd):
+            raise ValueError("intra macroblock with motion vectors")
+
+    @property
+    def cbp(self) -> int:
+        """Coded block pattern: bit (32 >> i) set if block i has data."""
+        pattern = 0
+        for i in range(6):
+            if np.any(self.levels[i]):
+                pattern |= 32 >> i
+        return pattern
+
+
+def _dc_index(block: int) -> int:
+    """DC predictor index for block 0..5: luma, Cb, Cr."""
+    return 0 if block < 4 else block - 3
+
+
+# ======================================================================
+# encoding
+# ======================================================================
+def encode_slice(
+    w: BitWriter,
+    plans: list[MacroblockPlan],
+    row: int,
+    mb_width: int,
+    qscale_code: int,
+    pic: PictureHeader,
+) -> None:
+    """Serialise the coded macroblocks of one slice (one MB row).
+
+    ``plans`` must be sorted by address, start with the row's first
+    macroblock and end with its last (MPEG forbids skipping either).
+    Gaps between consecutive plans become skipped macroblocks.
+    """
+    row_start = row * mb_width
+    row_last = row_start + mb_width - 1
+    if not plans:
+        raise ValueError("a slice must contain at least one macroblock")
+    if plans[0].address != row_start or plans[-1].address != row_last:
+        raise ValueError(
+            "first and last macroblock of a slice cannot be skipped "
+            f"(got {plans[0].address}..{plans[-1].address} for row {row})"
+        )
+
+    SliceHeader(quantiser_scale_code=qscale_code).write(w)
+    state = SliceState(qscale_code=qscale_code)
+    prev_addr = row_start - 1
+    for plan in plans:
+        increment = plan.address - prev_addr
+        if increment < 1:
+            raise ValueError("macroblock addresses must be strictly increasing")
+        # Skipped macroblocks update predictor state exactly as the
+        # decoder will (see _apply_skip_state).
+        for _ in range(increment - 1):
+            _apply_skip_state(state, pic.picture_type)
+        while increment > 33:
+            MB_ADDRESS_INCREMENT.encode(w, MBA_ESCAPE)
+            increment -= MBA_ESCAPE_VALUE
+        MB_ADDRESS_INCREMENT.encode(w, increment)
+        _encode_macroblock(w, plan, state, pic)
+        prev_addr = plan.address
+
+
+def _encode_macroblock(
+    w: BitWriter, plan: MacroblockPlan, state: SliceState, pic: PictureHeader
+) -> None:
+    ptype = pic.picture_type
+    cbp = plan.cbp
+    mode = _plan_mode(plan, cbp, ptype)
+    MB_TYPE_TABLES[ptype].encode(w, mode)
+
+    if mode.quant:
+        w.write_bits(state.qscale_code, 5)
+
+    if mode.mc_fwd:
+        assert plan.mv_fwd is not None
+        mv_coding.encode_component(
+            w, plan.mv_fwd.dx, state.pmv_fwd.dx, pic.forward_f_code
+        )
+        mv_coding.encode_component(
+            w, plan.mv_fwd.dy, state.pmv_fwd.dy, pic.forward_f_code
+        )
+        state.pmv_fwd = plan.mv_fwd
+    if mode.mc_bwd:
+        assert plan.mv_bwd is not None
+        mv_coding.encode_component(
+            w, plan.mv_bwd.dx, state.pmv_bwd.dx, pic.backward_f_code
+        )
+        mv_coding.encode_component(
+            w, plan.mv_bwd.dy, state.pmv_bwd.dy, pic.backward_f_code
+        )
+        state.pmv_bwd = plan.mv_bwd
+
+    if mode.coded:
+        CODED_BLOCK_PATTERN.encode(w, cbp)
+
+    if mode.intra:
+        for i in range(6):
+            table = DC_SIZE_LUMA if i < 4 else DC_SIZE_CHROMA
+            di = _dc_index(i)
+            state.dc_pred[di] = encode_block(
+                w,
+                plan.levels[i],
+                intra=True,
+                dc_table=table,
+                dc_predictor=state.dc_pred[di],
+            )
+    else:
+        for i in range(6):
+            if cbp & (32 >> i):
+                encode_block(w, plan.levels[i], intra=False)
+
+    _apply_coded_state(state, mode, plan.mv_fwd, plan.mv_bwd, ptype)
+
+
+def _plan_mode(plan: MacroblockPlan, cbp: int, ptype: PictureType) -> MbMode:
+    """Derive the macroblock_type flags for a plan (encoder side)."""
+    if plan.intra:
+        return MbMode(intra=True)
+    if ptype is PictureType.P:
+        if plan.mv_fwd is None:
+            raise ValueError("P inter macroblock needs a forward vector")
+        if cbp == 0:
+            # No coefficients: must signal MC (there is no "nothing" MB).
+            return MbMode(mc_fwd=True)
+        if plan.mv_fwd == MotionVector.ZERO:
+            # The no-MC shortcut: zero vector implied, PMV reset.
+            return MbMode(coded=True)
+        return MbMode(mc_fwd=True, coded=True)
+    if ptype is PictureType.B:
+        fwd = plan.mv_fwd is not None
+        bwd = plan.mv_bwd is not None
+        if not (fwd or bwd):
+            raise ValueError("B inter macroblock needs at least one vector")
+        return MbMode(mc_fwd=fwd, mc_bwd=bwd, coded=cbp != 0)
+    raise ValueError("I-pictures contain only intra macroblocks")
+
+
+# ======================================================================
+# decoding
+# ======================================================================
+@dataclass
+class PictureCodingContext:
+    """Everything a slice needs to decode: headers, references, output.
+
+    ``trace``, when set, is an access recorder (see
+    :class:`repro.cache.trace.AccessRecorder`) that receives logical
+    memory-access events as the slice decodes — the substrate of the
+    paper's TangoLite locality study.  It is duck-typed here so the
+    codec has no dependency on the cache package.
+    """
+
+    seq: SequenceHeader
+    pic: PictureHeader
+    out: Frame
+    fwd: Frame | None = None
+    bwd: Frame | None = None
+    trace: object | None = None
+
+    @property
+    def mb_width(self) -> int:
+        return self.out.mb_width
+
+    def references_for(self) -> tuple[Frame | None, Frame | None]:
+        return self.fwd, self.bwd
+
+
+def decode_slice(
+    payload: bytes,
+    vertical_position: int,
+    ctx: PictureCodingContext,
+    counters: WorkCounters | None = None,
+) -> WorkCounters:
+    """Decode one slice payload into ``ctx.out``.
+
+    ``vertical_position`` is the slice start-code value (1-based MB
+    row).  Returns the work counters for this slice (also accumulated
+    into ``counters`` when given).
+    """
+    local = WorkCounters()
+    local.bits += len(payload) * 8
+    local.headers += 1
+    if ctx.trace is not None:
+        ctx.trace.stream_read(len(payload))
+    r = BitReader(payload)
+    sh = SliceHeader.read(r)
+    state = SliceState(qscale_code=sh.quantiser_scale_code)
+
+    mbw = ctx.mb_width
+    row = vertical_position - 1
+    if not 0 <= row < ctx.out.mb_height:
+        raise SliceDecodeError(f"slice vertical position {vertical_position} out of range")
+    row_start = row * mbw
+    row_last = row_start + mbw - 1
+    prev_addr = row_start - 1
+
+    while prev_addr < row_last:
+        increment = 0
+        while True:
+            sym = MB_ADDRESS_INCREMENT.decode(r)
+            local.vlc_symbols += 1
+            if sym == MBA_ESCAPE:
+                increment += MBA_ESCAPE_VALUE
+            else:
+                increment += sym
+                break
+        address = prev_addr + increment
+        if address > row_last:
+            raise SliceDecodeError(
+                f"macroblock address {address} beyond end of row {row}"
+            )
+        for skipped in range(prev_addr + 1, address):
+            _decode_skipped(skipped, state, ctx, local)
+        _decode_macroblock(r, address, state, ctx, local)
+        prev_addr = address
+
+    if counters is not None:
+        counters.add(local)
+    return local
+
+
+def _decode_skipped(
+    address: int,
+    state: SliceState,
+    ctx: PictureCodingContext,
+    counters: WorkCounters,
+) -> None:
+    """Reconstruct a skipped macroblock (never first/last of a slice)."""
+    mb_row, mb_col = divmod(address, ctx.mb_width)
+    ptype = ctx.pic.picture_type
+    counters.macroblocks += 1
+    if ctx.trace is not None:
+        if ptype is PictureType.P:
+            _trace_macroblock(ctx, mb_row, mb_col, MotionVector.ZERO, None, 0)
+        elif state.prev_motion is not None:
+            fwd_on, bwd_on = state.prev_motion
+            _trace_macroblock(
+                ctx,
+                mb_row,
+                mb_col,
+                state.prev_mv_fwd if fwd_on else None,
+                state.prev_mv_bwd if bwd_on else None,
+                0,
+            )
+    if ptype is PictureType.P:
+        if ctx.fwd is None:
+            raise SliceDecodeError("P skipped macroblock without forward reference")
+        copy_macroblock(ctx.out, ctx.fwd, mb_row, mb_col, counters)
+        state.reset_pmv()
+    elif ptype is PictureType.B:
+        if state.prev_motion is None:
+            raise SliceDecodeError("B skipped macroblock with no previous mode")
+        fwd_on, bwd_on = state.prev_motion
+        pred = form_prediction(
+            mb_row,
+            mb_col,
+            state.prev_mv_fwd if fwd_on else None,
+            state.prev_mv_bwd if bwd_on else None,
+            ctx.fwd,
+            ctx.bwd,
+            counters,
+        )
+        counters.mc_macroblocks += 1
+        if fwd_on and bwd_on:
+            counters.bidir_macroblocks += 1
+        zero = np.zeros((6, 8, 8), dtype=np.int32)
+        write_macroblock(ctx.out, mb_row, mb_col, zero, pred, counters)
+    else:
+        raise SliceDecodeError("skipped macroblocks are illegal in I-pictures")
+    state.reset_dc()
+
+
+def _decode_macroblock(
+    r: BitReader,
+    address: int,
+    state: SliceState,
+    ctx: PictureCodingContext,
+    counters: WorkCounters,
+) -> None:
+    ptype = ctx.pic.picture_type
+    symbols_before = counters.vlc_symbols
+    mode: MbMode = MB_TYPE_TABLES[ptype].decode(r)
+    counters.vlc_symbols += 1
+    counters.macroblocks += 1
+
+    if mode.quant:
+        code = r.read_bits(5)
+        if code == 0:
+            raise SliceDecodeError("macroblock quantiser_scale_code of 0")
+        state.qscale_code = code
+
+    mv_fwd: MotionVector | None = None
+    mv_bwd: MotionVector | None = None
+    if mode.mc_fwd:
+        dx = mv_coding.decode_component(r, state.pmv_fwd.dx, ctx.pic.forward_f_code)
+        dy = mv_coding.decode_component(r, state.pmv_fwd.dy, ctx.pic.forward_f_code)
+        mv_fwd = MotionVector(dy=dy, dx=dx)
+        state.pmv_fwd = mv_fwd
+        counters.vlc_symbols += 2
+    if mode.mc_bwd:
+        dx = mv_coding.decode_component(r, state.pmv_bwd.dx, ctx.pic.backward_f_code)
+        dy = mv_coding.decode_component(r, state.pmv_bwd.dy, ctx.pic.backward_f_code)
+        mv_bwd = MotionVector(dy=dy, dx=dx)
+        state.pmv_bwd = mv_bwd
+        counters.vlc_symbols += 2
+
+    if ptype is PictureType.P and not mode.intra and not mode.mc_fwd:
+        # The P no-MC case: zero forward vector, PMV reset.
+        mv_fwd = MotionVector.ZERO
+
+    if mode.coded:
+        cbp = CODED_BLOCK_PATTERN.decode(r)
+        counters.vlc_symbols += 1
+    elif mode.intra:
+        cbp = 63
+    else:
+        cbp = 0
+
+    levels = np.zeros((6, 64), dtype=np.int64)
+    for i in range(6):
+        if cbp & (32 >> i):
+            table = DC_SIZE_LUMA if i < 4 else DC_SIZE_CHROMA
+            di = _dc_index(i)
+            levels[i], new_pred = decode_block(
+                r,
+                intra=mode.intra,
+                dc_table=table if mode.intra else None,
+                dc_predictor=state.dc_pred[di],
+                counters=counters,
+            )
+            if mode.intra:
+                state.dc_pred[di] = new_pred
+
+    if ctx.trace is not None:
+        ctx.trace.table_lookups(counters.vlc_symbols - symbols_before)
+    _reconstruct(address, mode, mv_fwd, mv_bwd, levels, cbp, state, ctx, counters)
+    _apply_coded_state(state, mode, mv_fwd, mv_bwd, ptype)
+
+
+def _reconstruct(
+    address: int,
+    mode: MbMode,
+    mv_fwd: MotionVector | None,
+    mv_bwd: MotionVector | None,
+    levels: np.ndarray,
+    cbp: int,
+    state: SliceState,
+    ctx: PictureCodingContext,
+    counters: WorkCounters,
+) -> None:
+    mb_row, mb_col = divmod(address, ctx.mb_width)
+    coded_mask = np.array([bool(cbp & (32 >> i)) for i in range(6)])
+    if ctx.trace is not None:
+        _trace_macroblock(ctx, mb_row, mb_col, mv_fwd, mv_bwd, int(coded_mask.sum()))
+    blocks = np.zeros((6, 8, 8), dtype=np.int32)
+    if coded_mask.any():
+        order = ALTERNATE if ctx.pic.alternate_scan else ZIGZAG
+        raster = unscan_block(levels[coded_mask], order)
+        if mode.intra:
+            coeffs = dequantize_intra(
+                raster, ctx.seq.intra_quant_matrix, state.qscale
+            )
+        else:
+            coeffs = dequantize_non_intra(
+                raster, ctx.seq.non_intra_quant_matrix, state.qscale
+            )
+        blocks[coded_mask] = idct_rounded(coeffs)
+        counters.idct_blocks += int(coded_mask.sum())
+
+    if mode.intra:
+        write_macroblock(ctx.out, mb_row, mb_col, blocks, None, counters)
+        return
+
+    pred = form_prediction(
+        mb_row, mb_col, mv_fwd, mv_bwd, ctx.fwd, ctx.bwd, counters
+    )
+    counters.mc_macroblocks += 1
+    if mv_fwd is not None and mv_bwd is not None:
+        counters.bidir_macroblocks += 1
+    write_macroblock(ctx.out, mb_row, mb_col, blocks, pred, counters)
+
+
+# ======================================================================
+# shared predictor-state transitions
+# ======================================================================
+def _apply_coded_state(
+    state: SliceState,
+    mode: MbMode,
+    mv_fwd: MotionVector | None,
+    mv_bwd: MotionVector | None,
+    ptype: PictureType,
+) -> None:
+    """Post-macroblock predictor updates (identical both directions)."""
+    if mode.intra:
+        state.reset_pmv()
+        state.prev_motion = None
+        return
+    state.reset_dc()
+    if ptype is PictureType.P and not mode.mc_fwd:
+        # No-MC P macroblock: PMV resets along with the implied zero MV.
+        state.pmv_fwd = MotionVector.ZERO
+    state.prev_motion = (mode.mc_fwd or ptype is PictureType.P, mode.mc_bwd)
+    state.prev_mv_fwd = mv_fwd if mv_fwd is not None else MotionVector.ZERO
+    state.prev_mv_bwd = mv_bwd if mv_bwd is not None else MotionVector.ZERO
+
+
+def _apply_skip_state(state: SliceState, ptype: PictureType) -> None:
+    """Predictor updates for a skipped macroblock (encoder mirror)."""
+    if ptype is PictureType.P:
+        state.reset_pmv()
+    state.reset_dc()
+
+
+# ======================================================================
+# memory-access tracing (locality study substrate)
+# ======================================================================
+def _trace_macroblock(
+    ctx: PictureCodingContext,
+    mb_row: int,
+    mb_col: int,
+    mv_fwd: MotionVector | None,
+    mv_bwd: MotionVector | None,
+    coded_blocks: int,
+) -> None:
+    """Emit the logical memory accesses of one macroblock reconstruction.
+
+    Per plane: the half-pel-expanded reference rectangles read by
+    motion compensation, the output rectangles written, and the
+    coefficient-buffer traffic of the coded blocks.
+    """
+    trace = ctx.trace
+    if coded_blocks:
+        trace.coeff_blocks(coded_blocks)
+    y0, x0 = mb_row * 16, mb_col * 16
+    for which, mv in (("fwd", mv_fwd), ("bwd", mv_bwd)):
+        if mv is None:
+            continue
+        iy, fy = divmod(mv.dy, 2)
+        ix, fx = divmod(mv.dx, 2)
+        trace.ref_read(which, "y", y0 + iy, x0 + ix, 16 + (1 if fy else 0),
+                       16 + (1 if fx else 0))
+        cmv = mv.chroma()
+        ciy, cfy = divmod(cmv.dy, 2)
+        cix, cfx = divmod(cmv.dx, 2)
+        ch = 8 + (1 if cfy else 0)
+        cw = 8 + (1 if cfx else 0)
+        trace.ref_read(which, "cb", y0 // 2 + ciy, x0 // 2 + cix, ch, cw)
+        trace.ref_read(which, "cr", y0 // 2 + ciy, x0 // 2 + cix, ch, cw)
+    trace.out_write("y", y0, x0, 16, 16)
+    trace.out_write("cb", y0 // 2, x0 // 2, 8, 8)
+    trace.out_write("cr", y0 // 2, x0 // 2, 8, 8)

@@ -1,0 +1,198 @@
+"""Motion estimation and half-pel motion compensation.
+
+Motion vectors are in *half-pel* units throughout (MPEG-2 always codes
+half-pel; the MPEG-1 ``full_pel`` flag is fixed to 0 in our streams).
+
+The decoder-side operation, :func:`predict_block`, is shared verbatim
+by the encoder's reconstruction loop, which is what makes encoder
+references and decoder output bit-exact.
+
+Estimation is classic full search over a clamped window with SAD,
+followed by half-pel refinement — the same structure as the MPEG
+Software Simulation Group encoder the paper used to create its
+test streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+
+@dataclass(frozen=True)
+class MotionVector:
+    """A (dy, dx) displacement in half-pel units."""
+
+    dy: int
+    dx: int
+
+    #: The zero vector (class attribute, assigned below the definition).
+    ZERO: ClassVar["MotionVector"]
+
+    def chroma(self) -> "MotionVector":
+        """Chroma displacement: luma MV halved, truncated toward zero.
+
+        (ISO 11172-2 2.4.4.2: ``right_half_for = trunc(recon/2)``.)
+        """
+        return MotionVector(int(self.dy / 2), int(self.dx / 2))
+
+    def __add__(self, other: "MotionVector") -> "MotionVector":
+        return MotionVector(self.dy + other.dy, self.dx + other.dx)
+
+
+MotionVector.ZERO = MotionVector(0, 0)
+
+
+# ----------------------------------------------------------------------
+# motion compensation (decoder + encoder reconstruction)
+# ----------------------------------------------------------------------
+def predict_block(
+    ref: np.ndarray, y0: int, x0: int, h: int, w: int, mv: MotionVector
+) -> np.ndarray:
+    """Fetch an ``h x w`` half-pel prediction at (y0, x0) + mv.
+
+    Rounding follows the standard: half-pel averages use
+    ``(a + b + 1) >> 1`` and ``(a + b + c + d + 2) >> 2``.
+
+    The caller guarantees the displaced (and, for half-pel, +1 sample)
+    window lies inside ``ref`` — the encoder clamps its search to make
+    that so, and a compliant bitstream never violates it.  Violations
+    raise rather than wrap around.
+    """
+    # Python divmod floors, so negative half-pel values decompose as
+    # e.g. -3 -> (-2, 1): integer part floor(-1.5) with a +0.5 frac,
+    # exactly the standard's decomposition.
+    iy, fy = divmod(mv.dy, 2)
+    ix, fx = divmod(mv.dx, 2)
+    top, left = y0 + iy, x0 + ix
+    need_h, need_w = h + (1 if fy else 0), w + (1 if fx else 0)
+    if top < 0 or left < 0 or top + need_h > ref.shape[0] or left + need_w > ref.shape[1]:
+        raise ValueError(
+            f"motion vector {mv} displaces block ({y0},{x0},{h}x{w}) "
+            f"outside reference plane {ref.shape}"
+        )
+    region = ref[top : top + need_h, left : left + need_w].astype(np.int32)
+    if fy and fx:
+        return (
+            region[:-1, :-1] + region[:-1, 1:] + region[1:, :-1] + region[1:, 1:] + 2
+        ) >> 2
+    if fy:
+        return (region[:-1, :] + region[1:, :] + 1) >> 1
+    if fx:
+        return (region[:, :-1] + region[:, 1:] + 1) >> 1
+    return region
+
+
+def average_predictions(fwd: np.ndarray, bwd: np.ndarray) -> np.ndarray:
+    """B-picture bidirectional prediction: rounded average."""
+    return (fwd.astype(np.int32) + bwd.astype(np.int32) + 1) >> 1
+
+
+# ----------------------------------------------------------------------
+# motion estimation (encoder)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MotionEstimate:
+    """Result of a block search: best vector and its SAD."""
+
+    mv: MotionVector
+    sad: int
+
+
+def full_search(
+    cur: np.ndarray,
+    ref: np.ndarray,
+    y0: int,
+    x0: int,
+    search_range: int,
+) -> MotionEstimate:
+    """Exhaustive full-pel SAD search, then half-pel refinement.
+
+    ``cur`` is the current macroblock (or block) at (y0, x0); the
+    search window is ``+/- search_range`` full pels, clamped so all
+    candidates (including the +1 sample of half-pel refinement) stay
+    inside ``ref``.
+    """
+    h, w = cur.shape
+    ref_h, ref_w = ref.shape
+    # Full-pel displacement bounds; reserve one sample at the far edge
+    # so half-pel refinement never leaves the plane.
+    dy_min = max(-search_range, -y0)
+    dy_max = min(search_range, ref_h - h - y0 - 1)
+    dx_min = max(-search_range, -x0)
+    dx_max = min(search_range, ref_w - w - x0 - 1)
+    if dy_max < dy_min or dx_max < dx_min:
+        # Degenerate window (block flush against both edges): zero MV.
+        region = ref[y0 : y0 + h, x0 : x0 + w].astype(np.int32)
+        sad = int(np.abs(region - cur.astype(np.int32)).sum())
+        return MotionEstimate(MotionVector.ZERO, sad)
+
+    window = ref[
+        y0 + dy_min : y0 + dy_max + h, x0 + dx_min : x0 + dx_max + w
+    ].astype(np.int32)
+    candidates = sliding_window_view(window, (h, w))
+    sads = np.abs(candidates - cur.astype(np.int32)).sum(axis=(2, 3))
+    flat = int(np.argmin(sads))
+    best_dy = dy_min + flat // sads.shape[1]
+    best_dx = dx_min + flat % sads.shape[1]
+    best_sad = int(sads.flat[flat])
+
+    # Prefer the zero vector on ties within a small margin: cheaper to
+    # code and lets the encoder emit skipped macroblocks.
+    zero_ok = dy_min <= 0 <= dy_max and dx_min <= 0 <= dx_max
+    if zero_ok:
+        zero_sad = int(sads[-dy_min, -dx_min])
+        if zero_sad <= best_sad:
+            best_dy, best_dx, best_sad = 0, 0, zero_sad
+
+    return _halfpel_refine(
+        cur, ref, y0, x0, MotionVector(2 * best_dy, 2 * best_dx), best_sad,
+        dy_min, dy_max, dx_min, dx_max,
+    )
+
+
+def _halfpel_refine(
+    cur: np.ndarray,
+    ref: np.ndarray,
+    y0: int,
+    x0: int,
+    best: MotionVector,
+    best_sad: int,
+    dy_min: int,
+    dy_max: int,
+    dx_min: int,
+    dx_max: int,
+) -> MotionEstimate:
+    """Evaluate the 8 half-pel neighbours of the full-pel optimum."""
+    h, w = cur.shape
+    cur32 = cur.astype(np.int32)
+    best_mv = best
+    for ddy in (-1, 0, 1):
+        for ddx in (-1, 0, 1):
+            if ddy == 0 and ddx == 0:
+                continue
+            mv = MotionVector(best.dy + ddy, best.dx + ddx)
+            # Stay within the clamped full-pel window (conservative).
+            if not (2 * dy_min <= mv.dy <= 2 * dy_max + 1):
+                continue
+            if not (2 * dx_min <= mv.dx <= 2 * dx_max + 1):
+                continue
+            pred = predict_block(ref, y0, x0, h, w, mv)
+            sad = int(np.abs(pred - cur32).sum())
+            if sad < best_sad:
+                best_sad, best_mv = sad, mv
+    return MotionEstimate(best_mv, best_sad)
+
+
+def intra_activity(mb: np.ndarray) -> int:
+    """Mean-removed activity of a macroblock (intra/inter decision).
+
+    The classic mode-decision heuristic from the reference encoder:
+    choose intra when the inter SAD exceeds the block's own deviation
+    from its mean.
+    """
+    m = mb.astype(np.int32)
+    return int(np.abs(m - int(m.mean())).sum())

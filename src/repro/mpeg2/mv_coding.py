@@ -1,0 +1,91 @@
+"""Motion-vector differential coding (ISO 11172-2 2.4.4.2 semantics).
+
+Each vector component is coded as a VLC ``motion_code`` plus, for
+``f_code > 1``, a fixed-length ``motion_residual``; the decoded
+differential is added to the predictor with modulo wrap into the
+representable window ``[-16*f, 16*f - 1]`` (``f = 1 << (f_code-1)``).
+
+Predictors (PMVs) are reset at slice starts — the property that makes
+slices independently decodable, on which the paper's slice-level
+parallel decoder rests.
+"""
+
+from __future__ import annotations
+
+from repro.bitstream import BitReader, BitWriter
+from repro.mpeg2.tables import MOTION_CODE
+
+
+class MotionRangeError(Exception):
+    """Raised when a vector cannot be represented under the f_code."""
+
+
+def f_range(f_code: int) -> tuple[int, int]:
+    """Representable half-pel component window ``[low, high]``."""
+    if not 1 <= f_code <= 7:
+        raise ValueError(f"f_code out of range: {f_code}")
+    f = 1 << (f_code - 1)
+    return -16 * f, 16 * f - 1
+
+
+def wrap_component(value: int, f_code: int) -> int:
+    """Wrap a component into the representable window (decoder rule)."""
+    low, high = f_range(f_code)
+    span = 32 << (f_code - 1)
+    while value < low:
+        value += span
+    while value > high:
+        value -= span
+    return value
+
+
+def encode_component(
+    writer: BitWriter, value: int, predictor: int, f_code: int
+) -> int:
+    """Code one vector component; returns the new predictor (== value).
+
+    ``value`` must already lie inside the f_code window; the encoder
+    guarantees this by choosing the picture's f_code from the largest
+    vector it emits.
+    """
+    low, high = f_range(f_code)
+    if not low <= value <= high:
+        raise MotionRangeError(
+            f"component {value} outside f_code={f_code} window [{low},{high}]"
+        )
+    f = 1 << (f_code - 1)
+    delta = wrap_component(value - predictor, f_code)
+    if f == 1 or delta == 0:
+        MOTION_CODE.encode(writer, delta)
+    else:
+        mag = abs(delta) - 1
+        code = mag // f + 1
+        residual = mag % f
+        MOTION_CODE.encode(writer, code if delta > 0 else -code)
+        writer.write_bits(residual, f_code - 1)
+    return value
+
+
+def decode_component(reader: BitReader, predictor: int, f_code: int) -> int:
+    """Decode one vector component given its predictor."""
+    code = MOTION_CODE.decode(reader)
+    f = 1 << (f_code - 1)
+    if f == 1 or code == 0:
+        delta = code
+    else:
+        residual = reader.read_bits(f_code - 1)
+        delta = 1 + f * (abs(code) - 1) + residual
+        if code < 0:
+            delta = -delta
+    return wrap_component(predictor + delta, f_code)
+
+
+def required_f_code(max_abs_component: int) -> int:
+    """Smallest f_code whose window covers ``+/- max_abs_component``."""
+    for f_code in range(1, 8):
+        low, high = f_range(f_code)
+        if -max_abs_component >= low and max_abs_component <= high:
+            return f_code
+    raise MotionRangeError(
+        f"motion component {max_abs_component} exceeds every f_code window"
+    )

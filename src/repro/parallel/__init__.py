@@ -1,0 +1,66 @@
+"""The paper's contribution: parallel MPEG-2 decoders on the simulated SMP.
+
+Architecture (paper Fig. 4): one *scan* process locates tasks by start
+code and feeds task queues; *worker* processes decode tasks; one
+*display* process reorders decoded pictures into display order.  Two
+decompositions are provided:
+
+* :mod:`~repro.parallel.gop_level` — coarse tasks: whole closed GOPs
+  (Section 5.1).  Few queue operations, no inter-worker communication,
+  but memory grows with workers x GOP size x resolution and random
+  access is slow.
+* :mod:`~repro.parallel.slice_level` — fine tasks: slices within a
+  picture via a 2-D picture/slice queue (Section 5.2).  Two variants:
+  ``simple`` synchronises after every picture; ``improved`` only at
+  reference (I/P) pictures, exploiting that consecutive B-pictures are
+  mutually independent.
+
+Both run on real bitstreams.  Workers either replay pre-profiled
+per-task costs (fast, used for processor sweeps) or actually decode
+(used by the tests that prove parallel output == sequential output).
+"""
+
+from repro.parallel.profile import (
+    StreamProfile,
+    GopProfile,
+    PictureProfile,
+    SliceProfile,
+    profile_stream,
+)
+from repro.parallel.gop_level import GopLevelDecoder, ParallelConfig, DecodeRunResult
+from repro.parallel.slice_level import SliceLevelDecoder, SliceMode
+from repro.parallel.macroblock_level import MacroblockLevelDecoder
+from repro.parallel.numa import PlacedGopDecoder, PlacementPolicy
+from repro.parallel.pacing import DisplayPacer
+from repro.parallel.random_access import seek_latency, SeekLatency
+from repro.parallel.stats import (
+    speedup_curve,
+    load_balance,
+    sync_ratio,
+    pictures_per_second,
+)
+from repro.parallel.memory_model import MemoryModel
+
+__all__ = [
+    "StreamProfile",
+    "GopProfile",
+    "PictureProfile",
+    "SliceProfile",
+    "profile_stream",
+    "GopLevelDecoder",
+    "SliceLevelDecoder",
+    "SliceMode",
+    "MacroblockLevelDecoder",
+    "PlacedGopDecoder",
+    "PlacementPolicy",
+    "DisplayPacer",
+    "seek_latency",
+    "SeekLatency",
+    "ParallelConfig",
+    "DecodeRunResult",
+    "speedup_curve",
+    "load_balance",
+    "sync_ratio",
+    "pictures_per_second",
+    "MemoryModel",
+]

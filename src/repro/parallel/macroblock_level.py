@@ -1,0 +1,178 @@
+"""Macroblock-level parallelism: the decomposition the paper rejects.
+
+Section 4: macroblocks and blocks "do not have startcodes to identify
+them without actually doing the decoding itself ... it would be
+necessary for one process to perform the decoding of the stream,
+detect the boundaries of each macroblock (including its motion
+vectors) ... and assign the macroblock or its blocks to other
+processors.  While this approach may be viable, it places a large load
+on one processor."
+
+This module implements exactly that architecture so the claim can be
+measured: a single *parser* process performs all bitstream decoding
+(VLC, headers, boundary detection) serially, and worker processes
+perform only the reconstruction half (inverse quantization + IDCT,
+motion compensation, pixel writes) of each slice's macroblocks.
+Amdahl's law then caps the speedup at
+``total_work / parse_work`` — about 2x at the paper's 5 Mb/s
+operating point — which is why the paper parallelizes at slice
+granularity instead.
+"""
+
+from __future__ import annotations
+
+from repro.mpeg2.counters import WorkCounters
+from repro.parallel.gop_level import DecodeRunResult, ParallelConfig
+from repro.parallel.pacing import DisplayPacer
+from repro.parallel.profile import StreamProfile
+from repro.parallel.queues import SimQueue
+from repro.smp.costs import CostModel
+from repro.smp.engine import Compute, Halt, Process, Simulator, SleepUntil, Stall
+from repro.smp.memtrack import MemoryTracker
+
+
+def parse_cycles(cost: CostModel, counters: WorkCounters) -> int:
+    """The bitstream-decoding share of a task's work.
+
+    Everything that must walk the VLC stream serially: bit parsing and
+    header processing.  This is the work pinned to the parser process.
+    """
+    return int(
+        cost.cycles_per_bit * counters.bits
+        + cost.cycles_per_header * counters.headers
+    )
+
+
+def reconstruction_cycles(cost: CostModel, counters: WorkCounters) -> int:
+    """The parallelizable remainder: IDCT, MC, pixel reconstruction."""
+    return cost.decode_cycles(counters) - parse_cycles(cost, counters)
+
+
+class MacroblockLevelDecoder:
+    """Simulate the parser + reconstruction-workers architecture.
+
+    Tasks handed to workers are the reconstruction of one slice's
+    macroblocks (batching individual macroblocks per slice keeps queue
+    traffic comparable to the slice-level decoder; per-macroblock
+    queueing would only be worse).
+
+    Reference dependencies are not explicitly gated: the serial parser
+    trails aggregate reconstruction for every P >= 2, so a picture's
+    references are reconstructed long before its own tasks are parsed;
+    gating would only lower the measured ceiling this ablation exists
+    to demonstrate.
+    """
+
+    def __init__(self, profile: StreamProfile) -> None:
+        self.profile = profile
+
+    def amdahl_bound(self, cost: CostModel) -> float:
+        """The architecture's speedup ceiling: total work / serial work."""
+        total = cost.decode_cycles(self.profile.total_counters())
+        serial = parse_cycles(cost, self.profile.total_counters())
+        return total / serial if serial else float("inf")
+
+    def run(self, config: ParallelConfig) -> DecodeRunResult:
+        profile = self.profile
+        sim = Simulator()
+        cost = config.cost
+        machine = config.machine
+        memory = MemoryTracker()
+        result = DecodeRunResult(
+            config=config, picture_count=profile.picture_count, memory=memory
+        )
+        recon_queue = SimQueue("recon-tasks", cost.queue_op_cycles)
+        display_queue = SimQueue("display", cost.queue_op_cycles)
+        fbytes = profile.frame_bytes
+        pixels = profile.picture_pixels
+
+        # Per-picture counters: ``unstarted`` guards the one-time frame
+        # allocation at first claim; ``remaining`` detects completion.
+        # Both are updated atomically with respect to engine yields.
+        unstarted: dict[int, int] = {}
+        remaining: dict[int, int] = {}
+        order = 0
+        flat: list[tuple[int, object]] = []  # (global order, picture)
+        for gop in profile.gops:
+            for pic in gop.pictures:
+                unstarted[order] = len(pic.slices)
+                remaining[order] = len(pic.slices)
+                flat.append((order, pic))
+                order += 1
+
+        # -- parser process: ALL bitstream decoding, serially ------------
+        def parser_body(proc: Process):
+            for order_, pic in flat:
+                yield Compute(
+                    int(cost.cycles_per_bit * pic.header_bits + cost.cycles_per_header)
+                )
+                for si, sp in enumerate(pic.slices):
+                    busy = parse_cycles(cost, sp.counters)
+                    yield Compute(busy)
+                    yield Stall(
+                        cost.stall_cycles(busy, machine, pixels, config.remote_fraction)
+                    )
+                    yield from recon_queue.put((order_, pic, si))
+            yield from recon_queue.close()
+
+        # -- reconstruction workers ---------------------------------------
+        def worker_body(proc: Process):
+            while True:
+                task = yield from recon_queue.get()
+                if task is None:
+                    break
+                order_, pic, si = task
+                if unstarted[order_] == len(pic.slices):
+                    memory.allocate(sim.now, fbytes, "frames")
+                unstarted[order_] -= 1
+                busy = reconstruction_cycles(cost, pic.slices[si].counters)
+                yield Compute(busy)
+                yield Stall(
+                    cost.stall_cycles(busy, machine, pixels, config.remote_fraction)
+                )
+                remaining[order_] -= 1
+                finished = remaining[order_] == 0
+                if finished:
+                    yield from display_queue.put(pic.display_index)
+
+        # -- display process ------------------------------------------------
+        pacer = DisplayPacer(
+            machine, config.display_rate_hz, config.display_preroll_pictures
+        )
+
+        def display_body(proc: Process):
+            import heapq
+
+            pending: list[int] = []
+            next_index = 0
+            total = profile.picture_count
+            while next_index < total:
+                idx = yield from display_queue.get()
+                assert idx is not None, "display queue closed early"
+                heapq.heappush(pending, idx)
+                while pending and pending[0] == next_index:
+                    heapq.heappop(pending)
+                    target = pacer.on_ready(next_index, sim.now)
+                    if target is not None:
+                        yield SleepUntil(target)
+                    yield Compute(cost.display_cycles())
+                    memory.free(sim.now, fbytes, "frames")
+                    result.display_times.append(sim.now)
+                    next_index += 1
+            yield Halt()
+
+        sim.add_process("parser", parser_body)
+        workers = [
+            sim.add_process(f"worker-{i}", worker_body)
+            for i in range(config.workers)
+        ]
+        sim.add_process("display", display_body)
+        sim.run()
+
+        result.finish_cycles = result.display_times[-1]
+        result.worker_busy = [w.stats.busy for w in workers]
+        result.worker_stall = [w.stats.stall for w in workers]
+        result.worker_sync = [w.stats.sync_wait for w in workers]
+        result.late_pictures = pacer.late_pictures
+        result.max_lateness_cycles = pacer.max_lateness
+        return result

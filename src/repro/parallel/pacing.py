@@ -1,0 +1,85 @@
+"""Real-time display pacing: the 30 pictures/second deadline schedule.
+
+The paper's goal is *real-time* decoding: 30 pictures/second reaching
+the display.  The throughput experiments decode as fast as possible;
+this module adds the real-time view: the display process emits picture
+``k`` no earlier than ``t0 + k * period`` (where ``t0`` is when the
+first picture is ready — the startup latency), and any picture not
+decoded by its deadline is counted *late* with its lateness measured.
+
+Pacing also changes memory behaviour: when decode runs faster than the
+display rate, the GOP decoder's decoded-picture backlog grows against
+the paced drain — the flip side of the Fig. 8/9 analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.smp.machine import MachineConfig
+
+
+@dataclass
+class DisplayPacer:
+    """Deadline bookkeeping for a paced display process.
+
+    With ``rate_hz`` of ``None`` the pacer is inert (decode-rate
+    display, the default the throughput benchmarks use).
+    """
+
+    machine: MachineConfig
+    rate_hz: float | None = None
+    #: Pictures of startup buffer: deadlines start this many periods
+    #: after the first picture is ready (a player's preroll).
+    preroll_pictures: int = 0
+    t0: int | None = field(default=None, init=False)
+    late_pictures: int = field(default=0, init=False)
+    max_lateness: int = field(default=0, init=False)
+    total_lateness: int = field(default=0, init=False)
+
+    @property
+    def period(self) -> int:
+        if self.rate_hz is None:
+            raise ValueError("pacer has no display rate")
+        return self.machine.cycles(1.0 / self.rate_hz)
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate_hz is not None
+
+    def deadline(self, index: int) -> int:
+        assert self.t0 is not None, "deadline before first picture"
+        return self.t0 + (index + self.preroll_pictures) * self.period
+
+    def on_ready(self, index: int, now: int) -> int | None:
+        """Record picture ``index`` becoming displayable at ``now``.
+
+        Returns the virtual time to sleep until before emitting it, or
+        ``None`` to emit immediately (pacing off, first picture, or
+        already past the deadline — a *late* picture).
+        """
+        if not self.enabled:
+            return None
+        if self.t0 is None:
+            self.t0 = now
+            return None
+        deadline = self.deadline(index)
+        if now > deadline:
+            lateness = now - deadline
+            self.late_pictures += 1
+            self.total_lateness += lateness
+            self.max_lateness = max(self.max_lateness, lateness)
+            return None
+        return deadline
+
+    # ------------------------------------------------------------------
+    @property
+    def startup_cycles(self) -> int:
+        return self.t0 or 0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "late_pictures": self.late_pictures,
+            "max_lateness_s": self.machine.seconds(self.max_lateness),
+            "startup_s": self.machine.seconds(self.startup_cycles),
+        }

@@ -1,0 +1,189 @@
+"""Simulated task queues: the 1-D GOP queue and the 2-D slice queue.
+
+Queue methods are *generator helpers*: simulated processes call them
+with ``yield from`` so the queue can charge cycles and block on engine
+conditions.  Every queue access costs ``queue_op_cycles`` (the paper
+measures task-queue/lock time and finds it negligible but nonzero).
+
+The 2-D queue (paper Fig. 4, Section 5.2) holds pictures at the first
+level and slices at the second; its *availability rule* is what
+distinguishes the simple slice decoder (a picture's slices open up
+only when every earlier picture has completed — a barrier at every
+picture) from the improved one (they open up as soon as the picture's
+reference pictures have completed — a barrier only at I/P pictures).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.parallel.profile import GopProfile, PictureProfile
+from repro.smp.engine import Compute, SignalCondition, WaitCondition
+from repro.smp.sync import Condition
+
+
+class SimQueue:
+    """A FIFO queue with blocking get, for simulated processes."""
+
+    def __init__(self, name: str, op_cycles: int) -> None:
+        self.name = name
+        self.op_cycles = op_cycles
+        self._items: deque = deque()
+        self._closed = False
+        self._cond = Condition(f"{name}.cond")
+        #: High-water mark (diagnostics, memory discussions).
+        self.max_depth = 0
+
+    def put(self, item) -> Generator:
+        """Enqueue; wakes blocked getters.  (yield-from helper)"""
+        if self._closed:
+            raise RuntimeError(f"put() on closed queue {self.name}")
+        self._items.append(item)
+        self.max_depth = max(self.max_depth, len(self._items))
+        yield Compute(self.op_cycles)
+        yield SignalCondition(self._cond)
+
+    def close(self) -> Generator:
+        """No more items; blocked getters drain then receive ``None``."""
+        self._closed = True
+        yield SignalCondition(self._cond)
+
+    def get(self) -> Generator:
+        """Dequeue one item, blocking while empty; ``None`` when closed."""
+        while True:
+            if self._items:
+                item = self._items.popleft()
+                yield Compute(self.op_cycles)
+                return item
+            if self._closed:
+                return None
+            yield WaitCondition(self._cond)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+# ----------------------------------------------------------------------
+# 2-D picture/slice queue
+# ----------------------------------------------------------------------
+@dataclass
+class PictureEntry:
+    """Queue state of one picture (paper's first-level queue node)."""
+
+    gop: GopProfile
+    picture: PictureProfile
+    #: Global sequence number in coding order across the stream.
+    order: int
+    #: Global coding-order numbers of pictures this one references.
+    dependencies: list[int]
+    unclaimed: deque = field(default_factory=deque)  # slice indices
+    remaining: int = 0
+    started: bool = False
+    complete: bool = False
+
+    def __post_init__(self) -> None:
+        self.unclaimed = deque(range(len(self.picture.slices)))
+        self.remaining = len(self.picture.slices)
+
+
+@dataclass(frozen=True)
+class SliceTask:
+    """One unit of work handed to a worker."""
+
+    entry: PictureEntry
+    slice_index: int
+
+
+class SliceTaskQueue:
+    """The 2-D task queue with a pluggable availability rule.
+
+    ``mode`` is ``"simple"`` (synchronise at every picture) or
+    ``"improved"`` (synchronise only at reference pictures).
+    """
+
+    def __init__(self, name: str, op_cycles: int, mode: str) -> None:
+        if mode not in ("simple", "improved"):
+            raise ValueError(f"unknown slice queue mode: {mode}")
+        self.name = name
+        self.op_cycles = op_cycles
+        self.mode = mode
+        self.entries: list[PictureEntry] = []
+        self._complete_count = 0
+        self._finished_feeding = False
+        self._cond = Condition(f"{name}.cond")
+        #: First index that may still have unclaimed slices (scan hint).
+        self._head = 0
+
+    # -- scan side -----------------------------------------------------
+    def add_picture(self, entry: PictureEntry) -> Generator:
+        self.entries.append(entry)
+        yield Compute(self.op_cycles)
+        yield SignalCondition(self._cond)
+
+    def finish_feeding(self) -> Generator:
+        self._finished_feeding = True
+        yield SignalCondition(self._cond)
+
+    # -- availability --------------------------------------------------
+    def _available(self, entry: PictureEntry) -> bool:
+        if self.mode == "simple":
+            # Every earlier picture (coding order) must be complete.
+            return self._complete_count >= entry.order
+        # improved: only the references must be complete.
+        return all(self.entries[d].complete for d in entry.dependencies)
+
+    def _claim_next(self) -> SliceTask | None:
+        # Serve slices from the earliest available picture: keeps
+        # memory low and matches the paper's in-order queue.
+        while self._head < len(self.entries) and not self.entries[self._head].unclaimed:
+            self._head += 1
+        for entry in self.entries[self._head :]:
+            if not entry.unclaimed:
+                continue
+            if not self._available(entry):
+                if self.mode == "simple":
+                    # In-order rule: nothing later can be available.
+                    return None
+                continue
+            entry.started = True
+            return SliceTask(entry=entry, slice_index=entry.unclaimed.popleft())
+        return None
+
+    # -- worker side ----------------------------------------------------
+    def get_slice(self) -> Generator:
+        """Claim the next available slice; ``None`` when the stream is done."""
+        while True:
+            task = self._claim_next()
+            if task is not None:
+                yield Compute(self.op_cycles)
+                return task
+            if self._finished_feeding and self._complete_count == len(self.entries):
+                return None
+            yield WaitCondition(self._cond)
+
+    def complete_slice(self, task: SliceTask) -> Generator:
+        """Report a finished slice; returns True if its picture completed.
+
+        The completion decision is taken atomically with the decrement,
+        *before* any yield: two workers finishing the same picture's
+        last slices in one engine window must elect exactly one
+        completer (the classic check-after-wait race).
+        """
+        entry = task.entry
+        entry.remaining -= 1
+        finished = entry.remaining == 0
+        if finished:
+            entry.complete = True
+            self._complete_count += 1
+        yield Compute(self.op_cycles)
+        if finished:
+            yield SignalCondition(self._cond)
+            return True
+        return False
+
+    # -- diagnostics -----------------------------------------------------
+    @property
+    def pictures_complete(self) -> int:
+        return self._complete_count

@@ -1,0 +1,95 @@
+"""Random-access (play-control) latency: GOP vs slice decomposition.
+
+Section 5.1.1: when the user seeks (fast-forward, reverse, channel
+hop), decoding restarts at a GOP boundary.  Under the GOP-level
+decomposition only *one* worker decodes the target GOP, so the first
+picture appears after a whole single-threaded picture-chain decode;
+under the slice-level decomposition every worker attacks the first
+picture's slices at once.  The paper argues this qualitatively; we
+quantify it with the same cost model the throughput experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpeg2.constants import PictureType
+from repro.parallel.profile import GopProfile, StreamProfile
+from repro.smp.costs import CostModel, DEFAULT_COST_MODEL
+from repro.smp.machine import CHALLENGE, MachineConfig
+
+
+@dataclass(frozen=True)
+class SeekLatency:
+    """Time-to-first-displayed-picture after a seek, in seconds."""
+
+    gop_level: float
+    slice_level: float
+
+    @property
+    def advantage(self) -> float:
+        """How many times faster the slice decomposition responds."""
+        return self.gop_level / self.slice_level if self.slice_level else 1.0
+
+
+def _pictures_until_first_display(gop: GopProfile) -> list[int]:
+    """Coding positions that must decode before display can start.
+
+    Display order starts at the GOP's I-picture (temporal reference
+    0), which is first in coding order — so only that picture gates
+    the first display.
+    """
+    for pos, pic in enumerate(gop.pictures):
+        if pic.picture_type is PictureType.I:
+            return list(range(pos + 1))
+    raise ValueError("GOP contains no I-picture")
+
+
+def seek_latency(
+    profile: StreamProfile,
+    gop_index: int,
+    workers: int,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    machine: MachineConfig = CHALLENGE,
+) -> SeekLatency:
+    """Latency to show the first picture of GOP ``gop_index``.
+
+    GOP level: one worker decodes the pictures preceding the first
+    displayable one, serially.  Slice level: all ``workers`` decode the
+    first picture's slices in parallel (bounded by slices/picture, the
+    same limit Fig. 11 shows).
+    """
+    gop = profile.gops[gop_index]
+    gate = _pictures_until_first_display(gop)
+    pixels = profile.picture_pixels
+
+    def picture_cycles(pos: int) -> int:
+        busy = cost.decode_cycles(gop.pictures[pos].total_counters())
+        return busy + cost.stall_cycles(busy, machine, pixels)
+
+    gop_cycles = sum(picture_cycles(pos) for pos in gate)
+
+    slice_cycles = 0
+    for pos in gate:
+        pic = gop.pictures[pos]
+        # Greedy multiprocessor schedule of the picture's slices
+        # (LPT bound): ceil-ish makespan of independent slice tasks.
+        loads = [0] * min(workers, max(len(pic.slices), 1))
+        costs = sorted(
+            (
+                cost.decode_cycles(s.counters)
+                + cost.stall_cycles(
+                    cost.decode_cycles(s.counters), machine, pixels
+                )
+                for s in pic.slices
+            ),
+            reverse=True,
+        )
+        for c in costs:
+            loads[loads.index(min(loads))] += c
+        slice_cycles += max(loads) if loads else 0
+
+    return SeekLatency(
+        gop_level=machine.seconds(gop_cycles),
+        slice_level=machine.seconds(slice_cycles),
+    )

@@ -1,0 +1,64 @@
+"""Deterministic discrete-event shared-memory multiprocessor simulator.
+
+This package substitutes for the paper's hardware (a 16-processor SGI
+Challenge; later a Stanford DASH) per the substitution note in
+DESIGN.md.  Simulated *processes* are Python generators that yield
+commands — compute for some cycles, acquire/release a lock, wait at a
+barrier, wait on a condition — to a virtual-time engine.  The engine
+accounts busy time, modelled memory-stall time, and blocked time per
+process, which is exactly the decomposition the paper measures with
+pixie/prof and source instrumentation.
+
+Modules
+-------
+``engine``   the event loop, processes, and per-process statistics
+``sync``     locks, barriers, conditions with wait-time accounting
+``costs``    the R4400-calibrated cycle cost model
+``machine``  machine configurations (Challenge SMP, DASH NUMA)
+``memtrack`` time-series memory-allocation tracking (Figs. 8-9)
+"""
+
+from repro.smp.engine import (
+    Simulator,
+    Process,
+    ProcessStats,
+    Compute,
+    Stall,
+    AcquireLock,
+    ReleaseLock,
+    WaitCondition,
+    SignalCondition,
+    WaitBarrier,
+    SleepUntil,
+    Halt,
+)
+from repro.smp.sync import Lock, Condition, Barrier
+from repro.smp.costs import CostModel, DEFAULT_COST_MODEL
+from repro.smp.machine import MachineConfig, CHALLENGE, DASH, challenge, dash
+from repro.smp.memtrack import MemoryTracker
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "ProcessStats",
+    "Compute",
+    "Stall",
+    "AcquireLock",
+    "ReleaseLock",
+    "WaitCondition",
+    "SignalCondition",
+    "WaitBarrier",
+    "SleepUntil",
+    "Halt",
+    "Lock",
+    "Condition",
+    "Barrier",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "MachineConfig",
+    "CHALLENGE",
+    "DASH",
+    "challenge",
+    "dash",
+    "MemoryTracker",
+]

@@ -1,0 +1,150 @@
+"""The cycle cost model: work counters -> simulated R4400 cycles.
+
+Calibration
+-----------
+The model's constants are fitted to the paper's own measurements
+(Table 3: maximum pictures/second of the GOP version with 14 workers),
+which pin down the decode cost per picture on one 150 MHz R4400:
+
+====================  ============  =====================
+picture size          paper pics/s  cycles/picture/worker
+====================  ============  =====================
+352x240               69.9 / 14     ~30e6
+704x480               26.6 / 14     ~79e6
+1408x960               7.3 / 14     ~287e6
+====================  ============  =====================
+
+Because the 352x240 and 704x480 streams share one 5 Mb/s bit rate, the
+system of equations separates bitstream-proportional work from
+pixel-proportional work:
+
+    bit_work(5 Mb/s / 30 fps = 167 kbit)  ~ 13.7e6 cycles -> 82 c/bit
+    pixel_work(352x240)                   ~ 16.3e6 cycles
+
+and predicts 1408x960 at 7 Mb/s as 19.2e6 + 16 * 16.3e6 = 280e6 —
+within 3% of the measured 287e6, confirming the two-component shape.
+The pixel side is then split across IDCT / motion compensation /
+output writes in the proportions classic profiles of the reference
+decoder show (roughly 50/25/25).
+
+Memory stalls (the pixie-vs-prof gap of Fig. 7, 10-30% with ~20%
+average) are modelled as a busy-time fraction that grows mildly with
+picture size, plus — on NUMA machines — a remote-access component
+whose weight grows with cluster count (directory hops), calibrated to
+the DASH speedups quoted in Section 7.2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.mpeg2.counters import WorkCounters
+from repro.smp.machine import MachineConfig
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation cycle charges (see module docstring for fits)."""
+
+    #: Bitstream parsing (VLC decode, buffer management) per wire bit.
+    cycles_per_bit: float = 82.0
+    #: Inverse quantization + IDCT of one coded 8x8 block.
+    cycles_per_idct_block: float = 4100.0
+    #: Half-pel prediction fetch, per fetched pixel.
+    cycles_per_mc_pixel: float = 22.0
+    #: Reconstruction write (add, clamp, store), per output pixel.
+    cycles_per_pixel: float = 26.0
+    #: Fixed macroblock overhead (addressing, mode dispatch).
+    cycles_per_macroblock: float = 400.0
+    #: Header parse (sequence/GOP/picture/slice).
+    cycles_per_header: float = 4000.0
+
+    #: Scan process: locating start codes + copying the stream into
+    #: memory, per byte.  Fitted to Table 2 (25 MB scanned in
+    #: 4.5-6.5 s at 150 MHz -> ~33 cycles/byte).
+    scan_cycles_per_byte: float = 33.0
+    #: Display process: reorder bookkeeping per picture (dithering is
+    #: excluded, as in the paper's measurements).
+    display_cycles_per_picture: float = 20_000.0
+    #: Task queue operation (lock + pointer juggling).  The paper
+    #: measures lock time as negligible; this keeps it small but real.
+    queue_op_cycles: int = 250
+    #: Slice-level decoders: per-(worker, picture) context setup —
+    #: re-reading the picture header, quantiser state, buffer mapping.
+    #: The paper singles this out as the improved version's overhead
+    #: ("reading picture headers multiple times, etc.", Section 5.2.1).
+    picture_attach_cycles: int = 60_000
+
+    # -- memory-stall model (Fig. 7 calibration) -----------------------
+    #: Base stall fraction of busy time at 352x240.
+    stall_base: float = 0.15
+    #: Extra stall fraction per doubling of pixel count above 352x240.
+    stall_growth_per_doubling: float = 0.025
+    #: NUMA: remote-traffic stall weight (Section 7.2 calibration).
+    numa_remote_base: float = 0.20
+    #: NUMA: growth of effective remote cost per extra cluster.
+    numa_hop_growth: float = 0.35
+
+    # ------------------------------------------------------------------
+    def decode_cycles(self, counters: WorkCounters) -> int:
+        """Ideal (pixie-style) cycles to perform the counted work."""
+        c = counters
+        total = (
+            self.cycles_per_bit * c.bits
+            + self.cycles_per_idct_block * c.idct_blocks
+            + self.cycles_per_mc_pixel * c.mc_pixels
+            + self.cycles_per_pixel * c.pixels
+            + self.cycles_per_macroblock * c.macroblocks
+            + self.cycles_per_header * c.headers
+        )
+        return int(total)
+
+    def scan_cycles(self, nbytes: int) -> int:
+        return int(self.scan_cycles_per_byte * nbytes)
+
+    def display_cycles(self, pictures: int = 1) -> int:
+        return int(self.display_cycles_per_picture * pictures)
+
+    # ------------------------------------------------------------------
+    def stall_fraction(
+        self,
+        machine: MachineConfig,
+        picture_pixels: int,
+        remote_fraction: float | None = None,
+    ) -> float:
+        """Memory-stall time as a fraction of busy time.
+
+        ``picture_pixels`` is the luma pixel count of a picture (the
+        knob Fig. 7 varies).  ``remote_fraction`` is the share of
+        traffic served by remote NUMA memories; ``None`` means the
+        naive no-placement default ``1 - 1/n_clusters``.
+        """
+        ref_pixels = 352 * 240
+        doublings = max(0.0, math.log2(max(picture_pixels, 1) / ref_pixels))
+        fraction = self.stall_base + self.stall_growth_per_doubling * doublings
+        if machine.is_numa:
+            clusters = max(machine.processors // machine.cluster_size, 1)
+            if remote_fraction is None:
+                remote_fraction = 1.0 - 1.0 / clusters
+            fraction += (
+                remote_fraction
+                * self.numa_remote_base
+                * (1.0 + self.numa_hop_growth * (clusters - 1))
+            )
+        return fraction
+
+    def stall_cycles(
+        self,
+        busy_cycles: int,
+        machine: MachineConfig,
+        picture_pixels: int,
+        remote_fraction: float | None = None,
+    ) -> int:
+        return int(
+            busy_cycles
+            * self.stall_fraction(machine, picture_pixels, remote_fraction)
+        )
+
+
+DEFAULT_COST_MODEL = CostModel()

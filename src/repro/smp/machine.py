@@ -1,0 +1,78 @@
+"""Machine configurations: the paper's two hardware platforms.
+
+``CHALLENGE`` models the 16-processor SGI Challenge of Section 3:
+150 MHz R4400s on a shared bus with uniform memory access.
+
+``DASH`` models the Stanford DASH of Section 7.2: 4-processor
+clusters with physically distributed memory; a miss served by a remote
+cluster costs several times a local miss, which is the effect the
+paper identifies as the main impediment to speedup there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Parameters of the simulated multiprocessor."""
+
+    name: str
+    processors: int
+    clock_hz: float = 150e6
+    #: Second-level cache line size in bytes.
+    line_size: int = 128
+    #: Per-processor cache capacity in bytes (Challenge: 1MB L2).
+    cache_bytes: int = 1 << 20
+    #: Cycles to service a miss from (local) memory.
+    miss_penalty: int = 90
+    #: NUMA: processors per cluster (0 = centralised memory, UMA).
+    cluster_size: int = 0
+    #: NUMA: remote-miss penalty multiplier over a local miss.
+    remote_penalty_multiplier: float = 1.0
+    #: Main memory available to the program, bytes (paper: ~500 MB).
+    memory_bytes: int = 500 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("need at least one processor")
+        if self.cluster_size < 0:
+            raise ValueError("cluster_size must be >= 0")
+
+    @property
+    def is_numa(self) -> bool:
+        return self.cluster_size > 0
+
+    def cluster_of(self, processor: int) -> int:
+        """Which cluster a processor index belongs to (NUMA only)."""
+        if not self.is_numa:
+            return 0
+        return processor // self.cluster_size
+
+    def seconds(self, cycles: int | float) -> float:
+        return cycles / self.clock_hz
+
+    def cycles(self, seconds: float) -> int:
+        return int(round(seconds * self.clock_hz))
+
+
+def challenge(processors: int = 16) -> MachineConfig:
+    """An SGI-Challenge-like bus-based SMP with ``processors`` CPUs."""
+    return MachineConfig(name=f"challenge-{processors}p", processors=processors)
+
+
+def dash(processors: int = 32, cluster_size: int = 4) -> MachineConfig:
+    """A DASH-like NUMA machine (4-processor clusters by default)."""
+    return MachineConfig(
+        name=f"dash-{processors}p",
+        processors=processors,
+        cluster_size=cluster_size,
+        # DASH remote misses were ~3-4x a local (in-cluster) miss.
+        remote_penalty_multiplier=3.5,
+        miss_penalty=30,  # local cluster miss is cheaper than bus+DRAM
+    )
+
+
+CHALLENGE = challenge()
+DASH = dash()

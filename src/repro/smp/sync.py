@@ -1,0 +1,55 @@
+"""Synchronisation objects for the simulator.
+
+These are plain state holders; the blocking/waking logic lives in the
+engine, which is the only place virtual time advances.  All waiter
+queues are FIFO, making every simulation deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class Lock:
+    """A mutex.  Contended acquisition time is charged as sync wait."""
+
+    __slots__ = ("name", "holder", "waiters", "acquisitions", "contentions")
+
+    def __init__(self, name: str = "lock") -> None:
+        self.name = name
+        self.holder: object | None = None
+        self.waiters: deque = deque()
+        #: Total acquisitions (diagnostics: lock traffic).
+        self.acquisitions = 0
+        #: Acquisitions that had to wait.
+        self.contentions = 0
+
+
+class Condition:
+    """A broadcast condition: signalling wakes *all* current waiters.
+
+    Waiters re-check their predicate on wakeup (standard condition
+    semantics); the engine charges the blocked interval as sync wait.
+    """
+
+    __slots__ = ("name", "waiters", "signals")
+
+    def __init__(self, name: str = "cond") -> None:
+        self.name = name
+        self.waiters: deque = deque()
+        #: Number of signal operations (diagnostics).
+        self.signals = 0
+
+
+class Barrier:
+    """A reusable counting barrier for a fixed participant count."""
+
+    __slots__ = ("name", "parties", "arrived", "generation")
+
+    def __init__(self, parties: int, name: str = "barrier") -> None:
+        if parties < 1:
+            raise ValueError(f"barrier needs >= 1 parties, got {parties}")
+        self.name = name
+        self.parties = parties
+        self.arrived: deque = deque()
+        self.generation = 0

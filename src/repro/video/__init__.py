@@ -1,0 +1,31 @@
+"""Synthetic test video: the paper's Table 1 stream matrix.
+
+The paper built its streams from one public clip (a panning flower
+garden) by repeating and rescaling pictures.  We generate an
+equivalent panning textured scene procedurally —
+:class:`~repro.video.synthetic.SyntheticVideo` — and encode the same
+matrix of streams: four resolutions (176x120 .. 1408x960) times four
+GOP sizes (4, 13, 16, 31), I/P distance 3, one slice per macroblock
+row, ~30 pictures/sec (see :mod:`repro.video.streams`).
+"""
+
+from repro.video.synthetic import SyntheticVideo
+from repro.video.streams import (
+    PAPER_RESOLUTIONS,
+    PAPER_GOP_SIZES,
+    TestStreamSpec,
+    paper_stream_matrix,
+    build_stream,
+)
+from repro.video.metrics import psnr, sequence_psnr
+
+__all__ = [
+    "SyntheticVideo",
+    "PAPER_RESOLUTIONS",
+    "PAPER_GOP_SIZES",
+    "TestStreamSpec",
+    "paper_stream_matrix",
+    "build_stream",
+    "psnr",
+    "sequence_psnr",
+]

@@ -1,0 +1,34 @@
+"""Quality metrics: PSNR between source and decoded frames."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.mpeg2.frame import Frame
+
+
+def psnr(reference: Frame, decoded: Frame) -> float:
+    """Luma PSNR (dB) over the display rectangle.
+
+    Returns ``inf`` for identical planes.
+    """
+    ref, _, _ = reference.display_view()
+    dec, _, _ = decoded.display_view()
+    if ref.shape != dec.shape:
+        raise ValueError(f"frame shapes differ: {ref.shape} vs {dec.shape}")
+    mse = float(np.mean((ref.astype(np.float64) - dec.astype(np.float64)) ** 2))
+    if mse == 0.0:
+        return math.inf
+    return 10.0 * math.log10(255.0**2 / mse)
+
+
+def sequence_psnr(reference: list[Frame], decoded: list[Frame]) -> float:
+    """Mean luma PSNR across a sequence (inf-safe: clipped at 99 dB)."""
+    if len(reference) != len(decoded):
+        raise ValueError(
+            f"sequence lengths differ: {len(reference)} vs {len(decoded)}"
+        )
+    values = [min(psnr(r, d), 99.0) for r, d in zip(reference, decoded)]
+    return sum(values) / len(values)

@@ -1,0 +1,62 @@
+"""Locality analysis helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import amdahl_speedup, spatial_locality_score, working_set_knee
+
+
+class TestWorkingSetKnee:
+    def test_finds_collapse_point(self):
+        rates = {4096: 0.30, 8192: 0.28, 16384: 0.05, 32768: 0.03}
+        assert working_set_knee(rates) == 16384
+
+    def test_no_knee_returns_none(self):
+        rates = {4096: 0.30, 8192: 0.25, 16384: 0.20}
+        assert working_set_knee(rates) is None
+
+    def test_zero_base_rate(self):
+        assert working_set_knee({1024: 0.0, 2048: 0.0}) == 1024
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            working_set_knee({})
+
+    def test_threshold_controls_strictness(self):
+        rates = {4096: 0.30, 8192: 0.12, 16384: 0.02}
+        assert working_set_knee(rates, threshold=0.5) == 8192
+        assert working_set_knee(rates, threshold=0.1) == 16384
+
+
+class TestSpatialLocality:
+    def test_perfect_halving_scores_two(self):
+        rates = {16: 0.8, 32: 0.4, 64: 0.2}
+        assert spatial_locality_score(rates) == pytest.approx(2.0)
+
+    def test_no_locality_scores_one(self):
+        rates = {16: 0.5, 32: 0.5, 64: 0.5}
+        assert spatial_locality_score(rates) == pytest.approx(1.0)
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            spatial_locality_score({64: 0.1})
+
+    def test_zero_tail_skipped(self):
+        rates = {16: 0.4, 32: 0.2, 64: 0.0}
+        assert spatial_locality_score(rates) == pytest.approx(2.0)
+
+
+class TestAmdahl:
+    def test_no_serial_part_is_linear(self):
+        assert amdahl_speedup(0.0, 8) == pytest.approx(8.0)
+
+    def test_all_serial_is_one(self):
+        assert amdahl_speedup(1.0, 64) == pytest.approx(1.0)
+
+    def test_half_serial_approaches_two(self):
+        assert amdahl_speedup(0.5, 10_000) == pytest.approx(2.0, rel=1e-3)
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 4)

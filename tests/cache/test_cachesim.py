@@ -1,0 +1,175 @@
+"""Cache simulator: exact behaviour on crafted traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig, CacheStats, simulate
+from repro.cache.trace import AddressSpaceLayout, MemoryTrace
+
+
+def make_trace(addrs, writes=None, procs=None, processors=1):
+    addrs = np.asarray(addrs, dtype=np.int64)
+    writes = (
+        np.zeros(len(addrs), dtype=bool)
+        if writes is None
+        else np.asarray(writes, dtype=bool)
+    )
+    procs = (
+        np.zeros(len(addrs), dtype=np.int16)
+        if procs is None
+        else np.asarray(procs, dtype=np.int16)
+    )
+    layout = AddressSpaceLayout(
+        coded_width=16, coded_height=16, stream_bytes=64, processors=processors
+    )
+    return MemoryTrace(
+        addr=addrs, write=writes, proc=procs, processors=processors, layout=layout
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(line_size=48)
+        with pytest.raises(ValueError):
+            CacheConfig(line_size=64, capacity=100)
+        with pytest.raises(ValueError):
+            CacheConfig(line_size=64, capacity=1024, associativity=17)
+
+    def test_derived_geometry(self):
+        cfg = CacheConfig(line_size=64, capacity=8192, associativity=2)
+        assert cfg.total_lines == 128
+        assert cfg.n_sets == 64
+        fa = CacheConfig(line_size=64, capacity=8192, associativity=0)
+        assert fa.ways == 128
+        assert fa.n_sets == 1
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        trace = make_trace([0, 0, 0])
+        total, _ = simulate(trace, CacheConfig(line_size=64, capacity=1024))
+        assert total.reads == 3
+        assert total.read_misses == 1
+        assert total.cold_misses == 1
+
+    def test_same_line_different_words_hit(self):
+        trace = make_trace([0, 4, 8, 60])
+        total, _ = simulate(trace, CacheConfig(line_size=64, capacity=1024))
+        assert total.read_misses == 1
+
+    def test_different_lines_all_cold(self):
+        trace = make_trace([0, 64, 128, 192])
+        total, _ = simulate(trace, CacheConfig(line_size=64, capacity=1024))
+        assert total.read_misses == 4
+        assert total.cold_misses == 4
+
+    def test_line_size_merges_neighbours(self):
+        addrs = [0, 64]  # one 128B line, two 64B lines
+        small, _ = simulate(make_trace(addrs), CacheConfig(line_size=64, capacity=1024))
+        large, _ = simulate(make_trace(addrs), CacheConfig(line_size=128, capacity=1024))
+        assert small.read_misses == 2
+        assert large.read_misses == 1
+
+    def test_lru_capacity_eviction(self):
+        # 2-line fully-assoc cache; touch 3 lines cyclically: always miss.
+        cfg = CacheConfig(line_size=64, capacity=128, associativity=0)
+        trace = make_trace([0, 64, 128, 0, 64, 128])
+        total, _ = simulate(trace, cfg)
+        assert total.read_misses == 6
+        assert total.cold_misses == 3
+        assert total.capacity_conflict_misses == 3
+
+    def test_lru_keeps_recent(self):
+        cfg = CacheConfig(line_size=64, capacity=128, associativity=0)
+        # A B A C A : B evicted by C (A refreshed), final A hits.
+        trace = make_trace([0, 64, 0, 128, 0])
+        total, _ = simulate(trace, cfg)
+        assert total.read_misses == 3  # A, B, C cold; both re-A hits
+
+    def test_direct_mapped_conflict(self):
+        # Two lines mapping to the same set of a DM cache thrash.
+        cfg = CacheConfig(line_size=64, capacity=256, associativity=1)  # 4 sets
+        a, b = 0, 4 * 64  # same set index 0
+        trace = make_trace([a, b, a, b])
+        total, _ = simulate(trace, cfg)
+        assert total.read_misses == 4
+        # Fully associative cache of the same size has no conflicts.
+        fa = CacheConfig(line_size=64, capacity=256, associativity=0)
+        total_fa, _ = simulate(make_trace([a, b, a, b]), fa)
+        assert total_fa.read_misses == 2
+
+    def test_write_counted_as_write_miss(self):
+        trace = make_trace([0, 0], writes=[True, False])
+        total, _ = simulate(trace, CacheConfig(line_size=64, capacity=1024))
+        assert total.write_misses == 1
+        assert total.read_misses == 0
+        assert total.writes == 1
+        assert total.reads == 1
+
+    def test_empty_trace(self):
+        total, per = simulate(make_trace([]), CacheConfig())
+        assert total.refs == 0
+        assert total.miss_rate == 0.0
+
+
+class TestCoherence:
+    def test_write_invalidates_other_cache(self):
+        # p0 reads line, p1 writes it, p0 re-reads: coherence miss.
+        trace = make_trace(
+            [0, 0, 0],
+            writes=[False, True, False],
+            procs=[0, 1, 0],
+            processors=2,
+        )
+        total, per = simulate(trace, CacheConfig(line_size=64, capacity=1024))
+        assert per[0].coherence_misses == 1
+        assert per[0].read_misses == 2  # cold + coherence
+        assert per[1].write_misses == 1
+
+    def test_reads_do_not_invalidate(self):
+        trace = make_trace(
+            [0, 0, 0], writes=[False, False, False], procs=[0, 1, 0], processors=2
+        )
+        total, per = simulate(trace, CacheConfig(line_size=64, capacity=1024))
+        assert per[0].read_misses == 1
+        assert total.coherence_misses == 0
+
+    def test_miss_classes_partition_misses(self):
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 1 << 16, size=4000) * 4
+        writes = rng.random(4000) < 0.3
+        procs = rng.integers(0, 4, size=4000)
+        trace = make_trace(addrs, writes, procs, processors=4)
+        total, per = simulate(
+            trace, CacheConfig(line_size=64, capacity=4096, associativity=2)
+        )
+        assert total.misses == (
+            total.cold_misses
+            + total.coherence_misses
+            + total.capacity_conflict_misses
+        )
+        assert total.refs == 4000
+        agg = CacheStats()
+        for st in per:
+            agg.merge(st)
+        assert agg.misses == total.misses
+
+
+class TestRunCollapsing:
+    def test_collapsed_runs_count_all_refs(self):
+        trace = make_trace([0, 4, 8, 0, 64, 64])
+        total, _ = simulate(trace, CacheConfig(line_size=64, capacity=1024))
+        assert total.refs == 6
+        assert total.read_misses == 2  # line 0 cold, line 1 cold
+
+    def test_interleaved_procs_not_collapsed(self):
+        # Same line, alternating procs: each proc misses once (cold).
+        trace = make_trace(
+            [0] * 6, procs=[0, 1, 0, 1, 0, 1], processors=2
+        )
+        total, per = simulate(trace, CacheConfig(line_size=64, capacity=1024))
+        assert per[0].read_misses == 1
+        assert per[1].read_misses == 1

@@ -1,0 +1,100 @@
+"""Cache simulator vs a brute-force reference model (property test).
+
+The production simulator collapses same-line runs and keeps LRU state
+in per-set dicts; the reference model below is a deliberately naive
+list-based implementation with none of those optimisations.  On random
+multi-processor traces, hit/miss counts must agree exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import CacheConfig, simulate
+from repro.cache.trace import AddressSpaceLayout, MemoryTrace
+
+
+def reference_simulate(trace, config):
+    """Naive per-reference LRU simulation with write-invalidate."""
+    n = trace.processors
+    ways = config.ways
+    n_sets = config.n_sets
+    caches = [[[] for _ in range(n_sets)] for _ in range(n)]  # MRU last
+    misses = [0] * n
+    for addr, write, proc in zip(trace.addr, trace.write, trace.proc):
+        line = int(addr) >> (int(config.line_size).bit_length() - 1)
+        p = int(proc)
+        s = caches[p][line % n_sets]
+        if line in s:
+            s.remove(line)
+            s.append(line)
+        else:
+            misses[p] += 1
+            s.append(line)
+            if len(s) > ways:
+                s.pop(0)
+        if write:
+            for q in range(n):
+                if q != p:
+                    other = caches[q][line % n_sets]
+                    if line in other:
+                        other.remove(line)
+    return misses
+
+
+def make_trace(addrs, writes, procs, processors):
+    layout = AddressSpaceLayout(
+        coded_width=16, coded_height=16, stream_bytes=64, processors=processors
+    )
+    return MemoryTrace(
+        addr=np.asarray(addrs, dtype=np.int64),
+        write=np.asarray(writes, dtype=bool),
+        proc=np.asarray(procs, dtype=np.int16),
+        processors=processors,
+        layout=layout,
+    )
+
+
+trace_strategy = st.tuples(
+    st.integers(1, 3),  # processors
+    st.lists(
+        st.tuples(
+            st.integers(0, 40),   # line index (small space forces evictions)
+            st.booleans(),        # write?
+            st.integers(0, 2),    # proc (mod processors)
+        ),
+        min_size=1,
+        max_size=300,
+    ),
+)
+
+config_strategy = st.sampled_from(
+    [
+        CacheConfig(line_size=64, capacity=512, associativity=0),   # 8-line FA
+        CacheConfig(line_size=64, capacity=512, associativity=1),   # DM
+        CacheConfig(line_size=64, capacity=1024, associativity=2),
+        CacheConfig(line_size=128, capacity=1024, associativity=0),
+    ]
+)
+
+
+@given(trace_strategy, config_strategy)
+@settings(max_examples=120, deadline=None)
+def test_simulator_matches_reference_model(spec, config):
+    processors, refs = spec
+    addrs = [line * 64 + 4 * (line % 3) for line, _, _ in refs]
+    writes = [w for _, w, _ in refs]
+    procs = [p % processors for _, _, p in refs]
+    trace = make_trace(addrs, writes, procs, processors)
+
+    total, per = simulate(trace, config)
+    expected = reference_simulate(trace, config)
+
+    assert [s.misses for s in per] == expected
+    assert total.misses == sum(expected)
+    assert total.refs == len(refs)
+    # Miss classes always partition the misses.
+    assert total.misses == (
+        total.cold_misses + total.coherence_misses + total.capacity_conflict_misses
+    )

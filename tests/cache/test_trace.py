@@ -1,0 +1,187 @@
+"""Trace generation: layout, recorder, and decoder-driven traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    AccessRecorder,
+    AddressSpaceLayout,
+    CacheConfig,
+    generate_decode_trace,
+    simulate,
+)
+from repro.cache.cachesim import line_size_sweep
+from repro.cache.trace import WORD
+
+
+class TestLayout:
+    def make(self, procs=2):
+        return AddressSpaceLayout(
+            coded_width=64, coded_height=48, stream_bytes=1000, processors=procs
+        )
+
+    def test_regions_disjoint(self):
+        lay = self.make()
+        spans = [(lay.stream_base, lay.stream_base + 1000),
+                 (lay.tables_base, lay.tables_base + 8192)]
+        for base in lay.coeff_bases:
+            spans.append((base, base + 1024))
+        for b in range(lay.frame_buffers):
+            for plane in ("y", "cb", "cr"):
+                r = lay.plane(b, plane)
+                spans.append((r.base, r.base + r.stride * r.height))
+        spans.sort()
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert e1 <= s2, "overlapping regions"
+        assert spans[-1][1] <= lay.total_bytes
+
+    def test_rect_words_row_major(self):
+        lay = self.make()
+        addrs = lay.rect_words(0, "y", 2, 4, 2, 8)
+        r = lay.plane(0, "y")
+        row0 = r.base + 2 * 64 + np.arange(4, 12, WORD)
+        row1 = r.base + 3 * 64 + np.arange(4, 12, WORD)
+        assert np.array_equal(addrs, np.concatenate([row0, row1]))
+
+    def test_rect_words_unaligned_x_covers_block(self):
+        lay = self.make()
+        addrs = lay.rect_words(0, "y", 0, 3, 1, 17)  # bytes 3..19
+        # Words 0, 4, 8, 12, 16 cover the span.
+        r = lay.plane(0, "y")
+        assert addrs[0] == r.base + 0
+        assert addrs[-1] == r.base + 16
+
+    def test_stream_words_sequential(self):
+        lay = self.make()
+        addrs = lay.stream_words(10, 20)  # bytes 10..29
+        assert addrs[0] == 8
+        assert addrs[-1] == 28
+        assert np.all(np.diff(addrs) == WORD)
+
+    def test_coeff_words_private_per_processor(self):
+        lay = self.make(procs=2)
+        a0, w0 = lay.coeff_words(0, 2)
+        a1, _ = lay.coeff_words(1, 2)
+        assert set(a0).isdisjoint(set(a1))
+        # write pass then read pass per block
+        assert w0[:32].all() and not w0[32:64].any()
+
+
+class TestRecorder:
+    def test_stream_offset_advances(self):
+        rec = AccessRecorder(stream_offset=100)
+        rec.stream_read(50)
+        rec.stream_read(30)
+        assert rec.events == [("stream", 100, 50), ("stream", 150, 30)]
+
+    def test_zero_table_lookups_dropped(self):
+        rec = AccessRecorder()
+        rec.table_lookups(0)
+        assert rec.events == []
+
+
+@pytest.fixture(scope="module")
+def traces(small_stream):
+    return {
+        1: generate_decode_trace(small_stream, processors=1),
+        3: generate_decode_trace(small_stream, processors=3),
+    }
+
+
+class TestGeneratedTraces:
+    def test_all_processors_present(self, traces):
+        t = traces[3]
+        assert set(np.unique(t.proc)) == {0, 1, 2}
+
+    def test_single_processor_trace(self, traces):
+        t = traces[1]
+        assert set(np.unique(t.proc)) == {0}
+
+    def test_same_total_work_regardless_of_processors(self, traces):
+        # References differ only in the private coeff-buffer addresses
+        # and interleaving, not in volume.
+        assert len(traces[1]) == len(traces[3])
+        assert traces[1].write_count == traces[3].write_count
+
+    def test_reads_dominate(self, traces):
+        # MC reads + stream + tables + coeff re-reads outnumber writes.
+        t = traces[1]
+        assert t.read_count > t.write_count
+
+    def test_addresses_inside_layout(self, traces):
+        t = traces[3]
+        assert int(t.addr.min()) >= 0
+        assert int(t.addr.max()) < t.layout.total_bytes
+
+    def test_max_pictures_truncates(self, small_stream):
+        t_all = generate_decode_trace(small_stream, processors=1)
+        t_3 = generate_decode_trace(small_stream, processors=1, max_pictures=3)
+        assert 0 < len(t_3) < len(t_all)
+
+    def test_deterministic(self, small_stream):
+        a = generate_decode_trace(small_stream, processors=2)
+        b = generate_decode_trace(small_stream, processors=2)
+        assert np.array_equal(a.addr, b.addr)
+        assert np.array_equal(a.proc, b.proc)
+
+    def test_assignment_policies(self, small_stream):
+        static = generate_decode_trace(
+            small_stream, processors=3, assignment="static"
+        )
+        rotating = generate_decode_trace(
+            small_stream, processors=3, assignment="rotating"
+        )
+        # Same work volume; processor labels (and with them the
+        # private coefficient-buffer addresses) differ.
+        assert len(static) == len(rotating)
+        assert static.write_count == rotating.write_count
+        assert not np.array_equal(static.proc, rotating.proc)
+
+    def test_unknown_assignment_rejected(self, small_stream):
+        with pytest.raises(ValueError):
+            generate_decode_trace(small_stream, assignment="bogus")
+
+    def test_rotating_assignment_raises_miss_rate(self, small_stream):
+        """Section 7.2's locality concern, at test scale: destroying
+        producer-consumer slice affinity multiplies misses."""
+        cfg = CacheConfig(line_size=64, capacity=1 << 20, associativity=0)
+        static = generate_decode_trace(small_stream, processors=3)
+        rotating = generate_decode_trace(
+            small_stream, processors=3, assignment="rotating"
+        )
+        m_static, _ = simulate(static, cfg)
+        m_rotating, _ = simulate(rotating, cfg)
+        assert m_rotating.read_miss_rate > 1.3 * m_static.read_miss_rate
+
+
+class TestLocalityProperties:
+    """The paper's Section 5.3 results, at test scale."""
+
+    def test_spatial_locality_line_size_halving(self, traces):
+        """Fig. 13: read miss rate ~halves per line-size doubling."""
+        sweep = line_size_sweep(traces[1], [16, 32, 64, 128])
+        rates = list(sweep.values())
+        for big, small in zip(rates, rates[1:]):
+            assert small < big * 0.75, f"doubling the line only got {big}->{small}"
+
+    def test_working_set_fits_small_cache(self, traces):
+        """Fig. 14: with associativity, modest caches capture the
+        working set; the miss rate is then cold-dominated (Fig. 15)."""
+        big, _ = simulate(
+            traces[1], CacheConfig(line_size=64, capacity=1 << 20, associativity=0)
+        )
+        small, _ = simulate(
+            traces[1], CacheConfig(line_size=64, capacity=64 << 10, associativity=0)
+        )
+        assert small.read_miss_rate < 4 * big.read_miss_rate
+        assert big.capacity_to_cold_ratio < 1.0
+
+    def test_parallel_trace_has_small_sharing_misses(self, traces):
+        """Paper: 'true sharing misses are small, false sharing
+        negligible' — coherence misses are a small fraction."""
+        total, _ = simulate(
+            traces[3], CacheConfig(line_size=64, capacity=1 << 20, associativity=0)
+        )
+        assert total.coherence_misses < 0.15 * total.misses

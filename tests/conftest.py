@@ -1,0 +1,47 @@
+"""Shared fixtures: small encoded streams reused across test modules.
+
+Encoding is the slow part of the suite, so streams are built once per
+session at small sizes that still exercise every syntax element
+(I/P/B pictures, skips, multiple slices and GOPs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpeg2.encoder import EncoderConfig, encode_sequence
+from repro.video.synthetic import SyntheticVideo
+
+
+@pytest.fixture(scope="session")
+def small_video():
+    """13 frames of 64x48 synthetic video (display order)."""
+    return SyntheticVideo(width=64, height=48, seed=7).frames(13)
+
+
+@pytest.fixture(scope="session")
+def small_stream(small_video):
+    """One closed 13-picture GOP at 64x48."""
+    return encode_sequence(small_video, EncoderConfig(gop_size=13, qscale_code=3))
+
+
+@pytest.fixture(scope="session")
+def two_gop_video():
+    """8 frames of 48x32 video: two 4-picture GOPs."""
+    return SyntheticVideo(width=48, height=32, seed=11).frames(8)
+
+
+@pytest.fixture(scope="session")
+def two_gop_stream(two_gop_video):
+    return encode_sequence(two_gop_video, EncoderConfig(gop_size=4, qscale_code=3))
+
+
+@pytest.fixture(scope="session")
+def medium_video():
+    """26 frames of 96x64 video: two 13-picture GOPs (parallel tests)."""
+    return SyntheticVideo(width=96, height=64, seed=3).frames(26)
+
+
+@pytest.fixture(scope="session")
+def medium_stream(medium_video):
+    return encode_sequence(medium_video, EncoderConfig(gop_size=13, qscale_code=3))

@@ -1,0 +1,148 @@
+"""Block-layer coefficient coding: DC differentials and run/levels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitstream import BitReader, BitWriter
+from repro.mpeg2.blockcoding import (
+    BlockSyntaxError,
+    decode_block,
+    decode_dc_differential,
+    encode_block,
+    encode_dc_differential,
+    encode_run_level,
+)
+from repro.mpeg2.counters import WorkCounters
+from repro.mpeg2.tables import DC_SIZE_CHROMA, DC_SIZE_LUMA
+
+
+def _roundtrip_block(levels, intra):
+    w = BitWriter()
+    pred = 128 if intra else 0
+    encode_block(
+        w, levels, intra=intra, dc_table=DC_SIZE_LUMA if intra else None,
+        dc_predictor=pred,
+    )
+    w.align()
+    counters = WorkCounters()
+    out, _ = decode_block(
+        BitReader(w.getvalue()),
+        intra=intra,
+        dc_table=DC_SIZE_LUMA if intra else None,
+        dc_predictor=pred,
+        counters=counters,
+    )
+    return out, counters
+
+
+class TestDCDifferential:
+    @pytest.mark.parametrize("table", [DC_SIZE_LUMA, DC_SIZE_CHROMA])
+    @pytest.mark.parametrize("dc,pred", [(128, 128), (0, 128), (255, 128),
+                                         (200, 10), (-50, 100), (1000, 0)])
+    def test_roundtrip(self, table, dc, pred):
+        w = BitWriter()
+        encode_dc_differential(w, dc, pred, table)
+        w.align()
+        c = WorkCounters()
+        assert decode_dc_differential(BitReader(w.getvalue()), pred, table, c) == dc
+
+    def test_zero_differential_is_size_code_only(self):
+        w = BitWriter()
+        encode_dc_differential(w, 100, 100, DC_SIZE_LUMA)
+        assert w.bit_position == DC_SIZE_LUMA.code_length(0)
+
+    def test_oversized_differential_rejected(self):
+        with pytest.raises(BlockSyntaxError):
+            encode_dc_differential(BitWriter(), 1 << 12, 0, DC_SIZE_LUMA)
+
+
+class TestRunLevel:
+    def test_zero_level_rejected(self):
+        with pytest.raises(BlockSyntaxError):
+            encode_run_level(BitWriter(), 0, 0)
+
+    def test_level_out_of_escape_range_rejected(self):
+        with pytest.raises(BlockSyntaxError):
+            encode_run_level(BitWriter(), 0, 5000)
+
+    def test_escape_used_for_rare_pairs(self):
+        # run 40 has no table entry: must escape (6+12 bits + esc code).
+        w = BitWriter()
+        encode_run_level(w, 40, 1)
+        assert w.bit_position >= 18
+
+    def test_common_pair_is_short(self):
+        w = BitWriter()
+        encode_run_level(w, 0, 1)
+        assert w.bit_position <= 4  # codeword + sign bit
+
+
+class TestBlockRoundtrip:
+    def test_empty_non_intra_block(self):
+        levels = np.zeros(64, dtype=np.int64)
+        out, c = _roundtrip_block(levels, intra=False)
+        assert np.array_equal(out, levels)
+
+    def test_intra_block_keeps_dc(self):
+        levels = np.zeros(64, dtype=np.int64)
+        levels[0] = 200
+        out, _ = _roundtrip_block(levels, intra=True)
+        assert np.array_equal(out, levels)
+
+    def test_dense_block(self):
+        rng = np.random.default_rng(0)
+        levels = rng.integers(-40, 40, size=64)
+        levels[0] = 100
+        out, c = _roundtrip_block(levels, intra=True)
+        assert np.array_equal(out, levels)
+        assert c.coefficients == np.count_nonzero(levels[1:])
+
+    def test_last_coefficient_position(self):
+        levels = np.zeros(64, dtype=np.int64)
+        levels[63] = -5
+        out, _ = _roundtrip_block(levels, intra=False)
+        assert np.array_equal(out, levels)
+
+    def test_escape_levels(self):
+        levels = np.zeros(64, dtype=np.int64)
+        levels[10] = 2047
+        levels[50] = -2047
+        out, _ = _roundtrip_block(levels, intra=False)
+        assert np.array_equal(out, levels)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 63), st.integers(-300, 300)),
+            max_size=20,
+        ),
+        st.booleans(),
+    )
+    @settings(max_examples=100)
+    def test_arbitrary_sparse_blocks_roundtrip(self, entries, intra):
+        levels = np.zeros(64, dtype=np.int64)
+        for pos, val in entries:
+            if intra and pos == 0:
+                continue
+            levels[pos] = val
+        if intra:
+            levels[0] = 77
+        out, _ = _roundtrip_block(levels, intra=intra)
+        assert np.array_equal(out, levels)
+
+    def test_run_past_end_detected(self):
+        # Hand-craft a stream whose run overflows the block.
+        from repro.mpeg2.tables import AC_RUN_LEVEL, ESCAPE
+
+        w = BitWriter()
+        for _ in range(3):
+            AC_RUN_LEVEL.encode(w, ESCAPE)
+            w.write_bits(30, 6)   # run 30
+            w.write_bits(5, 12)   # level 5
+        w.align()
+        with pytest.raises(BlockSyntaxError):
+            decode_block(
+                BitReader(w.getvalue()), intra=False, counters=WorkCounters()
+            )

@@ -1,0 +1,85 @@
+"""GOP structure: types, coding order, reference relationships."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpeg2.constants import PictureType
+from repro.mpeg2.gop import GopStructure
+
+PAPER_SIZES = (4, 13, 16, 31)
+
+
+class TestStructure:
+    def test_paper_sizes_are_all_closed(self):
+        for n in PAPER_SIZES:
+            GopStructure(n, 3)  # must not raise
+
+    def test_open_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            GopStructure(5, 3)  # would end on a dangling B
+
+    def test_display_types_13(self):
+        types = GopStructure(13, 3).display_types()
+        letters = "".join(t.letter for t in types)
+        assert letters == "IBBPBBPBBPBBP"
+
+    def test_single_picture_gop(self):
+        g = GopStructure(1, 3)
+        assert g.display_types() == [PictureType.I]
+        assert g.coding_order() == [0]
+
+    def test_coding_order_13(self):
+        order = GopStructure(13, 3).coding_order()
+        assert order == [0, 3, 1, 2, 6, 4, 5, 9, 7, 8, 12, 10, 11]
+
+    def test_coding_order_is_permutation(self):
+        for n in PAPER_SIZES:
+            order = GopStructure(n, 3).coding_order()
+            assert sorted(order) == list(range(n))
+
+    def test_references_come_before_dependents_in_coding_order(self):
+        for n in PAPER_SIZES:
+            g = GopStructure(n, 3)
+            pos = g.display_order_of_coded()
+            for d in range(n):
+                fwd, bwd = g.references(d)
+                for ref in (fwd, bwd):
+                    if ref is not None:
+                        assert pos[ref] < pos[d], (
+                            f"picture {d} coded before its reference {ref}"
+                        )
+
+    def test_reference_structure_13(self):
+        g = GopStructure(13, 3)
+        assert g.references(0) == (None, None)
+        assert g.references(3) == (0, None)
+        assert g.references(6) == (3, None)
+        assert g.references(1) == (0, 3)
+        assert g.references(5) == (3, 6)
+        assert g.references(11) == (9, 12)
+
+    def test_counts(self):
+        g = GopStructure(13, 3)
+        assert g.reference_count == 5
+        assert g.b_count == 8
+
+    def test_dependents(self):
+        g = GopStructure(13, 3)
+        assert g.dependents_of(0) == [1, 2, 3]
+        assert g.dependents_of(12) == [10, 11]
+        assert g.dependents_of(1) == []  # B-pictures are never references
+
+    @given(st.integers(0, 20), st.integers(1, 5))
+    def test_every_b_sits_between_its_references(self, k, m):
+        g = GopStructure(1 + k * m, m)
+        for d in range(g.size):
+            if g.type_of(d) is PictureType.B:
+                fwd, bwd = g.references(d)
+                assert fwd is not None and bwd is not None
+                assert fwd < d < bwd
+
+    def test_type_of_matches_display_types(self):
+        g = GopStructure(16, 3)
+        assert [g.type_of(d) for d in range(16)] == g.display_types()

@@ -1,0 +1,103 @@
+"""Header (de)serialisation roundtrips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitstream import BitReader, BitWriter
+from repro.mpeg2.constants import PictureType
+from repro.mpeg2.headers import (
+    FRAME_RATES,
+    GopHeader,
+    PictureHeader,
+    SequenceHeader,
+    SliceHeader,
+    frame_rate_code_for,
+)
+from repro.mpeg2.tables import DEFAULT_INTRA_QUANT_MATRIX
+
+
+def roundtrip(header, reader_fn):
+    w = BitWriter()
+    header.write(w)
+    w.align()
+    return reader_fn(BitReader(w.getvalue()))
+
+
+class TestSequenceHeader:
+    def test_roundtrip_defaults(self):
+        h = SequenceHeader(width=704, height=480)
+        out = roundtrip(h, SequenceHeader.read)
+        assert (out.width, out.height) == (704, 480)
+        assert out.frame_rate == 30.0
+        assert np.array_equal(out.intra_quant_matrix, DEFAULT_INTRA_QUANT_MATRIX)
+
+    def test_roundtrip_custom_matrices(self):
+        m = DEFAULT_INTRA_QUANT_MATRIX.copy()
+        m[3, 3] = 99
+        h = SequenceHeader(width=176, height=120, intra_quant_matrix=m)
+        out = roundtrip(h, SequenceHeader.read)
+        assert out.intra_quant_matrix[3, 3] == 99
+
+    def test_bit_rate_units_of_400(self):
+        h = SequenceHeader(width=352, height=240, bit_rate=5_000_000)
+        out = roundtrip(h, SequenceHeader.read)
+        assert out.bit_rate == 5_000_000  # multiple of 400: exact
+
+    def test_dimension_range_checked(self):
+        with pytest.raises(ValueError):
+            roundtrip(SequenceHeader(width=5000, height=480), SequenceHeader.read)
+
+    def test_frame_rate_code_for(self):
+        assert FRAME_RATES[frame_rate_code_for(30.0)] == 30.0
+        assert FRAME_RATES[frame_rate_code_for(24.5)] in (24.0, 25.0)
+
+
+class TestGopHeader:
+    def test_roundtrip_time_code(self):
+        h = GopHeader(time_code_pictures=12345, closed_gop=True, broken_link=False)
+        out = roundtrip(h, GopHeader.read)
+        assert out.time_code_pictures == 12345
+        assert out.closed_gop and not out.broken_link
+
+    def test_flags(self):
+        h = GopHeader(time_code_pictures=0, closed_gop=False, broken_link=True)
+        out = roundtrip(h, GopHeader.read)
+        assert not out.closed_gop and out.broken_link
+
+
+class TestPictureHeader:
+    def test_i_picture_has_no_f_codes_on_wire(self):
+        i_hdr = PictureHeader(temporal_reference=0, picture_type=PictureType.I)
+        p_hdr = PictureHeader(temporal_reference=0, picture_type=PictureType.P)
+        wi, wp = BitWriter(), BitWriter()
+        i_hdr.write(wi)
+        p_hdr.write(wp)
+        assert wi.bit_position < wp.bit_position
+
+    @pytest.mark.parametrize("ptype", list(PictureType))
+    def test_roundtrip(self, ptype):
+        h = PictureHeader(
+            temporal_reference=517,
+            picture_type=ptype,
+            forward_f_code=3,
+            backward_f_code=2,
+        )
+        out = roundtrip(h, PictureHeader.read)
+        assert out.temporal_reference == 517
+        assert out.picture_type == ptype
+        if ptype != PictureType.I:
+            assert out.forward_f_code == 3
+        if ptype == PictureType.B:
+            assert out.backward_f_code == 2
+
+
+class TestSliceHeader:
+    def test_roundtrip(self):
+        out = roundtrip(SliceHeader(quantiser_scale_code=17), SliceHeader.read)
+        assert out.quantiser_scale_code == 17
+
+    def test_rejects_zero_scale(self):
+        with pytest.raises(ValueError):
+            SliceHeader(quantiser_scale_code=0).write(BitWriter())

@@ -1,0 +1,159 @@
+"""Huffman construction and the VLC engine, including all MPEG tables."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bitstream import BitReader, BitWriter
+from repro.mpeg2.huffman import (
+    build_codebook,
+    canonical_codes,
+    geometric_weights,
+    huffman_code_lengths,
+)
+from repro.mpeg2.tables import (
+    AC_RUN_LEVEL,
+    CODED_BLOCK_PATTERN,
+    DC_SIZE_CHROMA,
+    DC_SIZE_LUMA,
+    MB_ADDRESS_INCREMENT,
+    MB_TYPE_B,
+    MB_TYPE_I,
+    MB_TYPE_P,
+    MOTION_CODE,
+    MbMode,
+)
+from repro.mpeg2.vlc import VLCError, VLCTable
+
+ALL_TABLES = [
+    DC_SIZE_LUMA,
+    DC_SIZE_CHROMA,
+    AC_RUN_LEVEL,
+    MB_ADDRESS_INCREMENT,
+    MB_TYPE_I,
+    MB_TYPE_P,
+    MB_TYPE_B,
+    CODED_BLOCK_PATTERN,
+    MOTION_CODE,
+]
+
+
+class TestHuffman:
+    def test_two_symbols_get_one_bit_each(self):
+        lengths = huffman_code_lengths({"a": 3.0, "b": 1.0})
+        assert lengths == {"a": 1, "b": 1}
+
+    def test_single_symbol(self):
+        assert huffman_code_lengths({"x": 1.0}) == {"x": 1}
+
+    def test_rarer_symbols_never_shorter(self):
+        weights = geometric_weights(list(range(10)), ratio=0.5)
+        lengths = huffman_code_lengths(weights)
+        ordered = [lengths[i] for i in range(10)]
+        assert ordered == sorted(ordered)
+
+    def test_kraft_equality(self):
+        lengths = huffman_code_lengths(geometric_weights(list(range(20))))
+        assert sum(2.0 ** -l for l in lengths.values()) == pytest.approx(1.0)
+
+    def test_canonical_codes_prefix_free(self):
+        codes = canonical_codes({"a": 2, "b": 2, "c": 3, "d": 3, "e": 2})
+        values = list(codes.values())
+        for i, ci in enumerate(values):
+            for j, cj in enumerate(values):
+                if i != j:
+                    assert not cj.startswith(ci)
+
+    def test_canonical_rejects_kraft_violation(self):
+        with pytest.raises(ValueError):
+            canonical_codes({"a": 1, "b": 1, "c": 1})
+
+    def test_length_limit_enforced(self):
+        # 40 symbols with brutally skewed weights: unlimited Huffman
+        # would need ~39-bit codes.
+        symbols = list(range(40))
+        codes = build_codebook(geometric_weights(symbols, ratio=0.3), max_length=12)
+        assert max(len(c) for c in codes.values()) <= 12
+        assert set(codes) == set(symbols)
+
+    def test_deterministic(self):
+        w = geometric_weights(list("abcdefgh"))
+        assert build_codebook(w) == build_codebook(w)
+
+    @given(st.integers(2, 60), st.floats(0.3, 0.95))
+    def test_build_codebook_always_prefix_free(self, n, ratio):
+        codes = build_codebook(geometric_weights(list(range(n)), ratio=ratio))
+        # VLCTable validates prefix-freeness on construction.
+        VLCTable(codes, name="prop")
+
+
+class TestVLCTable:
+    def test_rejects_non_prefix_free(self):
+        with pytest.raises(ValueError, match="prefix-free"):
+            VLCTable({"a": "0", "b": "01"})
+
+    def test_rejects_empty_and_bad_codewords(self):
+        with pytest.raises(ValueError):
+            VLCTable({})
+        with pytest.raises(ValueError):
+            VLCTable({"a": "012"})
+
+    def test_encode_unknown_symbol(self):
+        t = VLCTable({"a": "0", "b": "1"})
+        with pytest.raises(VLCError):
+            t.encode(BitWriter(), "c")
+
+    def test_invalid_codeword_detected(self):
+        t = VLCTable({"a": "00", "b": "01", "c": "10"})  # '11' unused
+        r = BitReader(bytes([0b11000000]))
+        with pytest.raises(VLCError):
+            t.decode(r)
+
+    def test_truncated_stream_detected(self):
+        t = VLCTable({"a": "0", "b": "111"})
+        w = BitWriter()
+        t.encode(w, "b")
+        w.align()
+        r = BitReader(w.getvalue())
+        assert t.decode(r) == "b"
+        # Remaining padding decodes as 'a's until exhaustion; reading
+        # past the end must raise, not loop.
+        for _ in range(5):
+            assert t.decode(r) == "a"
+        with pytest.raises(VLCError):
+            t.decode(r)
+
+    @pytest.mark.parametrize("table", ALL_TABLES, ids=lambda t: t.name)
+    def test_every_mpeg_table_roundtrips_all_symbols(self, table):
+        w = BitWriter()
+        symbols = table.symbols()
+        for s in symbols:
+            table.encode(w, s)
+        w.align()
+        r = BitReader(w.getvalue())
+        for s in symbols:
+            assert table.decode(r) == s
+
+    @pytest.mark.parametrize("table", ALL_TABLES, ids=lambda t: t.name)
+    def test_table_length_cap(self, table):
+        assert table.max_len <= 17  # MPEG's own tables stop at 17 bits
+
+    def test_mb_type_I_uses_standard_codes(self):
+        assert MB_TYPE_I.codeword(MbMode(intra=True)) == "1"
+        assert MB_TYPE_I.codeword(MbMode(intra=True, quant=True)) == "01"
+
+    def test_mb_type_P_most_common_is_one_bit(self):
+        assert MB_TYPE_P.codeword(MbMode(mc_fwd=True, coded=True)) == "1"
+
+    def test_common_symbols_get_short_codes(self):
+        # EOB is the most frequent AC symbol and must be near-minimal.
+        assert AC_RUN_LEVEL.code_length("EOB") <= 3
+        assert AC_RUN_LEVEL.code_length((0, 1)) <= 3
+        # Increment 1 dominates macroblock addressing.
+        assert MB_ADDRESS_INCREMENT.code_length(1) <= 2
+        assert MOTION_CODE.code_length(0) <= 2
+
+    def test_mbmode_validation(self):
+        with pytest.raises(ValueError):
+            MbMode(intra=True, coded=True)

@@ -1,0 +1,102 @@
+"""Motion-vector differential coding: range windows and roundtrips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitstream import BitReader, BitWriter
+from repro.mpeg2.mv_coding import (
+    MotionRangeError,
+    decode_component,
+    encode_component,
+    f_range,
+    required_f_code,
+    wrap_component,
+)
+
+
+class TestFRange:
+    def test_f_code_1_window(self):
+        assert f_range(1) == (-16, 15)
+
+    def test_f_code_4_window(self):
+        assert f_range(4) == (-128, 127)
+
+    def test_invalid_f_code(self):
+        with pytest.raises(ValueError):
+            f_range(0)
+        with pytest.raises(ValueError):
+            f_range(8)
+
+
+class TestRequiredFCode:
+    def test_small_vectors_fit_f1(self):
+        assert required_f_code(0) == 1
+        assert required_f_code(15) == 1
+
+    def test_boundary_promotes(self):
+        # +16 doesn't fit [-16, 15], needs f_code 2.
+        assert required_f_code(16) == 2
+        assert required_f_code(31) == 2
+        assert required_f_code(32) == 3
+
+    def test_too_large(self):
+        with pytest.raises(MotionRangeError):
+            required_f_code(10_000)
+
+
+class TestWrap:
+    def test_identity_inside_window(self):
+        assert wrap_component(7, 1) == 7
+
+    def test_wraps_above(self):
+        assert wrap_component(16, 1) == -16
+
+    def test_wraps_below(self):
+        assert wrap_component(-17, 1) == 15
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("f_code", range(1, 8))
+    def test_extremes_roundtrip(self, f_code):
+        low, high = f_range(f_code)
+        for value, predictor in [(low, 0), (high, 0), (0, low), (high, low)]:
+            w = BitWriter()
+            encode_component(w, value, predictor, f_code)
+            w.align()
+            assert decode_component(BitReader(w.getvalue()), predictor, f_code) == value
+
+    def test_out_of_window_rejected(self):
+        with pytest.raises(MotionRangeError):
+            encode_component(BitWriter(), 16, 0, 1)
+
+    @given(
+        f_code=st.integers(1, 7),
+        data=st.data(),
+    )
+    @settings(max_examples=200)
+    def test_any_value_any_predictor_roundtrips(self, f_code, data):
+        low, high = f_range(f_code)
+        value = data.draw(st.integers(low, high))
+        predictor = data.draw(st.integers(low, high))
+        w = BitWriter()
+        encode_component(w, value, predictor, f_code)
+        w.align()
+        decoded = decode_component(BitReader(w.getvalue()), predictor, f_code)
+        assert decoded == value
+
+    def test_sequence_of_components_shares_predictor_chain(self):
+        """Components coded against a running predictor, as in a slice."""
+        values = [0, 5, -12, 15, -16, 3]
+        f_code = 1
+        w = BitWriter()
+        pred = 0
+        for v in values:
+            pred = encode_component(w, v, pred, f_code)
+        w.align()
+        r = BitReader(w.getvalue())
+        pred = 0
+        for v in values:
+            pred = decode_component(r, pred, f_code)
+            assert pred == v

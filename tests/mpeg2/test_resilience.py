@@ -1,0 +1,101 @@
+"""Error resilience: slice-level concealment on corrupt payloads.
+
+Slice independence confines bitstream damage to one macroblock row —
+the same property the fine-grained parallel decomposition exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpeg2.counters import WorkCounters
+from repro.mpeg2.decoder import SequenceDecoder, decode_sequence
+from repro.mpeg2.index import build_index
+from repro.video.metrics import psnr
+
+
+def corrupt_slice(stream: bytes, gop: int, pic: int, sl: int) -> bytes:
+    """Zero out one slice's payload bytes on the wire.
+
+    A zero run contains no ``00 00 01`` prefix, so the start-code
+    structure (and hence the index) is untouched; the payload itself
+    becomes garbage (quantiser_scale_code 0 -> guaranteed parse error).
+    """
+    idx = build_index(stream)
+    s = idx.gops[gop].pictures[pic].slices[sl]
+    out = bytearray(stream)
+    out[s.payload_start : s.payload_end] = bytes(
+        s.payload_end - s.payload_start
+    )
+    return bytes(out)
+
+
+@pytest.fixture(scope="module")
+def corrupt_stream(small_stream):
+    # Corrupt a slice of the second P picture (coding position 4).
+    return corrupt_slice(small_stream, gop=0, pic=4, sl=1)
+
+
+class TestStrictDecoder:
+    def test_corruption_raises(self, corrupt_stream):
+        with pytest.raises(Exception):
+            decode_sequence(corrupt_stream)
+
+    def test_clean_stream_unaffected(self, small_stream):
+        dec = SequenceDecoder(small_stream, resilient=True)
+        counters = WorkCounters()
+        frames = dec.decode_all(counters)
+        assert counters.concealed_slices == 0
+        assert len(frames) == 13
+
+
+class TestResilientDecoder:
+    def test_decodes_to_completion(self, corrupt_stream):
+        dec = SequenceDecoder(corrupt_stream, resilient=True)
+        counters = WorkCounters()
+        frames = dec.decode_all(counters)
+        assert len(frames) == 13
+        assert counters.concealed_slices >= 1
+
+    def test_damage_confined_to_row_and_dependents(
+        self, small_stream, corrupt_stream
+    ):
+        clean = decode_sequence(small_stream)
+        dirty = SequenceDecoder(corrupt_stream, resilient=True).decode_all()
+        # Pictures decoded before the corrupted reference are bit-exact.
+        damaged_pic_tref = build_index(small_stream).gops[0].pictures[4].temporal_reference
+        for k in range(13):
+            if k < min(damaged_pic_tref, 4):
+                assert clean[k].same_pixels(dirty[k]), f"picture {k} changed"
+        # The corrupted picture itself is still watchable (concealment
+        # copies the reference row), not garbage.
+        assert psnr(clean[damaged_pic_tref], dirty[damaged_pic_tref]) > 20.0
+
+    def test_rows_outside_slice_unaffected_in_damaged_picture(
+        self, small_stream, corrupt_stream
+    ):
+        clean = decode_sequence(small_stream)
+        dirty = SequenceDecoder(corrupt_stream, resilient=True).decode_all()
+        tref = build_index(small_stream).gops[0].pictures[4].temporal_reference
+        a, b = clean[tref].y, dirty[tref].y
+        # Slice 1 covers rows 0..15; slice 2 (corrupted) rows 16..31;
+        # slice 3 rows 32..47.  Rows of slices 1 and 3 must be intact.
+        assert np.array_equal(a[0:16], b[0:16])
+        assert np.array_equal(a[32:48], b[32:48])
+        assert not np.array_equal(a[16:32], b[16:32])
+
+    def test_i_picture_concealment_without_reference(self, small_stream):
+        corrupted = corrupt_slice(small_stream, gop=0, pic=0, sl=0)
+        dec = SequenceDecoder(corrupted, resilient=True)
+        frames = dec.decode_all()
+        # First I-picture row concealed with grey (no reference exists).
+        assert np.all(frames[0].y[0:16, :] == 128)
+
+    def test_multiple_corrupt_slices(self, small_stream):
+        s = corrupt_slice(small_stream, gop=0, pic=2, sl=0)
+        s = corrupt_slice(s, gop=0, pic=3, sl=2)
+        counters = WorkCounters()
+        frames = SequenceDecoder(s, resilient=True).decode_all(counters)
+        assert len(frames) == 13
+        assert counters.concealed_slices == 2

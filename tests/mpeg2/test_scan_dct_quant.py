@@ -1,0 +1,164 @@
+"""Zig-zag scans, DCT, and quantization invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.mpeg2.constants import COEFF_MAX, COEFF_MIN, LEVEL_MAX, LEVEL_MIN
+from repro.mpeg2.dct import fdct, idct, idct_rounded
+from repro.mpeg2.quant import (
+    dequantize_intra,
+    dequantize_non_intra,
+    quantize_intra,
+    quantize_non_intra,
+)
+from repro.mpeg2.scan import (
+    ALTERNATE,
+    ZIGZAG,
+    scan_block,
+    unscan_block,
+)
+from repro.mpeg2.tables import (
+    DEFAULT_INTRA_QUANT_MATRIX,
+    DEFAULT_NON_INTRA_QUANT_MATRIX,
+)
+
+pixel_blocks = arrays(
+    dtype=np.int64, shape=(8, 8), elements=st.integers(0, 255)
+)
+
+
+class TestScan:
+    def test_zigzag_is_permutation(self):
+        assert sorted(ZIGZAG.tolist()) == list(range(64))
+        assert sorted(ALTERNATE.tolist()) == list(range(64))
+
+    def test_zigzag_first_entries(self):
+        # Classic scan: (0,0), (0,1), (1,0), (2,0), (1,1), (0,2), ...
+        assert ZIGZAG[:6].tolist() == [0, 1, 8, 16, 9, 2]
+
+    def test_zigzag_last_entry_is_77(self):
+        assert ZIGZAG[63] == 63
+
+    @pytest.mark.parametrize("order", [ZIGZAG, ALTERNATE], ids=["zigzag", "alternate"])
+    def test_scan_unscan_identity(self, order):
+        rng = np.random.default_rng(0)
+        block = rng.integers(-100, 100, size=(5, 8, 8))
+        assert np.array_equal(unscan_block(scan_block(block, order), order), block)
+
+    def test_scan_orders_by_frequency(self):
+        # A block with only low-frequency content must concentrate its
+        # scanned energy at the front.
+        block = np.zeros((8, 8))
+        block[:2, :2] = 100
+        scanned = scan_block(block)
+        assert np.all(scanned[5:] == 0)
+
+
+class TestDCT:
+    def test_dc_is_eight_times_mean(self):
+        block = np.full((8, 8), 100.0)
+        coeffs = fdct(block)
+        assert coeffs[0, 0] == pytest.approx(800.0)
+        assert np.allclose(coeffs.reshape(-1)[1:], 0.0, atol=1e-9)
+
+    def test_parseval_energy(self):
+        rng = np.random.default_rng(1)
+        block = rng.uniform(0, 255, size=(8, 8))
+        coeffs = fdct(block)
+        assert np.sum(block**2) == pytest.approx(np.sum(coeffs**2))
+
+    @given(pixel_blocks)
+    @settings(max_examples=50)
+    def test_idct_inverts_fdct(self, block):
+        assert np.array_equal(idct_rounded(fdct(block)), block)
+
+    def test_vectorised_over_leading_axes(self):
+        rng = np.random.default_rng(2)
+        blocks = rng.integers(0, 255, size=(4, 6, 8, 8))
+        stacked = fdct(blocks)
+        single = fdct(blocks[2, 3])
+        assert np.allclose(stacked[2, 3], single)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            fdct(np.zeros((8, 4)))
+        with pytest.raises(ValueError):
+            idct(np.zeros((4, 8)))
+
+
+class TestQuant:
+    def test_intra_dc_step_eight(self):
+        block = np.zeros((8, 8))
+        block[0, 0] = 800.0  # flat block of 100s
+        levels = quantize_intra(block, DEFAULT_INTRA_QUANT_MATRIX, 16)
+        assert levels[0, 0] == 100
+        recon = dequantize_intra(levels, DEFAULT_INTRA_QUANT_MATRIX, 16)
+        assert recon[0, 0] == 800
+
+    def test_reconstruction_error_bounded_by_step(self):
+        rng = np.random.default_rng(3)
+        coeffs = rng.uniform(-500, 500, size=(8, 8))
+        for qscale in (2, 8, 16, 31 * 2):
+            levels = quantize_intra(coeffs, DEFAULT_INTRA_QUANT_MATRIX, qscale)
+            recon = dequantize_intra(levels, DEFAULT_INTRA_QUANT_MATRIX, qscale)
+            step = DEFAULT_INTRA_QUANT_MATRIX * qscale / 16.0
+            err = np.abs(recon - coeffs)[np.unravel_index(range(1, 64), (8, 8))]
+            # mismatch control moves (7,7) by at most 1 extra unit
+            assert np.all(err <= step.reshape(-1)[1:] + 1.5)
+
+    def test_non_intra_zero_stays_zero(self):
+        zeros = np.zeros((8, 8))
+        levels = quantize_non_intra(zeros, DEFAULT_NON_INTRA_QUANT_MATRIX, 16)
+        assert not levels.any()
+        recon = dequantize_non_intra(levels, DEFAULT_NON_INTRA_QUANT_MATRIX, 16)
+        # mismatch control still forces an odd sum via coefficient (7,7)
+        assert abs(int(recon.sum())) <= 1
+
+    def test_non_intra_dead_zone(self):
+        # |coeff| below one step quantizes to zero (dead zone).
+        coeffs = np.full((8, 8), 10.0)
+        levels = quantize_non_intra(coeffs, DEFAULT_NON_INTRA_QUANT_MATRIX, 16)
+        assert not levels.any()
+
+    def test_levels_clamped_to_escape_range(self):
+        coeffs = np.full((8, 8), 1e9)
+        for fn, mat in (
+            (quantize_intra, DEFAULT_INTRA_QUANT_MATRIX),
+            (quantize_non_intra, DEFAULT_NON_INTRA_QUANT_MATRIX),
+        ):
+            levels = fn(coeffs, mat, 2)
+            assert levels.max() <= LEVEL_MAX
+            assert levels.min() >= LEVEL_MIN
+
+    def test_dequant_saturates(self):
+        levels = np.full((8, 8), LEVEL_MAX)
+        recon = dequantize_intra(levels, DEFAULT_INTRA_QUANT_MATRIX, 62)
+        assert recon.max() <= COEFF_MAX
+        assert recon.min() >= COEFF_MIN
+
+    @given(
+        arrays(np.int64, (8, 8), elements=st.integers(-200, 200)),
+        st.sampled_from([2, 4, 16, 40, 62]),
+    )
+    @settings(max_examples=40)
+    def test_mismatch_control_makes_sum_odd(self, levels, qscale):
+        recon = dequantize_non_intra(
+            levels, DEFAULT_NON_INTRA_QUANT_MATRIX, qscale
+        )
+        assert int(recon.sum()) % 2 == 1
+
+    def test_quantize_roundtrip_monotone(self):
+        """Coarser quantizers never produce more nonzero levels."""
+        rng = np.random.default_rng(4)
+        coeffs = rng.uniform(-300, 300, size=(8, 8))
+        counts = [
+            int(np.count_nonzero(
+                quantize_non_intra(coeffs, DEFAULT_NON_INTRA_QUANT_MATRIX, q)
+            ))
+            for q in (2, 8, 20, 40, 62)
+        ]
+        assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,131 @@
+"""Real-time paced display: deadlines, lateness, memory backpressure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import (
+    GopLevelDecoder,
+    ParallelConfig,
+    SliceLevelDecoder,
+    SliceMode,
+    profile_stream,
+)
+from repro.parallel.pacing import DisplayPacer
+from repro.parallel.profile import tile_profile
+from repro.smp import CHALLENGE, challenge
+
+
+@pytest.fixture(scope="module")
+def profile(medium_stream):
+    p, _ = profile_stream(medium_stream)
+    return tile_profile(p, 4)  # 8 GOPs, 104 pictures
+
+
+def cfg(workers, rate=None):
+    return ParallelConfig(
+        workers=workers, machine=challenge(16), display_rate_hz=rate
+    )
+
+
+class TestDisplayPacer:
+    def test_disabled_pacer_never_sleeps(self):
+        pacer = DisplayPacer(CHALLENGE, None)
+        assert not pacer.enabled
+        assert pacer.on_ready(0, 100) is None
+        assert pacer.on_ready(1, 5) is None
+        assert pacer.late_pictures == 0
+
+    def test_first_picture_sets_epoch(self):
+        pacer = DisplayPacer(CHALLENGE, 30.0)
+        assert pacer.on_ready(0, 1000) is None
+        assert pacer.t0 == 1000
+        assert pacer.startup_cycles == 1000
+
+    def test_early_picture_sleeps_to_deadline(self):
+        pacer = DisplayPacer(CHALLENGE, 30.0)
+        pacer.on_ready(0, 0)
+        period = pacer.period
+        assert pacer.on_ready(1, period // 2) == period
+        assert pacer.late_pictures == 0
+
+    def test_late_picture_counted(self):
+        pacer = DisplayPacer(CHALLENGE, 30.0)
+        pacer.on_ready(0, 0)
+        period = pacer.period
+        assert pacer.on_ready(1, period + 500) is None
+        assert pacer.late_pictures == 1
+        assert pacer.max_lateness == 500
+
+    def test_period_from_rate(self):
+        pacer = DisplayPacer(CHALLENGE, 30.0)
+        assert pacer.period == CHALLENGE.cycles(1 / 30)
+
+    def test_period_requires_rate(self):
+        with pytest.raises(ValueError):
+            DisplayPacer(CHALLENGE, None).period
+
+
+class TestPacedRuns:
+    @pytest.mark.parametrize("decoder_kind", ["gop", "slice"])
+    def test_fast_decode_meets_deadlines(self, profile, decoder_kind):
+        """Tiny 96x64 pictures decode far above 30/s: no late pictures,
+        and display times are spaced at (at least) the period."""
+        config = cfg(4, rate=30.0)
+        if decoder_kind == "gop":
+            result = GopLevelDecoder(profile).run(config)
+        else:
+            result = SliceLevelDecoder(profile).run(config, SliceMode.IMPROVED)
+        assert result.met_realtime
+        assert result.late_pictures == 0
+        period = CHALLENGE.cycles(1 / 30)
+        gaps = [
+            b - a for a, b in zip(result.display_times, result.display_times[1:])
+        ]
+        assert min(gaps) >= period * 0.99
+        # Paced playback of 104 pictures at 30/s takes ~3.4 s.
+        assert result.finish_seconds > 103 / 30
+
+    def test_unpaced_run_is_faster_than_paced(self, profile):
+        free = GopLevelDecoder(profile).run(cfg(4))
+        paced = GopLevelDecoder(profile).run(cfg(4, rate=30.0))
+        assert free.finish_cycles < paced.finish_cycles
+        assert free.late_pictures == 0  # field unused without pacing
+
+    def test_impossible_rate_reports_lateness(self, profile):
+        """At an absurd display rate a single worker must miss
+        deadlines, and the lateness is reported."""
+        result = GopLevelDecoder(profile).run(cfg(1, rate=100_000.0))
+        assert not result.met_realtime
+        assert result.late_pictures > 0
+        assert result.max_lateness_cycles > 0
+        assert result.max_lateness_seconds > 0
+
+    def test_paced_gop_memory_grows_against_display(self, profile):
+        """When decode outruns a paced display, the GOP decoder's
+        decoded-frame backlog grows — the real-time face of Fig. 8."""
+        free = GopLevelDecoder(profile).run(cfg(6))
+        paced = GopLevelDecoder(profile).run(cfg(6, rate=30.0))
+        assert paced.memory.peak("frames") > free.memory.peak("frames")
+
+    def test_startup_latency_reported(self, profile):
+        result = SliceLevelDecoder(profile).run(
+            cfg(4, rate=30.0), SliceMode.IMPROVED
+        )
+        assert result.startup_cycles > 0
+        assert result.startup_seconds < 1.0
+
+    def test_output_identical_under_pacing(self, medium_stream):
+        base, _ = profile_stream(medium_stream)
+        from repro.mpeg2.decoder import decode_sequence
+
+        ref = decode_sequence(medium_stream)
+        result = SliceLevelDecoder(base, medium_stream).run(
+            ParallelConfig(
+                workers=3, machine=challenge(16),
+                display_rate_hz=30.0, execute=True,
+            ),
+            SliceMode.IMPROVED,
+        )
+        for a, b in zip(ref, result.frames):
+            assert a.same_pixels(b)

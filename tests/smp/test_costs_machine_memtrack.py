@@ -1,0 +1,145 @@
+"""Cost model calibration, machine configs, memory tracker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpeg2.counters import WorkCounters
+from repro.smp import CHALLENGE, DASH, DEFAULT_COST_MODEL, MemoryTracker, challenge, dash
+from repro.smp.machine import MachineConfig
+
+
+class TestCostModel:
+    def _picture_counters(self, width, height, bits):
+        """Work counters of a fully-coded picture (rough upper bound)."""
+        mbs = (width // 16) * (height // 16)
+        c = WorkCounters()
+        c.bits = bits
+        c.macroblocks = mbs
+        c.idct_blocks = mbs * 5  # ~80% of blocks coded
+        c.mc_macroblocks = int(mbs * 0.6)
+        c.mc_pixels = int(mbs * 0.6) * 384
+        c.pixels = mbs * 384
+        c.headers = 1 + height // 16
+        return c
+
+    def test_calibration_hits_paper_table3_at_352x240(self):
+        """~30e6 cycles/picture at the paper's 5 Mb/s operating point."""
+        c = self._picture_counters(352, 240, bits=167_000)
+        cycles = DEFAULT_COST_MODEL.decode_cycles(c)
+        assert 24e6 < cycles < 38e6
+
+    def test_sub_linear_growth_with_resolution_at_fixed_bit_rate(self):
+        """Table 3 shape: 4x pixels at the same bit rate costs ~2.6x."""
+        small = DEFAULT_COST_MODEL.decode_cycles(
+            self._picture_counters(352, 240, bits=167_000)
+        )
+        big = DEFAULT_COST_MODEL.decode_cycles(
+            self._picture_counters(704, 480, bits=167_000)
+        )
+        assert 2.2 < big / small < 3.2
+
+    def test_bit_work_separable(self):
+        c0 = WorkCounters()
+        c0.bits = 100_000
+        assert DEFAULT_COST_MODEL.decode_cycles(c0) == int(82.0 * 100_000)
+
+    def test_scan_rate_matches_table2(self):
+        """25 MB must scan in 4.5-6.5 simulated seconds (Table 2)."""
+        cycles = DEFAULT_COST_MODEL.scan_cycles(25 * 1024 * 1024)
+        assert 4.0 < CHALLENGE.seconds(cycles) < 7.0
+
+    def test_stall_fraction_in_paper_band(self):
+        """Fig. 7: 10-30% of time stalled, average ~20%."""
+        for pixels in (352 * 240, 704 * 480, 1408 * 960):
+            f = DEFAULT_COST_MODEL.stall_fraction(CHALLENGE, pixels)
+            assert 0.10 <= f <= 0.30
+
+    def test_stall_grows_with_picture_size(self):
+        small = DEFAULT_COST_MODEL.stall_fraction(CHALLENGE, 352 * 240)
+        large = DEFAULT_COST_MODEL.stall_fraction(CHALLENGE, 1408 * 960)
+        assert large > small
+
+    def test_numa_adds_remote_component(self):
+        uma = DEFAULT_COST_MODEL.stall_fraction(CHALLENGE, 704 * 480)
+        numa = DEFAULT_COST_MODEL.stall_fraction(dash(32), 704 * 480)
+        assert numa > uma + 0.2
+
+    def test_numa_data_placement_reduces_stall(self):
+        machine = dash(32)
+        naive = DEFAULT_COST_MODEL.stall_fraction(machine, 704 * 480)
+        placed = DEFAULT_COST_MODEL.stall_fraction(
+            machine, 704 * 480, remote_fraction=0.15
+        )
+        assert placed < naive
+
+    def test_single_cluster_dash_has_no_remote_traffic(self):
+        machine = dash(4)
+        f_numa = DEFAULT_COST_MODEL.stall_fraction(machine, 352 * 240)
+        f_uma = DEFAULT_COST_MODEL.stall_fraction(CHALLENGE, 352 * 240)
+        assert f_numa == pytest.approx(f_uma)
+
+
+class TestMachineConfig:
+    def test_challenge_defaults(self):
+        assert CHALLENGE.processors == 16
+        assert CHALLENGE.clock_hz == 150e6
+        assert not CHALLENGE.is_numa
+
+    def test_seconds_cycles_roundtrip(self):
+        assert CHALLENGE.seconds(150_000_000) == pytest.approx(1.0)
+        assert CHALLENGE.cycles(0.5) == 75_000_000
+
+    def test_dash_clusters(self):
+        m = dash(32)
+        assert m.is_numa
+        assert m.cluster_of(0) == 0
+        assert m.cluster_of(3) == 0
+        assert m.cluster_of(4) == 1
+        assert m.cluster_of(31) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(name="bad", processors=0)
+
+
+class TestMemoryTracker:
+    def test_curve_and_peak(self):
+        t = MemoryTracker()
+        t.allocate(0, 100, "frames")
+        t.allocate(10, 50, "frames")
+        t.free(20, 100, "frames")
+        assert t.curve() == [(0, 100), (10, 150), (20, 50)]
+        assert t.peak() == 150
+        assert t.usage_at(15) == 150
+        assert t.usage_at(25) == 50
+        assert t.usage_at(-1) == 0
+
+    def test_categories_tracked_separately(self):
+        t = MemoryTracker()
+        t.allocate(0, 100, "scan")
+        t.allocate(5, 200, "frames")
+        t.free(9, 100, "scan")
+        assert t.peak("scan") == 100
+        assert t.peak("frames") == 200
+        assert t.peak() == 300
+        assert t.final_usage() == {"scan": 0, "frames": 200}
+
+    def test_same_time_events_merge(self):
+        t = MemoryTracker()
+        t.allocate(5, 10, "x")
+        t.allocate(5, 10, "x")
+        assert t.curve() == [(5, 20)]
+
+    def test_negative_rejected(self):
+        t = MemoryTracker()
+        with pytest.raises(ValueError):
+            t.allocate(0, -1, "x")
+        with pytest.raises(ValueError):
+            t.free(0, -1, "x")
+
+    def test_unsorted_insertion_ok(self):
+        t = MemoryTracker()
+        t.allocate(10, 5, "x")
+        t.allocate(0, 7, "x")
+        assert t.curve() == [(0, 7), (10, 12)]

@@ -1,0 +1,308 @@
+"""Discrete-event engine: timing, locks, barriers, conditions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.smp import (
+    AcquireLock,
+    Barrier,
+    Compute,
+    Condition,
+    Halt,
+    Lock,
+    ReleaseLock,
+    SignalCondition,
+    Simulator,
+    Stall,
+    WaitBarrier,
+    WaitCondition,
+)
+from repro.smp.engine import DeadlockError
+
+
+class TestCompute:
+    def test_sequential_computes_accumulate(self):
+        sim = Simulator()
+
+        def body(proc):
+            yield Compute(100)
+            yield Compute(50)
+
+        p = sim.add_process("p", body)
+        sim.run()
+        assert p.stats.busy == 150
+        assert p.stats.finish_time == 150
+        assert sim.now == 150
+
+    def test_stall_accounted_separately(self):
+        sim = Simulator()
+
+        def body(proc):
+            yield Compute(100)
+            yield Stall(30)
+
+        p = sim.add_process("p", body)
+        sim.run()
+        assert p.stats.ideal == 100
+        assert p.stats.actual == 130
+        assert p.stats.finish_time == 130
+
+    def test_parallel_processes_overlap(self):
+        sim = Simulator()
+
+        def body(proc):
+            yield Compute(1000)
+
+        for i in range(4):
+            sim.add_process(f"p{i}", body)
+        sim.run()
+        assert sim.now == 1000  # not 4000: they ran in parallel
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1)
+        with pytest.raises(ValueError):
+            Stall(-5)
+
+
+class TestLock:
+    def test_mutual_exclusion_serialises(self):
+        sim = Simulator()
+        lock = Lock("l")
+        order = []
+
+        def body(proc):
+            yield AcquireLock(lock)
+            order.append((proc.name, sim.now, "in"))
+            yield Compute(100)
+            order.append((proc.name, sim.now, "out"))
+            yield ReleaseLock(lock)
+
+        sim.add_process("a", body)
+        sim.add_process("b", body)
+        sim.run()
+        assert sim.now == 200  # critical sections serialised
+        # No overlap: b enters only after a leaves.
+        assert order == [
+            ("a", 0, "in"), ("a", 100, "out"),
+            ("b", 100, "in"), ("b", 200, "out"),
+        ]
+        assert lock.acquisitions == 2
+        assert lock.contentions == 1
+
+    def test_contended_wait_charged_as_sync(self):
+        sim = Simulator()
+        lock = Lock()
+
+        def body(proc):
+            yield AcquireLock(lock)
+            yield Compute(100)
+            yield ReleaseLock(lock)
+
+        a = sim.add_process("a", body)
+        b = sim.add_process("b", body)
+        sim.run()
+        assert a.stats.sync_wait + b.stats.sync_wait == 100
+
+    def test_release_by_non_holder_rejected(self):
+        sim = Simulator()
+        lock = Lock()
+
+        def body(proc):
+            yield ReleaseLock(lock)
+
+        sim.add_process("p", body)
+        with pytest.raises(RuntimeError, match="released"):
+            sim.run()
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        lock = Lock()
+        entered = []
+
+        def body(proc):
+            yield Compute(int(proc.name))  # stagger arrivals
+            yield AcquireLock(lock)
+            entered.append(proc.name)
+            yield Compute(50)
+            yield ReleaseLock(lock)
+
+        for i in range(5):
+            sim.add_process(str(i), body)
+        sim.run()
+        assert entered == ["0", "1", "2", "3", "4"]
+
+
+class TestBarrier:
+    def test_all_wait_for_last(self):
+        sim = Simulator()
+        barrier = Barrier(3)
+        release_times = []
+
+        def body(proc, work):
+            yield Compute(work)
+            yield WaitBarrier(barrier)
+            release_times.append(sim.now)
+
+        sim.add_process("a", lambda p: body(p, 10))
+        sim.add_process("b", lambda p: body(p, 500))
+        sim.add_process("c", lambda p: body(p, 90))
+        sim.run()
+        assert release_times == [500, 500, 500]
+
+    def test_sync_wait_is_imbalance(self):
+        sim = Simulator()
+        barrier = Barrier(2)
+
+        def body(proc, work):
+            yield Compute(work)
+            yield WaitBarrier(barrier)
+
+        fast = sim.add_process("fast", lambda p: body(p, 100))
+        slow = sim.add_process("slow", lambda p: body(p, 900))
+        sim.run()
+        assert fast.stats.sync_wait == 800
+        assert slow.stats.sync_wait == 0
+
+    def test_barrier_is_reusable(self):
+        sim = Simulator()
+        barrier = Barrier(2)
+        laps = []
+
+        def body(proc, work):
+            for lap in range(3):
+                yield Compute(work)
+                yield WaitBarrier(barrier)
+                laps.append((proc.name, lap, sim.now))
+
+        sim.add_process("a", lambda p: body(p, 100))
+        sim.add_process("b", lambda p: body(p, 300))
+        sim.run()
+        assert sim.now == 900
+        assert barrier.generation == 3
+
+    def test_invalid_parties(self):
+        with pytest.raises(ValueError):
+            Barrier(0)
+
+
+class TestCondition:
+    def test_signal_wakes_all_waiters(self):
+        sim = Simulator()
+        cond = Condition()
+        woken = []
+
+        def waiter(proc):
+            yield WaitCondition(cond)
+            woken.append((proc.name, sim.now))
+
+        def signaller(proc):
+            yield Compute(250)
+            yield SignalCondition(cond)
+
+        sim.add_process("w1", waiter)
+        sim.add_process("w2", waiter)
+        sim.add_process("s", signaller)
+        sim.run()
+        assert woken == [("w1", 250), ("w2", 250)]
+
+    def test_deadlock_detected(self):
+        sim = Simulator()
+        cond = Condition()
+
+        def waiter(proc):
+            yield WaitCondition(cond)
+
+        sim.add_process("w", waiter)
+        with pytest.raises(DeadlockError, match="w"):
+            sim.run()
+
+    def test_halt_terminates_process(self):
+        sim = Simulator()
+
+        def body(proc):
+            yield Compute(10)
+            yield Halt()
+            yield Compute(1000)  # unreachable
+
+        p = sim.add_process("p", body)
+        sim.run()
+        assert p.finished
+        assert p.stats.busy == 10
+
+
+class TestSleepUntil:
+    def test_sleep_advances_to_absolute_time(self):
+        from repro.smp import SleepUntil
+
+        sim = Simulator()
+
+        def body(proc):
+            yield Compute(100)
+            yield SleepUntil(5000)
+            yield Compute(10)
+
+        p = sim.add_process("p", body)
+        sim.run()
+        assert p.stats.finish_time == 5010
+        assert p.stats.idle == 4900
+        assert p.stats.busy == 110
+
+    def test_sleep_into_past_is_noop(self):
+        from repro.smp import SleepUntil
+
+        sim = Simulator()
+
+        def body(proc):
+            yield Compute(1000)
+            yield SleepUntil(50)  # already past
+            yield Compute(10)
+
+        p = sim.add_process("p", body)
+        sim.run()
+        assert p.stats.finish_time == 1010
+        assert p.stats.idle == 0
+
+    def test_sleep_does_not_block_others(self):
+        from repro.smp import SleepUntil
+
+        sim = Simulator()
+        done = []
+
+        def sleeper(proc):
+            yield SleepUntil(10_000)
+            done.append(("sleeper", sim.now))
+
+        def worker(proc):
+            yield Compute(500)
+            done.append(("worker", sim.now))
+
+        sim.add_process("s", sleeper)
+        sim.add_process("w", worker)
+        sim.run()
+        assert done == [("worker", 500), ("sleeper", 10_000)]
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def make_run():
+            sim = Simulator()
+            lock = Lock()
+            cond = Condition()
+            trace = []
+
+            def worker(proc):
+                for i in range(3):
+                    yield AcquireLock(lock)
+                    trace.append((proc.name, sim.now))
+                    yield Compute(17 * (1 + int(proc.name)))
+                    yield ReleaseLock(lock)
+                    yield SignalCondition(cond)
+
+            for i in range(4):
+                sim.add_process(str(i), worker)
+            sim.run()
+            return trace, sim.now
+
+        assert make_run() == make_run()

@@ -1,0 +1,193 @@
+"""Bit-level I/O, start codes, and emulation prevention."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bitstream import (
+    BitReader,
+    BitWriter,
+    GROUP_START_CODE,
+    PICTURE_START_CODE,
+    SEQUENCE_HEADER_CODE,
+    StartCodeHit,
+    find_start_codes,
+    is_slice_start_code,
+)
+from repro.bitstream.emulation import (
+    contains_start_code_prefix,
+    escape_payload,
+    unescape_payload,
+)
+from repro.bitstream.reader import BitstreamError
+
+
+class TestBitWriter:
+    def test_writes_msb_first(self):
+        w = BitWriter()
+        w.write_bits(0b1011, 4)
+        w.write_bits(0b0010, 4)
+        assert w.getvalue() == bytes([0b10110010])
+
+    def test_cross_byte_value(self):
+        w = BitWriter()
+        w.write_bits(0xABC, 12)
+        w.align()
+        assert w.getvalue() == bytes([0xAB, 0xC0])
+
+    def test_zero_width_write_is_noop(self):
+        w = BitWriter()
+        w.write_bits(0, 0)
+        assert w.bit_position == 0
+
+    def test_value_too_large_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(4, 2)
+
+    def test_negative_value_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(-1, 3)
+
+    def test_getvalue_requires_alignment(self):
+        w = BitWriter()
+        w.write_bits(1, 3)
+        with pytest.raises(ValueError):
+            w.getvalue()
+        w.align()
+        assert w.getvalue() == bytes([0b00100000])
+
+    def test_write_string(self):
+        w = BitWriter()
+        w.write_string("0000110")
+        w.write_bit(1)
+        assert w.getvalue() == bytes([0b00001101])
+
+    def test_signed_roundtrip(self):
+        w = BitWriter()
+        w.write_signed(-3, 4)
+        w.write_signed(5, 4)
+        r = BitReader(w.getvalue())
+        assert r.read_signed(4) == -3
+        assert r.read_signed(4) == 5
+
+    def test_start_code_is_byte_aligned(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        w.write_start_code(GROUP_START_CODE)
+        data = w.getvalue()
+        assert data[1:4] == b"\x00\x00\x01"
+        assert data[4] == GROUP_START_CODE
+
+
+class TestBitReader:
+    def test_read_bits(self):
+        r = BitReader(bytes([0b10110010, 0xFF]))
+        assert r.read_bits(4) == 0b1011
+        assert r.read_bits(4) == 0b0010
+        assert r.read_bits(8) == 0xFF
+
+    def test_read_past_end_raises(self):
+        r = BitReader(b"\xAA")
+        r.read_bits(8)
+        with pytest.raises(BitstreamError):
+            r.read_bits(1)
+
+    def test_peek_does_not_consume(self):
+        r = BitReader(b"\xF0")
+        assert r.peek_bits(4) == 0xF
+        assert r.peek_bits(4) == 0xF
+        assert r.read_bits(4) == 0xF
+
+    def test_peek_pads_past_end_with_zeros(self):
+        r = BitReader(b"\xFF")
+        assert r.peek_bits(12) == 0xFF0
+
+    def test_align(self):
+        r = BitReader(b"\x80\xFF")
+        r.read_bits(1)
+        r.align()
+        assert r.bit_position == 8
+        r.align()
+        assert r.bit_position == 8
+
+    def test_next_start_code(self):
+        data = b"\xAB\x00\x00\x01\xB8payload\x00\x00\x01\x00"
+        r = BitReader(data)
+        assert r.next_start_code() == 0xB8
+        assert r.next_start_code() == 0x00
+        assert r.next_start_code() is None
+
+    def test_at_start_code(self):
+        r = BitReader(b"\x00\x00\x01\xB3")
+        assert r.at_start_code()
+        r.read_bits(8)
+        assert not r.at_start_code()
+
+    @given(st.lists(st.tuples(st.integers(0, 24), st.integers(min_value=0)),
+                    min_size=1, max_size=50))
+    def test_roundtrip_property(self, fields):
+        """Any sequence of (width, value) fields round-trips exactly."""
+        fields = [(n, v & ((1 << n) - 1)) for n, v in fields]
+        w = BitWriter()
+        for n, v in fields:
+            w.write_bits(v, n)
+        w.align()
+        r = BitReader(w.getvalue())
+        for n, v in fields:
+            assert r.read_bits(n) == v
+
+
+class TestStartCodes:
+    def test_slice_range(self):
+        assert not is_slice_start_code(0x00)
+        assert is_slice_start_code(0x01)
+        assert is_slice_start_code(0xAF)
+        assert not is_slice_start_code(0xB0)
+
+    def test_find_start_codes(self):
+        data = b"xx\x00\x00\x01\xB3abc\x00\x00\x01\x01yz"
+        hits = find_start_codes(data)
+        assert hits == [
+            StartCodeHit(offset=2, code=SEQUENCE_HEADER_CODE),
+            StartCodeHit(offset=9, code=0x01),
+        ]
+        assert hits[1].is_slice
+
+    def test_extra_leading_zeros(self):
+        # Any number of zero bytes may precede the prefix.
+        data = b"\x00\x00\x00\x00\x01\x00"
+        hits = find_start_codes(data)
+        assert len(hits) == 1
+        assert hits[0].code == PICTURE_START_CODE
+        assert hits[0].offset == 2
+
+    def test_truncated_prefix_at_end_ignored(self):
+        assert find_start_codes(b"ab\x00\x00\x01") == []
+
+
+class TestEmulationPrevention:
+    def test_escapes_prefix(self):
+        raw = b"\x00\x00\x01\xB8"
+        esc = escape_payload(raw)
+        assert not contains_start_code_prefix(esc)
+        assert unescape_payload(esc) == raw
+
+    def test_escapes_zero_zero_zero(self):
+        esc = escape_payload(b"\x00\x00\x00\x00")
+        assert not contains_start_code_prefix(esc)
+        assert unescape_payload(esc) == b"\x00\x00\x00\x00"
+
+    def test_plain_data_untouched(self):
+        raw = bytes(range(4, 256))
+        assert escape_payload(raw) == raw
+
+    @given(st.binary(max_size=300))
+    def test_roundtrip_and_safety_property(self, raw):
+        esc = escape_payload(raw)
+        assert unescape_payload(esc) == raw
+        assert not contains_start_code_prefix(esc)
+        # Escaping may only insert bytes, never remove them.
+        assert len(esc) >= len(raw)

@@ -1,0 +1,94 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture(scope="module")
+def encoded_file(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "clip.m2v")
+    rc = main(
+        ["encode", path, "--width", "64", "--height", "48",
+         "--frames", "13", "--gop-size", "13", "--seed", "5"]
+    )
+    assert rc == 0
+    return path
+
+
+class TestEncode:
+    def test_creates_file(self, encoded_file):
+        assert os.path.getsize(encoded_file) > 100
+
+    def test_rate_controlled_encode(self, tmp_path, capsys):
+        path = str(tmp_path / "rc.m2v")
+        rc = main(
+            ["encode", path, "--width", "48", "--height", "32",
+             "--frames", "4", "--gop-size", "4", "--bit-rate", "400000"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Mb/s" in out
+
+
+class TestInfo:
+    def test_reports_structure(self, encoded_file, capsys):
+        assert main(["info", encoded_file]) == 0
+        out = capsys.readouterr().out
+        assert "64x48" in out
+        assert "1 GOPs, 13 pictures" in out
+        assert "IPBBPBBPBBPBB" in out
+
+
+class TestDecode:
+    def test_decode_summary(self, encoded_file, capsys):
+        assert main(["decode", encoded_file]) == 0
+        out = capsys.readouterr().out
+        assert "decoded 13 pictures" in out
+
+    def test_dump_pgm(self, encoded_file, tmp_path, capsys):
+        dump = str(tmp_path / "frames")
+        assert main(["decode", encoded_file, "--dump-dir", dump]) == 0
+        files = sorted(os.listdir(dump))
+        assert len(files) == 13
+        with open(os.path.join(dump, files[0]), "rb") as fh:
+            header = fh.read(15)
+        assert header.startswith(b"P5\n64 48\n255\n")
+
+    def test_resilient_flag(self, encoded_file, capsys):
+        assert main(["decode", encoded_file, "--resilient"]) == 0
+
+
+class TestSimulate:
+    @pytest.mark.parametrize(
+        "decoder", ["gop", "slice-simple", "slice-improved", "macroblock"]
+    )
+    def test_each_decoder_runs(self, encoded_file, capsys, decoder):
+        rc = main(
+            ["simulate", encoded_file, "--decoder", decoder,
+             "--workers", "2", "--repeat", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pictures/second" in out
+
+    def test_paced_simulation_reports_lateness(self, encoded_file, capsys):
+        rc = main(
+            ["simulate", encoded_file, "--decoder", "slice-improved",
+             "--workers", "2", "--rate", "30", "--preroll", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "late pictures" in out
+
+    def test_dash_machine(self, encoded_file, capsys):
+        rc = main(
+            ["simulate", encoded_file, "--machine", "dash",
+             "--processors", "8", "--workers", "4"]
+        )
+        assert rc == 0
+        assert "dash" in capsys.readouterr().out

@@ -1,0 +1,135 @@
+"""Synthetic video generator, stream matrix, and metrics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mpeg2.frame import Frame
+from repro.video.metrics import psnr, sequence_psnr
+from repro.video.streams import (
+    PAPER_GOP_SIZES,
+    PAPER_RESOLUTIONS,
+    TestStreamSpec,
+    build_stream,
+    paper_stream_matrix,
+)
+from repro.video.synthetic import SyntheticVideo
+
+
+class TestSyntheticVideo:
+    def test_deterministic(self):
+        a = SyntheticVideo(48, 32, seed=5).frame(3)
+        b = SyntheticVideo(48, 32, seed=5).frame(3)
+        assert a.same_pixels(b)
+
+    def test_seed_changes_content(self):
+        a = SyntheticVideo(48, 32, seed=5).frame(3)
+        b = SyntheticVideo(48, 32, seed=6).frame(3)
+        assert not a.same_pixels(b)
+
+    def test_pan_moves_content(self):
+        vid = SyntheticVideo(64, 48, seed=1, noise_amplitude=0.0,
+                             pan_per_frame=3.0, tilt_per_frame=0.0)
+        f0, f1 = vid.luma(0), vid.luma(1)
+        # Frame 1 shifted back by the pan must match frame 0 (textures
+        # are translation-invariant; sky band is y-only so unaffected).
+        assert np.array_equal(f1[:, :-3], f0[:, 3:])
+
+    def test_sky_band_is_flat(self):
+        vid = SyntheticVideo(64, 64, seed=2, noise_amplitude=0.0)
+        y = vid.luma(0)
+        sky_var = float(np.var(y[:8].astype(np.float64)))
+        garden_var = float(np.var(y[-16:].astype(np.float64)))
+        assert garden_var > 10 * sky_var
+
+    def test_values_in_video_range(self):
+        vid = SyntheticVideo(48, 32, seed=3)
+        y = vid.luma(7)
+        cb, cr = vid.chroma(7)
+        for plane in (y, cb, cr):
+            assert plane.min() >= 16
+            assert plane.max() <= 240
+
+    def test_frames_returns_padded_frames(self):
+        frames = SyntheticVideo(40, 24, seed=1).frames(2)
+        assert all(isinstance(f, Frame) for f in frames)
+        assert frames[0].coded_width == 48
+        assert frames[1].temporal_reference == 1
+
+
+class TestStreamSpecs:
+    def test_paper_matrix_is_16_streams(self):
+        specs = paper_stream_matrix(pictures=124)
+        assert len(specs) == 16
+        names = {s.name for s in specs}
+        assert "352x240/gop13" in names
+        assert "1408x960/gop31" in names
+
+    def test_whole_gops(self):
+        for spec in paper_stream_matrix(pictures=100):
+            assert spec.pictures % spec.gop_size == 0
+            assert spec.pictures >= 100
+
+    def test_slices_per_picture_matches_paper(self):
+        """Table 1: 8 / 15 / 30 / 60 slices for the four resolutions."""
+        by_res = {}
+        for spec in paper_stream_matrix(pictures=4, gop_sizes=(4,)):
+            by_res[f"{spec.width}x{spec.height}"] = spec.slices_per_picture
+        assert by_res == {
+            "176x120": 8, "352x240": 15, "704x480": 30, "1408x960": 60
+        }
+
+    def test_resolution_divisor(self):
+        specs = paper_stream_matrix(pictures=4, resolution_divisor=4,
+                                    gop_sizes=(4,))
+        sizes = {(s.width, s.height) for s in specs}
+        assert (88, 60) in sizes
+        assert (352, 240) in sizes
+
+    def test_cache_key_distinguishes_specs(self):
+        a = TestStreamSpec("a", 48, 32, 4, 4)
+        b = TestStreamSpec("b", 48, 32, 4, 4, qscale_code=5)
+        c = TestStreamSpec("c", 48, 32, 4, 8)
+        assert len({a.cache_key(), b.cache_key(), c.cache_key()}) == 3
+
+    def test_partial_gop_spec_rejected(self):
+        with pytest.raises(ValueError):
+            TestStreamSpec("bad", 48, 32, gop_size=13, pictures=20)
+
+    def test_build_stream_caches(self, tmp_path):
+        spec = TestStreamSpec("t", 48, 32, gop_size=4, pictures=4,
+                              qscale_code=4)
+        first = build_stream(spec, cache_dir=str(tmp_path))
+        assert (tmp_path / f"{spec.cache_key()}.m2v").exists()
+        second = build_stream(spec, cache_dir=str(tmp_path))
+        assert first == second
+
+    def test_gop_sizes_match_paper(self):
+        assert PAPER_GOP_SIZES == (4, 13, 16, 31)
+        assert list(PAPER_RESOLUTIONS) == [
+            "176x120", "352x240", "704x480", "1408x960"
+        ]
+
+
+class TestMetrics:
+    def test_identical_frames_inf(self):
+        f = SyntheticVideo(32, 32, seed=1).frame(0)
+        assert math.isinf(psnr(f, f))
+
+    def test_known_mse(self):
+        a = Frame.blank(32, 32)
+        b = Frame.blank(32, 32)
+        b.y[:32, :32] += 10  # MSE 100 over the display area
+        assert psnr(a, b) == pytest.approx(10 * math.log10(255**2 / 100))
+
+    def test_sequence_psnr_requires_equal_lengths(self):
+        f = Frame.blank(32, 32)
+        with pytest.raises(ValueError):
+            sequence_psnr([f], [f, f])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            psnr(Frame.blank(32, 32), Frame.blank(48, 32))
