@@ -1,0 +1,189 @@
+"""Wall-clock decode/encode performance harness (scalar vs batched).
+
+Unlike the ``bench_*`` experiment files, which reproduce the paper's
+figures on the *simulated* machine, this harness measures real
+wall-clock throughput of the two decode engines on this repository's
+Table 1 small-stream matrix, plus the full-size 352x240 Table 1 stream
+as the headline case.  Results are written to ``BENCH_decode.json`` at
+the repo root so successive changes leave a perf trajectory.
+
+Reported per stream:
+
+* encode throughput (pictures/s, macroblocks/s) — one timed pass;
+* decode throughput for ``engine="scalar"`` and ``engine="batched"``
+  (best of N timed passes each, interleaved to spread machine noise);
+* the batched/scalar speedup in pictures/s;
+* for the headline stream, the measured phase split of the two-phase
+  fast path (:func:`repro.parallel.macroblock_level.measured_phase_split`)
+  — the empirical parse/reconstruct fractions behind the paper's
+  Section 4 argument.
+
+Run directly (``PYTHONPATH=src python benchmarks/perf_decode.py``) or
+through pytest (``pytest benchmarks/perf_decode.py -m perf``); the
+pytest entry point asserts the headline speedup so perf regressions
+fail loudly, but only under the ``perf`` marker — tier-1 never runs
+wall-clock assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import asdict
+from datetime import datetime, timezone
+from time import perf_counter
+
+import numpy as np
+import pytest
+
+from repro.mpeg2.decoder import ENGINES, SequenceDecoder
+from repro.parallel.macroblock_level import measured_phase_split
+from repro.video.streams import (
+    TestStreamSpec,
+    build_stream,
+    paper_stream_matrix,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_decode.json")
+
+#: The full-size Table 1 row the acceptance numbers are quoted on:
+#: 352x240, one 13-picture GOP, 5 Mb/s.
+HEADLINE_SPEC = TestStreamSpec(
+    name="table1/352x240/gop13",
+    width=352,
+    height=240,
+    gop_size=13,
+    pictures=13,
+    bit_rate=5_000_000,
+)
+
+#: Quarter-scale version of the full four-resolution Table 1 matrix —
+#: small enough that the whole matrix encodes and decodes in seconds,
+#: wide enough to track throughput scaling across resolutions.
+SMALL_MATRIX = paper_stream_matrix(pictures=4, resolution_divisor=4, gop_sizes=(4,))
+
+#: Timed decode passes per engine (the minimum is reported).
+DECODE_REPEATS = 5
+
+
+def _decode_seconds(data: bytes, engine: str, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = perf_counter()
+        SequenceDecoder(data, engine=engine).decode_all()
+        times.append(perf_counter() - t0)
+    return min(times)
+
+
+def _throughput(spec: TestStreamSpec, seconds: float) -> dict[str, float]:
+    mb_per_picture = ((spec.width + 15) // 16) * ((spec.height + 15) // 16)
+    return {
+        "seconds": seconds,
+        "pictures_per_sec": spec.pictures / seconds,
+        "macroblocks_per_sec": spec.pictures * mb_per_picture / seconds,
+    }
+
+
+def bench_stream(
+    spec: TestStreamSpec, repeats: int = DECODE_REPEATS
+) -> dict[str, object]:
+    """Measure one stream: encode once, decode with both engines."""
+    from repro.mpeg2.encoder import encode_sequence
+
+    frames = spec.video().frames(spec.pictures)
+    t0 = perf_counter()
+    encode_sequence(frames, spec.encoder_config())
+    encode_s = perf_counter() - t0
+
+    data = build_stream(spec)  # disk-cached; bitstream identical to above
+    decode: dict[str, dict[str, float]] = {}
+    # Interleave engine passes so slow drifts in machine load hit both.
+    times: dict[str, list[float]] = {e: [] for e in ENGINES}
+    for _ in range(repeats):
+        for engine in ENGINES:
+            t0 = perf_counter()
+            SequenceDecoder(data, engine=engine).decode_all()
+            times[engine].append(perf_counter() - t0)
+    for engine in ENGINES:
+        decode[engine] = _throughput(spec, min(times[engine]))
+
+    return {
+        "spec": asdict(spec),
+        "stream_bytes": len(data),
+        "encode": _throughput(spec, encode_s),
+        "decode": decode,
+        "decode_speedup": (
+            decode["batched"]["pictures_per_sec"]
+            / decode["scalar"]["pictures_per_sec"]
+        ),
+    }
+
+
+def run(path: str = OUTPUT_PATH) -> dict[str, object]:
+    """Benchmark the matrix + headline stream and write the JSON."""
+    streams = {}
+    for spec in SMALL_MATRIX:
+        streams[spec.name] = bench_stream(spec, repeats=3)
+    headline = bench_stream(HEADLINE_SPEC, repeats=DECODE_REPEATS)
+    streams[HEADLINE_SPEC.name] = headline
+    headline["phase_split"] = measured_phase_split(build_stream(HEADLINE_SPEC))
+
+    report = {
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "decode_repeats": DECODE_REPEATS,
+        "headline": HEADLINE_SPEC.name,
+        "headline_decode_speedup": headline["decode_speedup"],
+        "streams": streams,
+    }
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return report
+
+
+@pytest.mark.perf
+def test_perf_decode(record) -> None:
+    """Perf gate: batched must beat scalar >= 3x on the headline stream."""
+    report = run()
+    lines = [
+        f"{'stream':<24}{'scalar p/s':>12}{'batched p/s':>13}{'speedup':>9}"
+    ]
+    for name, row in report["streams"].items():
+        lines.append(
+            f"{name:<24}"
+            f"{row['decode']['scalar']['pictures_per_sec']:>12.2f}"
+            f"{row['decode']['batched']['pictures_per_sec']:>13.2f}"
+            f"{row['decode_speedup']:>8.2f}x"
+        )
+    split = report["streams"][report["headline"]]["phase_split"]
+    lines.append(
+        f"headline phase split: parse {split['parse_fraction']:.1%}, "
+        f"amdahl bound of parser-process architecture "
+        f"{split['amdahl_bound']:.2f}x"
+    )
+    record("\n".join(lines))
+    assert report["headline_decode_speedup"] >= 3.0
+
+
+def main() -> int:
+    report = run()
+    print(f"wrote {OUTPUT_PATH}")
+    for name, row in report["streams"].items():
+        print(
+            f"{name:<24} scalar {row['decode']['scalar']['pictures_per_sec']:8.2f} p/s"
+            f"  batched {row['decode']['batched']['pictures_per_sec']:8.2f} p/s"
+            f"  speedup {row['decode_speedup']:.2f}x"
+        )
+    print(f"headline speedup: {report['headline_decode_speedup']:.2f}x")
+    return 0 if report["headline_decode_speedup"] >= 3.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,21 +33,30 @@ def escape_payload(payload: bytes) -> bytes:
 
 
 def unescape_payload(payload: bytes) -> bytes:
-    """Remove emulation-prevention bytes (inverse of escape_payload)."""
+    """Remove emulation-prevention bytes (inverse of escape_payload).
+
+    Implemented as a ``find``-and-splice over the ``00 00 03`` pattern
+    rather than a per-byte Python loop: a stuffing byte is by
+    construction an ``03`` immediately preceded by two zero bytes, and
+    dropping it resets the zero run, so scanning for the 3-byte pattern
+    left to right reproduces the byte-at-a-time state machine exactly
+    (the escape/unescape round-trip tests pin this down).  Payload
+    unescaping runs once per slice on every decode path, so it is kept
+    off the per-byte interpreter floor.
+    """
+    idx = payload.find(b"\x00\x00\x03")
+    if idx < 0:
+        return payload
     out = bytearray()
-    zeros = 0
-    i = 0
-    n = len(payload)
-    while i < n:
-        b = payload[i]
-        if zeros >= 2 and b == 0x03:
-            # Stuffing byte: drop it, reset the zero run.
-            zeros = 0
-            i += 1
-            continue
-        out.append(b)
-        zeros = zeros + 1 if b == 0 else 0
-        i += 1
+    start = 0
+    while idx >= 0:
+        # Keep everything up to and including the two zeros, drop the
+        # stuffing byte, and resume the scan after it (the reset of the
+        # zero-run counter in the sequential formulation).
+        out += payload[start : idx + 2]
+        start = idx + 3
+        idx = payload.find(b"\x00\x00\x03", start)
+    out += payload[start:]
     return bytes(out)
 
 

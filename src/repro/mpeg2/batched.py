@@ -1,0 +1,539 @@
+"""Two-phase decode fast path: batch parse -> NumPy reconstruction.
+
+The paper's Section 4 observes that MPEG-2 decoding splits into a
+*serial* part — walking the variable-length-coded bitstream — and a
+*parallelizable* part — inverse quantization, IDCT, motion
+compensation and pixel writes.  :mod:`repro.parallel.macroblock_level`
+models that split for the cycle simulation; this module exploits it
+for the decoder's own wall-clock speed:
+
+Phase 1 (:func:`parse_slice`) performs **only bit work**: VLC decode,
+run/level expansion, DC and motion-vector prediction.  It touches no
+pixels; its output is a :class:`SliceParse` — per-macroblock levels,
+modes, quantiser scales and absolute half-pel motion vectors, plus the
+slice's exact :class:`~repro.mpeg2.counters.WorkCounters`.
+
+Phase 2 (:func:`reconstruct_slices`) turns a picture's parses into
+pixels with a handful of vectorized operations: one inverse
+quantization over every coded block of the picture (mismatch control
+included), **one** :func:`~repro.mpeg2.dct.idct_rounded` call for the
+whole picture, motion compensation grouped by (reference, half-pel
+phase) so each group is a single strided gather + average, and one
+fancy-indexed scatter of all macroblocks into the frame planes.
+
+Bit-exactness
+-------------
+The fast path is bit-identical to the scalar path by construction:
+
+* phase 1 shares :func:`repro.mpeg2.macroblock.parse_macroblock` and
+  the predictor-state transitions verbatim with ``decode_slice``;
+* ``scipy.fft``'s IDCT is batch-size invariant (tested), so one call
+  per picture equals one call per macroblock;
+* half-pel averaging uses the same ``(a+b+1)>>1`` integer arithmetic
+  as :func:`repro.mpeg2.motion.predict_block`, applied per phase
+  group;
+* motion vectors are bounds-checked **at parse time** against the
+  reference-plane geometry (the same predicate ``predict_block``
+  applies), so a corrupt slice raises the same exception class at the
+  same slice, and resilient concealment proceeds identically.
+
+Work counters are derived during parse (each macroblock's
+reconstruction cost is a deterministic function of its mode), so the
+per-slice counters feeding the paper's cycle-cost model are exactly
+those of the scalar decoder — all paper experiments are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.bitstream import BitReader
+from repro.mpeg2.constants import PictureType
+from repro.mpeg2.counters import WorkCounters
+from repro.mpeg2.dct import idct_rounded
+from repro.mpeg2.frame import Frame
+from repro.mpeg2.headers import PictureHeader, SequenceHeader, SliceHeader
+from repro.mpeg2.macroblock import (
+    _CBP_BLOCK_INDEX,
+    _apply_coded_state,
+    SliceDecodeError,
+    SliceState,
+    parse_macroblock,
+)
+from repro.mpeg2.motion import MotionVector
+from repro.mpeg2.quant import dequantize_intra, dequantize_non_intra
+from repro.mpeg2.reconstruct import write_macroblocks
+from repro.mpeg2.scan import ALTERNATE, ZIGZAG, unscan_block
+from repro.mpeg2.tables import MB_ADDRESS_INCREMENT, MBA_ESCAPE, MBA_ESCAPE_VALUE
+from repro.mpeg2.vlc import VLCError
+
+#: Pixels of one 4:2:0 macroblock (256 luma + 2 * 64 chroma).
+_MB_PIXELS = 256 + 64 + 64
+
+#: Shared all-zero level array for macroblocks with no residual
+#: (skipped and MC-only macroblocks).  Read-only so every record may
+#: alias it.
+_ZERO_LEVELS = np.zeros((6, 64), dtype=np.int64)
+_ZERO_LEVELS.setflags(write=False)
+
+
+# ======================================================================
+# phase 1: parse
+# ======================================================================
+@dataclass
+class SliceParse:
+    """Phase-1 output for one slice: records + exact work counters.
+
+    Records are parallel lists over the slice's reconstructed
+    macroblocks (coded *and* skipped, in address order).  Motion
+    vectors are absolute luma half-pel ``(dy, dx)`` tuples or ``None``.
+    """
+
+    vertical_position: int
+    counters: WorkCounters
+    addresses: list[int] = field(default_factory=list)
+    intra: list[bool] = field(default_factory=list)
+    qscale: list[int] = field(default_factory=list)
+    levels: list[np.ndarray] = field(default_factory=list)
+    cbp: list[int] = field(default_factory=list)
+    mv_fwd: list[tuple[int, int] | None] = field(default_factory=list)
+    mv_bwd: list[tuple[int, int] | None] = field(default_factory=list)
+
+    def append(
+        self,
+        address: int,
+        intra: bool,
+        qscale: int,
+        levels: np.ndarray,
+        cbp: int,
+        mv_fwd: tuple[int, int] | None,
+        mv_bwd: tuple[int, int] | None,
+    ) -> None:
+        self.addresses.append(address)
+        self.intra.append(intra)
+        self.qscale.append(qscale)
+        self.levels.append(levels)
+        self.cbp.append(cbp)
+        self.mv_fwd.append(mv_fwd)
+        self.mv_bwd.append(mv_bwd)
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+
+def _validate_mv(
+    mv: MotionVector, mb_row: int, mb_col: int, luma_h: int, luma_w: int
+) -> None:
+    """Parse-time replica of ``predict_block``'s bounds predicate.
+
+    Checks the luma 16x16 fetch and the (truncated-halved) chroma 8x8
+    fetches, including the +1 sample required by half-pel phases.
+    Raising :class:`ValueError` here is what keeps corrupt-stream
+    behaviour identical to the scalar path, which raises the same
+    class from ``predict_block`` during reconstruction.
+    """
+    dy = mv.dy
+    dx = mv.dx
+    top = mb_row * 16 + (dy >> 1)
+    left = mb_col * 16 + (dx >> 1)
+    if (
+        top < 0
+        or left < 0
+        or top + 16 + (dy & 1) > luma_h
+        or left + 16 + (dx & 1) > luma_w
+    ):
+        raise ValueError(
+            f"motion vector {mv} displaces macroblock ({mb_row},{mb_col}) "
+            f"outside reference plane ({luma_h}, {luma_w})"
+        )
+    # Chroma vector truncates toward zero (``MotionVector.chroma``),
+    # inlined here because this runs once per inter prediction parsed.
+    cdy = dy // 2 if dy >= 0 else -((-dy) // 2)
+    cdx = dx // 2 if dx >= 0 else -((-dx) // 2)
+    ctop = mb_row * 8 + (cdy >> 1)
+    cleft = mb_col * 8 + (cdx >> 1)
+    if (
+        ctop < 0
+        or cleft < 0
+        or ctop + 8 + (cdy & 1) > luma_h // 2
+        or cleft + 8 + (cdx & 1) > luma_w // 2
+    ):
+        raise ValueError(
+            f"motion vector {mv} displaces chroma of macroblock "
+            f"({mb_row},{mb_col}) outside reference plane"
+        )
+
+
+def parse_slice(
+    payload: bytes,
+    vertical_position: int,
+    pic: PictureHeader,
+    mb_width: int,
+    mb_height: int,
+    has_fwd: bool,
+) -> SliceParse:
+    """Phase 1: parse one slice payload into a :class:`SliceParse`.
+
+    Performs exactly the bit work of
+    :func:`repro.mpeg2.macroblock.decode_slice` — same syntax walk,
+    same predictor-state transitions, same exception classes on
+    corrupt input — but touches no pixels.  ``has_fwd`` tells the
+    P-picture skipped-macroblock check whether a forward reference
+    exists (mirrors the scalar error).
+    """
+    local = WorkCounters()
+    local.bits += len(payload) * 8
+    local.headers += 1
+    r = BitReader(payload)
+    sh = SliceHeader.read(r)
+    state = SliceState(qscale_code=sh.quantiser_scale_code)
+
+    row = vertical_position - 1
+    if not 0 <= row < mb_height:
+        raise SliceDecodeError(
+            f"slice vertical position {vertical_position} out of range"
+        )
+    row_start = row * mb_width
+    row_last = row_start + mb_width - 1
+    prev_addr = row_start - 1
+    luma_h = mb_height * 16
+    luma_w = mb_width * 16
+
+    sp = SliceParse(vertical_position=vertical_position, counters=local)
+    mba_len = MB_ADDRESS_INCREMENT.max_len
+    mba_fast = MB_ADDRESS_INCREMENT.decode_fast
+
+    while prev_addr < row_last:
+        increment = 0
+        while True:
+            # Raw-window VLC decode (own bit cursor): peek, table
+            # lookup, consume the matched length.
+            sym, length = mba_fast(r.peek_bits(mba_len))
+            if length == 0:
+                raise VLCError(
+                    f"{MB_ADDRESS_INCREMENT.name}: invalid codeword at bit "
+                    f"{r.bit_position}"
+                )
+            if length > r.bits_remaining:
+                raise VLCError(
+                    f"{MB_ADDRESS_INCREMENT.name}: truncated codeword at end "
+                    "of stream"
+                )
+            r.skip_bits(length)
+            local.vlc_symbols += 1
+            if sym == MBA_ESCAPE:
+                increment += MBA_ESCAPE_VALUE
+            else:
+                increment += sym
+                break
+        address = prev_addr + increment
+        if address > row_last:
+            raise SliceDecodeError(
+                f"macroblock address {address} beyond end of row {row}"
+            )
+        for skipped in range(prev_addr + 1, address):
+            _parse_skipped(
+                skipped, state, pic.picture_type, local, sp, has_fwd,
+                luma_h, luma_w, mb_width,
+            )
+        _parse_coded(r, address, state, pic, local, sp, luma_h, luma_w, mb_width)
+        prev_addr = address
+
+    return sp
+
+
+def _parse_skipped(
+    address: int,
+    state: SliceState,
+    ptype: PictureType,
+    counters: WorkCounters,
+    sp: SliceParse,
+    has_fwd: bool,
+    luma_h: int,
+    luma_w: int,
+    mb_width: int,
+) -> None:
+    """Record a skipped macroblock; derive its reconstruction counters."""
+    counters.macroblocks += 1
+    mb_row, mb_col = divmod(address, mb_width)
+    if ptype is PictureType.P:
+        if not has_fwd:
+            raise SliceDecodeError("P skipped macroblock without forward reference")
+        # Co-located copy == zero-MV forward prediction of a zero
+        # residual (uint8 copy survives the clip unchanged), so the
+        # record shares the MC path; the counters are the copy's.
+        counters.pixels += _MB_PIXELS
+        counters.mc_pixels += _MB_PIXELS
+        sp.append(address, False, state.qscale, _ZERO_LEVELS, 0, (0, 0), None)
+        state.reset_pmv()
+    elif ptype is PictureType.B:
+        if state.prev_motion is None:
+            raise SliceDecodeError("B skipped macroblock with no previous mode")
+        fwd_on, bwd_on = state.prev_motion
+        mvf = state.prev_mv_fwd if fwd_on else None
+        mvb = state.prev_mv_bwd if bwd_on else None
+        if mvf is None and mvb is None:
+            raise ValueError("prediction requested with no motion vectors")
+        if mvf is not None:
+            _validate_mv(mvf, mb_row, mb_col, luma_h, luma_w)
+        if mvb is not None:
+            _validate_mv(mvb, mb_row, mb_col, luma_h, luma_w)
+        nrefs = (mvf is not None) + (mvb is not None)
+        counters.mc_pixels += nrefs * _MB_PIXELS
+        counters.mc_macroblocks += 1
+        if fwd_on and bwd_on:
+            counters.bidir_macroblocks += 1
+        counters.pixels += _MB_PIXELS
+        sp.append(
+            address, False, state.qscale, _ZERO_LEVELS, 0,
+            (mvf.dy, mvf.dx) if mvf is not None else None,
+            (mvb.dy, mvb.dx) if mvb is not None else None,
+        )
+    else:
+        raise SliceDecodeError("skipped macroblocks are illegal in I-pictures")
+    state.reset_dc()
+
+
+def _parse_coded(
+    r: BitReader,
+    address: int,
+    state: SliceState,
+    pic: PictureHeader,
+    counters: WorkCounters,
+    sp: SliceParse,
+    luma_h: int,
+    luma_w: int,
+    mb_width: int,
+) -> None:
+    """Parse one coded macroblock; derive its reconstruction counters."""
+    mode, mv_fwd, mv_bwd, levels, cbp = parse_macroblock(
+        r, state, pic, counters, fast=True
+    )
+    counters.idct_blocks += len(_CBP_BLOCK_INDEX[cbp])
+    if mode.intra:
+        counters.pixels += _MB_PIXELS
+        sp.append(address, True, state.qscale, levels, cbp, None, None)
+    else:
+        mb_row, mb_col = divmod(address, mb_width)
+        if mv_fwd is None and mv_bwd is None:
+            raise ValueError("prediction requested with no motion vectors")
+        if mv_fwd is not None:
+            _validate_mv(mv_fwd, mb_row, mb_col, luma_h, luma_w)
+        if mv_bwd is not None:
+            _validate_mv(mv_bwd, mb_row, mb_col, luma_h, luma_w)
+        nrefs = (mv_fwd is not None) + (mv_bwd is not None)
+        counters.mc_pixels += nrefs * _MB_PIXELS
+        counters.mc_macroblocks += 1
+        if nrefs == 2:
+            counters.bidir_macroblocks += 1
+        counters.pixels += _MB_PIXELS
+        sp.append(
+            address, False, state.qscale, levels, cbp,
+            (mv_fwd.dy, mv_fwd.dx) if mv_fwd is not None else None,
+            (mv_bwd.dy, mv_bwd.dx) if mv_bwd is not None else None,
+        )
+    _apply_coded_state(state, mode, mv_fwd, mv_bwd, pic.picture_type)
+
+
+# ======================================================================
+# phase 2: reconstruct
+# ======================================================================
+def _phase_gather(
+    plane: np.ndarray,
+    tops: np.ndarray,
+    lefts: np.ndarray,
+    fys: np.ndarray,
+    fxs: np.ndarray,
+    bh: int,
+    bw: int,
+) -> np.ndarray:
+    """Half-pel prediction fetch for many blocks, grouped by phase.
+
+    For each of the four half-pel phases ``(fy, fx)`` the matching
+    blocks become one strided-view gather over ``plane`` followed by
+    the standard rounded average — the same integer arithmetic as
+    :func:`repro.mpeg2.motion.predict_block`, applied batchwise.
+    """
+    out = np.empty((len(tops), bh, bw), dtype=np.int32)
+    for fy in (0, 1):
+        for fx in (0, 1):
+            m = (fys == fy) & (fxs == fx)
+            if not m.any():
+                continue
+            win = sliding_window_view(plane, (bh + fy, bw + fx))
+            region = win[tops[m], lefts[m]].astype(np.int32)
+            if fy and fx:
+                out[m] = (
+                    region[:, :-1, :-1]
+                    + region[:, :-1, 1:]
+                    + region[:, 1:, :-1]
+                    + region[:, 1:, 1:]
+                    + 2
+                ) >> 2
+            elif fy:
+                out[m] = (region[:, :-1, :] + region[:, 1:, :] + 1) >> 1
+            elif fx:
+                out[m] = (region[:, :, :-1] + region[:, :, 1:] + 1) >> 1
+            else:
+                out[m] = region
+    return out
+
+
+def _direction_pred(
+    ref: Frame, rows: np.ndarray, cols: np.ndarray, dys: np.ndarray, dxs: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched one-direction prediction: (Y, Cb, Cr) block stacks."""
+    # Luma: floor-halve the half-pel vector (matches Python divmod).
+    iy = dys // 2
+    ix = dxs // 2
+    fy = dys & 1
+    fx = dxs & 1
+    py = _phase_gather(ref.y, rows * 16 + iy, cols * 16 + ix, fy, fx, 16, 16)
+    # Chroma vector: luma MV halved truncating toward zero.
+    cdy = np.sign(dys) * (np.abs(dys) // 2)
+    cdx = np.sign(dxs) * (np.abs(dxs) // 2)
+    ciy = cdy // 2
+    cix = cdx // 2
+    cfy = cdy & 1
+    cfx = cdx & 1
+    ctop = rows * 8 + ciy
+    cleft = cols * 8 + cix
+    pcb = _phase_gather(ref.cb, ctop, cleft, cfy, cfx, 8, 8)
+    pcr = _phase_gather(ref.cr, ctop, cleft, cfy, cfx, 8, 8)
+    return py, pcb, pcr
+
+
+def _mv_arrays(
+    mvs: list[tuple[int, int] | None],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split a per-record MV list into (valid, dy, dx) arrays."""
+    n = len(mvs)
+    valid = np.zeros(n, dtype=bool)
+    dy = np.zeros(n, dtype=np.int64)
+    dx = np.zeros(n, dtype=np.int64)
+    for i, mv in enumerate(mvs):
+        if mv is not None:
+            valid[i] = True
+            dy[i] = mv[0]
+            dx[i] = mv[1]
+    return valid, dy, dx
+
+
+def reconstruct_slices(
+    slices: list[SliceParse],
+    seq: SequenceHeader,
+    pic: PictureHeader,
+    out: Frame,
+    fwd: Frame | None,
+    bwd: Frame | None,
+) -> None:
+    """Phase 2: turn a picture's slice parses into pixels in ``out``.
+
+    All slices of a picture are reconstructed together: one inverse
+    quantization and **one** IDCT over every coded block, one gather
+    per (reference, plane, half-pel phase) group for motion
+    compensation, one clip + scatter per plane.  Slices must cover
+    distinct macroblock rows (the decoder drops superseded duplicates
+    before calling).
+    """
+    n = sum(len(s) for s in slices)
+    if n == 0:
+        return
+    addr = np.fromiter(
+        (a for s in slices for a in s.addresses), dtype=np.intp, count=n
+    )
+    intra = np.fromiter(
+        (v for s in slices for v in s.intra), dtype=bool, count=n
+    )
+    qscale = np.fromiter(
+        (q for s in slices for q in s.qscale), dtype=np.int64, count=n
+    )
+    cbp = np.fromiter((c for s in slices for c in s.cbp), dtype=np.int64, count=n)
+    levels = np.stack([lv for s in slices for lv in s.levels])
+    f_valid, f_dy, f_dx = _mv_arrays([m for s in slices for m in s.mv_fwd])
+    b_valid, b_dy, b_dx = _mv_arrays([m for s in slices for m in s.mv_bwd])
+
+    mbw = out.mb_width
+    rows = addr // mbw
+    cols = addr % mbw
+
+    # ---- inverse quantization + one IDCT call per picture ------------
+    blocks = np.zeros((n, 6, 8, 8), dtype=np.int32)
+    coded = (cbp[:, None] & (32 >> np.arange(6))) != 0  # (n, 6)
+    rec_idx, blk_idx = np.nonzero(coded)
+    if rec_idx.size:
+        order = ALTERNATE if pic.alternate_scan else ZIGZAG
+        raster = unscan_block(levels[rec_idx, blk_idx], order)  # (m, 8, 8)
+        qs = qscale[rec_idx][:, None, None]
+        is_i = intra[rec_idx]
+        coeffs = np.empty_like(raster)
+        if is_i.any():
+            coeffs[is_i] = dequantize_intra(
+                raster[is_i], seq.intra_quant_matrix, qs[is_i]
+            )
+        ni = ~is_i
+        if ni.any():
+            coeffs[ni] = dequantize_non_intra(
+                raster[ni], seq.non_intra_quant_matrix, qs[ni]
+            )
+        blocks[rec_idx, blk_idx] = idct_rounded(coeffs)
+
+    # ---- motion compensation, grouped by (reference, phase) ----------
+    pred6 = np.zeros((n, 6, 8, 8), dtype=np.int32)
+    if f_valid.any() or b_valid.any():
+        pred_y = np.zeros((n, 16, 16), dtype=np.int32)
+        pred_cb = np.zeros((n, 8, 8), dtype=np.int32)
+        pred_cr = np.zeros((n, 8, 8), dtype=np.int32)
+        fy_ = fcb = fcr = None
+        if f_valid.any():
+            if fwd is None:
+                raise ValueError("motion vector present but reference frame missing")
+            py, pcb, pcr = _direction_pred(
+                fwd, rows[f_valid], cols[f_valid], f_dy[f_valid], f_dx[f_valid]
+            )
+            fy_ = np.zeros((n, 16, 16), dtype=np.int32)
+            fcb = np.zeros((n, 8, 8), dtype=np.int32)
+            fcr = np.zeros((n, 8, 8), dtype=np.int32)
+            fy_[f_valid], fcb[f_valid], fcr[f_valid] = py, pcb, pcr
+        by_ = bcb = bcr = None
+        if b_valid.any():
+            if bwd is None:
+                raise ValueError("motion vector present but reference frame missing")
+            py, pcb, pcr = _direction_pred(
+                bwd, rows[b_valid], cols[b_valid], b_dy[b_valid], b_dx[b_valid]
+            )
+            by_ = np.zeros((n, 16, 16), dtype=np.int32)
+            bcb = np.zeros((n, 8, 8), dtype=np.int32)
+            bcr = np.zeros((n, 8, 8), dtype=np.int32)
+            by_[b_valid], bcb[b_valid], bcr[b_valid] = py, pcb, pcr
+
+        only_f = f_valid & ~b_valid
+        only_b = b_valid & ~f_valid
+        both = f_valid & b_valid
+        if only_f.any():
+            pred_y[only_f] = fy_[only_f]
+            pred_cb[only_f] = fcb[only_f]
+            pred_cr[only_f] = fcr[only_f]
+        if only_b.any():
+            pred_y[only_b] = by_[only_b]
+            pred_cb[only_b] = bcb[only_b]
+            pred_cr[only_b] = bcr[only_b]
+        if both.any():
+            # B bidirectional mode: rounded average of the two fetches.
+            pred_y[both] = (fy_[both] + by_[both] + 1) >> 1
+            pred_cb[both] = (fcb[both] + bcb[both] + 1) >> 1
+            pred_cr[both] = (fcr[both] + bcr[both] + 1) >> 1
+
+        pred6[:, 0] = pred_y[:, :8, :8]
+        pred6[:, 1] = pred_y[:, :8, 8:]
+        pred6[:, 2] = pred_y[:, 8:, :8]
+        pred6[:, 3] = pred_y[:, 8:, 8:]
+        pred6[:, 4] = pred_cb
+        pred6[:, 5] = pred_cr
+
+    # ---- residual add, clip, single scatter into the frame planes ----
+    pixels = np.clip(blocks + pred6, 0, 255).astype(np.uint8)  # (n, 6, 8, 8)
+    write_macroblocks(out, rows, cols, pixels)

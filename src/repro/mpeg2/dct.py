@@ -31,21 +31,33 @@ def fdct(blocks: np.ndarray) -> np.ndarray:
     )
 
 
-def idct(coeffs: np.ndarray) -> np.ndarray:
-    """Inverse 8x8 DCT over ``(..., 8, 8)`` coefficients (float64 out)."""
+def idct(coeffs: np.ndarray, workers: int | None = None) -> np.ndarray:
+    """Inverse 8x8 DCT over ``(..., 8, 8)`` coefficients (float64 out).
+
+    ``workers`` is forwarded to ``scipy.fft`` for multi-threaded
+    transform of large batches (e.g. ``-1`` for all cores).  The
+    result is bit-exact regardless of ``workers`` and of batch size —
+    each 8x8 block's transform is independent — which is what lets the
+    batched decode path run one IDCT per picture and the benchmarks
+    thread it, without perturbing decoder output.
+    """
     _check(coeffs)
     return scipy.fft.idctn(
-        np.asarray(coeffs, dtype=np.float64), type=2, axes=(-2, -1), norm="ortho"
+        np.asarray(coeffs, dtype=np.float64),
+        type=2,
+        axes=(-2, -1),
+        norm="ortho",
+        workers=workers,
     )
 
 
-def idct_rounded(coeffs: np.ndarray) -> np.ndarray:
+def idct_rounded(coeffs: np.ndarray, workers: int | None = None) -> np.ndarray:
     """Inverse DCT rounded to the nearest integer (int32).
 
     This single rounding point is shared by encoder reconstruction and
     decoder, guaranteeing bit-exact agreement.
     """
-    return np.rint(idct(coeffs)).astype(np.int32)
+    return np.rint(idct(coeffs, workers=workers)).astype(np.int32)
 
 
 def _check(arr: np.ndarray) -> None:

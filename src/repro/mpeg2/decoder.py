@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.bitstream.emulation import unescape_payload
 from repro.bitstream.reader import BitstreamError
+from repro.mpeg2.batched import SliceParse, parse_slice, reconstruct_slices
 from repro.mpeg2.blockcoding import BlockSyntaxError
 from repro.mpeg2.counters import WorkCounters
 from repro.mpeg2.frame import Frame
@@ -32,8 +33,13 @@ from repro.mpeg2.macroblock import (
     SliceDecodeError,
     decode_slice,
 )
-from repro.mpeg2.reconstruct import copy_macroblock
+from repro.mpeg2.reconstruct import conceal_row
 from repro.mpeg2.vlc import VLCError
+
+#: Decode engines: ``"scalar"`` is the per-macroblock oracle path,
+#: ``"batched"`` the two-phase parse/reconstruct fast path (default;
+#: bit-identical, asserted by the parity suite).
+ENGINES = ("scalar", "batched")
 
 
 class DecodeError(Exception):
@@ -59,15 +65,7 @@ def conceal_slice(ctx: PictureCodingContext, vertical_position: int) -> None:
     (predictors reset at every slice) is what confines the damage to
     one row — the same property the parallel decomposition uses.
     """
-    row = vertical_position - 1
-    if ctx.fwd is not None:
-        for col in range(ctx.mb_width):
-            copy_macroblock(ctx.out, ctx.fwd, row, col)
-    else:
-        y0 = row * 16
-        ctx.out.y[y0 : y0 + 16, :] = 128
-        ctx.out.cb[y0 // 2 : y0 // 2 + 8, :] = 128
-        ctx.out.cr[y0 // 2 : y0 // 2 + 8, :] = 128
+    conceal_row(ctx.out, ctx.fwd, vertical_position - 1)
 
 
 class SequenceDecoder:
@@ -83,6 +81,11 @@ class SequenceDecoder:
     resilient:
         When true, a slice whose payload fails to parse is concealed
         (see :func:`conceal_slice`) instead of aborting the decode.
+    engine:
+        ``"batched"`` (default) decodes pictures through the two-phase
+        parse/reconstruct fast path (:mod:`repro.mpeg2.batched`);
+        ``"scalar"`` keeps the per-macroblock oracle path.  Both are
+        bit-identical, counters included.
     """
 
     def __init__(
@@ -90,11 +93,15 @@ class SequenceDecoder:
         data: bytes,
         index: StreamIndex | None = None,
         resilient: bool = False,
+        engine: str = "batched",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.data = data
         self.index = index if index is not None else build_index(data)
         self.seq = self.index.sequence_header
         self.resilient = resilient
+        self.engine = engine
 
     # ------------------------------------------------------------------
     # picture granularity
@@ -107,36 +114,93 @@ class SequenceDecoder:
         counters: WorkCounters | None = None,
     ) -> Frame:
         """Decode one picture given its reference frames."""
+        out, _slice_counters, local = self.decode_picture_with_slices(
+            pic, fwd, bwd
+        )
+        if counters is not None:
+            counters.add(local)
+        return out
+
+    def decode_picture_with_slices(
+        self,
+        pic: PictureIndex,
+        fwd: Frame | None,
+        bwd: Frame | None,
+    ) -> tuple[Frame, list[tuple[int, WorkCounters]], WorkCounters]:
+        """Decode one picture; also return per-slice work counters.
+
+        Returns ``(frame, slice_counters, picture_counters)`` where
+        ``slice_counters`` is ``(vertical_position, counters)`` per
+        successfully decoded slice in bitstream order — the unit the
+        stream profiler feeds to the parallel simulations.
+        """
         local = WorkCounters()
         header = pic.header()
         local.headers += 1
         local.bits += (pic.header_payload_end - pic.header_payload_start + 4) * 8
         out = Frame.blank(self.seq.width, self.seq.height)
         out.temporal_reference = pic.temporal_reference
-        ctx = PictureCodingContext(
-            seq=self.seq, pic=header, out=out, fwd=fwd, bwd=bwd
-        )
         if header.picture_type.letter != "I" and fwd is None:
             raise DecodeError(
                 f"{header.picture_type.letter}-picture without forward reference"
             )
         if header.picture_type.letter == "B" and bwd is None:
             raise DecodeError("B-picture without backward reference")
+        slice_counters: list[tuple[int, WorkCounters]] = []
+
+        if self.engine == "scalar":
+            ctx = PictureCodingContext(
+                seq=self.seq, pic=header, out=out, fwd=fwd, bwd=bwd
+            )
+            for sl in pic.slices:
+                payload = unescape_payload(
+                    self.data[sl.payload_start : sl.payload_end]
+                )
+                if self.resilient:
+                    try:
+                        c = decode_slice(payload, sl.vertical_position, ctx, local)
+                    except SLICE_CORRUPTION_ERRORS:
+                        conceal_slice(ctx, sl.vertical_position)
+                        local.concealed_slices += 1
+                        continue
+                else:
+                    c = decode_slice(payload, sl.vertical_position, ctx, local)
+                slice_counters.append((sl.vertical_position, c))
+            return out, slice_counters, local
+
+        # Batched engine: phase 1 parses every slice (bit work only),
+        # phase 2 reconstructs the whole picture vectorized.  A row's
+        # *last* action wins — a later duplicate slice or a concealment
+        # fully overwrites the row, exactly as the sequential writes
+        # would, because every slice covers its complete row.
+        mbw, mbh = out.mb_width, out.mb_height
+        final: dict[int, SliceParse | None] = {}
         for sl in pic.slices:
             payload = unescape_payload(
                 self.data[sl.payload_start : sl.payload_end]
             )
-            if self.resilient:
-                try:
-                    decode_slice(payload, sl.vertical_position, ctx, local)
-                except SLICE_CORRUPTION_ERRORS:
-                    conceal_slice(ctx, sl.vertical_position)
-                    local.concealed_slices += 1
-            else:
-                decode_slice(payload, sl.vertical_position, ctx, local)
-        if counters is not None:
-            counters.add(local)
-        return out
+            try:
+                sp = parse_slice(
+                    payload, sl.vertical_position, header, mbw, mbh,
+                    fwd is not None,
+                )
+            except SLICE_CORRUPTION_ERRORS:
+                if not self.resilient:
+                    raise
+                local.concealed_slices += 1
+                final[sl.vertical_position - 1] = None
+                continue
+            local.add(sp.counters)
+            slice_counters.append((sl.vertical_position, sp.counters))
+            final[sl.vertical_position - 1] = sp
+        reconstruct_slices(
+            [sp for sp in final.values() if sp is not None],
+            self.seq, header, out, fwd, bwd,
+        )
+        for row, sp in final.items():
+            if sp is None:
+                conceal_row(out, fwd, row)
+        return out, slice_counters, local
 
     def slice_payload(self, sl) -> bytes:
         """Unescaped payload bytes of a slice (worker-process fetch)."""

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.bitstream import BitReader, BitWriter
 from repro.mpeg2 import mv_coding
-from repro.mpeg2.blockcoding import decode_block, encode_block
+from repro.mpeg2.blockcoding import decode_block, decode_blocks_fast, encode_block
 from repro.mpeg2.constants import PictureType, quantiser_scale
 from repro.mpeg2.counters import WorkCounters
 from repro.mpeg2.dct import idct_rounded
@@ -50,6 +50,14 @@ from repro.mpeg2.tables import (
 
 #: Initial/reset value of the intra DC predictors (level space).
 DC_PREDICTOR_RESET = 128
+
+#: ``_CBP_BLOCK_INDEX[cbp]`` is the array of coded block indices (0..5)
+#: for a coded block pattern — precomputed so the hot loop never builds
+#: per-macroblock boolean masks.
+_CBP_BLOCK_INDEX: tuple[np.ndarray, ...] = tuple(
+    np.array([i for i in range(6) if cbp & (32 >> i)], dtype=np.intp)
+    for cbp in range(64)
+)
 
 
 class SliceDecodeError(Exception):
@@ -298,6 +306,10 @@ def decode_slice(
     row_start = row * mbw
     row_last = row_start + mbw - 1
     prev_addr = row_start - 1
+    # Trace emission is opt-in: resolved once per slice so the
+    # per-macroblock hot loop carries no callback checks when no cache
+    # simulation is attached.
+    traced = ctx.trace is not None
 
     while prev_addr < row_last:
         increment = 0
@@ -315,8 +327,8 @@ def decode_slice(
                 f"macroblock address {address} beyond end of row {row}"
             )
         for skipped in range(prev_addr + 1, address):
-            _decode_skipped(skipped, state, ctx, local)
-        _decode_macroblock(r, address, state, ctx, local)
+            _decode_skipped(skipped, state, ctx, local, traced)
+        _decode_macroblock(r, address, state, ctx, local, traced)
         prev_addr = address
 
     if counters is not None:
@@ -329,12 +341,13 @@ def _decode_skipped(
     state: SliceState,
     ctx: PictureCodingContext,
     counters: WorkCounters,
+    traced: bool = False,
 ) -> None:
     """Reconstruct a skipped macroblock (never first/last of a slice)."""
     mb_row, mb_col = divmod(address, ctx.mb_width)
     ptype = ctx.pic.picture_type
     counters.macroblocks += 1
-    if ctx.trace is not None:
+    if traced:
         if ptype is PictureType.P:
             _trace_macroblock(ctx, mb_row, mb_col, MotionVector.ZERO, None, 0)
         elif state.prev_motion is not None:
@@ -375,15 +388,31 @@ def _decode_skipped(
     state.reset_dc()
 
 
-def _decode_macroblock(
+def parse_macroblock(
     r: BitReader,
-    address: int,
     state: SliceState,
-    ctx: PictureCodingContext,
+    pic: PictureHeader,
     counters: WorkCounters,
-) -> None:
-    ptype = ctx.pic.picture_type
-    symbols_before = counters.vlc_symbols
+    fast: bool = False,
+) -> tuple[MbMode, MotionVector | None, MotionVector | None, np.ndarray, int]:
+    """Phase-1 bit work of one coded macroblock (no pixel operations).
+
+    Decodes macroblock_type, quantiser update, motion vectors, the
+    coded block pattern and all coefficient run/levels, updating the
+    slice predictor state exactly as the sequential decoder does.
+    Returns ``(mode, mv_fwd, mv_bwd, levels, cbp)`` where ``levels`` is
+    the (6, 64) scan-ordered level array.  Shared verbatim by the
+    scalar decode path and the batched two-phase fast path, which is
+    what makes their parse stages bit-identical by construction —
+    except that ``fast=True`` (the batched parser) decodes coefficient
+    blocks through :func:`decode_blocks_fast`, the inlined-cursor
+    variant with the same syntax, errors and counters (covered by the
+    cross-engine parity suite).
+
+    The caller is responsible for :func:`_apply_coded_state` after any
+    reconstruction bookkeeping that needs the pre-update state.
+    """
+    ptype = pic.picture_type
     mode: MbMode = MB_TYPE_TABLES[ptype].decode(r)
     counters.vlc_symbols += 1
     counters.macroblocks += 1
@@ -397,14 +426,14 @@ def _decode_macroblock(
     mv_fwd: MotionVector | None = None
     mv_bwd: MotionVector | None = None
     if mode.mc_fwd:
-        dx = mv_coding.decode_component(r, state.pmv_fwd.dx, ctx.pic.forward_f_code)
-        dy = mv_coding.decode_component(r, state.pmv_fwd.dy, ctx.pic.forward_f_code)
+        dx = mv_coding.decode_component(r, state.pmv_fwd.dx, pic.forward_f_code)
+        dy = mv_coding.decode_component(r, state.pmv_fwd.dy, pic.forward_f_code)
         mv_fwd = MotionVector(dy=dy, dx=dx)
         state.pmv_fwd = mv_fwd
         counters.vlc_symbols += 2
     if mode.mc_bwd:
-        dx = mv_coding.decode_component(r, state.pmv_bwd.dx, ctx.pic.backward_f_code)
-        dy = mv_coding.decode_component(r, state.pmv_bwd.dy, ctx.pic.backward_f_code)
+        dx = mv_coding.decode_component(r, state.pmv_bwd.dx, pic.backward_f_code)
+        dy = mv_coding.decode_component(r, state.pmv_bwd.dy, pic.backward_f_code)
         mv_bwd = MotionVector(dy=dy, dx=dx)
         state.pmv_bwd = mv_bwd
         counters.vlc_symbols += 2
@@ -421,6 +450,18 @@ def _decode_macroblock(
     else:
         cbp = 0
 
+    if fast:
+        levels = decode_blocks_fast(
+            r,
+            cbp,
+            intra=mode.intra,
+            dc_luma=DC_SIZE_LUMA,
+            dc_chroma=DC_SIZE_CHROMA,
+            dc_pred=state.dc_pred,
+            counters=counters,
+        )
+        return mode, mv_fwd, mv_bwd, levels, cbp
+
     levels = np.zeros((6, 64), dtype=np.int64)
     for i in range(6):
         if cbp & (32 >> i):
@@ -436,10 +477,27 @@ def _decode_macroblock(
             if mode.intra:
                 state.dc_pred[di] = new_pred
 
-    if ctx.trace is not None:
+    return mode, mv_fwd, mv_bwd, levels, cbp
+
+
+def _decode_macroblock(
+    r: BitReader,
+    address: int,
+    state: SliceState,
+    ctx: PictureCodingContext,
+    counters: WorkCounters,
+    traced: bool = False,
+) -> None:
+    symbols_before = counters.vlc_symbols
+    mode, mv_fwd, mv_bwd, levels, cbp = parse_macroblock(
+        r, state, ctx.pic, counters
+    )
+    if traced:
         ctx.trace.table_lookups(counters.vlc_symbols - symbols_before)
-    _reconstruct(address, mode, mv_fwd, mv_bwd, levels, cbp, state, ctx, counters)
-    _apply_coded_state(state, mode, mv_fwd, mv_bwd, ptype)
+    _reconstruct(
+        address, mode, mv_fwd, mv_bwd, levels, cbp, state, ctx, counters, traced
+    )
+    _apply_coded_state(state, mode, mv_fwd, mv_bwd, ctx.pic.picture_type)
 
 
 def _reconstruct(
@@ -452,15 +510,16 @@ def _reconstruct(
     state: SliceState,
     ctx: PictureCodingContext,
     counters: WorkCounters,
+    traced: bool = False,
 ) -> None:
     mb_row, mb_col = divmod(address, ctx.mb_width)
-    coded_mask = np.array([bool(cbp & (32 >> i)) for i in range(6)])
-    if ctx.trace is not None:
-        _trace_macroblock(ctx, mb_row, mb_col, mv_fwd, mv_bwd, int(coded_mask.sum()))
+    coded_index = _CBP_BLOCK_INDEX[cbp]
+    if traced:
+        _trace_macroblock(ctx, mb_row, mb_col, mv_fwd, mv_bwd, len(coded_index))
     blocks = np.zeros((6, 8, 8), dtype=np.int32)
-    if coded_mask.any():
+    if len(coded_index):
         order = ALTERNATE if ctx.pic.alternate_scan else ZIGZAG
-        raster = unscan_block(levels[coded_mask], order)
+        raster = unscan_block(levels[coded_index], order)
         if mode.intra:
             coeffs = dequantize_intra(
                 raster, ctx.seq.intra_quant_matrix, state.qscale
@@ -469,8 +528,8 @@ def _reconstruct(
             coeffs = dequantize_non_intra(
                 raster, ctx.seq.non_intra_quant_matrix, state.qscale
             )
-        blocks[coded_mask] = idct_rounded(coeffs)
-        counters.idct_blocks += int(coded_mask.sum())
+        blocks[coded_index] = idct_rounded(coeffs)
+        counters.idct_blocks += len(coded_index)
 
     if mode.intra:
         write_macroblock(ctx.out, mb_row, mb_col, blocks, None, counters)

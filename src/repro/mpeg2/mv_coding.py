@@ -77,7 +77,17 @@ def decode_component(reader: BitReader, predictor: int, f_code: int) -> int:
         delta = 1 + f * (abs(code) - 1) + residual
         if code < 0:
             delta = -delta
-    return wrap_component(predictor + delta, f_code)
+    # Inline of :func:`wrap_component` (this runs twice per coded
+    # motion vector): wrap ``predictor + delta`` into the f_code window.
+    value = predictor + delta
+    low = -16 * f
+    high = 16 * f - 1
+    span = 32 * f
+    while value < low:
+        value += span
+    while value > high:
+        value -= span
+    return value
 
 
 def required_f_code(max_abs_component: int) -> int:

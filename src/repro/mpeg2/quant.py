@@ -68,9 +68,15 @@ def quantize_non_intra(
 # inverse quantization (decoder AND encoder reconstruction loop)
 # ----------------------------------------------------------------------
 def dequantize_intra(
-    levels: np.ndarray, matrix: np.ndarray, qscale: int
+    levels: np.ndarray, matrix: np.ndarray, qscale: int | np.ndarray
 ) -> np.ndarray:
-    """Reconstruct intra coefficients from levels (int64 out)."""
+    """Reconstruct intra coefficients from levels (int64 out).
+
+    ``qscale`` may be a scalar or a per-block array broadcastable
+    against ``(..., 8, 8)`` (e.g. shape ``(n, 1, 1)``) — the batched
+    decode path dequantizes every block of a picture in one call, each
+    at the quantiser scale its macroblock was coded with.
+    """
     lv = np.asarray(levels, dtype=np.int64)
     f = _trunc_div(2 * lv * matrix * qscale, 32)
     f[..., 0, 0] = lv[..., 0, 0] * INTRA_DC_STEP
@@ -79,9 +85,12 @@ def dequantize_intra(
 
 
 def dequantize_non_intra(
-    levels: np.ndarray, matrix: np.ndarray, qscale: int
+    levels: np.ndarray, matrix: np.ndarray, qscale: int | np.ndarray
 ) -> np.ndarray:
-    """Reconstruct non-intra coefficients from levels (int64 out)."""
+    """Reconstruct non-intra coefficients from levels (int64 out).
+
+    ``qscale`` broadcasts like in :func:`dequantize_intra`.
+    """
     lv = np.asarray(levels, dtype=np.int64)
     f = _trunc_div((2 * lv + np.sign(lv)) * matrix * qscale, 32)
     f = np.clip(f, COEFF_MIN, COEFF_MAX)

@@ -117,6 +117,31 @@ def write_macroblock(
         counters.pixels += 256 + 64 + 64
 
 
+def write_macroblocks(
+    out: Frame, rows: np.ndarray, cols: np.ndarray, pixels: np.ndarray
+) -> None:
+    """Batched :func:`write_macroblock`: scatter many macroblocks at once.
+
+    ``pixels`` is ``(n, 6, 8, 8)`` **uint8** final pixel data (already
+    clipped) for the macroblocks at ``(rows[i], cols[i])``; the six
+    blocks follow the standard order (four luma quadrants, Cb, Cr).
+    Positions must be distinct.  Reshape views expose each plane as
+    ``(mb_row, y, mb_col, x)`` so the whole picture lands in three
+    fancy-indexed assignments — this is the phase-2 counterpart of the
+    scalar per-macroblock write.
+    """
+    n = len(rows)
+    mbh, mbw = out.mb_height, out.mb_width
+    lum = np.empty((n, 16, 16), dtype=np.uint8)
+    lum[:, :8, :8] = pixels[:, 0]
+    lum[:, :8, 8:] = pixels[:, 1]
+    lum[:, 8:, :8] = pixels[:, 2]
+    lum[:, 8:, 8:] = pixels[:, 3]
+    out.y.reshape(mbh, 16, mbw, 16)[rows, :, cols, :] = lum
+    out.cb.reshape(mbh, 8, mbw, 8)[rows, :, cols, :] = pixels[:, 4]
+    out.cr.reshape(mbh, 8, mbw, 8)[rows, :, cols, :] = pixels[:, 5]
+
+
 def copy_macroblock(out: Frame, src: Frame, mb_row: int, mb_col: int,
                     counters: WorkCounters | None = None) -> None:
     """Copy a co-located macroblock (P-picture skipped MB, zero MV)."""
@@ -129,6 +154,28 @@ def copy_macroblock(out: Frame, src: Frame, mb_row: int, mb_col: int,
     if counters is not None:
         counters.pixels += 256 + 64 + 64
         counters.mc_pixels += 256 + 64 + 64
+
+
+def conceal_row(out: Frame, fwd: Frame | None, row: int) -> None:
+    """Replace macroblock row ``row`` of ``out`` with concealment data.
+
+    Classic slice concealment: copy the co-located row from the
+    forward reference when one exists, else fill mid-grey.  Row-wide
+    plane copies are bit-identical to per-macroblock
+    :func:`copy_macroblock` calls and are what the batched
+    reconstruction path applies after its scatter (concealed rows are
+    disjoint from every decoded slice's row).
+    """
+    y0 = row * MACROBLOCK_SIZE
+    c0 = y0 // 2
+    if fwd is not None:
+        out.y[y0 : y0 + 16, :] = fwd.y[y0 : y0 + 16, :]
+        out.cb[c0 : c0 + 8, :] = fwd.cb[c0 : c0 + 8, :]
+        out.cr[c0 : c0 + 8, :] = fwd.cr[c0 : c0 + 8, :]
+    else:
+        out.y[y0 : y0 + 16, :] = 128
+        out.cb[c0 : c0 + 8, :] = 128
+        out.cr[c0 : c0 + 8, :] = 128
 
 
 def extract_macroblock(frame: Frame, mb_row: int, mb_col: int) -> np.ndarray:

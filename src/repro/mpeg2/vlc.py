@@ -2,10 +2,17 @@
 
 Decoding uses the standard fixed-peek technique: peek ``max_len`` bits,
 look the value up in a dense table mapping every possible ``max_len``
-prefix to ``(symbol, code_length)``, then consume only ``code_length``
-bits.  This mirrors how the MPEG Software Simulation Group decoder (and
-every production decoder) implements VLC decode, and it is O(1) per
-symbol.
+prefix to its symbol and code length, then consume only the code
+length.  This mirrors how the MPEG Software Simulation Group decoder
+(and every production decoder) implements VLC decode, and it is O(1)
+per symbol.
+
+The dense table is stored as two parallel flat arrays — a symbol list
+and a ``bytes`` length table (length 0 marking invalid prefixes) —
+rather than a list of ``(symbol, length)`` tuples: the hot decode path
+then does two flat indexed loads instead of a tuple unpack per symbol.
+:meth:`VLCTable.decode_fast` exposes the raw window lookup for parsers
+that manage their own bit cursor (the phase-1 batched parser).
 """
 
 from __future__ import annotations
@@ -49,21 +56,27 @@ class VLCTable:
             # tables stop at 17 bits, ours are length-limited to 16.
             raise ValueError(f"{name}: codewords longer than 20 bits unsupported")
 
-        # Dense decode table over all max_len-bit prefixes.
+        # Dense decode table over all max_len-bit prefixes, stored as
+        # two parallel flat arrays: symbol per window and code length
+        # per window (0 = invalid prefix).  Two indexed loads per
+        # symbol, no tuple unpacking in the hot loop.
         size = 1 << self.max_len
-        self._decode: list[tuple[Symbol, int] | None] = [None] * size
+        self._dec_syms: list[Symbol | None] = [None] * size
+        dec_lens = bytearray(size)
         for sym, (value, length) in self._encode.items():
             shift = self.max_len - length
             base = value << shift
             for fill in range(1 << shift):
                 slot = base | fill
-                if self._decode[slot] is not None:
-                    other, _ = self._decode[slot]
+                if dec_lens[slot]:
+                    other = self._dec_syms[slot]
                     raise ValueError(
                         f"{name}: code for {sym!r} collides with {other!r} "
                         "(codebook is not prefix-free)"
                     )
-                self._decode[slot] = (sym, length)
+                self._dec_syms[slot] = sym
+                dec_lens[slot] = length
+        self._dec_lens: bytes = bytes(dec_lens)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -95,17 +108,28 @@ class VLCTable:
     def decode(self, reader: BitReader) -> Symbol:
         """Consume one codeword from ``reader`` and return its symbol."""
         window = reader.peek_bits(self.max_len)
-        entry = self._decode[window]
-        if entry is None:
+        length = self._dec_lens[window]
+        if length == 0:
             raise VLCError(
                 f"{self.name}: invalid codeword at bit {reader.bit_position} "
                 f"(window {window:0{self.max_len}b})"
             )
-        symbol, length = entry
         if length > reader.bits_remaining:
             raise VLCError(f"{self.name}: truncated codeword at end of stream")
         reader.skip_bits(length)
-        return symbol
+        return self._dec_syms[window]
+
+    def decode_fast(self, window: int) -> tuple[Symbol | None, int]:
+        """Raw window lookup: ``(symbol, code_length)`` for a peeked window.
+
+        ``window`` must be exactly :attr:`max_len` bits (zero-padded
+        past the end of the stream, as :meth:`BitReader.peek_bits`
+        produces).  A returned length of 0 means the prefix is invalid;
+        the caller is responsible for bounds-checking consumption
+        against its own bit cursor.  This is the entry point the
+        phase-1 batched parser uses to skip per-call overhead.
+        """
+        return self._dec_syms[window], self._dec_lens[window]
 
     def mean_code_length(self) -> float:
         """Unweighted mean codeword length (diagnostic)."""

@@ -55,6 +55,12 @@ class ParallelConfig:
     #: on the display-front GOP is exempt, which keeps the pipeline
     #: deadlock-free at any cap.
     max_frames_in_flight: int | None = None
+    #: Decode engine used by ``execute=True`` runs (see
+    #: :class:`~repro.mpeg2.decoder.SequenceDecoder`): the batched
+    #: two-phase fast path by default, ``"scalar"`` for the oracle.
+    #: Simulated cycle counts are engine-independent (identical
+    #: counters); only the wall-clock cost of executing runs changes.
+    engine: str = "batched"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -173,7 +179,11 @@ class GopLevelDecoder:
         )
         task_queue = SimQueue("gop-tasks", cost.queue_op_cycles)
         display_queue = SimQueue("display", cost.queue_op_cycles)
-        decoder = SequenceDecoder(self._data) if config.execute else None
+        decoder = (
+            SequenceDecoder(self._data, engine=config.engine)
+            if config.execute
+            else None
+        )
         decoded: dict[int, Frame] = {}
         fbytes = profile.frame_bytes
         pixels = profile.picture_pixels

@@ -31,6 +31,68 @@ from repro.smp.engine import Compute, Halt, Process, Simulator, SleepUntil, Stal
 from repro.smp.memtrack import MemoryTracker
 
 
+def measured_phase_split(data: bytes) -> dict[str, float]:
+    """Wall-clock parse/reconstruct split of the batched decoder.
+
+    The empirical counterpart of :func:`parse_cycles` /
+    :func:`reconstruction_cycles`: decode ``data`` once through the
+    two-phase fast path (:mod:`repro.mpeg2.batched`), timing phase 1
+    (serial bit work) and phase 2 (vectorized reconstruction)
+    separately.  The returned ``amdahl_bound`` is the measured speedup
+    ceiling of the parser-process architecture this module simulates —
+    the number the paper argues against at its Section 4 operating
+    point.
+
+    Returns ``{"parse_seconds", "reconstruct_seconds",
+    "parse_fraction", "amdahl_bound", "pictures"}``.
+    """
+    from time import perf_counter
+
+    from repro.mpeg2.batched import parse_slice, reconstruct_slices
+    from repro.mpeg2.decoder import SequenceDecoder
+    from repro.mpeg2.frame import Frame
+
+    dec = SequenceDecoder(data)
+    seq = dec.seq
+    parse_t = 0.0
+    recon_t = 0.0
+    pictures = 0
+    for gop in dec.index.gops:
+        ref_old = ref_new = None
+        for pic in gop.pictures:
+            if pic.picture_type.is_reference:
+                fwd, bwd = ref_new, None
+            else:
+                fwd, bwd = ref_old, ref_new
+            header = pic.header()
+            out = Frame.blank(seq.width, seq.height)
+            out.temporal_reference = pic.temporal_reference
+            mbw, mbh = out.mb_width, out.mb_height
+            payloads = [
+                (dec.slice_payload(sl), sl.vertical_position) for sl in pic.slices
+            ]
+            t0 = perf_counter()
+            parses = [
+                parse_slice(payload, vpos, header, mbw, mbh, fwd is not None)
+                for payload, vpos in payloads
+            ]
+            t1 = perf_counter()
+            reconstruct_slices(parses, seq, header, out, fwd, bwd)
+            recon_t += perf_counter() - t1
+            parse_t += t1 - t0
+            pictures += 1
+            if pic.picture_type.is_reference:
+                ref_old, ref_new = ref_new, out
+    total = parse_t + recon_t
+    return {
+        "parse_seconds": parse_t,
+        "reconstruct_seconds": recon_t,
+        "parse_fraction": parse_t / total if total else 0.0,
+        "amdahl_bound": total / parse_t if parse_t else float("inf"),
+        "pictures": float(pictures),
+    }
+
+
 def parse_cycles(cost: CostModel, counters: WorkCounters) -> int:
     """The bitstream-decoding share of a task's work.
 

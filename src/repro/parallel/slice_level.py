@@ -106,8 +106,16 @@ class SliceLevelDecoder:
             if refcount[order] == 0:
                 memory.free(sim.now, fbytes, "frames")
 
-        # Execute mode: shared decode contexts, one per picture.
-        decoder = SequenceDecoder(self._data) if config.execute else None
+        # Execute mode: shared decode contexts, one per picture.  Slice
+        # tasks decode through the scalar per-slice entry point — the
+        # batched fast path is picture-granular, and a slice worker by
+        # definition owns only its own row — so ``config.engine`` here
+        # only affects the decoder used for payload/context plumbing.
+        decoder = (
+            SequenceDecoder(self._data, engine=config.engine)
+            if config.execute
+            else None
+        )
         contexts: dict[int, PictureCodingContext] = {}
         frames: dict[int, Frame] = {}
         index_pictures = {}
