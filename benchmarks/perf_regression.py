@@ -1,0 +1,79 @@
+"""Perf-regression guard: fresh numbers vs the committed baseline.
+
+``BENCH_decode.json`` is committed at the repo root so the repository
+carries its own perf trajectory.  This guard (``perf`` marker, never
+tier-1) re-measures the headline stream with the same harness
+(:mod:`benchmarks.perf_decode`) and fails if batched decode throughput
+dropped more than :data:`ALLOWED_REGRESSION` below the committed
+number — the tripwire that catches a "refactor" quietly costing 2x.
+
+The committed baseline is read *before* any fresh run overwrites the
+file.  Machine identity is checked loosely: if the baseline was
+recorded on a different platform string, the comparison is
+informational only (skip, not fail) — cross-machine wall-clock deltas
+are not regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+
+import pytest
+
+from benchmarks.perf_decode import DECODE_REPEATS, HEADLINE_SPEC, bench_stream
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_decode.json")
+
+#: Fail when fresh throughput drops below (1 - this) of the baseline.
+ALLOWED_REGRESSION = 0.25
+
+
+def load_baseline() -> dict:
+    with open(BASELINE_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.mark.perf
+def test_perf_no_decode_regression(record) -> None:
+    if not os.path.exists(BASELINE_PATH):
+        pytest.skip("no committed BENCH_decode.json baseline")
+    baseline = load_baseline()
+    base_row = baseline["streams"].get(HEADLINE_SPEC.name)
+    if base_row is None:
+        pytest.skip(f"baseline lacks headline stream {HEADLINE_SPEC.name}")
+
+    fresh = bench_stream(HEADLINE_SPEC, repeats=DECODE_REPEATS)
+
+    lines = [f"{'engine':<10}{'baseline p/s':>14}{'fresh p/s':>12}{'ratio':>8}"]
+    ratios = {}
+    for engine in ("scalar", "batched"):
+        base_pps = base_row["decode"][engine]["pictures_per_sec"]
+        fresh_pps = fresh["decode"][engine]["pictures_per_sec"]
+        ratios[engine] = fresh_pps / base_pps
+        lines.append(
+            f"{engine:<10}{base_pps:>14.2f}{fresh_pps:>12.2f}"
+            f"{ratios[engine]:>8.2f}"
+        )
+    record("\n".join(lines))
+
+    if baseline.get("platform") != platform.platform():
+        pytest.skip(
+            "baseline recorded on a different platform "
+            f"({baseline.get('platform')!r}); wall-clock comparison "
+            "is informational only"
+        )
+
+    floor = 1.0 - ALLOWED_REGRESSION
+    assert ratios["batched"] >= floor, (
+        f"batched decode regressed to {ratios['batched']:.2f}x of the "
+        f"committed baseline (floor {floor:.2f}x) — investigate before "
+        f"re-committing BENCH_decode.json"
+    )
+    # The batched engine must also still beat scalar by a wide margin.
+    assert (
+        fresh["decode"]["batched"]["pictures_per_sec"]
+        > 2.0 * fresh["decode"]["scalar"]["pictures_per_sec"]
+    )

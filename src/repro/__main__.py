@@ -75,8 +75,22 @@ def _cmd_decode(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as fh:
         data = fh.read()
     counters = WorkCounters()
-    decoder = SequenceDecoder(data, resilient=args.resilient)
-    frames = decoder.decode_all(counters)
+    if args.workers is not None:
+        from repro.parallel.mp import MPGopDecoder
+
+        decoder = MPGopDecoder(
+            data, workers=args.workers, resilient=args.resilient
+        )
+        frames = decoder.decode_all(counters)
+        mode = (
+            f"{args.workers} worker processes"
+            if args.workers
+            else "in-process fallback"
+        )
+        print(f"parallel decode ({mode}, GOP-level)")
+    else:
+        decoder = SequenceDecoder(data, resilient=args.resilient)
+        frames = decoder.decode_all(counters)
     print(
         f"decoded {len(frames)} pictures; {counters.macroblocks:,} macroblocks, "
         f"{counters.coefficients:,} coefficients, {counters.bits:,} bits"
@@ -178,6 +192,9 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument("--dump-dir", help="write luma planes as PGM files")
     dec.add_argument("--resilient", action="store_true",
                      help="conceal corrupt slices instead of failing")
+    dec.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="decode GOPs on N real worker processes "
+                          "(repro.parallel.mp; 0 = in-process fallback)")
     dec.set_defaults(func=_cmd_decode)
 
     simp = sub.add_parser("simulate", help="simulated parallel decode")

@@ -112,6 +112,24 @@ class Frame:
             temporal_reference=self.temporal_reference,
         )
 
+    def digest(self) -> str:
+        """SHA-256 hex digest of the display rectangle (all three planes).
+
+        The golden-vector conformance suite pins these digests per
+        frame; any silent drift in bitstream syntax, VLC tables,
+        quantization, IDCT rounding or motion compensation changes the
+        digest.  Only display pixels are hashed (padding bytes are an
+        implementation detail), and plane dimensions are mixed in so a
+        transposed or cropped plane cannot collide.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for plane in self.display_view():
+            h.update(f"{plane.shape[0]}x{plane.shape[1]}:".encode())
+            h.update(np.ascontiguousarray(plane).tobytes())
+        return h.hexdigest()
+
     def same_pixels(self, other: "Frame") -> bool:
         """Bit-exact equality of the display rectangles."""
         mine = self.display_view()

@@ -18,6 +18,12 @@ decompositions are provided:
 Both run on real bitstreams.  Workers either replay pre-profiled
 per-task costs (fast, used for processor sweeps) or actually decode
 (used by the tests that prove parallel output == sequential output).
+
+Beyond the simulation, :mod:`~repro.parallel.mp` runs the same
+scan/worker/display architecture on *real* cores: OS worker processes
+(no GIL), a ``multiprocessing.shared_memory`` frame pool, and a
+display-order merger — the empirical counterpart of Fig. 5 measured by
+``benchmarks/perf_parallel.py``.
 """
 
 from repro.parallel.profile import (
@@ -40,8 +46,20 @@ from repro.parallel.stats import (
     pictures_per_second,
 )
 from repro.parallel.memory_model import MemoryModel
+from repro.parallel.mp import (
+    MPGopDecoder,
+    SharedFramePool,
+    FrameLayout,
+    decode_parallel,
+    scan_gop_tasks,
+)
 
 __all__ = [
+    "MPGopDecoder",
+    "SharedFramePool",
+    "FrameLayout",
+    "decode_parallel",
+    "scan_gop_tasks",
     "StreamProfile",
     "GopProfile",
     "PictureProfile",

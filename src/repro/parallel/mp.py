@@ -1,0 +1,462 @@
+"""Real-hardware GOP-level parallel decoding with OS processes.
+
+Everything else in :mod:`repro.parallel` runs the paper's scan/worker/
+display architecture on the *simulated* SMP, because CPython threads
+cannot show real speedup under the GIL.  This module escapes the GIL
+the same way the paper escaped a single R4400: separate OS processes
+(`multiprocessing`), one per worker, each decoding whole closed GOPs.
+
+The paper's three roles map onto real primitives:
+
+* **scan** — the parent builds a :class:`repro.mpeg2.index.StreamIndex`
+  (start-code scan, no decoding) and splits it into per-GOP byte-range
+  tasks (:func:`scan_gop_tasks` /
+  :func:`repro.mpeg2.index.gop_byte_ranges`).
+* **workers** — a :class:`multiprocessing.Pool`; each worker rebuilds a
+  stand-alone substream (sequence-header prefix + GOP bytes), decodes
+  it with the batched :class:`~repro.mpeg2.decoder.SequenceDecoder`,
+  and writes the decoded planes straight into a shared-memory frame
+  pool.  Only tiny metadata (temporal references + work counters)
+  crosses the process boundary through pickling — pixel arrays never
+  do.
+* **display** — the parent merges completed GOPs back into display
+  order through a reorder buffer (:func:`_merge_in_order`), reading
+  frames out of the shared pool.
+
+``workers=0`` runs the identical scan/decode/merge pipeline in-process
+(no ``fork``, no shared memory) so functional tests are deterministic
+on constrained CI; ``workers>=1`` is the real-silicon path measured by
+``benchmarks/perf_parallel.py``.
+
+Bit-exactness: closed GOPs carry no coded state across their
+boundaries, so a GOP decoded from its substream is identical to the
+same GOP decoded mid-stream; frames within a GOP are display-ordered
+by ``decode_gop`` and closed GOPs appear in display order in the
+stream.  The mp decoder therefore reproduces
+``SequenceDecoder.decode_all`` bit-for-bit, counters included — pinned
+by ``tests/parallel/test_mp_parity.py`` and the golden-vector suite.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Iterator
+
+import numpy as np
+
+from repro.mpeg2.counters import WorkCounters
+from repro.mpeg2.decoder import ENGINES, SequenceDecoder
+from repro.mpeg2.frame import Frame
+from repro.mpeg2.index import (
+    StreamIndex,
+    build_index,
+    sequence_prefix,
+)
+
+
+@dataclass(frozen=True)
+class FrameLayout:
+    """Byte layout of one decoded 4:2:0 frame slot in the shared pool.
+
+    Slots are sized for *coded* planes (multiples of 16); display
+    dimensions ride along so frames can be rebuilt exactly.
+    """
+
+    display_width: int
+    display_height: int
+    coded_width: int
+    coded_height: int
+
+    @classmethod
+    def for_display(cls, width: int, height: int) -> "FrameLayout":
+        blank = Frame.blank(width, height)
+        return cls(
+            display_width=width,
+            display_height=height,
+            coded_width=blank.coded_width,
+            coded_height=blank.coded_height,
+        )
+
+    @property
+    def y_bytes(self) -> int:
+        return self.coded_width * self.coded_height
+
+    @property
+    def chroma_bytes(self) -> int:
+        return (self.coded_width // 2) * (self.coded_height // 2)
+
+    @property
+    def slot_bytes(self) -> int:
+        """Bytes per frame slot: Y + Cb + Cr, stored contiguously."""
+        return self.y_bytes + 2 * self.chroma_bytes
+
+    def slot_views(
+        self, buf, slot: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy ``uint8`` plane views over slot ``slot`` of ``buf``."""
+        base = slot * self.slot_bytes
+        ch, cw = self.coded_height, self.coded_width
+        y = np.ndarray((ch, cw), dtype=np.uint8, buffer=buf, offset=base)
+        cb = np.ndarray(
+            (ch // 2, cw // 2),
+            dtype=np.uint8,
+            buffer=buf,
+            offset=base + self.y_bytes,
+        )
+        cr = np.ndarray(
+            (ch // 2, cw // 2),
+            dtype=np.uint8,
+            buffer=buf,
+            offset=base + self.y_bytes + self.chroma_bytes,
+        )
+        return y, cb, cr
+
+
+class SharedFramePool:
+    """A block of ``slots`` decoded-frame slots in POSIX shared memory.
+
+    Workers write planes in place (:meth:`write_frame`); the display
+    merger copies them out (:meth:`read_frame`).  The *owner* (parent
+    process) creates and eventually unlinks the segment; workers attach
+    by name and never unlink.
+    """
+
+    def __init__(
+        self, layout: FrameLayout, slots: int, name: str | None = None
+    ) -> None:
+        self.layout = layout
+        self.slots = slots
+        if name is None:
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=max(layout.slot_bytes * slots, 1)
+            )
+            self._owner = True
+        else:
+            # Attach-only: pool workers share the parent's resource
+            # tracker (they are forked/spawned from it), so the segment
+            # is registered exactly once and unlinked exactly once by
+            # the owning parent — no per-worker unregister needed.
+            self._shm = shared_memory.SharedMemory(name=name)
+            self._owner = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        """Allocated pool size (the Fig. 8 quantity, measured for real)."""
+        return self.layout.slot_bytes * self.slots
+
+    def write_frame(self, slot: int, frame: Frame) -> None:
+        """Copy ``frame``'s planes into ``slot`` (worker side)."""
+        y, cb, cr = self.layout.slot_views(self._shm.buf, slot)
+        y[:, :] = frame.y
+        cb[:, :] = frame.cb
+        cr[:, :] = frame.cr
+        del y, cb, cr  # release exported buffers before any close()
+
+    def read_frame(self, slot: int, temporal_reference: int) -> Frame:
+        """Rebuild the :class:`Frame` stored in ``slot`` (display side)."""
+        y, cb, cr = self.layout.slot_views(self._shm.buf, slot)
+        frame = Frame(
+            y=y.copy(),
+            cb=cb.copy(),
+            cr=cr.copy(),
+            display_width=self.layout.display_width,
+            display_height=self.layout.display_height,
+            temporal_reference=temporal_reference,
+        )
+        del y, cb, cr
+        return frame
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        if self._owner:
+            self._shm.unlink()
+
+
+# ----------------------------------------------------------------------
+# scan: GOP byte ranges -> tasks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GopTask:
+    """One unit of worker work: a GOP's byte range + its frame slots."""
+
+    gop: int
+    byte_start: int
+    byte_end: int
+    picture_count: int
+    slot_base: int
+
+
+@dataclass
+class GopResult:
+    """What a worker sends back: metadata only, never pixels."""
+
+    gop: int
+    slot_base: int
+    temporal_references: list[int] = field(default_factory=list)
+    counters: WorkCounters = field(default_factory=WorkCounters)
+
+
+def scan_gop_tasks(index: StreamIndex) -> list[GopTask]:
+    """The scan step: split the index into per-GOP tasks.
+
+    Slot bases are assigned cumulatively so every decoded picture in
+    the stream has a reserved slot in the shared pool — the mp
+    equivalent of the paper's decoded-frame memory that Fig. 8 charts.
+    """
+    tasks: list[GopTask] = []
+    slot = 0
+    for gi, gop in enumerate(index.gops):
+        tasks.append(
+            GopTask(
+                gop=gi,
+                byte_start=gop.start_offset,
+                byte_end=gop.end_offset,
+                picture_count=len(gop.pictures),
+                slot_base=slot,
+            )
+        )
+        slot += len(gop.pictures)
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+#: Per-worker-process state, populated by the pool initializer.
+_WORKER: dict | None = None
+
+
+def _init_worker(
+    data: bytes,
+    prefix: bytes,
+    pool_name: str,
+    layout: FrameLayout,
+    engine: str,
+    resilient: bool,
+) -> None:
+    """Pool initializer: attach the shared frame pool, keep the bytes."""
+    global _WORKER
+    _WORKER = {
+        "data": data,
+        "prefix": prefix,
+        "pool": SharedFramePool(layout, slots=0, name=pool_name),
+        "engine": engine,
+        "resilient": resilient,
+    }
+
+
+def _decode_substream(
+    substream: bytes, engine: str, resilient: bool
+) -> tuple[list[Frame], WorkCounters]:
+    """Decode a single-GOP substream to display-ordered frames."""
+    counters = WorkCounters()
+    frames = SequenceDecoder(
+        substream, engine=engine, resilient=resilient
+    ).decode_all(counters)
+    return frames, counters
+
+
+def _decode_gop_task(task: GopTask) -> GopResult:
+    """Worker body: decode one GOP, park the frames in shared memory."""
+    assert _WORKER is not None, "worker used before _init_worker"
+    substream = (
+        _WORKER["prefix"]
+        + _WORKER["data"][task.byte_start : task.byte_end]
+    )
+    frames, counters = _decode_substream(
+        substream, _WORKER["engine"], _WORKER["resilient"]
+    )
+    pool: SharedFramePool = _WORKER["pool"]
+    refs: list[int] = []
+    for j, frame in enumerate(frames):
+        pool.write_frame(task.slot_base + j, frame)
+        refs.append(frame.temporal_reference)
+    return GopResult(
+        gop=task.gop,
+        slot_base=task.slot_base,
+        temporal_references=refs,
+        counters=counters,
+    )
+
+
+# ----------------------------------------------------------------------
+# display side
+# ----------------------------------------------------------------------
+def _merge_in_order(
+    results: Iterator[GopResult], gop_count: int
+) -> Iterator[GopResult]:
+    """Display-order merger: reorder GOP completions into stream order.
+
+    Workers finish in load-dependent order; the display process must
+    emit GOP 0's pictures before GOP 1's.  A reorder buffer holds
+    early completions until their turn — the same role the paper's
+    display process plays with its picture reorder queue.
+    """
+    pending: dict[int, GopResult] = {}
+    next_gop = 0
+    for result in results:
+        pending[result.gop] = result
+        while next_gop in pending:
+            yield pending.pop(next_gop)
+            next_gop += 1
+    if next_gop != gop_count:
+        missing = sorted(set(range(next_gop, gop_count)) - pending.keys())
+        raise RuntimeError(f"worker pool lost GOP results: {missing}")
+
+
+# ----------------------------------------------------------------------
+# the decoder
+# ----------------------------------------------------------------------
+class MPGopDecoder:
+    """GOP-level parallel decoder on real cores (paper Section 5.1).
+
+    Parameters
+    ----------
+    data:
+        The complete coded stream.
+    index:
+        Optional pre-built scan index (shared between the scan step and
+        the workers, as in the paper).
+    workers:
+        ``0`` decodes in-process through the identical scan/merge
+        pipeline (deterministic CI path, no processes).  ``>= 1``
+        spawns that many OS worker processes; the count is capped at
+        the number of GOPs.  ``None`` uses the available CPU count.
+    engine:
+        Decode engine for the workers (default ``"batched"``).
+    resilient:
+        Conceal corrupt slices instead of failing (worker-local,
+        identical to the sequential decoder's behaviour).
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default;
+        ``"fork"`` on Linux keeps the coded bytes copy-on-write).
+    """
+
+    def __init__(
+        self,
+        data: bytes,
+        index: StreamIndex | None = None,
+        workers: int | None = None,
+        engine: str = "batched",
+        resilient: bool = False,
+        start_method: str | None = None,
+    ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.data = data
+        self.index = index if index is not None else build_index(data)
+        self.workers = workers
+        self.engine = engine
+        self.resilient = resilient
+        self.start_method = start_method
+        self.seq = self.index.sequence_header
+        self.layout = FrameLayout.for_display(self.seq.width, self.seq.height)
+        self.tasks = scan_gop_tasks(self.index)
+        self.prefix = sequence_prefix(data, self.index)
+        #: Shared-pool bytes the last parallel run allocated (Fig. 8
+        #: counterpart on real silicon); 0 for the in-process path.
+        self.last_pool_bytes = 0
+
+    # ------------------------------------------------------------------
+    def decode_all(self, counters: WorkCounters | None = None) -> list[Frame]:
+        """Decode the whole stream to display-ordered frames.
+
+        Bit-identical to ``SequenceDecoder(data).decode_all()`` —
+        frames *and* aggregate work counters.
+        """
+        frames: list[Frame] = []
+        for _gop, gop_frames in self.iter_gops(counters):
+            frames.extend(gop_frames)
+        return frames
+
+    def iter_gops(
+        self, counters: WorkCounters | None = None
+    ) -> Iterator[tuple[int, list[Frame]]]:
+        """Yield ``(gop_number, display_ordered_frames)`` in stream order."""
+        if self.workers == 0:
+            yield from self._iter_gops_inprocess(counters)
+        else:
+            yield from self._iter_gops_mp(counters)
+
+    # ------------------------------------------------------------------
+    def _iter_gops_inprocess(
+        self, counters: WorkCounters | None
+    ) -> Iterator[tuple[int, list[Frame]]]:
+        """The workers=0 fallback: same pipeline, no processes."""
+        self.last_pool_bytes = 0
+        for task in self.tasks:
+            substream = self.prefix + self.data[task.byte_start : task.byte_end]
+            frames, local = _decode_substream(
+                substream, self.engine, self.resilient
+            )
+            if counters is not None:
+                counters.add(local)
+            yield task.gop, frames
+
+    def _iter_gops_mp(
+        self, counters: WorkCounters | None
+    ) -> Iterator[tuple[int, list[Frame]]]:
+        workers = min(self.workers, len(self.tasks))
+        ctx = multiprocessing.get_context(self.start_method)
+        picture_count = self.index.picture_count
+        frame_pool = SharedFramePool(self.layout, slots=picture_count)
+        self.last_pool_bytes = frame_pool.nbytes
+        tasks_by_gop = {t.gop: t for t in self.tasks}
+        try:
+            with ctx.Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(
+                    self.data,
+                    self.prefix,
+                    frame_pool.name,
+                    self.layout,
+                    self.engine,
+                    self.resilient,
+                ),
+            ) as pool:
+                completions = pool.imap_unordered(
+                    _decode_gop_task, self.tasks, chunksize=1
+                )
+                for result in _merge_in_order(completions, len(self.tasks)):
+                    if counters is not None:
+                        counters.add(result.counters)
+                    task = tasks_by_gop[result.gop]
+                    frames = [
+                        frame_pool.read_frame(task.slot_base + j, ref)
+                        for j, ref in enumerate(result.temporal_references)
+                    ]
+                    yield result.gop, frames
+        finally:
+            frame_pool.close()
+            frame_pool.unlink()
+
+
+def decode_parallel(
+    data: bytes,
+    workers: int | None = None,
+    engine: str = "batched",
+    resilient: bool = False,
+    start_method: str | None = None,
+) -> list[Frame]:
+    """Convenience: parallel-decode a stream to display-ordered frames."""
+    return MPGopDecoder(
+        data,
+        workers=workers,
+        engine=engine,
+        resilient=resilient,
+        start_method=start_method,
+    ).decode_all()

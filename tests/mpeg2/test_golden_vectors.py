@@ -1,0 +1,123 @@
+"""Golden-vector conformance: committed streams, pinned frame digests.
+
+Round-trip tests (encode → decode → compare) cannot catch a *paired*
+drift — an encoder and decoder that change together still round-trip.
+The committed corpus under ``tests/vectors/`` breaks that symmetry:
+the coded bytes and the SHA-256 of every decoded frame are pinned, so
+any silent change to bitstream syntax, VLC tables, quantization, IDCT
+rounding or motion compensation fails here, on every decode path:
+
+* sequential scalar oracle (``engine="scalar"``),
+* two-phase batched fast path (``engine="batched"``),
+* GOP-parallel mp decoder (in-process fallback and real workers).
+
+Regenerate intentionally with ``tests/vectors/generate_vectors.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.mpeg2.decoder import SequenceDecoder
+from repro.parallel.mp import MPGopDecoder
+
+VECTOR_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "vectors")
+DIGEST_PATH = os.path.join(VECTOR_DIR, "digests.json")
+
+with open(DIGEST_PATH) as _fh:
+    CORPUS: dict[str, dict] = json.load(_fh)["streams"]
+
+VECTOR_NAMES = sorted(CORPUS)
+
+#: name -> decode callable returning display-ordered frames.
+DECODE_PATHS = {
+    "scalar": lambda data: SequenceDecoder(data, engine="scalar").decode_all(),
+    "batched": lambda data: SequenceDecoder(data, engine="batched").decode_all(),
+    "mp-inprocess": lambda data: MPGopDecoder(data, workers=0).decode_all(),
+    "mp-2workers": lambda data: MPGopDecoder(data, workers=2).decode_all(),
+}
+
+#: Real worker processes are exercised on one multi-GOP vector only;
+#: the in-process fallback covers the full corpus (deterministic and
+#: cheap on constrained CI).
+MP_WORKER_VECTOR = "two_gop_48x32"
+
+
+def load_vector(name: str) -> bytes:
+    with open(os.path.join(VECTOR_DIR, CORPUS[name]["file"]), "rb") as fh:
+        return fh.read()
+
+
+class TestCorpusIntegrity:
+    @pytest.mark.parametrize("name", VECTOR_NAMES)
+    def test_stream_bytes_match_committed_hash(self, name):
+        data = load_vector(name)
+        assert len(data) == CORPUS[name]["stream_bytes"]
+        assert hashlib.sha256(data).hexdigest() == CORPUS[name]["stream_sha256"]
+
+    def test_corpus_is_nontrivial(self):
+        # The issue asks for 4-6 vectors; keep the floor pinned.
+        assert 4 <= len(VECTOR_NAMES) <= 8
+        assert any(CORPUS[n]["pictures"] >= 8 for n in VECTOR_NAMES)
+
+
+class TestGoldenDigests:
+    @pytest.mark.parametrize("name", VECTOR_NAMES)
+    @pytest.mark.parametrize("path", ["scalar", "batched", "mp-inprocess"])
+    def test_decode_reproduces_pinned_digests(self, name, path):
+        frames = DECODE_PATHS[path](load_vector(name))
+        assert [f.digest() for f in frames] == CORPUS[name]["frame_digests"], (
+            f"{path} decode of {name} drifted from the golden digests"
+        )
+
+    def test_mp_worker_processes_reproduce_digests(self):
+        name = MP_WORKER_VECTOR
+        frames = DECODE_PATHS["mp-2workers"](load_vector(name))
+        assert [f.digest() for f in frames] == CORPUS[name]["frame_digests"]
+
+    @pytest.mark.parametrize("name", VECTOR_NAMES)
+    def test_display_geometry_pinned(self, name):
+        frames = SequenceDecoder(load_vector(name)).decode_all()
+        assert len(frames) == CORPUS[name]["pictures"]
+        assert frames[0].display_width == CORPUS[name]["width"]
+        assert frames[0].display_height == CORPUS[name]["height"]
+
+
+class TestNegative:
+    """The suite must actually *fail* on corruption — prove it."""
+
+    def test_flipped_payload_byte_changes_digests(self):
+        name = "ipb_64x48_gop13"
+        data = bytearray(load_vector(name))
+        # Flip one byte inside the last slice's payload (away from any
+        # start code), found via the scan index so the stream still
+        # parses structurally.
+        from repro.mpeg2.index import build_index
+
+        sl = build_index(bytes(data)).gops[-1].pictures[-1].slices[-1]
+        mid = (sl.payload_start + sl.payload_end) // 2
+        data[mid] ^= 0x40
+        try:
+            frames = SequenceDecoder(
+                bytes(data), resilient=True
+            ).decode_all()
+        except Exception:
+            return  # corruption detected structurally: also a failure mode
+        digests = [f.digest() for f in frames]
+        assert digests != CORPUS[name]["frame_digests"], (
+            "flipping a coded byte left every frame digest unchanged — "
+            "the conformance suite has no teeth"
+        )
+
+    def test_truncated_stream_fails(self):
+        data = load_vector("two_gop_48x32")
+        with pytest.raises(Exception):
+            frames = SequenceDecoder(data[: len(data) // 2]).decode_all()
+            # If truncation still "decodes", digests must differ.
+            assert [f.digest() for f in frames] == CORPUS["two_gop_48x32"][
+                "frame_digests"
+            ]

@@ -62,6 +62,31 @@ class TestDecode:
     def test_resilient_flag(self, encoded_file, capsys):
         assert main(["decode", encoded_file, "--resilient"]) == 0
 
+    def test_workers_zero_inprocess_fallback(self, encoded_file, capsys):
+        assert main(["decode", encoded_file, "--workers", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "in-process fallback" in out
+        assert "decoded 13 pictures" in out
+
+    def test_workers_parallel_decode(self, encoded_file, capsys):
+        assert main(["decode", encoded_file, "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 worker processes" in out
+        assert "decoded 13 pictures" in out
+
+    def test_workers_output_matches_sequential(self, encoded_file, tmp_path, capsys):
+        seq_dir = str(tmp_path / "seq")
+        par_dir = str(tmp_path / "par")
+        assert main(["decode", encoded_file, "--dump-dir", seq_dir]) == 0
+        assert main(["decode", encoded_file, "--workers", "2",
+                     "--dump-dir", par_dir]) == 0
+        for name in sorted(os.listdir(seq_dir)):
+            with open(os.path.join(seq_dir, name), "rb") as fh:
+                a = fh.read()
+            with open(os.path.join(par_dir, name), "rb") as fh:
+                b = fh.read()
+            assert a == b, f"{name} differs between sequential and parallel"
+
 
 class TestSimulate:
     @pytest.mark.parametrize(

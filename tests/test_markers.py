@@ -1,0 +1,83 @@
+"""Marker hygiene: every pytest marker in use must be declared.
+
+An undeclared marker is silently ignored by marker expressions — a
+``perf`` test whose marker was never registered would *run inside
+tier-1* (wall-clock assertions in CI) or, worse, a typo in the marker
+name ("pref") would quietly drop a test from the perf gate.
+CI runs this as its ``markers`` sanity job; it greps every test and
+benchmark file for ``pytest.mark.<name>`` and checks the name against
+``[tool.pytest.ini_options].markers`` in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tomllib
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Markers pytest itself provides — always legal, never declared by us.
+BUILTIN_MARKERS = {
+    "parametrize",
+    "skip",
+    "skipif",
+    "xfail",
+    "usefixtures",
+    "filterwarnings",
+}
+
+_MARK_RE = re.compile(r"pytest\.mark\.([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def declared_markers() -> set[str]:
+    with open(os.path.join(REPO_ROOT, "pyproject.toml"), "rb") as fh:
+        config = tomllib.load(fh)
+    lines = config["tool"]["pytest"]["ini_options"].get("markers", [])
+    return {line.split(":", 1)[0].strip() for line in lines}
+
+
+def markers_in_use() -> dict[str, set[str]]:
+    """marker name -> set of files using it, across tests + benchmarks."""
+    uses: dict[str, set[str]] = {}
+    for sub in ("tests", "benchmarks"):
+        for dirpath, _dirs, files in os.walk(os.path.join(REPO_ROOT, sub)):
+            for fname in files:
+                if not fname.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                with open(path, encoding="utf-8") as fh:
+                    text = fh.read()
+                for m in _MARK_RE.finditer(text):
+                    uses.setdefault(m.group(1), set()).add(
+                        os.path.relpath(path, REPO_ROOT)
+                    )
+    return uses
+
+
+def test_every_used_marker_is_declared():
+    declared = declared_markers()
+    undeclared = {
+        name: sorted(files)
+        for name, files in markers_in_use().items()
+        if name not in BUILTIN_MARKERS and name not in declared
+    }
+    assert not undeclared, (
+        "markers used but not declared in pyproject.toml "
+        f"[tool.pytest.ini_options].markers: {undeclared}"
+    )
+
+
+def test_perf_marker_is_declared_and_used():
+    # The perf gate's whole mechanism rests on this marker existing.
+    assert "perf" in declared_markers()
+    assert "perf" in markers_in_use()
+
+
+def test_declared_markers_have_descriptions():
+    with open(os.path.join(REPO_ROOT, "pyproject.toml"), "rb") as fh:
+        config = tomllib.load(fh)
+    for line in config["tool"]["pytest"]["ini_options"].get("markers", []):
+        assert ":" in line and line.split(":", 1)[1].strip(), (
+            f"marker {line!r} lacks a description"
+        )

@@ -1,0 +1,131 @@
+"""Regenerate the golden-vector conformance corpus.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/vectors/generate_vectors.py
+
+Writes ``<name>.m2v`` plus ``digests.json`` next to this script.  Each
+vector is a tiny deterministic encode covering a distinct syntax
+surface (I/P/B GOPs, multiple GOPs, alternate scan, all-intra, rate
+control).  Digests are produced by the *scalar* engine — the
+per-macroblock oracle — and cross-checked against the batched engine
+and the mp decoder before anything is written, so a corpus that
+disagrees with itself can never be committed.
+
+Regenerating is an **intentional act**: if digests change, either the
+codec's coded output changed (bump the reason in the commit message)
+or something silently drifted (fix the bug instead).  The conformance
+suite (``tests/mpeg2/test_golden_vectors.py``) exists to force that
+conversation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+
+from repro.mpeg2.decoder import SequenceDecoder
+from repro.mpeg2.encoder import EncoderConfig, encode_sequence
+from repro.parallel.mp import MPGopDecoder
+from repro.video.synthetic import SyntheticVideo
+
+VECTOR_DIR = os.path.dirname(os.path.abspath(__file__))
+DIGEST_PATH = os.path.join(VECTOR_DIR, "digests.json")
+
+#: The corpus: name -> (video parameters, encoder configuration).
+#: Keep every stream tiny — the whole corpus must decode three ways in
+#: a couple of seconds inside tier-1.
+VECTORS: dict[str, dict] = {
+    # The headline syntax mix: one closed 13-picture I/P/B GOP.
+    "ipb_64x48_gop13": dict(
+        width=64, height=48, seed=7, frames=13,
+        config=dict(gop_size=13, qscale_code=3),
+    ),
+    # Two closed GOPs: exercises GOP boundaries and display merge.
+    "two_gop_48x32": dict(
+        width=48, height=32, seed=11, frames=8,
+        config=dict(gop_size=4, qscale_code=3),
+    ),
+    # MPEG-2 alternate coefficient scan end-to-end.
+    "altscan_48x32_gop7": dict(
+        width=48, height=32, seed=21, frames=7,
+        config=dict(gop_size=7, qscale_code=4, alternate_scan=True),
+    ),
+    # All-intra: two single-picture GOPs, smallest legal frame.
+    "intra_16x16_gop1": dict(
+        width=16, height=16, seed=2, frames=2,
+        config=dict(gop_size=1, qscale_code=2),
+    ),
+    # Rate-controlled encode: adaptive quantiser path.
+    "rc_64x48_gop4": dict(
+        width=64, height=48, seed=5, frames=8,
+        config=dict(gop_size=4, qscale_code=6, target_bits_per_picture=4000),
+    ),
+    # Non-mod-16 display size: coded-size padding + display crop.
+    "pad_40x24_gop4": dict(
+        width=40, height=24, seed=13, frames=4,
+        config=dict(gop_size=4, qscale_code=3),
+    ),
+}
+
+
+def build_vector(name: str, spec: dict) -> bytes:
+    video = SyntheticVideo(
+        width=spec["width"], height=spec["height"], seed=spec["seed"]
+    )
+    frames = video.frames(spec["frames"])
+    return encode_sequence(frames, EncoderConfig(**spec["config"]))
+
+
+def digests_for(data: bytes, **decoder_kwargs) -> list[str]:
+    frames = SequenceDecoder(data, **decoder_kwargs).decode_all()
+    return [f.digest() for f in frames]
+
+
+def main() -> int:
+    corpus: dict[str, dict] = {}
+    for name, spec in VECTORS.items():
+        data = build_vector(name, spec)
+        golden = digests_for(data, engine="scalar")
+        # Cross-check every decode path before committing anything.
+        assert digests_for(data, engine="batched") == golden, name
+        mp_frames = MPGopDecoder(data, workers=0).decode_all()
+        assert [f.digest() for f in mp_frames] == golden, name
+
+        path = os.path.join(VECTOR_DIR, f"{name}.m2v")
+        with open(path, "wb") as fh:
+            fh.write(data)
+        corpus[name] = {
+            "file": f"{name}.m2v",
+            "stream_sha256": hashlib.sha256(data).hexdigest(),
+            "stream_bytes": len(data),
+            "width": spec["width"],
+            "height": spec["height"],
+            "pictures": spec["frames"],
+            "frame_digests": golden,
+        }
+        print(f"{name}: {len(data)} bytes, {len(golden)} pictures")
+
+    with open(DIGEST_PATH, "w") as fh:
+        json.dump(
+            {
+                "format": 1,
+                "digest": (
+                    "sha256 over display-rect planes, each prefixed "
+                    "'{rows}x{cols}:' (Frame.digest)"
+                ),
+                "streams": corpus,
+            },
+            fh,
+            indent=2,
+            sort_keys=True,
+        )
+        fh.write("\n")
+    print(f"wrote {DIGEST_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
