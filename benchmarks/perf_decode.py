@@ -69,6 +69,32 @@ SMALL_MATRIX = paper_stream_matrix(pictures=4, resolution_divisor=4, gop_sizes=(
 DECODE_REPEATS = 5
 
 
+def _traced_stage_breakdown(data: bytes, engine: str = "batched") -> dict:
+    """One traced decode pass -> per-stage span totals.
+
+    Enables the :mod:`repro.obs` tracer for a single (untimed) decode
+    and aggregates the emitted spans, so ``BENCH_decode.json`` records
+    *where* the headline decode time goes (parse vs reconstruct vs
+    per-kernel), not just the end-to-end number — the harness-level
+    analogue of the paper's Table 2 breakdown.
+    """
+    from repro.analysis.obs_report import span_totals
+    from repro.obs.trace import (
+        disable_tracing,
+        enable_tracing,
+        get_tracer,
+        to_chrome,
+    )
+
+    enable_tracing(process_name=f"perf_decode ({engine})")
+    try:
+        SequenceDecoder(data, engine=engine).decode_all()
+        doc = to_chrome(get_tracer().events)
+    finally:
+        disable_tracing()
+    return span_totals(doc)
+
+
 def _decode_seconds(data: bytes, engine: str, repeats: int) -> float:
     times = []
     for _ in range(repeats):
@@ -130,6 +156,9 @@ def run(path: str = OUTPUT_PATH) -> dict[str, object]:
     headline = bench_stream(HEADLINE_SPEC, repeats=DECODE_REPEATS)
     streams[HEADLINE_SPEC.name] = headline
     headline["phase_split"] = measured_phase_split(build_stream(HEADLINE_SPEC))
+    headline["stage_breakdown"] = _traced_stage_breakdown(
+        build_stream(HEADLINE_SPEC)
+    )
 
     report = {
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),

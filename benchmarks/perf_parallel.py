@@ -128,6 +128,46 @@ def bench_parallel_stream(
     }
 
 
+def _traced_headline_obs(data: bytes, workers: int = 4) -> dict[str, object]:
+    """One traced (untimed) mp run -> stall and utilization breakdowns.
+
+    The empirical Table 3 analogue: the same canonical stall-reason
+    vocabulary the simulator reports, measured on the real process
+    pipeline, plus per-process busy fractions from the merged trace —
+    so ``BENCH_parallel.json`` can answer "why is N-worker slower"
+    from the log alone.
+    """
+    from repro.analysis.obs_report import (
+        process_names,
+        stall_breakdown,
+        utilization,
+    )
+    from repro.obs.trace import (
+        disable_tracing,
+        enable_tracing,
+        get_tracer,
+        to_chrome,
+    )
+
+    enable_tracing(process_name="perf_parallel (scan+merge)")
+    try:
+        decoder = MPGopDecoder(data, workers=workers)
+        decoder.decode_all()
+        doc = to_chrome(get_tracer().events)
+        names = process_names(doc)
+        return {
+            "workers": workers,
+            "stall_breakdown": decoder.stall_breakdown(),
+            "trace_stall_breakdown": stall_breakdown(doc),
+            "utilization": {
+                names.get(pid, str(pid)): rec
+                for pid, rec in utilization(doc).items()
+            },
+        }
+    finally:
+        disable_tracing()
+
+
 def run(path: str = OUTPUT_PATH) -> dict[str, object]:
     """Benchmark the matrix + headline and write the JSON."""
     streams: dict[str, object] = {}
@@ -135,6 +175,9 @@ def run(path: str = OUTPUT_PATH) -> dict[str, object]:
         streams[spec.name] = bench_parallel_stream(spec, repeats=2)
     headline = bench_parallel_stream(HEADLINE_SPEC, repeats=REPEATS)
     streams[HEADLINE_SPEC.name] = headline
+    headline["observability"] = _traced_headline_obs(
+        build_stream(HEADLINE_SPEC), workers=4
+    )
 
     report = {
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),

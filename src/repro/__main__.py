@@ -71,17 +71,30 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def _cmd_decode(args: argparse.Namespace) -> int:
     from repro.mpeg2.counters import WorkCounters
     from repro.mpeg2.decoder import SequenceDecoder
+    from repro.obs import (
+        disable_tracing,
+        enable_tracing,
+        format_stall_breakdown,
+        get_tracer,
+        metrics,
+        reset_metrics,
+    )
 
     with open(args.input, "rb") as fh:
         data = fh.read()
+    if args.trace:
+        enable_tracing(process_name="main (scan+merge)")
+    reset_metrics()
     counters = WorkCounters()
+    mp_decoder = None
     if args.workers is not None:
         from repro.parallel.mp import MPGopDecoder
 
-        decoder = MPGopDecoder(
-            data, workers=args.workers, resilient=args.resilient
+        mp_decoder = MPGopDecoder(
+            data, workers=args.workers, engine=args.engine,
+            resilient=args.resilient,
         )
-        frames = decoder.decode_all(counters)
+        frames = mp_decoder.decode_all(counters)
         mode = (
             f"{args.workers} worker processes"
             if args.workers
@@ -89,7 +102,9 @@ def _cmd_decode(args: argparse.Namespace) -> int:
         )
         print(f"parallel decode ({mode}, GOP-level)")
     else:
-        decoder = SequenceDecoder(data, resilient=args.resilient)
+        decoder = SequenceDecoder(
+            data, resilient=args.resilient, engine=args.engine
+        )
         frames = decoder.decode_all(counters)
     print(
         f"decoded {len(frames)} pictures; {counters.macroblocks:,} macroblocks, "
@@ -97,6 +112,25 @@ def _cmd_decode(args: argparse.Namespace) -> int:
     )
     if counters.concealed_slices:
         print(f"concealed {counters.concealed_slices} corrupt slices")
+    if args.trace:
+        tracer = get_tracer()
+        doc = tracer.write_chrome(args.trace)
+        disable_tracing()
+        print(
+            f"wrote {len(doc['traceEvents'])} trace events to {args.trace} "
+            f"(open in https://ui.perfetto.dev or chrome://tracing)"
+        )
+    if args.stats:
+        print()
+        print(metrics().render_table())
+        if mp_decoder is not None and mp_decoder.last_stalls:
+            print()
+            print(
+                format_stall_breakdown(
+                    mp_decoder.stall_breakdown(),
+                    title="stall breakdown (% of process time, real mp run)",
+                )
+            )
     if args.dump_dir:
         os.makedirs(args.dump_dir, exist_ok=True)
         for i, frame in enumerate(frames):
@@ -160,6 +194,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         table.add_row("late pictures", result.late_pictures)
         table.add_row("max lateness s", round(result.max_lateness_seconds, 3))
     print(table.render())
+    if args.stats and hasattr(result, "stall_breakdown"):
+        from repro.obs import format_stall_breakdown
+
+        print()
+        print(
+            format_stall_breakdown(
+                result.stall_breakdown(),
+                title="stall breakdown (% of process time, simulated run)",
+            )
+        )
     return 0
 
 
@@ -195,6 +239,15 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument("--workers", type=int, default=None, metavar="N",
                      help="decode GOPs on N real worker processes "
                           "(repro.parallel.mp; 0 = in-process fallback)")
+    dec.add_argument("--engine", default="batched",
+                     choices=["scalar", "batched"],
+                     help="decode engine (both bit-identical)")
+    dec.add_argument("--trace", metavar="OUT.json",
+                     help="record a Chrome trace-event timeline (spans "
+                          "from every process; open in Perfetto)")
+    dec.add_argument("--stats", action="store_true",
+                     help="print the metrics registry summary table "
+                          "(histograms, gauges, stall breakdown)")
     dec.set_defaults(func=_cmd_decode)
 
     simp = sub.add_parser("simulate", help="simulated parallel decode")
@@ -210,6 +263,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="paced-playback startup buffer in pictures")
     simp.add_argument("--repeat", type=int, default=1,
                       help="tile the stream's GOPs this many times")
+    simp.add_argument("--stats", action="store_true",
+                      help="print the per-reason stall breakdown "
+                           "(same vocabulary as decode --stats)")
     simp.set_defaults(func=_cmd_simulate)
     return parser
 

@@ -69,6 +69,7 @@ from repro.mpeg2.reconstruct import write_macroblocks
 from repro.mpeg2.scan import ALTERNATE, ZIGZAG, unscan_block
 from repro.mpeg2.tables import MB_ADDRESS_INCREMENT, MBA_ESCAPE, MBA_ESCAPE_VALUE
 from repro.mpeg2.vlc import VLCError
+from repro.obs.trace import trace_span
 
 #: Pixels of one 4:2:0 macroblock (256 luma + 2 * 64 chroma).
 _MB_PIXELS = 256 + 64 + 64
@@ -465,75 +466,86 @@ def reconstruct_slices(
     coded = (cbp[:, None] & (32 >> np.arange(6))) != 0  # (n, 6)
     rec_idx, blk_idx = np.nonzero(coded)
     if rec_idx.size:
-        order = ALTERNATE if pic.alternate_scan else ZIGZAG
-        raster = unscan_block(levels[rec_idx, blk_idx], order)  # (m, 8, 8)
-        qs = qscale[rec_idx][:, None, None]
-        is_i = intra[rec_idx]
-        coeffs = np.empty_like(raster)
-        if is_i.any():
-            coeffs[is_i] = dequantize_intra(
-                raster[is_i], seq.intra_quant_matrix, qs[is_i]
-            )
-        ni = ~is_i
-        if ni.any():
-            coeffs[ni] = dequantize_non_intra(
-                raster[ni], seq.non_intra_quant_matrix, qs[ni]
-            )
-        blocks[rec_idx, blk_idx] = idct_rounded(coeffs)
+        with trace_span("kernel.dequant_idct", cat="kernel", blocks=int(rec_idx.size)):
+            order = ALTERNATE if pic.alternate_scan else ZIGZAG
+            raster = unscan_block(levels[rec_idx, blk_idx], order)  # (m, 8, 8)
+            qs = qscale[rec_idx][:, None, None]
+            is_i = intra[rec_idx]
+            coeffs = np.empty_like(raster)
+            if is_i.any():
+                coeffs[is_i] = dequantize_intra(
+                    raster[is_i], seq.intra_quant_matrix, qs[is_i]
+                )
+            ni = ~is_i
+            if ni.any():
+                coeffs[ni] = dequantize_non_intra(
+                    raster[ni], seq.non_intra_quant_matrix, qs[ni]
+                )
+            blocks[rec_idx, blk_idx] = idct_rounded(coeffs)
 
     # ---- motion compensation, grouped by (reference, phase) ----------
     pred6 = np.zeros((n, 6, 8, 8), dtype=np.int32)
     if f_valid.any() or b_valid.any():
-        pred_y = np.zeros((n, 16, 16), dtype=np.int32)
-        pred_cb = np.zeros((n, 8, 8), dtype=np.int32)
-        pred_cr = np.zeros((n, 8, 8), dtype=np.int32)
-        fy_ = fcb = fcr = None
-        if f_valid.any():
-            if fwd is None:
-                raise ValueError("motion vector present but reference frame missing")
-            py, pcb, pcr = _direction_pred(
-                fwd, rows[f_valid], cols[f_valid], f_dy[f_valid], f_dx[f_valid]
-            )
-            fy_ = np.zeros((n, 16, 16), dtype=np.int32)
-            fcb = np.zeros((n, 8, 8), dtype=np.int32)
-            fcr = np.zeros((n, 8, 8), dtype=np.int32)
-            fy_[f_valid], fcb[f_valid], fcr[f_valid] = py, pcb, pcr
-        by_ = bcb = bcr = None
-        if b_valid.any():
-            if bwd is None:
-                raise ValueError("motion vector present but reference frame missing")
-            py, pcb, pcr = _direction_pred(
-                bwd, rows[b_valid], cols[b_valid], b_dy[b_valid], b_dx[b_valid]
-            )
-            by_ = np.zeros((n, 16, 16), dtype=np.int32)
-            bcb = np.zeros((n, 8, 8), dtype=np.int32)
-            bcr = np.zeros((n, 8, 8), dtype=np.int32)
-            by_[b_valid], bcb[b_valid], bcr[b_valid] = py, pcb, pcr
+        with trace_span(
+            "kernel.mc",
+            cat="kernel",
+            macroblocks=int((f_valid | b_valid).sum()),
+        ):
+            pred_y = np.zeros((n, 16, 16), dtype=np.int32)
+            pred_cb = np.zeros((n, 8, 8), dtype=np.int32)
+            pred_cr = np.zeros((n, 8, 8), dtype=np.int32)
+            fy_ = fcb = fcr = None
+            if f_valid.any():
+                if fwd is None:
+                    raise ValueError(
+                        "motion vector present but reference frame missing"
+                    )
+                py, pcb, pcr = _direction_pred(
+                    fwd, rows[f_valid], cols[f_valid], f_dy[f_valid], f_dx[f_valid]
+                )
+                fy_ = np.zeros((n, 16, 16), dtype=np.int32)
+                fcb = np.zeros((n, 8, 8), dtype=np.int32)
+                fcr = np.zeros((n, 8, 8), dtype=np.int32)
+                fy_[f_valid], fcb[f_valid], fcr[f_valid] = py, pcb, pcr
+            by_ = bcb = bcr = None
+            if b_valid.any():
+                if bwd is None:
+                    raise ValueError(
+                        "motion vector present but reference frame missing"
+                    )
+                py, pcb, pcr = _direction_pred(
+                    bwd, rows[b_valid], cols[b_valid], b_dy[b_valid], b_dx[b_valid]
+                )
+                by_ = np.zeros((n, 16, 16), dtype=np.int32)
+                bcb = np.zeros((n, 8, 8), dtype=np.int32)
+                bcr = np.zeros((n, 8, 8), dtype=np.int32)
+                by_[b_valid], bcb[b_valid], bcr[b_valid] = py, pcb, pcr
 
-        only_f = f_valid & ~b_valid
-        only_b = b_valid & ~f_valid
-        both = f_valid & b_valid
-        if only_f.any():
-            pred_y[only_f] = fy_[only_f]
-            pred_cb[only_f] = fcb[only_f]
-            pred_cr[only_f] = fcr[only_f]
-        if only_b.any():
-            pred_y[only_b] = by_[only_b]
-            pred_cb[only_b] = bcb[only_b]
-            pred_cr[only_b] = bcr[only_b]
-        if both.any():
-            # B bidirectional mode: rounded average of the two fetches.
-            pred_y[both] = (fy_[both] + by_[both] + 1) >> 1
-            pred_cb[both] = (fcb[both] + bcb[both] + 1) >> 1
-            pred_cr[both] = (fcr[both] + bcr[both] + 1) >> 1
+            only_f = f_valid & ~b_valid
+            only_b = b_valid & ~f_valid
+            both = f_valid & b_valid
+            if only_f.any():
+                pred_y[only_f] = fy_[only_f]
+                pred_cb[only_f] = fcb[only_f]
+                pred_cr[only_f] = fcr[only_f]
+            if only_b.any():
+                pred_y[only_b] = by_[only_b]
+                pred_cb[only_b] = bcb[only_b]
+                pred_cr[only_b] = bcr[only_b]
+            if both.any():
+                # B bidirectional mode: rounded average of the two fetches.
+                pred_y[both] = (fy_[both] + by_[both] + 1) >> 1
+                pred_cb[both] = (fcb[both] + bcb[both] + 1) >> 1
+                pred_cr[both] = (fcr[both] + bcr[both] + 1) >> 1
 
-        pred6[:, 0] = pred_y[:, :8, :8]
-        pred6[:, 1] = pred_y[:, :8, 8:]
-        pred6[:, 2] = pred_y[:, 8:, :8]
-        pred6[:, 3] = pred_y[:, 8:, 8:]
-        pred6[:, 4] = pred_cb
-        pred6[:, 5] = pred_cr
+            pred6[:, 0] = pred_y[:, :8, :8]
+            pred6[:, 1] = pred_y[:, :8, 8:]
+            pred6[:, 2] = pred_y[:, 8:, :8]
+            pred6[:, 3] = pred_y[:, 8:, 8:]
+            pred6[:, 4] = pred_cb
+            pred6[:, 5] = pred_cr
 
     # ---- residual add, clip, single scatter into the frame planes ----
-    pixels = np.clip(blocks + pred6, 0, 255).astype(np.uint8)  # (n, 6, 8, 8)
-    write_macroblocks(out, rows, cols, pixels)
+    with trace_span("kernel.scatter", cat="kernel", macroblocks=n):
+        pixels = np.clip(blocks + pred6, 0, 255).astype(np.uint8)  # (n, 6, 8, 8)
+        write_macroblocks(out, rows, cols, pixels)

@@ -16,6 +16,8 @@ within each (closed) GOP.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from repro.bitstream.emulation import unescape_payload
 from repro.bitstream.reader import BitstreamError
 from repro.mpeg2.batched import SliceParse, parse_slice, reconstruct_slices
@@ -35,6 +37,8 @@ from repro.mpeg2.macroblock import (
 )
 from repro.mpeg2.reconstruct import conceal_row
 from repro.mpeg2.vlc import VLCError
+from repro.obs.metrics import metrics
+from repro.obs.trace import trace_span
 
 #: Decode engines: ``"scalar"`` is the per-macroblock oracle path,
 #: ``"batched"`` the two-phase parse/reconstruct fast path (default;
@@ -133,7 +137,32 @@ class SequenceDecoder:
         ``slice_counters`` is ``(vertical_position, counters)`` per
         successfully decoded slice in bitstream order — the unit the
         stream profiler feeds to the parallel simulations.
+
+        Observability: the whole picture is bracketed by a
+        ``decode.picture`` trace span and feeds the
+        ``decode.picture_ms`` histogram; neither perturbs the decode
+        (work counters and output pixels are identical with tracing on
+        or off, pinned by the overhead-guard test).
         """
+        t0 = perf_counter()
+        with trace_span(
+            "decode.picture",
+            type=pic.picture_type.letter,
+            engine=self.engine,
+            temporal_reference=pic.temporal_reference,
+        ):
+            result = self._decode_picture_inner(pic, fwd, bwd)
+        metrics().histogram("decode.picture_ms").observe(
+            (perf_counter() - t0) * 1e3
+        )
+        return result
+
+    def _decode_picture_inner(
+        self,
+        pic: PictureIndex,
+        fwd: Frame | None,
+        bwd: Frame | None,
+    ) -> tuple[Frame, list[tuple[int, WorkCounters]], WorkCounters]:
         local = WorkCounters()
         header = pic.header()
         local.headers += 1
@@ -156,15 +185,18 @@ class SequenceDecoder:
                 payload = unescape_payload(
                     self.data[sl.payload_start : sl.payload_end]
                 )
-                if self.resilient:
-                    try:
+                with trace_span("decode.slice", row=sl.vertical_position):
+                    if self.resilient:
+                        try:
+                            c = decode_slice(
+                                payload, sl.vertical_position, ctx, local
+                            )
+                        except SLICE_CORRUPTION_ERRORS:
+                            conceal_slice(ctx, sl.vertical_position)
+                            local.concealed_slices += 1
+                            continue
+                    else:
                         c = decode_slice(payload, sl.vertical_position, ctx, local)
-                    except SLICE_CORRUPTION_ERRORS:
-                        conceal_slice(ctx, sl.vertical_position)
-                        local.concealed_slices += 1
-                        continue
-                else:
-                    c = decode_slice(payload, sl.vertical_position, ctx, local)
                 slice_counters.append((sl.vertical_position, c))
             return out, slice_counters, local
 
@@ -175,31 +207,33 @@ class SequenceDecoder:
         # would, because every slice covers its complete row.
         mbw, mbh = out.mb_width, out.mb_height
         final: dict[int, SliceParse | None] = {}
-        for sl in pic.slices:
-            payload = unescape_payload(
-                self.data[sl.payload_start : sl.payload_end]
-            )
-            try:
-                sp = parse_slice(
-                    payload, sl.vertical_position, header, mbw, mbh,
-                    fwd is not None,
+        with trace_span("decode.parse", slices=len(pic.slices)):
+            for sl in pic.slices:
+                payload = unescape_payload(
+                    self.data[sl.payload_start : sl.payload_end]
                 )
-            except SLICE_CORRUPTION_ERRORS:
-                if not self.resilient:
-                    raise
-                local.concealed_slices += 1
-                final[sl.vertical_position - 1] = None
-                continue
-            local.add(sp.counters)
-            slice_counters.append((sl.vertical_position, sp.counters))
-            final[sl.vertical_position - 1] = sp
-        reconstruct_slices(
-            [sp for sp in final.values() if sp is not None],
-            self.seq, header, out, fwd, bwd,
-        )
-        for row, sp in final.items():
-            if sp is None:
-                conceal_row(out, fwd, row)
+                try:
+                    sp = parse_slice(
+                        payload, sl.vertical_position, header, mbw, mbh,
+                        fwd is not None,
+                    )
+                except SLICE_CORRUPTION_ERRORS:
+                    if not self.resilient:
+                        raise
+                    local.concealed_slices += 1
+                    final[sl.vertical_position - 1] = None
+                    continue
+                local.add(sp.counters)
+                slice_counters.append((sl.vertical_position, sp.counters))
+                final[sl.vertical_position - 1] = sp
+        with trace_span("decode.reconstruct"):
+            reconstruct_slices(
+                [sp for sp in final.values() if sp is not None],
+                self.seq, header, out, fwd, bwd,
+            )
+            for row, sp in final.items():
+                if sp is None:
+                    conceal_row(out, fwd, row)
         return out, slice_counters, local
 
     def slice_payload(self, sl) -> bytes:
@@ -236,6 +270,17 @@ class SequenceDecoder:
             raise DecodeError(
                 "GOP-level decode requires closed GOPs (paper assumption)"
             )
+        t0 = perf_counter()
+        with trace_span("decode.gop", pictures=len(gop.pictures)):
+            frames = self._decode_gop_inner(gop, counters)
+        metrics().histogram("decode.gop_ms").observe(
+            (perf_counter() - t0) * 1e3
+        )
+        return frames
+
+    def _decode_gop_inner(
+        self, gop: GopIndex, counters: WorkCounters | None = None
+    ) -> list[Frame]:
         local = WorkCounters()
         local.headers += 1
         local.bits += (gop.header_payload_end - gop.header_payload_start + 4) * 8

@@ -1,0 +1,85 @@
+"""``repro.obs`` — the unified observability layer.
+
+Three always-compiled-in facilities, wired through every decode path
+(scalar, batched, real-multiprocessing, simulated SMP):
+
+* :mod:`repro.obs.trace` — a span/event tracer with a near-zero-cost
+  disabled path, emitting Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``).  Worker processes write shards the parent
+  merges into one timeline — the paper's Fig. 5 per-process
+  utilisation plot, on real silicon.
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry
+  with JSON snapshots (``--stats``), mergeable across processes.
+* :mod:`repro.obs.stalls` — stall attribution under a canonical
+  reason vocabulary shared by the SMP simulator (cycles) and the mp
+  pipeline (seconds), so simulated and real "% time blocked"
+  breakdowns are directly comparable (paper Table 3).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics,
+    reset_metrics,
+)
+from repro.obs.stalls import (
+    CANONICAL_REASONS,
+    REASON_BARRIER,
+    REASON_CONDITION,
+    REASON_LOCK,
+    REASON_MERGE,
+    REASON_POOL_SLOT,
+    REASON_QUEUE_GET,
+    REASON_QUEUE_PUT,
+    StallRecord,
+    StallTable,
+    format_stall_breakdown,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    to_chrome,
+    trace_complete,
+    trace_counter,
+    trace_instant,
+    trace_span,
+    tracing_enabled,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "reset_metrics",
+    "CANONICAL_REASONS",
+    "REASON_BARRIER",
+    "REASON_CONDITION",
+    "REASON_LOCK",
+    "REASON_MERGE",
+    "REASON_POOL_SLOT",
+    "REASON_QUEUE_GET",
+    "REASON_QUEUE_PUT",
+    "StallRecord",
+    "StallTable",
+    "format_stall_breakdown",
+    "NULL_SPAN",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "to_chrome",
+    "trace_complete",
+    "trace_counter",
+    "trace_instant",
+    "trace_span",
+    "tracing_enabled",
+    "validate_chrome_trace",
+]

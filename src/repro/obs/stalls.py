@@ -1,0 +1,151 @@
+"""Stall attribution: who waited, why, for how long.
+
+The paper's Table 3 splits each process's time into execution and
+synchronisation; Fig. 12 tracks the sync/exec ratio as workers are
+added.  To reproduce that analysis on *both* of this repo's parallel
+decoders — the SMP simulator (virtual cycles) and the real
+multiprocessing pipeline (wall seconds) — every blocking wait records
+a :class:`StallRecord` ``(waiter, reason, duration)`` into a
+:class:`StallTable` under a **shared reason vocabulary**, so the
+simulated Challenge and real silicon report the same
+"% time in barrier / queue / pool-full" breakdown side by side.
+
+Canonical reasons
+-----------------
+========================= ============================================
+:data:`REASON_QUEUE_GET`  waiting for work (task/result queue empty;
+                          mp worker idle between GOPs; parent blocked
+                          on the completion queue)
+:data:`REASON_QUEUE_PUT`  downstream queue full
+:data:`REASON_POOL_SLOT`  frame-pool slot unavailable (bounded pool)
+:data:`REASON_MERGE`      display-order merge holding an out-of-order
+                          completion until its turn
+:data:`REASON_BARRIER`    barrier wait
+:data:`REASON_LOCK`       contended mutex acquire
+:data:`REASON_CONDITION`  generic condition wait (unclassified)
+========================= ============================================
+
+Durations are unit-agnostic (the table never mixes sources): the
+simulator records cycles, the mp pipeline seconds.  ``breakdown()``
+normalises to fractions of a caller-supplied total, which is where the
+two become directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+REASON_QUEUE_GET = "queue.get"
+REASON_QUEUE_PUT = "queue.put"
+REASON_POOL_SLOT = "pool.slot"
+REASON_MERGE = "merge.reorder"
+REASON_BARRIER = "barrier"
+REASON_LOCK = "lock"
+REASON_CONDITION = "condition"
+
+#: Every reason either decoder may report (the shared vocabulary).
+CANONICAL_REASONS = (
+    REASON_QUEUE_GET,
+    REASON_QUEUE_PUT,
+    REASON_POOL_SLOT,
+    REASON_MERGE,
+    REASON_BARRIER,
+    REASON_LOCK,
+    REASON_CONDITION,
+)
+
+
+@dataclass(frozen=True)
+class StallRecord:
+    """One blocking wait: who, why, how long (cycles or seconds)."""
+
+    waiter: str
+    reason: str
+    duration: float
+
+
+class StallTable:
+    """Accumulates stall durations keyed by (waiter, reason)."""
+
+    def __init__(self) -> None:
+        self._totals: dict[tuple[str, str], float] = {}
+        self._counts: dict[tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    def record(self, waiter: str, reason: str, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative stall duration: {duration}")
+        key = (waiter, reason)
+        self._totals[key] = self._totals.get(key, 0.0) + duration
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def merge(self, snap: dict) -> None:
+        """Fold a peer's :meth:`snapshot` in (mp worker -> parent)."""
+        for waiter, reasons in snap.items():
+            for reason, cell in reasons.items():
+                key = (waiter, reason)
+                self._totals[key] = self._totals.get(key, 0.0) + cell["total"]
+                self._counts[key] = self._counts.get(key, 0) + cell["count"]
+
+    # ------------------------------------------------------------------
+    def total(self, reason: str | None = None) -> float:
+        """Summed stall time, optionally restricted to one reason."""
+        return sum(
+            t
+            for (_, r), t in self._totals.items()
+            if reason is None or r == reason
+        )
+
+    def by_reason(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for (_, reason), t in self._totals.items():
+            out[reason] = out.get(reason, 0.0) + t
+        return out
+
+    def waiters(self) -> list[str]:
+        return sorted({w for (w, _) in self._totals})
+
+    def snapshot(self) -> dict:
+        """JSON-able nested view: waiter -> reason -> {total, count}."""
+        out: dict[str, dict[str, dict]] = {}
+        for (waiter, reason), t in sorted(self._totals.items()):
+            out.setdefault(waiter, {})[reason] = {
+                "total": t,
+                "count": self._counts[(waiter, reason)],
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    def breakdown(self, total_time: float) -> dict[str, float]:
+        """Fraction of ``total_time`` stalled, per reason.
+
+        ``total_time`` is the denominator the percentages are quoted
+        against — e.g. ``finish_cycles * processes`` for the simulator
+        or ``wall_seconds * processes`` for the mp pipeline.  The
+        denominator is floored at the summed stall time, so the
+        returned fractions always sum to <= 1.0 even if the caller
+        underestimates the wall.
+        """
+        if total_time < 0:
+            raise ValueError(f"negative total_time: {total_time}")
+        per_reason = self.by_reason()
+        denom = max(total_time, sum(per_reason.values()))
+        if denom == 0:
+            return {reason: 0.0 for reason in per_reason}
+        return {reason: t / denom for reason, t in per_reason.items()}
+
+    def __bool__(self) -> bool:
+        return bool(self._totals)
+
+
+def format_stall_breakdown(
+    breakdown: dict[str, float], title: str = "stall breakdown"
+) -> str:
+    """Render a reason -> fraction map as a monospace table."""
+    from repro.analysis.report import TextTable
+
+    table = TextTable(["reason", "% of time"], title=title)
+    for reason in sorted(breakdown, key=lambda r: -breakdown[r]):
+        table.add_row(reason, f"{100.0 * breakdown[reason]:.2f}%")
+    table.add_row("(total)", f"{100.0 * sum(breakdown.values()):.2f}%")
+    return table.render()

@@ -1,0 +1,354 @@
+"""Span/event tracer emitting Chrome trace-event JSON.
+
+The paper's per-process execution timelines (Figs. 5-7) were drawn
+from source instrumentation of the parallel decoder; this module is
+that instrumentation for the reproduction, on real silicon.  Decode
+code brackets interesting intervals with :func:`trace_span`; when
+tracing is enabled the completed spans accumulate in a ring buffer of
+plain dicts and are exported as `Chrome trace-event JSON
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+— load the file in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing`` to see the scan/worker/display timeline.
+
+Disabled-path cost
+------------------
+Tracing is **off by default** and the disabled path allocates nothing:
+:func:`trace_span` returns the shared :data:`NULL_SPAN` singleton (a
+no-op context manager), so a hot loop pays one global load, one
+``is None`` test and an empty ``with`` block.  The overhead-guard test
+(``tests/obs/test_overhead.py``) pins this: with tracing disabled the
+decoder constructs zero span objects, and decoded frames plus work
+counters are bit-identical with tracing on and off.
+
+Clock
+-----
+Timestamps come from :func:`time.monotonic_ns` — on Linux this is
+``CLOCK_MONOTONIC``, which is system-wide, so spans recorded by forked
+or spawned worker processes land on the same timeline as the parent's
+without any clock handshake.  Worker processes write *shards* (JSONL
+of raw events, :meth:`Tracer.write_shard`); the parent reads them back
+(:meth:`Tracer.read_shard`) and merges everything into one trace
+(:func:`to_chrome`), which normalises timestamps to microseconds from
+the earliest event.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Iterable
+
+#: The monotonic, cross-process-comparable clock (ns).
+_CLOCK = time.monotonic_ns
+
+#: Default ring-buffer capacity (events kept; oldest dropped beyond).
+DEFAULT_CAPACITY = 1_000_000
+
+#: Keys every exported Chrome trace event must carry (schema-tested).
+REQUIRED_EVENT_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+class _NullSpan:
+    """The do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+#: Shared singleton: the disabled path never allocates.
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: records one complete ("X") event on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_t0")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, cat: str, args: dict | None
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        self._t0 = _CLOCK()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        t1 = _CLOCK()
+        self._tracer.complete(
+            self.name, self.cat, self._t0, t1 - self._t0, self.args
+        )
+        return False
+
+
+class Tracer:
+    """Ring-buffered event collector for one process.
+
+    Internal events are dicts in Chrome trace-event shape with ``ts``
+    and ``dur`` in **nanoseconds** (converted to microseconds at
+    export).  The buffer is a ``deque(maxlen=capacity)`` so a long run
+    degrades by forgetting its oldest spans, never by growing without
+    bound; ``dropped`` counts the casualties.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        process_name: str | None = None,
+    ) -> None:
+        self.capacity = capacity
+        self.events: deque = deque(maxlen=capacity)
+        self.pid = os.getpid()
+        self.dropped = 0
+        self.process_name = process_name
+        if process_name is not None:
+            # Chrome metadata event: names this pid's track in the UI.
+            self.events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "ts": 0,
+                    "pid": self.pid,
+                    "tid": self._tid(),
+                    "args": {"name": process_name},
+                }
+            )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _tid() -> int:
+        return threading.get_native_id()
+
+    def _append(self, event: dict) -> None:
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, cat: str = "decode", args: dict | None = None) -> _Span:
+        """A context manager recording one complete event."""
+        return _Span(self, name, cat, args)
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        start_ns: int,
+        dur_ns: int,
+        args: dict | None = None,
+    ) -> None:
+        """Record a complete ("X") event with explicit start/duration.
+
+        Used directly (rather than via :meth:`span`) when the interval
+        is only known after the fact — e.g. a worker attributing the
+        idle gap since its previous task.
+        """
+        event = {
+            "ph": "X",
+            "name": name,
+            "cat": cat,
+            "ts": start_ns,
+            "dur": max(dur_ns, 0),
+            "pid": self.pid,
+            "tid": self._tid(),
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def instant(self, name: str, cat: str = "decode", args: dict | None = None) -> None:
+        """Record an instant ("i") event at the current time."""
+        event = {
+            "ph": "i",
+            "name": name,
+            "cat": cat,
+            "ts": _CLOCK(),
+            "pid": self.pid,
+            "tid": self._tid(),
+            "s": "t",
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def counter(self, name: str, value: float, cat: str = "metric") -> None:
+        """Record a counter ("C") sample — a stepped series in the UI."""
+        self._append(
+            {
+                "ph": "C",
+                "name": name,
+                "cat": cat,
+                "ts": _CLOCK(),
+                "pid": self.pid,
+                "tid": self._tid(),
+                "args": {"value": value},
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # shards: worker processes persist raw events for the parent
+    # ------------------------------------------------------------------
+    def write_shard(self, path: str) -> int:
+        """Append buffered events to ``path`` as JSONL and clear them.
+
+        Worker processes call this after each task so a crashed worker
+        loses at most one task's spans.  Returns the number written.
+        """
+        n = len(self.events)
+        if n == 0:
+            return 0
+        with open(path, "a") as fh:
+            for event in self.events:
+                fh.write(json.dumps(event) + "\n")
+        self.events.clear()
+        return n
+
+    @staticmethod
+    def read_shard(path: str) -> list[dict]:
+        """Load raw events written by :meth:`write_shard`."""
+        events = []
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+        return events
+
+    def extend(self, events: Iterable[dict]) -> None:
+        """Merge foreign raw events (worker shards) into this buffer."""
+        for event in events:
+            self._append(event)
+
+    # ------------------------------------------------------------------
+    def write_chrome(self, path: str) -> dict:
+        """Export this tracer's events as a Chrome trace JSON file."""
+        doc = to_chrome(self.events)
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+            fh.write("\n")
+        return doc
+
+
+# ----------------------------------------------------------------------
+# export & validation
+# ----------------------------------------------------------------------
+def to_chrome(events: Iterable[dict]) -> dict:
+    """Convert raw (ns) events into a Chrome trace-event JSON document.
+
+    Events are sorted by timestamp and timestamps are rebased to
+    microseconds from the earliest non-metadata event, so traces open
+    at t=0 in Perfetto regardless of machine uptime.  Metadata ("M")
+    events keep ts 0 and sort first.
+    """
+    raw = sorted(events, key=lambda e: (e.get("ph") != "M", e.get("ts", 0)))
+    base = min(
+        (e["ts"] for e in raw if e.get("ph") != "M"),
+        default=0,
+    )
+    out = []
+    for e in raw:
+        c = dict(e)
+        if c.get("ph") != "M":
+            c["ts"] = (c["ts"] - base) / 1000.0
+            if "dur" in c:
+                c["dur"] = c["dur"] / 1000.0
+        out.append(c)
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(doc: dict) -> list[dict]:
+    """Validate a Chrome trace document; returns its events.
+
+    Checks the shape CI and the schema tests rely on: a
+    ``traceEvents`` list in which every event has the
+    :data:`REQUIRED_EVENT_KEYS`, complete events carry a non-negative
+    ``dur``, and non-metadata timestamps are non-negative.  Raises
+    ``ValueError`` with the first offending event on failure.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("trace document must be a dict with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for e in events:
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in e:
+                raise ValueError(f"trace event missing {key!r}: {e!r}")
+        if e["ph"] == "X" and e.get("dur", 0) < 0:
+            raise ValueError(f"complete event with negative dur: {e!r}")
+        if e["ph"] != "M" and e["ts"] < 0:
+            raise ValueError(f"event with negative ts: {e!r}")
+    return events
+
+
+# ----------------------------------------------------------------------
+# module-level switchboard (the always-compiled-in, near-zero-cost API)
+# ----------------------------------------------------------------------
+_tracer: Tracer | None = None
+
+
+def enable_tracing(
+    capacity: int = DEFAULT_CAPACITY, process_name: str | None = None
+) -> Tracer:
+    """Install and return the process-global tracer."""
+    global _tracer
+    _tracer = Tracer(capacity=capacity, process_name=process_name)
+    return _tracer
+
+
+def disable_tracing() -> None:
+    """Remove the global tracer; :func:`trace_span` reverts to no-ops."""
+    global _tracer
+    _tracer = None
+
+
+def tracing_enabled() -> bool:
+    return _tracer is not None
+
+
+def get_tracer() -> Tracer | None:
+    return _tracer
+
+
+def trace_span(name: str, cat: str = "decode", **args: Any):
+    """Bracket an interval: ``with trace_span("decode.picture"): ...``.
+
+    Returns the shared :data:`NULL_SPAN` when tracing is disabled —
+    no allocation, no clock read.
+    """
+    t = _tracer
+    if t is None:
+        return NULL_SPAN
+    return t.span(name, cat, args or None)
+
+
+def trace_instant(name: str, cat: str = "decode", **args: Any) -> None:
+    t = _tracer
+    if t is not None:
+        t.instant(name, cat, args or None)
+
+
+def trace_counter(name: str, value: float, cat: str = "metric") -> None:
+    t = _tracer
+    if t is not None:
+        t.counter(name, value, cat)
+
+
+def trace_complete(
+    name: str, cat: str, start_ns: int, dur_ns: int, **args: Any
+) -> None:
+    """Record an after-the-fact interval (no-op when disabled)."""
+    t = _tracer
+    if t is not None:
+        t.complete(name, cat, start_ns, dur_ns, args or None)

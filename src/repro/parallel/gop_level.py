@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from repro.mpeg2.counters import WorkCounters
 from repro.mpeg2.decoder import SequenceDecoder
 from repro.mpeg2.frame import Frame
+from repro.obs.stalls import REASON_MERGE, REASON_POOL_SLOT, StallTable
 from repro.parallel.pacing import DisplayPacer
 from repro.parallel.profile import StreamProfile, profile_stream
 from repro.parallel.queues import SimQueue
@@ -95,6 +96,10 @@ class DecodeRunResult:
     late_pictures: int = 0
     max_lateness_cycles: int = 0
     startup_cycles: int = 0
+    #: Stall attribution (cycles) under the canonical reason vocabulary
+    #: of :mod:`repro.obs.stalls` — the simulated counterpart of the mp
+    #: pipeline's wall-clock stall table.
+    stalls: StallTable = field(default_factory=StallTable)
 
     @property
     def finish_seconds(self) -> float:
@@ -140,6 +145,17 @@ class DecodeRunResult:
             if self.worker_exec(i) > 0
         ]
         return sum(ratios) / len(ratios) if ratios else 0.0
+
+    def stall_breakdown(self) -> dict[str, float]:
+        """Fraction of aggregate process time blocked, per reason.
+
+        Denominator: ``finish_cycles x (workers + scan + display)`` —
+        the simulated analogue of "wall seconds x processes" used by
+        the real mp pipeline, so the two breakdowns are directly
+        comparable in ``repro.analysis.obs_report``.
+        """
+        processes = self.config.workers + 2
+        return self.stalls.breakdown(self.finish_cycles * processes)
 
 
 @dataclass(frozen=True)
@@ -196,7 +212,7 @@ class GopLevelDecoder:
 
         frames_in_flight = [0]
         display_progress = [0]
-        pool_cond = Condition("frame-pool")
+        pool_cond = Condition("frame-pool", reason=REASON_POOL_SLOT)
         gop_first_display: list[int] = []
         acc = 0
         for g in profile.gops:
@@ -262,14 +278,22 @@ class GopLevelDecoder:
             import heapq
 
             pending: list[int] = []
+            arrival: dict[int, int] = {}
             next_index = 0
             total = profile.picture_count
             while next_index < total:
                 item = yield from display_queue.get()
                 assert item is not None, "display queue closed early"
                 heapq.heappush(pending, item.display_index)
+                arrival[item.display_index] = sim.now
                 while pending and pending[0] == next_index:
                     heapq.heappop(pending)
+                    held = sim.now - arrival.pop(next_index)
+                    if held > 0:
+                        # Completed out of display order: the time it sat
+                        # in the reorder buffer is a merge stall (the mp
+                        # pipeline records the same quantity in seconds).
+                        sim.stalls.record(proc.name, REASON_MERGE, held)
                     target = pacer.on_ready(next_index, sim.now)
                     if target is not None:
                         yield SleepUntil(target)
@@ -292,6 +316,7 @@ class GopLevelDecoder:
         sim.run()
 
         result.finish_cycles = result.display_times[-1]
+        result.stalls = sim.stalls
         result.worker_busy = [w.stats.busy for w in workers]
         result.worker_stall = [w.stats.stall for w in workers]
         result.worker_sync = [w.stats.sync_wait for w in workers]

@@ -41,9 +41,13 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
+import tempfile
+import time
 from dataclasses import dataclass, field
+from glob import glob
 from multiprocessing import shared_memory
-from typing import Iterator
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -54,6 +58,20 @@ from repro.mpeg2.index import (
     StreamIndex,
     build_index,
     sequence_prefix,
+)
+from repro.obs.metrics import metrics, reset_metrics
+from repro.obs.stalls import (
+    REASON_MERGE,
+    REASON_QUEUE_GET,
+    StallTable,
+)
+from repro.obs.trace import (
+    Tracer,
+    enable_tracing,
+    get_tracer,
+    trace_complete,
+    trace_span,
+    tracing_enabled,
 )
 
 
@@ -203,6 +221,12 @@ class GopResult:
     slot_base: int
     temporal_references: list[int] = field(default_factory=list)
     counters: WorkCounters = field(default_factory=WorkCounters)
+    #: Observability payloads: the worker's per-task metrics snapshot
+    #: (``repro.obs.metrics`` shape, merged into the parent registry)
+    #: and its stall-table snapshot (idle-between-tasks attribution).
+    #: Tiny dicts — pixel data still never crosses the boundary.
+    metrics_snap: dict | None = None
+    stalls_snap: dict | None = None
 
 
 def scan_gop_tasks(index: StreamIndex) -> list[GopTask]:
@@ -242,15 +266,38 @@ def _init_worker(
     layout: FrameLayout,
     engine: str,
     resilient: bool,
+    trace_dir: str | None = None,
 ) -> None:
-    """Pool initializer: attach the shared frame pool, keep the bytes."""
+    """Pool initializer: attach the shared frame pool, keep the bytes.
+
+    When the parent is tracing, ``trace_dir`` names a shard directory:
+    the worker enables its own process-local tracer and appends raw
+    events to ``shard-<pid>.jsonl`` after every task; the parent merges
+    the shards into one timeline when the pool closes.
+    """
     global _WORKER
+    pid = os.getpid()
+    if trace_dir is not None:
+        enable_tracing(process_name=f"worker-{pid}")
+        # Flush the process-metadata / start events immediately so every
+        # worker appears in the merged timeline even if it never gets a
+        # task (streams with fewer GOPs than workers).
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.instant("mp.worker.start", cat="mp")
+            tracer.write_shard(os.path.join(trace_dir, f"shard-{pid}.jsonl"))
+    reset_metrics()
     _WORKER = {
         "data": data,
         "prefix": prefix,
         "pool": SharedFramePool(layout, slots=0, name=pool_name),
         "engine": engine,
         "resilient": resilient,
+        "trace_dir": trace_dir,
+        "name": f"worker-{pid}",
+        # Idle attribution baseline: the gap from here to the first
+        # task, and between consecutive tasks, is queue.get wait.
+        "last_end_ns": time.monotonic_ns(),
     }
 
 
@@ -268,23 +315,55 @@ def _decode_substream(
 def _decode_gop_task(task: GopTask) -> GopResult:
     """Worker body: decode one GOP, park the frames in shared memory."""
     assert _WORKER is not None, "worker used before _init_worker"
+    # Idle attribution: the gap since the previous task ended is time
+    # this worker spent waiting on the task queue (queue.get stall).
+    now_ns = time.monotonic_ns()
+    idle_ns = now_ns - _WORKER["last_end_ns"]
+    stalls = StallTable()
+    if idle_ns > 0:
+        trace_complete(
+            "mp.worker.idle", "stall", _WORKER["last_end_ns"], idle_ns,
+            reason=REASON_QUEUE_GET,
+        )
+        metrics().histogram("mp.worker.idle_ms").observe(idle_ns / 1e6)
+        stalls.record(_WORKER["name"], REASON_QUEUE_GET, idle_ns / 1e9)
+
     substream = (
         _WORKER["prefix"]
         + _WORKER["data"][task.byte_start : task.byte_end]
     )
-    frames, counters = _decode_substream(
-        substream, _WORKER["engine"], _WORKER["resilient"]
-    )
+    with trace_span(
+        "mp.worker.decode_gop", cat="mp",
+        gop=task.gop, pictures=task.picture_count,
+    ):
+        frames, counters = _decode_substream(
+            substream, _WORKER["engine"], _WORKER["resilient"]
+        )
     pool: SharedFramePool = _WORKER["pool"]
     refs: list[int] = []
-    for j, frame in enumerate(frames):
-        pool.write_frame(task.slot_base + j, frame)
-        refs.append(frame.temporal_reference)
+    with trace_span("mp.shm.write", cat="mp", frames=len(frames)):
+        for j, frame in enumerate(frames):
+            pool.write_frame(task.slot_base + j, frame)
+            refs.append(frame.temporal_reference)
+    _WORKER["last_end_ns"] = time.monotonic_ns()
+
+    # Ship the observability payloads: metrics accumulated during this
+    # task (then reset, so tasks never double-count) and the stall
+    # records; flush trace events to this worker's shard file.
+    snap = metrics().snapshot()
+    reset_metrics()
+    tracer = get_tracer()
+    if tracer is not None and _WORKER["trace_dir"] is not None:
+        tracer.write_shard(
+            os.path.join(_WORKER["trace_dir"], f"shard-{os.getpid()}.jsonl")
+        )
     return GopResult(
         gop=task.gop,
         slot_base=task.slot_base,
         temporal_references=refs,
         counters=counters,
+        metrics_snap=snap,
+        stalls_snap=stalls.snapshot() if stalls else None,
     )
 
 
@@ -292,7 +371,10 @@ def _decode_gop_task(task: GopTask) -> GopResult:
 # display side
 # ----------------------------------------------------------------------
 def _merge_in_order(
-    results: Iterator[GopResult], gop_count: int
+    results: Iterator[GopResult],
+    gop_count: int,
+    on_hold: Callable[[int, float], None] | None = None,
+    on_depth: Callable[[int], None] | None = None,
 ) -> Iterator[GopResult]:
     """Display-order merger: reorder GOP completions into stream order.
 
@@ -300,13 +382,28 @@ def _merge_in_order(
     emit GOP 0's pictures before GOP 1's.  A reorder buffer holds
     early completions until their turn — the same role the paper's
     display process plays with its picture reorder queue.
+
+    Observability hooks (both optional): ``on_hold(gop, seconds)``
+    fires when an out-of-order completion is finally released, with
+    the time it sat in the reorder buffer (the ``merge.reorder``
+    stall); ``on_depth(n)`` reports the buffer depth after each
+    arrival (the ``queue.depth`` gauge).
     """
     pending: dict[int, GopResult] = {}
+    held_since: dict[int, int] = {}
     next_gop = 0
     for result in results:
         pending[result.gop] = result
+        if result.gop != next_gop:
+            held_since[result.gop] = time.monotonic_ns()
+        if on_depth is not None:
+            on_depth(len(pending))
         while next_gop in pending:
-            yield pending.pop(next_gop)
+            out = pending.pop(next_gop)
+            t0 = held_since.pop(next_gop, None)
+            if t0 is not None and on_hold is not None:
+                on_hold(next_gop, (time.monotonic_ns() - t0) / 1e9)
+            yield out
             next_gop += 1
     if next_gop != gop_count:
         missing = sorted(set(range(next_gop, gop_count)) - pending.keys())
@@ -329,8 +426,9 @@ class MPGopDecoder:
     workers:
         ``0`` decodes in-process through the identical scan/merge
         pipeline (deterministic CI path, no processes).  ``>= 1``
-        spawns that many OS worker processes; the count is capped at
-        the number of GOPs.  ``None`` uses the available CPU count.
+        spawns exactly that many OS worker processes (the paper's
+        ``P``); workers beyond the GOP count simply stay idle.
+        ``None`` uses the available CPU count.
     engine:
         Decode engine for the workers (default ``"batched"``).
     resilient:
@@ -357,7 +455,18 @@ class MPGopDecoder:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.data = data
-        self.index = index if index is not None else build_index(data)
+        if index is not None:
+            self.index = index
+        else:
+            # The scan step (paper Fig. 4): a start-code walk, no
+            # decoding.  Traced and timed so the timeline starts where
+            # the paper's does.
+            t0 = time.perf_counter()
+            with trace_span("mp.scan", cat="mp", bytes=len(data)):
+                self.index = build_index(data)
+            metrics().counter("mp.scan_ms").inc(
+                (time.perf_counter() - t0) * 1e3
+            )
         self.workers = workers
         self.engine = engine
         self.resilient = resilient
@@ -369,6 +478,22 @@ class MPGopDecoder:
         #: Shared-pool bytes the last parallel run allocated (Fig. 8
         #: counterpart on real silicon); 0 for the in-process path.
         self.last_pool_bytes = 0
+        #: Stall attribution for the last run (wall seconds, canonical
+        #: :mod:`repro.obs.stalls` reasons; workers + merge combined).
+        self.last_stalls = StallTable()
+        #: Wall seconds of the last ``iter_gops`` drain.
+        self.last_wall_seconds = 0.0
+
+    def stall_breakdown(self) -> dict[str, float]:
+        """Fraction of aggregate process time blocked, per reason.
+
+        Denominator: ``wall seconds x (worker processes + merger)`` —
+        the real-silicon analogue of the simulator's
+        ``finish_cycles x processes``, so the two breakdowns line up
+        in ``repro.analysis.obs_report``.
+        """
+        procs = min(self.workers, len(self.tasks)) + 1 if self.workers else 1
+        return self.last_stalls.breakdown(self.last_wall_seconds * procs)
 
     # ------------------------------------------------------------------
     def decode_all(self, counters: WorkCounters | None = None) -> list[Frame]:
@@ -397,24 +522,79 @@ class MPGopDecoder:
     ) -> Iterator[tuple[int, list[Frame]]]:
         """The workers=0 fallback: same pipeline, no processes."""
         self.last_pool_bytes = 0
+        self.last_stalls = StallTable()
+        t_run = time.perf_counter()
         for task in self.tasks:
             substream = self.prefix + self.data[task.byte_start : task.byte_end]
-            frames, local = _decode_substream(
-                substream, self.engine, self.resilient
-            )
+            with trace_span(
+                "mp.worker.decode_gop", cat="mp",
+                gop=task.gop, pictures=task.picture_count,
+            ):
+                frames, local = _decode_substream(
+                    substream, self.engine, self.resilient
+                )
             if counters is not None:
                 counters.add(local)
             yield task.gop, frames
+        self.last_wall_seconds = time.perf_counter() - t_run
 
     def _iter_gops_mp(
         self, counters: WorkCounters | None
     ) -> Iterator[tuple[int, list[Frame]]]:
-        workers = min(self.workers, len(self.tasks))
+        # Spawn exactly the requested worker count (the paper's P);
+        # extra workers idle when the stream has fewer GOPs, but they
+        # still appear in the merged trace timeline.
+        workers = self.workers
         ctx = multiprocessing.get_context(self.start_method)
         picture_count = self.index.picture_count
         frame_pool = SharedFramePool(self.layout, slots=picture_count)
         self.last_pool_bytes = frame_pool.nbytes
+        self.last_stalls = StallTable()
         tasks_by_gop = {t.gop: t for t in self.tasks}
+        reg = metrics()
+        occupancy = reg.gauge("mp.frame_pool.occupancy")
+        depth = reg.gauge("queue.depth")
+
+        # When the parent is tracing, workers trace too: each writes a
+        # raw-event shard the parent merges into one timeline below.
+        trace_dir = tempfile.mkdtemp(prefix="repro-trace-") if tracing_enabled() else None
+
+        def on_hold(gop: int, seconds: float) -> None:
+            # An out-of-order completion sat in the reorder buffer:
+            # the display-order merge stall (paper's display process).
+            self.last_stalls.record("merge", REASON_MERGE, seconds)
+            now = time.monotonic_ns()
+            trace_complete(
+                "mp.merge.hold", "stall", now - int(seconds * 1e9),
+                int(seconds * 1e9), gop=gop, reason=REASON_MERGE,
+            )
+
+        def timed(completions: Iterator[GopResult]) -> Iterator[GopResult]:
+            # Time every blocking wait on the result queue: the
+            # parent-side queue.get stall (and its trace span).
+            while True:
+                t0 = time.monotonic_ns()
+                try:
+                    result = next(completions)
+                except StopIteration:
+                    return
+                waited = time.monotonic_ns() - t0
+                trace_complete(
+                    "mp.result.wait", "stall", t0, waited,
+                    reason=REASON_QUEUE_GET,
+                )
+                self.last_stalls.record(
+                    "merge", REASON_QUEUE_GET, waited / 1e9
+                )
+                # Fold the worker's shipped observability payloads in.
+                if result.metrics_snap is not None:
+                    reg.merge_snapshot(result.metrics_snap)
+                if result.stalls_snap is not None:
+                    self.last_stalls.merge(result.stalls_snap)
+                occupancy.inc(len(result.temporal_references))
+                yield result
+
+        t_run = time.perf_counter()
         try:
             with ctx.Pool(
                 processes=workers,
@@ -426,23 +606,48 @@ class MPGopDecoder:
                     self.layout,
                     self.engine,
                     self.resilient,
+                    trace_dir,
                 ),
             ) as pool:
                 completions = pool.imap_unordered(
                     _decode_gop_task, self.tasks, chunksize=1
                 )
-                for result in _merge_in_order(completions, len(self.tasks)):
+                for result in _merge_in_order(
+                    timed(completions),
+                    len(self.tasks),
+                    on_hold=on_hold,
+                    on_depth=depth.set,
+                ):
                     if counters is not None:
                         counters.add(result.counters)
                     task = tasks_by_gop[result.gop]
-                    frames = [
-                        frame_pool.read_frame(task.slot_base + j, ref)
-                        for j, ref in enumerate(result.temporal_references)
-                    ]
+                    with trace_span(
+                        "mp.shm.read", cat="mp", gop=result.gop,
+                        frames=len(result.temporal_references),
+                    ):
+                        frames = [
+                            frame_pool.read_frame(task.slot_base + j, ref)
+                            for j, ref in enumerate(result.temporal_references)
+                        ]
+                    occupancy.dec(len(result.temporal_references))
                     yield result.gop, frames
         finally:
+            self.last_wall_seconds = time.perf_counter() - t_run
             frame_pool.close()
             frame_pool.unlink()
+            if trace_dir is not None:
+                self._collect_shards(trace_dir)
+
+    @staticmethod
+    def _collect_shards(trace_dir: str) -> None:
+        """Merge worker trace shards into the parent tracer, clean up."""
+        tracer = get_tracer()
+        try:
+            if tracer is not None:
+                for path in sorted(glob(os.path.join(trace_dir, "shard-*.jsonl"))):
+                    tracer.extend(Tracer.read_shard(path))
+        finally:
+            shutil.rmtree(trace_dir, ignore_errors=True)
 
 
 def decode_parallel(

@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Generator
 
+from repro.obs.stalls import REASON_QUEUE_GET
 from repro.parallel.profile import GopProfile, PictureProfile
 from repro.smp.engine import Compute, SignalCondition, WaitCondition
 from repro.smp.sync import Condition
@@ -32,7 +33,10 @@ class SimQueue:
         self.op_cycles = op_cycles
         self._items: deque = deque()
         self._closed = False
-        self._cond = Condition(f"{name}.cond")
+        # Blocking gets are empty-queue waits: attribute them to the
+        # canonical "queue.get" stall reason (same name the real mp
+        # pipeline uses for its result-queue / worker-idle waits).
+        self._cond = Condition(f"{name}.cond", reason=REASON_QUEUE_GET)
         #: High-water mark (diagnostics, memory discussions).
         self.max_depth = 0
 
@@ -112,7 +116,7 @@ class SliceTaskQueue:
         self.entries: list[PictureEntry] = []
         self._complete_count = 0
         self._finished_feeding = False
-        self._cond = Condition(f"{name}.cond")
+        self._cond = Condition(f"{name}.cond", reason=REASON_QUEUE_GET)
         #: First index that may still have unclaimed slices (scan hint).
         self._head = 0
 

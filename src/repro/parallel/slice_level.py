@@ -233,6 +233,7 @@ class SliceLevelDecoder:
         sim.run()
 
         result.finish_cycles = result.display_times[-1]
+        result.stalls = sim.stalls
         result.worker_busy = [w.stats.busy for w in workers]
         result.worker_stall = [w.stats.stall for w in workers]
         result.worker_sync = [w.stats.sync_wait for w in workers]

@@ -34,6 +34,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Iterable
 
+from repro.obs.stalls import StallTable
 from repro.smp.sync import Barrier, Condition, Lock
 
 
@@ -126,6 +127,9 @@ class ProcessStats:
     sync_wait: int = 0
     idle: int = 0
     finish_time: int = 0
+    #: ``sync_wait`` split by canonical stall reason
+    #: (:mod:`repro.obs.stalls` vocabulary); values sum to sync_wait.
+    sync_by_reason: dict = field(default_factory=dict)
 
     @property
     def ideal(self) -> int:
@@ -153,6 +157,8 @@ class Process:
         self.finished = False
         #: When the current blocking wait began (for accounting).
         self._wait_start: int | None = None
+        #: The primitive this process is blocked on (stall attribution).
+        self._wait_primitive: Lock | Condition | Barrier | None = None
         #: Value delivered on next resume.
         self._resume_value = None
 
@@ -176,6 +182,10 @@ class Simulator:
         self._seq = 0
         self._ready: list[tuple[int, int, Process]] = []
         self.processes: list[Process] = []
+        #: Stall attribution: every blocked interval is recorded here as
+        #: (process name, canonical reason, cycles) — the simulator-side
+        #: mirror of the mp pipeline's wall-clock stall table.
+        self.stalls = StallTable()
 
     # ------------------------------------------------------------------
     def add_process(self, name: str, body: Callable[[Process], Generator]) -> Process:
@@ -189,11 +199,35 @@ class Simulator:
         heapq.heappush(self._ready, (at, self._seq, proc))
         self._seq += 1
 
+    def _block(
+        self, proc: Process, primitive: Lock | Condition | Barrier
+    ) -> None:
+        """Mark a process blocked on ``primitive`` (wait accounting)."""
+        proc._wait_start = self.now
+        proc._wait_primitive = primitive
+        primitive.waits += 1
+
     def _wake(self, proc: Process, value=None) -> None:
-        """Unblock a process at the current time, charging sync wait."""
+        """Unblock a process at the current time, charging sync wait.
+
+        The blocked interval is charged three ways under one unit
+        (cycles): the process's ``sync_wait`` total and its per-reason
+        split, the primitive's ``wait_cycles``, and the simulator-wide
+        :class:`~repro.obs.stalls.StallTable`.
+        """
         assert proc._wait_start is not None
-        proc.stats.sync_wait += self.now - proc._wait_start
+        waited = self.now - proc._wait_start
+        proc.stats.sync_wait += waited
+        primitive = proc._wait_primitive
+        if primitive is not None:
+            primitive.wait_cycles += waited
+            reason = primitive.reason
+            proc.stats.sync_by_reason[reason] = (
+                proc.stats.sync_by_reason.get(reason, 0) + waited
+            )
+            self.stalls.record(proc.name, reason, waited)
         proc._wait_start = None
+        proc._wait_primitive = None
         proc._resume_value = value
         self._schedule(proc, self.now)
 
@@ -246,7 +280,7 @@ class Simulator:
                 self._schedule(proc, self.now)
             else:
                 lock.contentions += 1
-                proc._wait_start = self.now
+                self._block(proc, lock)
                 lock.waiters.append(proc)
         elif isinstance(command, ReleaseLock):
             lock = command.lock
@@ -263,7 +297,7 @@ class Simulator:
                 lock.holder = None
             self._schedule(proc, self.now)
         elif isinstance(command, WaitCondition):
-            proc._wait_start = self.now
+            self._block(proc, command.condition)
             command.condition.waiters.append(proc)
         elif isinstance(command, SignalCondition):
             cond = command.condition
@@ -279,7 +313,7 @@ class Simulator:
                     self._wake(barrier.arrived.popleft())
                 self._schedule(proc, self.now)
             else:
-                proc._wait_start = self.now
+                self._block(proc, barrier)
                 barrier.arrived.append(proc)
         elif isinstance(command, SleepUntil):
             wake = max(command.at, self.now)

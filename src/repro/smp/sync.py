@@ -3,26 +3,49 @@
 These are plain state holders; the blocking/waking logic lives in the
 engine, which is the only place virtual time advances.  All waiter
 queues are FIFO, making every simulation deterministic.
+
+Stall attribution
+-----------------
+Each primitive carries a canonical *reason* from
+:mod:`repro.obs.stalls` (``lock`` / ``condition`` / ``barrier`` by
+default; constructors accept an override so e.g. a task queue's
+condition reports ``queue.get``).  The engine charges every blocked
+interval to the primitive under unified names and units — **cycles**
+in ``wait_cycles`` and a wait count in ``waits``, the same two fields
+on all three primitives — replacing the old per-primitive ad-hoc
+accounting and matching the mp pipeline's wall-second records, so
+simulated and real "% time blocked" breakdowns are directly
+comparable (paper Table 3).
 """
 
 from __future__ import annotations
 
 from collections import deque
 
+from repro.obs.stalls import REASON_BARRIER, REASON_CONDITION, REASON_LOCK
+
 
 class Lock:
     """A mutex.  Contended acquisition time is charged as sync wait."""
 
-    __slots__ = ("name", "holder", "waiters", "acquisitions", "contentions")
+    __slots__ = (
+        "name", "reason", "holder", "waiters",
+        "acquisitions", "contentions", "waits", "wait_cycles",
+    )
 
-    def __init__(self, name: str = "lock") -> None:
+    def __init__(self, name: str = "lock", reason: str = REASON_LOCK) -> None:
         self.name = name
+        self.reason = reason
         self.holder: object | None = None
         self.waiters: deque = deque()
         #: Total acquisitions (diagnostics: lock traffic).
         self.acquisitions = 0
-        #: Acquisitions that had to wait.
+        #: Acquisitions that had to wait (alias of ``waits``; kept for
+        #: the historical name).
         self.contentions = 0
+        #: Unified wait accounting: blocking waits and blocked cycles.
+        self.waits = 0
+        self.wait_cycles = 0
 
 
 class Condition:
@@ -32,24 +55,40 @@ class Condition:
     semantics); the engine charges the blocked interval as sync wait.
     """
 
-    __slots__ = ("name", "waiters", "signals")
+    __slots__ = ("name", "reason", "waiters", "signals", "waits", "wait_cycles")
 
-    def __init__(self, name: str = "cond") -> None:
+    def __init__(
+        self, name: str = "cond", reason: str = REASON_CONDITION
+    ) -> None:
         self.name = name
+        self.reason = reason
         self.waiters: deque = deque()
         #: Number of signal operations (diagnostics).
         self.signals = 0
+        #: Unified wait accounting: blocking waits and blocked cycles.
+        self.waits = 0
+        self.wait_cycles = 0
 
 
 class Barrier:
     """A reusable counting barrier for a fixed participant count."""
 
-    __slots__ = ("name", "parties", "arrived", "generation")
+    __slots__ = (
+        "name", "reason", "parties", "arrived", "generation",
+        "waits", "wait_cycles",
+    )
 
-    def __init__(self, parties: int, name: str = "barrier") -> None:
+    def __init__(
+        self, parties: int, name: str = "barrier",
+        reason: str = REASON_BARRIER,
+    ) -> None:
         if parties < 1:
             raise ValueError(f"barrier needs >= 1 parties, got {parties}")
         self.name = name
+        self.reason = reason
         self.parties = parties
         self.arrived: deque = deque()
         self.generation = 0
+        #: Unified wait accounting: blocking waits and blocked cycles.
+        self.waits = 0
+        self.wait_cycles = 0

@@ -1,0 +1,17 @@
+"""Tracing is process-global state: every test leaves it disabled."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import reset_metrics
+from repro.obs.trace import disable_tracing
+
+
+@pytest.fixture(autouse=True)
+def _clean_observability():
+    disable_tracing()
+    reset_metrics()
+    yield
+    disable_tracing()
+    reset_metrics()

@@ -1,0 +1,124 @@
+"""Metrics registry unit tests: primitives, snapshots, merging."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import (
+    HISTOGRAM_SAMPLE_CAP,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics,
+    reset_metrics,
+)
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.snapshot() == 3.5
+
+    def test_gauge_tracks_high_water_mark(self):
+        g = Gauge()
+        g.set(3)
+        g.inc(2)
+        g.dec(4)
+        assert g.value == 1
+        assert g.max == 5
+        assert g.snapshot() == {"value": 1, "max": 5}
+
+    def test_histogram_aggregates(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        s = h.snapshot()
+        assert s["count"] == 4
+        assert s["sum"] == 10.0
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["mean"] == 2.5
+        assert s["p50"] == 3.0
+
+    def test_histogram_reservoir_bounded_but_aggregates_exact(self):
+        h = Histogram()
+        n = HISTOGRAM_SAMPLE_CAP + 100
+        for i in range(n):
+            h.observe(float(i))
+        assert len(h.samples) == HISTOGRAM_SAMPLE_CAP
+        s = h.snapshot()
+        assert s["count"] == n
+        assert s["max"] == float(n - 1)  # exact despite reservoir cap
+
+    def test_empty_histogram_snapshot(self):
+        assert Histogram().snapshot() == {"count": 0}
+
+
+class TestRegistry:
+    def test_lazy_creation_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_snapshot_is_json_able(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(1.5)
+        snap = reg.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["counters"]["c"] == 2
+        assert snap["gauges"]["g"]["max"] == 7
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_merge_snapshot_folds_worker_into_parent(self):
+        worker = MetricsRegistry()
+        worker.counter("pics").inc(13)
+        worker.gauge("occ").set(5)
+        for v in (1.0, 2.0):
+            worker.histogram("ms").observe(v)
+
+        parent = MetricsRegistry()
+        parent.counter("pics").inc(2)
+        parent.histogram("ms").observe(10.0)
+        parent.merge_snapshot(worker.snapshot())
+
+        assert parent.counter("pics").value == 15
+        assert parent.gauge("occ").max == 5
+        h = parent.histogram("ms")
+        assert h.count == 3
+        assert h.sum == 13.0
+        assert h.min == 1.0
+        assert h.max == 10.0
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_render_table_mentions_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("decode.pics").inc(4)
+        reg.gauge("queue.depth").set(2)
+        reg.histogram("decode.picture_ms").observe(3.0)
+        text = reg.render_table()
+        for name in ("decode.pics", "queue.depth", "decode.picture_ms"):
+            assert name in text
+
+    def test_render_table_empty(self):
+        assert "no metrics" in MetricsRegistry().render_table()
+
+
+class TestGlobalRegistry:
+    def test_global_registry_resets(self):
+        metrics().counter("tmp").inc()
+        assert metrics().counter("tmp").value == 1
+        reset_metrics()
+        assert metrics().counter("tmp").value == 0

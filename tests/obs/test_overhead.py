@@ -1,0 +1,103 @@
+"""Overhead guard: observation must not perturb (or slow) decode.
+
+Two properties pinned here:
+
+1. **No allocation when disabled** — with tracing off, the decoder's
+   hot path constructs zero span objects: :func:`trace_span` returns
+   the shared :data:`NULL_SPAN` singleton and ``Tracer.span`` is never
+   called.
+2. **Observation is inert** — decoded frames and work counters are
+   bit-identical with tracing enabled and disabled, for both engines
+   and for the mp pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs.trace as trace_mod
+from repro.mpeg2.counters import WorkCounters
+from repro.mpeg2.decoder import ENGINES, SequenceDecoder
+from repro.obs.trace import (
+    NULL_SPAN,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    trace_span,
+)
+
+from tests.mpeg2.test_batched_parity import assert_frames_identical
+
+
+def _decode(data: bytes, engine: str = "batched"):
+    counters = WorkCounters()
+    frames = SequenceDecoder(data, engine=engine).decode_all(counters)
+    return frames, counters
+
+
+class TestDisabledPath:
+    def test_trace_span_returns_shared_singleton(self):
+        assert trace_span("decode.picture") is NULL_SPAN
+        assert trace_span("kernel.mc", cat="kernel", n=3) is NULL_SPAN
+
+    def test_decode_constructs_no_spans_when_disabled(
+        self, small_stream, monkeypatch
+    ):
+        calls = {"span": 0, "complete": 0}
+        orig_span = Tracer.span
+        orig_complete = Tracer.complete
+
+        def counting_span(self, *a, **k):
+            calls["span"] += 1
+            return orig_span(self, *a, **k)
+
+        def counting_complete(self, *a, **k):
+            calls["complete"] += 1
+            return orig_complete(self, *a, **k)
+
+        monkeypatch.setattr(Tracer, "span", counting_span)
+        monkeypatch.setattr(Tracer, "complete", counting_complete)
+
+        assert trace_mod._tracer is None  # disabled
+        _decode(small_stream)
+        assert calls == {"span": 0, "complete": 0}
+
+        # Control: the counting hooks do fire once tracing is enabled
+        # (so the zero above means "not called", not "not patched").
+        enable_tracing()
+        _decode(small_stream)
+        disable_tracing()
+        assert calls["span"] > 0
+
+
+class TestObservationIsInert:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_frames_and_counters_identical_tracing_on_off(
+        self, small_stream, engine
+    ):
+        frames_off, counters_off = _decode(small_stream, engine)
+        enable_tracing()
+        try:
+            frames_on, counters_on = _decode(small_stream, engine)
+        finally:
+            disable_tracing()
+        assert_frames_identical(frames_off, frames_on)
+        assert counters_off.as_dict() == counters_on.as_dict()
+
+    def test_mp_decode_identical_tracing_on_off(self, two_gop_stream):
+        from repro.parallel.mp import MPGopDecoder
+
+        counters_off = WorkCounters()
+        frames_off = MPGopDecoder(two_gop_stream, workers=2).decode_all(
+            counters_off
+        )
+        enable_tracing(process_name="test-parent")
+        try:
+            counters_on = WorkCounters()
+            frames_on = MPGopDecoder(two_gop_stream, workers=2).decode_all(
+                counters_on
+            )
+        finally:
+            disable_tracing()
+        assert_frames_identical(frames_off, frames_on)
+        assert counters_off.as_dict() == counters_on.as_dict()

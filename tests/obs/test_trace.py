@@ -1,0 +1,218 @@
+"""Tracer unit tests: schema, export normalization, ring, shards."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    DEFAULT_CAPACITY,
+    NULL_SPAN,
+    REQUIRED_EVENT_KEYS,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    to_chrome,
+    trace_complete,
+    trace_counter,
+    trace_instant,
+    trace_span,
+    tracing_enabled,
+    validate_chrome_trace,
+)
+
+
+class TestEvents:
+    def test_span_records_complete_event_with_required_keys(self):
+        tracer = Tracer()
+        with tracer.span("work", cat="test", args={"k": 1}):
+            pass
+        (event,) = tracer.events
+        assert event["ph"] == "X"
+        assert event["name"] == "work"
+        assert event["cat"] == "test"
+        assert event["args"] == {"k": 1}
+        assert event["dur"] >= 0
+        for key in REQUIRED_EVENT_KEYS:
+            assert key in event
+
+    def test_every_event_kind_has_required_keys(self):
+        tracer = Tracer(process_name="p")
+        tracer.complete("c", "test", 100, 50)
+        tracer.instant("i", "test")
+        tracer.counter("n", 3.0)
+        for event in tracer.events:
+            for key in REQUIRED_EVENT_KEYS:
+                assert key in event, (key, event)
+
+    def test_negative_duration_clamped(self):
+        tracer = Tracer()
+        tracer.complete("c", "test", 100, -5)
+        (event,) = tracer.events
+        assert event["dur"] == 0
+
+    def test_spans_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [e["name"] for e in tracer.events]
+        assert names == ["inner", "outer"]  # completion order
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_memory_and_counts_drops(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.complete(f"e{i}", "test", i, 1)
+        assert len(tracer.events) == 4
+        assert tracer.dropped == 6
+        # Oldest events are forgotten, newest kept.
+        assert [e["name"] for e in tracer.events] == ["e6", "e7", "e8", "e9"]
+
+    def test_default_capacity(self):
+        assert Tracer().capacity == DEFAULT_CAPACITY
+
+
+class TestChromeExport:
+    def test_timestamps_rebased_to_microseconds(self):
+        tracer = Tracer()
+        tracer.complete("a", "test", 5_000_000, 2_000)
+        tracer.complete("b", "test", 7_000_000, 1_000)
+        doc = to_chrome(tracer.events)
+        a, b = doc["traceEvents"]
+        assert a["ts"] == 0.0  # rebased to the earliest event
+        assert a["dur"] == 2.0  # ns -> us
+        assert b["ts"] == 2_000.0
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_events_sorted_by_timestamp(self):
+        tracer = Tracer()
+        tracer.complete("late", "test", 9_000, 10)
+        tracer.complete("early", "test", 1_000, 10)
+        doc = to_chrome(tracer.events)
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert names == ["early", "late"]
+
+    def test_metadata_sorts_first_and_keeps_ts_zero(self):
+        tracer = Tracer(process_name="main")
+        tracer.complete("x", "test", 123_456, 10)
+        doc = to_chrome(tracer.events)
+        first = doc["traceEvents"][0]
+        assert first["ph"] == "M"
+        assert first["ts"] == 0
+        validate_chrome_trace(doc)
+
+    def test_write_chrome_roundtrips_through_json(self, tmp_path):
+        tracer = Tracer(process_name="main")
+        with tracer.span("work"):
+            pass
+        path = tmp_path / "trace.json"
+        doc = tracer.write_chrome(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == doc
+        validate_chrome_trace(loaded)
+
+
+class TestValidation:
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"events": []})
+
+    def test_rejects_event_missing_required_key(self):
+        for key in REQUIRED_EVENT_KEYS:
+            event = {"ph": "X", "ts": 0, "pid": 1, "tid": 1, "name": "x"}
+            del event[key]
+            with pytest.raises(ValueError, match=key):
+                validate_chrome_trace({"traceEvents": [event]})
+
+    def test_rejects_negative_duration(self):
+        event = {
+            "ph": "X", "ts": 0, "dur": -1, "pid": 1, "tid": 1, "name": "x"
+        }
+        with pytest.raises(ValueError, match="negative dur"):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_accepts_valid_document(self):
+        tracer = Tracer(process_name="p")
+        with tracer.span("a"):
+            pass
+        tracer.instant("i")
+        events = validate_chrome_trace(to_chrome(tracer.events))
+        assert len(events) == 3
+
+
+class TestShards:
+    def test_write_read_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        tracer.complete("a", "test", 100, 10)
+        tracer.complete("b", "test", 200, 10)
+        path = tmp_path / "shard.jsonl"
+        assert tracer.write_shard(str(path)) == 2
+        assert len(tracer.events) == 0  # flushed
+        events = Tracer.read_shard(str(path))
+        assert [e["name"] for e in events] == ["a", "b"]
+
+    def test_write_appends_across_flushes(self, tmp_path):
+        tracer = Tracer()
+        path = tmp_path / "shard.jsonl"
+        tracer.complete("first", "test", 100, 10)
+        tracer.write_shard(str(path))
+        tracer.complete("second", "test", 200, 10)
+        tracer.write_shard(str(path))
+        assert [e["name"] for e in Tracer.read_shard(str(path))] == [
+            "first", "second",
+        ]
+
+    def test_empty_flush_writes_nothing(self, tmp_path):
+        path = tmp_path / "shard.jsonl"
+        assert Tracer().write_shard(str(path)) == 0
+        assert not path.exists()
+
+    def test_merged_shards_export_monotonically(self, tmp_path):
+        """Shards from different 'processes' interleave consistently."""
+        parent = Tracer()
+        parent.complete("parent.early", "test", 1_000, 100)
+        parent.complete("parent.late", "test", 9_000, 100)
+        worker = Tracer()
+        worker.pid = parent.pid + 1  # simulate another process
+        worker.complete("worker.mid", "test", 5_000, 100)
+        shard = tmp_path / "shard.jsonl"
+        worker.write_shard(str(shard))
+
+        parent.extend(Tracer.read_shard(str(shard)))
+        doc = to_chrome(parent.events)
+        ts = [e["ts"] for e in doc["traceEvents"]]
+        assert ts == sorted(ts)
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert names == ["parent.early", "worker.mid", "parent.late"]
+        validate_chrome_trace(doc)
+
+
+class TestModuleSwitchboard:
+    def test_disabled_by_default_and_null_span_shared(self):
+        assert not tracing_enabled()
+        assert trace_span("x") is NULL_SPAN
+        assert trace_span("y", cat="other", k=1) is NULL_SPAN
+
+    def test_disabled_helpers_are_noops(self):
+        trace_instant("i")
+        trace_counter("c", 1.0)
+        trace_complete("x", "test", 0, 1)
+        assert get_tracer() is None
+
+    def test_enable_then_disable(self):
+        tracer = enable_tracing(process_name="t")
+        assert tracing_enabled()
+        assert get_tracer() is tracer
+        with trace_span("work", k=2):
+            pass
+        assert any(e["name"] == "work" for e in tracer.events)
+        disable_tracing()
+        assert not tracing_enabled()

@@ -74,6 +74,42 @@ class TestDecode:
         assert "2 worker processes" in out
         assert "decoded 13 pictures" in out
 
+    def test_trace_and_stats(self, encoded_file, tmp_path, capsys):
+        """The acceptance-criteria command line, end to end."""
+        import json
+
+        from repro.obs.trace import tracing_enabled, validate_chrome_trace
+
+        trace_path = str(tmp_path / "out.json")
+        assert main(
+            ["decode", encoded_file, "--workers", "2",
+             "--trace", trace_path, "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace events" in out
+        assert "histograms" in out  # the --stats metric table
+        assert "decode.picture_ms" in out
+        assert "stall breakdown" in out
+        with open(trace_path) as fh:
+            doc = json.load(fh)
+        events = validate_chrome_trace(doc)
+        names = {e["name"] for e in events}
+        assert "mp.scan" in names
+        assert "mp.worker.decode_gop" in names
+        # The CLI disables tracing after writing the file, so tracing
+        # never leaks into subsequent in-process runs.
+        assert not tracing_enabled()
+
+    def test_stats_without_trace(self, encoded_file, capsys):
+        assert main(["decode", encoded_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "decode.picture_ms" in out
+
+    def test_scalar_engine_flag(self, encoded_file, capsys):
+        assert main(["decode", encoded_file, "--engine", "scalar"]) == 0
+        out = capsys.readouterr().out
+        assert "decoded 13 pictures" in out
+
     def test_workers_output_matches_sequential(self, encoded_file, tmp_path, capsys):
         seq_dir = str(tmp_path / "seq")
         par_dir = str(tmp_path / "par")
@@ -109,6 +145,16 @@ class TestSimulate:
         assert rc == 0
         out = capsys.readouterr().out
         assert "late pictures" in out
+
+    def test_simulate_stats_prints_stall_breakdown(self, encoded_file, capsys):
+        rc = main(
+            ["simulate", encoded_file, "--decoder", "gop",
+             "--workers", "4", "--repeat", "2", "--stats"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stall breakdown" in out
+        assert "queue.get" in out
 
     def test_dash_machine(self, encoded_file, capsys):
         rc = main(
