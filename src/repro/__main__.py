@@ -88,19 +88,32 @@ def _cmd_decode(args: argparse.Namespace) -> int:
     counters = WorkCounters()
     mp_decoder = None
     if args.workers is not None:
-        from repro.parallel.mp import MPGopDecoder
-
-        mp_decoder = MPGopDecoder(
-            data, workers=args.workers, engine=args.engine,
-            resilient=args.resilient,
-        )
-        frames = mp_decoder.decode_all(counters)
         mode = (
             f"{args.workers} worker processes"
             if args.workers
             else "in-process fallback"
         )
-        print(f"parallel decode ({mode}, GOP-level)")
+        if args.parallel == "slice":
+            from repro.parallel.mp_slice import MPSliceDecoder
+
+            mp_decoder = MPSliceDecoder(
+                data, workers=args.workers, mode=args.barrier,
+                resilient=args.resilient,
+            )
+            frames = mp_decoder.decode_all(counters)
+            print(
+                f"parallel decode ({mode}, slice-level, "
+                f"{args.barrier} barrier)"
+            )
+        else:
+            from repro.parallel.mp import MPGopDecoder
+
+            mp_decoder = MPGopDecoder(
+                data, workers=args.workers, engine=args.engine,
+                resilient=args.resilient,
+            )
+            frames = mp_decoder.decode_all(counters)
+            print(f"parallel decode ({mode}, GOP-level)")
     else:
         decoder = SequenceDecoder(
             data, resilient=args.resilient, engine=args.engine
@@ -237,8 +250,18 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument("--resilient", action="store_true",
                      help="conceal corrupt slices instead of failing")
     dec.add_argument("--workers", type=int, default=None, metavar="N",
-                     help="decode GOPs on N real worker processes "
-                          "(repro.parallel.mp; 0 = in-process fallback)")
+                     help="decode on N real worker processes "
+                          "(repro.parallel.mp[_slice]; 0 = in-process "
+                          "fallback)")
+    dec.add_argument("--parallel", default="gop", choices=["gop", "slice"],
+                     help="parallel decomposition when --workers is "
+                          "given: whole closed GOPs (Section 5.1) or "
+                          "individual slices (Section 5.2)")
+    dec.add_argument("--barrier", default="improved",
+                     choices=["simple", "improved"],
+                     help="slice-level synchronisation: barrier after "
+                          "every picture (simple) or only after "
+                          "reference pictures (improved)")
     dec.add_argument("--engine", default="batched",
                      choices=["scalar", "batched"],
                      help="decode engine (both bit-identical)")

@@ -113,6 +113,41 @@ class GopIndex:
             key=lambda i: self.pictures[i].temporal_reference,
         )
 
+    def display_ranks(self) -> list[int]:
+        """Display rank of each coding position (inverse of display_order)."""
+        ranks = [0] * len(self.pictures)
+        for rank, pos in enumerate(self.display_order()):
+            ranks[pos] = rank
+        return ranks
+
+    def reference_positions(self, coding_position: int) -> list[int]:
+        """Coding positions of the pictures ``coding_position`` references.
+
+        The standard two-slot reference rule over coding order: a P
+        references the previous reference picture; a B references the
+        previous two (forward first, backward second).  This is the
+        index-level twin of ``GopProfile.reference_positions`` — the
+        scan product the 2-D picture/slice task queue is built from
+        (paper Section 5.2: the scan process reads picture types to
+        construct dependency-closed tasks).
+        """
+        if not 0 <= coding_position < len(self.pictures):
+            raise IndexError(
+                f"coding position {coding_position} out of range"
+            )
+        ref_old: int | None = None
+        ref_new: int | None = None
+        for pos, pic in enumerate(self.pictures):
+            if pos == coding_position:
+                if pic.picture_type is PictureType.P:
+                    return [r for r in (ref_new,) if r is not None]
+                if pic.picture_type is PictureType.B:
+                    return [r for r in (ref_old, ref_new) if r is not None]
+                return []
+            if pic.picture_type.is_reference:
+                ref_old, ref_new = ref_new, pos
+        raise IndexError(f"coding position {coding_position} out of range")
+
 
 @dataclass
 class StreamIndex:

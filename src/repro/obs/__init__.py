@@ -33,6 +33,7 @@ from repro.obs.stalls import (
     REASON_POOL_SLOT,
     REASON_QUEUE_GET,
     REASON_QUEUE_PUT,
+    REASON_REF_PUBLISH,
     StallRecord,
     StallTable,
     format_stall_breakdown,
@@ -67,6 +68,7 @@ __all__ = [
     "REASON_POOL_SLOT",
     "REASON_QUEUE_GET",
     "REASON_QUEUE_PUT",
+    "REASON_REF_PUBLISH",
     "StallRecord",
     "StallTable",
     "format_stall_breakdown",

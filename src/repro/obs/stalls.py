@@ -20,7 +20,12 @@ Canonical reasons
 :data:`REASON_POOL_SLOT`  frame-pool slot unavailable (bounded pool)
 :data:`REASON_MERGE`      display-order merge holding an out-of-order
                           completion until its turn
-:data:`REASON_BARRIER`    barrier wait
+:data:`REASON_BARRIER`    barrier wait (policy-imposed: the slice
+                          decoder's picture barrier beyond any true
+                          data dependency)
+:data:`REASON_REF_PUBLISH` waiting for a reference (I/P) picture to be
+                          decoded and published before a dependent
+                          picture's slices may start
 :data:`REASON_LOCK`       contended mutex acquire
 :data:`REASON_CONDITION`  generic condition wait (unclassified)
 ========================= ============================================
@@ -40,6 +45,7 @@ REASON_QUEUE_PUT = "queue.put"
 REASON_POOL_SLOT = "pool.slot"
 REASON_MERGE = "merge.reorder"
 REASON_BARRIER = "barrier"
+REASON_REF_PUBLISH = "ref.publish"
 REASON_LOCK = "lock"
 REASON_CONDITION = "condition"
 
@@ -50,6 +56,7 @@ CANONICAL_REASONS = (
     REASON_POOL_SLOT,
     REASON_MERGE,
     REASON_BARRIER,
+    REASON_REF_PUBLISH,
     REASON_LOCK,
     REASON_CONDITION,
 )

@@ -23,7 +23,10 @@ Beyond the simulation, :mod:`~repro.parallel.mp` runs the same
 scan/worker/display architecture on *real* cores: OS worker processes
 (no GIL), a ``multiprocessing.shared_memory`` frame pool, and a
 display-order merger — the empirical counterpart of Fig. 5 measured by
-``benchmarks/perf_parallel.py``.
+``benchmarks/perf_parallel.py``.  :mod:`~repro.parallel.mp_slice` does
+the same for the fine-grained decomposition: persistent slice workers
+fed from the real 2-D picture/slice queue, with both the ``simple``
+and ``improved`` barrier policies.
 """
 
 from repro.parallel.profile import (
@@ -53,9 +56,21 @@ from repro.parallel.mp import (
     decode_parallel,
     scan_gop_tasks,
 )
+from repro.parallel.mp_slice import (
+    MPSliceDecoder,
+    PictureSliceQueue,
+    DisplayMerger,
+    decode_slice_parallel,
+    scan_slice_tasks,
+)
 
 __all__ = [
     "MPGopDecoder",
+    "MPSliceDecoder",
+    "PictureSliceQueue",
+    "DisplayMerger",
+    "decode_slice_parallel",
+    "scan_slice_tasks",
     "SharedFramePool",
     "FrameLayout",
     "decode_parallel",

@@ -52,7 +52,7 @@ from typing import Callable, Iterator
 import numpy as np
 
 from repro.mpeg2.counters import WorkCounters
-from repro.mpeg2.decoder import ENGINES, SequenceDecoder
+from repro.mpeg2.decoder import ENGINES, DecodeError, SequenceDecoder
 from repro.mpeg2.frame import Frame
 from repro.mpeg2.index import (
     StreamIndex,
@@ -191,6 +191,26 @@ class SharedFramePool:
         del y, cb, cr
         return frame
 
+    def view_frame(self, slot: int, temporal_reference: int = 0) -> Frame:
+        """A zero-copy :class:`Frame` whose planes alias slot ``slot``.
+
+        This is how the slice-level workers read reference pictures
+        and write their own rows **in place**: no pixel ever crosses a
+        process boundary.  The caller must drop every reference to the
+        returned frame (and any views derived from it) before
+        :meth:`close`, or the exported-buffer check in
+        ``SharedMemory.close`` will raise.
+        """
+        y, cb, cr = self.layout.slot_views(self._shm.buf, slot)
+        return Frame(
+            y=y,
+            cb=cb,
+            cr=cr,
+            display_width=self.layout.display_width,
+            display_height=self.layout.display_height,
+            temporal_reference=temporal_reference,
+        )
+
     def close(self) -> None:
         self._shm.close()
 
@@ -259,6 +279,12 @@ def scan_gop_tasks(index: StreamIndex) -> list[GopTask]:
 _WORKER: dict | None = None
 
 
+#: Seconds between liveness polls while the parent blocks on results.
+#: A dead worker (crash, OOM kill, SIGKILL) is detected within one
+#: poll instead of hanging the merge loop forever on a lost task.
+LIVENESS_POLL_S = 0.2
+
+
 def _init_worker(
     data: bytes,
     prefix: bytes,
@@ -267,6 +293,7 @@ def _init_worker(
     engine: str,
     resilient: bool,
     trace_dir: str | None = None,
+    crash_gop: int | None = None,
 ) -> None:
     """Pool initializer: attach the shared frame pool, keep the bytes.
 
@@ -294,6 +321,7 @@ def _init_worker(
         "engine": engine,
         "resilient": resilient,
         "trace_dir": trace_dir,
+        "crash_gop": crash_gop,
         "name": f"worker-{pid}",
         # Idle attribution baseline: the gap from here to the first
         # task, and between consecutive tasks, is queue.get wait.
@@ -315,6 +343,10 @@ def _decode_substream(
 def _decode_gop_task(task: GopTask) -> GopResult:
     """Worker body: decode one GOP, park the frames in shared memory."""
     assert _WORKER is not None, "worker used before _init_worker"
+    if _WORKER["crash_gop"] == task.gop:
+        # Fault-injection hook (tests only): die mid-stream exactly the
+        # way an OOM kill / segfault would — no cleanup, no result.
+        os._exit(23)
     # Idle attribution: the gap since the previous task ended is time
     # this worker spent waiting on the task queue (queue.get stall).
     now_ns = time.monotonic_ns()
@@ -447,6 +479,7 @@ class MPGopDecoder:
         engine: str = "batched",
         resilient: bool = False,
         start_method: str | None = None,
+        _crash_gop: int | None = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -471,6 +504,9 @@ class MPGopDecoder:
         self.engine = engine
         self.resilient = resilient
         self.start_method = start_method
+        #: Test-only fault injection: the worker that picks up this GOP
+        #: dies with ``os._exit`` mid-stream (no result, no cleanup).
+        self._crash_gop = _crash_gop
         self.seq = self.index.sequence_header
         self.layout = FrameLayout.for_display(self.seq.width, self.seq.height)
         self.tasks = scan_gop_tasks(self.index)
@@ -569,15 +605,43 @@ class MPGopDecoder:
                 int(seconds * 1e9), gop=gop, reason=REASON_MERGE,
             )
 
-        def timed(completions: Iterator[GopResult]) -> Iterator[GopResult]:
+        def timed(completions, pool) -> Iterator[GopResult]:
             # Time every blocking wait on the result queue: the
-            # parent-side queue.get stall (and its trace span).
+            # parent-side queue.get stall (and its trace span).  Waits
+            # are chunked into short liveness polls so a worker that
+            # died mid-GOP (its task is lost — ``multiprocessing.Pool``
+            # never resubmits) surfaces as a clean DecodeError instead
+            # of an infinite hang.  The pool auto-respawns replacements
+            # for dead workers, so death is detected both by a non-zero
+            # exitcode *and* by the worker pid set drifting from its
+            # baseline.
+            baseline = {p.pid for p in getattr(pool, "_pool", [])}
             while True:
                 t0 = time.monotonic_ns()
-                try:
-                    result = next(completions)
-                except StopIteration:
-                    return
+                while True:
+                    try:
+                        result = completions.next(timeout=LIVENESS_POLL_S)
+                        break
+                    except multiprocessing.TimeoutError:
+                        procs = list(getattr(pool, "_pool", []))
+                        dead = [
+                            p for p in procs if p.exitcode not in (None, 0)
+                        ]
+                        if dead or (
+                            baseline and {p.pid for p in procs} != baseline
+                        ):
+                            codes = sorted(
+                                p.exitcode for p in dead
+                                if p.exitcode is not None
+                            )
+                            raise DecodeError(
+                                "GOP worker process died mid-stream "
+                                f"(exit codes {codes or 'unknown'}); "
+                                "its task is lost — aborting the "
+                                "parallel decode"
+                            )
+                    except StopIteration:
+                        return
                 waited = time.monotonic_ns() - t0
                 trace_complete(
                     "mp.result.wait", "stall", t0, waited,
@@ -607,13 +671,14 @@ class MPGopDecoder:
                     self.engine,
                     self.resilient,
                     trace_dir,
+                    self._crash_gop,
                 ),
             ) as pool:
                 completions = pool.imap_unordered(
                     _decode_gop_task, self.tasks, chunksize=1
                 )
                 for result in _merge_in_order(
-                    timed(completions),
+                    timed(completions, pool),
                     len(self.tasks),
                     on_hold=on_hold,
                     on_depth=depth.set,
@@ -640,14 +705,25 @@ class MPGopDecoder:
 
     @staticmethod
     def _collect_shards(trace_dir: str) -> None:
-        """Merge worker trace shards into the parent tracer, clean up."""
-        tracer = get_tracer()
-        try:
-            if tracer is not None:
-                for path in sorted(glob(os.path.join(trace_dir, "shard-*.jsonl"))):
-                    tracer.extend(Tracer.read_shard(path))
-        finally:
-            shutil.rmtree(trace_dir, ignore_errors=True)
+        collect_trace_shards(trace_dir)
+
+
+def collect_trace_shards(trace_dir: str) -> None:
+    """Merge worker trace shards into the parent tracer, clean up.
+
+    Shared by the GOP-level and slice-level mp decoders: each worker
+    process appends raw events to ``shard-<pid>.jsonl`` under
+    ``trace_dir``; the parent folds every shard into its own tracer so
+    ``--trace`` produces one merged timeline, then removes the
+    directory.
+    """
+    tracer = get_tracer()
+    try:
+        if tracer is not None:
+            for path in sorted(glob(os.path.join(trace_dir, "shard-*.jsonl"))):
+                tracer.extend(Tracer.read_shard(path))
+    finally:
+        shutil.rmtree(trace_dir, ignore_errors=True)
 
 
 def decode_parallel(

@@ -1,0 +1,1055 @@
+"""Real-hardware slice-level parallel decoding with OS processes.
+
+:mod:`repro.parallel.mp` brings the paper's **GOP-level** decomposition
+(Section 5.1) to real cores; this module does the same for the
+**slice-level** decomposition (Section 5.2), the one the paper finds
+superior on latency and memory.  Tasks are individual slices, organised
+by the 2-D picture/slice queue; two synchronisation policies mirror the
+simulated :class:`repro.parallel.slice_level.SliceLevelDecoder`:
+
+* ``simple`` — a picture's slices become available only when **every**
+  earlier picture (coding order) has completed: a barrier after each
+  picture.
+* ``improved`` — a picture's slices become available as soon as its
+  **reference pictures** have been decoded and published: consecutive
+  B-pictures interleave freely, so the barrier survives only after
+  I/P pictures.
+
+The paper's three roles map onto real primitives:
+
+* **scan** — the parent flattens the :class:`repro.mpeg2.index.
+  StreamIndex` into coding-order :class:`PicturePlan` records (byte
+  ranges, reference links, display indices) without decoding
+  (:func:`scan_slice_tasks`), and drives the pure-logic
+  :class:`PictureSliceQueue` that embodies the availability rule.
+* **workers** — persistent ``multiprocessing`` processes pulling
+  ``(picture, slice)`` tasks from a queue.  Each runs the phase-1
+  bit-only parse (:func:`repro.mpeg2.batched.parse_slice`) and then
+  reconstructs its slice **in place** on the shared-memory frame pool
+  (:class:`repro.parallel.mp.SharedFramePool`), reading reference
+  pictures through zero-copy views.  Only per-slice work counters and
+  tiny status tuples cross the process boundary — pixels never do.
+* **display** — the parent completes pictures (concealment for corrupt
+  rows, publish for dependents), then merges them into display order
+  through :class:`DisplayMerger`.
+
+Bit-exactness
+-------------
+A slice resets all predictors, so its parse depends on nothing but its
+own payload; its reconstruction depends only on the published reference
+frames, which the availability rule guarantees are final before any of
+the picture's slices start.  Within a picture, slices cover disjoint
+macroblock rows, so concurrent in-place writes never overlap.
+Duplicate slices (same row twice) are resolved *statically*: the
+parser runs for every slice (work counters are exact), but only the
+bitstream-last slice of each row carries ``reconstruct=True`` — the
+sequential decoder's last-write-wins outcome without a write race.
+The result is bit-identical to ``SequenceDecoder.decode_all()``,
+frames and counters, pinned by ``tests/parallel/test_mp_slice_parity``.
+
+Stall attribution (paper Table 3 / Fig. 12)
+-------------------------------------------
+The scheduler timestamps every picture that sits *gated* in the queue
+and splits the wait on release:
+
+* time the picture spent waiting for its references to be published is
+  :data:`~repro.obs.stalls.REASON_REF_PUBLISH` — a true data
+  dependency, paid by both policies;
+* the remainder (simple mode only: waiting for unrelated earlier
+  pictures) is :data:`~repro.obs.stalls.REASON_BARRIER` — the
+  policy-imposed cost the improved variant eliminates.  By
+  construction the improved decoder reports **zero** barrier stall,
+  which is exactly the paper's argument for it.
+
+Worker idle time is ``queue.get``; display reordering is
+``merge.reorder`` — the same canonical vocabulary as the GOP decoder
+and the SMP simulator, so all three report through one
+``stall_breakdown()``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.bitstream.emulation import unescape_payload
+from repro.mpeg2.batched import parse_slice, reconstruct_slices
+from repro.mpeg2.counters import WorkCounters
+from repro.mpeg2.decoder import (
+    SLICE_CORRUPTION_ERRORS,
+    DecodeError,
+)
+from repro.mpeg2.frame import Frame
+from repro.mpeg2.headers import PictureHeader, SequenceHeader
+from repro.mpeg2.index import StreamIndex, build_index
+from repro.mpeg2.reconstruct import conceal_row
+from repro.obs.metrics import metrics, reset_metrics
+from repro.obs.stalls import (
+    REASON_BARRIER,
+    REASON_MERGE,
+    REASON_QUEUE_GET,
+    REASON_REF_PUBLISH,
+    StallTable,
+)
+from repro.obs.trace import (
+    enable_tracing,
+    get_tracer,
+    trace_complete,
+    trace_span,
+    tracing_enabled,
+)
+from repro.parallel.mp import (
+    LIVENESS_POLL_S,
+    FrameLayout,
+    SharedFramePool,
+    collect_trace_shards,
+)
+from repro.parallel.slice_level import SliceMode
+
+
+# ======================================================================
+# scan: stream index -> coding-order picture/slice plans
+# ======================================================================
+@dataclass(frozen=True)
+class SlicePlan:
+    """One slice task: wire byte range + static reconstruction flag.
+
+    ``reconstruct`` is ``True`` for exactly one slice per macroblock
+    row — the bitstream-*last* one — realising the sequential
+    decoder's last-write-wins semantics for duplicated slices without
+    any concurrent-write hazard (every other duplicate is parse-only:
+    its work counters still accrue, its pixels never land).
+    """
+
+    vertical_position: int
+    payload_start: int
+    payload_end: int
+    reconstruct: bool
+
+
+@dataclass(frozen=True)
+class PicturePlan:
+    """Scan product for one picture: everything a worker or the
+    scheduler needs, no pixels, fully picklable."""
+
+    #: Global coding-order number (also this picture's pool slot).
+    order: int
+    #: GOP number and coding position within it (diagnostics).
+    gop: int
+    #: Global display-order number across the stream.
+    display_index: int
+    header: PictureHeader
+    #: Bits of the picture header incl. start code (counter parity).
+    header_bits: int
+    #: Coding-order numbers of the forward / backward reference
+    #: pictures, or ``None`` (I has neither, P no backward).
+    fwd: int | None
+    bwd: int | None
+    slices: tuple[SlicePlan, ...]
+
+    @property
+    def dependencies(self) -> tuple[int, ...]:
+        return tuple(d for d in (self.fwd, self.bwd) if d is not None)
+
+    @property
+    def is_reference(self) -> bool:
+        return self.header.picture_type.is_reference
+
+
+def scan_slice_tasks(index: StreamIndex) -> list[PicturePlan]:
+    """Flatten the scan index into coding-order picture plans.
+
+    Validates upfront what the sequential decoder validates lazily —
+    closed GOPs only, references present — raising
+    :class:`~repro.mpeg2.decoder.DecodeError` with the sequential
+    decoder's messages, so malformed streams are rejected identically.
+    """
+    plans: list[PicturePlan] = []
+    base = 0
+    display_base = 0
+    for gi, gop in enumerate(index.gops):
+        if not gop.closed_gop:
+            raise DecodeError(
+                "GOP-level decode requires closed GOPs (paper assumption)"
+            )
+        ranks = gop.display_ranks()
+        ref_old: int | None = None
+        ref_new: int | None = None
+        for pos, pic in enumerate(gop.pictures):
+            letter = pic.picture_type.letter
+            if letter == "I":
+                fwd = bwd = None
+            elif letter == "P":
+                fwd, bwd = ref_new, None
+                if fwd is None:
+                    raise DecodeError("P-picture without forward reference")
+            else:
+                fwd, bwd = ref_old, ref_new
+                if fwd is None:
+                    raise DecodeError("B-picture without forward reference")
+                if bwd is None:
+                    raise DecodeError("B-picture without backward reference")
+            order = base + pos
+            # Static duplicate resolution: the bitstream-last slice of
+            # each row reconstructs; earlier duplicates are parse-only.
+            last_for_row: dict[int, int] = {
+                sl.vertical_position: si for si, sl in enumerate(pic.slices)
+            }
+            plans.append(
+                PicturePlan(
+                    order=order,
+                    gop=gi,
+                    display_index=display_base + ranks[pos],
+                    header=pic.header(),
+                    header_bits=(
+                        pic.header_payload_end - pic.header_payload_start + 4
+                    )
+                    * 8,
+                    fwd=base + fwd if fwd is not None else None,
+                    bwd=base + bwd if bwd is not None else None,
+                    slices=tuple(
+                        SlicePlan(
+                            vertical_position=sl.vertical_position,
+                            payload_start=sl.payload_start,
+                            payload_end=sl.payload_end,
+                            reconstruct=last_for_row[sl.vertical_position]
+                            == si,
+                        )
+                        for si, sl in enumerate(pic.slices)
+                    ),
+                )
+            )
+            if pic.picture_type.is_reference:
+                ref_old, ref_new = ref_new, pos
+        base += len(gop.pictures)
+        display_base += len(gop.pictures)
+    return plans
+
+
+# ======================================================================
+# the 2-D picture/slice queue (pure logic — shared by the mp parent,
+# the workers=0 fallback, and the hypothesis property tests)
+# ======================================================================
+class PictureSliceQueue:
+    """The 2-D task queue's availability logic, on real time.
+
+    The real-silicon twin of the simulated
+    :class:`repro.parallel.queues.SliceTaskQueue`: same availability
+    rules, same earliest-available-first service order, no simulator.
+
+    Parameters
+    ----------
+    slice_counts:
+        Slices per picture, coding order.
+    dependencies:
+        Per picture, the coding-order numbers it references.  Every
+        dependency must be *earlier* (MPEG-2 coding order guarantees
+        this; the queue enforces it).
+    mode:
+        ``"simple"`` (every earlier picture must be complete) or
+        ``"improved"`` (only the dependencies must be complete).
+    on_gated / on_released:
+        Optional callbacks the scheduler uses for stall attribution:
+        ``on_gated(order)`` fires when a claim scan first finds a
+        picture unavailable; ``on_released(order)`` when a previously
+        gated picture is found available again.
+    """
+
+    def __init__(
+        self,
+        slice_counts: Sequence[int],
+        dependencies: Sequence[Sequence[int]],
+        mode: str | SliceMode,
+        on_gated: Callable[[int], None] | None = None,
+        on_released: Callable[[int], None] | None = None,
+    ) -> None:
+        mode = SliceMode(mode).value
+        if len(slice_counts) != len(dependencies):
+            raise ValueError("slice_counts and dependencies length mismatch")
+        for order, deps in enumerate(dependencies):
+            for d in deps:
+                if not 0 <= d < order:
+                    raise ValueError(
+                        f"picture {order} depends on {d}: dependencies must "
+                        "be earlier in coding order"
+                    )
+        self.mode = mode
+        self._deps = [tuple(d) for d in dependencies]
+        self._next_slice = [0] * len(slice_counts)
+        self._counts = list(slice_counts)
+        self._remaining = list(slice_counts)
+        self._complete = [False] * len(slice_counts)
+        self._complete_count = 0
+        self._head = 0
+        self._gated: set[int] = set()
+        self._on_gated = on_gated
+        self._on_released = on_released
+        # Zero-slice pictures that are available from the start settle
+        # immediately (nothing to decode, nothing to wait for).
+        self._settle_zero_slice(0)
+
+    # -- availability --------------------------------------------------
+    def _available(self, order: int) -> bool:
+        if self.mode == "simple":
+            # Every earlier picture (coding order) must be complete.
+            return self._complete_count >= order
+        # improved: only the references must be complete.
+        return all(self._complete[d] for d in self._deps[order])
+
+    def _settle_zero_slice(self, start: int) -> None:
+        """Auto-complete available pictures that have no slices."""
+        for order in range(start, len(self._counts)):
+            if (
+                self._counts[order] == 0
+                and not self._complete[order]
+                and self._available(order)
+            ):
+                self._complete[order] = True
+                self._complete_count += 1
+
+    # -- worker side ---------------------------------------------------
+    def claim(self) -> tuple[int, int] | None:
+        """Claim the next available ``(picture, slice)``; ``None`` if
+        nothing is claimable right now.
+
+        Serves slices from the earliest available picture — the
+        paper's in-order queue, which keeps the frame-memory window
+        small.  In simple mode nothing after the first unavailable
+        picture can be available, so the scan stops there.
+        """
+        while (
+            self._head < len(self._counts)
+            and self._next_slice[self._head] >= self._counts[self._head]
+        ):
+            self._head += 1
+        for order in range(self._head, len(self._counts)):
+            if self._next_slice[order] >= self._counts[order]:
+                continue
+            if not self._available(order):
+                if order not in self._gated:
+                    self._gated.add(order)
+                    if self._on_gated is not None:
+                        self._on_gated(order)
+                if self.mode == "simple":
+                    # In-order rule: nothing later can be available.
+                    return None
+                continue
+            if order in self._gated:
+                self._gated.discard(order)
+                if self._on_released is not None:
+                    self._on_released(order)
+            sidx = self._next_slice[order]
+            self._next_slice[order] += 1
+            return order, sidx
+        return None
+
+    def claim_all(self) -> list[tuple[int, int]]:
+        """Drain every currently claimable task (eager scheduler)."""
+        out: list[tuple[int, int]] = []
+        while True:
+            c = self.claim()
+            if c is None:
+                return out
+            out.append(c)
+
+    def complete_slice(self, order: int) -> bool:
+        """Report one finished slice of ``order``; ``True`` if that
+        completed the picture (caller should then publish it)."""
+        if self._remaining[order] <= 0:
+            raise ValueError(f"picture {order} has no outstanding slices")
+        self._remaining[order] -= 1
+        if self._remaining[order] == 0:
+            self._complete[order] = True
+            self._complete_count += 1
+            self._settle_zero_slice(order + 1)
+            return True
+        return False
+
+    # -- diagnostics -----------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._complete_count == len(self._counts)
+
+    @property
+    def pictures_complete(self) -> int:
+        return self._complete_count
+
+    def is_complete(self, order: int) -> bool:
+        return self._complete[order]
+
+
+class DisplayMerger:
+    """Reorder completed pictures into display order (pure logic).
+
+    The display process's reorder buffer: completed pictures arrive in
+    load-dependent order; :meth:`push` banks one and returns the run of
+    items that are now emittable in display order.  The paper's display
+    process plays exactly this role with its picture reorder queue.
+    """
+
+    def __init__(self, total: int) -> None:
+        if total < 0:
+            raise ValueError(f"negative picture count: {total}")
+        self.total = total
+        self._pending: dict[int, object] = {}
+        self._next = 0
+        #: High-water mark of the reorder buffer (memory diagnostics).
+        self.max_depth = 0
+
+    def push(self, display_index: int, item) -> list:
+        if not 0 <= display_index < self.total:
+            raise ValueError(
+                f"display index {display_index} out of range 0..{self.total - 1}"
+            )
+        if display_index < self._next or display_index in self._pending:
+            raise ValueError(f"display index {display_index} pushed twice")
+        self._pending[display_index] = item
+        self.max_depth = max(self.max_depth, len(self._pending))
+        out = []
+        while self._next in self._pending:
+            out.append(self._pending.pop(self._next))
+            self._next += 1
+        return out
+
+    @property
+    def emitted(self) -> int:
+        return self._next
+
+    @property
+    def held(self) -> int:
+        return len(self._pending)
+
+    @property
+    def done(self) -> bool:
+        return self._next == self.total
+
+
+# ======================================================================
+# worker side
+# ======================================================================
+def _slice_worker_main(
+    wid: int,
+    data: bytes,
+    plans: list[PicturePlan],
+    seq: SequenceHeader,
+    layout: FrameLayout,
+    pool_name: str,
+    mb_width: int,
+    mb_height: int,
+    resilient: bool,
+    task_q,
+    result_q,
+    trace_dir: str | None,
+    crash_task: tuple[int, int] | None,
+) -> None:
+    """Worker body: loop ``(picture, slice)`` tasks until the sentinel.
+
+    Per task: phase-1 parse (bit work only, exact counters), then —
+    for the statically-final slice of each row — phase-2
+    reconstruction written *in place* on the shared frame pool, with
+    reference pictures read through zero-copy views.  Results are tiny
+    ``(kind, order, slice, payload)`` tuples; a final ``("obs", ...)``
+    message ships the worker's metrics and stall snapshots.
+    """
+    name = f"slice-worker-{wid}"
+    pid = os.getpid()
+    shard = (
+        os.path.join(trace_dir, f"shard-{pid}.jsonl")
+        if trace_dir is not None
+        else None
+    )
+    if trace_dir is not None:
+        enable_tracing(process_name=name)
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.instant("mp.slice.worker.start", cat="mp")
+            tracer.write_shard(shard)
+    reset_metrics()
+    stalls = StallTable()
+    pool = SharedFramePool(layout, slots=0, name=pool_name)
+    last_end = time.monotonic_ns()
+    try:
+        while True:
+            task = task_q.get()
+            if task is None:
+                break
+            order, sidx = task
+            now = time.monotonic_ns()
+            idle_ns = now - last_end
+            if idle_ns > 0:
+                trace_complete(
+                    "mp.worker.idle", "stall", last_end, idle_ns,
+                    reason=REASON_QUEUE_GET,
+                )
+                metrics().histogram("mp.worker.idle_ms").observe(idle_ns / 1e6)
+                stalls.record(name, REASON_QUEUE_GET, idle_ns / 1e9)
+            if crash_task == (order, sidx):
+                # Fault-injection hook (tests only): die mid-picture
+                # exactly the way an OOM kill / segfault would.
+                os._exit(23)
+            plan = plans[order]
+            sl = plan.slices[sidx]
+            try:
+                payload = unescape_payload(
+                    data[sl.payload_start : sl.payload_end]
+                )
+                try:
+                    with trace_span(
+                        "mp.slice.parse", cat="mp",
+                        order=order, row=sl.vertical_position,
+                    ):
+                        sp = parse_slice(
+                            payload,
+                            sl.vertical_position,
+                            plan.header,
+                            mb_width,
+                            mb_height,
+                            plan.fwd is not None,
+                        )
+                except SLICE_CORRUPTION_ERRORS as exc:
+                    if resilient:
+                        result_q.put(("corrupt", order, sidx, None))
+                    else:
+                        result_q.put(("error", order, sidx, exc))
+                    last_end = time.monotonic_ns()
+                    continue
+                if sl.reconstruct:
+                    out = pool.view_frame(
+                        plan.order, plan.header.temporal_reference
+                    )
+                    fwd = (
+                        pool.view_frame(plan.fwd)
+                        if plan.fwd is not None
+                        else None
+                    )
+                    bwd = (
+                        pool.view_frame(plan.bwd)
+                        if plan.bwd is not None
+                        else None
+                    )
+                    try:
+                        with trace_span(
+                            "mp.slice.reconstruct", cat="mp",
+                            order=order, row=sl.vertical_position,
+                        ):
+                            reconstruct_slices(
+                                [sp], seq, plan.header, out, fwd, bwd
+                            )
+                    finally:
+                        del out, fwd, bwd
+                result_q.put(("ok", order, sidx, sp.counters))
+            except Exception as exc:  # pragma: no cover - defensive
+                result_q.put(("error", order, sidx, exc))
+            tracer = get_tracer()
+            if tracer is not None and shard is not None:
+                tracer.write_shard(shard)
+            last_end = time.monotonic_ns()
+        result_q.put(("obs", wid, metrics().snapshot(), stalls.snapshot()))
+        tracer = get_tracer()
+        if tracer is not None and shard is not None:
+            tracer.instant("mp.slice.worker.stop", cat="mp")
+            tracer.write_shard(shard)
+    finally:
+        try:
+            pool.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+
+
+# ======================================================================
+# the decoder
+# ======================================================================
+class MPSliceDecoder:
+    """Slice-level parallel decoder on real cores (paper Section 5.2).
+
+    Parameters
+    ----------
+    data:
+        The complete coded stream.
+    index:
+        Optional pre-built scan index (shared between the scan step and
+        the workers, as in the paper).
+    workers:
+        ``0`` runs the identical queue/claim/complete pipeline
+        in-process (deterministic CI path, no processes); ``>= 1``
+        spawns that many persistent OS worker processes.  ``None``
+        uses the available CPU count.
+    mode:
+        ``"simple"`` barriers after every picture; ``"improved"``
+        (default) barriers only after reference pictures, letting
+        consecutive B-pictures interleave.
+    resilient:
+        Conceal corrupt slices instead of failing (identical
+        last-action-wins semantics to the sequential decoder).
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default;
+        ``"fork"`` on Linux keeps the coded bytes copy-on-write).
+    """
+
+    def __init__(
+        self,
+        data: bytes,
+        index: StreamIndex | None = None,
+        workers: int | None = None,
+        mode: str | SliceMode = SliceMode.IMPROVED,
+        resilient: bool = False,
+        start_method: str | None = None,
+        _crash_task: tuple[int, int] | None = None,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.data = data
+        if index is not None:
+            self.index = index
+        else:
+            t0 = time.perf_counter()
+            with trace_span("mp.scan", cat="mp", bytes=len(data)):
+                self.index = build_index(data)
+            metrics().counter("mp.scan_ms").inc(
+                (time.perf_counter() - t0) * 1e3
+            )
+        self.workers = workers
+        self.mode = SliceMode(mode)
+        self.resilient = resilient
+        self.start_method = start_method
+        #: Test-only fault injection: the worker that picks up this
+        #: ``(picture_order, slice_index)`` dies with ``os._exit``.
+        self._crash_task = _crash_task
+        self.seq = self.index.sequence_header
+        self.layout = FrameLayout.for_display(self.seq.width, self.seq.height)
+        self.plans = scan_slice_tasks(self.index)
+        #: Shared-pool bytes the last parallel run allocated; 0 for the
+        #: in-process path.
+        self.last_pool_bytes = 0
+        #: Stall attribution for the last run (wall seconds, canonical
+        #: :mod:`repro.obs.stalls` reasons; workers + scheduler).
+        self.last_stalls = StallTable()
+        #: Wall seconds of the last decode.
+        self.last_wall_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def stall_breakdown(self) -> dict[str, float]:
+        """Fraction of aggregate process time blocked, per reason.
+
+        Denominator: ``wall seconds x (worker processes + scheduler)``
+        — directly comparable with ``MPGopDecoder.stall_breakdown()``
+        and the simulator's ``finish_cycles x processes``.
+        """
+        procs = self.workers + 1 if self.workers else 1
+        return self.last_stalls.breakdown(self.last_wall_seconds * procs)
+
+    def _base_counters(self) -> WorkCounters:
+        """GOP + picture header contributions (the parent's share).
+
+        The sequential decoder charges one header + its wire bits per
+        GOP and per picture; slice headers/bits are charged inside
+        :func:`parse_slice` by whichever process parses the slice.
+        """
+        c = WorkCounters()
+        for gop in self.index.gops:
+            c.headers += 1
+            c.bits += (gop.header_payload_end - gop.header_payload_start + 4) * 8
+        for plan in self.plans:
+            c.headers += 1
+            c.bits += plan.header_bits
+        return c
+
+    def _queue(
+        self,
+        on_gated: Callable[[int], None] | None = None,
+        on_released: Callable[[int], None] | None = None,
+    ) -> PictureSliceQueue:
+        return PictureSliceQueue(
+            [len(p.slices) for p in self.plans],
+            [p.dependencies for p in self.plans],
+            self.mode,
+            on_gated=on_gated,
+            on_released=on_released,
+        )
+
+    # ------------------------------------------------------------------
+    def decode_all(self, counters: WorkCounters | None = None) -> list[Frame]:
+        """Decode the whole stream to display-ordered frames.
+
+        Bit-identical to ``SequenceDecoder(data).decode_all()`` —
+        frames *and* aggregate work counters.
+        """
+        return list(self.iter_frames(counters))
+
+    def iter_frames(
+        self, counters: WorkCounters | None = None
+    ) -> Iterator[Frame]:
+        """Yield decoded frames in display order."""
+        if counters is not None:
+            counters.add(self._base_counters())
+        if self.workers == 0:
+            yield from self._iter_frames_inprocess(counters)
+        else:
+            yield from self._iter_frames_mp(counters)
+
+    # ------------------------------------------------------------------
+    # workers=0: same queue discipline, no processes
+    # ------------------------------------------------------------------
+    def _iter_frames_inprocess(
+        self, counters: WorkCounters | None
+    ) -> Iterator[Frame]:
+        self.last_pool_bytes = 0
+        self.last_stalls = StallTable()
+        t_run = time.perf_counter()
+        q = self._queue()
+        merger = DisplayMerger(len(self.plans))
+        frames: dict[int, Frame] = {}
+        corrupt_final: dict[int, list[int]] = {}
+        published = [False] * len(self.plans)
+        mbw, mbh = self.index.mb_width, self.index.mb_height
+
+        def frame_of(order: int) -> Frame:
+            if order not in frames:
+                f = Frame.blank(self.seq.width, self.seq.height)
+                f.temporal_reference = self.plans[
+                    order
+                ].header.temporal_reference
+                frames[order] = f
+            return frames[order]
+
+        def sweep() -> Iterator[Frame]:
+            """Publish every newly complete picture; emit display runs.
+
+            Driven after each slice completion *and* upfront, so
+            pictures the queue auto-settles (zero slices) are emitted
+            too.
+            """
+            for order, plan in enumerate(self.plans):
+                if published[order] or not q.is_complete(order):
+                    continue
+                published[order] = True
+                fwd = frames.get(plan.fwd) if plan.fwd is not None else None
+                for row in corrupt_final.pop(order, []):
+                    conceal_row(frame_of(order), fwd, row)
+                for done in merger.push(plan.display_index, order):
+                    yield frames.pop(done) if not self.plans[
+                        done
+                    ].is_reference else frame_of(done)
+
+        try:
+            yield from sweep()
+            while not q.done:
+                claim = q.claim()
+                if claim is None:  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        "picture/slice queue stuck with incomplete pictures"
+                    )
+                order, sidx = claim
+                plan = self.plans[order]
+                sl = plan.slices[sidx]
+                frame_of(order)
+                payload = unescape_payload(
+                    self.data[sl.payload_start : sl.payload_end]
+                )
+                try:
+                    with trace_span(
+                        "mp.slice.parse", cat="mp",
+                        order=order, row=sl.vertical_position,
+                    ):
+                        sp = parse_slice(
+                            payload, sl.vertical_position, plan.header,
+                            mbw, mbh, plan.fwd is not None,
+                        )
+                except SLICE_CORRUPTION_ERRORS:
+                    if not self.resilient:
+                        raise
+                    if counters is not None:
+                        counters.concealed_slices += 1
+                    if sl.reconstruct:
+                        corrupt_final.setdefault(order, []).append(
+                            sl.vertical_position - 1
+                        )
+                else:
+                    if counters is not None:
+                        counters.add(sp.counters)
+                    if sl.reconstruct:
+                        with trace_span(
+                            "mp.slice.reconstruct", cat="mp",
+                            order=order, row=sl.vertical_position,
+                        ):
+                            reconstruct_slices(
+                                [sp],
+                                self.seq,
+                                plan.header,
+                                frames[order],
+                                frames[plan.fwd]
+                                if plan.fwd is not None
+                                else None,
+                                frames[plan.bwd]
+                                if plan.bwd is not None
+                                else None,
+                            )
+                if q.complete_slice(order):
+                    yield from sweep()
+        finally:
+            self.last_wall_seconds = time.perf_counter() - t_run
+
+    # ------------------------------------------------------------------
+    # workers>=1: persistent process pool on shared memory
+    # ------------------------------------------------------------------
+    def _iter_frames_mp(
+        self, counters: WorkCounters | None
+    ) -> Iterator[Frame]:
+        ctx = multiprocessing.get_context(self.start_method)
+        pool = SharedFramePool(self.layout, slots=len(self.plans))
+        self.last_pool_bytes = pool.nbytes
+        self.last_stalls = StallTable()
+        stalls = self.last_stalls
+        reg = metrics()
+        depth_gauge = reg.gauge("queue.depth")
+        trace_dir = (
+            tempfile.mkdtemp(prefix="repro-trace-")
+            if tracing_enabled()
+            else None
+        )
+        task_q = ctx.Queue()
+        result_q = ctx.Queue()
+
+        # -- scheduler-side stall attribution --------------------------
+        gated_since: dict[int, int] = {}
+        publish_ns: dict[int, int] = {}
+
+        def on_gated(order: int) -> None:
+            gated_since[order] = time.monotonic_ns()
+
+        def on_released(order: int) -> None:
+            t0 = gated_since.pop(order, None)
+            if t0 is None:  # pragma: no cover - defensive
+                return
+            now = time.monotonic_ns()
+            total_s = (now - t0) / 1e9
+            plan = self.plans[order]
+            if self.mode is SliceMode.IMPROVED:
+                # The improved rule gates only on unpublished
+                # references: the whole wait is a true data dependency.
+                ref_s, barrier_s = total_s, 0.0
+            else:
+                # Simple rule: split the wait into the part covered by
+                # reference publication (true dependency) and the
+                # remainder — the policy-imposed per-picture barrier
+                # the improved variant removes.
+                dep_ns = max(
+                    (publish_ns.get(d, t0) for d in plan.dependencies),
+                    default=t0,
+                )
+                ref_s = max(0.0, (min(dep_ns, now) - t0) / 1e9)
+                barrier_s = max(0.0, total_s - ref_s)
+            if ref_s > 0.0:
+                stalls.record("scheduler", REASON_REF_PUBLISH, ref_s)
+            if barrier_s > 0.0:
+                stalls.record("scheduler", REASON_BARRIER, barrier_s)
+            trace_complete(
+                "mp.slice.gate", "stall", t0, now - t0,
+                order=order,
+                reason=REASON_BARRIER
+                if barrier_s > 0.0
+                else REASON_REF_PUBLISH,
+            )
+
+        q = self._queue(on_gated=on_gated, on_released=on_released)
+        merger = DisplayMerger(len(self.plans))
+        held_since: dict[int, int] = {}
+        status: dict[int, dict[int, str]] = {}
+        procs: list = []
+        t_run = time.perf_counter()
+
+        def dispatch() -> None:
+            for order, sidx in q.claim_all():
+                task_q.put((order, sidx))
+                depth_gauge.inc()
+
+        def get_result():
+            t0 = time.monotonic_ns()
+            while True:
+                try:
+                    result = result_q.get(timeout=LIVENESS_POLL_S)
+                    break
+                except queue_mod.Empty:
+                    dead = [
+                        p for p in procs if p.exitcode not in (None, 0)
+                    ]
+                    if dead:
+                        codes = sorted(
+                            p.exitcode
+                            for p in dead
+                            if p.exitcode is not None
+                        )
+                        raise DecodeError(
+                            "slice worker process died mid-picture "
+                            f"(exit codes {codes}); its slice is lost — "
+                            "aborting the parallel decode"
+                        )
+            waited = time.monotonic_ns() - t0
+            trace_complete(
+                "mp.result.wait", "stall", t0, waited,
+                reason=REASON_QUEUE_GET,
+            )
+            stalls.record("merge", REASON_QUEUE_GET, waited / 1e9)
+            return result
+
+        def conceal_picture(order: int) -> None:
+            """Parent-side concealment: rows whose *final* slice was
+            corrupt get the sequential decoder's conceal_row."""
+            plan = self.plans[order]
+            rows = [
+                sl.vertical_position - 1
+                for sidx, sl in enumerate(plan.slices)
+                if sl.reconstruct
+                and status.get(order, {}).get(sidx) == "corrupt"
+            ]
+            if not rows:
+                return
+            out = pool.view_frame(order, plan.header.temporal_reference)
+            fwd = (
+                pool.view_frame(plan.fwd) if plan.fwd is not None else None
+            )
+            try:
+                for row in rows:
+                    conceal_row(out, fwd, row)
+            finally:
+                del out, fwd
+
+        published = [False] * len(self.plans)
+
+        def publish_new() -> list[int]:
+            """Publish every newly complete picture (conceal + record
+            publish time + bank in the display merger); return the
+            display-ready run.  Runs *before* :func:`dispatch` so the
+            stall split sees fresh publish times; the caller emits the
+            returned frames after dispatching, keeping workers fed.
+            Covers both worker-completed pictures and pictures the
+            queue auto-settled (zero slices)."""
+            ready: list[int] = []
+            for order, plan in enumerate(self.plans):
+                if published[order] or not q.is_complete(order):
+                    continue
+                published[order] = True
+                conceal_picture(order)
+                publish_ns[order] = time.monotonic_ns()
+                emitted = merger.push(plan.display_index, order)
+                if not emitted:
+                    held_since[plan.display_index] = time.monotonic_ns()
+                ready.extend(emitted)
+            return ready
+
+        def emit(ready: list[int]) -> Iterator[Frame]:
+            for done in ready:
+                t0 = held_since.pop(self.plans[done].display_index, None)
+                if t0 is not None:
+                    hold = time.monotonic_ns() - t0
+                    stalls.record("merge", REASON_MERGE, hold / 1e9)
+                    trace_complete(
+                        "mp.merge.hold", "stall", t0, hold,
+                        order=done, reason=REASON_MERGE,
+                    )
+                with trace_span("mp.shm.read", cat="mp", order=done):
+                    frame = pool.read_frame(
+                        done, self.plans[done].header.temporal_reference
+                    )
+                yield frame
+
+        try:
+            for wid in range(self.workers):
+                p = ctx.Process(
+                    target=_slice_worker_main,
+                    args=(
+                        wid,
+                        self.data,
+                        self.plans,
+                        self.seq,
+                        self.layout,
+                        pool.name,
+                        self.index.mb_width,
+                        self.index.mb_height,
+                        self.resilient,
+                        task_q,
+                        result_q,
+                        trace_dir,
+                        self._crash_task,
+                    ),
+                    daemon=True,
+                )
+                p.start()
+                procs.append(p)
+
+            ready = publish_new()
+            dispatch()
+            yield from emit(ready)
+            outstanding = sum(len(p.slices) for p in self.plans)
+            while outstanding > 0:
+                kind, order, sidx, payload = get_result()
+                if kind == "error":
+                    raise payload
+                if kind == "obs":  # pragma: no cover - defensive
+                    continue
+                outstanding -= 1
+                depth_gauge.dec()
+                status.setdefault(order, {})[sidx] = kind
+                if kind == "corrupt":
+                    if counters is not None:
+                        counters.concealed_slices += 1
+                elif counters is not None:
+                    counters.add(payload)
+                if q.complete_slice(order):
+                    ready = publish_new()
+                    dispatch()
+                    yield from emit(ready)
+
+            # Graceful shutdown: sentinel per worker, then collect the
+            # final observability message from each.
+            for _ in procs:
+                task_q.put(None)
+            obs_left = len(procs)
+            while obs_left > 0:
+                kind, wid, metrics_snap, stalls_snap = get_result()
+                if kind != "obs":  # pragma: no cover - defensive
+                    continue
+                if metrics_snap is not None:
+                    reg.merge_snapshot(metrics_snap)
+                if stalls_snap is not None:
+                    stalls.merge(stalls_snap)
+                obs_left -= 1
+            for p in procs:
+                p.join(timeout=10.0)
+        finally:
+            self.last_wall_seconds = time.perf_counter() - t_run
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=5.0)
+            for mpq in (task_q, result_q):
+                mpq.close()
+                mpq.cancel_join_thread()
+            pool.close()
+            pool.unlink()
+            if trace_dir is not None:
+                collect_trace_shards(trace_dir)
+
+
+def decode_slice_parallel(
+    data: bytes,
+    workers: int | None = None,
+    mode: str | SliceMode = SliceMode.IMPROVED,
+    resilient: bool = False,
+    start_method: str | None = None,
+) -> list[Frame]:
+    """Convenience: slice-parallel decode to display-ordered frames."""
+    return MPSliceDecoder(
+        data,
+        workers=workers,
+        mode=mode,
+        resilient=resilient,
+        start_method=start_method,
+    ).decode_all()

@@ -22,16 +22,25 @@ import os
 
 import pytest
 
+from repro.mpeg2.counters import WorkCounters
 from repro.mpeg2.decoder import SequenceDecoder
 from repro.parallel.mp import MPGopDecoder
+from repro.parallel.mp_slice import MPSliceDecoder
 
 VECTOR_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "vectors")
 DIGEST_PATH = os.path.join(VECTOR_DIR, "digests.json")
 
 with open(DIGEST_PATH) as _fh:
-    CORPUS: dict[str, dict] = json.load(_fh)["streams"]
+    _DOC = json.load(_fh)
+CORPUS: dict[str, dict] = _DOC["streams"]
+
+#: Malformed-but-indexable streams derived from a committed base
+#: vector (see ``generate_vectors.py``): every decode path must agree
+#: on them — pixels and work counters — exactly like on clean streams.
+NEGATIVE: dict[str, dict] = _DOC["negative"]
 
 VECTOR_NAMES = sorted(CORPUS)
+NEGATIVE_NAMES = sorted(NEGATIVE)
 
 #: name -> decode callable returning display-ordered frames.
 DECODE_PATHS = {
@@ -48,7 +57,8 @@ MP_WORKER_VECTOR = "two_gop_48x32"
 
 
 def load_vector(name: str) -> bytes:
-    with open(os.path.join(VECTOR_DIR, CORPUS[name]["file"]), "rb") as fh:
+    entry = CORPUS.get(name) or NEGATIVE[name]
+    with open(os.path.join(VECTOR_DIR, entry["file"]), "rb") as fh:
         return fh.read()
 
 
@@ -85,6 +95,85 @@ class TestGoldenDigests:
         assert len(frames) == CORPUS[name]["pictures"]
         assert frames[0].display_width == CORPUS[name]["width"]
         assert frames[0].display_height == CORPUS[name]["height"]
+
+
+class TestNegativeCorpus:
+    """Committed malformed streams: every decoder must agree on them.
+
+    The negatives are *legal to index* but structurally hostile —
+    slices of one picture in reverse wire order, and a slice repeated
+    back to back.  The sequential oracle resolves both by decree
+    (slices are self-contained; the bitstream-last slice of a row
+    wins), and the parallel decoders must reproduce that decree bit
+    for bit, counters included.  This is what pins the slice
+    schedulers' static duplicate resolution and scan-order handling.
+    """
+
+    def _runs(self, data):
+        for label, decode in (
+            ("scalar", lambda: SequenceDecoder(data, engine="scalar")),
+            ("batched", lambda: SequenceDecoder(data, engine="batched")),
+            ("mp-slice-w0-simple",
+             lambda: MPSliceDecoder(data, workers=0, mode="simple")),
+            ("mp-slice-w0-improved",
+             lambda: MPSliceDecoder(data, workers=0, mode="improved")),
+            ("mp-slice-w2-improved",
+             lambda: MPSliceDecoder(data, workers=2, mode="improved")),
+        ):
+            counters = WorkCounters()
+            frames = decode().decode_all(counters)
+            yield label, [f.digest() for f in frames], counters
+
+    @pytest.mark.parametrize("name", NEGATIVE_NAMES)
+    def test_stream_bytes_match_committed_hash(self, name):
+        data = load_vector(name)
+        assert len(data) == NEGATIVE[name]["stream_bytes"]
+        assert (
+            hashlib.sha256(data).hexdigest() == NEGATIVE[name]["stream_sha256"]
+        )
+
+    @pytest.mark.parametrize("name", NEGATIVE_NAMES)
+    def test_all_paths_agree_on_pixels_and_counters(self, name):
+        data = load_vector(name)
+        golden = NEGATIVE[name]["frame_digests"]
+        ref_counters = None
+        for label, digests, counters in self._runs(data):
+            assert digests == golden, (
+                f"{label} decode of {name} diverged from the pinned digests"
+            )
+            if ref_counters is None:
+                ref_counters = counters
+            else:
+                assert counters == ref_counters, (
+                    f"{label} counters diverged on {name}"
+                )
+
+    @pytest.mark.parametrize("name", NEGATIVE_NAMES)
+    def test_negatives_actually_differ_from_base_bytes(self, name):
+        # The surgery must have changed the wire bytes, or the
+        # "negative" is just the base vector wearing a hat.
+        base = load_vector(NEGATIVE[name]["base"])
+        assert load_vector(name) != base
+
+    def test_shuffled_slices_decode_order_independently(self):
+        # Reordering self-contained slices must not change a single
+        # pixel: the pinned digests equal the base vector's.
+        entry = NEGATIVE["neg_shuffled_slices"]
+        assert entry["frame_digests"] == CORPUS[entry["base"]]["frame_digests"]
+
+    def test_duplicated_slice_is_counted_but_harmless(self):
+        # Last-action-wins: the duplicate rewrites identical pixels,
+        # but its parse work *is* real and must show up in counters.
+        entry = NEGATIVE["neg_duplicated_slice"]
+        assert entry["frame_digests"] == CORPUS[entry["base"]]["frame_digests"]
+        base_counters = WorkCounters()
+        SequenceDecoder(load_vector(entry["base"])).decode_all(base_counters)
+        dup_counters = WorkCounters()
+        SequenceDecoder(load_vector("neg_duplicated_slice")).decode_all(
+            dup_counters
+        )
+        assert dup_counters != base_counters
+        assert dup_counters.bits > base_counters.bits
 
 
 class TestNegative:

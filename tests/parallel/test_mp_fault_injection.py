@@ -1,0 +1,182 @@
+"""Fault injection: a worker process dying mid-decode must fail clean.
+
+A real parallel decoder faces real deaths — OOM kills, segfaults in
+native code, operators' stray ``kill -9``.  ``multiprocessing`` loses
+the victim's task silently, so a naive parent blocks forever on a
+result that will never come.  Both mp decoders take the same defence:
+result waits are chunked into liveness polls
+(:data:`repro.parallel.mp.LIVENESS_POLL_S`) and a dead worker surfaces
+as a :class:`~repro.mpeg2.decoder.DecodeError` within a poll.
+
+These tests use the decoders' fault-injection hooks (``_crash_gop`` /
+``_crash_task``), which ``os._exit`` the worker mid-task — the same
+observable as a SIGKILL: no result, no cleanup, a nonzero exitcode.
+
+Every test also asserts the shared-memory segment is unlinked: a
+crashed decode must not leak ``/dev/shm`` blocks (the classic
+``shared_memory`` footgun).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.mpeg2.decoder import DecodeError
+from repro.parallel.mp import MPGopDecoder
+from repro.parallel.mp_slice import MPSliceDecoder
+
+#: Upper bound on how long a crashed decode may take to fail — "no
+#: hang" made executable.  Generous (CI boxes are slow); the liveness
+#: poll should surface death within ~a second.
+FAIL_DEADLINE_S = 60
+
+SHM_DIR = "/dev/shm"
+
+
+def shm_snapshot() -> set[str]:
+    if not os.path.isdir(SHM_DIR):  # pragma: no cover - non-Linux
+        return set()
+    return set(os.listdir(SHM_DIR))
+
+
+@pytest.fixture
+def no_shm_leak():
+    """Assert the test leaves no new /dev/shm entries behind."""
+    before = shm_snapshot()
+    yield
+    # Allow the resource tracker a beat to finish unlinking.
+    for _ in range(20):
+        leaked = shm_snapshot() - before
+        if not leaked:
+            return
+        time.sleep(0.1)
+    raise AssertionError(f"leaked shared-memory segments: {sorted(leaked)}")
+
+
+@pytest.fixture
+def deadline():
+    """SIGALRM watchdog: the crash must surface, not hang the suite."""
+    def on_alarm(signum, frame):  # pragma: no cover - only on bug
+        raise TimeoutError(
+            "crashed worker did not surface as DecodeError within "
+            f"{FAIL_DEADLINE_S}s — the liveness poll is broken"
+        )
+
+    old = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(FAIL_DEADLINE_S)
+    yield
+    signal.alarm(0)
+    signal.signal(signal.SIGALRM, old)
+
+
+def assert_no_stray_children():
+    """All worker processes were reaped (terminated + joined)."""
+    for _ in range(50):
+        if not multiprocessing.active_children():
+            return
+        time.sleep(0.1)
+    raise AssertionError(
+        f"stray worker processes: {multiprocessing.active_children()}"
+    )
+
+
+class TestSliceWorkerCrash:
+    def test_crash_mid_picture_raises_decode_error(
+        self, medium_stream, no_shm_leak, deadline
+    ):
+        # Kill the worker that picks up picture 2, slice 1 — mid-GOP,
+        # mid-picture, with other slices of the same picture in flight.
+        dec = MPSliceDecoder(
+            medium_stream, workers=2, mode="improved", _crash_task=(2, 1)
+        )
+        with pytest.raises(DecodeError, match="worker process died"):
+            dec.decode_all()
+        assert_no_stray_children()
+
+    def test_crash_in_simple_mode(self, medium_stream, no_shm_leak, deadline):
+        dec = MPSliceDecoder(
+            medium_stream, workers=2, mode="simple", _crash_task=(1, 0)
+        )
+        with pytest.raises(DecodeError, match="worker process died"):
+            dec.decode_all()
+        assert_no_stray_children()
+
+    def test_crash_on_first_slice(self, small_stream, no_shm_leak, deadline):
+        # Death before any result at all: the parent has nothing but
+        # the liveness poll to notice.
+        dec = MPSliceDecoder(
+            small_stream, workers=1, mode="improved", _crash_task=(0, 0)
+        )
+        with pytest.raises(DecodeError, match="worker process died"):
+            dec.decode_all()
+        assert_no_stray_children()
+
+    def test_single_worker_crash_with_survivors_idle(
+        self, two_gop_stream, no_shm_leak, deadline
+    ):
+        # Four workers, one dies: the survivors must not mask the loss
+        # (the victim's slice is gone; the picture can never complete).
+        dec = MPSliceDecoder(
+            two_gop_stream, workers=4, mode="improved", _crash_task=(3, 0)
+        )
+        with pytest.raises(DecodeError, match="worker process died"):
+            dec.decode_all()
+        assert_no_stray_children()
+
+    def test_clean_decode_after_crash(self, small_stream, no_shm_leak):
+        # The failure must not poison the process: a fresh decoder on
+        # the same stream succeeds afterwards.
+        dec = MPSliceDecoder(
+            small_stream, workers=1, mode="improved", _crash_task=(0, 0)
+        )
+        with pytest.raises(DecodeError):
+            dec.decode_all()
+        frames = MPSliceDecoder(small_stream, workers=1).decode_all()
+        assert len(frames) == len(
+            MPSliceDecoder(small_stream, workers=0).decode_all()
+        )
+
+
+class TestGopWorkerCrash:
+    """The GOP path gets the same treatment (it previously had none)."""
+
+    def test_crash_mid_stream_raises_decode_error(
+        self, medium_stream, no_shm_leak, deadline
+    ):
+        dec = MPGopDecoder(medium_stream, workers=2, _crash_gop=1)
+        with pytest.raises(DecodeError, match="worker process died"):
+            dec.decode_all()
+        assert_no_stray_children()
+
+    def test_crash_on_first_gop(self, two_gop_stream, no_shm_leak, deadline):
+        dec = MPGopDecoder(two_gop_stream, workers=1, _crash_gop=0)
+        with pytest.raises(DecodeError, match="worker process died"):
+            dec.decode_all()
+        assert_no_stray_children()
+
+    def test_clean_decode_after_crash(self, two_gop_stream, no_shm_leak):
+        dec = MPGopDecoder(two_gop_stream, workers=2, _crash_gop=0)
+        with pytest.raises(DecodeError):
+            dec.decode_all()
+        frames = MPGopDecoder(two_gop_stream, workers=2).decode_all()
+        ref = MPGopDecoder(two_gop_stream, workers=0).decode_all()
+        assert len(frames) == len(ref)
+
+
+class TestNoCrashControl:
+    """The hooks themselves must be inert when unset."""
+
+    def test_slice_decoder_default_has_no_injection(self, small_stream):
+        dec = MPSliceDecoder(small_stream, workers=1)
+        assert dec._crash_task is None
+        assert len(dec.decode_all()) > 0
+
+    def test_gop_decoder_default_has_no_injection(self, small_stream):
+        dec = MPGopDecoder(small_stream, workers=1)
+        assert dec._crash_gop is None
+        assert len(dec.decode_all()) > 0

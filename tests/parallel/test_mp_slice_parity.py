@@ -1,0 +1,229 @@
+"""Bit-exact parity of the real-process slice decoder vs the scalar one.
+
+The slice-level mp decoder (:mod:`repro.parallel.mp_slice`) must be
+indistinguishable from the sequential scalar oracle in every
+observable — decoded pixels, display order, aggregate work counters,
+and ``resilient=True`` concealment — across **both** barrier policies
+(``simple``: barrier after every picture; ``improved``: barrier only
+after reference pictures) and worker counts 0 (in-process fallback),
+1, 2 and 4, on the full committed golden-vector corpus.
+
+Slices of one picture reconstruct concurrently into the same
+shared-memory frame; these tests are what pins that the row-disjoint
+in-place writes, the published-reference availability rule, and the
+static duplicate resolution together reproduce the sequential decode
+bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpeg2.counters import WorkCounters
+from repro.mpeg2.decoder import DecodeError, SequenceDecoder
+from repro.mpeg2.index import build_index
+from repro.parallel.mp_slice import (
+    MPSliceDecoder,
+    decode_slice_parallel,
+    scan_slice_tasks,
+)
+
+from tests.mpeg2.test_batched_parity import assert_frames_identical
+from tests.mpeg2.test_golden_vectors import CORPUS, VECTOR_NAMES, load_vector
+from tests.mpeg2.test_resilience import corrupt_slice
+
+#: Both synchronisation policies, on every stream.
+MODES = ("simple", "improved")
+
+#: Worker counts from the issue: the in-process fallback plus real
+#: 1/2/4-process pools.
+WORKER_COUNTS = (0, 1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def scalar_reference():
+    """Scalar-oracle frames + counters for every golden vector."""
+    ref = {}
+    for name in VECTOR_NAMES:
+        data = load_vector(name)
+        counters = WorkCounters()
+        frames = SequenceDecoder(data, engine="scalar").decode_all(counters)
+        ref[name] = (data, frames, counters)
+    return ref
+
+
+def _slice_parallel(data: bytes, workers: int, mode: str, resilient=False):
+    counters = WorkCounters()
+    frames = MPSliceDecoder(
+        data, workers=workers, mode=mode, resilient=resilient
+    ).decode_all(counters)
+    return frames, counters
+
+
+def assert_slice_parity(
+    data: bytes, workers: int, mode: str, resilient: bool = False
+):
+    counters_s = WorkCounters()
+    frames_s = SequenceDecoder(
+        data, engine="scalar", resilient=resilient
+    ).decode_all(counters_s)
+    frames_p, counters_p = _slice_parallel(data, workers, mode, resilient)
+    assert_frames_identical(frames_s, frames_p)
+    assert [f.temporal_reference for f in frames_s] == [
+        f.temporal_reference for f in frames_p
+    ]
+    assert counters_s == counters_p
+
+
+class TestScanStep:
+    """The scan products: coding-order picture plans."""
+
+    def test_plans_cover_every_slice_once(self, medium_stream):
+        index = build_index(medium_stream)
+        plans = scan_slice_tasks(index)
+        assert len(plans) == index.picture_count
+        assert sum(len(p.slices) for p in plans) == index.slice_count
+        assert [p.order for p in plans] == list(range(len(plans)))
+
+    def test_display_indices_are_a_permutation(self, medium_stream):
+        plans = scan_slice_tasks(build_index(medium_stream))
+        assert sorted(p.display_index for p in plans) == list(
+            range(len(plans))
+        )
+
+    def test_dependencies_point_backwards(self, medium_stream):
+        plans = scan_slice_tasks(build_index(medium_stream))
+        for plan in plans:
+            letter = plan.header.picture_type.letter
+            assert len(plan.dependencies) == {"I": 0, "P": 1, "B": 2}[letter]
+            for dep in plan.dependencies:
+                assert dep < plan.order
+                assert plans[dep].is_reference
+
+    def test_exactly_one_reconstructor_per_row(self, small_stream):
+        for plan in scan_slice_tasks(build_index(small_stream)):
+            rows = [
+                sl.vertical_position for sl in plan.slices if sl.reconstruct
+            ]
+            assert sorted(rows) == sorted(set(rows))
+            covered = {sl.vertical_position for sl in plan.slices}
+            assert set(rows) == covered
+
+    def test_missing_reference_raises_decode_error(self, small_stream):
+        # Drop the I picture's plan source: a stream whose first GOP
+        # opens with a P picture must be rejected like the scalar path.
+        index = build_index(small_stream)
+        index.gops[0].pictures.pop(0)
+        with pytest.raises(DecodeError, match="without forward reference"):
+            scan_slice_tasks(index)
+
+    def test_open_gop_rejected(self, small_stream):
+        index = build_index(small_stream)
+        index.gops[0].closed_gop = False
+        with pytest.raises(DecodeError, match="closed GOPs"):
+            scan_slice_tasks(index)
+
+
+class TestGoldenVectorParity:
+    """The issue's matrix: 6 vectors x 2 modes x workers in {0,1,2,4}."""
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("name", VECTOR_NAMES)
+    def test_vector_parity(self, scalar_reference, name, mode, workers):
+        data, frames_s, counters_s = scalar_reference[name]
+        frames_p, counters_p = _slice_parallel(data, workers, mode)
+        assert_frames_identical(frames_s, frames_p)
+        assert counters_s == counters_p, (
+            f"{name} mode={mode} workers={workers}: counters diverged"
+        )
+
+    @pytest.mark.parametrize("name", VECTOR_NAMES)
+    def test_vector_digests_pinned(self, scalar_reference, name):
+        # Belt and braces: frames also match the committed digests, so
+        # this suite fails even if the scalar oracle itself drifts.
+        data, _, _ = scalar_reference[name]
+        frames = decode_slice_parallel(data, workers=0)
+        assert [f.digest() for f in frames] == CORPUS[name]["frame_digests"]
+
+
+class TestBasicParity:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_two_gop_stream_real_workers(self, two_gop_stream, mode):
+        assert_slice_parity(two_gop_stream, workers=2, mode=mode)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_medium_stream_inprocess(self, medium_stream, mode):
+        assert_slice_parity(medium_stream, workers=0, mode=mode)
+
+    def test_more_workers_than_slices(self, small_stream):
+        # Extra workers idle; output unchanged.
+        index = build_index(small_stream)
+        workers = index.slices_per_picture + 3
+        assert_slice_parity(small_stream, workers=workers, mode="improved")
+
+    def test_iter_frames_streams_in_display_order(self, two_gop_stream):
+        ref = SequenceDecoder(two_gop_stream).decode_all()
+        dec = MPSliceDecoder(two_gop_stream, workers=2, mode="improved")
+        got = list(dec.iter_frames())
+        assert_frames_identical(ref, got)
+
+    def test_invalid_arguments(self, small_stream):
+        with pytest.raises(ValueError):
+            MPSliceDecoder(small_stream, mode="bogus")
+        with pytest.raises(ValueError, match="workers"):
+            MPSliceDecoder(small_stream, workers=-1)
+
+
+class TestResilientParity:
+    """Concealment inside a slice worker == concealment in-sequence."""
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("workers", (0, 2))
+    def test_corrupt_p_slice(self, small_stream, workers, mode):
+        data = corrupt_slice(small_stream, gop=0, pic=4, sl=1)
+        counters = WorkCounters()
+        SequenceDecoder(data, resilient=True).decode_all(counters)
+        assert counters.concealed_slices >= 1
+        assert_slice_parity(data, workers, mode, resilient=True)
+
+    def test_corrupt_slice_in_second_gop(self, medium_stream):
+        data = corrupt_slice(medium_stream, gop=1, pic=2, sl=1)
+        assert_slice_parity(data, workers=2, mode="improved", resilient=True)
+
+    @pytest.mark.parametrize("workers", (0, 2))
+    def test_strict_mode_raises_same_family(self, small_stream, workers):
+        data = corrupt_slice(small_stream, gop=0, pic=4, sl=1)
+        try:
+            SequenceDecoder(data, engine="scalar").decode_all()
+            scalar_exc = None
+        except Exception as exc:
+            scalar_exc = type(exc)
+        assert scalar_exc is not None
+        with pytest.raises(Exception) as info:
+            decode_slice_parallel(data, workers=workers)
+        assert not isinstance(info.value, AssertionError)
+
+
+class TestObservability:
+    def test_pool_bytes_and_wall_recorded(self, two_gop_stream):
+        dec = MPSliceDecoder(two_gop_stream, workers=2, mode="simple")
+        dec.decode_all()
+        assert dec.last_pool_bytes > 0
+        assert dec.last_wall_seconds > 0
+        breakdown = dec.stall_breakdown()
+        assert 0.0 <= sum(breakdown.values()) <= 1.0
+
+    def test_improved_mode_reports_zero_barrier(self, medium_stream):
+        # By construction the improved policy's only gating reason is
+        # reference publication — it must never report barrier stall.
+        from repro.obs.stalls import REASON_BARRIER
+
+        dec = MPSliceDecoder(medium_stream, workers=2, mode="improved")
+        dec.decode_all()
+        assert dec.last_stalls.by_reason().get(REASON_BARRIER, 0.0) == 0.0
+
+    def test_inprocess_allocates_no_pool(self, small_stream):
+        dec = MPSliceDecoder(small_stream, workers=0)
+        dec.decode_all()
+        assert dec.last_pool_bytes == 0

@@ -1,0 +1,277 @@
+"""Property-based tests for the 2-D picture/slice queue and merger.
+
+The scheduler logic of :mod:`repro.parallel.mp_slice` is pure
+(:class:`PictureSliceQueue`, :class:`DisplayMerger`), so hypothesis
+can drive it through random GOP structures and random slice-completion
+orders and check the safety properties the real pipeline relies on:
+
+* no deadlock — every generated schedule drains the queue;
+* a picture never completes before its dependencies (never emitted
+  early by the merger either);
+* **improved mode never schedules a B-slice before both its reference
+  pictures are complete** (the paper's correctness argument for
+  rolling into B-runs);
+* simple mode never schedules a slice before every earlier picture is
+  complete (the stronger barrier the improved variant relaxes).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.mp_slice import DisplayMerger, PictureSliceQueue
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def gop_structures(draw):
+    """A coding-order picture list with MPEG-2 reference structure.
+
+    Returns ``(slice_counts, dependencies, types)``: picture types are
+    drawn I/P/B with a leading I, dependencies follow the two-slot
+    rule (P -> newest reference; B -> the two newest references), and
+    slice counts include zero (a legal degenerate the queue must
+    auto-settle).
+    """
+    n = draw(st.integers(min_value=1, max_value=12))
+    types: list[str] = []
+    for i in range(n):
+        if i == 0:
+            types.append("I")
+            continue
+        refs_so_far = sum(t in "IP" for t in types)
+        allowed = "IPB" if refs_so_far >= 2 else "IP"
+        types.append(draw(st.sampled_from(allowed)))
+    deps: list[list[int]] = []
+    ref_old: int | None = None
+    ref_new: int | None = None
+    for i, t in enumerate(types):
+        if t == "I":
+            deps.append([])
+        elif t == "P":
+            assert ref_new is not None
+            deps.append([ref_new])
+        else:
+            assert ref_old is not None and ref_new is not None
+            deps.append([ref_old, ref_new])
+        if t in "IP":
+            ref_old, ref_new = ref_new, i
+    counts = [
+        draw(st.integers(min_value=0, max_value=4)) for _ in range(n)
+    ]
+    return counts, deps, types
+
+
+def drive_queue(queue, counts, data, max_steps=10_000):
+    """Drive claims/completions in a hypothesis-chosen order.
+
+    Returns the order in which pictures completed.  Raises if the
+    schedule wedges (nothing claimable, nothing in flight, queue not
+    done) — the deadlock property.
+    """
+    in_flight: list[tuple[int, int]] = []
+    completion_order: list[int] = []
+    for _ in range(max_steps):
+        if queue.done and not in_flight:
+            return completion_order
+        claimed = queue.claim_all()
+        in_flight.extend(claimed)
+        if not in_flight:
+            raise AssertionError(
+                f"deadlock: queue not done, nothing claimable "
+                f"(counts={counts})"
+            )
+        idx = data.draw(
+            st.integers(min_value=0, max_value=len(in_flight) - 1),
+            label="completion pick",
+        )
+        order, _sidx = in_flight.pop(idx)
+        if queue.complete_slice(order):
+            completion_order.append(order)
+    raise AssertionError("schedule did not terminate")
+
+
+# ----------------------------------------------------------------------
+# queue properties
+# ----------------------------------------------------------------------
+class TestQueueProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(structure=gop_structures(), data=st.data())
+    @pytest.mark.parametrize("mode", ["simple", "improved"])
+    def test_never_deadlocks_and_completes_every_picture(
+        self, structure, data, mode
+    ):
+        counts, deps, _types = structure
+        queue = PictureSliceQueue(counts, deps, mode)
+        drive_queue(queue, counts, data)
+        assert queue.done
+        assert queue.pictures_complete == len(counts)
+
+    @settings(max_examples=200, deadline=None)
+    @given(structure=gop_structures(), data=st.data())
+    def test_improved_never_schedules_before_references_published(
+        self, structure, data
+    ):
+        counts, deps, types = structure
+        queue = PictureSliceQueue(counts, deps, "improved")
+        in_flight: list[tuple[int, int]] = []
+        for _ in range(10_000):
+            if queue.done and not in_flight:
+                break
+            for order, _sidx in queue.claim_all():
+                # THE property: at claim time every reference of the
+                # claimed picture — both of them for a B — is complete.
+                for dep in deps[order]:
+                    assert queue.is_complete(dep), (
+                        f"{types[order]}-picture {order} scheduled "
+                        f"before reference {dep} was published"
+                    )
+                in_flight.append((order, _sidx))
+            if not in_flight:
+                raise AssertionError("deadlock")
+            idx = data.draw(
+                st.integers(min_value=0, max_value=len(in_flight) - 1)
+            )
+            order, _sidx = in_flight.pop(idx)
+            queue.complete_slice(order)
+        assert queue.done
+
+    @settings(max_examples=150, deadline=None)
+    @given(structure=gop_structures(), data=st.data())
+    def test_simple_never_schedules_past_an_incomplete_picture(
+        self, structure, data
+    ):
+        counts, deps, _types = structure
+        queue = PictureSliceQueue(counts, deps, "simple")
+        in_flight: list[tuple[int, int]] = []
+        for _ in range(10_000):
+            if queue.done and not in_flight:
+                break
+            for order, _sidx in queue.claim_all():
+                for earlier in range(order):
+                    assert queue.is_complete(earlier), (
+                        f"simple mode scheduled picture {order} before "
+                        f"picture {earlier} completed"
+                    )
+                in_flight.append((order, _sidx))
+            if not in_flight:
+                raise AssertionError("deadlock")
+            idx = data.draw(
+                st.integers(min_value=0, max_value=len(in_flight) - 1)
+            )
+            order, _sidx = in_flight.pop(idx)
+            queue.complete_slice(order)
+        assert queue.done
+
+    @settings(max_examples=100, deadline=None)
+    @given(structure=gop_structures(), data=st.data())
+    def test_completion_respects_dependencies(self, structure, data):
+        counts, deps, _types = structure
+        queue = PictureSliceQueue(counts, deps, "improved")
+        completion_order = drive_queue(queue, counts, data)
+        seen: set[int] = set()
+        for order in completion_order:
+            assert all(d in seen or counts[d] == 0 for d in deps[order])
+            seen.add(order)
+
+    def test_rejects_forward_dependencies(self):
+        with pytest.raises(ValueError, match="earlier in coding order"):
+            PictureSliceQueue([1, 1], [[1], []], "improved")
+        with pytest.raises(ValueError, match="earlier in coding order"):
+            PictureSliceQueue([1], [[0]], "improved")
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            PictureSliceQueue([1], [[]], "bogus")
+
+    def test_overcompletion_raises(self):
+        queue = PictureSliceQueue([1], [[]], "simple")
+        assert queue.claim() == (0, 0)
+        assert queue.complete_slice(0) is True
+        with pytest.raises(ValueError, match="no outstanding"):
+            queue.complete_slice(0)
+
+    def test_gating_callbacks_fire_in_pairs(self):
+        gated: list[int] = []
+        released: list[int] = []
+        queue = PictureSliceQueue(
+            [1, 1, 1],
+            [[], [0], [0, 1]],
+            "simple",
+            on_gated=gated.append,
+            on_released=released.append,
+        )
+        assert queue.claim_all() == [(0, 0)]
+        assert gated == [1]  # frontier picture waiting on picture 0
+        queue.complete_slice(0)
+        assert queue.claim_all() == [(1, 0)]
+        assert released == [1]
+        queue.complete_slice(1)
+        queue.claim_all()
+        queue.complete_slice(2)
+        assert queue.done
+        assert set(gated) == set(released)
+
+
+# ----------------------------------------------------------------------
+# merger properties
+# ----------------------------------------------------------------------
+class TestMergerProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(perm=st.permutations(list(range(10))))
+    def test_random_push_order_emits_display_order(self, perm):
+        merger = DisplayMerger(len(perm))
+        emitted: list[int] = []
+        for di in perm:
+            out = merger.push(di, di)
+            # Never emits an index before all smaller ones arrived:
+            for item in out:
+                assert item == len(emitted)
+                emitted.append(item)
+        assert emitted == sorted(perm)
+        assert merger.done
+        assert merger.held == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(perm=st.permutations(list(range(8))), cut=st.integers(0, 7))
+    def test_prefix_never_emits_early(self, perm, cut):
+        merger = DisplayMerger(len(perm))
+        pushed = set()
+        for di in perm[:cut]:
+            out = merger.push(di, di)
+            pushed.add(di)
+            for item in out:
+                # Everything emitted so far must be a closed prefix of
+                # what was pushed — no picture escapes early.
+                assert set(range(item + 1)) <= pushed
+        assert merger.emitted + merger.held == cut
+
+    def test_duplicate_push_raises(self):
+        merger = DisplayMerger(3)
+        merger.push(1, "a")
+        with pytest.raises(ValueError, match="twice"):
+            merger.push(1, "b")
+        merger.push(0, "c")
+        with pytest.raises(ValueError, match="twice"):
+            merger.push(0, "d")
+
+    def test_out_of_range_raises(self):
+        merger = DisplayMerger(2)
+        with pytest.raises(ValueError, match="out of range"):
+            merger.push(2, "x")
+        with pytest.raises(ValueError, match="out of range"):
+            merger.push(-1, "x")
+
+    def test_max_depth_tracks_reorder_buffer(self):
+        merger = DisplayMerger(4)
+        merger.push(3, 3)
+        merger.push(2, 2)
+        merger.push(1, 1)
+        assert merger.max_depth == 3
+        out = merger.push(0, 0)
+        assert out == [0, 1, 2, 3]
+        assert merger.done

@@ -26,9 +26,12 @@ import json
 import os
 import sys
 
+from repro.mpeg2.counters import WorkCounters
 from repro.mpeg2.decoder import SequenceDecoder
 from repro.mpeg2.encoder import EncoderConfig, encode_sequence
+from repro.mpeg2.index import build_index
 from repro.parallel.mp import MPGopDecoder
+from repro.parallel.mp_slice import MPSliceDecoder
 from repro.video.synthetic import SyntheticVideo
 
 VECTOR_DIR = os.path.dirname(os.path.abspath(__file__))
@@ -71,6 +74,87 @@ VECTORS: dict[str, dict] = {
 }
 
 
+# ----------------------------------------------------------------------
+# negative corpus: byte surgery on a committed base vector
+# ----------------------------------------------------------------------
+#
+# MPEG-2 slices are self-contained (predictors reset at each slice
+# header) and each one names its own macroblock row, so two stream
+# malformations are *legal to index* yet stress the decoders' slice
+# bookkeeping:
+#
+# * ``shuffle`` — reverse the wire order of one picture's slices.  A
+#   correct decoder is scan-order independent: output must be
+#   bit-identical to the base stream on every path.
+# * ``duplicate`` — repeat one slice's wire bytes back to back.  The
+#   second decode of the same row must win (it writes the same pixels)
+#   and the extra slice's work must be counted exactly once per copy,
+#   identically by the sequential oracle and every parallel decoder.
+
+
+def _slice_chunk(data: bytes, sl) -> bytes:
+    """Wire bytes of one slice including its 4-byte start code."""
+    return data[sl.payload_start - 4 : sl.payload_end]
+
+
+def shuffle_slices(data: bytes, gop: int, pic: int) -> bytes:
+    """Reverse the slice order inside one picture (whole wire chunks)."""
+    slices = build_index(data).gops[gop].pictures[pic].slices
+    assert len(slices) >= 2, "need at least two slices to shuffle"
+    lo = slices[0].payload_start - 4
+    hi = slices[-1].payload_end
+    chunks = [_slice_chunk(data, sl) for sl in slices]
+    assert b"".join(chunks) == data[lo:hi], "slices are not contiguous"
+    return data[:lo] + b"".join(reversed(chunks)) + data[hi:]
+
+
+def duplicate_slice(data: bytes, gop: int, pic: int, sl: int) -> bytes:
+    """Insert a byte-identical copy of one slice right after itself."""
+    s = build_index(data).gops[gop].pictures[pic].slices[sl]
+    chunk = _slice_chunk(data, s)
+    return data[: s.payload_end] + chunk + data[s.payload_end :]
+
+
+#: name -> (base vector, surgery callable).  Both derive from the
+#: headline I/P/B vector and target picture 2 (coding order) — a
+#: P-picture, so the malformed rows also feed later predictions.
+NEGATIVES: dict[str, dict] = {
+    "neg_shuffled_slices": dict(
+        base="ipb_64x48_gop13",
+        surgery=lambda data: shuffle_slices(data, gop=0, pic=2),
+        note="slices of picture 2 in reverse wire order",
+    ),
+    "neg_duplicated_slice": dict(
+        base="ipb_64x48_gop13",
+        surgery=lambda data: duplicate_slice(data, gop=0, pic=2, sl=1),
+        note="slice 1 of picture 2 repeated back to back",
+    ),
+}
+
+
+def negative_reference(data: bytes) -> tuple[list[str], WorkCounters]:
+    """Scalar-oracle digests + counters for a negative stream."""
+    counters = WorkCounters()
+    frames = SequenceDecoder(data, engine="scalar").decode_all(counters)
+    return [f.digest() for f in frames], counters
+
+
+def _engine_run(data: bytes, engine: str) -> tuple[list[str], WorkCounters]:
+    counters = WorkCounters()
+    frames = SequenceDecoder(data, engine=engine).decode_all(counters)
+    return [f.digest() for f in frames], counters
+
+
+def _slice_run(
+    data: bytes, workers: int, mode: str
+) -> tuple[list[str], WorkCounters]:
+    counters = WorkCounters()
+    frames = MPSliceDecoder(data, workers=workers, mode=mode).decode_all(
+        counters
+    )
+    return [f.digest() for f in frames], counters
+
+
 def build_vector(name: str, spec: dict) -> bytes:
     video = SyntheticVideo(
         width=spec["width"], height=spec["height"], seed=spec["seed"]
@@ -86,13 +170,18 @@ def digests_for(data: bytes, **decoder_kwargs) -> list[str]:
 
 def main() -> int:
     corpus: dict[str, dict] = {}
+    built: dict[str, bytes] = {}
     for name, spec in VECTORS.items():
         data = build_vector(name, spec)
+        built[name] = data
         golden = digests_for(data, engine="scalar")
         # Cross-check every decode path before committing anything.
         assert digests_for(data, engine="batched") == golden, name
         mp_frames = MPGopDecoder(data, workers=0).decode_all()
         assert [f.digest() for f in mp_frames] == golden, name
+        for mode in ("simple", "improved"):
+            sl_frames = MPSliceDecoder(data, workers=0, mode=mode).decode_all()
+            assert [f.digest() for f in sl_frames] == golden, (name, mode)
 
         path = os.path.join(VECTOR_DIR, f"{name}.m2v")
         with open(path, "wb") as fh:
@@ -108,6 +197,37 @@ def main() -> int:
         }
         print(f"{name}: {len(data)} bytes, {len(golden)} pictures")
 
+    negative: dict[str, dict] = {}
+    for name, spec in NEGATIVES.items():
+        base = built[spec["base"]]
+        data = spec["surgery"](base)
+        assert data != base, name
+        golden, counters = negative_reference(data)
+        # Every decode path must agree on the malformed stream too —
+        # same pixels *and* same work counters.
+        for describe, decode in (
+            ("batched", lambda d: _engine_run(d, "batched")),
+            ("mp-slice-0-simple", lambda d: _slice_run(d, 0, "simple")),
+            ("mp-slice-0-improved", lambda d: _slice_run(d, 0, "improved")),
+            ("mp-slice-2-improved", lambda d: _slice_run(d, 2, "improved")),
+        ):
+            digests, got = decode(data)
+            assert digests == golden, (name, describe)
+            assert got == counters, (name, describe)
+
+        path = os.path.join(VECTOR_DIR, f"{name}.m2v")
+        with open(path, "wb") as fh:
+            fh.write(data)
+        negative[name] = {
+            "file": f"{name}.m2v",
+            "base": spec["base"],
+            "note": spec["note"],
+            "stream_sha256": hashlib.sha256(data).hexdigest(),
+            "stream_bytes": len(data),
+            "frame_digests": golden,
+        }
+        print(f"{name}: {len(data)} bytes ({spec['note']})")
+
     with open(DIGEST_PATH, "w") as fh:
         json.dump(
             {
@@ -117,6 +237,7 @@ def main() -> int:
                     "'{rows}x{cols}:' (Frame.digest)"
                 ),
                 "streams": corpus,
+                "negative": negative,
             },
             fh,
             indent=2,
