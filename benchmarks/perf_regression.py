@@ -22,8 +22,14 @@ import platform
 
 import pytest
 
-from benchmarks.perf_decode import DECODE_REPEATS, HEADLINE_SPEC, bench_stream
+from benchmarks.perf_decode import (
+    DECODE_REPEATS,
+    HEADLINE_SPEC,
+    _traced_stage_breakdown,
+    bench_stream,
+)
 from repro.obs.metrics import metrics
+from repro.video.streams import build_stream
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_decode.json")
@@ -40,6 +46,48 @@ ALLOWED_REGRESSION = 0.25
 def load_baseline() -> dict:
     with open(BASELINE_PATH) as fh:
         return json.load(fh)
+
+
+def _breakdown_table(fresh: dict, baseline: dict | None) -> str:
+    """Render a per-stage span table for the failure message.
+
+    ``fresh`` is :func:`span_totals` output (stage -> count/total_ms/
+    mean_ms) from a traced decode of the regressed engine, taken *at
+    failure time*; when the committed baseline row carries its own
+    ``stage_breakdown`` the ratio column points straight at the stage
+    that regressed, otherwise the fresh totals alone still show where
+    the wall-clock went.
+    """
+    baseline = baseline or {}
+    have_base = bool(baseline)
+    header = f"{'stage':<28}{'count':>7}{'total ms':>10}{'mean ms':>9}"
+    if have_base:
+        header += f"{'base ms':>10}{'ratio':>7}"
+    lines = ["stage breakdown (regressed engine, one traced pass):", header]
+    order = sorted(fresh, key=lambda n: -fresh[n]["total_ms"])
+    for name in order:
+        rec = fresh[name]
+        line = (
+            f"{name:<28}{rec['count']:>7d}{rec['total_ms']:>10.2f}"
+            f"{rec['mean_ms']:>9.3f}"
+        )
+        if have_base:
+            base_ms = baseline.get(name, {}).get("total_ms")
+            if base_ms:
+                line += f"{base_ms:>10.2f}{rec['total_ms'] / base_ms:>7.2f}"
+            else:
+                line += f"{'-':>10}{'-':>7}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _diagnose_regression(engine: str, baseline_row: dict, record) -> str:
+    """On failure: trace one decode, print + persist the stage split."""
+    data = build_stream(HEADLINE_SPEC)
+    fresh = _traced_stage_breakdown(data, engine=engine)
+    table = _breakdown_table(fresh, baseline_row.get("stage_breakdown"))
+    record(table)
+    return table
 
 
 def _write_verdict(verdict: dict) -> None:
@@ -114,17 +162,26 @@ def test_perf_no_decode_regression(record) -> None:
             f"{measured_pps:.2f} p/s vs baseline {base_pps:.2f} p/s)"
         )
 
-    assert measured_pps >= floor_pps, (
-        f"batched decode regressed: measured {measured_pps:.2f} "
-        f"pictures/s vs floor {floor_pps:.2f} pictures/s "
-        f"(baseline {base_pps:.2f} p/s x {floor:.2f} allowed; "
-        f"ratio {ratios['batched']:.2f}x) — see {VERDICT_PATH} and "
-        f"investigate before re-committing BENCH_decode.json"
-    )
+    if measured_pps < floor_pps:
+        # Don't just say "slower" — say *which stage*.  One traced
+        # decode pass, aggregated by span name, lands in the failure
+        # message, the -s output, and the persisted verdict.
+        table = _diagnose_regression("batched", base_row, record)
+        verdict["stage_breakdown"] = True
+        _write_verdict(verdict)
+        raise AssertionError(
+            f"batched decode regressed: measured {measured_pps:.2f} "
+            f"pictures/s vs floor {floor_pps:.2f} pictures/s "
+            f"(baseline {base_pps:.2f} p/s x {floor:.2f} allowed; "
+            f"ratio {ratios['batched']:.2f}x) — see {VERDICT_PATH} and "
+            f"investigate before re-committing BENCH_decode.json\n{table}"
+        )
     # The batched engine must also still beat scalar by a wide margin.
     scalar_pps = fresh["decode"]["scalar"]["pictures_per_sec"]
-    assert measured_pps > 2.0 * scalar_pps, (
-        f"batched engine no longer beats scalar 2x: batched "
-        f"{measured_pps:.2f} p/s vs scalar {scalar_pps:.2f} p/s "
-        f"(floor {2.0 * scalar_pps:.2f} p/s)"
-    )
+    if not measured_pps > 2.0 * scalar_pps:
+        table = _diagnose_regression("batched", base_row, record)
+        raise AssertionError(
+            f"batched engine no longer beats scalar 2x: batched "
+            f"{measured_pps:.2f} p/s vs scalar {scalar_pps:.2f} p/s "
+            f"(floor {2.0 * scalar_pps:.2f} p/s)\n{table}"
+        )

@@ -5,6 +5,7 @@ Commands
 ``encode``    synthesize a test clip and encode it to an .m2v file
 ``info``      scan a stream and print its structure (the scan process)
 ``decode``    decode a stream; optionally dump frames as PGM files
+``serve``     decode many streams concurrently on one shared worker pool
 ``simulate``  run a parallel decoder on the simulated multiprocessor
 """
 
@@ -156,6 +157,114 @@ def _cmd_decode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.analysis import TextTable, format_bytes
+    from repro.obs import (
+        disable_tracing,
+        enable_tracing,
+        format_stall_breakdown,
+        get_tracer,
+        metrics,
+        reset_metrics,
+    )
+    from repro.serve import DecodeService
+
+    if args.trace:
+        enable_tracing(process_name="serve (scheduler+display)")
+    reset_metrics()
+    svc = DecodeService(
+        workers=args.workers,
+        fps=args.fps,
+        capacity=args.capacity,
+        max_queue=args.max_queue,
+        max_inflight=args.max_inflight,
+        resilient=args.resilient,
+        task_timeout_s=args.task_timeout,
+        preroll_pictures=args.preroll,
+    )
+    for spec in args.streams:
+        weight = 1.0
+        path = spec
+        if "=" in spec and not os.path.exists(spec):
+            path, _, w = spec.rpartition("=")
+            weight = float(w)
+        name = os.path.splitext(os.path.basename(path))[0]
+        base, n = name, 2
+        while name in svc.sessions:
+            name = f"{base}#{n}"
+            n += 1
+        with open(path, "rb") as fh:
+            data = fh.read()
+        svc.submit(name, data, weight=weight)
+    report = svc.run()
+
+    table = TextTable(
+        ["session", "status", "pictures", "emitted", "dropped",
+         "b-shed", "gop-skip", "late", "max late ms"],
+        title=(
+            f"serve: {len(svc.sessions)} sessions, {svc.workers} workers, "
+            f"capacity {svc.capacity}"
+            + (f", {args.fps:g} fps deadlines" if args.fps else "")
+        ),
+    )
+    for sess in svc.sessions.values():
+        dl = sess.pacer.summary() if sess.pacer.enabled else None
+        table.add_row(
+            sess.name,
+            sess.status.value,
+            sess.picture_count,
+            sess.emitted_pictures,
+            sess.dropped_pictures,
+            sess.dropped_b_tasks,
+            sess.skipped_gops,
+            dl["late_pictures"] if dl else "-",
+            round(dl["max_lateness_s"] * 1e3, 1) if dl else "-",
+        )
+    print(table.render())
+    dl = report["deadline"]
+    print(
+        f"wall {report['wall_seconds']:.2f}s, "
+        f"frame pools {format_bytes(report['pool_bytes'])}, "
+        f"deadline misses {dl['missed']}/{dl['emitted']} "
+        f"({dl['miss_fraction'] * 100:.1f}%)"
+    )
+    for sess in svc.sessions.values():
+        if sess.error is not None:
+            print(
+                f"  {sess.name}: {sess.error['type']}: "
+                f"{sess.error['message']} (contained)"
+            )
+    if args.trace:
+        tracer = get_tracer()
+        doc = tracer.write_chrome(args.trace)
+        disable_tracing()
+        print(
+            f"wrote {len(doc['traceEvents'])} trace events to {args.trace} "
+            f"(open in https://ui.perfetto.dev or chrome://tracing)"
+        )
+    if args.stats:
+        print()
+        print(metrics().render_table())
+        if svc.last_stalls:
+            print()
+            print(
+                format_stall_breakdown(
+                    svc.stall_breakdown(),
+                    title="stall breakdown (% of process time, serve run)",
+                )
+            )
+    if args.report:
+        import json
+
+        with open(args.report, "w") as fh:
+            json.dump(report, fh, indent=2, default=str)
+        print(f"wrote service report to {args.report}")
+    failed = sum(
+        1 for s in svc.sessions.values() if s.status.value == "failed"
+    )
+    return 1 if failed == len(svc.sessions) and svc.sessions else 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.analysis import TextTable, format_bytes
     from repro.parallel import (
@@ -272,6 +381,44 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the metrics registry summary table "
                           "(histograms, gauges, stall breakdown)")
     dec.set_defaults(func=_cmd_decode)
+
+    srv = sub.add_parser(
+        "serve",
+        help="decode many streams concurrently on one worker pool",
+    )
+    srv.add_argument("--streams", nargs="+", required=True,
+                     metavar="PATH[=WEIGHT]",
+                     help="input .m2v files (repeat a path for identical "
+                          "sessions; append =W for a priority weight)")
+    srv.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="shared decode worker processes (default: CPU "
+                          "count; 0 = in-process, deterministic)")
+    srv.add_argument("--fps", type=float, default=None,
+                     help="per-session display deadline rate; enables "
+                          "deadline tracking and overload degradation")
+    srv.add_argument("--capacity", type=int, default=None,
+                     help="max concurrently active sessions (default: "
+                          "estimated from BENCH_parallel.json throughput)")
+    srv.add_argument("--max-queue", type=int, default=0,
+                     help="admission queue depth beyond the capacity")
+    srv.add_argument("--max-inflight", type=int, default=2,
+                     help="per-session in-flight task bound (backpressure)")
+    srv.add_argument("--preroll", type=int, default=0,
+                     help="deadline preroll buffer in pictures")
+    srv.add_argument("--task-timeout", type=float, default=60.0,
+                     help="per-task wall-clock budget before the worker "
+                          "is presumed wedged and the task retried")
+    srv.add_argument("--resilient", action="store_true",
+                     help="conceal corrupt slices instead of failing the "
+                          "session")
+    srv.add_argument("--trace", metavar="OUT.json",
+                     help="record a Chrome trace-event timeline across "
+                          "the scheduler and every worker")
+    srv.add_argument("--stats", action="store_true",
+                     help="print the metrics registry + stall breakdown")
+    srv.add_argument("--report", metavar="OUT.json",
+                     help="write the full JSON service report")
+    srv.set_defaults(func=_cmd_serve)
 
     simp = sub.add_parser("simulate", help="simulated parallel decode")
     simp.add_argument("input")

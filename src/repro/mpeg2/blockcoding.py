@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bitstream import BitReader, BitWriter
+from repro.bitstream.reader import BitstreamError
 from repro.mpeg2.constants import LEVEL_MAX, LEVEL_MIN
 from repro.mpeg2.counters import WorkCounters
 from repro.mpeg2.tables import (
@@ -27,6 +28,7 @@ from repro.mpeg2.tables import (
     MAX_DC_SIZE,
     VLCTable,
 )
+from repro.mpeg2.vlc import VLCError
 
 
 class BlockSyntaxError(Exception):

@@ -28,6 +28,14 @@ Canonical reasons
                           picture's slices may start
 :data:`REASON_LOCK`       contended mutex acquire
 :data:`REASON_CONDITION`  generic condition wait (unclassified)
+:data:`REASON_DEGRADE_DROP_B`   overload degradation dropped pending
+                          B-picture tasks (duration = the deadline
+                          debt that triggered the drop)
+:data:`REASON_DEGRADE_SKIP_GOP` overload degradation skipped whole
+                          pending GOPs (duration = the deadline debt
+                          that triggered the skip)
+:data:`REASON_ADMISSION`  a session sat in the admission queue before
+                          a slot opened (multi-stream serve layer)
 ========================= ============================================
 
 Durations are unit-agnostic (the table never mixes sources): the
@@ -48,6 +56,9 @@ REASON_BARRIER = "barrier"
 REASON_REF_PUBLISH = "ref.publish"
 REASON_LOCK = "lock"
 REASON_CONDITION = "condition"
+REASON_DEGRADE_DROP_B = "degrade.drop_b"
+REASON_DEGRADE_SKIP_GOP = "degrade.skip_gop"
+REASON_ADMISSION = "degrade.admission_wait"
 
 #: Every reason either decoder may report (the shared vocabulary).
 CANONICAL_REASONS = (
@@ -59,6 +70,9 @@ CANONICAL_REASONS = (
     REASON_REF_PUBLISH,
     REASON_LOCK,
     REASON_CONDITION,
+    REASON_DEGRADE_DROP_B,
+    REASON_DEGRADE_SKIP_GOP,
+    REASON_ADMISSION,
 )
 
 

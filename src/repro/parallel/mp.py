@@ -133,7 +133,78 @@ class FrameLayout:
         return y, cb, cr
 
 
-class SharedFramePool:
+class FramePoolBase:
+    """Slot-addressed decoded-frame storage over an arbitrary buffer.
+
+    Concrete pools supply ``_pool_buf`` (a writable buffer of at least
+    ``layout.slot_bytes * slots`` bytes).  :class:`SharedFramePool`
+    backs it with POSIX shared memory (the real-silicon path);
+    :class:`LocalFramePool` with a plain ``numpy`` array (the
+    ``workers=0`` in-process path and the serve layer's fallback).
+    """
+
+    layout: FrameLayout
+    slots: int
+
+    @property
+    def _pool_buf(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def nbytes(self) -> int:
+        """Allocated pool size (the Fig. 8 quantity, measured for real)."""
+        return self.layout.slot_bytes * self.slots
+
+    def write_frame(self, slot: int, frame: Frame) -> None:
+        """Copy ``frame``'s planes into ``slot`` (worker side)."""
+        y, cb, cr = self.layout.slot_views(self._pool_buf, slot)
+        y[:, :] = frame.y
+        cb[:, :] = frame.cb
+        cr[:, :] = frame.cr
+        del y, cb, cr  # release exported buffers before any close()
+
+    def read_frame(self, slot: int, temporal_reference: int) -> Frame:
+        """Rebuild the :class:`Frame` stored in ``slot`` (display side)."""
+        y, cb, cr = self.layout.slot_views(self._pool_buf, slot)
+        frame = Frame(
+            y=y.copy(),
+            cb=cb.copy(),
+            cr=cr.copy(),
+            display_width=self.layout.display_width,
+            display_height=self.layout.display_height,
+            temporal_reference=temporal_reference,
+        )
+        del y, cb, cr
+        return frame
+
+    def view_frame(self, slot: int, temporal_reference: int = 0) -> Frame:
+        """A zero-copy :class:`Frame` whose planes alias slot ``slot``.
+
+        This is how the slice-level workers read reference pictures
+        and write their own rows **in place**: no pixel ever crosses a
+        process boundary.  The caller must drop every reference to the
+        returned frame (and any views derived from it) before
+        :meth:`close`, or the exported-buffer check in
+        ``SharedMemory.close`` will raise.
+        """
+        y, cb, cr = self.layout.slot_views(self._pool_buf, slot)
+        return Frame(
+            y=y,
+            cb=cb,
+            cr=cr,
+            display_width=self.layout.display_width,
+            display_height=self.layout.display_height,
+            temporal_reference=temporal_reference,
+        )
+
+    def close(self) -> None:  # pragma: no cover - overridden
+        pass
+
+    def unlink(self) -> None:  # pragma: no cover - overridden
+        pass
+
+
+class SharedFramePool(FramePoolBase):
     """A block of ``slots`` decoded-frame slots in POSIX shared memory.
 
     Workers write planes in place (:meth:`write_frame`); the display
@@ -161,55 +232,12 @@ class SharedFramePool:
             self._owner = False
 
     @property
-    def name(self) -> str:
-        return self._shm.name
+    def _pool_buf(self):
+        return self._shm.buf
 
     @property
-    def nbytes(self) -> int:
-        """Allocated pool size (the Fig. 8 quantity, measured for real)."""
-        return self.layout.slot_bytes * self.slots
-
-    def write_frame(self, slot: int, frame: Frame) -> None:
-        """Copy ``frame``'s planes into ``slot`` (worker side)."""
-        y, cb, cr = self.layout.slot_views(self._shm.buf, slot)
-        y[:, :] = frame.y
-        cb[:, :] = frame.cb
-        cr[:, :] = frame.cr
-        del y, cb, cr  # release exported buffers before any close()
-
-    def read_frame(self, slot: int, temporal_reference: int) -> Frame:
-        """Rebuild the :class:`Frame` stored in ``slot`` (display side)."""
-        y, cb, cr = self.layout.slot_views(self._shm.buf, slot)
-        frame = Frame(
-            y=y.copy(),
-            cb=cb.copy(),
-            cr=cr.copy(),
-            display_width=self.layout.display_width,
-            display_height=self.layout.display_height,
-            temporal_reference=temporal_reference,
-        )
-        del y, cb, cr
-        return frame
-
-    def view_frame(self, slot: int, temporal_reference: int = 0) -> Frame:
-        """A zero-copy :class:`Frame` whose planes alias slot ``slot``.
-
-        This is how the slice-level workers read reference pictures
-        and write their own rows **in place**: no pixel ever crosses a
-        process boundary.  The caller must drop every reference to the
-        returned frame (and any views derived from it) before
-        :meth:`close`, or the exported-buffer check in
-        ``SharedMemory.close`` will raise.
-        """
-        y, cb, cr = self.layout.slot_views(self._shm.buf, slot)
-        return Frame(
-            y=y,
-            cb=cb,
-            cr=cr,
-            display_width=self.layout.display_width,
-            display_height=self.layout.display_height,
-            temporal_reference=temporal_reference,
-        )
+    def name(self) -> str:
+        return self._shm.name
 
     def close(self) -> None:
         self._shm.close()
@@ -217,6 +245,29 @@ class SharedFramePool:
     def unlink(self) -> None:
         if self._owner:
             self._shm.unlink()
+
+
+class LocalFramePool(FramePoolBase):
+    """The same slot discipline on a process-local ``numpy`` buffer.
+
+    Used by the in-process (``workers=0``) paths — deterministic on
+    constrained CI, never touches ``/dev/shm``, nothing to unlink.
+    """
+
+    def __init__(self, layout: FrameLayout, slots: int) -> None:
+        self.layout = layout
+        self.slots = slots
+        self._arr = np.zeros(max(layout.slot_bytes * slots, 1), dtype=np.uint8)
+
+    @property
+    def _pool_buf(self):
+        return self._arr.data
+
+    def close(self) -> None:
+        pass
+
+    def unlink(self) -> None:
+        pass
 
 
 # ----------------------------------------------------------------------

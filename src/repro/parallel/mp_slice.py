@@ -430,6 +430,83 @@ class DisplayMerger:
 
 
 # ======================================================================
+# picture-level decode (shared with the multi-stream serve layer)
+# ======================================================================
+def decode_picture_into_pool(
+    data: bytes,
+    plan: PicturePlan,
+    seq: SequenceHeader,
+    mb_width: int,
+    mb_height: int,
+    pool,
+    resilient: bool,
+    counters: WorkCounters | None = None,
+) -> int:
+    """Decode one picture of ``data`` in place on a frame pool.
+
+    The picture-granularity composition of the slice machinery: parse
+    **every** slice of ``plan`` (duplicates included, so work counters
+    match the sequential oracle exactly), reconstruct the
+    statically-final slice of each row into ``pool`` slot
+    ``plan.order`` (references read through zero-copy views — the
+    availability rule must already hold), then conceal rows whose
+    final slice was corrupt.  ``pool`` is any
+    :class:`repro.parallel.mp.FramePoolBase` (shared memory in serve
+    workers, process-local in the ``workers=0`` path).
+
+    Returns the number of concealed slices (0 unless ``resilient``);
+    raises the slice-corruption error when ``resilient`` is off —
+    exactly the sequential decoder's contract.
+    """
+    parses = []
+    corrupt_rows: list[int] = []
+    concealed = 0
+    for sl in plan.slices:
+        payload = unescape_payload(data[sl.payload_start : sl.payload_end])
+        try:
+            with trace_span(
+                "mp.slice.parse", cat="mp",
+                order=plan.order, row=sl.vertical_position,
+            ):
+                sp = parse_slice(
+                    payload,
+                    sl.vertical_position,
+                    plan.header,
+                    mb_width,
+                    mb_height,
+                    plan.fwd is not None,
+                )
+        except SLICE_CORRUPTION_ERRORS:
+            if not resilient:
+                raise
+            concealed += 1
+            if sl.reconstruct:
+                corrupt_rows.append(sl.vertical_position - 1)
+            continue
+        if counters is not None:
+            counters.add(sp.counters)
+        if sl.reconstruct:
+            parses.append(sp)
+    out = pool.view_frame(plan.order, plan.header.temporal_reference)
+    fwd = pool.view_frame(plan.fwd) if plan.fwd is not None else None
+    bwd = pool.view_frame(plan.bwd) if plan.bwd is not None else None
+    try:
+        if parses:
+            with trace_span(
+                "mp.picture.reconstruct", cat="mp",
+                order=plan.order, slices=len(parses),
+            ):
+                reconstruct_slices(parses, seq, plan.header, out, fwd, bwd)
+        for row in corrupt_rows:
+            conceal_row(out, fwd, row)
+    finally:
+        del out, fwd, bwd
+    if counters is not None:
+        counters.concealed_slices += concealed
+    return concealed
+
+
+# ======================================================================
 # worker side
 # ======================================================================
 def _slice_worker_main(
@@ -734,9 +811,14 @@ class MPSliceDecoder:
                 for row in corrupt_final.pop(order, []):
                     conceal_row(frame_of(order), fwd, row)
                 for done in merger.push(plan.display_index, order):
-                    yield frames.pop(done) if not self.plans[
-                        done
-                    ].is_reference else frame_of(done)
+                    # frame_of(): a zero-slice picture (possible in a
+                    # truncated-but-indexable stream) auto-settles
+                    # complete without any slice ever materialising
+                    # its frame — emit it blank, like the scalar path.
+                    f = frame_of(done)
+                    if not self.plans[done].is_reference:
+                        frames.pop(done)
+                    yield f
 
         try:
             yield from sweep()

@@ -14,6 +14,7 @@ the paced drain — the flip side of the Fig. 8/9 analysis.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.smp.machine import MachineConfig
@@ -82,4 +83,105 @@ class DisplayPacer:
             "late_pictures": self.late_pictures,
             "max_lateness_s": self.machine.seconds(self.max_lateness),
             "startup_s": self.machine.seconds(self.startup_cycles),
+        }
+
+
+@dataclass
+class WallClockPacer:
+    """The :class:`DisplayPacer` deadline schedule on *wall-clock* time.
+
+    The simulator's pacer counts virtual machine cycles; the serve
+    layer (:mod:`repro.serve`) needs the same bookkeeping against real
+    seconds: picture ``k`` of a session should be displayable no later
+    than ``t0 + k / rate_hz`` where ``t0`` anchors at the first emitted
+    picture (a player's join time).  Every emission records its
+    *lateness* (seconds past the deadline, clamped at 0 when on time),
+    which is the raw material for the deadline-miss CDF that
+    ``benchmarks/perf_serve.py`` charts and for the overload-degradation
+    triggers (:mod:`repro.serve.degrade`).
+
+    With ``rate_hz=None`` the pacer is inert (decode-rate display).
+    """
+
+    rate_hz: float | None = None
+    #: Deadlines start this many periods after the first picture (a
+    #: player's preroll buffer).
+    preroll_pictures: int = 0
+    t0: float | None = field(default=None, init=False)
+    #: Lateness in seconds per emitted picture (0.0 = met deadline).
+    lateness: list[float] = field(default_factory=list, init=False)
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate_hz is not None
+
+    @property
+    def period(self) -> float:
+        if self.rate_hz is None:
+            raise ValueError("pacer has no display rate")
+        return 1.0 / self.rate_hz
+
+    def deadline(self, index: int) -> float:
+        assert self.t0 is not None, "deadline before first picture"
+        return self.t0 + (index + self.preroll_pictures) * self.period
+
+    def on_emit(self, index: int, now: float | None = None) -> float:
+        """Record picture ``index`` becoming displayable at ``now``.
+
+        Returns the lateness in seconds (0.0 when the deadline was met
+        or pacing is off).  The first emission anchors ``t0``.
+        """
+        if not self.enabled:
+            return 0.0
+        if now is None:
+            now = time.monotonic()
+        if self.t0 is None:
+            self.t0 = now
+            self.lateness.append(0.0)
+            return 0.0
+        late = max(0.0, now - self.deadline(index))
+        self.lateness.append(late)
+        return late
+
+    # ------------------------------------------------------------------
+    @property
+    def emitted(self) -> int:
+        return len(self.lateness)
+
+    @property
+    def late_pictures(self) -> int:
+        return sum(1 for s in self.lateness if s > 0.0)
+
+    @property
+    def max_lateness_s(self) -> float:
+        return max(self.lateness, default=0.0)
+
+    @property
+    def total_lateness_s(self) -> float:
+        return sum(self.lateness)
+
+    def miss_cdf(self, points: int = 20) -> list[dict[str, float]]:
+        """Deadline-miss CDF: ``P(lateness <= x)`` at ``points`` knots.
+
+        Knots are spread over ``[0, max_lateness]``; the first knot
+        (x=0) is the fraction of pictures that met their deadline.
+        """
+        n = len(self.lateness)
+        if n == 0:
+            return []
+        ordered = sorted(self.lateness)
+        hi = ordered[-1]
+        knots = [hi * i / max(1, points - 1) for i in range(points)] if hi > 0 else [0.0]
+        out = []
+        for x in knots:
+            frac = sum(1 for s in ordered if s <= x + 1e-12) / n
+            out.append({"lateness_s": x, "fraction": frac})
+        return out
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "emitted": self.emitted,
+            "late_pictures": self.late_pictures,
+            "max_lateness_s": self.max_lateness_s,
+            "total_lateness_s": self.total_lateness_s,
         }

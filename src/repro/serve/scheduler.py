@@ -1,0 +1,361 @@
+"""Weighted-fair task scheduling + admission control (pure logic).
+
+The serve layer's brain, kept free of processes and clocks so the
+hypothesis suite (``tests/serve/test_scheduler_properties.py``) can
+drive it through millions of orderings:
+
+* **Tasks** are :class:`ServeTask` records — a GOP's reference
+  pictures (``kind="ref"``) or one B picture (``kind="b"``), with
+  explicit dependency keys.  A task is *dispatchable* only when every
+  dependency has been published, which is what makes "drop B first"
+  legal: nothing ever depends on a ``"b"`` task.
+* **Weighted fairness** is start-time fair queueing: each session
+  carries a virtual time ``served / weight``; :meth:`Scheduler.
+  next_task` serves the dispatchable session with the smallest virtual
+  time.  A session's virtual time only advances when it *was* the
+  minimum, which bounds the spread between any two backlogged sessions
+  by ``max(task.work / weight)`` — the share bound the property suite
+  pins.
+* **Admission control**: at most ``capacity`` sessions are active at
+  once; beyond that, up to ``max_queue`` sessions wait in FIFO order
+  and the rest are rejected outright.  Admission is monotone in
+  capacity (also property-tested): raising the capacity never turns an
+  admit into a reject.
+* **Backpressure**: at most ``max_inflight`` of a session's tasks may
+  be in flight at once, so one fast stream cannot flood the worker
+  pool's queues while others starve.
+
+Capacity itself comes from measured throughput:
+:func:`estimate_capacity` derives "how many real-time sessions can
+this box sustain" from the committed ``BENCH_parallel.json`` headline
+numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from enum import Enum
+
+#: Safety factor applied to measured throughput when estimating
+#: capacity: scheduling overhead, pool contention and pacing jitter
+#: eat into the benchmarked single-stream number.
+CAPACITY_SAFETY = 0.7
+
+_REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+)
+DEFAULT_BENCH_PATH = os.path.join(_REPO_ROOT, "BENCH_parallel.json")
+
+
+def estimate_capacity(
+    workers: int,
+    fps: float | None,
+    bench_path: str | None = None,
+) -> int:
+    """Sessions this box should sustain at ``fps``, from the benchmark.
+
+    Reads the committed ``BENCH_parallel.json`` headline stream's
+    sequential pictures/second, scales by worker count and
+    :data:`CAPACITY_SAFETY`, and divides by the per-session deadline
+    rate.  Falls back to ``max(1, workers)`` when the benchmark file
+    is missing/unreadable or pacing is off — an unpaced service is
+    bounded by worker slots, not deadlines.
+    """
+    slots = max(1, workers)
+    if not fps or fps <= 0:
+        return slots
+    path = bench_path or DEFAULT_BENCH_PATH
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+        headline = doc["streams"][doc["headline"]]
+        pps = float(headline["sequential_pictures_per_sec"])
+    except (OSError, KeyError, ValueError, TypeError):
+        return slots
+    if pps <= 0:
+        return slots
+    return max(1, int(slots * pps * CAPACITY_SAFETY / fps))
+
+
+@dataclass(frozen=True)
+class ServeTask:
+    """One schedulable unit: a GOP's reference pictures or one B picture.
+
+    ``orders`` are the coding-order picture numbers the task decodes
+    (equal to the session frame pool's slots); ``deps`` are the task
+    keys that must be *published* before this task may be dispatched.
+    Reference tasks have no dependencies (closed GOPs are
+    self-contained); a B task depends on its GOP's reference task.
+    Nothing ever depends on a B task — which is exactly why dropping
+    one under overload is safe.
+    """
+
+    session: str
+    key: tuple
+    kind: str  # "ref" | "b"
+    gop: int
+    orders: tuple[int, ...]
+    deps: tuple[tuple, ...] = ()
+
+    @property
+    def work(self) -> int:
+        """WFQ work units: pictures decoded by this task."""
+        return max(1, len(self.orders))
+
+    @property
+    def is_droppable(self) -> bool:
+        return self.kind == "b"
+
+
+class Admission(str, Enum):
+    ADMITTED = "admitted"
+    QUEUED = "queued"
+    REJECTED = "rejected"
+
+
+class _SessionLane:
+    """Scheduler-internal per-session lane."""
+
+    __slots__ = (
+        "sid", "weight", "pending", "inflight", "published",
+        "served", "finished",
+    )
+
+    def __init__(self, sid: str, tasks: list[ServeTask], weight: float):
+        self.sid = sid
+        self.weight = weight
+        self.pending: list[ServeTask] = list(tasks)
+        self.inflight: dict[tuple, ServeTask] = {}
+        self.published: set[tuple] = set()
+        self.served = 0.0
+        self.finished = False
+
+    @property
+    def vtime(self) -> float:
+        return self.served / self.weight
+
+    def started_gops(self) -> set[int]:
+        """GOPs with any dispatched or published work (un-skippable)."""
+        out = {t.gop for t in self.inflight.values()}
+        out.update(key[1] for key in self.published)
+        return out
+
+
+class Scheduler:
+    """Weighted-fair picker over admitted sessions (pure logic).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum concurrently *active* sessions (see
+        :func:`estimate_capacity`).
+    max_queue:
+        Sessions allowed to wait for a slot beyond the capacity; the
+        rest are rejected at :meth:`submit`.
+    max_inflight:
+        Per-session bound on dispatched-but-incomplete tasks
+        (backpressure).
+    """
+
+    def __init__(
+        self, capacity: int, max_queue: int = 0, max_inflight: int = 2
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.capacity = capacity
+        self.max_queue = max_queue
+        self.max_inflight = max_inflight
+        self._lanes: dict[str, _SessionLane] = {}
+        self._active: list[str] = []
+        self._waiting: list[str] = []
+
+    # -- admission -----------------------------------------------------
+    def submit(
+        self, sid: str, tasks: list[ServeTask], weight: float = 1.0
+    ) -> Admission:
+        """Offer a session; admit, queue, or reject it."""
+        if sid in self._lanes:
+            raise ValueError(f"session {sid!r} already submitted")
+        if weight <= 0:
+            raise ValueError(f"weight must be > 0, got {weight}")
+        seen: set[tuple] = set()
+        for t in tasks:
+            if t.session != sid:
+                raise ValueError(f"task {t.key} belongs to {t.session!r}")
+            for dep in t.deps:
+                if dep not in seen:
+                    raise ValueError(
+                        f"task {t.key} depends on {dep} which is not an "
+                        "earlier task (dependencies must point backwards)"
+                    )
+            seen.add(t.key)
+        if len(self._active) < self.capacity:
+            self._lanes[sid] = _SessionLane(sid, tasks, weight)
+            self._active.append(sid)
+            return Admission.ADMITTED
+        if len(self._waiting) < self.max_queue:
+            self._lanes[sid] = _SessionLane(sid, tasks, weight)
+            self._waiting.append(sid)
+            return Admission.QUEUED
+        return Admission.REJECTED
+
+    @property
+    def active_sessions(self) -> list[str]:
+        return list(self._active)
+
+    @property
+    def waiting_sessions(self) -> list[str]:
+        return list(self._waiting)
+
+    def is_active(self, sid: str) -> bool:
+        return sid in self._active
+
+    # -- dispatch ------------------------------------------------------
+    def _dispatchable(self, lane: _SessionLane) -> ServeTask | None:
+        if lane.finished or len(lane.inflight) >= self.max_inflight:
+            return None
+        for t in lane.pending:
+            if all(d in lane.published for d in t.deps):
+                return t
+        return None
+
+    def next_task(self) -> ServeTask | None:
+        """Dispatch the next task: min virtual time wins, FIFO on ties.
+
+        Never returns a task whose dependencies are unpublished, never
+        exceeds ``max_inflight`` per session, and never serves a
+        queued (not yet active) session.
+        """
+        best: tuple[float, int] | None = None
+        best_task: ServeTask | None = None
+        best_lane: _SessionLane | None = None
+        for rank, sid in enumerate(self._active):
+            lane = self._lanes[sid]
+            task = self._dispatchable(lane)
+            if task is None:
+                continue
+            score = (lane.vtime, rank)
+            if best is None or score < best:
+                best, best_task, best_lane = score, task, lane
+        if best_task is None or best_lane is None:
+            return None
+        best_lane.pending.remove(best_task)
+        best_lane.inflight[best_task.key] = best_task
+        best_lane.served += best_task.work
+        return best_task
+
+    def requeue(self, task: ServeTask) -> None:
+        """Return a dispatched task to the head of its session's lane.
+
+        Used for dead-worker / timeout retry; the service tracks which
+        workers are excluded for the retried task.  The work charge is
+        refunded so a retry does not count against the session's fair
+        share twice.
+        """
+        lane = self._lanes[task.session]
+        if task.key not in lane.inflight:
+            raise ValueError(f"task {task.key} is not in flight")
+        del lane.inflight[task.key]
+        lane.served = max(0.0, lane.served - task.work)
+        lane.pending.insert(0, task)
+
+    def complete(self, task: ServeTask) -> None:
+        """Mark a dispatched task finished and publish its key."""
+        lane = self._lanes[task.session]
+        if task.key not in lane.inflight:
+            raise ValueError(f"task {task.key} is not in flight")
+        del lane.inflight[task.key]
+        lane.published.add(task.key)
+
+    def session_idle(self, sid: str) -> bool:
+        """True when the session has no pending and no in-flight tasks."""
+        lane = self._lanes[sid]
+        return not lane.pending and not lane.inflight
+
+    def finish_session(self, sid: str) -> list[str]:
+        """Retire a session (done or failed); activate queued sessions.
+
+        Returns the sessions promoted from the admission queue into
+        the freed capacity slots.
+        """
+        lane = self._lanes.get(sid)
+        if lane is None:
+            return []
+        lane.finished = True
+        lane.pending.clear()
+        lane.inflight.clear()
+        promoted: list[str] = []
+        if sid in self._active:
+            self._active.remove(sid)
+            while self._waiting and len(self._active) < self.capacity:
+                nxt = self._waiting.pop(0)
+                self._active.append(nxt)
+                promoted.append(nxt)
+        elif sid in self._waiting:
+            self._waiting.remove(sid)
+        return promoted
+
+    # -- degradation hooks ---------------------------------------------
+    def drop_b_tasks(self, sid: str, gops: int | None = None) -> list[ServeTask]:
+        """Drop pending B tasks of ``sid`` (never reference tasks).
+
+        ``gops`` limits the shedding to the earliest N distinct GOPs
+        that still have pending B tasks (``None`` sheds them all).
+        In-flight tasks are never revoked — their work is already paid
+        for.  Returns the dropped tasks so the caller can account for
+        the skipped pictures.
+        """
+        lane = self._lanes[sid]
+        droppable = [t for t in lane.pending if t.is_droppable]
+        if gops is not None:
+            chosen: list[int] = []
+            for t in droppable:
+                if t.gop not in chosen:
+                    if len(chosen) >= gops:
+                        continue
+                    chosen.append(t.gop)
+            droppable = [t for t in droppable if t.gop in chosen]
+        for t in droppable:
+            lane.pending.remove(t)
+        return droppable
+
+    def skip_next_gop(self, sid: str) -> list[ServeTask]:
+        """Drop every pending task of the earliest *unstarted* GOP.
+
+        A GOP is skippable only while none of its tasks has been
+        dispatched or published — skipping mid-GOP would strand
+        already-decoded reference pictures.  Returns the dropped tasks
+        (possibly empty when every pending GOP has started).
+        """
+        lane = self._lanes[sid]
+        started = lane.started_gops()
+        candidate: int | None = None
+        for t in lane.pending:
+            if t.gop not in started:
+                candidate = t.gop
+                break
+        if candidate is None:
+            return []
+        dropped = [t for t in lane.pending if t.gop == candidate]
+        for t in dropped:
+            lane.pending.remove(t)
+        return dropped
+
+    # -- diagnostics ---------------------------------------------------
+    def served_work(self, sid: str) -> float:
+        return self._lanes[sid].served
+
+    def vtime(self, sid: str) -> float:
+        return self._lanes[sid].vtime
+
+    def pending_count(self, sid: str) -> int:
+        return len(self._lanes[sid].pending)
+
+    def inflight_count(self, sid: str) -> int:
+        return len(self._lanes[sid].inflight)

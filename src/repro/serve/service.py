@@ -1,0 +1,840 @@
+"""The multi-stream decode service: N sessions, one worker pool.
+
+:class:`DecodeService` multiplexes every submitted
+:class:`~repro.serve.session.StreamSession` onto one shared pool of
+persistent decode worker processes (the paper's scan/workers/display
+triangle, lifted one level: *many* scans, one worker pool, many
+display reorder buffers).
+
+Execution model
+---------------
+* Each worker process owns a private task queue; the parent assigns
+  exactly one task at a time per worker, so it always knows which
+  worker holds which task — the basis for dead-worker retry and
+  per-task timeouts.
+* Tasks come from the weighted-fair
+  :class:`~repro.serve.scheduler.Scheduler`; a task is a GOP's
+  reference pictures or a single B picture
+  (:class:`~repro.serve.scheduler.ServeTask`), decoded straight into
+  the session's shared-memory frame pool via
+  :func:`repro.parallel.mp_slice.decode_picture_into_pool`.
+* Robustness: result waits are chunked into
+  :data:`~repro.parallel.mp.LIVENESS_POLL_S` polls (the PR-4 liveness
+  machinery).  A worker that dies (or exceeds ``task_timeout_s``) has
+  its task requeued with the dead worker recorded in the task's
+  ``excluded`` set and a replacement worker spawned; a task that
+  exhausts ``max_task_retries`` fails *its session only*.  A stream
+  whose bytes are poison (scan failure, slice corruption in strict
+  mode, any worker-side exception) likewise fails only its own
+  session — the service never crashes and never leaks ``/dev/shm``
+  segments.
+* Overload degradation: when a paced session misses deadlines, its
+  :class:`~repro.serve.degrade.DegradeState` sheds pending B-picture
+  tasks first, then whole unstarted GOPs, recorded under the
+  ``degrade.*`` stall reasons and counters.
+
+``workers=0`` runs the identical scheduler/merge/degrade pipeline
+in-process on :class:`~repro.parallel.mp.LocalFramePool` buffers (no
+processes, no shared memory) — the deterministic CI path the fuzz
+suite leans on.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import tempfile
+import time
+from typing import Callable
+
+from repro.mpeg2.counters import WorkCounters
+from repro.mpeg2.decoder import DecodeError
+from repro.mpeg2.frame import Frame
+from repro.obs.metrics import metrics
+from repro.obs.stalls import (
+    REASON_ADMISSION,
+    REASON_DEGRADE_DROP_B,
+    REASON_DEGRADE_SKIP_GOP,
+    REASON_QUEUE_GET,
+    StallTable,
+)
+from repro.obs.trace import (
+    enable_tracing,
+    get_tracer,
+    trace_complete,
+    trace_span,
+    tracing_enabled,
+)
+from repro.parallel.mp import (
+    LIVENESS_POLL_S,
+    LocalFramePool,
+    SharedFramePool,
+    collect_trace_shards,
+)
+from repro.parallel.mp_slice import decode_picture_into_pool
+from repro.serve.degrade import ACTION_DROP_B, ACTION_SKIP_GOP, DegradePolicy
+from repro.serve.scheduler import (
+    Admission,
+    Scheduler,
+    ServeTask,
+    estimate_capacity,
+)
+from repro.serve.session import SessionStatus, StreamSession
+
+#: Exit code the fault-injection hook uses (mirrors the mp decoders).
+_CRASH_EXIT = 23
+
+#: How long the shutdown path waits for each worker's final
+#: observability message before giving up and terminating it.
+_SHUTDOWN_GRACE_S = 5.0
+
+
+def _exc_payload(exc: BaseException) -> tuple[str, str]:
+    return type(exc).__name__, str(exc)
+
+
+# ======================================================================
+# worker side
+# ======================================================================
+def _serve_worker_main(
+    wid: int,
+    meta: dict,
+    task_q,
+    result_q,
+    trace_dir: str | None,
+    crash_task: tuple | None,
+    hang_task: tuple | None,
+) -> None:
+    """Worker body: loop ``(session, task)`` assignments until sentinel.
+
+    ``meta`` maps session id -> the immutable decode context (coded
+    bytes, picture plans, sequence header, frame-pool name).  Results
+    are tiny ``(kind, wid, sid, key, payload...)`` tuples — pixels
+    never cross the process boundary; they land in the session's
+    shared pool.
+    """
+    name = f"serve-worker-{wid}"
+    pid = os.getpid()
+    shard = (
+        os.path.join(trace_dir, f"shard-{pid}.jsonl")
+        if trace_dir is not None
+        else None
+    )
+    if trace_dir is not None:
+        enable_tracing(process_name=name)
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.instant("serve.worker.start", cat="serve")
+            tracer.write_shard(shard)
+    pools = {
+        sid: SharedFramePool(m["layout"], slots=0, name=m["pool_name"])
+        for sid, m in meta.items()
+    }
+    stalls = StallTable()
+    last_end = time.monotonic_ns()
+    try:
+        while True:
+            msg = task_q.get()
+            if msg is None:
+                break
+            sid, key, orders = msg
+            now = time.monotonic_ns()
+            if now > last_end:
+                stalls.record(name, REASON_QUEUE_GET, (now - last_end) / 1e9)
+            if crash_task is not None and crash_task == (wid, sid, key):
+                # Fault injection (tests only): die the way an OOM kill
+                # would — no result, no cleanup, nonzero exit code.
+                # Keyed on (wid, sid, key) so the replacement worker that
+                # retries the task does NOT crash again.
+                os._exit(_CRASH_EXIT)
+            if hang_task is not None and hang_task == (wid, sid, key):
+                # Fault injection (tests only): wedge forever — the
+                # per-task timeout must reap us.
+                while True:  # pragma: no cover - killed by the parent
+                    time.sleep(60.0)
+            m = meta[sid]
+            counters = WorkCounters()
+            try:
+                with trace_span(
+                    "serve.task", cat="serve",
+                    session=sid, key=str(key), pictures=len(orders),
+                ):
+                    for order in orders:
+                        decode_picture_into_pool(
+                            m["data"],
+                            m["plans"][order],
+                            m["seq"],
+                            m["mb_width"],
+                            m["mb_height"],
+                            pools[sid],
+                            m["resilient"],
+                            counters,
+                        )
+                result_q.put(("ok", wid, sid, key, counters))
+            except BaseException as exc:  # containment: report, carry on
+                cls, msg_text = _exc_payload(exc)
+                result_q.put(("err", wid, sid, key, cls, msg_text))
+            tracer = get_tracer()
+            if tracer is not None and shard is not None:
+                tracer.write_shard(shard)
+            last_end = time.monotonic_ns()
+        result_q.put(("obs", wid, None, stalls.snapshot()))
+        tracer = get_tracer()
+        if tracer is not None and shard is not None:
+            tracer.instant("serve.worker.stop", cat="serve")
+            tracer.write_shard(shard)
+    finally:
+        for pool in pools.values():
+            try:
+                pool.close()
+            except BufferError:  # pragma: no cover - defensive
+                pass
+
+
+# ======================================================================
+# the service
+# ======================================================================
+class DecodeService:
+    """Admission-controlled multi-stream decoder on a shared pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes shared by every session (``0`` = in-process,
+        deterministic; ``None`` = CPU count).
+    fps:
+        Per-session display deadline rate (``None`` disables pacing
+        and, with it, overload degradation).
+    capacity:
+        Max concurrently active sessions; default derives from the
+        committed ``BENCH_parallel.json`` via
+        :func:`~repro.serve.scheduler.estimate_capacity`.
+    max_queue:
+        Admission queue depth beyond the capacity (0 = reject
+        immediately).
+    max_inflight:
+        Per-session in-flight task bound (backpressure).
+    task_timeout_s:
+        Wall-clock budget per task; a worker exceeding it is presumed
+        wedged, killed, and the task retried elsewhere.
+    max_task_retries:
+        How many *distinct* workers may die/time out on one task
+        before its session is failed.
+    policy:
+        Degradation thresholds (:class:`~repro.serve.degrade.
+        DegradePolicy`).
+    clock:
+        Monotonic-seconds source (injectable for deterministic
+        degradation tests).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        fps: float | None = None,
+        capacity: int | None = None,
+        max_queue: int = 0,
+        max_inflight: int = 2,
+        resilient: bool = False,
+        start_method: str | None = None,
+        task_timeout_s: float = 60.0,
+        max_task_retries: int = 1,
+        policy: DegradePolicy | None = None,
+        preroll_pictures: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+        bench_path: str | None = None,
+        _crash_task: tuple | None = None,  # (wid, sid, key) test hook
+        _hang_task: tuple | None = None,   # (wid, sid, key) test hook
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be > 0")
+        if max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
+        self.workers = workers
+        self.fps = fps
+        self.capacity = (
+            capacity
+            if capacity is not None
+            else estimate_capacity(workers, fps, bench_path)
+        )
+        self.max_queue = max_queue
+        self.max_inflight = max_inflight
+        self.resilient = resilient
+        self.start_method = start_method
+        self.task_timeout_s = task_timeout_s
+        self.max_task_retries = max_task_retries
+        self.policy = policy or DegradePolicy()
+        self.preroll_pictures = preroll_pictures
+        self.clock = clock
+        self._crash_task = _crash_task
+        self._hang_task = _hang_task
+
+        self.scheduler = Scheduler(
+            capacity=self.capacity,
+            max_queue=max_queue,
+            max_inflight=max_inflight,
+        )
+        self.sessions: dict[str, StreamSession] = {}
+        self._sinks: dict[str, Callable[[int, Frame | None], None]] = {}
+        self._tasks_by_key: dict[tuple[str, tuple], ServeTask] = {}
+        #: (session, task key) -> worker ids that died/timed out on it.
+        self.excluded: dict[tuple[str, tuple], set[int]] = {}
+        self.last_stalls = StallTable()
+        self.last_wall_seconds = 0.0
+        self.last_pool_bytes = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # submission / admission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        name: str,
+        data: bytes,
+        weight: float = 1.0,
+        resilient: bool | None = None,
+        on_frame: Callable[[int, Frame | None], None] | None = None,
+    ) -> StreamSession:
+        """Offer one stream to the service (before :meth:`run`).
+
+        Scan failures are *contained*: the returned session is FAILED
+        and the service keeps going.  Admission control may QUEUE or
+        REJECT the session; both are visible on ``session.status``.
+        ``on_frame(display_index, frame_or_None)`` receives every
+        display-ordered emission (``None`` = picture shed by
+        degradation); omit it to skip pixel reads entirely.
+        """
+        if self._ran:
+            raise RuntimeError("submit() after run() is not supported")
+        if name in self.sessions:
+            raise ValueError(f"duplicate session name {name!r}")
+        resilient = self.resilient if resilient is None else resilient
+        try:
+            sess = StreamSession(
+                name,
+                data,
+                weight=weight,
+                resilient=resilient,
+                fps=self.fps,
+                preroll_pictures=self.preroll_pictures,
+                policy=self.policy,
+            )
+        except Exception as exc:
+            # Corrupt-input containment, scan stage: the poison stream
+            # fails alone; the service (and its other sessions) carry on.
+            sess = StreamSession.failed(name, exc)
+            self.sessions[name] = sess
+            metrics().counter("serve.sessions.failed_scan").inc()
+            return sess
+        tasks = sess.tasks()
+        verdict = self.scheduler.submit(name, tasks, weight=weight)
+        if verdict is Admission.ADMITTED:
+            sess.status = SessionStatus.ACTIVE
+            sess.admitted_at = self.clock()
+        elif verdict is Admission.QUEUED:
+            sess.status = SessionStatus.QUEUED
+            sess.queued_at = self.clock()
+        else:
+            sess.status = SessionStatus.REJECTED
+            metrics().counter("serve.sessions.rejected").inc()
+        for t in tasks:
+            self._tasks_by_key[(name, t.key)] = t
+        self.sessions[name] = sess
+        if on_frame is not None:
+            self._sinks[name] = on_frame
+        return sess
+
+    # ------------------------------------------------------------------
+    # shared result handling (mp and in-process paths)
+    # ------------------------------------------------------------------
+    def _emit(self, sess: StreamSession, ready: list[tuple[int, bool]], pool) -> None:
+        """Emit a display-ordered run: pace, degrade, sink."""
+        sink = self._sinks.get(sess.name)
+        for order, dropped in ready:
+            display_index = sess.plans[order].display_index
+            if dropped:
+                sess.dropped_pictures += 1
+                metrics().counter("serve.pictures.dropped").inc()
+                if sink is not None:
+                    sink(display_index, None)
+                continue
+            late_s = sess.pacer.on_emit(display_index, now=self.clock())
+            sess.emitted_pictures += 1
+            metrics().counter("serve.pictures.emitted").inc()
+            if sink is not None:
+                frame = pool.read_frame(
+                    order, sess.plans[order].header.temporal_reference
+                )
+                sink(display_index, frame)
+            if sess.pacer.enabled:
+                if late_s > 0:
+                    metrics().counter("serve.deadline.missed").inc()
+                    metrics().histogram("serve.deadline.lateness_ms").observe(
+                        late_s * 1e3
+                    )
+                action = sess.degrade.on_emit(late_s > 0)
+                if action is not None:
+                    self._apply_degrade(sess, action, late_s)
+
+    def _apply_degrade(
+        self, sess: StreamSession, action: str, debt_s: float
+    ) -> None:
+        """Shed work for an overloaded session; account it in obs."""
+        if action == ACTION_DROP_B:
+            dropped = self.scheduler.drop_b_tasks(
+                sess.name, gops=self.policy.drop_b_gops
+            )
+            reason = REASON_DEGRADE_DROP_B
+            sess.dropped_b_tasks += len(dropped)
+            metrics().counter("serve.degrade.drop_b_tasks").inc(len(dropped))
+        elif action == ACTION_SKIP_GOP:
+            dropped = self.scheduler.skip_next_gop(sess.name)
+            reason = REASON_DEGRADE_SKIP_GOP
+            if dropped:
+                sess.skipped_gops += 1
+                metrics().counter("serve.degrade.skipped_gops").inc()
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown degrade action {action!r}")
+        if not dropped:
+            return
+        # Degradation never sheds a reference picture via drop-B; the
+        # scheduler enforces it, this asserts it (cheap and load-bearing
+        # for the fuzz suite's invariants).
+        if action == ACTION_DROP_B:
+            assert all(t.kind == "b" for t in dropped)
+        self.last_stalls.record(sess.name, reason, max(debt_s, 0.0))
+        trace_complete(
+            "serve.degrade", "stall",
+            time.monotonic_ns(), int(max(debt_s, 0.0) * 1e9),
+            session=sess.name, reason=reason, tasks=len(dropped),
+        )
+        orders = tuple(o for t in dropped for o in t.orders)
+        # Drop markers flow through the same display merger, so the
+        # reorder buffer can release runs blocked behind shed pictures.
+        ready = sess.push_dropped(orders)
+        self._emit(sess, ready, self._pools[sess.name])
+
+    def _session_maybe_done(self, sid: str) -> None:
+        sess = self.sessions[sid]
+        if sess.terminal:
+            return
+        if self.scheduler.session_idle(sid) and sess.display_done:
+            sess.status = SessionStatus.DONE
+            metrics().counter("serve.sessions.done").inc()
+            self._promote(self.scheduler.finish_session(sid))
+
+    def _fail_session(self, sid: str, error: BaseException | dict) -> None:
+        sess = self.sessions[sid]
+        if sess.terminal:
+            return
+        sess.fail(error)
+        metrics().counter("serve.sessions.failed").inc()
+        self._promote(self.scheduler.finish_session(sid))
+
+    def _promote(self, promoted: list[str]) -> None:
+        now = self.clock()
+        for sid in promoted:
+            sess = self.sessions[sid]
+            sess.status = SessionStatus.ACTIVE
+            sess.admitted_at = now
+            if sess.queued_at is not None:
+                wait = max(0.0, now - sess.queued_at)
+                self.last_stalls.record(sid, REASON_ADMISSION, wait)
+                metrics().histogram("serve.admission.wait_ms").observe(
+                    wait * 1e3
+                )
+
+    def _handle_ok(self, sid: str, key: tuple, counters: WorkCounters) -> None:
+        sess = self.sessions[sid]
+        task = self._tasks_by_key[(sid, key)]
+        if sess.terminal:
+            return  # late result for an already-failed session
+        self.scheduler.complete(task)
+        sess.counters.add(counters)
+        ready = sess.push_decoded(task.orders)
+        self._emit(sess, ready, self._pools[sid])
+        self._session_maybe_done(sid)
+
+    def _handle_err(self, sid: str, key: tuple, cls: str, message: str) -> None:
+        sess = self.sessions[sid]
+        if sess.terminal:
+            return
+        self._fail_session(sid, {"type": cls, "message": message})
+
+    def _nonterminal(self) -> list[str]:
+        return [
+            sid for sid, s in self.sessions.items() if not s.terminal
+        ]
+
+    def _strand_check(self) -> None:
+        """No dispatchable work, nothing in flight: settle stragglers."""
+        for sid in self._nonterminal():
+            sess = self.sessions[sid]
+            if self.scheduler.is_active(sid) and self.scheduler.session_idle(sid):
+                if sess.display_done:
+                    self._session_maybe_done(sid)
+                else:  # pragma: no cover - defensive
+                    self._fail_session(
+                        sid,
+                        {
+                            "type": "DecodeError",
+                            "message": "session stranded with undecoded "
+                            "pictures and no pending tasks",
+                        },
+                    )
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+    def run(self) -> dict:
+        """Drive every submitted session to a terminal state.
+
+        Returns the service report (per-session summaries + service
+        aggregates).  Never raises for per-stream failures; only for
+        service-level programming errors.
+        """
+        if self._ran:
+            raise RuntimeError("DecodeService.run() may only be called once")
+        self._ran = True
+        t_run = time.perf_counter()
+        try:
+            if self.workers == 0:
+                self._run_inprocess()
+            else:
+                self._run_mp()
+        finally:
+            self.last_wall_seconds = time.perf_counter() - t_run
+        return self.report()
+
+    # -- in-process ----------------------------------------------------
+    def _run_inprocess(self) -> None:
+        self._pools = {}
+        for sid in self._nonterminal():
+            sess = self.sessions[sid]
+            if sess.status is SessionStatus.REJECTED:
+                continue
+            self._pools[sid] = LocalFramePool(
+                sess.layout, slots=sess.picture_count
+            )
+        self.last_pool_bytes = 0
+        while self._nonterminal():
+            task = self.scheduler.next_task()
+            if task is None:
+                before = set(self._nonterminal())
+                self._strand_check()
+                if set(self._nonterminal()) == before:
+                    break  # only queued-forever/rejected remain
+                continue
+            sid = task.session
+            sess = self.sessions[sid]
+            counters = WorkCounters()
+            try:
+                for order in task.orders:
+                    decode_picture_into_pool(
+                        sess.data,
+                        sess.plans[order],
+                        sess.seq,
+                        sess.index.mb_width,
+                        sess.index.mb_height,
+                        self._pools[sid],
+                        sess.resilient,
+                        counters,
+                    )
+            except Exception as exc:
+                # No scheduler.complete(): _fail_session retires the
+                # whole lane, in-flight task included.
+                self._handle_err(sid, task.key, *(_exc_payload(exc)))
+                continue
+            self._handle_ok(sid, task.key, counters)
+
+    # -- real processes ------------------------------------------------
+    def _spawn_worker(self, ctx, wid: int, meta: dict, result_q, trace_dir):
+        task_q = ctx.Queue()
+        proc = ctx.Process(
+            target=_serve_worker_main,
+            args=(
+                wid, meta, task_q, result_q, trace_dir,
+                self._crash_task, self._hang_task,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        return {"proc": proc, "task_q": task_q, "wid": wid}
+
+    def _run_mp(self) -> None:
+        ctx = multiprocessing.get_context(self.start_method)
+        trace_dir = (
+            tempfile.mkdtemp(prefix="repro-trace-")
+            if tracing_enabled()
+            else None
+        )
+        # Frame pools + the immutable worker-side decode context for
+        # every admitted (active or queued) session.
+        self._pools = {}
+        meta: dict[str, dict] = {}
+        for sid in self._nonterminal():
+            sess = self.sessions[sid]
+            if sess.status is SessionStatus.REJECTED:
+                continue
+            pool = SharedFramePool(sess.layout, slots=sess.picture_count)
+            self._pools[sid] = pool
+            meta[sid] = {
+                "data": sess.data,
+                "plans": sess.plans,
+                "seq": sess.seq,
+                "layout": sess.layout,
+                "pool_name": pool.name,
+                "mb_width": sess.index.mb_width,
+                "mb_height": sess.index.mb_height,
+                "resilient": sess.resilient,
+            }
+        self.last_pool_bytes = sum(p.nbytes for p in self._pools.values())
+        if not meta:
+            # Nothing decodable was admitted; settle and bail.
+            for pool in self._pools.values():
+                pool.close()
+                pool.unlink()
+            return
+
+        result_q = ctx.Queue()
+        workers: dict[int, dict] = {}
+        dead_queues: list = []
+        #: wid -> (task, assigned_monotonic)
+        assignment: dict[int, tuple[ServeTask, float]] = {}
+        next_wid = 0
+        for _ in range(self.workers):
+            workers[next_wid] = self._spawn_worker(
+                ctx, next_wid, meta, result_q, trace_dir
+            )
+            next_wid += 1
+
+        depth_gauge = metrics().gauge("serve.inflight")
+
+        def dispatch() -> None:
+            idle = [w for w in workers if w not in assignment]
+            for wid in idle:
+                task = self.scheduler.next_task()
+                if task is None:
+                    return
+                excluded = self.excluded.get((task.session, task.key), set())
+                target = wid
+                if wid in excluded:
+                    # Prefer a non-excluded idle worker; requeue and
+                    # stop if none (a replacement will pick it up).
+                    others = [
+                        w for w in workers
+                        if w not in assignment and w not in excluded
+                        and w != wid
+                    ]
+                    if not others:
+                        self.scheduler.requeue(task)
+                        return
+                    target = others[0]
+                assignment[target] = (task, time.monotonic())
+                depth_gauge.inc()
+                workers[target]["task_q"].put(
+                    (task.session, task.key, task.orders)
+                )
+
+        def handle_worker_loss(wid: int, why: str) -> None:
+            nonlocal next_wid
+            entry = workers.pop(wid)
+            proc = entry["proc"]
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=_SHUTDOWN_GRACE_S)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.kill()
+                    proc.join(timeout=_SHUTDOWN_GRACE_S)
+            dead_queues.append(entry["task_q"])
+            held = assignment.pop(wid, None)
+            metrics().counter(f"serve.worker.{why}").inc()
+            if held is not None:
+                depth_gauge.dec()
+                task, _t0 = held
+                sess = self.sessions[task.session]
+                excl = self.excluded.setdefault(
+                    (task.session, task.key), set()
+                )
+                excl.add(wid)
+                if sess.terminal:
+                    pass  # moot: session already settled
+                elif len(excl) > self.max_task_retries:
+                    self._fail_session(
+                        task.session,
+                        {
+                            "type": "DecodeError",
+                            "message": (
+                                f"task {task.key} lost {len(excl)} workers "
+                                f"({why}); retry budget exhausted"
+                            ),
+                        },
+                    )
+                else:
+                    metrics().counter("serve.task.retries").inc()
+                    self.scheduler.requeue(task)
+            # Keep the pool at strength: one replacement per loss.
+            workers[next_wid] = self._spawn_worker(
+                ctx, next_wid, meta, result_q, trace_dir
+            )
+            next_wid += 1
+
+        def wait_result():
+            """Liveness-polled result wait; returns None on a handled
+            death/timeout (caller re-dispatches and loops)."""
+            t0 = time.monotonic_ns()
+            while True:
+                try:
+                    result = result_q.get(timeout=LIVENESS_POLL_S)
+                    break
+                except queue_mod.Empty:
+                    now = time.monotonic()
+                    for wid in list(workers):
+                        proc = workers[wid]["proc"]
+                        if proc.exitcode is not None:
+                            handle_worker_loss(wid, "died")
+                            return None
+                        held = assignment.get(wid)
+                        if (
+                            held is not None
+                            and now - held[1] > self.task_timeout_s
+                        ):
+                            handle_worker_loss(wid, "timeout")
+                            return None
+                    if not assignment:
+                        return None  # nothing in flight; let caller act
+            waited = time.monotonic_ns() - t0
+            self.last_stalls.record("serve", REASON_QUEUE_GET, waited / 1e9)
+            trace_complete(
+                "serve.result.wait", "stall", t0, waited,
+                reason=REASON_QUEUE_GET,
+            )
+            return result
+
+        try:
+            dispatch()
+            while self._nonterminal():
+                if not assignment:
+                    dispatch()
+                    if not assignment:
+                        before = set(self._nonterminal())
+                        self._strand_check()
+                        if set(self._nonterminal()) == before:
+                            break
+                        continue
+                result = wait_result()
+                if result is None:
+                    dispatch()
+                    continue
+                kind = result[0]
+                if kind == "obs":  # pragma: no cover - shutdown only
+                    continue
+                _, wid, sid, key = result[:4]
+                if wid in assignment:
+                    held_task, _ = assignment[wid]
+                    if held_task.key == key and held_task.session == sid:
+                        del assignment[wid]
+                        depth_gauge.dec()
+                if kind == "ok":
+                    self._handle_ok(sid, key, result[4])
+                else:
+                    self._handle_err(sid, key, result[4], result[5])
+                dispatch()
+        finally:
+            # Graceful shutdown: sentinel every live worker, collect
+            # their observability snapshots, then reap everything.
+            for wid, entry in list(workers.items()):
+                if entry["proc"].is_alive():
+                    try:
+                        entry["task_q"].put(None)
+                    except (OSError, ValueError):  # pragma: no cover
+                        pass
+            deadline = time.monotonic() + _SHUTDOWN_GRACE_S
+            obs_expected = sum(
+                1 for e in workers.values() if e["proc"].is_alive()
+            )
+            while obs_expected > 0 and time.monotonic() < deadline:
+                try:
+                    result = result_q.get(timeout=LIVENESS_POLL_S)
+                except queue_mod.Empty:
+                    if not any(
+                        e["proc"].is_alive() for e in workers.values()
+                    ):
+                        break
+                    continue
+                if result[0] == "obs":
+                    if result[3] is not None:
+                        self.last_stalls.merge(result[3])
+                    obs_expected -= 1
+            for entry in workers.values():
+                entry["proc"].join(timeout=_SHUTDOWN_GRACE_S)
+                if entry["proc"].is_alive():
+                    entry["proc"].terminate()
+                    entry["proc"].join(timeout=_SHUTDOWN_GRACE_S)
+            for q in [e["task_q"] for e in workers.values()] + dead_queues:
+                q.close()
+                q.cancel_join_thread()
+            result_q.close()
+            result_q.cancel_join_thread()
+            for pool in self._pools.values():
+                pool.close()
+                pool.unlink()
+            if trace_dir is not None:
+                collect_trace_shards(trace_dir)
+
+    # ------------------------------------------------------------------
+    def stall_breakdown(self) -> dict[str, float]:
+        """Fraction of aggregate process time blocked, per reason."""
+        procs = self.workers + 1 if self.workers else 1
+        return self.last_stalls.breakdown(self.last_wall_seconds * procs)
+
+    def report(self) -> dict:
+        """JSON-able service report: sessions + aggregates."""
+        sessions = [s.report() for s in self.sessions.values()]
+        status_counts: dict[str, int] = {}
+        for s in self.sessions.values():
+            status_counts[s.status.value] = (
+                status_counts.get(s.status.value, 0) + 1
+            )
+        all_lateness: list[float] = []
+        for s in self.sessions.values():
+            all_lateness.extend(s.pacer.lateness)
+        misses = sum(1 for x in all_lateness if x > 0)
+        return {
+            "workers": self.workers,
+            "fps": self.fps,
+            "capacity": self.capacity,
+            "max_queue": self.max_queue,
+            "max_inflight": self.max_inflight,
+            "wall_seconds": self.last_wall_seconds,
+            "pool_bytes": self.last_pool_bytes,
+            "sessions": sessions,
+            "status_counts": status_counts,
+            "deadline": {
+                "emitted": len(all_lateness),
+                "missed": misses,
+                "miss_fraction": (
+                    misses / len(all_lateness) if all_lateness else 0.0
+                ),
+                "max_lateness_s": max(all_lateness, default=0.0),
+            },
+            "stalls": self.last_stalls.snapshot(),
+        }
+
+
+def serve_streams(
+    named_streams: list[tuple[str, bytes]],
+    workers: int | None = None,
+    fps: float | None = None,
+    **kwargs,
+) -> dict:
+    """Convenience: submit every stream, run, return the report."""
+    svc = DecodeService(workers=workers, fps=fps, **kwargs)
+    for name, data in named_streams:
+        svc.submit(name, data)
+    return svc.run()

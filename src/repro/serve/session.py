@@ -1,0 +1,239 @@
+"""Per-stream session state for the multi-stream decode service.
+
+A :class:`StreamSession` owns everything one client's stream needs
+inside the service: the scan products (index + coding-order
+:class:`~repro.parallel.mp_slice.PicturePlan` records), the task
+decomposition handed to the scheduler (reference-pictures-per-GOP +
+one task per B picture), the display-order reorder buffer, the
+wall-clock deadline pacer, the degradation state machine, and the
+emission/drop accounting that ends up in the service report.
+
+Scan failures (corrupt headers, open GOPs, missing references) raise
+at construction; :meth:`StreamSession.failed` wraps that into a
+terminal session record so the service can *contain* a poisoned
+stream instead of dying with it.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterator
+
+from repro.mpeg2.counters import WorkCounters
+from repro.mpeg2.index import build_index
+from repro.parallel.mp import FrameLayout
+from repro.parallel.mp_slice import DisplayMerger, PicturePlan, scan_slice_tasks
+from repro.parallel.pacing import WallClockPacer
+from repro.serve.degrade import DegradePolicy, DegradeState
+from repro.serve.scheduler import ServeTask
+
+
+class SessionStatus(str, Enum):
+    PENDING = "pending"    # submitted, not yet admitted by the scheduler
+    QUEUED = "queued"      # waiting for a capacity slot
+    ACTIVE = "active"      # decoding
+    DONE = "done"          # every picture emitted or deliberately dropped
+    FAILED = "failed"      # contained per-session error
+    REJECTED = "rejected"  # admission control turned it away
+
+
+class StreamSession:
+    """One client stream multiplexed onto the shared worker pool."""
+
+    def __init__(
+        self,
+        name: str,
+        data: bytes,
+        weight: float = 1.0,
+        resilient: bool = False,
+        fps: float | None = None,
+        preroll_pictures: int = 0,
+        policy: DegradePolicy | None = None,
+    ) -> None:
+        if weight <= 0:
+            raise ValueError(f"weight must be > 0, got {weight}")
+        self.name = name
+        self.data = data
+        self.weight = weight
+        self.resilient = resilient
+        # The scan step — may raise DecodeError; the service catches
+        # and turns it into a FAILED session (corrupt-input
+        # containment).
+        self.index = build_index(data)
+        self.seq = self.index.sequence_header
+        self.layout = FrameLayout.for_display(self.seq.width, self.seq.height)
+        self.plans: list[PicturePlan] = scan_slice_tasks(self.index)
+        self.merger = DisplayMerger(len(self.plans))
+        self.pacer = WallClockPacer(
+            rate_hz=fps, preroll_pictures=preroll_pictures
+        )
+        self.degrade = DegradeState(policy or DegradePolicy())
+        self.status = SessionStatus.PENDING
+        self.error: dict | None = None
+        #: Work counters (sequential-oracle parity): GOP + picture
+        #: header charges land here upfront, slice work as results
+        #: arrive.
+        self.counters = WorkCounters()
+        self._charge_base_counters()
+        # -- accounting ------------------------------------------------
+        self.emitted_pictures = 0
+        self.dropped_pictures = 0
+        self.skipped_gops = 0
+        self.dropped_b_tasks = 0
+        self.admitted_at: float | None = None
+        self.queued_at: float | None = None
+        #: orders decoded but not yet pushed through the merger is not
+        #: tracked here — the merger is the single source of truth.
+
+    # ------------------------------------------------------------------
+    def _charge_base_counters(self) -> None:
+        """GOP + picture header work (the scan/parent's share)."""
+        for gop in self.index.gops:
+            self.counters.headers += 1
+            self.counters.bits += (
+                gop.header_payload_end - gop.header_payload_start + 4
+            ) * 8
+        for plan in self.plans:
+            self.counters.headers += 1
+            self.counters.bits += plan.header_bits
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def failed(cls, name: str, error: BaseException) -> "StreamSession":
+        """A terminal session record for a stream that failed to scan."""
+        sess = cls.__new__(cls)
+        sess.name = name
+        sess.data = b""
+        sess.weight = 1.0
+        sess.resilient = False
+        sess.index = None
+        sess.seq = None
+        sess.layout = None
+        sess.plans = []
+        sess.merger = DisplayMerger(0)
+        sess.pacer = WallClockPacer(rate_hz=None)
+        sess.degrade = DegradeState(DegradePolicy())
+        sess.status = SessionStatus.FAILED
+        sess.error = {
+            "type": type(error).__name__,
+            "message": str(error),
+        }
+        sess.counters = WorkCounters()
+        sess.emitted_pictures = 0
+        sess.dropped_pictures = 0
+        sess.skipped_gops = 0
+        sess.dropped_b_tasks = 0
+        sess.admitted_at = None
+        sess.queued_at = None
+        return sess
+
+    # ------------------------------------------------------------------
+    @property
+    def picture_count(self) -> int:
+        return len(self.plans)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in (
+            SessionStatus.DONE, SessionStatus.FAILED, SessionStatus.REJECTED
+        )
+
+    def fail(self, error: BaseException | dict) -> None:
+        self.status = SessionStatus.FAILED
+        if isinstance(error, dict):
+            self.error = error
+        else:
+            self.error = {
+                "type": type(error).__name__,
+                "message": str(error),
+            }
+
+    # ------------------------------------------------------------------
+    def tasks(self) -> list[ServeTask]:
+        """The scheduler decomposition: per-GOP ref task + per-B tasks.
+
+        Coding order within the session; a B task depends on its own
+        GOP's reference task (closed GOPs guarantee both references
+        live there).  Every picture appears in exactly one task.
+        """
+        out: list[ServeTask] = []
+        by_gop: dict[int, list[PicturePlan]] = {}
+        for plan in self.plans:
+            by_gop.setdefault(plan.gop, []).append(plan)
+        for gop in sorted(by_gop):
+            plans = by_gop[gop]
+            refs = tuple(p.order for p in plans if p.is_reference)
+            ref_key = ("ref", gop)
+            if refs:
+                out.append(
+                    ServeTask(
+                        session=self.name,
+                        key=ref_key,
+                        kind="ref",
+                        gop=gop,
+                        orders=refs,
+                    )
+                )
+            for p in plans:
+                if p.is_reference:
+                    continue
+                out.append(
+                    ServeTask(
+                        session=self.name,
+                        key=("b", gop, p.order),
+                        kind="b",
+                        gop=gop,
+                        orders=(p.order,),
+                        deps=(ref_key,) if refs else (),
+                    )
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    # display-side bookkeeping
+    # ------------------------------------------------------------------
+    def push_decoded(self, orders: tuple[int, ...]) -> list[tuple[int, bool]]:
+        """Bank decoded pictures; return the display-ready run.
+
+        Returns ``(order, dropped)`` pairs in display order (``dropped``
+        is always False here).
+        """
+        ready: list[tuple[int, bool]] = []
+        for order in orders:
+            plan = self.plans[order]
+            ready.extend(self.merger.push(plan.display_index, (order, False)))
+        return ready
+
+    def push_dropped(self, orders: tuple[int, ...]) -> list[tuple[int, bool]]:
+        """Bank deliberately-shed pictures as drop markers."""
+        ready: list[tuple[int, bool]] = []
+        for order in orders:
+            plan = self.plans[order]
+            ready.extend(self.merger.push(plan.display_index, (order, True)))
+        return ready
+
+    @property
+    def display_done(self) -> bool:
+        return self.merger.done
+
+    def iter_display_indices(self) -> Iterator[int]:  # pragma: no cover
+        yield from range(self.picture_count)
+
+    # ------------------------------------------------------------------
+    def report(self) -> dict:
+        """JSON-able summary for the service report / CLI table."""
+        doc = {
+            "session": self.name,
+            "status": self.status.value,
+            "weight": self.weight,
+            "pictures": self.picture_count,
+            "emitted": self.emitted_pictures,
+            "dropped_pictures": self.dropped_pictures,
+            "dropped_b_tasks": self.dropped_b_tasks,
+            "skipped_gops": self.skipped_gops,
+            "degrade": self.degrade.snapshot(),
+            "deadline": self.pacer.summary() if self.pacer.enabled else None,
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc

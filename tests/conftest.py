@@ -3,14 +3,81 @@
 Encoding is the slow part of the suite, so streams are built once per
 session at small sizes that still exercise every syntax element
 (I/P/B pictures, skips, multiple slices and GOPs).
+
+The second-slowest part is *re-decoding the committed golden vectors*:
+several parity suites (scalar vs batched vs mp-gop vs mp-slice vs
+serve) each used to decode the same 6 corpus streams per module.  The
+session-scoped :class:`GoldenCache` (``golden`` fixture) decodes each
+vector through the scalar oracle exactly once per test session and
+hands out the shared frames/counters, so adding another parity
+consumer no longer adds another full-corpus decode to the wall time.
 """
 
 from __future__ import annotations
+
+import json
+import os
 
 import pytest
 
 from repro.mpeg2.encoder import EncoderConfig, encode_sequence
 from repro.video.synthetic import SyntheticVideo
+
+VECTOR_DIR = os.path.join(os.path.dirname(__file__), "vectors")
+DIGEST_PATH = os.path.join(VECTOR_DIR, "digests.json")
+
+
+class GoldenCache:
+    """Lazy per-session cache of golden-vector bytes + scalar decodes.
+
+    ``data(name)`` returns the committed coded bytes; ``scalar(name)``
+    returns ``(frames, counters)`` from the sequential scalar oracle,
+    decoded at most once per session.  Vectors a test run never asks
+    for are never decoded (keeps ``pytest -k`` focused runs fast).
+    Callers must treat the returned frames/counters as immutable —
+    they are shared across every consumer suite.
+    """
+
+    def __init__(self) -> None:
+        with open(DIGEST_PATH) as fh:
+            doc = json.load(fh)
+        self.corpus: dict[str, dict] = doc["streams"]
+        self.negative: dict[str, dict] = doc["negative"]
+        self._bytes: dict[str, bytes] = {}
+        self._scalar: dict[str, tuple] = {}
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self.corpus)
+
+    def entry(self, name: str) -> dict:
+        return self.corpus.get(name) or self.negative[name]
+
+    def data(self, name: str) -> bytes:
+        if name not in self._bytes:
+            path = os.path.join(VECTOR_DIR, self.entry(name)["file"])
+            with open(path, "rb") as fh:
+                self._bytes[name] = fh.read()
+        return self._bytes[name]
+
+    def scalar(self, name: str) -> tuple:
+        """``(frames, counters)`` from one shared scalar-oracle decode."""
+        if name not in self._scalar:
+            from repro.mpeg2.counters import WorkCounters
+            from repro.mpeg2.decoder import SequenceDecoder
+
+            counters = WorkCounters()
+            frames = SequenceDecoder(
+                self.data(name), engine="scalar"
+            ).decode_all(counters)
+            self._scalar[name] = (frames, counters)
+        return self._scalar[name]
+
+
+@pytest.fixture(scope="session")
+def golden() -> GoldenCache:
+    """Session-scoped decoded-golden-vector cache (see GoldenCache)."""
+    return GoldenCache()
 
 
 @pytest.fixture(scope="session")

@@ -34,13 +34,18 @@ with open(DIGEST_PATH) as _fh:
     _DOC = json.load(_fh)
 CORPUS: dict[str, dict] = _DOC["streams"]
 
-#: Malformed-but-indexable streams derived from a committed base
-#: vector (see ``generate_vectors.py``): every decode path must agree
-#: on them — pixels and work counters — exactly like on clean streams.
+#: Malformed streams derived from a committed base vector (see
+#: ``generate_vectors.py``): hand-crafted slice surgery plus mutants
+#: promoted from the differential fuzz sweep.  Entries carry either
+#: ``frame_digests`` (still decodable — every path must agree, pixels
+#: and work counters) or ``error`` (rejected — every path must raise
+#: exactly that exception class).
 NEGATIVE: dict[str, dict] = _DOC["negative"]
 
 VECTOR_NAMES = sorted(CORPUS)
 NEGATIVE_NAMES = sorted(NEGATIVE)
+DECODABLE_NEGATIVES = [n for n in NEGATIVE_NAMES if "frame_digests" in NEGATIVE[n]]
+ERROR_NEGATIVES = [n for n in NEGATIVE_NAMES if "error" in NEGATIVE[n]]
 
 #: name -> decode callable returning display-ordered frames.
 DECODE_PATHS = {
@@ -78,8 +83,13 @@ class TestCorpusIntegrity:
 class TestGoldenDigests:
     @pytest.mark.parametrize("name", VECTOR_NAMES)
     @pytest.mark.parametrize("path", ["scalar", "batched", "mp-inprocess"])
-    def test_decode_reproduces_pinned_digests(self, name, path):
-        frames = DECODE_PATHS[path](load_vector(name))
+    def test_decode_reproduces_pinned_digests(self, golden, name, path):
+        if path == "scalar":
+            # The scalar oracle decode is shared session-wide (the
+            # parity suites check against the same frames objects).
+            frames, _ = golden.scalar(name)
+        else:
+            frames = DECODE_PATHS[path](load_vector(name))
         assert [f.digest() for f in frames] == CORPUS[name]["frame_digests"], (
             f"{path} decode of {name} drifted from the golden digests"
         )
@@ -90,8 +100,8 @@ class TestGoldenDigests:
         assert [f.digest() for f in frames] == CORPUS[name]["frame_digests"]
 
     @pytest.mark.parametrize("name", VECTOR_NAMES)
-    def test_display_geometry_pinned(self, name):
-        frames = SequenceDecoder(load_vector(name)).decode_all()
+    def test_display_geometry_pinned(self, golden, name):
+        frames, _ = golden.scalar(name)
         assert len(frames) == CORPUS[name]["pictures"]
         assert frames[0].display_width == CORPUS[name]["width"]
         assert frames[0].display_height == CORPUS[name]["height"]
@@ -132,7 +142,7 @@ class TestNegativeCorpus:
             hashlib.sha256(data).hexdigest() == NEGATIVE[name]["stream_sha256"]
         )
 
-    @pytest.mark.parametrize("name", NEGATIVE_NAMES)
+    @pytest.mark.parametrize("name", DECODABLE_NEGATIVES)
     def test_all_paths_agree_on_pixels_and_counters(self, name):
         data = load_vector(name)
         golden = NEGATIVE[name]["frame_digests"]
@@ -147,6 +157,33 @@ class TestNegativeCorpus:
                 assert counters == ref_counters, (
                     f"{label} counters diverged on {name}"
                 )
+
+    @pytest.mark.parametrize("name", ERROR_NEGATIVES)
+    def test_error_negatives_rejected_identically(self, name):
+        # Promoted fuzz mutants of the "rejected" flavour: the pinned
+        # exception class, from every path — a NameError/KeyError here
+        # is exactly the bug family the fuzz sweep caught.
+        data = load_vector(name)
+        want = NEGATIVE[name]["error"]
+        for label, decode in (
+            ("scalar", lambda: SequenceDecoder(data, engine="scalar")),
+            ("batched", lambda: SequenceDecoder(data, engine="batched")),
+            ("mp-gop-w0", lambda: MPGopDecoder(data, workers=0)),
+            ("mp-slice-w0-simple",
+             lambda: MPSliceDecoder(data, workers=0, mode="simple")),
+            ("mp-slice-w0-improved",
+             lambda: MPSliceDecoder(data, workers=0, mode="improved")),
+        ):
+            try:
+                decode().decode_all()
+            except Exception as exc:
+                assert type(exc).__name__ == want, (
+                    f"{label} rejected {name} with {type(exc).__name__}, "
+                    f"pinned class is {want}"
+                )
+            else:
+                raise AssertionError(f"{label} decoded {name}, "
+                                     f"pinned verdict is {want}")
 
     @pytest.mark.parametrize("name", NEGATIVE_NAMES)
     def test_negatives_actually_differ_from_base_bytes(self, name):

@@ -41,14 +41,17 @@ WORKER_COUNTS = (0, 1, 2, 4)
 
 
 @pytest.fixture(scope="module")
-def scalar_reference():
-    """Scalar-oracle frames + counters for every golden vector."""
+def scalar_reference(golden):
+    """Scalar-oracle frames + counters for every golden vector.
+
+    Served from the session-scoped ``golden`` cache (tests/conftest.py)
+    so this module does not re-decode the corpus the other parity
+    suites already decoded.
+    """
     ref = {}
     for name in VECTOR_NAMES:
-        data = load_vector(name)
-        counters = WorkCounters()
-        frames = SequenceDecoder(data, engine="scalar").decode_all(counters)
-        ref[name] = (data, frames, counters)
+        frames, counters = golden.scalar(name)
+        ref[name] = (golden.data(name), frames, counters)
     return ref
 
 

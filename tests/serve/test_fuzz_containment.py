@@ -1,0 +1,282 @@
+"""Differential fuzzing: every decode path agrees on corrupt input.
+
+The repo now has five ways to decode the same bytes — the scalar
+oracle, the two-phase batched engine, the GOP-parallel and
+slice-parallel decoders, and the multi-stream serve layer.  On *clean*
+streams the parity suites pin them bit-identical.  This suite pins the
+same property on **garbage**: seeded byte-flips, truncations and
+splices of the golden vectors, run through all paths, which must agree
+on the verdict —
+
+* all paths decode → identical frame digests AND identical work
+  counters (a malformed-but-decodable stream is just another stream);
+* all paths reject → the same exception class, drawn from the small
+  set of *deliberate* decode errors below.  A ``NameError`` or
+  ``KeyError`` escaping a decoder is a bug, not a verdict — two were
+  found exactly this way (an unimported exception name in
+  ``blockcoding`` and a zero-slice-picture ``KeyError`` in
+  ``mp_slice``) and are pinned by the promoted negative vectors.
+
+Containment postconditions ride along on every mutant: no hang (the
+module-scoped SIGALRM watchdog), no leaked ``/dev/shm`` segment, no
+stray child process.  The serve path additionally must *contain* the
+failure — a poisoned session ends FAILED with the same error class
+while the service itself survives.
+
+The mutant stream is reproducible: ``random.Random(FUZZ_SEED)``
+threaded sequentially through :func:`mutate` over ``BASE_ORDER``.
+Mutant *i* here is mutant *i* of every past and future run, which is
+how the worst offenders were promoted into ``tests/vectors/`` (see
+``generate_vectors.py``).  Scale the run with
+``REPRO_FUZZ_MUTANTS=1000`` (default 200, the issue floor).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+
+import pytest
+
+from repro.bitstream.reader import BitstreamError
+from repro.mpeg2.blockcoding import BlockSyntaxError
+from repro.mpeg2.counters import WorkCounters
+from repro.mpeg2.decoder import DecodeError, SequenceDecoder
+from repro.mpeg2.index import StreamIndexError
+from repro.mpeg2.macroblock import SliceDecodeError
+from repro.mpeg2.vlc import VLCError
+from repro.parallel.mp import MPGopDecoder
+from repro.parallel.mp_slice import MPSliceDecoder
+from repro.serve import DecodeService, SessionStatus
+
+from tests.mpeg2.test_golden_vectors import load_vector
+from tests.parallel.test_mp_fault_injection import assert_no_stray_children
+
+pytestmark = pytest.mark.fuzz
+
+# ----------------------------------------------------------------------
+# Mutant generation — the exact probe recipe, pinned forever.
+# ----------------------------------------------------------------------
+
+FUZZ_SEED = 1234
+
+#: Base-vector choice order.  This is part of the recipe: changing it
+#: renumbers every mutant and orphans the promoted negative vectors.
+BASE_ORDER = (
+    "two_gop_48x32",
+    "ipb_64x48_gop13",
+    "intra_16x16_gop1",
+    "pad_40x24_gop4",
+)
+
+MUTANT_COUNT = int(os.environ.get("REPRO_FUZZ_MUTANTS", "200"))
+
+#: Exception classes a corrupt stream may *legitimately* raise.
+#: Everything else escaping a decode path is a containment failure.
+ALLOWED_ERRORS = (
+    DecodeError,
+    StreamIndexError,
+    BitstreamError,
+    VLCError,
+    BlockSyntaxError,
+    SliceDecodeError,
+    ValueError,
+)
+ALLOWED_ERROR_NAMES = frozenset(cls.__name__ for cls in ALLOWED_ERRORS)
+
+
+def mutate(rng: random.Random, data: bytes) -> tuple[str, bytes]:
+    """One seeded corruption: bit flips (3/5), truncation, or splice."""
+    op = rng.choice(["flip", "flip", "flip", "trunc", "splice"])
+    b = bytearray(data)
+    if op == "flip":
+        for _ in range(rng.randint(1, 4)):
+            pos = rng.randrange(len(b))
+            b[pos] ^= 1 << rng.randrange(8)
+    elif op == "trunc":
+        b = b[: rng.randrange(8, len(b))]
+    else:  # splice: clobber one window with a copy of another
+        n = rng.randint(4, 64)
+        src = rng.randrange(len(b) - n)
+        dst = rng.randrange(len(b) - n)
+        b[dst : dst + n] = b[src : src + n]
+    return op, bytes(b)
+
+
+def generate_mutants(count: int, seed: int = FUZZ_SEED):
+    """``[(index, base_name, op, mutated_bytes), ...]`` — deterministic."""
+    vectors = {name: load_vector(name) for name in BASE_ORDER}
+    rng = random.Random(seed)
+    out = []
+    for i in range(count):
+        base = rng.choice(list(vectors))
+        op, data = mutate(rng, vectors[base])
+        out.append((i, base, op, data))
+    return out
+
+
+MUTANTS = generate_mutants(MUTANT_COUNT)
+
+
+# ----------------------------------------------------------------------
+# The decode paths under comparison.
+# ----------------------------------------------------------------------
+
+
+def _scalar(data):
+    c = WorkCounters()
+    return SequenceDecoder(data, engine="scalar").decode_all(c), c
+
+
+def _batched(data):
+    c = WorkCounters()
+    return SequenceDecoder(data, engine="batched").decode_all(c), c
+
+
+def _mp_gop(data):
+    c = WorkCounters()
+    return MPGopDecoder(data, workers=0).decode_all(c), c
+
+
+def _mp_slice(data):
+    c = WorkCounters()
+    return MPSliceDecoder(data, workers=0, mode="improved").decode_all(c), c
+
+
+class ServeFailure(Exception):
+    """Carrier for the error class a serve session failed with."""
+
+
+def _serve(data):
+    """Decode through the service; re-raise the contained error class.
+
+    The serve layer never lets a poisoned stream raise — it fails the
+    session and keeps running.  To make it comparable with the direct
+    paths, a FAILED session's recorded error class is re-raised here
+    (as a synthetic instance when the class is allowed, so the verdict
+    comparison sees the same name).
+    """
+    frames = {}
+
+    def sink(display_index, frame):
+        frames[display_index] = frame
+
+    svc = DecodeService(workers=0, capacity=1)
+    sess = svc.submit("fuzz", data, on_frame=sink)
+    svc.run()
+    if sess.status is SessionStatus.FAILED:
+        assert sess.error is not None
+        raise ServeFailure(sess.error["type"], sess.error.get("message", ""))
+    assert sess.status is SessionStatus.DONE
+    assert sorted(frames) == list(range(len(frames)))
+    return [frames[i] for i in sorted(frames)], sess.counters
+
+
+PATHS = {
+    "scalar": _scalar,
+    "batched": _batched,
+    "mp-gop": _mp_gop,
+    "mp-slice": _mp_slice,
+    "serve": _serve,
+}
+
+
+def run_path(fn, data):
+    """-> ("ok", digests, counters) | ("err", class_name)."""
+    try:
+        frames, counters = fn(data)
+    except ServeFailure as exc:
+        name = exc.args[0]
+        assert name in ALLOWED_ERROR_NAMES, (
+            f"serve session failed with disallowed error class {name}: "
+            f"{exc.args[1]}"
+        )
+        return ("err", name)
+    except ALLOWED_ERRORS as exc:
+        return ("err", type(exc).__name__)
+    # Any other exception propagates: that is the bug-finding teeth of
+    # the suite (NameError/KeyError/etc. are crashes, not verdicts).
+    return ("ok", [f.digest() for f in frames], counters)
+
+
+# ----------------------------------------------------------------------
+# The suite.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fuzz_watchdog():
+    """One SIGALRM budget for the whole mutant sweep: ~0.5 s/mutant
+    with a generous floor.  A single wedged mutant trips it."""
+    budget = max(120, MUTANT_COUNT)
+
+    def on_alarm(signum, frame):  # pragma: no cover - only on bug
+        raise TimeoutError("fuzz sweep wedged: a decode path hung on a mutant")
+
+    old = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(budget)
+    yield
+    signal.alarm(0)
+    signal.signal(signal.SIGALRM, old)
+
+
+class TestDifferentialAgreement:
+    """All decode paths, same verdict, on every seeded mutant."""
+
+    @pytest.mark.parametrize(
+        "idx,base,op,data",
+        MUTANTS,
+        ids=[f"{i:03d}-{b}-{o}" for i, b, o, _ in MUTANTS],
+    )
+    def test_paths_agree(self, idx, base, op, data, no_shm_leak):
+        verdicts = {name: run_path(fn, data) for name, fn in PATHS.items()}
+        kinds = {v[0] for v in verdicts.values()}
+        assert len(kinds) == 1, (
+            f"mutant {idx} ({op} of {base}): split ok/err verdict: "
+            f"{ {n: v[0] for n, v in verdicts.items()} }"
+        )
+        if kinds == {"ok"}:
+            _, ref_digests, ref_counters = verdicts["scalar"]
+            for name, (_, digests, counters) in verdicts.items():
+                assert digests == ref_digests, (
+                    f"mutant {idx} ({op} of {base}): {name} pixels "
+                    "diverge from scalar"
+                )
+                assert counters == ref_counters, (
+                    f"mutant {idx} ({op} of {base}): {name} counters "
+                    "diverge from scalar"
+                )
+        else:
+            classes = {v[1] for v in verdicts.values()}
+            assert len(classes) == 1, (
+                f"mutant {idx} ({op} of {base}): paths disagree on error "
+                f"class: { {n: v[1] for n, v in verdicts.items()} }"
+            )
+
+
+class TestSweepPostconditions:
+    """Whole-sweep invariants, cheap to assert once at the end."""
+
+    def test_recipe_is_pinned(self):
+        # Renumbering mutants silently would orphan the promoted
+        # negative vectors; pin the first few (base, op) draws.
+        head = [(b, o) for _, b, o, _ in generate_mutants(4)]
+        assert head == [
+            ("pad_40x24_gop4", "flip"),
+            ("two_gop_48x32", "flip"),
+            ("pad_40x24_gop4", "flip"),
+            ("two_gop_48x32", "splice"),
+        ], "fuzz recipe drifted: promoted mutants no longer reproducible"
+
+    def test_mutant_floor(self):
+        assert MUTANT_COUNT >= 200 or "REPRO_FUZZ_MUTANTS" in os.environ
+
+    def test_sweep_is_interesting(self):
+        # Degenerate sweeps (everything ok, or everything the same
+        # error) would mean the mutator stopped biting.
+        verdicts = [run_path(_scalar, d)[0] for *_ignored, d in MUTANTS[:50]]
+        assert "ok" in verdicts and "err" in verdicts
+
+    def test_no_stray_children(self):
+        assert_no_stray_children()

@@ -132,6 +132,109 @@ NEGATIVES: dict[str, dict] = {
 }
 
 
+# ----------------------------------------------------------------------
+# promoted fuzz mutants
+# ----------------------------------------------------------------------
+#
+# The differential fuzz sweep (tests/serve/test_fuzz_containment.py)
+# found two real bugs; the mutants that triggered them are promoted
+# here so the corpus pins the fixes forever, independent of the sweep.
+# Bytes are *re-derived* from the seeded recipe (seed 1234, the
+# ``mutate`` function, BASE_ORDER) — the mutant index below is the
+# mutant's index in every fuzz run, past and future.
+#
+# Two flavours: a promoted mutant either still *decodes* (entry pins
+# ``frame_digests`` like the other negatives) or is *rejected* (entry
+# pins ``error``, the exception class every decode path must raise).
+
+FUZZ_PROMOTED: dict[str, dict] = {
+    "neg_fuzz013_trunc_zero_slice": dict(
+        mutant=13,
+        note=(
+            "fuzz mutant 013: truncated pad_40x24_gop4 leaving a "
+            "zero-slice picture; decodes (blank frame) identically on "
+            "every path — crashed the slice-parallel merger (KeyError) "
+            "before the fix"
+        ),
+    ),
+    "neg_fuzz027_splice_bitstream_error": dict(
+        mutant=27,
+        note=(
+            "fuzz mutant 027: spliced intra_16x16_gop1; every path "
+            "must reject with BitstreamError — the fast block decoder "
+            "raised it without importing it (NameError) before the fix"
+        ),
+    ),
+    "neg_fuzz010_trunc_vlc_error": dict(
+        mutant=10,
+        note=(
+            "fuzz mutant 010: truncated ipb_64x48_gop13; every path "
+            "must reject with VLCError — pins the other unimported "
+            "exception-name site in the fast block decoder"
+        ),
+    ),
+}
+
+
+def promote_fuzz_mutants() -> dict[str, dict]:
+    """Re-derive the promoted mutants and cross-check all five paths.
+
+    Imported lazily (the fuzz module reads the committed vectors, so
+    the corpus files must be rewritten first) and verified with the
+    sweep's own ``run_path`` verdict machinery: serve included.
+    """
+    sys.path.insert(0, os.path.dirname(os.path.dirname(VECTOR_DIR)))
+    from tests.serve import test_fuzz_containment as fuzz
+
+    want = max(spec["mutant"] for spec in FUZZ_PROMOTED.values()) + 1
+    mutants = fuzz.generate_mutants(want)
+    out: dict[str, dict] = {}
+    for name, spec in FUZZ_PROMOTED.items():
+        idx, base, op, data = mutants[spec["mutant"]]
+        verdicts = {p: fuzz.run_path(fn, data) for p, fn in fuzz.PATHS.items()}
+        kinds = {v[0] for v in verdicts.values()}
+        assert len(kinds) == 1, (name, verdicts)
+        entry = {
+            "file": f"{name}.m2v",
+            "base": base,
+            "note": spec["note"],
+            "fuzz": {"seed": fuzz.FUZZ_SEED, "index": idx, "op": op},
+            "stream_sha256": hashlib.sha256(data).hexdigest(),
+            "stream_bytes": len(data),
+        }
+        if kinds == {"ok"}:
+            _, digests, counters = verdicts["scalar"]
+            for p, (_, d, c) in verdicts.items():
+                assert d == digests and c == counters, (name, p)
+            # Real worker pools must agree with the in-process paths.
+            w2 = MPSliceDecoder(data, workers=2, mode="improved").decode_all()
+            assert [f.digest() for f in w2] == digests, name
+            entry["frame_digests"] = digests
+            flavour = f"decodable, {len(digests)} pictures"
+        else:
+            classes = {v[1] for v in verdicts.values()}
+            assert len(classes) == 1, (name, verdicts)
+            for label, mk in (
+                ("mp-slice-w2", lambda d: MPSliceDecoder(
+                    d, workers=2, mode="improved")),
+                ("mp-gop-w2", lambda d: MPGopDecoder(d, workers=2)),
+            ):
+                try:
+                    mk(data).decode_all()
+                except Exception as exc:
+                    assert type(exc).__name__ in classes, (name, label, exc)
+                else:
+                    raise AssertionError(f"{name}: {label} decoded a reject")
+            entry["error"] = classes.pop()
+            flavour = f"rejected with {entry['error']}"
+
+        with open(os.path.join(VECTOR_DIR, entry["file"]), "wb") as fh:
+            fh.write(data)
+        out[name] = entry
+        print(f"{name}: {len(data)} bytes ({flavour})")
+    return out
+
+
 def negative_reference(data: bytes) -> tuple[list[str], WorkCounters]:
     """Scalar-oracle digests + counters for a negative stream."""
     counters = WorkCounters()
@@ -227,6 +330,10 @@ def main() -> int:
             "frame_digests": golden,
         }
         print(f"{name}: {len(data)} bytes ({spec['note']})")
+
+    # Promoted fuzz mutants ride in the same negative corpus (after
+    # the base vector files above are on disk — the recipe reads them).
+    negative.update(promote_fuzz_mutants())
 
     with open(DIGEST_PATH, "w") as fh:
         json.dump(
