@@ -69,6 +69,14 @@ SMALL_MATRIX = paper_stream_matrix(pictures=4, resolution_divisor=4, gop_sizes=(
 DECODE_REPEATS = 5
 
 
+def _cores() -> int:
+    """Effective core count (affinity mask, not package count)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def _traced_stage_breakdown(data: bytes, engine: str = "batched") -> dict:
     """One traced decode pass -> per-stage span totals.
 
@@ -166,6 +174,7 @@ def run(path: str = OUTPUT_PATH) -> dict[str, object]:
         "numpy": np.__version__,
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "cpu_affinity": _cores(),
         "decode_repeats": DECODE_REPEATS,
         "headline": HEADLINE_SPEC.name,
         "headline_decode_speedup": headline["decode_speedup"],
@@ -177,9 +186,37 @@ def run(path: str = OUTPUT_PATH) -> dict[str, object]:
     return report
 
 
+#: The perf-smoke spec: the largest quarter-scale matrix row — big
+#: enough that the batched engine's win sits far above shared-runner
+#: timing noise, small enough that two interleaved passes per engine
+#: finish in a couple of seconds.
+SMOKE_SPEC = SMALL_MATRIX[-1]
+
+
+@pytest.mark.perf
+@pytest.mark.perf_smoke
+def test_perf_smoke(record) -> None:
+    """Fast sanity gate for the default CI matrix (``-m perf_smoke``).
+
+    Not a calibrated benchmark: one small stream, two passes per
+    engine, and a deliberately loose 2x floor.  It exists to catch
+    "the batched engine stopped being fast at all" on every push
+    without the full harness's runtime or its sensitivity to noisy
+    shared runners.
+    """
+    row = bench_stream(SMOKE_SPEC, repeats=2)
+    record(
+        f"{SMOKE_SPEC.name}: scalar "
+        f"{row['decode']['scalar']['pictures_per_sec']:.2f} p/s, batched "
+        f"{row['decode']['batched']['pictures_per_sec']:.2f} p/s, "
+        f"speedup {row['decode_speedup']:.2f}x (floor 2.0x)"
+    )
+    assert row["decode_speedup"] >= 2.0
+
+
 @pytest.mark.perf
 def test_perf_decode(record) -> None:
-    """Perf gate: batched must beat scalar >= 3x on the headline stream."""
+    """Perf gate: batched must beat scalar >= 4x on the headline stream."""
     report = run()
     lines = [
         f"{'stream':<24}{'scalar p/s':>12}{'batched p/s':>13}{'speedup':>9}"
@@ -198,7 +235,7 @@ def test_perf_decode(record) -> None:
         f"{split['amdahl_bound']:.2f}x"
     )
     record("\n".join(lines))
-    assert report["headline_decode_speedup"] >= 3.0
+    assert report["headline_decode_speedup"] >= 4.0
 
 
 def main() -> int:
@@ -211,7 +248,7 @@ def main() -> int:
             f"  speedup {row['decode_speedup']:.2f}x"
         )
     print(f"headline speedup: {report['headline_decode_speedup']:.2f}x")
-    return 0 if report["headline_decode_speedup"] >= 3.0 else 1
+    return 0 if report["headline_decode_speedup"] >= 4.0 else 1
 
 
 if __name__ == "__main__":

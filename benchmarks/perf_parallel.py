@@ -143,6 +143,7 @@ def _traced_headline_obs(data: bytes, workers: int = 4) -> dict[str, object]:
         stall_breakdown,
         utilization,
     )
+    from repro.obs.metrics import metrics, reset_metrics
     from repro.obs.trace import (
         disable_tracing,
         enable_tracing,
@@ -150,16 +151,25 @@ def _traced_headline_obs(data: bytes, workers: int = 4) -> dict[str, object]:
         to_chrome,
     )
 
+    reset_metrics()
     enable_tracing(process_name="perf_parallel (scan+merge)")
     try:
         decoder = MPGopDecoder(data, workers=workers)
         decoder.decode_all()
         doc = to_chrome(get_tracer().events)
         names = process_names(doc)
+        counters = metrics().snapshot()["counters"]
         return {
             "workers": workers,
             "stall_breakdown": decoder.stall_breakdown(),
             "trace_stall_breakdown": stall_breakdown(doc),
+            # Dispatch cost: queue messages for the whole run (chunked
+            # coalescing makes this ~2*workers instead of one per GOP)
+            # and the cumulative parent/worker queue-wait seconds.
+            "dispatch_messages": counters.get("mp.dispatch.messages", 0),
+            "queue_get_stall_seconds": decoder.last_stalls.by_reason().get(
+                "queue.get", 0.0
+            ),
             "utilization": {
                 names.get(pid, str(pid)): rec
                 for pid, rec in utilization(doc).items()

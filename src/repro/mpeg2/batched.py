@@ -8,27 +8,48 @@ models that split for the cycle simulation; this module exploits it
 for the decoder's own wall-clock speed:
 
 Phase 1 (:func:`parse_slice`) performs **only bit work**: VLC decode,
-run/level expansion, DC and motion-vector prediction.  It touches no
-pixels; its output is a :class:`SliceParse` — per-macroblock levels,
-modes, quantiser scales and absolute half-pel motion vectors, plus the
-slice's exact :class:`~repro.mpeg2.counters.WorkCounters`.
+run/level expansion, DC and motion-vector prediction.  The whole
+slice — header, macroblock addressing, macroblock type, quantiser
+updates, motion vectors, coded block patterns and every coefficient —
+is decoded by one function holding a single small bit accumulator in
+locals, refilled eight bytes at a time, against flattened versions of
+every VLC table (plain ``int`` length/symbol arrays; the run/level
+table additionally folds the sign bit into one extra window bit, so a
+coefficient costs one table walk instead of a codeword walk plus a
+sign-bit read).  There are no per-symbol method calls and no
+per-macroblock array allocations; the output is a :class:`SliceParse`
+of flat Python lists, with coefficients stored as a sparse marked
+stream of small packed ints — one negative block marker, then
+``(scan_position << 24) | (value + bias)`` per coefficient — whose
+positions stay in **scan** space (phase 2 forward-fills the markers
+and applies the scan permutation to the whole stream in a few
+vectorized passes, so no block is ever un-scanned individually and
+the parser spends nothing on it).
 
-Phase 2 (:func:`reconstruct_slices`) turns a picture's parses into
-pixels with a handful of vectorized operations: one inverse
-quantization over every coded block of the picture (mismatch control
-included), **one** :func:`~repro.mpeg2.dct.idct_rounded` call for the
-whole picture, motion compensation grouped by (reference, half-pel
-phase) so each group is a single strided gather + average, and one
-fancy-indexed scatter of all macroblocks into the frame planes.
+Phase 2 reconstructs pixels with a handful of vectorized operations
+over a whole *picture or GOP* at a time: slices are concatenated into
+one :class:`PictureAssembly` per picture
+(:func:`assemble_picture`), every coded block of every picture in the
+batch goes through **one** inverse quantization + **one**
+:func:`~repro.mpeg2.dct.idct_rounded` call
+(:func:`gop_dequant_idct` — dequant and IDCT depend only on levels
+and quantiser scales, never on reference frames, so they batch across
+pictures), and each picture is finished by :func:`mc_scatter` —
+motion compensation grouped by (reference, half-pel phase) and one
+fancy-indexed scatter per plane.  MC must stay per picture in coding
+order because P and B pictures fetch from previously reconstructed
+references.
 
 Bit-exactness
 -------------
 The fast path is bit-identical to the scalar path by construction:
 
-* phase 1 shares :func:`repro.mpeg2.macroblock.parse_macroblock` and
-  the predictor-state transitions verbatim with ``decode_slice``;
+* phase 1 performs the same syntax walk and predictor-state
+  transitions as ``decode_slice``, raising the same exception classes
+  at the same stream positions on corrupt input (pinned by the
+  cross-engine parity and negative-vector suites);
 * ``scipy.fft``'s IDCT is batch-size invariant (tested), so one call
-  per picture equals one call per macroblock;
+  per GOP equals one call per macroblock;
 * half-pel averaging uses the same ``(a+b+1)>>1`` integer arithmetic
   as :func:`repro.mpeg2.motion.predict_block`, applied per phase
   group;
@@ -45,88 +66,307 @@ those of the scalar decoder — all paper experiments are unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-from repro.bitstream import BitReader
-from repro.mpeg2.constants import PictureType
+from repro.bitstream.reader import BitstreamError
+from repro.mpeg2.blockcoding import (
+    _AC_EOB_RUN,
+    _AC_MAGS,
+    _AC_RUNS,
+    BlockSyntaxError,
+)
+from repro.mpeg2.constants import PictureType, quantiser_scale
 from repro.mpeg2.counters import WorkCounters
 from repro.mpeg2.dct import idct_rounded
 from repro.mpeg2.frame import Frame
-from repro.mpeg2.headers import PictureHeader, SequenceHeader, SliceHeader
-from repro.mpeg2.macroblock import (
-    _CBP_BLOCK_INDEX,
-    _apply_coded_state,
-    SliceDecodeError,
-    SliceState,
-    parse_macroblock,
+from repro.mpeg2.headers import PictureHeader, SequenceHeader
+from repro.mpeg2.macroblock import SliceDecodeError
+from repro.mpeg2.quant import dequantize_intra_f64, dequantize_non_intra_f64
+from repro.mpeg2.scan import scan_to_raster_flat
+from repro.mpeg2.tables import (
+    AC_RUN_LEVEL,
+    CODED_BLOCK_PATTERN,
+    DC_SIZE_CHROMA,
+    DC_SIZE_LUMA,
+    ESCAPE_LEVEL_BITS,
+    ESCAPE_RUN_BITS,
+    MB_ADDRESS_INCREMENT,
+    MB_TYPE_TABLES,
+    MBA_ESCAPE,
+    MBA_ESCAPE_VALUE,
+    MOTION_CODE,
 )
-from repro.mpeg2.motion import MotionVector
-from repro.mpeg2.quant import dequantize_intra, dequantize_non_intra
 from repro.mpeg2.reconstruct import write_macroblocks
-from repro.mpeg2.scan import ALTERNATE, ZIGZAG, unscan_block
-from repro.mpeg2.tables import MB_ADDRESS_INCREMENT, MBA_ESCAPE, MBA_ESCAPE_VALUE
 from repro.mpeg2.vlc import VLCError
 from repro.obs.trace import trace_span
 
 #: Pixels of one 4:2:0 macroblock (256 luma + 2 * 64 chroma).
 _MB_PIXELS = 256 + 64 + 64
 
-#: Shared all-zero level array for macroblocks with no residual
-#: (skipped and MC-only macroblocks).  Read-only so every record may
-#: alias it.
-_ZERO_LEVELS = np.zeros((6, 64), dtype=np.int64)
-_ZERO_LEVELS.setflags(write=False)
+#: Coefficient capacity of one macroblock record (6 blocks x 64).
+_MB_COEFFS = 6 * 64
+
+
+# ----------------------------------------------------------------------
+# Flattened VLC tables for the inlined phase-1 parser.  Each table
+# becomes parallel flat arrays over every max_len-bit window: a
+# ``bytes`` length table (0 = invalid prefix) and a plain-int symbol
+# list — two indexed loads per symbol against local variables, no
+# attribute walks, no tuple unpacking, no ``np.int64`` boxing.
+# ----------------------------------------------------------------------
+
+#: ``_MASKS[b] == (1 << b) - 1``.  The accumulator is only trimmed at
+#: refill time (every window peek masks what it extracts), and a
+#: refill only fires when the valid-bit count is below the symbol's
+#: max length (< 32), so the index into this table stays < 32 even
+#: though the accumulator itself can hold up to ~90 stale+valid bits
+#: after an eight-byte refill.
+_MASKS: tuple[int, ...] = tuple((1 << i) - 1 for i in range(64))
+
+#: MBA windows: increment 1..33, with the escape mapped to 0 (valid
+#: increments are never 0, so the sentinel is free).
+_MBA_LENS = MB_ADDRESS_INCREMENT._dec_lens
+_MBA_MAXLEN = MB_ADDRESS_INCREMENT.max_len
+_MBA_INC: list[int] = [
+    0 if s is None or s == MBA_ESCAPE else s
+    for s in MB_ADDRESS_INCREMENT._dec_syms
+]
+
+#: Macroblock-type windows, one table per picture type.  Mode flags
+#: are packed into one int: quant|mc_fwd<<1|mc_bwd<<2|coded<<3|intra<<4.
+_MT_QUANT, _MT_FWD, _MT_BWD, _MT_CODED, _MT_INTRA = 1, 2, 4, 8, 16
+
+
+def _pack_mode_flags(table) -> list[int]:
+    flags = [0] * (1 << table.max_len)
+    for w, sym in enumerate(table._dec_syms):
+        if sym is None:
+            continue
+        flags[w] = (
+            (_MT_QUANT if sym.quant else 0)
+            | (_MT_FWD if sym.mc_fwd else 0)
+            | (_MT_BWD if sym.mc_bwd else 0)
+            | (_MT_CODED if sym.coded else 0)
+            | (_MT_INTRA if sym.intra else 0)
+        )
+    return flags
+
+
+_MT_TABLES: dict[PictureType, tuple[bytes, list[int], int, str]] = {
+    ptype: (t._dec_lens, _pack_mode_flags(t), t.max_len, t.name)
+    for ptype, t in MB_TYPE_TABLES.items()
+}
+
+_MC_LENS = MOTION_CODE._dec_lens
+_MC_MAXLEN = MOTION_CODE.max_len
+_MC_SYMS: list[int] = [
+    0 if s is None else s for s in MOTION_CODE._dec_syms
+]
+
+_CBP_LENS = CODED_BLOCK_PATTERN._dec_lens
+_CBP_MAXLEN = CODED_BLOCK_PATTERN.max_len
+_CBP_SYMS: list[int] = [
+    0 if s is None else s for s in CODED_BLOCK_PATTERN._dec_syms
+]
+
+_DCL_LENS = DC_SIZE_LUMA._dec_lens
+_DCL_SYMS = DC_SIZE_LUMA._dec_syms
+_DCL_MAXLEN = DC_SIZE_LUMA.max_len
+_DCC_LENS = DC_SIZE_CHROMA._dec_lens
+_DCC_SYMS = DC_SIZE_CHROMA._dec_syms
+_DCC_MAXLEN = DC_SIZE_CHROMA.max_len
+
+_ESC_BITS = ESCAPE_RUN_BITS + ESCAPE_LEVEL_BITS
+_ESC_MASK = (1 << _ESC_BITS) - 1
+_ESC_LEVEL_SIGN = 1 << (ESCAPE_LEVEL_BITS - 1)
+_ESC_LEVEL_SPAN = 1 << ESCAPE_LEVEL_BITS
+
+
+def _build_signed_ac() -> tuple[bytes, list[int], list[int]]:
+    """Fold the sign bit of every run/level codeword into the table.
+
+    The decoder's hottest symbol is the AC run/level pair, whose
+    codeword is followed by one sign bit.  Widening the decode window
+    by that bit lets a single lookup yield length (codeword + sign),
+    run and *signed* level — the per-coefficient sign-bit read, with
+    its own bounds check and refill, disappears from the hot loop.
+    EOB and the escape prefix carry no sign bit and keep their true
+    length; invalid prefixes stay length 0.
+    """
+    maxlen = AC_RUN_LEVEL.max_len
+    lens = bytearray(1 << (maxlen + 1))
+    runs = [0] * (1 << (maxlen + 1))
+    lvls = [0] * (1 << (maxlen + 1))
+    base_lens = AC_RUN_LEVEL._dec_lens
+    for w in range(1 << maxlen):
+        length = base_lens[w]
+        if length == 0:
+            continue
+        run = _AC_RUNS[w]
+        w0 = w << 1
+        if run < 0:  # EOB or escape prefix: no sign bit follows
+            lens[w0] = lens[w0 | 1] = length
+            runs[w0] = runs[w0 | 1] = run
+        else:
+            mag = _AC_MAGS[w]
+            for b in (0, 1):
+                w1 = w0 | b
+                sign = (w1 >> (maxlen - length)) & 1
+                lens[w1] = length + 1
+                runs[w1] = run
+                lvls[w1] = -mag if sign else mag
+    return bytes(lens), runs, lvls
+
+
+_AC2_LENS, _AC2_RUNS, _AC2_LVLS = _build_signed_ac()
+_AC2_MAXLEN = AC_RUN_LEVEL.max_len + 1
+
+#: Sparse coefficients travel as a marked stream of *compact* ints
+#: (CPython stores ints below 2**30 inline in the object; keeping every
+#: entry under that bound makes the hot-loop shift/or/append and the
+#: phase-2 ``np.asarray`` conversion measurably cheaper than 33+-bit
+#: packed values).  Each coded block contributes one negative *marker*
+#: entry, ``-1 - block_base`` (``block_base = record * 384 + block *
+#: 64``), followed by one ``(scan_position << _COEF_SHIFT) | (value +
+#: _COEF_BIAS)`` entry per coefficient.  The 24-bit biased value field
+#: is ample: levels are bounded by the 12-bit escape range and DC
+#: predictor drift (at most ``128 + 2047 * 4 * mb_width`` on a
+#: corrupt-but-parseable slice — under 2**22 for the 12-bit picture
+#: widths the sequence header admits).
+_COEF_SHIFT = 24
+_COEF_BIAS = 1 << 23
+_COEF_VMASK = (1 << 24) - 1
+
+#: Hot-loop companion to ``_AC2_LVLS``: each signed level pre-biased
+#: into the packed value field, so the per-coefficient append is one
+#: shift and one or — no add.  Only ``run >= 0`` windows are ever
+#: read through this table.
+_AC2_BIASED: list[int] = [lvl + _COEF_BIAS for lvl in _AC2_LVLS]
+
+#: Fused multi-symbol AC decode: one ``_FUSE_BITS``-bit window maps to
+#: every *complete* run/level symbol it contains (average AC symbols
+#: run ~5 bits including the folded sign, so a window usually carries
+#: two).  ``_AC_FUSED[w] == (consumed_bits, eob, ((run, biased_level),
+#: ...))``: the walk stops — leaving ``consumed_bits`` at the last
+#: clean symbol boundary — before escape codes, invalid prefixes and
+#: codewords that straddle the window, all of which the single-symbol
+#: path then handles at the exact same bit position the scalar decoder
+#: would report.  An EOB inside the window is consumed and flagged
+#: instead of emitted.  Built lazily on first use (16K windows) so
+#: importing the module stays cheap for short-lived processes.
+_FUSE_BITS = 14
+_FUSE_MASK = (1 << _FUSE_BITS) - 1
+_AC_FUSED: list[tuple[int, int, tuple]] | None = None
+
+
+def _build_fused_ac() -> list[tuple[int, int, tuple]]:
+    global _AC_FUSED
+    if _AC_FUSED is not None:
+        return _AC_FUSED
+    lens = _AC2_LENS
+    runs = _AC2_RUNS
+    biased = _AC2_BIASED
+    maxlen = _AC2_MAXLEN
+    fb = _FUSE_BITS
+    table: list[tuple[int, int, tuple]] = []
+    for w in range(1 << fb):
+        pos = 0
+        eob = 0
+        pairs: list[tuple[int, int]] = []
+        while True:
+            rem = fb - pos
+            if rem <= 0:
+                break
+            sub = w & ((1 << rem) - 1)
+            # The next symbol's decode window, left-aligned; zero
+            # padding is safe because a decode is only accepted when
+            # the codeword fits entirely in the ``rem`` real bits.
+            if rem < maxlen:
+                wnd = sub << (maxlen - rem)
+            else:
+                wnd = sub >> (rem - maxlen)
+            length = lens[wnd]
+            if length == 0 or length > rem:
+                break
+            run = runs[wnd]
+            if run >= 0:
+                pairs.append((run, biased[wnd]))
+                pos += length
+                continue
+            if run == _AC_EOB_RUN:
+                pos += length
+                eob = 1
+            break
+        table.append((pos, eob, tuple(pairs)))
+    _AC_FUSED = table
+    return table
+
+#: ``_POPCNT6[cbp]`` = coded blocks in a 6-bit coded block pattern.
+_POPCNT6: list[int] = [bin(c).count("1") for c in range(64)]
+
+#: Initial/reset value of the intra DC predictors (level space).
+_DC_RESET = 128
 
 
 # ======================================================================
 # phase 1: parse
 # ======================================================================
-@dataclass
 class SliceParse:
-    """Phase-1 output for one slice: records + exact work counters.
+    """Phase-1 output for one slice: flat records + exact work counters.
 
-    Records are parallel lists over the slice's reconstructed
+    Records are parallel Python lists over the slice's reconstructed
     macroblocks (coded *and* skipped, in address order).  Motion
-    vectors are absolute luma half-pel ``(dy, dx)`` tuples or ``None``.
+    vectors are stored struct-of-arrays: a presence flag plus absolute
+    luma half-pel ``dy``/``dx`` components per direction.  Coefficients
+    are a sparse marked stream of compact packed ints: each coded
+    block opens with ``-1 - (record * 384 + block * 64)`` and is
+    followed by ``(scan_position << 24) | (level + 2**23)`` per
+    coefficient — positions stay in scan space during parse
+    (``alternate_scan`` records which permutation applies); phase 2
+    forward-fills the markers, permutes to raster and scatters the
+    whole stream with a handful of vector ops.
     """
 
-    vertical_position: int
-    counters: WorkCounters
-    addresses: list[int] = field(default_factory=list)
-    intra: list[bool] = field(default_factory=list)
-    qscale: list[int] = field(default_factory=list)
-    levels: list[np.ndarray] = field(default_factory=list)
-    cbp: list[int] = field(default_factory=list)
-    mv_fwd: list[tuple[int, int] | None] = field(default_factory=list)
-    mv_bwd: list[tuple[int, int] | None] = field(default_factory=list)
+    __slots__ = (
+        "vertical_position",
+        "alternate_scan",
+        "counters",
+        "addresses",
+        "intra",
+        "qscale",
+        "cbp",
+        "f_on",
+        "f_dy",
+        "f_dx",
+        "b_on",
+        "b_dy",
+        "b_dx",
+        "coef_packed",
+    )
 
-    def append(
-        self,
-        address: int,
-        intra: bool,
-        qscale: int,
-        levels: np.ndarray,
-        cbp: int,
-        mv_fwd: tuple[int, int] | None,
-        mv_bwd: tuple[int, int] | None,
-    ) -> None:
-        self.addresses.append(address)
-        self.intra.append(intra)
-        self.qscale.append(qscale)
-        self.levels.append(levels)
-        self.cbp.append(cbp)
-        self.mv_fwd.append(mv_fwd)
-        self.mv_bwd.append(mv_bwd)
+    def __init__(self, vertical_position: int, counters: WorkCounters) -> None:
+        self.vertical_position = vertical_position
+        self.alternate_scan = False
+        self.counters = counters
+        self.addresses: list[int] = []
+        self.intra: list[bool] = []
+        self.qscale: list[int] = []
+        self.cbp: list[int] = []
+        self.f_on: list[bool] = []
+        self.f_dy: list[int] = []
+        self.f_dx: list[int] = []
+        self.b_on: list[bool] = []
+        self.b_dy: list[int] = []
+        self.b_dx: list[int] = []
+        self.coef_packed: list[int] = []
 
     def __len__(self) -> int:
         return len(self.addresses)
 
 
 def _validate_mv(
-    mv: MotionVector, mb_row: int, mb_col: int, luma_h: int, luma_w: int
+    dy: int, dx: int, mb_row: int, mb_col: int, luma_h: int, luma_w: int
 ) -> None:
     """Parse-time replica of ``predict_block``'s bounds predicate.
 
@@ -136,8 +376,6 @@ def _validate_mv(
     behaviour identical to the scalar path, which raises the same
     class from ``predict_block`` during reconstruction.
     """
-    dy = mv.dy
-    dx = mv.dx
     top = mb_row * 16 + (dy >> 1)
     left = mb_col * 16 + (dx >> 1)
     if (
@@ -147,11 +385,10 @@ def _validate_mv(
         or left + 16 + (dx & 1) > luma_w
     ):
         raise ValueError(
-            f"motion vector {mv} displaces macroblock ({mb_row},{mb_col}) "
-            f"outside reference plane ({luma_h}, {luma_w})"
+            f"motion vector (dy={dy}, dx={dx}) displaces macroblock "
+            f"({mb_row},{mb_col}) outside reference plane ({luma_h}, {luma_w})"
         )
-    # Chroma vector truncates toward zero (``MotionVector.chroma``),
-    # inlined here because this runs once per inter prediction parsed.
+    # Chroma vector truncates toward zero (``MotionVector.chroma``).
     cdy = dy // 2 if dy >= 0 else -((-dy) // 2)
     cdx = dx // 2 if dx >= 0 else -((-dx) // 2)
     ctop = mb_row * 8 + (cdy >> 1)
@@ -163,7 +400,7 @@ def _validate_mv(
         or cleft + 8 + (cdx & 1) > luma_w // 2
     ):
         raise ValueError(
-            f"motion vector {mv} displaces chroma of macroblock "
+            f"motion vector (dy={dy}, dx={dx}) displaces chroma of macroblock "
             f"({mb_row},{mb_col}) outside reference plane"
         )
 
@@ -181,16 +418,22 @@ def parse_slice(
     Performs exactly the bit work of
     :func:`repro.mpeg2.macroblock.decode_slice` — same syntax walk,
     same predictor-state transitions, same exception classes on
-    corrupt input — but touches no pixels.  ``has_fwd`` tells the
+    corrupt input — but touches no pixels and makes no per-symbol
+    method calls: the entire slice is decoded against one local bit
+    accumulator (MSB-aligned, refilled eight bytes at a time) and the
+    flattened module-level VLC tables.  The accumulator's bits above
+    the valid count are *stale*, not zero — every peek masks exactly
+    the window it extracts, and refills trim before shifting in new
+    bytes — which removes a mask-and-store from every symbol.  The
+    absolute bit position is implicit (``bytepos * 8 - abits``) and
+    only materialized in error messages.  ``has_fwd`` tells the
     P-picture skipped-macroblock check whether a forward reference
     exists (mirrors the scalar error).
     """
     local = WorkCounters()
-    local.bits += len(payload) * 8
-    local.headers += 1
-    r = BitReader(payload)
-    sh = SliceHeader.read(r)
-    state = SliceState(qscale_code=sh.quantiser_scale_code)
+    n = len(payload) * 8
+    local.bits = n
+    local.headers = 1
 
     row = vertical_position - 1
     if not 0 <= row < mb_height:
@@ -203,145 +446,937 @@ def parse_slice(
     luma_h = mb_height * 16
     luma_w = mb_width * 16
 
+    ptype = pic.picture_type
+    is_p = ptype is PictureType.P
+    is_b = ptype is PictureType.B
+    mt_lens, mt_flags, mt_maxlen, mt_name = _MT_TABLES[ptype]
+    mt_mask = _MASKS[mt_maxlen]
+
+    # Per-direction motion parameters (constant over the slice).
+    ff = 1 << (pic.forward_f_code - 1)
+    f_rbits = pic.forward_f_code - 1
+    f_low = -16 * ff
+    f_high = 16 * ff - 1
+    f_span = 32 * ff
+    bf = 1 << (pic.backward_f_code - 1)
+    b_rbits = pic.backward_f_code - 1
+    b_low = -16 * bf
+    b_high = 16 * bf - 1
+    b_span = 32 * bf
+
+    # ---- bit cursor: low ``abits`` bits of ``acc`` are valid (higher
+    # bits stale); next refill byte ``bytepos``; absolute position is
+    # ``bytepos * 8 - abits``.
+    data = payload
+    masks = _MASKS
+    ifb = int.from_bytes
+
+    # ---- slice header: 5-bit quantiser_scale_code + extra bit ------
+    if n < 6:
+        # Payloads are whole bytes, so this is the empty slice; same
+        # class/message family as BitReader.read_bits.
+        raise BitstreamError(
+            f"read past end of stream (want 5 bits at 0, have {n})"
+        )
+    chunk = data[:8]
+    bytepos = len(chunk)
+    abits = bytepos << 3
+    acc = ifb(chunk, "big")
+    qscale_code = (acc >> (abits - 5)) & 31
+    abits -= 5
+    if qscale_code == 0:
+        raise ValueError("quantiser_scale_code must be nonzero")
+    if (acc >> (abits - 1)) & 1:
+        raise ValueError("unexpected extra_information_slice")
+    abits -= 1
+    qscale = quantiser_scale(qscale_code)
+
+    # ---- predictor state, all locals -------------------------------
+    dc0 = dc1 = dc2 = _DC_RESET
+    pf_dy = pf_dx = pb_dy = pb_dx = 0  # motion-vector predictors
+    prev_valid = False  # B skipped-MB rule: previous MB's mode known?
+    prev_f_on = prev_b_on = False
+    pv_f_dy = pv_f_dx = pv_b_dy = pv_b_dx = 0
+
+    # ---- counters, accumulated in locals ---------------------------
+    vlc_symbols = 0
+    macroblocks = 0
+    mc_macroblocks = 0
+    bidir_macroblocks = 0
+    idct_blocks = 0
+    dc_emits = 0
+    mc_pixels = 0
+    pixels = 0
+
     sp = SliceParse(vertical_position=vertical_position, counters=local)
-    mba_len = MB_ADDRESS_INCREMENT.max_len
-    mba_fast = MB_ADDRESS_INCREMENT.decode_fast
+    sp.alternate_scan = pic.alternate_scan
+    a_addr = sp.addresses.append
+    a_intra = sp.intra.append
+    a_qs = sp.qscale.append
+    a_cbp = sp.cbp.append
+    a_fon = sp.f_on.append
+    a_fdy = sp.f_dy.append
+    a_fdx = sp.f_dx.append
+    a_bon = sp.b_on.append
+    a_bdy = sp.b_dy.append
+    a_bdx = sp.b_dx.append
+    a_cp = sp.coef_packed.append
+    rec = 0
+
+    mba_lens = _MBA_LENS
+    mba_inc = _MBA_INC
+    mba_maxlen = _MBA_MAXLEN
+    mba_mask = _MASKS[mba_maxlen]
+    mc_lens = _MC_LENS
+    mc_syms = _MC_SYMS
+    mc_maxlen = _MC_MAXLEN
+    mc_mask = _MASKS[mc_maxlen]
+    cbp_mask = _MASKS[_CBP_MAXLEN]
+    ac_lens = _AC2_LENS
+    ac_runs = _AC2_RUNS
+    ac_biased = _AC2_BIASED
+    ac_maxlen = _AC2_MAXLEN
+    ac_fused = _AC_FUSED
+    if ac_fused is None:
+        ac_fused = _build_fused_ac()
+    ac_mask = _MASKS[ac_maxlen]
 
     while prev_addr < row_last:
+        # ---- macroblock address increment (with escape) ------------
         increment = 0
         while True:
-            # Raw-window VLC decode (own bit cursor): peek, table
-            # lookup, consume the matched length.
-            sym, length = mba_fast(r.peek_bits(mba_len))
-            if length == 0:
-                raise VLCError(
-                    f"{MB_ADDRESS_INCREMENT.name}: invalid codeword at bit "
-                    f"{r.bit_position}"
-                )
-            if length > r.bits_remaining:
-                raise VLCError(
-                    f"{MB_ADDRESS_INCREMENT.name}: truncated codeword at end "
-                    "of stream"
-                )
-            r.skip_bits(length)
-            local.vlc_symbols += 1
-            if sym == MBA_ESCAPE:
-                increment += MBA_ESCAPE_VALUE
+            if abits < mba_maxlen:
+                chunk = data[bytepos : bytepos + 8]
+                nb = len(chunk)
+                acc = ((acc & masks[abits]) << (nb << 3)) | ifb(chunk, "big")
+                abits += nb << 3
+                bytepos += nb
+            if abits >= mba_maxlen:
+                w = (acc >> (abits - mba_maxlen)) & mba_mask
+                length = mba_lens[w]
+                if length == 0:
+                    raise VLCError(
+                        f"{MB_ADDRESS_INCREMENT.name}: invalid codeword at "
+                        f"bit {bytepos * 8 - abits} (window {w:0{mba_maxlen}b})"
+                    )
             else:
-                increment += sym
+                # Stream tail: remaining real bits == abits.
+                w = (acc << (mba_maxlen - abits)) & mba_mask
+                length = mba_lens[w]
+                if length == 0:
+                    raise VLCError(
+                        f"{MB_ADDRESS_INCREMENT.name}: invalid codeword at "
+                        f"bit {bytepos * 8 - abits} (window {w:0{mba_maxlen}b})"
+                    )
+                if length > abits:
+                    raise VLCError(
+                        f"{MB_ADDRESS_INCREMENT.name}: truncated codeword at "
+                        "end of stream"
+                    )
+            abits -= length
+            vlc_symbols += 1
+            inc = mba_inc[w]
+            if inc:
+                increment += inc
                 break
+            increment += MBA_ESCAPE_VALUE
         address = prev_addr + increment
         if address > row_last:
             raise SliceDecodeError(
                 f"macroblock address {address} beyond end of row {row}"
             )
+
+        # ---- skipped macroblocks -----------------------------------
         for skipped in range(prev_addr + 1, address):
-            _parse_skipped(
-                skipped, state, pic.picture_type, local, sp, has_fwd,
-                luma_h, luma_w, mb_width,
-            )
-        _parse_coded(r, address, state, pic, local, sp, luma_h, luma_w, mb_width)
+            macroblocks += 1
+            if is_p:
+                if not has_fwd:
+                    raise SliceDecodeError(
+                        "P skipped macroblock without forward reference"
+                    )
+                # Co-located copy == zero-MV forward prediction of a
+                # zero residual; the record shares the MC path.
+                pixels += _MB_PIXELS
+                mc_pixels += _MB_PIXELS
+                a_addr(skipped)
+                a_intra(False)
+                a_qs(qscale)
+                a_cbp(0)
+                a_fon(True)
+                a_fdy(0)
+                a_fdx(0)
+                a_bon(False)
+                a_bdy(0)
+                a_bdx(0)
+                rec += 1
+                pf_dy = pf_dx = pb_dy = pb_dx = 0  # reset_pmv
+            elif is_b:
+                if not prev_valid:
+                    raise SliceDecodeError(
+                        "B skipped macroblock with no previous mode"
+                    )
+                if not prev_f_on and not prev_b_on:
+                    raise ValueError(
+                        "prediction requested with no motion vectors"
+                    )
+                mb_row = skipped // mb_width
+                mb_col = skipped - mb_row * mb_width
+                if prev_f_on:
+                    _validate_mv(
+                        pv_f_dy, pv_f_dx, mb_row, mb_col, luma_h, luma_w
+                    )
+                if prev_b_on:
+                    _validate_mv(
+                        pv_b_dy, pv_b_dx, mb_row, mb_col, luma_h, luma_w
+                    )
+                nrefs = (1 if prev_f_on else 0) + (1 if prev_b_on else 0)
+                mc_pixels += nrefs * _MB_PIXELS
+                mc_macroblocks += 1
+                if prev_f_on and prev_b_on:
+                    bidir_macroblocks += 1
+                pixels += _MB_PIXELS
+                a_addr(skipped)
+                a_intra(False)
+                a_qs(qscale)
+                a_cbp(0)
+                a_fon(prev_f_on)
+                a_fdy(pv_f_dy)
+                a_fdx(pv_f_dx)
+                a_bon(prev_b_on)
+                a_bdy(pv_b_dy)
+                a_bdx(pv_b_dx)
+                rec += 1
+            else:
+                raise SliceDecodeError(
+                    "skipped macroblocks are illegal in I-pictures"
+                )
+            dc0 = dc1 = dc2 = _DC_RESET  # reset_dc
+
+        # ---- coded macroblock: macroblock_type ---------------------
+        if abits < mt_maxlen:
+            chunk = data[bytepos : bytepos + 8]
+            nb = len(chunk)
+            acc = ((acc & masks[abits]) << (nb << 3)) | ifb(chunk, "big")
+            abits += nb << 3
+            bytepos += nb
+        if abits >= mt_maxlen:
+            w = (acc >> (abits - mt_maxlen)) & mt_mask
+            length = mt_lens[w]
+            if length == 0:
+                raise VLCError(
+                    f"{mt_name}: invalid codeword at bit "
+                    f"{bytepos * 8 - abits} (window {w:0{mt_maxlen}b})"
+                )
+        else:
+            w = (acc << (mt_maxlen - abits)) & mt_mask
+            length = mt_lens[w]
+            if length == 0:
+                raise VLCError(
+                    f"{mt_name}: invalid codeword at bit "
+                    f"{bytepos * 8 - abits} (window {w:0{mt_maxlen}b})"
+                )
+            if length > abits:
+                raise VLCError(
+                    f"{mt_name}: truncated codeword at end of stream"
+                )
+        abits -= length
+        flags = mt_flags[w]
+        vlc_symbols += 1
+        macroblocks += 1
+
+        if flags & _MT_QUANT:
+            if abits < 5:
+                chunk = data[bytepos : bytepos + 8]
+                nb = len(chunk)
+                acc = ((acc & masks[abits]) << (nb << 3)) | ifb(chunk, "big")
+                abits += nb << 3
+                bytepos += nb
+                if abits < 5:
+                    raise BitstreamError(
+                        f"read past end of stream (want 5 bits at "
+                        f"{n - abits}, have {abits})"
+                    )
+            code = (acc >> (abits - 5)) & 31
+            abits -= 5
+            if code == 0:
+                raise SliceDecodeError("macroblock quantiser_scale_code of 0")
+            qscale = quantiser_scale(code)
+
+        # ---- motion vectors (dx then dy per direction) -------------
+        f_on = False
+        fdy = fdx = 0
+        if flags & _MT_FWD:
+            # dx component
+            for comp in (0, 1):
+                if abits < mc_maxlen:
+                    chunk = data[bytepos : bytepos + 8]
+                    nb = len(chunk)
+                    acc = (
+                        (acc & masks[abits]) << (nb << 3)
+                    ) | ifb(chunk, "big")
+                    abits += nb << 3
+                    bytepos += nb
+                if abits >= mc_maxlen:
+                    w = (acc >> (abits - mc_maxlen)) & mc_mask
+                    length = mc_lens[w]
+                    if length == 0:
+                        raise VLCError(
+                            f"{MOTION_CODE.name}: invalid codeword at bit "
+                            f"{bytepos * 8 - abits} (window {w:0{mc_maxlen}b})"
+                        )
+                else:
+                    w = (acc << (mc_maxlen - abits)) & mc_mask
+                    length = mc_lens[w]
+                    if length == 0:
+                        raise VLCError(
+                            f"{MOTION_CODE.name}: invalid codeword at bit "
+                            f"{bytepos * 8 - abits} (window {w:0{mc_maxlen}b})"
+                        )
+                    if length > abits:
+                        raise VLCError(
+                            f"{MOTION_CODE.name}: truncated codeword at end "
+                            "of stream"
+                        )
+                abits -= length
+                code = mc_syms[w]
+                if ff == 1 or code == 0:
+                    delta = code
+                else:
+                    if abits < f_rbits:
+                        chunk = data[bytepos : bytepos + 8]
+                        nb = len(chunk)
+                        acc = (
+                            (acc & masks[abits]) << (nb << 3)
+                        ) | ifb(chunk, "big")
+                        abits += nb << 3
+                        bytepos += nb
+                        if abits < f_rbits:
+                            raise BitstreamError(
+                                f"read past end of stream (want {f_rbits} "
+                                f"bits at {n - abits}, have {abits})"
+                            )
+                    residual = (acc >> (abits - f_rbits)) & (ff - 1)
+                    abits -= f_rbits
+                    delta = (
+                        1 + ff * ((code if code >= 0 else -code) - 1)
+                        + residual
+                    )
+                    if code < 0:
+                        delta = -delta
+                if comp == 0:
+                    value = pf_dx + delta
+                else:
+                    value = pf_dy + delta
+                while value < f_low:
+                    value += f_span
+                while value > f_high:
+                    value -= f_span
+                if comp == 0:
+                    pf_dx = value
+                else:
+                    pf_dy = value
+            fdy = pf_dy
+            fdx = pf_dx
+            f_on = True
+            vlc_symbols += 2
+        b_on = False
+        bdy = bdx = 0
+        if flags & _MT_BWD:
+            for comp in (0, 1):
+                if abits < mc_maxlen:
+                    chunk = data[bytepos : bytepos + 8]
+                    nb = len(chunk)
+                    acc = (
+                        (acc & masks[abits]) << (nb << 3)
+                    ) | ifb(chunk, "big")
+                    abits += nb << 3
+                    bytepos += nb
+                if abits >= mc_maxlen:
+                    w = (acc >> (abits - mc_maxlen)) & mc_mask
+                    length = mc_lens[w]
+                    if length == 0:
+                        raise VLCError(
+                            f"{MOTION_CODE.name}: invalid codeword at bit "
+                            f"{bytepos * 8 - abits} (window {w:0{mc_maxlen}b})"
+                        )
+                else:
+                    w = (acc << (mc_maxlen - abits)) & mc_mask
+                    length = mc_lens[w]
+                    if length == 0:
+                        raise VLCError(
+                            f"{MOTION_CODE.name}: invalid codeword at bit "
+                            f"{bytepos * 8 - abits} (window {w:0{mc_maxlen}b})"
+                        )
+                    if length > abits:
+                        raise VLCError(
+                            f"{MOTION_CODE.name}: truncated codeword at end "
+                            "of stream"
+                        )
+                abits -= length
+                code = mc_syms[w]
+                if bf == 1 or code == 0:
+                    delta = code
+                else:
+                    if abits < b_rbits:
+                        chunk = data[bytepos : bytepos + 8]
+                        nb = len(chunk)
+                        acc = (
+                            (acc & masks[abits]) << (nb << 3)
+                        ) | ifb(chunk, "big")
+                        abits += nb << 3
+                        bytepos += nb
+                        if abits < b_rbits:
+                            raise BitstreamError(
+                                f"read past end of stream (want {b_rbits} "
+                                f"bits at {n - abits}, have {abits})"
+                            )
+                    residual = (acc >> (abits - b_rbits)) & (bf - 1)
+                    abits -= b_rbits
+                    delta = (
+                        1 + bf * ((code if code >= 0 else -code) - 1)
+                        + residual
+                    )
+                    if code < 0:
+                        delta = -delta
+                if comp == 0:
+                    value = pb_dx + delta
+                else:
+                    value = pb_dy + delta
+                while value < b_low:
+                    value += b_span
+                while value > b_high:
+                    value -= b_span
+                if comp == 0:
+                    pb_dx = value
+                else:
+                    pb_dy = value
+            bdy = pb_dy
+            bdx = pb_dx
+            b_on = True
+            vlc_symbols += 2
+
+        if is_p and not (flags & _MT_INTRA) and not (flags & _MT_FWD):
+            # The P no-MC case: zero forward vector, PMV reset (below).
+            f_on = True
+            fdy = fdx = 0
+
+        # ---- coded block pattern -----------------------------------
+        if flags & _MT_CODED:
+            if abits < _CBP_MAXLEN:
+                chunk = data[bytepos : bytepos + 8]
+                nb = len(chunk)
+                acc = ((acc & masks[abits]) << (nb << 3)) | ifb(chunk, "big")
+                abits += nb << 3
+                bytepos += nb
+            if abits >= _CBP_MAXLEN:
+                w = (acc >> (abits - _CBP_MAXLEN)) & cbp_mask
+                length = _CBP_LENS[w]
+                if length == 0:
+                    raise VLCError(
+                        f"{CODED_BLOCK_PATTERN.name}: invalid codeword at "
+                        f"bit {bytepos * 8 - abits} "
+                        f"(window {w:0{_CBP_MAXLEN}b})"
+                    )
+            else:
+                w = (acc << (_CBP_MAXLEN - abits)) & cbp_mask
+                length = _CBP_LENS[w]
+                if length == 0:
+                    raise VLCError(
+                        f"{CODED_BLOCK_PATTERN.name}: invalid codeword at "
+                        f"bit {bytepos * 8 - abits} "
+                        f"(window {w:0{_CBP_MAXLEN}b})"
+                    )
+                if length > abits:
+                    raise VLCError(
+                        f"{CODED_BLOCK_PATTERN.name}: truncated codeword at "
+                        "end of stream"
+                    )
+            abits -= length
+            cbp = _CBP_SYMS[w]
+            vlc_symbols += 1
+        elif flags & _MT_INTRA:
+            cbp = 63
+        else:
+            cbp = 0
+
+        # ---- coefficient blocks ------------------------------------
+        intra_mb = flags & _MT_INTRA
+        if cbp:
+            base0 = rec * _MB_COEFFS
+            for i in range(6):
+                if not cbp & (32 >> i):
+                    continue
+                a_cp(-1 - (base0 + (i << 6)))  # block marker
+                k = 0
+                if intra_mb:
+                    if i < 4:
+                        dc_lens = _DCL_LENS
+                        dc_syms = _DCL_SYMS
+                        dc_maxlen = _DCL_MAXLEN
+                        dc_name = DC_SIZE_LUMA.name
+                        pred = dc0
+                    elif i == 4:
+                        dc_lens = _DCC_LENS
+                        dc_syms = _DCC_SYMS
+                        dc_maxlen = _DCC_MAXLEN
+                        dc_name = DC_SIZE_CHROMA.name
+                        pred = dc1
+                    else:
+                        dc_lens = _DCC_LENS
+                        dc_syms = _DCC_SYMS
+                        dc_maxlen = _DCC_MAXLEN
+                        dc_name = DC_SIZE_CHROMA.name
+                        pred = dc2
+                    if abits < dc_maxlen:
+                        chunk = data[bytepos : bytepos + 8]
+                        nb = len(chunk)
+                        acc = (
+                            (acc & masks[abits]) << (nb << 3)
+                        ) | ifb(chunk, "big")
+                        abits += nb << 3
+                        bytepos += nb
+                    if abits >= dc_maxlen:
+                        w = (acc >> (abits - dc_maxlen)) & masks[dc_maxlen]
+                        length = dc_lens[w]
+                        if length == 0:
+                            raise VLCError(
+                                f"{dc_name}: invalid codeword at bit "
+                                f"{bytepos * 8 - abits} "
+                                f"(window {w:0{dc_maxlen}b})"
+                            )
+                    else:
+                        w = (acc << (dc_maxlen - abits)) & masks[dc_maxlen]
+                        length = dc_lens[w]
+                        if length == 0:
+                            raise VLCError(
+                                f"{dc_name}: invalid codeword at bit "
+                                f"{bytepos * 8 - abits} "
+                                f"(window {w:0{dc_maxlen}b})"
+                            )
+                        if length > abits:
+                            raise VLCError(
+                                f"{dc_name}: truncated codeword at end of "
+                                "stream"
+                            )
+                    size = dc_syms[w]
+                    abits -= length
+                    vlc_symbols += 1
+                    if size:
+                        if abits < size:
+                            chunk = data[bytepos : bytepos + 8]
+                            nb = len(chunk)
+                            acc = (
+                                (acc & masks[abits]) << (nb << 3)
+                            ) | ifb(chunk, "big")
+                            abits += nb << 3
+                            bytepos += nb
+                            if abits < size:
+                                raise BitstreamError(
+                                    f"read past end of stream (want {size} "
+                                    f"bits at {n - abits}, have {abits})"
+                                )
+                        raw = (acc >> (abits - size)) & masks[size]
+                        abits -= size
+                        if raw & (1 << (size - 1)):
+                            pred += raw
+                        else:
+                            pred -= raw ^ ((1 << size) - 1)
+                    if i < 4:
+                        dc0 = pred
+                    elif i == 4:
+                        dc1 = pred
+                    else:
+                        dc2 = pred
+                    a_cp(pred + 0x800000)  # DC: scan position 0
+                    dc_emits += 1
+                    k = 1
+
+                while True:
+                    # Fused fast path: one peek emits every complete
+                    # run/level symbol in the window and consumes a
+                    # trailing EOB.  Escapes, invalid prefixes,
+                    # window-straddling codewords and the stream tail
+                    # fall through to the single-symbol path below,
+                    # which owns all error positions.
+                    if abits < _FUSE_BITS:
+                        chunk = data[bytepos : bytepos + 8]
+                        nb = len(chunk)
+                        acc = (
+                            (acc & masks[abits]) << (nb << 3)
+                        ) | ifb(chunk, "big")
+                        abits += nb << 3
+                        bytepos += nb
+                    if abits >= _FUSE_BITS:
+                        consumed, eob, pairs = ac_fused[
+                            (acc >> (abits - _FUSE_BITS)) & _FUSE_MASK
+                        ]
+                        if consumed:
+                            abits -= consumed
+                            for run, biased in pairs:
+                                k += run
+                                if k >= 64:
+                                    raise BlockSyntaxError(
+                                        f"coefficient index {k} past end "
+                                        f"of block (run {run})"
+                                    )
+                                a_cp((k << 24) | biased)
+                                k += 1
+                            if eob:
+                                break
+                            continue
+                    # Single-symbol path: exact error positions for
+                    # corrupt input, plus the rare legal cases the
+                    # fused table cannot finish.
+                    if abits < ac_maxlen:
+                        chunk = data[bytepos : bytepos + 8]
+                        nb = len(chunk)
+                        acc = (
+                            (acc & masks[abits]) << (nb << 3)
+                        ) | ifb(chunk, "big")
+                        abits += nb << 3
+                        bytepos += nb
+                        if abits < ac_maxlen:
+                            # Stream tail: remaining real bits == abits.
+                            w = (acc << (ac_maxlen - abits)) & ac_mask
+                            length = ac_lens[w]
+                            if length == 0:
+                                raise VLCError(
+                                    f"{AC_RUN_LEVEL.name}: invalid codeword "
+                                    f"at bit {bytepos * 8 - abits} "
+                                    f"(window {w:0{ac_maxlen}b})"
+                                )
+                            if length > abits:
+                                if ac_runs[w] >= 0 and length - 1 <= abits:
+                                    # The run/level codeword itself fits;
+                                    # only its folded sign bit is past the
+                                    # end — the scalar path consumes the
+                                    # codeword, then fails the one-bit
+                                    # sign read.
+                                    raise BitstreamError(
+                                        "read past end of stream (want 1 "
+                                        f"bits at {n}, have 0)"
+                                    )
+                                raise VLCError(
+                                    f"{AC_RUN_LEVEL.name}: truncated "
+                                    "codeword at end of stream"
+                                )
+                        else:
+                            w = (acc >> (abits - ac_maxlen)) & ac_mask
+                            length = ac_lens[w]
+                            if length == 0:
+                                raise VLCError(
+                                    f"{AC_RUN_LEVEL.name}: invalid codeword "
+                                    f"at bit {bytepos * 8 - abits} "
+                                    f"(window {w:0{ac_maxlen}b})"
+                                )
+                    else:
+                        w = (acc >> (abits - ac_maxlen)) & ac_mask
+                        length = ac_lens[w]
+                        if length == 0:
+                            raise VLCError(
+                                f"{AC_RUN_LEVEL.name}: invalid codeword at "
+                                f"bit {bytepos * 8 - abits} "
+                                f"(window {w:0{ac_maxlen}b})"
+                            )
+                    abits -= length
+                    run = ac_runs[w]
+                    if run >= 0:
+                        k += run
+                        if k >= 64:
+                            raise BlockSyntaxError(
+                                f"coefficient index {k} past end of block "
+                                f"(run {run})"
+                            )
+                        a_cp((k << 24) | ac_biased[w])
+                        k += 1
+                        continue
+                    if run == _AC_EOB_RUN:
+                        break
+                    else:
+                        # Escape: 6-bit run + 12-bit signed level.
+                        if abits < _ESC_BITS:
+                            chunk = data[bytepos : bytepos + 8]
+                            nb = len(chunk)
+                            acc = (
+                                (acc & masks[abits]) << (nb << 3)
+                            ) | ifb(chunk, "big")
+                            abits += nb << 3
+                            bytepos += nb
+                            if abits < _ESC_BITS:
+                                raise BitstreamError(
+                                    "read past end of stream (want "
+                                    f"{_ESC_BITS} bits at {n - abits}, "
+                                    f"have {abits})"
+                                )
+                        v = (acc >> (abits - _ESC_BITS)) & _ESC_MASK
+                        abits -= _ESC_BITS
+                        run = v >> ESCAPE_LEVEL_BITS
+                        raw = v & (_ESC_LEVEL_SPAN - 1)
+                        level = (
+                            raw - _ESC_LEVEL_SPAN
+                            if raw & _ESC_LEVEL_SIGN
+                            else raw
+                        )
+                        if level == 0:
+                            raise BlockSyntaxError("escape-coded level of 0")
+                    k += run
+                    if k >= 64:
+                        raise BlockSyntaxError(
+                            f"coefficient index {k} past end of block "
+                            f"(run {run})"
+                        )
+                    a_cp((k << 24) | (level + 0x800000))
+                    k += 1
+        idct_blocks += _POPCNT6[cbp]
+
+        # ---- record + post-macroblock predictor updates ------------
+        if intra_mb:
+            pixels += _MB_PIXELS
+            a_addr(address)
+            a_intra(True)
+            a_qs(qscale)
+            a_cbp(cbp)
+            a_fon(False)
+            a_fdy(0)
+            a_fdx(0)
+            a_bon(False)
+            a_bdy(0)
+            a_bdx(0)
+            rec += 1
+            pf_dy = pf_dx = pb_dy = pb_dx = 0  # reset_pmv
+            prev_valid = False
+        else:
+            if not f_on and not b_on:
+                raise ValueError("prediction requested with no motion vectors")
+            mb_row = address // mb_width
+            mb_col = address - mb_row * mb_width
+            if f_on:
+                _validate_mv(fdy, fdx, mb_row, mb_col, luma_h, luma_w)
+            if b_on:
+                _validate_mv(bdy, bdx, mb_row, mb_col, luma_h, luma_w)
+            nrefs = (1 if f_on else 0) + (1 if b_on else 0)
+            mc_pixels += nrefs * _MB_PIXELS
+            mc_macroblocks += 1
+            if nrefs == 2:
+                bidir_macroblocks += 1
+            pixels += _MB_PIXELS
+            a_addr(address)
+            a_intra(False)
+            a_qs(qscale)
+            a_cbp(cbp)
+            a_fon(f_on)
+            a_fdy(fdy)
+            a_fdx(fdx)
+            a_bon(b_on)
+            a_bdy(bdy)
+            a_bdx(bdx)
+            rec += 1
+            dc0 = dc1 = dc2 = _DC_RESET  # reset_dc
+            if is_p and not (flags & _MT_FWD):
+                pf_dy = pf_dx = 0  # no-MC P macroblock: PMV reset
+            prev_valid = True
+            prev_f_on = bool(flags & _MT_FWD) or is_p
+            prev_b_on = bool(flags & _MT_BWD)
+            if f_on:
+                pv_f_dy = fdy
+                pv_f_dx = fdx
+            else:
+                pv_f_dy = pv_f_dx = 0
+            if b_on:
+                pv_b_dy = bdy
+                pv_b_dx = bdx
+            else:
+                pv_b_dy = pv_b_dx = 0
         prev_addr = address
 
+    ncp = len(sp.coef_packed)
+    # The AC loop keeps no per-symbol counter: every packed entry is
+    # one run/level symbol except the intra DC terms and the per-block
+    # markers — and each marker (one per coded block, ``idct_blocks``
+    # in total) stands for exactly the block's closing EOB symbol, so
+    # AC symbols = (ncp - dc_emits - idct_blocks) + idct_blocks.
+    local.vlc_symbols = vlc_symbols + ncp - dc_emits
+    local.macroblocks = macroblocks
+    local.mc_macroblocks = mc_macroblocks
+    local.bidir_macroblocks = bidir_macroblocks
+    local.idct_blocks = idct_blocks
+    local.coefficients = ncp - dc_emits - idct_blocks
+    local.mc_pixels = mc_pixels
+    local.pixels = pixels
     return sp
-
-
-def _parse_skipped(
-    address: int,
-    state: SliceState,
-    ptype: PictureType,
-    counters: WorkCounters,
-    sp: SliceParse,
-    has_fwd: bool,
-    luma_h: int,
-    luma_w: int,
-    mb_width: int,
-) -> None:
-    """Record a skipped macroblock; derive its reconstruction counters."""
-    counters.macroblocks += 1
-    mb_row, mb_col = divmod(address, mb_width)
-    if ptype is PictureType.P:
-        if not has_fwd:
-            raise SliceDecodeError("P skipped macroblock without forward reference")
-        # Co-located copy == zero-MV forward prediction of a zero
-        # residual (uint8 copy survives the clip unchanged), so the
-        # record shares the MC path; the counters are the copy's.
-        counters.pixels += _MB_PIXELS
-        counters.mc_pixels += _MB_PIXELS
-        sp.append(address, False, state.qscale, _ZERO_LEVELS, 0, (0, 0), None)
-        state.reset_pmv()
-    elif ptype is PictureType.B:
-        if state.prev_motion is None:
-            raise SliceDecodeError("B skipped macroblock with no previous mode")
-        fwd_on, bwd_on = state.prev_motion
-        mvf = state.prev_mv_fwd if fwd_on else None
-        mvb = state.prev_mv_bwd if bwd_on else None
-        if mvf is None and mvb is None:
-            raise ValueError("prediction requested with no motion vectors")
-        if mvf is not None:
-            _validate_mv(mvf, mb_row, mb_col, luma_h, luma_w)
-        if mvb is not None:
-            _validate_mv(mvb, mb_row, mb_col, luma_h, luma_w)
-        nrefs = (mvf is not None) + (mvb is not None)
-        counters.mc_pixels += nrefs * _MB_PIXELS
-        counters.mc_macroblocks += 1
-        if fwd_on and bwd_on:
-            counters.bidir_macroblocks += 1
-        counters.pixels += _MB_PIXELS
-        sp.append(
-            address, False, state.qscale, _ZERO_LEVELS, 0,
-            (mvf.dy, mvf.dx) if mvf is not None else None,
-            (mvb.dy, mvb.dx) if mvb is not None else None,
-        )
-    else:
-        raise SliceDecodeError("skipped macroblocks are illegal in I-pictures")
-    state.reset_dc()
-
-
-def _parse_coded(
-    r: BitReader,
-    address: int,
-    state: SliceState,
-    pic: PictureHeader,
-    counters: WorkCounters,
-    sp: SliceParse,
-    luma_h: int,
-    luma_w: int,
-    mb_width: int,
-) -> None:
-    """Parse one coded macroblock; derive its reconstruction counters."""
-    mode, mv_fwd, mv_bwd, levels, cbp = parse_macroblock(
-        r, state, pic, counters, fast=True
-    )
-    counters.idct_blocks += len(_CBP_BLOCK_INDEX[cbp])
-    if mode.intra:
-        counters.pixels += _MB_PIXELS
-        sp.append(address, True, state.qscale, levels, cbp, None, None)
-    else:
-        mb_row, mb_col = divmod(address, mb_width)
-        if mv_fwd is None and mv_bwd is None:
-            raise ValueError("prediction requested with no motion vectors")
-        if mv_fwd is not None:
-            _validate_mv(mv_fwd, mb_row, mb_col, luma_h, luma_w)
-        if mv_bwd is not None:
-            _validate_mv(mv_bwd, mb_row, mb_col, luma_h, luma_w)
-        nrefs = (mv_fwd is not None) + (mv_bwd is not None)
-        counters.mc_pixels += nrefs * _MB_PIXELS
-        counters.mc_macroblocks += 1
-        if nrefs == 2:
-            counters.bidir_macroblocks += 1
-        counters.pixels += _MB_PIXELS
-        sp.append(
-            address, False, state.qscale, levels, cbp,
-            (mv_fwd.dy, mv_fwd.dx) if mv_fwd is not None else None,
-            (mv_bwd.dy, mv_bwd.dx) if mv_bwd is not None else None,
-        )
-    _apply_coded_state(state, mode, mv_fwd, mv_bwd, pic.picture_type)
 
 
 # ======================================================================
 # phase 2: reconstruct
 # ======================================================================
+class PictureAssembly:
+    """One picture's slice parses concatenated into NumPy arrays.
+
+    ``coef_idx``/``coef_val`` form the picture-wide sparse coefficient
+    stream (indices are ``record * 384 + block * 64 + raster_pos``);
+    ``rec_idx``/``blk_idx`` enumerate the coded blocks of the picture
+    (the IDCT batch members) in record order.
+    """
+
+    __slots__ = (
+        "n",
+        "addr",
+        "intra",
+        "qscale",
+        "cbp",
+        "f_on",
+        "f_dy",
+        "f_dx",
+        "b_on",
+        "b_dy",
+        "b_dx",
+        "coef_idx",
+        "coef_val",
+        "rec_idx",
+        "blk_idx",
+    )
+
+
+_BLOCK_BITS = np.int64(32) >> np.arange(6)
+
+
+def assemble_picture(slices: list[SliceParse]) -> PictureAssembly:
+    """Concatenate a picture's slice parses into one flat assembly.
+
+    Slices must cover distinct macroblock rows (the decoder drops
+    superseded duplicates before calling) — record order therefore
+    never affects pixels, because every record scatters to a distinct
+    macroblock address.
+    """
+    asm = PictureAssembly()
+    n = sum(len(s) for s in slices)
+    asm.n = n
+    asm.addr = addr = np.empty(n, dtype=np.intp)
+    asm.intra = intra = np.empty(n, dtype=bool)
+    asm.qscale = qscale = np.empty(n, dtype=np.int64)
+    asm.cbp = cbp = np.empty(n, dtype=np.int64)
+    asm.f_on = f_on = np.empty(n, dtype=bool)
+    asm.f_dy = f_dy = np.empty(n, dtype=np.int64)
+    asm.f_dx = f_dx = np.empty(n, dtype=np.int64)
+    asm.b_on = b_on = np.empty(n, dtype=bool)
+    asm.b_dy = b_dy = np.empty(n, dtype=np.int64)
+    asm.b_dx = b_dx = np.empty(n, dtype=np.int64)
+    idx_parts: list[np.ndarray] = []
+    val_parts: list[np.ndarray] = []
+    off = 0
+    for s in slices:
+        m = len(s)
+        if not m:
+            continue
+        end = off + m
+        addr[off:end] = s.addresses
+        intra[off:end] = s.intra
+        qscale[off:end] = s.qscale
+        cbp[off:end] = s.cbp
+        f_on[off:end] = s.f_on
+        f_dy[off:end] = s.f_dy
+        f_dx[off:end] = s.f_dx
+        b_on[off:end] = s.b_on
+        b_dy[off:end] = s.b_dy
+        b_dx[off:end] = s.b_dx
+        if s.coef_packed:
+            arr = np.asarray(s.coef_packed, dtype=np.int64)
+            marks = arr < 0
+            # Forward-fill each block marker over the coefficients
+            # that follow it (the stream always opens with a marker),
+            # then drop the markers and rebuild flat scan indices.
+            fill = np.maximum.accumulate(
+                np.where(marks, np.arange(arr.size), 0)
+            )
+            keep = ~marks
+            kept = arr[keep]
+            sidx = (-1 - arr[fill[keep]]) + (kept >> _COEF_SHIFT)
+            ridx = scan_to_raster_flat(sidx, s.alternate_scan)
+            idx_parts.append(ridx + off * _MB_COEFFS)
+            val_parts.append((kept & _COEF_VMASK) - _COEF_BIAS)
+        off = end
+    if idx_parts:
+        asm.coef_idx = np.concatenate(idx_parts)
+        asm.coef_val = np.concatenate(val_parts)
+    else:
+        asm.coef_idx = np.empty(0, dtype=np.int64)
+        asm.coef_val = np.empty(0, dtype=np.int64)
+    coded = (cbp[:, None] & _BLOCK_BITS) != 0  # (n, 6)
+    asm.rec_idx, asm.blk_idx = np.nonzero(coded)
+    return asm
+
+
+def _compact_levels(asm: PictureAssembly) -> np.ndarray:
+    """Dense raster-ordered levels of the assembly's coded blocks.
+
+    Returns ``(m, 8, 8)`` where ``m == len(asm.rec_idx)``: one sparse
+    scatter of the coefficient stream, no per-block work, no un-scan
+    (the scan permutation was applied at parse time).
+    """
+    m = asm.rec_idx.size
+    # float64 throughout phase 2's transform chain: level magnitudes
+    # keep every intermediate exactly representable (see the
+    # ``dequantize_*_f64`` twins), and the IDCT gets its native dtype.
+    lv = np.zeros((m, 64), dtype=np.float64)
+    if asm.coef_idx.size:
+        # Map flat block number (record * 6 + block) -> IDCT batch row.
+        blkmap = np.zeros(asm.n * 6, dtype=np.int64)
+        blkmap[asm.rec_idx * 6 + asm.blk_idx] = np.arange(m)
+        lv[blkmap[asm.coef_idx >> 6], asm.coef_idx & 63] = asm.coef_val
+    return lv.reshape(m, 8, 8)
+
+
+def gop_dequant_idct(
+    assemblies: list[PictureAssembly], seq: SequenceHeader
+) -> list[np.ndarray]:
+    """One inverse quantization + **one** IDCT over many pictures.
+
+    Dequant and IDCT depend only on levels, quantiser scales and the
+    sequence quant matrices — never on reference frames — so every
+    coded block of a GOP batches into a single NumPy call chain
+    (``scipy.fft``'s IDCT is batch-size invariant, so this is
+    bit-identical to per-macroblock calls).  Returns one
+    ``(n, 6, 8, 8)`` int32 residual array per assembly.
+    """
+    counts = [a.rec_idx.size for a in assemblies]
+    total = sum(counts)
+    out: list[np.ndarray] = []
+    if total == 0:
+        return [
+            np.zeros((a.n, 6, 8, 8), dtype=np.int32) for a in assemblies
+        ]
+    with trace_span(
+        "kernel.dequant_idct",
+        cat="kernel",
+        blocks=int(total),
+        pictures=len(assemblies),
+    ):
+        raster = np.concatenate([_compact_levels(a) for a in assemblies])
+        qs = np.concatenate(
+            [a.qscale[a.rec_idx] for a in assemblies]
+        )[:, None, None]
+        is_i = np.concatenate([a.intra[a.rec_idx] for a in assemblies])
+        coeffs = np.empty_like(raster)
+        if is_i.any():
+            coeffs[is_i] = dequantize_intra_f64(
+                raster[is_i], seq.intra_quant_matrix, qs[is_i]
+            )
+        ni = ~is_i
+        if ni.any():
+            coeffs[ni] = dequantize_non_intra_f64(
+                raster[ni], seq.non_intra_quant_matrix, qs[ni]
+            )
+        idct = idct_rounded(coeffs)
+        pos = 0
+        for a, m in zip(assemblies, counts):
+            blocks = np.zeros((a.n, 6, 8, 8), dtype=np.int32)
+            if m:
+                blocks[a.rec_idx, a.blk_idx] = idct[pos : pos + m]
+            out.append(blocks)
+            pos += m
+    return out
+
+
 def _phase_gather(
     plane: np.ndarray,
     tops: np.ndarray,
@@ -407,83 +1442,29 @@ def _direction_pred(
     return py, pcb, pcr
 
 
-def _mv_arrays(
-    mvs: list[tuple[int, int] | None],
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Split a per-record MV list into (valid, dy, dx) arrays."""
-    n = len(mvs)
-    valid = np.zeros(n, dtype=bool)
-    dy = np.zeros(n, dtype=np.int64)
-    dx = np.zeros(n, dtype=np.int64)
-    for i, mv in enumerate(mvs):
-        if mv is not None:
-            valid[i] = True
-            dy[i] = mv[0]
-            dx[i] = mv[1]
-    return valid, dy, dx
-
-
-def reconstruct_slices(
-    slices: list[SliceParse],
-    seq: SequenceHeader,
-    pic: PictureHeader,
+def mc_scatter(
+    asm: PictureAssembly,
+    blocks: np.ndarray,
     out: Frame,
     fwd: Frame | None,
     bwd: Frame | None,
 ) -> None:
-    """Phase 2: turn a picture's slice parses into pixels in ``out``.
+    """Motion-compensate one picture and scatter its pixels into ``out``.
 
-    All slices of a picture are reconstructed together: one inverse
-    quantization and **one** IDCT over every coded block, one gather
-    per (reference, plane, half-pel phase) group for motion
-    compensation, one clip + scatter per plane.  Slices must cover
-    distinct macroblock rows (the decoder drops superseded duplicates
-    before calling).
+    ``blocks`` is the picture's ``(n, 6, 8, 8)`` int32 residual array
+    (from :func:`gop_dequant_idct`).  This stage is the only part of
+    phase 2 that must run per picture in coding order — it reads the
+    previously reconstructed reference frames.
     """
-    n = sum(len(s) for s in slices)
+    n = asm.n
     if n == 0:
         return
-    addr = np.fromiter(
-        (a for s in slices for a in s.addresses), dtype=np.intp, count=n
-    )
-    intra = np.fromiter(
-        (v for s in slices for v in s.intra), dtype=bool, count=n
-    )
-    qscale = np.fromiter(
-        (q for s in slices for q in s.qscale), dtype=np.int64, count=n
-    )
-    cbp = np.fromiter((c for s in slices for c in s.cbp), dtype=np.int64, count=n)
-    levels = np.stack([lv for s in slices for lv in s.levels])
-    f_valid, f_dy, f_dx = _mv_arrays([m for s in slices for m in s.mv_fwd])
-    b_valid, b_dy, b_dx = _mv_arrays([m for s in slices for m in s.mv_bwd])
-
+    f_valid = asm.f_on
+    b_valid = asm.b_on
     mbw = out.mb_width
-    rows = addr // mbw
-    cols = addr % mbw
+    rows = asm.addr // mbw
+    cols = asm.addr % mbw
 
-    # ---- inverse quantization + one IDCT call per picture ------------
-    blocks = np.zeros((n, 6, 8, 8), dtype=np.int32)
-    coded = (cbp[:, None] & (32 >> np.arange(6))) != 0  # (n, 6)
-    rec_idx, blk_idx = np.nonzero(coded)
-    if rec_idx.size:
-        with trace_span("kernel.dequant_idct", cat="kernel", blocks=int(rec_idx.size)):
-            order = ALTERNATE if pic.alternate_scan else ZIGZAG
-            raster = unscan_block(levels[rec_idx, blk_idx], order)  # (m, 8, 8)
-            qs = qscale[rec_idx][:, None, None]
-            is_i = intra[rec_idx]
-            coeffs = np.empty_like(raster)
-            if is_i.any():
-                coeffs[is_i] = dequantize_intra(
-                    raster[is_i], seq.intra_quant_matrix, qs[is_i]
-                )
-            ni = ~is_i
-            if ni.any():
-                coeffs[ni] = dequantize_non_intra(
-                    raster[ni], seq.non_intra_quant_matrix, qs[ni]
-                )
-            blocks[rec_idx, blk_idx] = idct_rounded(coeffs)
-
-    # ---- motion compensation, grouped by (reference, phase) ----------
     pred6 = np.zeros((n, 6, 8, 8), dtype=np.int32)
     if f_valid.any() or b_valid.any():
         with trace_span(
@@ -501,7 +1482,11 @@ def reconstruct_slices(
                         "motion vector present but reference frame missing"
                     )
                 py, pcb, pcr = _direction_pred(
-                    fwd, rows[f_valid], cols[f_valid], f_dy[f_valid], f_dx[f_valid]
+                    fwd,
+                    rows[f_valid],
+                    cols[f_valid],
+                    asm.f_dy[f_valid],
+                    asm.f_dx[f_valid],
                 )
                 fy_ = np.zeros((n, 16, 16), dtype=np.int32)
                 fcb = np.zeros((n, 8, 8), dtype=np.int32)
@@ -514,7 +1499,11 @@ def reconstruct_slices(
                         "motion vector present but reference frame missing"
                     )
                 py, pcb, pcr = _direction_pred(
-                    bwd, rows[b_valid], cols[b_valid], b_dy[b_valid], b_dx[b_valid]
+                    bwd,
+                    rows[b_valid],
+                    cols[b_valid],
+                    asm.b_dy[b_valid],
+                    asm.b_dx[b_valid],
                 )
                 by_ = np.zeros((n, 16, 16), dtype=np.int32)
                 bcb = np.zeros((n, 8, 8), dtype=np.int32)
@@ -547,5 +1536,30 @@ def reconstruct_slices(
 
     # ---- residual add, clip, single scatter into the frame planes ----
     with trace_span("kernel.scatter", cat="kernel", macroblocks=n):
-        pixels = np.clip(blocks + pred6, 0, 255).astype(np.uint8)  # (n, 6, 8, 8)
+        pixels = np.clip(blocks + pred6, 0, 255).astype(np.uint8)
         write_macroblocks(out, rows, cols, pixels)
+
+
+def reconstruct_slices(
+    slices: list[SliceParse],
+    seq: SequenceHeader,
+    pic: PictureHeader,
+    out: Frame,
+    fwd: Frame | None,
+    bwd: Frame | None,
+) -> None:
+    """Phase 2 for a single picture (compatibility entry point).
+
+    The slice-level parallel decoders and the picture-granular decode
+    path call this; the GOP-batched path in
+    :class:`repro.mpeg2.decoder.SequenceDecoder` calls
+    :func:`assemble_picture` / :func:`gop_dequant_idct` /
+    :func:`mc_scatter` directly to batch the transform work across
+    pictures.
+    """
+    del pic  # scan order was applied at parse time
+    asm = assemble_picture(slices)
+    if asm.n == 0:
+        return
+    blocks = gop_dequant_idct([asm], seq)[0]
+    mc_scatter(asm, blocks, out, fwd, bwd)

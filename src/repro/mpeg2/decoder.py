@@ -20,7 +20,14 @@ from time import perf_counter
 
 from repro.bitstream.emulation import unescape_payload
 from repro.bitstream.reader import BitstreamError
-from repro.mpeg2.batched import SliceParse, parse_slice, reconstruct_slices
+from repro.mpeg2.batched import (
+    SliceParse,
+    assemble_picture,
+    gop_dequant_idct,
+    mc_scatter,
+    parse_slice,
+    reconstruct_slices,
+)
 from repro.mpeg2.blockcoding import BlockSyntaxError
 from repro.mpeg2.counters import WorkCounters
 from repro.mpeg2.frame import Frame
@@ -284,19 +291,137 @@ class SequenceDecoder:
         local = WorkCounters()
         local.headers += 1
         local.bits += (gop.header_payload_end - gop.header_payload_start + 4) * 8
-        ref_old: Frame | None = None
-        ref_new: Frame | None = None
-        decoded: list[Frame] = []
-        for pic in gop.pictures:
-            if pic.picture_type.is_reference:
-                frame = self.decode_picture(pic, ref_new, None, local)
-                ref_old, ref_new = ref_new, frame
-            else:
-                frame = self.decode_picture(pic, ref_old, ref_new, local)
-            decoded.append(frame)
+        if self.engine == "batched":
+            decoded = self._decode_gop_batched(gop, local)
+        else:
+            ref_old: Frame | None = None
+            ref_new: Frame | None = None
+            decoded = []
+            for pic in gop.pictures:
+                if pic.picture_type.is_reference:
+                    frame = self.decode_picture(pic, ref_new, None, local)
+                    ref_old, ref_new = ref_new, frame
+                else:
+                    frame = self.decode_picture(pic, ref_old, ref_new, local)
+                decoded.append(frame)
         decoded.sort(key=lambda f: f.temporal_reference)
         if counters is not None:
             counters.add(local)
+        return decoded
+
+    def _decode_gop_batched(
+        self, gop: GopIndex, local: WorkCounters
+    ) -> list[Frame]:
+        """GOP mega-batch: parse every picture, transform once, then MC.
+
+        Phase 1 walks the pictures in coding order doing only bit work
+        (and the same reference-availability checks, in the same
+        order, as the per-picture path — a corrupt stream raises the
+        identical exception class at the identical point).  Phase 2a
+        runs **one** dequant + IDCT chain over every coded block of
+        the GOP (:func:`repro.mpeg2.batched.gop_dequant_idct` — the
+        transform never reads reference frames, so it batches across
+        pictures).  Phase 2b motion-compensates and scatters each
+        picture in coding order, managing references exactly as the
+        sequential decoder does.  Pixels, work counters and error
+        behaviour are identical to the per-picture path; only the
+        batching grain changes.
+        """
+        mbw = (self.seq.width + 15) // 16
+        mbh = (self.seq.height + 15) // 16
+        # ---- phase 1: bit-only parse of every picture --------------
+        parsed: list[
+            tuple[PictureIndex, object, dict[int, SliceParse | None], WorkCounters]
+        ] = []
+        have_old = False  # ref availability mirrors phase-2 ref handoff
+        have_new = False
+        for pic in gop.pictures:
+            header = pic.header()
+            pcount = WorkCounters()
+            pcount.headers += 1
+            pcount.bits += (
+                pic.header_payload_end - pic.header_payload_start + 4
+            ) * 8
+            letter = header.picture_type.letter
+            if letter == "I":
+                has_fwd = have_new
+            elif letter == "P":
+                if not have_new:
+                    raise DecodeError("P-picture without forward reference")
+                has_fwd = True
+            else:
+                if not have_old:
+                    raise DecodeError("B-picture without forward reference")
+                if not have_new:
+                    raise DecodeError("B-picture without backward reference")
+                has_fwd = True
+            final: dict[int, SliceParse | None] = {}
+            with trace_span(
+                "decode.parse",
+                slices=len(pic.slices),
+                type=letter,
+                temporal_reference=pic.temporal_reference,
+            ):
+                for sl in pic.slices:
+                    payload = unescape_payload(
+                        self.data[sl.payload_start : sl.payload_end]
+                    )
+                    try:
+                        sp = parse_slice(
+                            payload, sl.vertical_position, header, mbw, mbh,
+                            has_fwd,
+                        )
+                    except SLICE_CORRUPTION_ERRORS:
+                        if not self.resilient:
+                            raise
+                        pcount.concealed_slices += 1
+                        final[sl.vertical_position - 1] = None
+                        continue
+                    pcount.add(sp.counters)
+                    final[sl.vertical_position - 1] = sp
+            parsed.append((pic, header, final, pcount))
+            if header.picture_type.is_reference:
+                have_old, have_new = have_new, True
+
+        # ---- phase 2a: one dequant + IDCT over the whole GOP -------
+        assemblies = [
+            assemble_picture([sp for sp in final.values() if sp is not None])
+            for _, _, final, _ in parsed
+        ]
+        blocks_per_pic = gop_dequant_idct(assemblies, self.seq)
+
+        # ---- phase 2b: per-picture MC + scatter, in coding order ---
+        ref_old: Frame | None = None
+        ref_new: Frame | None = None
+        decoded: list[Frame] = []
+        for (pic, header, final, pcount), asm, blocks in zip(
+            parsed, assemblies, blocks_per_pic
+        ):
+            t0 = perf_counter()
+            with trace_span(
+                "decode.picture",
+                type=header.picture_type.letter,
+                engine=self.engine,
+                temporal_reference=pic.temporal_reference,
+            ):
+                out = Frame.blank(self.seq.width, self.seq.height)
+                out.temporal_reference = pic.temporal_reference
+                if header.picture_type.is_reference:
+                    fwd, bwd = ref_new, None
+                else:
+                    fwd, bwd = ref_old, ref_new
+                with trace_span("decode.reconstruct"):
+                    mc_scatter(asm, blocks, out, fwd, bwd)
+                    for row, sp in final.items():
+                        if sp is None:
+                            conceal_row(out, fwd, row)
+            metrics().histogram("decode.picture_ms").observe(
+                (perf_counter() - t0) * 1e3
+            )
+            local.add(pcount)
+            if header.picture_type.is_reference:
+                ref_old, ref_new = ref_new, out
+            decoded.append(out)
         return decoded
 
     # ------------------------------------------------------------------

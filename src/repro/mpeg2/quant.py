@@ -32,7 +32,18 @@ INTRA_DC_STEP = 8
 
 
 def _trunc_div(num: np.ndarray, den: int | np.ndarray) -> np.ndarray:
-    """Integer division truncating toward zero (C semantics)."""
+    """Integer division truncating toward zero (C semantics).
+
+    Both reconstruction formulas divide by a power-of-two constant, so
+    that case avoids hardware division entirely: an arithmetic shift
+    floors, and negative operands with a nonzero remainder are nudged
+    one step back up toward zero.
+    """
+    if isinstance(den, int) and den > 0 and den & (den - 1) == 0:
+        shift = den.bit_length() - 1
+        q = num >> shift
+        q += ((num & (den - 1)) != 0) & (num < 0)
+        return q
     return (np.sign(num) * (np.abs(num) // np.abs(den))).astype(np.int64)
 
 
@@ -78,7 +89,8 @@ def dequantize_intra(
     at the quantiser scale its macroblock was coded with.
     """
     lv = np.asarray(levels, dtype=np.int64)
-    f = _trunc_div(2 * lv * matrix * qscale, 32)
+    # trunc(2 * QF * W * q / 32) == trunc(QF * W * q / 16) exactly.
+    f = _trunc_div(lv * matrix * qscale, 16)
     f[..., 0, 0] = lv[..., 0, 0] * INTRA_DC_STEP
     f = np.clip(f, COEFF_MIN, COEFF_MAX)
     return _mismatch_control(f)
@@ -94,6 +106,38 @@ def dequantize_non_intra(
     lv = np.asarray(levels, dtype=np.int64)
     f = _trunc_div((2 * lv + np.sign(lv)) * matrix * qscale, 32)
     f = np.clip(f, COEFF_MIN, COEFF_MAX)
+    return _mismatch_control(f)
+
+
+def dequantize_intra_f64(
+    levels: np.ndarray, matrix: np.ndarray, qscale: int | np.ndarray
+) -> np.ndarray:
+    """Float64 twin of :func:`dequantize_intra` for the batched path.
+
+    Every intermediate is an integer far below ``2**53``
+    (``|level| * max(W) * max(q) < 2**27``), where float64 arithmetic
+    is exact — products and power-of-two divisions incur no rounding —
+    so the result equals the int64 path bit for bit (pinned by the
+    cross-engine parity suites).  Working in float halves the pass
+    count (truncating division by 16 is one multiply by an exact
+    ``W/16`` matrix plus one ``np.trunc``) and hands the IDCT its
+    native dtype, so the transform performs no input conversion.
+    ``levels`` must already be float64.
+    """
+    f = np.trunc(levels * (matrix * 0.0625) * qscale)
+    f[..., 0, 0] = levels[..., 0, 0] * INTRA_DC_STEP
+    np.clip(f, COEFF_MIN, COEFF_MAX, out=f)
+    return _mismatch_control(f)
+
+
+def dequantize_non_intra_f64(
+    levels: np.ndarray, matrix: np.ndarray, qscale: int | np.ndarray
+) -> np.ndarray:
+    """Float64 twin of :func:`dequantize_non_intra` (see above)."""
+    f = np.trunc(
+        (2.0 * levels + np.sign(levels)) * (matrix * 0.03125) * qscale
+    )
+    np.clip(f, COEFF_MIN, COEFF_MAX, out=f)
     return _mismatch_control(f)
 
 

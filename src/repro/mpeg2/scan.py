@@ -68,6 +68,22 @@ ALTERNATE = _alternate_order()
 ZIGZAG_INV = np.argsort(ZIGZAG)
 ALTERNATE_INV = np.argsort(ALTERNATE)
 
+def scan_to_raster_flat(
+    indices: np.ndarray, alternate: bool = False
+) -> np.ndarray:
+    """Vectorized scan->raster conversion of flat coefficient indices.
+
+    ``indices`` packs ``block_base + scan_position`` with
+    ``block_base`` a multiple of 64; the low six bits (the position in
+    scan order) are replaced by the raster position of that
+    coefficient.  The batched parser emits its sparse coefficient
+    stream in scan space — a plain integer add per coefficient, no
+    per-symbol table lookup — and phase 2 permutes the whole stream in
+    this one pass, so no block is ever un-scanned individually.
+    """
+    order = ALTERNATE if alternate else ZIGZAG
+    return (indices & -64) | order[indices & 63]
+
 
 def scan_block(block: np.ndarray, order: np.ndarray = ZIGZAG) -> np.ndarray:
     """Serialise 8x8 block(s) into scan order.

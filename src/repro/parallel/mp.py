@@ -12,13 +12,22 @@ The paper's three roles map onto real primitives:
   (start-code scan, no decoding) and splits it into per-GOP byte-range
   tasks (:func:`scan_gop_tasks` /
   :func:`repro.mpeg2.index.gop_byte_ranges`).
-* **workers** — a :class:`multiprocessing.Pool`; each worker rebuilds a
-  stand-alone substream (sequence-header prefix + GOP bytes), decodes
-  it with the batched :class:`~repro.mpeg2.decoder.SequenceDecoder`,
-  and writes the decoded planes straight into a shared-memory frame
-  pool.  Only tiny metadata (temporal references + work counters)
-  crosses the process boundary through pickling — pixel arrays never
-  do.
+* **workers** — a *persistent*, pre-forked :class:`multiprocessing.Pool`
+  (:func:`get_persistent_pool`), created once per ``(workers,
+  start_method)`` and reused across every decode in the process, so
+  repeated runs pay fork + interpreter warm-up exactly once.  The
+  coded stream is published **once** into POSIX shared memory
+  (:class:`StreamArena`); workers attach by name and slice their GOP's
+  bytes straight out of the segment — the bitstream never crosses the
+  task pipe.  Each worker rebuilds a stand-alone substream
+  (sequence-header prefix + GOP bytes), decodes it with the batched
+  :class:`~repro.mpeg2.decoder.SequenceDecoder`, and writes the
+  decoded planes straight into a shared-memory frame pool.  Tasks are
+  *chunks* of consecutive GOPs (:func:`coalesce_gop_tasks`) so streams
+  with many more GOPs than workers cost one queue message per chunk —
+  dispatch and result publication both — instead of one per GOP; only
+  tiny metadata (temporal references + work counters) crosses the
+  process boundary through pickling, and pixel arrays never do.
 * **display** — the parent merges completed GOPs back into display
   order through a reorder buffer (:func:`_merge_in_order`), reading
   frames out of the shared pool.
@@ -39,11 +48,13 @@ by ``tests/parallel/test_mp_parity.py`` and the golden-vector suite.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import shutil
 import tempfile
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from glob import glob
 from multiprocessing import shared_memory
@@ -270,6 +281,66 @@ class LocalFramePool(FramePoolBase):
         pass
 
 
+class StreamArena:
+    """The coded bitstream, published once into POSIX shared memory.
+
+    The low-overhead dispatch contract: the parent copies the stream
+    into a segment exactly once per decode; every worker attaches by
+    name and parses **in place** through :attr:`view`, materialising
+    only the few-KB byte range of its own task.  Nothing about the
+    bitstream ever rides the task pipe — with a spawn start method the
+    per-worker cost drops from pickling the whole stream to pickling a
+    segment name, and with fork it removes the initargs copy entirely.
+
+    The parent (owner) creates and eventually unlinks the segment;
+    workers attach and only ever :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        data: bytes | None = None,
+        *,
+        name: str | None = None,
+        size: int = 0,
+    ) -> None:
+        if name is None:
+            if data is None:
+                raise ValueError("StreamArena needs data (create) or name (attach)")
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=max(len(data), 1)
+            )
+            self._shm.buf[: len(data)] = data
+            self.size = len(data)
+            self._owner = True
+        else:
+            self._shm = shared_memory.SharedMemory(name=name)
+            self.size = size
+            self._owner = False
+        self._view: memoryview | None = None
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def view(self) -> memoryview:
+        """Zero-copy view of the published bytes (cached; released by
+        :meth:`close`)."""
+        if self._view is None:
+            self._view = self._shm.buf[: self.size]
+        return self._view
+
+    def close(self) -> None:
+        if self._view is not None:
+            self._view.release()
+            self._view = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        if self._owner:
+            self._shm.unlink()
+
+
 # ----------------------------------------------------------------------
 # scan: GOP byte ranges -> tasks
 # ----------------------------------------------------------------------
@@ -326,58 +397,85 @@ def scan_gop_tasks(index: StreamIndex) -> list[GopTask]:
 # ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
-#: Per-worker-process state, populated by the pool initializer.
-_WORKER: dict | None = None
-
-
 #: Seconds between liveness polls while the parent blocks on results.
 #: A dead worker (crash, OOM kill, SIGKILL) is detected within one
 #: poll instead of hanging the merge loop forever on a lost task.
 LIVENESS_POLL_S = 0.2
 
+#: Worker-process attachment caches: shared segments this worker has
+#: already mapped, keyed by segment name.  Persistent workers outlive
+#: any single stream, so attachments are cached across tasks (attach
+#: once per stream per worker, not per task) and evicted LRU so a
+#: long-lived pool serving many streams holds at most
+#: ``_ATTACH_CACHE_SLOTS`` stale mappings.
+_ARENA_CACHE: "OrderedDict[str, StreamArena]" = OrderedDict()
+_POOL_CACHE: "OrderedDict[str, SharedFramePool]" = OrderedDict()
+_ATTACH_CACHE_SLOTS = 4
 
-def _init_worker(
-    data: bytes,
-    prefix: bytes,
-    pool_name: str,
-    layout: FrameLayout,
-    engine: str,
-    resilient: bool,
-    trace_dir: str | None = None,
-    crash_gop: int | None = None,
-) -> None:
-    """Pool initializer: attach the shared frame pool, keep the bytes.
+#: Worker idle-attribution baseline (`queue.get` stall between tasks).
+_LAST_END_NS = 0
 
-    When the parent is tracing, ``trace_dir`` names a shard directory:
-    the worker enables its own process-local tracer and appends raw
-    events to ``shard-<pid>.jsonl`` after every task; the parent merges
-    the shards into one timeline when the pool closes.
+#: Whether this worker process has enabled its process-local tracer.
+_TRACING_ON = False
+
+
+def _evict_lru(cache: OrderedDict) -> None:
+    while len(cache) > _ATTACH_CACHE_SLOTS:
+        _name, seg = cache.popitem(last=False)
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - exported views linger
+            pass
+
+
+def _attached_arena(name: str, size: int) -> memoryview:
+    arena = _ARENA_CACHE.get(name)
+    if arena is None:
+        arena = StreamArena(name=name, size=size)
+        _ARENA_CACHE[name] = arena
+        _evict_lru(_ARENA_CACHE)
+    else:
+        _ARENA_CACHE.move_to_end(name)
+    return arena.view
+
+
+def _attached_pool(name: str, layout: FrameLayout) -> SharedFramePool:
+    pool = _POOL_CACHE.get(name)
+    if pool is None:
+        pool = SharedFramePool(layout, slots=0, name=name)
+        _POOL_CACHE[name] = pool
+        _evict_lru(_POOL_CACHE)
+    else:
+        _POOL_CACHE.move_to_end(name)
+    return pool
+
+
+def _ensure_worker_tracing(trace_dir: str | None) -> str | None:
+    """Lazily enable this worker's tracer; return its shard path.
+
+    Persistent workers don't know at fork time whether any given run
+    will trace, so tracing is enabled on the first traced task and the
+    shard directory rides in on every task.
     """
-    global _WORKER
+    global _TRACING_ON
+    if trace_dir is None:
+        return None
     pid = os.getpid()
-    if trace_dir is not None:
+    if not _TRACING_ON:
         enable_tracing(process_name=f"worker-{pid}")
-        # Flush the process-metadata / start events immediately so every
-        # worker appears in the merged timeline even if it never gets a
-        # task (streams with fewer GOPs than workers).
+        _TRACING_ON = True
         tracer = get_tracer()
         if tracer is not None:
             tracer.instant("mp.worker.start", cat="mp")
-            tracer.write_shard(os.path.join(trace_dir, f"shard-{pid}.jsonl"))
+    return os.path.join(trace_dir, f"shard-{pid}.jsonl")
+
+
+def _init_persistent_worker() -> None:
+    """Pool initializer: stream-agnostic — per-stream state attaches
+    lazily from the segment names each task carries."""
+    global _LAST_END_NS
     reset_metrics()
-    _WORKER = {
-        "data": data,
-        "prefix": prefix,
-        "pool": SharedFramePool(layout, slots=0, name=pool_name),
-        "engine": engine,
-        "resilient": resilient,
-        "trace_dir": trace_dir,
-        "crash_gop": crash_gop,
-        "name": f"worker-{pid}",
-        # Idle attribution baseline: the gap from here to the first
-        # task, and between consecutive tasks, is queue.get wait.
-        "last_end_ns": time.monotonic_ns(),
-    }
+    _LAST_END_NS = time.monotonic_ns()
 
 
 def _decode_substream(
@@ -391,63 +489,195 @@ def _decode_substream(
     return frames, counters
 
 
-def _decode_gop_task(task: GopTask) -> GopResult:
-    """Worker body: decode one GOP, park the frames in shared memory."""
-    assert _WORKER is not None, "worker used before _init_worker"
-    if _WORKER["crash_gop"] == task.gop:
-        # Fault-injection hook (tests only): die mid-stream exactly the
-        # way an OOM kill / segfault would — no cleanup, no result.
-        os._exit(23)
+@dataclass(frozen=True)
+class GopChunk:
+    """One dispatch unit: consecutive GOP tasks + the decode context.
+
+    Everything a stream-agnostic persistent worker needs: the shared
+    segment names (bitstream arena + frame pool), the tiny
+    sequence-header prefix, and the member tasks.  One queue message
+    dispatches the whole chunk; one message publishes all its results.
+    """
+
+    arena_name: str
+    arena_size: int
+    prefix: bytes
+    pool_name: str
+    layout: FrameLayout
+    engine: str
+    resilient: bool
+    trace_dir: str | None
+    crash_gop: int | None
+    tasks: tuple[GopTask, ...]
+    #: Parent's dispatch timestamp (``time.monotonic_ns()``).  Persistent
+    #: workers clamp idle attribution to this: time spent between *runs*
+    #: (the pool sat warm while no decode was active) is not a
+    #: ``queue.get`` stall of the run that happens to come next.
+    epoch_ns: int = 0
+
+
+@dataclass
+class ChunkResult:
+    """All of one chunk's GOP results in a single queue message."""
+
+    results: list[GopResult]
+    metrics_snap: dict | None = None
+    stalls_snap: dict | None = None
+
+
+def coalesce_gop_tasks(
+    tasks: list[GopTask], workers: int
+) -> list[tuple[GopTask, ...]]:
+    """Group consecutive GOP tasks into coarse dispatch chunks.
+
+    When a stream has many more GOPs than the pool has workers, per-GOP
+    messages are pure overhead: the pool still load-balances with two
+    waves of chunks per worker, so tasks are grouped to at most
+    ``2 * workers`` chunks.  Short streams (or big pools) degenerate to
+    one GOP per chunk — coalescing never *reduces* available
+    parallelism.  Consecutive grouping keeps completions roughly in
+    stream order, which keeps the display reorder buffer shallow.
+    """
+    if workers <= 0 or not tasks:
+        return [(t,) for t in tasks]
+    per = -(-len(tasks) // (2 * workers))  # ceil
+    return [tuple(tasks[i : i + per]) for i in range(0, len(tasks), per)]
+
+
+def _decode_gop_chunk(chunk: GopChunk) -> ChunkResult:
+    """Worker body: decode a chunk of GOPs, park frames in shared memory.
+
+    The bitstream is parsed in place from the arena segment — only the
+    chunk's own GOP byte ranges are ever materialised as ``bytes``.
+    """
+    global _LAST_END_NS
+    shard = _ensure_worker_tracing(chunk.trace_dir)
     # Idle attribution: the gap since the previous task ended is time
     # this worker spent waiting on the task queue (queue.get stall).
+    # Clamped to the chunk's dispatch epoch so a warm persistent worker
+    # does not book the dead time between two unrelated runs as a
+    # stall of the later one.
     now_ns = time.monotonic_ns()
-    idle_ns = now_ns - _WORKER["last_end_ns"]
+    baseline_ns = max(_LAST_END_NS, chunk.epoch_ns)
+    idle_ns = now_ns - baseline_ns if baseline_ns else 0
     stalls = StallTable()
     if idle_ns > 0:
         trace_complete(
-            "mp.worker.idle", "stall", _WORKER["last_end_ns"], idle_ns,
+            "mp.worker.idle", "stall", now_ns - idle_ns, idle_ns,
             reason=REASON_QUEUE_GET,
         )
         metrics().histogram("mp.worker.idle_ms").observe(idle_ns / 1e6)
-        stalls.record(_WORKER["name"], REASON_QUEUE_GET, idle_ns / 1e9)
+        stalls.record(f"worker-{os.getpid()}", REASON_QUEUE_GET, idle_ns / 1e9)
 
-    substream = (
-        _WORKER["prefix"]
-        + _WORKER["data"][task.byte_start : task.byte_end]
-    )
-    with trace_span(
-        "mp.worker.decode_gop", cat="mp",
-        gop=task.gop, pictures=task.picture_count,
-    ):
-        frames, counters = _decode_substream(
-            substream, _WORKER["engine"], _WORKER["resilient"]
+    data = _attached_arena(chunk.arena_name, chunk.arena_size)
+    pool = _attached_pool(chunk.pool_name, chunk.layout)
+    results: list[GopResult] = []
+    for task in chunk.tasks:
+        if chunk.crash_gop == task.gop:
+            # Fault-injection hook (tests only): die mid-stream exactly
+            # the way an OOM kill / segfault would — no cleanup, no
+            # result.
+            os._exit(23)
+        substream = chunk.prefix + bytes(
+            data[task.byte_start : task.byte_end]
         )
-    pool: SharedFramePool = _WORKER["pool"]
-    refs: list[int] = []
-    with trace_span("mp.shm.write", cat="mp", frames=len(frames)):
-        for j, frame in enumerate(frames):
-            pool.write_frame(task.slot_base + j, frame)
-            refs.append(frame.temporal_reference)
-    _WORKER["last_end_ns"] = time.monotonic_ns()
+        with trace_span(
+            "mp.worker.decode_gop", cat="mp",
+            gop=task.gop, pictures=task.picture_count,
+        ):
+            frames, counters = _decode_substream(
+                substream, chunk.engine, chunk.resilient
+            )
+        refs: list[int] = []
+        with trace_span("mp.shm.write", cat="mp", frames=len(frames)):
+            for j, frame in enumerate(frames):
+                pool.write_frame(task.slot_base + j, frame)
+                refs.append(frame.temporal_reference)
+        results.append(
+            GopResult(
+                gop=task.gop,
+                slot_base=task.slot_base,
+                temporal_references=refs,
+                counters=counters,
+            )
+        )
+    _LAST_END_NS = time.monotonic_ns()
 
-    # Ship the observability payloads: metrics accumulated during this
-    # task (then reset, so tasks never double-count) and the stall
-    # records; flush trace events to this worker's shard file.
+    # Ship the observability payloads once per *chunk*: metrics
+    # accumulated during it (then reset, so chunks never double-count)
+    # and the stall records; flush trace events to this worker's shard.
     snap = metrics().snapshot()
     reset_metrics()
     tracer = get_tracer()
-    if tracer is not None and _WORKER["trace_dir"] is not None:
-        tracer.write_shard(
-            os.path.join(_WORKER["trace_dir"], f"shard-{os.getpid()}.jsonl")
-        )
-    return GopResult(
-        gop=task.gop,
-        slot_base=task.slot_base,
-        temporal_references=refs,
-        counters=counters,
+    if tracer is not None and shard is not None:
+        tracer.write_shard(shard)
+    return ChunkResult(
+        results=results,
         metrics_snap=snap,
         stalls_snap=stalls.snapshot() if stalls else None,
     )
+
+
+# ----------------------------------------------------------------------
+# persistent pools: pre-forked once, shared across every decode
+# ----------------------------------------------------------------------
+_PERSISTENT_POOLS: dict[tuple[int, str | None], object] = {}
+
+
+def get_persistent_pool(workers: int, start_method: str | None = None):
+    """The process-wide pre-forked pool for ``(workers, start_method)``.
+
+    Created on first use and reused by every subsequent parallel
+    decode (and the serve layer's repeated requests), so fork +
+    interpreter warm-up is paid once per process instead of once per
+    run.  Workers are stream-agnostic (:func:`_init_persistent_worker`)
+    — per-stream context rides in on each :class:`GopChunk`.
+    """
+    key = (workers, start_method)
+    pool = _PERSISTENT_POOLS.get(key)
+    if pool is None:
+        ctx = multiprocessing.get_context(start_method)
+        pool = ctx.Pool(
+            processes=workers, initializer=_init_persistent_worker
+        )
+        _PERSISTENT_POOLS[key] = pool
+    return pool
+
+
+def invalidate_persistent_pool(
+    workers: int, start_method: str | None = None
+) -> None:
+    """Tear down one cached pool (after a worker death poisoned it)."""
+    pool = _PERSISTENT_POOLS.pop((workers, start_method), None)
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+
+
+def shutdown_persistent_pools() -> None:
+    """Terminate every cached pool (atexit + test isolation hook)."""
+    for pool in list(_PERSISTENT_POOLS.values()):
+        pool.terminate()
+        pool.join()
+    _PERSISTENT_POOLS.clear()
+
+
+def persistent_worker_pids() -> set[int]:
+    """PIDs of live persistent-pool workers.
+
+    These processes outlive individual decodes *by design*; test
+    helpers that assert "no stray children after a crash" use this to
+    tell an intentional long-lived pool worker from a leaked one.
+    """
+    pids: set[int] = set()
+    for pool in _PERSISTENT_POOLS.values():
+        for proc in getattr(pool, "_pool", []):
+            if proc.pid is not None and proc.is_alive():
+                pids.add(proc.pid)
+    return pids
+
+
+atexit.register(shutdown_persistent_pools)
 
 
 # ----------------------------------------------------------------------
@@ -628,13 +858,14 @@ class MPGopDecoder:
     def _iter_gops_mp(
         self, counters: WorkCounters | None
     ) -> Iterator[tuple[int, list[Frame]]]:
-        # Spawn exactly the requested worker count (the paper's P);
-        # extra workers idle when the stream has fewer GOPs, but they
-        # still appear in the merged trace timeline.
+        # The pre-forked persistent pool for exactly the requested
+        # worker count (the paper's P); extra workers idle when the
+        # stream has fewer chunks, but the pool is shared by every
+        # decode in the process, so fork cost is paid once.
         workers = self.workers
-        ctx = multiprocessing.get_context(self.start_method)
         picture_count = self.index.picture_count
         frame_pool = SharedFramePool(self.layout, slots=picture_count)
+        arena = StreamArena(self.data)
         self.last_pool_bytes = frame_pool.nbytes
         self.last_stalls = StallTable()
         tasks_by_gop = {t.gop: t for t in self.tasks}
@@ -645,6 +876,25 @@ class MPGopDecoder:
         # When the parent is tracing, workers trace too: each writes a
         # raw-event shard the parent merges into one timeline below.
         trace_dir = tempfile.mkdtemp(prefix="repro-trace-") if tracing_enabled() else None
+
+        dispatch_epoch_ns = time.monotonic_ns()
+        chunks = [
+            GopChunk(
+                arena_name=arena.name,
+                arena_size=arena.size,
+                prefix=self.prefix,
+                pool_name=frame_pool.name,
+                layout=self.layout,
+                engine=self.engine,
+                resilient=self.resilient,
+                trace_dir=trace_dir,
+                crash_gop=self._crash_gop,
+                tasks=group,
+                epoch_ns=dispatch_epoch_ns,
+            )
+            for group in coalesce_gop_tasks(self.tasks, workers)
+        ]
+        reg.counter("mp.dispatch.messages").inc(len(chunks))
 
         def on_hold(gop: int, seconds: float) -> None:
             # An out-of-order completion sat in the reorder buffer:
@@ -660,18 +910,21 @@ class MPGopDecoder:
             # Time every blocking wait on the result queue: the
             # parent-side queue.get stall (and its trace span).  Waits
             # are chunked into short liveness polls so a worker that
-            # died mid-GOP (its task is lost — ``multiprocessing.Pool``
-            # never resubmits) surfaces as a clean DecodeError instead
-            # of an infinite hang.  The pool auto-respawns replacements
-            # for dead workers, so death is detected both by a non-zero
+            # died mid-chunk (its tasks are lost — the pool never
+            # resubmits) surfaces as a clean DecodeError instead of an
+            # infinite hang.  The pool auto-respawns replacements for
+            # dead workers, so death is detected both by a non-zero
             # exitcode *and* by the worker pid set drifting from its
-            # baseline.
+            # baseline; the poisoned pool is then discarded so the next
+            # run pre-forks a clean one.
             baseline = {p.pid for p in getattr(pool, "_pool", [])}
             while True:
                 t0 = time.monotonic_ns()
                 while True:
                     try:
-                        result = completions.next(timeout=LIVENESS_POLL_S)
+                        chunk_result = completions.next(
+                            timeout=LIVENESS_POLL_S
+                        )
                         break
                     except multiprocessing.TimeoutError:
                         procs = list(getattr(pool, "_pool", []))
@@ -684,6 +937,9 @@ class MPGopDecoder:
                             codes = sorted(
                                 p.exitcode for p in dead
                                 if p.exitcode is not None
+                            )
+                            invalidate_persistent_pool(
+                                workers, self.start_method
                             )
                             raise DecodeError(
                                 "GOP worker process died mid-stream "
@@ -701,56 +957,47 @@ class MPGopDecoder:
                 self.last_stalls.record(
                     "merge", REASON_QUEUE_GET, waited / 1e9
                 )
-                # Fold the worker's shipped observability payloads in.
-                if result.metrics_snap is not None:
-                    reg.merge_snapshot(result.metrics_snap)
-                if result.stalls_snap is not None:
-                    self.last_stalls.merge(result.stalls_snap)
-                occupancy.inc(len(result.temporal_references))
-                yield result
+                # Fold the chunk's shipped observability payloads in
+                # (one message per chunk, not per GOP).
+                if chunk_result.metrics_snap is not None:
+                    reg.merge_snapshot(chunk_result.metrics_snap)
+                if chunk_result.stalls_snap is not None:
+                    self.last_stalls.merge(chunk_result.stalls_snap)
+                for result in chunk_result.results:
+                    occupancy.inc(len(result.temporal_references))
+                    yield result
 
         t_run = time.perf_counter()
         try:
-            with ctx.Pool(
-                processes=workers,
-                initializer=_init_worker,
-                initargs=(
-                    self.data,
-                    self.prefix,
-                    frame_pool.name,
-                    self.layout,
-                    self.engine,
-                    self.resilient,
-                    trace_dir,
-                    self._crash_gop,
-                ),
-            ) as pool:
-                completions = pool.imap_unordered(
-                    _decode_gop_task, self.tasks, chunksize=1
-                )
-                for result in _merge_in_order(
-                    timed(completions, pool),
-                    len(self.tasks),
-                    on_hold=on_hold,
-                    on_depth=depth.set,
+            pool = get_persistent_pool(workers, self.start_method)
+            completions = pool.imap_unordered(
+                _decode_gop_chunk, chunks, chunksize=1
+            )
+            for result in _merge_in_order(
+                timed(completions, pool),
+                len(self.tasks),
+                on_hold=on_hold,
+                on_depth=depth.set,
+            ):
+                if counters is not None:
+                    counters.add(result.counters)
+                task = tasks_by_gop[result.gop]
+                with trace_span(
+                    "mp.shm.read", cat="mp", gop=result.gop,
+                    frames=len(result.temporal_references),
                 ):
-                    if counters is not None:
-                        counters.add(result.counters)
-                    task = tasks_by_gop[result.gop]
-                    with trace_span(
-                        "mp.shm.read", cat="mp", gop=result.gop,
-                        frames=len(result.temporal_references),
-                    ):
-                        frames = [
-                            frame_pool.read_frame(task.slot_base + j, ref)
-                            for j, ref in enumerate(result.temporal_references)
-                        ]
-                    occupancy.dec(len(result.temporal_references))
-                    yield result.gop, frames
+                    frames = [
+                        frame_pool.read_frame(task.slot_base + j, ref)
+                        for j, ref in enumerate(result.temporal_references)
+                    ]
+                occupancy.dec(len(result.temporal_references))
+                yield result.gop, frames
         finally:
             self.last_wall_seconds = time.perf_counter() - t_run
             frame_pool.close()
             frame_pool.unlink()
+            arena.close()
+            arena.unlink()
             if trace_dir is not None:
                 self._collect_shards(trace_dir)
 

@@ -23,12 +23,21 @@ The paper's three roles map onto real primitives:
   (:func:`scan_slice_tasks`), and drives the pure-logic
   :class:`PictureSliceQueue` that embodies the availability rule.
 * **workers** — persistent ``multiprocessing`` processes pulling
-  ``(picture, slice)`` tasks from a queue.  Each runs the phase-1
-  bit-only parse (:func:`repro.mpeg2.batched.parse_slice`) and then
-  reconstructs its slice **in place** on the shared-memory frame pool
+  ``(picture, slice-batch)`` tasks from a queue.  The coded stream is
+  published once into shared memory
+  (:class:`repro.parallel.mp.StreamArena`); workers attach by name and
+  slice payload byte ranges straight out of the segment.  Each slice
+  gets the phase-1 bit-only parse
+  (:func:`repro.mpeg2.batched.parse_slice`) and then — for the
+  statically-final slice of each row — in-place reconstruction on the
+  shared-memory frame pool
   (:class:`repro.parallel.mp.SharedFramePool`), reading reference
-  pictures through zero-copy views.  Only per-slice work counters and
-  tiny status tuples cross the process boundary — pixels never do.
+  pictures through zero-copy views.  Dispatch is *batched*: each
+  picture's claimable slices are split into at most ``workers``
+  sub-batches, so a 15-slice picture on 4 workers costs 4 queue
+  messages each way instead of 30, while intra-picture parallelism is
+  fully preserved.  Only per-slice work counters and tiny status
+  tuples cross the process boundary — pixels and bitstream never do.
 * **display** — the parent completes pictures (concealment for corrupt
   rows, publish for dependents), then merges them into display order
   through :class:`DisplayMerger`.
@@ -107,6 +116,7 @@ from repro.parallel.mp import (
     LIVENESS_POLL_S,
     FrameLayout,
     SharedFramePool,
+    StreamArena,
     collect_trace_shards,
 )
 from repro.parallel.slice_level import SliceMode
@@ -433,7 +443,7 @@ class DisplayMerger:
 # picture-level decode (shared with the multi-stream serve layer)
 # ======================================================================
 def decode_picture_into_pool(
-    data: bytes,
+    data: bytes | memoryview,
     plan: PicturePlan,
     seq: SequenceHeader,
     mb_width: int,
@@ -462,7 +472,9 @@ def decode_picture_into_pool(
     corrupt_rows: list[int] = []
     concealed = 0
     for sl in plan.slices:
-        payload = unescape_payload(data[sl.payload_start : sl.payload_end])
+        # bytes() materialises shared-memory views (serve workers read
+        # the stream from an arena); for a bytes slice it is a no-op.
+        payload = unescape_payload(bytes(data[sl.payload_start : sl.payload_end]))
         try:
             with trace_span(
                 "mp.slice.parse", cat="mp",
@@ -511,7 +523,8 @@ def decode_picture_into_pool(
 # ======================================================================
 def _slice_worker_main(
     wid: int,
-    data: bytes,
+    arena_name: str,
+    arena_size: int,
     plans: list[PicturePlan],
     seq: SequenceHeader,
     layout: FrameLayout,
@@ -524,13 +537,17 @@ def _slice_worker_main(
     trace_dir: str | None,
     crash_task: tuple[int, int] | None,
 ) -> None:
-    """Worker body: loop ``(picture, slice)`` tasks until the sentinel.
+    """Worker body: loop ``(picture, slice-batch)`` tasks to sentinel.
 
-    Per task: phase-1 parse (bit work only, exact counters), then —
-    for the statically-final slice of each row — phase-2
-    reconstruction written *in place* on the shared frame pool, with
-    reference pictures read through zero-copy views.  Results are tiny
-    ``(kind, order, slice, payload)`` tuples; a final ``("obs", ...)``
+    The coded stream is read in place from the shared
+    :class:`~repro.parallel.mp.StreamArena` — only each slice's few-KB
+    payload is ever materialised as ``bytes``.  Per slice: phase-1
+    parse (bit work only, exact counters), then — for the
+    statically-final slice of each row — phase-2 reconstruction
+    written *in place* on the shared frame pool, with reference
+    pictures read through zero-copy views.  One
+    ``("batch", order, ((slice, kind, payload), ...))`` message
+    publishes the whole batch's results; a final ``("obs", ...)``
     message ships the worker's metrics and stall snapshots.
     """
     name = f"slice-worker-{wid}"
@@ -549,13 +566,15 @@ def _slice_worker_main(
     reset_metrics()
     stalls = StallTable()
     pool = SharedFramePool(layout, slots=0, name=pool_name)
+    arena = StreamArena(name=arena_name, size=arena_size)
+    data = arena.view
     last_end = time.monotonic_ns()
     try:
         while True:
             task = task_q.get()
             if task is None:
                 break
-            order, sidx = task
+            order, sidxs = task
             now = time.monotonic_ns()
             idle_ns = now - last_end
             if idle_ns > 0:
@@ -565,63 +584,65 @@ def _slice_worker_main(
                 )
                 metrics().histogram("mp.worker.idle_ms").observe(idle_ns / 1e6)
                 stalls.record(name, REASON_QUEUE_GET, idle_ns / 1e9)
-            if crash_task == (order, sidx):
-                # Fault-injection hook (tests only): die mid-picture
-                # exactly the way an OOM kill / segfault would.
-                os._exit(23)
             plan = plans[order]
-            sl = plan.slices[sidx]
-            try:
-                payload = unescape_payload(
-                    data[sl.payload_start : sl.payload_end]
-                )
+            entries: list[tuple[int, str, object]] = []
+            for sidx in sidxs:
+                if crash_task == (order, sidx):
+                    # Fault-injection hook (tests only): die mid-picture
+                    # exactly the way an OOM kill / segfault would.
+                    os._exit(23)
+                sl = plan.slices[sidx]
                 try:
-                    with trace_span(
-                        "mp.slice.parse", cat="mp",
-                        order=order, row=sl.vertical_position,
-                    ):
-                        sp = parse_slice(
-                            payload,
-                            sl.vertical_position,
-                            plan.header,
-                            mb_width,
-                            mb_height,
-                            plan.fwd is not None,
-                        )
-                except SLICE_CORRUPTION_ERRORS as exc:
-                    if resilient:
-                        result_q.put(("corrupt", order, sidx, None))
-                    else:
-                        result_q.put(("error", order, sidx, exc))
-                    last_end = time.monotonic_ns()
-                    continue
-                if sl.reconstruct:
-                    out = pool.view_frame(
-                        plan.order, plan.header.temporal_reference
-                    )
-                    fwd = (
-                        pool.view_frame(plan.fwd)
-                        if plan.fwd is not None
-                        else None
-                    )
-                    bwd = (
-                        pool.view_frame(plan.bwd)
-                        if plan.bwd is not None
-                        else None
+                    payload = unescape_payload(
+                        bytes(data[sl.payload_start : sl.payload_end])
                     )
                     try:
                         with trace_span(
-                            "mp.slice.reconstruct", cat="mp",
+                            "mp.slice.parse", cat="mp",
                             order=order, row=sl.vertical_position,
                         ):
-                            reconstruct_slices(
-                                [sp], seq, plan.header, out, fwd, bwd
+                            sp = parse_slice(
+                                payload,
+                                sl.vertical_position,
+                                plan.header,
+                                mb_width,
+                                mb_height,
+                                plan.fwd is not None,
                             )
-                    finally:
-                        del out, fwd, bwd
-                result_q.put(("ok", order, sidx, sp.counters))
-            except Exception as exc:  # pragma: no cover - defensive
-                result_q.put(("error", order, sidx, exc))
+                    except SLICE_CORRUPTION_ERRORS as exc:
+                        if resilient:
+                            entries.append((sidx, "corrupt", None))
+                        else:
+                            entries.append((sidx, "error", exc))
+                        continue
+                    if sl.reconstruct:
+                        out = pool.view_frame(
+                            plan.order, plan.header.temporal_reference
+                        )
+                        fwd = (
+                            pool.view_frame(plan.fwd)
+                            if plan.fwd is not None
+                            else None
+                        )
+                        bwd = (
+                            pool.view_frame(plan.bwd)
+                            if plan.bwd is not None
+                            else None
+                        )
+                        try:
+                            with trace_span(
+                                "mp.slice.reconstruct", cat="mp",
+                                order=order, row=sl.vertical_position,
+                            ):
+                                reconstruct_slices(
+                                    [sp], seq, plan.header, out, fwd, bwd
+                                )
+                        finally:
+                            del out, fwd, bwd
+                    entries.append((sidx, "ok", sp.counters))
+                except Exception as exc:  # pragma: no cover - defensive
+                    entries.append((sidx, "error", exc))
+            result_q.put(("batch", order, tuple(entries)))
             tracer = get_tracer()
             if tracer is not None and shard is not None:
                 tracer.write_shard(shard)
@@ -634,6 +655,10 @@ def _slice_worker_main(
     finally:
         try:
             pool.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+        try:
+            arena.close()
         except BufferError:  # pragma: no cover - defensive
             pass
 
@@ -886,11 +911,13 @@ class MPSliceDecoder:
     ) -> Iterator[Frame]:
         ctx = multiprocessing.get_context(self.start_method)
         pool = SharedFramePool(self.layout, slots=len(self.plans))
+        arena = StreamArena(self.data)
         self.last_pool_bytes = pool.nbytes
         self.last_stalls = StallTable()
         stalls = self.last_stalls
         reg = metrics()
         depth_gauge = reg.gauge("queue.depth")
+        dispatch_msgs = reg.counter("mp.dispatch.messages")
         trace_dir = (
             tempfile.mkdtemp(prefix="repro-trace-")
             if tracing_enabled()
@@ -948,9 +975,24 @@ class MPSliceDecoder:
         t_run = time.perf_counter()
 
         def dispatch() -> None:
-            for order, sidx in q.claim_all():
-                task_q.put((order, sidx))
-                depth_gauge.inc()
+            # Batched dispatch: group the claimable slices by picture,
+            # then split each picture's run into at most ``workers``
+            # sub-batches — every worker can still grab a share of the
+            # same picture (full intra-picture parallelism), but a
+            # 15-slice picture on 4 workers costs 4 messages, not 15.
+            claims = q.claim_all()
+            if not claims:
+                return
+            by_order: dict[int, list[int]] = {}
+            for order, sidx in claims:
+                by_order.setdefault(order, []).append(sidx)
+            for order, sidxs in by_order.items():
+                batches = min(len(sidxs), max(self.workers, 1))
+                per = -(-len(sidxs) // batches)  # ceil
+                for i in range(0, len(sidxs), per):
+                    task_q.put((order, tuple(sidxs[i : i + per])))
+                    depth_gauge.inc()
+                    dispatch_msgs.inc()
 
         def get_result():
             t0 = time.monotonic_ns()
@@ -1048,7 +1090,8 @@ class MPSliceDecoder:
                     target=_slice_worker_main,
                     args=(
                         wid,
-                        self.data,
+                        arena.name,
+                        arena.size,
                         self.plans,
                         self.seq,
                         self.layout,
@@ -1071,23 +1114,25 @@ class MPSliceDecoder:
             yield from emit(ready)
             outstanding = sum(len(p.slices) for p in self.plans)
             while outstanding > 0:
-                kind, order, sidx, payload = get_result()
-                if kind == "error":
-                    raise payload
-                if kind == "obs":  # pragma: no cover - defensive
+                msg = get_result()
+                if msg[0] == "obs":  # pragma: no cover - defensive
                     continue
-                outstanding -= 1
+                _, order, entries = msg
                 depth_gauge.dec()
-                status.setdefault(order, {})[sidx] = kind
-                if kind == "corrupt":
-                    if counters is not None:
-                        counters.concealed_slices += 1
-                elif counters is not None:
-                    counters.add(payload)
-                if q.complete_slice(order):
-                    ready = publish_new()
-                    dispatch()
-                    yield from emit(ready)
+                for sidx, kind, payload in entries:
+                    if kind == "error":
+                        raise payload
+                    outstanding -= 1
+                    status.setdefault(order, {})[sidx] = kind
+                    if kind == "corrupt":
+                        if counters is not None:
+                            counters.concealed_slices += 1
+                    elif counters is not None:
+                        counters.add(payload)
+                    if q.complete_slice(order):
+                        ready = publish_new()
+                        dispatch()
+                        yield from emit(ready)
 
             # Graceful shutdown: sentinel per worker, then collect the
             # final observability message from each.
@@ -1095,9 +1140,10 @@ class MPSliceDecoder:
                 task_q.put(None)
             obs_left = len(procs)
             while obs_left > 0:
-                kind, wid, metrics_snap, stalls_snap = get_result()
-                if kind != "obs":  # pragma: no cover - defensive
+                msg = get_result()
+                if msg[0] != "obs":  # pragma: no cover - defensive
                     continue
+                _, wid, metrics_snap, stalls_snap = msg
                 if metrics_snap is not None:
                     reg.merge_snapshot(metrics_snap)
                 if stalls_snap is not None:
@@ -1116,6 +1162,8 @@ class MPSliceDecoder:
                 mpq.cancel_join_thread()
             pool.close()
             pool.unlink()
+            arena.close()
+            arena.unlink()
             if trace_dir is not None:
                 collect_trace_shards(trace_dir)
 

@@ -70,6 +70,7 @@ from repro.parallel.mp import (
     LIVENESS_POLL_S,
     LocalFramePool,
     SharedFramePool,
+    StreamArena,
     collect_trace_shards,
 )
 from repro.parallel.mp_slice import decode_picture_into_pool
@@ -108,11 +109,14 @@ def _serve_worker_main(
 ) -> None:
     """Worker body: loop ``(session, task)`` assignments until sentinel.
 
-    ``meta`` maps session id -> the immutable decode context (coded
-    bytes, picture plans, sequence header, frame-pool name).  Results
-    are tiny ``(kind, wid, sid, key, payload...)`` tuples — pixels
-    never cross the process boundary; they land in the session's
-    shared pool.
+    ``meta`` maps session id -> the immutable decode context (picture
+    plans, sequence header, frame-pool + bitstream-arena names).  The
+    coded bytes live in per-session
+    :class:`~repro.parallel.mp.StreamArena` segments published once by
+    the parent — workers attach and parse in place, so the bitstream
+    never rides the ``fork``/pickle path per worker.  Results are tiny
+    ``(kind, wid, sid, key, payload...)`` tuples — pixels never cross
+    the process boundary; they land in the session's shared pool.
     """
     name = f"serve-worker-{wid}"
     pid = os.getpid()
@@ -129,6 +133,10 @@ def _serve_worker_main(
             tracer.write_shard(shard)
     pools = {
         sid: SharedFramePool(m["layout"], slots=0, name=m["pool_name"])
+        for sid, m in meta.items()
+    }
+    arenas = {
+        sid: StreamArena(name=m["arena_name"], size=m["arena_size"])
         for sid, m in meta.items()
     }
     stalls = StallTable()
@@ -162,7 +170,7 @@ def _serve_worker_main(
                 ):
                     for order in orders:
                         decode_picture_into_pool(
-                            m["data"],
+                            arenas[sid].view,
                             m["plans"][order],
                             m["seq"],
                             m["mb_width"],
@@ -185,9 +193,9 @@ def _serve_worker_main(
             tracer.instant("serve.worker.stop", cat="serve")
             tracer.write_shard(shard)
     finally:
-        for pool in pools.values():
+        for seg in list(pools.values()) + list(arenas.values()):
             try:
-                pool.close()
+                seg.close()
             except BufferError:  # pragma: no cover - defensive
                 pass
 
@@ -573,18 +581,23 @@ class DecodeService:
             if tracing_enabled()
             else None
         )
-        # Frame pools + the immutable worker-side decode context for
-        # every admitted (active or queued) session.
+        # Frame pools, bitstream arenas (published once per session) +
+        # the immutable worker-side decode context for every admitted
+        # (active or queued) session.
         self._pools = {}
+        self._arenas: dict[str, StreamArena] = {}
         meta: dict[str, dict] = {}
         for sid in self._nonterminal():
             sess = self.sessions[sid]
             if sess.status is SessionStatus.REJECTED:
                 continue
             pool = SharedFramePool(sess.layout, slots=sess.picture_count)
+            arena = StreamArena(sess.data)
             self._pools[sid] = pool
+            self._arenas[sid] = arena
             meta[sid] = {
-                "data": sess.data,
+                "arena_name": arena.name,
+                "arena_size": arena.size,
                 "plans": sess.plans,
                 "seq": sess.seq,
                 "layout": sess.layout,
@@ -596,9 +609,11 @@ class DecodeService:
         self.last_pool_bytes = sum(p.nbytes for p in self._pools.values())
         if not meta:
             # Nothing decodable was admitted; settle and bail.
-            for pool in self._pools.values():
-                pool.close()
-                pool.unlink()
+            for seg in list(self._pools.values()) + list(
+                self._arenas.values()
+            ):
+                seg.close()
+                seg.unlink()
             return
 
         result_q = ctx.Queue()
@@ -781,9 +796,11 @@ class DecodeService:
                 q.cancel_join_thread()
             result_q.close()
             result_q.cancel_join_thread()
-            for pool in self._pools.values():
-                pool.close()
-                pool.unlink()
+            for seg in list(self._pools.values()) + list(
+                self._arenas.values()
+            ):
+                seg.close()
+                seg.unlink()
             if trace_dir is not None:
                 collect_trace_shards(trace_dir)
 

@@ -1,0 +1,165 @@
+"""GOP mega-batch parity: cross-picture batching must change nothing.
+
+The batched engine's per-GOP fast path (one dequant + IDCT chain over
+every coded block of a GOP, ``repro.mpeg2.decoder._decode_gop_batched``)
+reorders *computation*, never *semantics*.  This suite pins that claim
+three ways:
+
+* every committed golden vector — and every still-decodable negative —
+  decodes to the same pixels **and** identical work counters under the
+  scalar oracle and the GOP-batched engine;
+* every rejected ``neg_*`` vector raises the **same exception class**
+  from both engines (derived live from the scalar run, not just from
+  the pinned name, so the two engines are compared against each other);
+* a Hypothesis property: transplanting a same-type picture's slice
+  into another picture — creating two *different* coded slices for the
+  same macroblock row — never breaks the bitstream-last-wins scatter
+  order.  The mega-batch assembles a whole picture's coefficients in
+  one array; this is the test that the assembly's duplicate-row
+  resolution matches the sequential decoder's overwrite order.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpeg2.counters import WorkCounters
+from repro.mpeg2.decoder import SequenceDecoder
+from repro.mpeg2.index import build_index
+from repro.parallel.mp_slice import MPSliceDecoder
+from tests.mpeg2.test_golden_vectors import (
+    CORPUS,
+    DECODABLE_NEGATIVES,
+    ERROR_NEGATIVES,
+    NEGATIVE,
+    VECTOR_NAMES,
+    load_vector,
+)
+
+
+def _decode(data: bytes, engine: str) -> tuple[list[str], WorkCounters]:
+    counters = WorkCounters()
+    frames = SequenceDecoder(data, engine=engine).decode_all(counters)
+    return [f.digest() for f in frames], counters
+
+
+class TestGopBatchedParity:
+    """Full-corpus scalar vs GOP-batched: pixels and counters."""
+
+    @pytest.mark.parametrize("name", VECTOR_NAMES)
+    def test_golden_corpus_pixels_and_counters(self, name):
+        data = load_vector(name)
+        scalar_digests, scalar_counters = _decode(data, "scalar")
+        batched_digests, batched_counters = _decode(data, "batched")
+        assert batched_digests == scalar_digests
+        assert batched_digests == CORPUS[name]["frame_digests"]
+        assert batched_counters == scalar_counters, (
+            f"GOP-batched counters drifted from scalar on {name}"
+        )
+
+    @pytest.mark.parametrize("name", DECODABLE_NEGATIVES)
+    def test_decodable_negatives_pixels_and_counters(self, name):
+        data = load_vector(name)
+        scalar_digests, scalar_counters = _decode(data, "scalar")
+        batched_digests, batched_counters = _decode(data, "batched")
+        assert batched_digests == scalar_digests
+        assert batched_digests == NEGATIVE[name]["frame_digests"]
+        assert batched_counters == scalar_counters
+
+
+class TestGopBatchedErrors:
+    """Rejected vectors: same exception class, engine vs engine."""
+
+    @staticmethod
+    def _exc_class(data: bytes, engine: str) -> type | None:
+        try:
+            SequenceDecoder(data, engine=engine).decode_all()
+        except Exception as exc:
+            return type(exc)
+        return None
+
+    @pytest.mark.parametrize("name", ERROR_NEGATIVES)
+    def test_same_exception_class_as_scalar(self, name):
+        data = load_vector(name)
+        scalar_cls = self._exc_class(data, "scalar")
+        batched_cls = self._exc_class(data, "batched")
+        assert scalar_cls is not None, f"scalar decoded {name}"
+        assert batched_cls is scalar_cls, (
+            f"GOP-batched rejected {name} with "
+            f"{batched_cls and batched_cls.__name__}, scalar raised "
+            f"{scalar_cls.__name__}"
+        )
+        assert scalar_cls.__name__ == NEGATIVE[name]["error"]
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: duplicate-row scatter order survives the mega-batch
+# ----------------------------------------------------------------------
+_BASE = "ipb_64x48_gop13"
+_BASE_DATA = load_vector(_BASE)
+_PICS = build_index(_BASE_DATA).gops[0].pictures
+
+#: (target_pic, donor_pic, row): donor's row-``row`` slice can legally
+#: ride in target's slice run because both pictures are the same coding
+#: type (same prediction mode and f_codes), so its parse is valid in
+#: target's header context.  ``donor == target`` (a byte-identical
+#: duplicate) is included on purpose — it must be counted, not crash.
+_CANDIDATES = [
+    (ti, di, row)
+    for ti, tp in enumerate(_PICS)
+    for di, dp in enumerate(_PICS)
+    if tp.picture_type is dp.picture_type
+    for row in sorted(
+        {s.vertical_position for s in tp.slices}
+        & {s.vertical_position for s in dp.slices}
+    )
+]
+
+
+def _transplant(data: bytes, target: int, donor: int, row: int) -> bytes:
+    """Append donor's row-``row`` slice at the end of target's run.
+
+    The appended copy is bitstream-last for its row, so *it* must win
+    the scatter — in the scalar decoder by plain overwrite order, in
+    the GOP-batched engine by its duplicate-row resolution.
+    """
+    pics = build_index(data).gops[0].pictures
+    donor_sl = next(
+        s for s in pics[donor].slices if s.vertical_position == row
+    )
+    chunk = data[donor_sl.payload_start - 4 : donor_sl.payload_end]
+    cut = pics[target].slices[-1].payload_end
+    return data[:cut] + chunk + data[cut:]
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    ops=st.lists(st.sampled_from(_CANDIDATES), min_size=1, max_size=3),
+)
+def test_mega_batch_preserves_last_wins_scatter(ops):
+    """Property: per-GOP batching never reorders duplicate-row writes.
+
+    Each op splices a (possibly different-content) slice for an
+    already-coded row into a picture; stacked ops can pile several
+    duplicates onto one row.  Whatever the wire order ends up being,
+    scalar, GOP-batched and the slice-parallel static resolver must
+    agree bit-for-bit on pixels *and* work counters (every duplicate's
+    parse work counted exactly once per copy).
+    """
+    data = _BASE_DATA
+    for target, donor, row in ops:
+        data = _transplant(data, target, donor, row)
+
+    scalar_digests, scalar_counters = _decode(data, "scalar")
+    batched_digests, batched_counters = _decode(data, "batched")
+    assert batched_digests == scalar_digests
+    assert batched_counters == scalar_counters
+
+    slice_counters = WorkCounters()
+    slice_frames = MPSliceDecoder(
+        data, workers=0, mode="improved"
+    ).decode_all(slice_counters)
+    assert [f.digest() for f in slice_frames] == scalar_digests
+    assert slice_counters == scalar_counters

@@ -75,14 +75,24 @@ def deadline():
 
 
 def assert_no_stray_children():
-    """All worker processes were reaped (terminated + joined)."""
+    """All worker processes were reaped (terminated + joined).
+
+    Healthy persistent GOP-pool workers are exempt: they outlive
+    individual decodes by design (``get_persistent_pool``), so only
+    processes outside that registry count as strays.
+    """
+    from repro.parallel.mp import persistent_worker_pids
+
     for _ in range(50):
-        if not multiprocessing.active_children():
+        strays = [
+            p
+            for p in multiprocessing.active_children()
+            if p.pid not in persistent_worker_pids()
+        ]
+        if not strays:
             return
         time.sleep(0.1)
-    raise AssertionError(
-        f"stray worker processes: {multiprocessing.active_children()}"
-    )
+    raise AssertionError(f"stray worker processes: {strays}")
 
 
 class TestSliceWorkerCrash:
