@@ -6,6 +6,8 @@ Commands
 ``info``      scan a stream and print its structure (the scan process)
 ``decode``    decode a stream; optionally dump frames as PGM files
 ``serve``     decode many streams concurrently on one shared worker pool
+``net-serve`` publish streams over TCP (paced slices, optional loss shim)
+``net-client`` stream one session from a net-serve and report delivery
 ``simulate``  run a parallel decoder on the simulated multiprocessor
 """
 
@@ -265,6 +267,139 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 1 if failed == len(svc.sessions) and svc.sessions else 0
 
 
+def _cmd_net_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.net.impair import ImpairmentProfile
+    from repro.net.server import NetServer
+    from repro.obs import disable_tracing, enable_tracing, get_tracer
+
+    if args.trace:
+        enable_tracing(process_name="net-serve (acceptor+service)")
+    streams: dict[str, bytes] = {}
+    for path in args.streams:
+        name = os.path.splitext(os.path.basename(path))[0]
+        base, n = name, 2
+        while name in streams:
+            name = f"{base}#{n}"
+            n += 1
+        with open(path, "rb") as fh:
+            streams[name] = fh.read()
+
+    impairment = None
+    if args.loss or args.reorder or args.jitter_ms or args.bandwidth:
+        impairment = ImpairmentProfile(
+            loss=args.loss,
+            reorder=args.reorder,
+            jitter_ms=args.jitter_ms,
+            bandwidth_bps=args.bandwidth or None,
+            seed=args.seed,
+        )
+
+    async def serve() -> dict:
+        srv = NetServer(
+            streams,
+            workers=args.workers,
+            fps=args.fps,
+            capacity=args.capacity,
+            link_bps=args.link_bps,
+            impairment=impairment,
+            preroll_pictures=args.preroll,
+            host=args.host,
+            port=args.port,
+        )
+        await srv.start()
+        shim = (
+            f", impaired (loss {args.loss:.0%}, reorder {args.reorder:.0%},"
+            f" jitter {args.jitter_ms:g}ms"
+            + (f", {args.bandwidth / 1e6:g} Mb/s cap" if args.bandwidth else "")
+            + ")"
+            if impairment
+            else ""
+        )
+        print(
+            f"net-serve on {srv.host}:{srv.port} — {len(streams)} streams "
+            f"@ {args.fps:g} fps{shim}"
+        )
+        for name in sorted(streams):
+            p = srv.profiles.get(name)
+            detail = (
+                f"{p.pictures} pictures, mean {p.mean_bps / 1e6:.2f} Mb/s, "
+                f"peak {p.peak_bps / 1e6:.2f} Mb/s ({p.burstiness:.2f}x)"
+                if p
+                else f"UNSCANNABLE ({srv.profile_errors[name]})"
+            )
+            print(f"  {name}: {detail}")
+        try:
+            if args.duration:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()  # Ctrl-C stops the server
+        finally:
+            report = await srv.aclose()
+        return report
+
+    try:
+        report = asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("\ninterrupted")
+        return 0
+    counts = report["service"]["status_counts"]
+    print(
+        f"served {len(report['connections'])} connections; "
+        f"sessions {counts or '{}'}; client-concealed slices "
+        f"{report['client_concealed_slices']}"
+    )
+    if args.trace:
+        doc = get_tracer().write_chrome(args.trace)
+        disable_tracing()
+        print(
+            f"wrote {len(doc['traceEvents'])} trace events to {args.trace}"
+        )
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report, fh, indent=2, default=str)
+        print(f"wrote server report to {args.report}")
+    return 0
+
+
+def _cmd_net_client(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.net.client import stream_session
+
+    result = asyncio.run(
+        stream_session(
+            args.host, args.port, args.stream, timeout_s=args.timeout
+        )
+    )
+    j = result.to_json()
+    print(
+        f"{args.stream}: {j['status']} — {j['pictures']} pictures "
+        f"({j['delivered']} intact, {j['concealed_pictures']} concealed, "
+        f"{j['shed_pictures']} shed, {j['abandoned']} abandoned)"
+    )
+    if j["concealed_slices"]:
+        per = result.stalls.by_reason()
+        detail = ", ".join(
+            f"{reason} {t * 1e3:.2f}ms" for reason, t in sorted(per.items())
+        )
+        print(f"concealed {j['concealed_slices']} slices ({detail})")
+    if j["lateness"] is not None:
+        late = j["lateness"]
+        print(
+            f"deadlines: {late['late_pictures']}/{late['emitted']} late, "
+            f"max {late['max_lateness_s'] * 1e3:.1f} ms"
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(j, fh, indent=2)
+        print(f"wrote client report to {args.json}")
+    return 0 if result.complete else 1
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.analysis import TextTable, format_bytes
     from repro.parallel import (
@@ -419,6 +554,60 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--report", metavar="OUT.json",
                      help="write the full JSON service report")
     srv.set_defaults(func=_cmd_serve)
+
+    nsrv = sub.add_parser(
+        "net-serve",
+        help="publish streams over TCP with paced slice delivery",
+    )
+    nsrv.add_argument("--streams", nargs="+", required=True, metavar="PATH",
+                      help="input .m2v files, published under their "
+                           "basenames")
+    nsrv.add_argument("--host", default="127.0.0.1")
+    nsrv.add_argument("--port", type=int, default=0,
+                      help="TCP port (default: pick a free one)")
+    nsrv.add_argument("--workers", type=int, default=0, metavar="N",
+                      help="decode worker processes (0 = in-process)")
+    nsrv.add_argument("--fps", type=float, default=30.0,
+                      help="display rate pictures are paced onto the wire")
+    nsrv.add_argument("--capacity", type=int, default=None,
+                      help="max concurrently decoding sessions")
+    nsrv.add_argument("--link-bps", type=float, default=None,
+                      help="admission budget: reject sessions whose "
+                           "summed peak rates exceed this")
+    nsrv.add_argument("--preroll", type=int, default=1,
+                      help="pictures buffered before pacing starts")
+    nsrv.add_argument("--duration", type=float, default=None,
+                      help="serve this many seconds then exit "
+                           "(default: until Ctrl-C)")
+    nsrv.add_argument("--loss", type=float, default=0.0,
+                      help="impairment shim: per-slice drop probability")
+    nsrv.add_argument("--reorder", type=float, default=0.0,
+                      help="impairment shim: per-slice swap probability")
+    nsrv.add_argument("--jitter-ms", type=float, default=0.0,
+                      help="impairment shim: max per-message delay")
+    nsrv.add_argument("--bandwidth", type=float, default=None,
+                      help="impairment shim: wire bandwidth cap in bits/s")
+    nsrv.add_argument("--seed", type=int, default=0,
+                      help="impairment schedule seed (deterministic)")
+    nsrv.add_argument("--report", metavar="OUT.json",
+                      help="write the JSON server report on exit")
+    nsrv.add_argument("--trace", metavar="OUT.json",
+                      help="record a Chrome trace-event timeline of the "
+                           "service while serving")
+    nsrv.set_defaults(func=_cmd_net_serve)
+
+    ncli = sub.add_parser(
+        "net-client",
+        help="stream one session from a net-serve server",
+    )
+    ncli.add_argument("stream", help="published stream name to request")
+    ncli.add_argument("--host", default="127.0.0.1")
+    ncli.add_argument("--port", type=int, required=True)
+    ncli.add_argument("--timeout", type=float, default=300.0,
+                      help="whole-session wall-clock bound")
+    ncli.add_argument("--json", metavar="OUT.json",
+                      help="write the client delivery report")
+    ncli.set_defaults(func=_cmd_net_client)
 
     simp = sub.add_parser("simulate", help="simulated parallel decode")
     simp.add_argument("input")

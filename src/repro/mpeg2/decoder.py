@@ -42,7 +42,7 @@ from repro.mpeg2.macroblock import (
     SliceDecodeError,
     decode_slice,
 )
-from repro.mpeg2.reconstruct import conceal_row
+from repro.mpeg2.reconstruct import conceal_row, conceal_rows, missing_rows
 from repro.mpeg2.vlc import VLCError
 from repro.obs.metrics import metrics
 from repro.obs.trace import trace_span
@@ -188,6 +188,13 @@ class SequenceDecoder:
             ctx = PictureCodingContext(
                 seq=self.seq, pic=header, out=out, fwd=fwd, bwd=bwd
             )
+            # A row's *last* action wins (duplicate slices): decode
+            # immediately, but defer concealment to one end-of-picture
+            # sweep so spatial (row-above) concealment sees every
+            # decoded neighbour — the same sweep the batched and
+            # slice-parallel paths run, which is what keeps all of
+            # them bit-identical on lossy streams.
+            conceal_pending: set[int] = set()
             for sl in pic.slices:
                 payload = unescape_payload(
                     self.data[sl.payload_start : sl.payload_end]
@@ -199,12 +206,20 @@ class SequenceDecoder:
                                 payload, sl.vertical_position, ctx, local
                             )
                         except SLICE_CORRUPTION_ERRORS:
-                            conceal_slice(ctx, sl.vertical_position)
+                            conceal_pending.add(sl.vertical_position - 1)
                             local.concealed_slices += 1
                             continue
+                        conceal_pending.discard(sl.vertical_position - 1)
                     else:
                         c = decode_slice(payload, sl.vertical_position, ctx, local)
                 slice_counters.append((sl.vertical_position, c))
+            if self.resilient:
+                lost = missing_rows(
+                    out.mb_height,
+                    (sl.vertical_position - 1 for sl in pic.slices),
+                )
+                local.concealed_slices += len(lost)
+                conceal_rows(out, fwd, conceal_pending.union(lost))
             return out, slice_counters, local
 
         # Batched engine: phase 1 parses every slice (bit work only),
@@ -238,9 +253,14 @@ class SequenceDecoder:
                 [sp for sp in final.values() if sp is not None],
                 self.seq, header, out, fwd, bwd,
             )
-            for row, sp in final.items():
-                if sp is None:
-                    conceal_row(out, fwd, row)
+            if self.resilient:
+                lost = missing_rows(
+                    out.mb_height,
+                    (sl.vertical_position - 1 for sl in pic.slices),
+                )
+                local.concealed_slices += len(lost)
+                rows = {row for row, sp in final.items() if sp is None}
+                conceal_rows(out, fwd, rows.union(lost))
         return out, slice_counters, local
 
     def slice_payload(self, sl) -> bytes:
@@ -412,9 +432,19 @@ class SequenceDecoder:
                     fwd, bwd = ref_old, ref_new
                 with trace_span("decode.reconstruct"):
                     mc_scatter(asm, blocks, out, fwd, bwd)
-                    for row, sp in final.items():
-                        if sp is None:
-                            conceal_row(out, fwd, row)
+                    if self.resilient:
+                        lost = missing_rows(
+                            out.mb_height,
+                            (
+                                sl.vertical_position - 1
+                                for sl in pic.slices
+                            ),
+                        )
+                        local.concealed_slices += len(lost)
+                        rows = {
+                            row for row, sp in final.items() if sp is None
+                        }
+                        conceal_rows(out, fwd, rows.union(lost))
             metrics().histogram("decode.picture_ms").observe(
                 (perf_counter() - t0) * 1e3
             )

@@ -295,14 +295,18 @@ def decode_slice(
     local.headers += 1
     if ctx.trace is not None:
         ctx.trace.stream_read(len(payload))
+    # Validate the start-code row before touching the header bits: the
+    # batched engine rejects an out-of-range slice up front, and the
+    # differential fuzz suite pins all engines to the same verdict when
+    # a mutant corrupts both the position and the header.
+    row = vertical_position - 1
+    if not 0 <= row < ctx.out.mb_height:
+        raise SliceDecodeError(f"slice vertical position {vertical_position} out of range")
     r = BitReader(payload)
     sh = SliceHeader.read(r)
     state = SliceState(qscale_code=sh.quantiser_scale_code)
 
     mbw = ctx.mb_width
-    row = vertical_position - 1
-    if not 0 <= row < ctx.out.mb_height:
-        raise SliceDecodeError(f"slice vertical position {vertical_position} out of range")
     row_start = row * mbw
     row_last = row_start + mbw - 1
     prev_addr = row_start - 1

@@ -156,26 +156,95 @@ def copy_macroblock(out: Frame, src: Frame, mb_row: int, mb_col: int,
         counters.mc_pixels += 256 + 64 + 64
 
 
-def conceal_row(out: Frame, fwd: Frame | None, row: int) -> None:
-    """Replace macroblock row ``row`` of ``out`` with concealment data.
+def conceal_row_temporal(out: Frame, ref: Frame, row: int) -> None:
+    """Temporal concealment: co-located macroblock row of ``ref``.
 
-    Classic slice concealment: copy the co-located row from the
-    forward reference when one exists, else fill mid-grey.  Row-wide
-    plane copies are bit-identical to per-macroblock
-    :func:`copy_macroblock` calls and are what the batched
-    reconstruction path applies after its scatter (concealed rows are
-    disjoint from every decoded slice's row).
+    Classic slice concealment — the lost row is replaced by the same
+    rows of an already-decoded picture (the forward reference in the
+    decoder, the previously delivered picture at a streaming client).
+    Row-wide plane copies are bit-identical to per-macroblock
+    :func:`copy_macroblock` calls.
     """
     y0 = row * MACROBLOCK_SIZE
     c0 = y0 // 2
-    if fwd is not None:
-        out.y[y0 : y0 + 16, :] = fwd.y[y0 : y0 + 16, :]
-        out.cb[c0 : c0 + 8, :] = fwd.cb[c0 : c0 + 8, :]
-        out.cr[c0 : c0 + 8, :] = fwd.cr[c0 : c0 + 8, :]
+    out.y[y0 : y0 + 16, :] = ref.y[y0 : y0 + 16, :]
+    out.cb[c0 : c0 + 8, :] = ref.cb[c0 : c0 + 8, :]
+    out.cr[c0 : c0 + 8, :] = ref.cr[c0 : c0 + 8, :]
+
+
+def conceal_row_spatial(out: Frame, row: int) -> None:
+    """Spatial concealment: copy the macroblock row above, in place.
+
+    Used when no earlier picture exists to borrow from (an I-picture
+    at stream start).  Row 0 has nothing above it and falls back to
+    mid-grey.  Concealment sweeps run top-to-bottom, so consecutive
+    lost rows cascade deterministically (row ``r`` may copy a row
+    ``r-1`` that was itself just concealed) — every decode path applies
+    the same sweep order, which is what keeps them bit-identical.
+    """
+    y0 = row * MACROBLOCK_SIZE
+    c0 = y0 // 2
+    if row > 0:
+        out.y[y0 : y0 + 16, :] = out.y[y0 - 16 : y0, :]
+        out.cb[c0 : c0 + 8, :] = out.cb[c0 - 8 : c0, :]
+        out.cr[c0 : c0 + 8, :] = out.cr[c0 - 8 : c0, :]
     else:
         out.y[y0 : y0 + 16, :] = 128
         out.cb[c0 : c0 + 8, :] = 128
         out.cr[c0 : c0 + 8, :] = 128
+
+
+def conceal_row(out: Frame, fwd: Frame | None, row: int) -> str:
+    """Conceal one lost macroblock row; returns the policy applied.
+
+    Temporal (from the forward reference) when one exists, spatial
+    (row-copy from above) otherwise.  Returns ``"temporal"`` or
+    ``"spatial"`` so callers can attribute the concealment under the
+    matching ``conceal.*`` stall reason.
+    """
+    if fwd is not None:
+        conceal_row_temporal(out, fwd, row)
+        return "temporal"
+    conceal_row_spatial(out, row)
+    return "spatial"
+
+
+def conceal_rows(
+    out: Frame,
+    fwd: Frame | None,
+    rows: list[int] | tuple[int, ...],
+    counters: WorkCounters | None = None,
+) -> tuple[int, int]:
+    """Conceal ``rows`` of ``out`` top-to-bottom; count per policy.
+
+    The single concealment sweep every decode path shares (scalar,
+    batched, slice-parallel, serve): sorting ascending makes spatial
+    cascades deterministic, which is load-bearing for cross-path bit
+    parity on the ``conceal_*`` golden vectors.  Returns
+    ``(temporal, spatial)`` concealment counts; ``counters`` (when
+    given) accrues one ``concealed_slices`` per row.
+    """
+    temporal = spatial = 0
+    for row in sorted(rows):
+        if conceal_row(out, fwd, row) == "temporal":
+            temporal += 1
+        else:
+            spatial += 1
+    if counters is not None:
+        counters.concealed_slices += temporal + spatial
+    return temporal, spatial
+
+
+def missing_rows(mb_height: int, covered_rows) -> list[int]:
+    """Macroblock rows 0..mb_height-1 with no slice covering them.
+
+    ``covered_rows`` holds the rows that any slice (good or corrupt)
+    claimed.  The resilient decode paths conceal the remainder — a
+    stream that *lost* slices (network drop, truncation surgery)
+    rather than corrupted them.
+    """
+    covered = set(covered_rows)
+    return [r for r in range(mb_height) if r not in covered]
 
 
 def extract_macroblock(frame: Frame, mb_row: int, mb_col: int) -> np.ndarray:

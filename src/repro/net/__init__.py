@@ -1,0 +1,57 @@
+"""Network streaming edge: TCP server + client over the decode service.
+
+The paper decodes in real time on one SMP; this package puts that
+decoder behind a socket, the deployment shape of the follow-on
+video-server work.  Three layers:
+
+* :mod:`repro.net.protocol` — the length-prefixed wire format: a
+  droppable ``SLICE`` message per macroblock-row band plus reliable
+  control messages (``PIC_DONE`` marks a picture complete whether or
+  not its bands survived).
+* :mod:`repro.net.impair` — a deterministic, seeded in-process
+  impairment shim (loss / reorder / jitter / bandwidth cap) applied at
+  the transport write boundary, so CI exercises lossy links with no
+  root privileges or ``netem``.
+* :mod:`repro.net.server` / :mod:`repro.net.client` — an asyncio
+  front end over :class:`repro.serve.service.DecodeService` running
+  in dynamic mode, and a client that reassembles pictures, conceals
+  missing bands with the *same* :mod:`repro.mpeg2.reconstruct`
+  primitives the resilient decoders use, and measures per-picture
+  deadline lateness.
+"""
+
+from repro.net.impair import (
+    ImpairedSender,
+    ImpairmentProfile,
+    ImpairmentSchedule,
+)
+from repro.net.protocol import (
+    MSG_ACCEPT,
+    MSG_BYE,
+    MSG_HELLO,
+    MSG_PIC_DONE,
+    MSG_REJECT,
+    MSG_SLICE,
+    MSG_STATS,
+    Message,
+    StreamFramer,
+    encode_message,
+    read_message,
+)
+
+__all__ = [
+    "ImpairedSender",
+    "ImpairmentProfile",
+    "ImpairmentSchedule",
+    "MSG_ACCEPT",
+    "MSG_BYE",
+    "MSG_HELLO",
+    "MSG_PIC_DONE",
+    "MSG_REJECT",
+    "MSG_SLICE",
+    "MSG_STATS",
+    "Message",
+    "StreamFramer",
+    "encode_message",
+    "read_message",
+]

@@ -1,0 +1,262 @@
+"""Streaming client: reassembly, concealment, deadline measurement.
+
+The client is the far edge of the loss story.  Slices arrive as
+droppable ``SLICE`` band messages; the reliable ``PIC_DONE`` commit
+tells the client a picture is over, and any row that never arrived is
+concealed with the *same* primitives the resilient decoders use
+(:func:`repro.mpeg2.reconstruct.conceal_rows`): temporal from the
+previously displayed picture when one exists, spatial row-copy
+otherwise.  Every picture therefore ends *delivered or concealed* —
+the invariant the network benchmarks gate on.
+
+Measurement mirrors the serve layer: a
+:class:`~repro.parallel.pacing.WallClockPacer` anchors at the first
+commit and records per-picture lateness; concealment time lands in a
+:class:`~repro.obs.stalls.StallTable` under the ``conceal.*`` reasons.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.mpeg2.frame import Frame
+from repro.mpeg2.reconstruct import conceal_rows
+from repro.net.protocol import (
+    MSG_ACCEPT,
+    MSG_BYE,
+    MSG_HELLO,
+    MSG_PIC_DONE,
+    MSG_REJECT,
+    MSG_SLICE,
+    MSG_STATS,
+    ProtocolError,
+    band_into,
+    encode_message,
+    read_message,
+)
+from repro.obs.stalls import StallTable, record_concealment
+from repro.parallel.pacing import WallClockPacer
+
+
+@dataclass
+class PictureReceipt:
+    """Per-picture delivery record."""
+
+    pic: int
+    bands: int               # band messages that arrived
+    rows: int                # bands the picture needs
+    concealed_temporal: int = 0
+    concealed_spatial: int = 0
+    shed: bool = False       # server degraded it away (no bands sent)
+    late_s: float = 0.0
+
+    @property
+    def concealed(self) -> int:
+        return self.concealed_temporal + self.concealed_spatial
+
+
+@dataclass
+class ClientResult:
+    """Outcome of one streamed session."""
+
+    stream: str
+    status: str = "pending"  # done | rejected:<reason> | disconnected
+    pictures: int = 0        # server-announced picture count
+    receipts: list[PictureReceipt] = field(default_factory=list)
+    frames: list[Frame] = field(default_factory=list)
+    stalls: StallTable = field(default_factory=StallTable)
+    pacer: WallClockPacer = field(default_factory=WallClockPacer)
+    reject_reason: str | None = None
+    late_slices: int = 0     # bands that arrived after their commit
+
+    @property
+    def delivered(self) -> int:
+        """Pictures fully delivered (every band arrived, not shed)."""
+        return sum(
+            1 for r in self.receipts if not r.shed and r.concealed == 0
+        )
+
+    @property
+    def concealed_pictures(self) -> int:
+        return sum(1 for r in self.receipts if r.concealed > 0)
+
+    @property
+    def concealed_slices(self) -> int:
+        return sum(r.concealed for r in self.receipts)
+
+    @property
+    def shed_pictures(self) -> int:
+        return sum(1 for r in self.receipts if r.shed)
+
+    @property
+    def abandoned(self) -> int:
+        """Pictures whose commit never arrived (disconnect)."""
+        return max(0, self.pictures - len(self.receipts))
+
+    @property
+    def complete(self) -> bool:
+        """Every announced picture delivered, concealed, or shed."""
+        return self.status == "done" and self.abandoned == 0
+
+    def to_json(self) -> dict:
+        return {
+            "stream": self.stream,
+            "status": self.status,
+            "pictures": self.pictures,
+            "delivered": self.delivered,
+            "concealed_pictures": self.concealed_pictures,
+            "concealed_slices": self.concealed_slices,
+            "shed_pictures": self.shed_pictures,
+            "abandoned": self.abandoned,
+            "late_slices": self.late_slices,
+            "lateness": self.pacer.summary() if self.pacer.enabled else None,
+            "miss_cdf": self.pacer.miss_cdf() if self.pacer.enabled else [],
+        }
+
+
+async def stream_session(
+    host: str,
+    port: int,
+    stream: str,
+    keep_frames: bool = False,
+    send_stats: bool = True,
+    disconnect_after: int | None = None,
+    timeout_s: float = 60.0,
+) -> ClientResult:
+    """Stream one session and return its :class:`ClientResult`.
+
+    ``disconnect_after=k`` hangs up abruptly after ``k`` picture
+    commits (the misbehaving-client fixture the disconnect tests use).
+    """
+    result = ClientResult(stream=stream)
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await asyncio.wait_for(
+            _run(result, reader, writer, stream, keep_frames,
+                 send_stats, disconnect_after),
+            timeout=timeout_s,
+        )
+    except (ConnectionError, ProtocolError, asyncio.TimeoutError):
+        result.status = "disconnected"
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+    return result
+
+
+async def _run(
+    result, reader, writer, stream, keep_frames, send_stats,
+    disconnect_after,
+) -> None:
+    seq = 0
+    writer.write(encode_message(MSG_HELLO, seq, {"stream": stream}))
+    seq += 1
+    await writer.drain()
+    first = await read_message(reader)
+    if first is None:
+        result.status = "disconnected"
+        return
+    if first.type == MSG_REJECT:
+        reason = first.header.get("reason", "unknown")
+        result.status = f"rejected:{reason}"
+        result.reject_reason = reason
+        return
+    if first.type != MSG_ACCEPT:
+        raise ProtocolError(f"expected ACCEPT, got {first.type_name}")
+    width = first.header["width"]
+    height = first.header["height"]
+    result.pictures = first.header["pictures"]
+    result.pacer = WallClockPacer(
+        rate_hz=first.header["fps"],
+        preroll_pictures=first.header.get("preroll", 0),
+    )
+
+    bands: dict[int, dict[int, bytes]] = {}
+    finalized: set[int] = set()
+    prev_frame: Frame | None = None
+
+    while len(finalized) < result.pictures:
+        msg = await read_message(reader)
+        if msg is None:
+            result.status = "disconnected"
+            return
+        if msg.type == MSG_SLICE:
+            pic = msg.header["pic"]
+            if pic in finalized:
+                result.late_slices += 1
+                continue
+            bands.setdefault(pic, {})[msg.header["row"]] = msg.payload
+            continue
+        if msg.type == MSG_BYE:
+            # Early BYE: server gave up (decode failure) — everything
+            # uncommitted is abandoned.
+            result.status = "disconnected"
+            return
+        if msg.type != MSG_PIC_DONE:
+            raise ProtocolError(f"unexpected {msg.type_name} mid-stream")
+
+        pic = msg.header["pic"]
+        rows = msg.header["rows"]
+        finalized.add(pic)
+        got = bands.pop(pic, {})
+        receipt = PictureReceipt(
+            pic=pic, bands=len(got), rows=rows,
+            shed=bool(msg.header.get("shed", False)),
+        )
+        if receipt.shed:
+            # Degraded away server-side: display holds the previous
+            # picture; nothing to conceal.
+            result.receipts.append(receipt)
+            receipt.late_s = result.pacer.on_emit(pic)
+            continue
+        frame = Frame.blank(width, height)
+        missing = []
+        for row in range(rows):
+            payload = got.get(row)
+            if payload is None:
+                missing.append(row)
+            else:
+                band_into(frame, row, payload)
+        if missing:
+            t0 = time.perf_counter()
+            n_t, n_s = conceal_rows(frame, prev_frame, missing)
+            record_concealment(
+                result.stalls, "client", n_t, n_s,
+                time.perf_counter() - t0,
+            )
+            receipt.concealed_temporal = n_t
+            receipt.concealed_spatial = n_s
+        receipt.late_s = result.pacer.on_emit(pic)
+        result.receipts.append(receipt)
+        prev_frame = frame
+        if keep_frames:
+            result.frames.append(frame)
+        if send_stats:
+            writer.write(
+                encode_message(
+                    MSG_STATS, seq,
+                    {
+                        "pic": pic,
+                        "bands": receipt.bands,
+                        "concealed_temporal": receipt.concealed_temporal,
+                        "concealed_spatial": receipt.concealed_spatial,
+                        "late_ms": receipt.late_s * 1e3,
+                    },
+                )
+            )
+            seq += 1
+            await writer.drain()
+        if (
+            disconnect_after is not None
+            and len(result.receipts) >= disconnect_after
+        ):
+            # Abrupt hangup mid-stream: the server must cancel us
+            # without disturbing its other sessions.
+            result.status = "disconnected"
+            return
+    result.status = "done"

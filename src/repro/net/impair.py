@@ -1,0 +1,174 @@
+"""Deterministic in-process link impairment (no root, no ``netem``).
+
+CI cannot shape real network interfaces, so impairment happens at the
+transport write boundary instead: every outgoing wire frame passes
+through an :class:`ImpairedSender` which may drop it, swap it with its
+neighbour, delay it, or pace it through a bandwidth cap before it
+reaches the socket.
+
+The *decisions* live in :class:`ImpairmentSchedule`, a pure function
+of ``(seed, droppable-message index)`` — no hidden RNG state, so the
+same profile + seed produces the same loss pattern regardless of
+timing, and property tests can enumerate verdicts without doing any
+I/O.  Only droppable messages (``SLICE``) consume schedule indices;
+control messages model the reliable channel and are merely paced and
+delayed, never dropped or reordered past their predecessors.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ImpairmentProfile:
+    """Link shape: loss / reorder probabilities, jitter, bandwidth."""
+
+    loss: float = 0.0           # P(drop) per droppable message
+    reorder: float = 0.0        # P(swap with the next droppable)
+    jitter_ms: float = 0.0      # uniform [0, jitter_ms) extra delay
+    bandwidth_bps: float | None = None  # serialisation-rate cap
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError(f"loss must be in [0, 1], got {self.loss}")
+        if not 0.0 <= self.reorder <= 1.0:
+            raise ValueError(
+                f"reorder must be in [0, 1], got {self.reorder}"
+            )
+        if self.jitter_ms < 0:
+            raise ValueError(f"jitter_ms must be >= 0, got {self.jitter_ms}")
+        if self.bandwidth_bps is not None and self.bandwidth_bps <= 0:
+            raise ValueError(
+                f"bandwidth_bps must be > 0, got {self.bandwidth_bps}"
+            )
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Fate of one droppable message."""
+
+    drop: bool = False
+    swap: bool = False       # hold; send after the next droppable
+    delay_s: float = 0.0
+
+
+class ImpairmentSchedule:
+    """Pure seeded verdicts: ``index -> Verdict``, order-independent."""
+
+    def __init__(self, profile: ImpairmentProfile) -> None:
+        self.profile = profile
+
+    def verdict(self, index: int) -> Verdict:
+        if index < 0:
+            raise ValueError(f"index must be >= 0, got {index}")
+        p = self.profile
+        rng = random.Random(f"{p.seed}:{index}")
+        drop = rng.random() < p.loss
+        swap = (not drop) and rng.random() < p.reorder
+        delay = rng.random() * p.jitter_ms / 1e3 if p.jitter_ms else 0.0
+        return Verdict(drop=drop, swap=swap, delay_s=delay)
+
+    def drops(self, count: int) -> list[int]:
+        """Indices dropped among the first ``count`` messages."""
+        return [i for i in range(count) if self.verdict(i).drop]
+
+
+@dataclass
+class ImpairStats:
+    """What the shim actually did to one connection's output."""
+
+    sent: int = 0            # frames that reached the socket
+    dropped: int = 0
+    swapped: int = 0
+    delayed: int = 0
+    wire_bytes: int = 0
+    delay_s_total: float = 0.0
+    dropped_seqs: list[int] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "sent": self.sent,
+            "dropped": self.dropped,
+            "swapped": self.swapped,
+            "delayed": self.delayed,
+            "wire_bytes": self.wire_bytes,
+            "delay_s_total": self.delay_s_total,
+        }
+
+
+class ImpairedSender:
+    """Asyncio write path with the impairment shim in the middle.
+
+    ``await send(frame_bytes, droppable, seq)`` either forwards the
+    frame to the writer (possibly after a pacing/jitter sleep, possibly
+    swapped with the next droppable frame) or drops it and records the
+    sequence number.  Control frames flush any held droppable first, so
+    a ``PIC_DONE`` can never overtake its own picture's slices.
+
+    With ``schedule=None`` the sender is a transparent pass-through —
+    the unimpaired path uses the same code.
+    """
+
+    def __init__(self, writer, schedule: ImpairmentSchedule | None = None):
+        self._writer = writer
+        self._schedule = schedule
+        self._index = 0          # droppable messages seen
+        self._held: bytes | None = None
+        self._next_free = 0.0    # bandwidth-bucket horizon (loop time)
+        self.stats = ImpairStats()
+
+    async def _pace(self, nbytes: int, extra_delay_s: float) -> None:
+        import asyncio
+
+        bps = self._schedule.profile.bandwidth_bps if self._schedule else None
+        delay = extra_delay_s
+        if bps is not None:
+            now = asyncio.get_running_loop().time()
+            start = max(now, self._next_free)
+            self._next_free = start + nbytes * 8 / bps
+            delay += max(0.0, start - now)
+        if delay > 0:
+            self.stats.delayed += 1
+            self.stats.delay_s_total += delay
+            await asyncio.sleep(delay)
+
+    async def _write(self, frame: bytes, extra_delay_s: float = 0.0) -> None:
+        await self._pace(len(frame), extra_delay_s)
+        self._writer.write(frame)
+        await self._writer.drain()
+        self.stats.sent += 1
+        self.stats.wire_bytes += len(frame)
+
+    async def flush(self) -> None:
+        """Emit a held (swap-pending) frame; call before close/control."""
+        if self._held is not None:
+            held, self._held = self._held, None
+            await self._write(held)
+
+    async def send(self, frame: bytes, droppable: bool, seq: int) -> bool:
+        """Send one encoded frame; returns False if the shim ate it."""
+        if not droppable or self._schedule is None:
+            await self.flush()
+            await self._write(frame)
+            return True
+        verdict = self._schedule.verdict(self._index)
+        self._index += 1
+        if verdict.drop:
+            self.stats.dropped += 1
+            self.stats.dropped_seqs.append(seq)
+            await self.flush()
+            return False
+        if self._held is not None:
+            # A frame is waiting to be overtaken: send current first.
+            self.stats.swapped += 1
+            await self._write(frame, verdict.delay_s)
+            await self.flush()
+            return True
+        if verdict.swap:
+            self._held = frame
+            return True
+        await self._write(frame, verdict.delay_s)
+        return True

@@ -1,0 +1,220 @@
+"""Wire protocol for the streaming front end.
+
+Every message is one length-prefixed frame::
+
+    !I  frame length (bytes after this field)
+    !B  message type
+    !I  sequence number (per-connection, monotone from 0)
+    !H  JSON header length
+    --  JSON header (UTF-8)
+    --  binary payload (remainder)
+
+Design points:
+
+* **Slices are the loss unit.**  A decoded picture travels as one
+  ``SLICE`` message per macroblock-row band (the paper's slice == one
+  MB row), so dropping a message on an impaired link loses exactly one
+  slice — the malformation the resilient decode path and the client's
+  concealment already handle.  ``SLICE`` is the only *droppable* type;
+  control messages model the reliable channel.
+* **PIC_DONE is the commit point.**  It always follows a picture's
+  slices and carries how many bands were sent, so the client knows
+  which rows never arrived and conceals them — every picture is
+  *delivered or concealed*, never silently missing.
+* **Sequence numbers are assigned before impairment**, so the receiver
+  can observe gaps (losses) and inversions (reorder) explicitly; the
+  property suite checks conservation: every seq is delivered exactly
+  once or accounted as dropped.
+
+The framer is a plain byte machine (feed bytes, get messages) usable
+without sockets — the Hypothesis suite drives it directly.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+
+_LEN = struct.Struct("!I")
+_HDR = struct.Struct("!BIH")
+
+#: Hard cap on one frame; a parsed length beyond this means a corrupt
+#: or adversarial peer and the connection is torn down.
+MAX_FRAME_BYTES = 16 << 20
+
+# message types ------------------------------------------------------
+MSG_HELLO = 1      # client -> server: {stream, fps?, resilient?}
+MSG_ACCEPT = 2     # server -> client: stream geometry + session verdict
+MSG_REJECT = 3     # server -> client: {reason}
+MSG_SLICE = 4      # server -> client: one MB-row band (droppable)
+MSG_PIC_DONE = 5   # server -> client: picture commit (reliable)
+MSG_BYE = 6        # server -> client: end of session summary
+MSG_STATS = 7      # client -> server: per-picture receipt report
+
+_TYPE_NAMES = {
+    MSG_HELLO: "hello",
+    MSG_ACCEPT: "accept",
+    MSG_REJECT: "reject",
+    MSG_SLICE: "slice",
+    MSG_PIC_DONE: "pic_done",
+    MSG_BYE: "bye",
+    MSG_STATS: "stats",
+}
+
+#: Types the impairment shim may drop.  Everything else models the
+#: reliable control channel (retransmitted transport in a real stack).
+DROPPABLE_TYPES = frozenset({MSG_SLICE})
+
+
+class ProtocolError(ValueError):
+    """Framing violation: bad length, unknown type, corrupt header."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """One decoded wire message."""
+
+    type: int
+    seq: int
+    header: dict
+    payload: bytes = b""
+
+    @property
+    def type_name(self) -> str:
+        return _TYPE_NAMES.get(self.type, f"type{self.type}")
+
+    @property
+    def droppable(self) -> bool:
+        return self.type in DROPPABLE_TYPES
+
+
+def encode_message(
+    type_: int, seq: int, header: dict, payload: bytes = b""
+) -> bytes:
+    """Encode one message into its wire frame."""
+    if type_ not in _TYPE_NAMES:
+        raise ProtocolError(f"unknown message type {type_}")
+    if seq < 0:
+        raise ProtocolError(f"negative sequence number {seq}")
+    hdr = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(hdr) > 0xFFFF:
+        raise ProtocolError(f"header too large ({len(hdr)} bytes)")
+    body = _HDR.pack(type_, seq, len(hdr)) + hdr + payload
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large ({len(body)} bytes)")
+    return _LEN.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Message:
+    """Decode one frame body (everything after the length prefix)."""
+    if len(body) < _HDR.size:
+        raise ProtocolError(f"truncated frame ({len(body)} bytes)")
+    type_, seq, hdr_len = _HDR.unpack_from(body)
+    if type_ not in _TYPE_NAMES:
+        raise ProtocolError(f"unknown message type {type_}")
+    if _HDR.size + hdr_len > len(body):
+        raise ProtocolError("header length exceeds frame")
+    try:
+        header = json.loads(body[_HDR.size : _HDR.size + hdr_len] or b"{}")
+    except ValueError as exc:
+        raise ProtocolError(f"corrupt JSON header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("header must be a JSON object")
+    return Message(
+        type=type_,
+        seq=seq,
+        header=header,
+        payload=bytes(body[_HDR.size + hdr_len :]),
+    )
+
+
+class StreamFramer:
+    """Incremental frame splitter: feed bytes, collect messages.
+
+    Socket-free so property tests can drive it with arbitrary chunk
+    boundaries; the asyncio paths use :func:`read_message` instead.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[Message]:
+        self._buf.extend(data)
+        out: list[Message] = []
+        while True:
+            if len(self._buf) < _LEN.size:
+                return out
+            (length,) = _LEN.unpack_from(self._buf)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(f"frame length {length} exceeds cap")
+            if len(self._buf) < _LEN.size + length:
+                return out
+            body = bytes(self._buf[_LEN.size : _LEN.size + length])
+            del self._buf[: _LEN.size + length]
+            out.append(decode_body(body))
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+
+async def read_message(reader) -> Message | None:
+    """Read one message from an ``asyncio.StreamReader``.
+
+    Returns ``None`` on clean EOF at a frame boundary; raises
+    :class:`ProtocolError` (mid-frame EOF counts) otherwise.
+    """
+    import asyncio
+
+    try:
+        raw_len = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("EOF inside frame length") from exc
+    (length,) = _LEN.unpack(raw_len)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds cap")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("EOF inside frame body") from exc
+    return decode_body(body)
+
+
+# ---------------------------------------------------------------------
+# frame <-> band serialisation
+# ---------------------------------------------------------------------
+def band_bytes(frame, row: int) -> bytes:
+    """Serialise one MB-row band (16 luma + 8 chroma rows) of a frame."""
+    y0 = row * 16
+    c0 = row * 8
+    return (
+        frame.y[y0 : y0 + 16].tobytes()
+        + frame.cb[c0 : c0 + 8].tobytes()
+        + frame.cr[c0 : c0 + 8].tobytes()
+    )
+
+
+def band_into(frame, row: int, payload: bytes) -> None:
+    """Scatter one serialised band back into a frame's planes."""
+    import numpy as np
+
+    yw = frame.y.shape[1]
+    cw = frame.cb.shape[1]
+    ny, nc = 16 * yw, 8 * cw
+    if len(payload) != ny + 2 * nc:
+        raise ProtocolError(
+            f"band payload {len(payload)}B, expected {ny + 2 * nc}B"
+        )
+    y0, c0 = row * 16, row * 8
+    frame.y[y0 : y0 + 16] = np.frombuffer(
+        payload, dtype=np.uint8, count=ny
+    ).reshape(16, yw)
+    frame.cb[c0 : c0 + 8] = np.frombuffer(
+        payload, dtype=np.uint8, count=nc, offset=ny
+    ).reshape(8, cw)
+    frame.cr[c0 : c0 + 8] = np.frombuffer(
+        payload, dtype=np.uint8, count=nc, offset=ny + nc
+    ).reshape(8, cw)

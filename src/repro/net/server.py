@@ -1,0 +1,393 @@
+"""Asyncio TCP streaming server over the dynamic decode service.
+
+One :class:`NetServer` owns a :class:`~repro.serve.service.
+DecodeService` running :meth:`~repro.serve.service.DecodeService.
+run_forever` on a dedicated thread, plus an asyncio acceptor.  Each
+client connection:
+
+1. sends ``HELLO {stream, fps?}`` naming one of the server's published
+   streams;
+2. passes two admission gates — the bandwidth gate (summed *peak* rates
+   of active sessions vs ``link_bps``, using
+   :func:`repro.analysis.bandwidth.profile_stream`) and the service's
+   own capacity gate;
+3. receives ``ACCEPT`` with the stream geometry, then display-ordered
+   pictures: one droppable ``SLICE`` message per MB-row band followed
+   by a reliable ``PIC_DONE``, paced onto the wire at the session's
+   display rate;
+4. may send ``STATS`` receipts upstream (per-picture concealment and
+   lateness), which land in the server report.
+
+A client that disconnects mid-stream triggers
+:meth:`~repro.serve.service.DecodeService.request_cancel` — its
+session is shed without poisoning the shared worker pool.  The
+optional :class:`~repro.net.impair.ImpairmentProfile` applies the
+seeded loss/reorder/jitter/bandwidth shim to every connection's
+outgoing slice traffic (CI's stand-in for a lossy network).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.analysis.bandwidth import BandwidthProfile, profile_stream
+from repro.net.impair import ImpairedSender, ImpairmentProfile, ImpairmentSchedule
+from repro.net.protocol import (
+    MSG_ACCEPT,
+    MSG_BYE,
+    MSG_HELLO,
+    MSG_PIC_DONE,
+    MSG_REJECT,
+    MSG_SLICE,
+    MSG_STATS,
+    ProtocolError,
+    band_bytes,
+    encode_message,
+    read_message,
+)
+from repro.obs.metrics import metrics
+from repro.serve.service import DecodeService
+from repro.serve.session import SessionStatus
+
+
+class NetServer:
+    """TCP front end: ``streams`` is the published name -> bytes map."""
+
+    def __init__(
+        self,
+        streams: dict[str, bytes],
+        workers: int = 0,
+        fps: float = 30.0,
+        capacity: int | None = None,
+        resilient: bool = True,
+        link_bps: float | None = None,
+        impairment: ImpairmentProfile | None = None,
+        preroll_pictures: int = 1,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **service_kwargs,
+    ) -> None:
+        if fps <= 0:
+            raise ValueError(f"fps must be > 0, got {fps}")
+        self.streams = dict(streams)
+        self.fps = fps
+        self.link_bps = link_bps
+        self.impairment = impairment
+        self.preroll_pictures = preroll_pictures
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        self.profiles: dict[str, BandwidthProfile] = {}
+        #: name -> error class for streams whose scan/profile failed.
+        #: A poison entry in ``streams`` must not take the server down;
+        #: its sessions are refused at HELLO with ``scan-failed``.
+        self.profile_errors: dict[str, str] = {}
+        for name, data in self.streams.items():
+            try:
+                self.profiles[name] = profile_stream(data, fps=fps)
+            except Exception as exc:
+                self.profile_errors[name] = type(exc).__name__
+        self.service = DecodeService(
+            workers=workers,
+            fps=fps,
+            capacity=capacity,
+            resilient=resilient,
+            preroll_pictures=preroll_pictures,
+            **service_kwargs,
+        )
+        self.connections: list[dict] = []
+        self._next_conn = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._service_thread: threading.Thread | None = None
+        self._service_report: dict | None = None
+        #: sid -> peak_bps of currently-admitted sessions (bandwidth gate).
+        self._admitted_bps: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spin up the service thread and start accepting connections."""
+        self._service_thread = threading.Thread(
+            target=self._run_service, name="decode-service", daemon=True
+        )
+        self._service_thread.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host,
+            port=self._requested_port,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def _run_service(self) -> None:
+        self._service_report = self.service.run_forever()
+
+    async def aclose(self, drain: bool = False) -> dict:
+        """Stop accepting, shut the service down, return the report."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._conn_tasks:
+            # Let in-flight handlers settle before pulling the service.
+            done, pending = await asyncio.wait(
+                self._conn_tasks, timeout=10.0
+            )
+            for task in pending:
+                task.cancel()
+        self.service.shutdown(drain=drain)
+        if self._service_thread is not None:
+            await asyncio.to_thread(self._service_thread.join, 30.0)
+        return self.report()
+
+    # ------------------------------------------------------------------
+    def _bandwidth_admit(self, sid: str, profile: BandwidthProfile) -> bool:
+        """Peak-rate link budget: admit unless it would oversubscribe.
+
+        Mirrors :func:`repro.analysis.bandwidth.admissible_sessions`:
+        the first session is always admitted (it degrades on the wire
+        rather than being unservable).
+        """
+        if self.link_bps is None:
+            return True
+        used = sum(self._admitted_bps.values())
+        if self._admitted_bps and used + profile.peak_bps > self.link_bps:
+            return False
+        self._admitted_bps[sid] = profile.peak_bps
+        return True
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        conn_id = self._next_conn
+        self._next_conn += 1
+        record: dict = {"conn": conn_id, "status": "handshake", "stats": []}
+        self.connections.append(record)
+        sid: str | None = None
+        try:
+            await self._serve_client(conn_id, record, reader, writer)
+        except (
+            ConnectionError, ProtocolError, asyncio.IncompleteReadError,
+            BrokenPipeError, TimeoutError,
+        ) as exc:
+            record["status"] = "disconnected"
+            record["error"] = f"{type(exc).__name__}: {exc}"
+            sid = record.get("session")
+            if sid is not None:
+                # The cancel path: shed the session, keep the pool clean.
+                self.service.request_cancel(sid)
+                metrics().counter("net.sessions.cancelled").inc()
+        finally:
+            sid = record.get("session")
+            if sid is not None:
+                self._admitted_bps.pop(sid, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _serve_client(self, conn_id, record, reader, writer) -> None:
+        hello = await read_message(reader)
+        if hello is None or hello.type != MSG_HELLO:
+            raise ProtocolError("expected HELLO")
+        name = hello.header.get("stream")
+        seq = 0
+
+        async def reject(reason: str) -> None:
+            nonlocal seq
+            record["status"] = f"rejected:{reason}"
+            metrics().counter("net.sessions.rejected").inc()
+            writer.write(
+                encode_message(MSG_REJECT, seq, {"reason": reason})
+            )
+            await writer.drain()
+
+        if name not in self.streams:
+            await reject("unknown-stream")
+            return
+        data = self.streams[name]
+        profile = self.profiles.get(name)
+        if profile is None:
+            await reject("scan-failed")
+            return
+        sid = f"{name}#{conn_id}"
+        if not self._bandwidth_admit(sid, profile):
+            await reject("bandwidth")
+            return
+        record["session"] = sid
+
+        loop = asyncio.get_running_loop()
+        frames: asyncio.Queue = asyncio.Queue()
+
+        def sink(display_index, frame) -> None:
+            # Runs on the service thread; hop to the event loop.
+            try:
+                loop.call_soon_threadsafe(
+                    frames.put_nowait, (display_index, frame)
+                )
+            except RuntimeError:  # pragma: no cover - loop tearing down
+                pass
+
+        sess = await asyncio.to_thread(
+            self.service.submit_dynamic, sid, data, on_frame=sink
+        )
+        if sess.status is SessionStatus.REJECTED:
+            await reject("capacity")
+            return
+        if sess.status is SessionStatus.FAILED:
+            await reject("scan-failed")
+            return
+
+        pictures = sess.picture_count
+        mb_height = sess.index.mb_height
+        header = {
+            "session": sid,
+            "stream": name,
+            "width": sess.seq.width,
+            "height": sess.seq.height,
+            "mb_height": mb_height,
+            "pictures": pictures,
+            "fps": self.fps,
+            "preroll": self.preroll_pictures,
+            "profile": {
+                "mean_bps": profile.mean_bps,
+                "peak_bps": profile.peak_bps,
+                "burstiness": profile.burstiness,
+            },
+        }
+        writer.write(encode_message(MSG_ACCEPT, seq, header))
+        seq += 1
+        await writer.drain()
+        record["status"] = "streaming"
+        metrics().counter("net.sessions.accepted").inc()
+
+        schedule = (
+            ImpairmentSchedule(self.impairment)
+            if self.impairment is not None
+            else None
+        )
+        sender = ImpairedSender(writer, schedule)
+        stats_task = asyncio.ensure_future(
+            self._read_stats(reader, record)
+        )
+        try:
+            await self._stream_pictures(
+                record, sess, frames, sender, seq, pictures, mb_height
+            )
+            # The client may close as soon as it has every picture; the
+            # stats reader finishing (EOF) is not an error here.
+            await asyncio.wait_for(stats_task, timeout=5.0)
+        finally:
+            if not stats_task.done():
+                stats_task.cancel()
+            record["impair"] = sender.stats.to_json()
+        record["status"] = "done"
+
+    async def _stream_pictures(
+        self, record, sess, frames, sender, seq, pictures, mb_height
+    ) -> None:
+        """Pace display-ordered pictures onto the wire as slice bands."""
+        loop = asyncio.get_running_loop()
+        period = 1.0 / self.fps
+        t0: float | None = None
+        sent_pics = 0
+        while sent_pics < pictures:
+            try:
+                display_index, frame = await asyncio.wait_for(
+                    frames.get(), timeout=0.5
+                )
+            except asyncio.TimeoutError:
+                if sess.terminal and frames.empty():
+                    # Decode failed server-side mid-stream: tell the
+                    # client how far we got instead of going silent.
+                    await sender.flush()
+                    await sender.send(
+                        encode_message(
+                            MSG_BYE, seq,
+                            {"pictures": sent_pics, "error": "decode-failed"},
+                        ),
+                        droppable=False, seq=seq,
+                    )
+                    return
+                continue
+            now = loop.time()
+            if t0 is None:
+                t0 = now
+            else:
+                deadline = t0 + (display_index + self.preroll_pictures) * period
+                if deadline > now:
+                    await asyncio.sleep(deadline - now)
+            if frame is None:
+                # Shed by degradation: reliable commit, zero bands.
+                await sender.send(
+                    encode_message(
+                        MSG_PIC_DONE, seq,
+                        {"pic": display_index, "bands": 0,
+                         "rows": mb_height, "shed": True},
+                    ),
+                    droppable=False, seq=seq,
+                )
+                seq += 1
+                sent_pics += 1
+                continue
+            bands = 0
+            for row in range(mb_height):
+                ok = await sender.send(
+                    encode_message(
+                        MSG_SLICE, seq,
+                        {"pic": display_index, "row": row},
+                        band_bytes(frame, row),
+                    ),
+                    droppable=True, seq=seq,
+                )
+                seq += 1
+                if ok:
+                    bands += 1
+            await sender.send(
+                encode_message(
+                    MSG_PIC_DONE, seq,
+                    {"pic": display_index, "bands": bands,
+                     "rows": mb_height},
+                ),
+                droppable=False, seq=seq,
+            )
+            seq += 1
+            sent_pics += 1
+            metrics().counter("net.pictures.sent").inc()
+        await sender.flush()
+        await sender.send(
+            encode_message(
+                MSG_BYE, seq,
+                {"pictures": sent_pics,
+                 "dropped_messages": sender.stats.dropped},
+            ),
+            droppable=False, seq=seq,
+        )
+
+    async def _read_stats(self, reader, record) -> None:
+        """Drain client STATS receipts until EOF."""
+        while True:
+            msg = await read_message(reader)
+            if msg is None:
+                return
+            if msg.type == MSG_STATS:
+                record["stats"].append(msg.header)
+
+    # ------------------------------------------------------------------
+    def report(self) -> dict:
+        service = self._service_report or self.service.report()
+        concealed = sum(
+            s.get("concealed_temporal", 0) + s.get("concealed_spatial", 0)
+            for c in self.connections
+            for s in c["stats"]
+        )
+        return {
+            "fps": self.fps,
+            "link_bps": self.link_bps,
+            "streams": sorted(self.streams),
+            "connections": self.connections,
+            "client_concealed_slices": concealed,
+            "service": service,
+        }

@@ -27,6 +27,8 @@ from repro.obs.metrics import (
 from repro.obs.stalls import (
     CANONICAL_REASONS,
     REASON_BARRIER,
+    REASON_CONCEAL_SPATIAL,
+    REASON_CONCEAL_TEMPORAL,
     REASON_CONDITION,
     REASON_LOCK,
     REASON_MERGE,
@@ -37,6 +39,7 @@ from repro.obs.stalls import (
     StallRecord,
     StallTable,
     format_stall_breakdown,
+    record_concealment,
 )
 from repro.obs.trace import (
     NULL_SPAN,
@@ -62,6 +65,8 @@ __all__ = [
     "reset_metrics",
     "CANONICAL_REASONS",
     "REASON_BARRIER",
+    "REASON_CONCEAL_SPATIAL",
+    "REASON_CONCEAL_TEMPORAL",
     "REASON_CONDITION",
     "REASON_LOCK",
     "REASON_MERGE",
@@ -72,6 +77,7 @@ __all__ = [
     "StallRecord",
     "StallTable",
     "format_stall_breakdown",
+    "record_concealment",
     "NULL_SPAN",
     "Tracer",
     "disable_tracing",

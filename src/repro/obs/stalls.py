@@ -36,6 +36,13 @@ Canonical reasons
                           that triggered the skip)
 :data:`REASON_ADMISSION`  a session sat in the admission queue before
                           a slot opened (multi-stream serve layer)
+:data:`REASON_CONCEAL_TEMPORAL` a lost or corrupt slice was concealed
+                          from the co-located rows of a previous
+                          picture (duration = concealment work time)
+:data:`REASON_CONCEAL_SPATIAL` a lost or corrupt slice was concealed
+                          spatially (row-copy from the row above; used
+                          when no earlier picture exists, e.g. an
+                          I-picture at stream start)
 ========================= ============================================
 
 Durations are unit-agnostic (the table never mixes sources): the
@@ -59,6 +66,8 @@ REASON_CONDITION = "condition"
 REASON_DEGRADE_DROP_B = "degrade.drop_b"
 REASON_DEGRADE_SKIP_GOP = "degrade.skip_gop"
 REASON_ADMISSION = "degrade.admission_wait"
+REASON_CONCEAL_TEMPORAL = "conceal.temporal"
+REASON_CONCEAL_SPATIAL = "conceal.spatial"
 
 #: Every reason either decoder may report (the shared vocabulary).
 CANONICAL_REASONS = (
@@ -73,7 +82,36 @@ CANONICAL_REASONS = (
     REASON_DEGRADE_DROP_B,
     REASON_DEGRADE_SKIP_GOP,
     REASON_ADMISSION,
+    REASON_CONCEAL_TEMPORAL,
+    REASON_CONCEAL_SPATIAL,
 )
+
+
+def record_concealment(
+    table: "StallTable",
+    waiter: str,
+    temporal: int,
+    spatial: int,
+    seconds: float,
+) -> None:
+    """Attribute a concealment sweep's wall time to the conceal reasons.
+
+    One sweep may mix policies (temporal rows and spatial rows of the
+    same picture); the measured duration is split proportionally to the
+    row counts so ``conceal.temporal`` / ``conceal.spatial`` totals stay
+    additive across pictures.
+    """
+    total = temporal + spatial
+    if total == 0:
+        return
+    if temporal:
+        table.record(
+            waiter, REASON_CONCEAL_TEMPORAL, seconds * temporal / total
+        )
+    if spatial:
+        table.record(
+            waiter, REASON_CONCEAL_SPATIAL, seconds * spatial / total
+        )
 
 
 @dataclass(frozen=True)

@@ -96,7 +96,7 @@ from repro.mpeg2.decoder import (
 from repro.mpeg2.frame import Frame
 from repro.mpeg2.headers import PictureHeader, SequenceHeader
 from repro.mpeg2.index import StreamIndex, build_index
-from repro.mpeg2.reconstruct import conceal_row
+from repro.mpeg2.reconstruct import conceal_rows, missing_rows
 from repro.obs.metrics import metrics, reset_metrics
 from repro.obs.stalls import (
     REASON_BARRIER,
@@ -104,6 +104,7 @@ from repro.obs.stalls import (
     REASON_QUEUE_GET,
     REASON_REF_PUBLISH,
     StallTable,
+    record_concealment,
 )
 from repro.obs.trace import (
     enable_tracing,
@@ -459,8 +460,9 @@ def decode_picture_into_pool(
     match the sequential oracle exactly), reconstruct the
     statically-final slice of each row into ``pool`` slot
     ``plan.order`` (references read through zero-copy views — the
-    availability rule must already hold), then conceal rows whose
-    final slice was corrupt.  ``pool`` is any
+    availability rule must already hold), then run one concealment
+    sweep over rows whose final slice was corrupt **or** that no slice
+    covered at all (lost on the wire).  ``pool`` is any
     :class:`repro.parallel.mp.FramePoolBase` (shared memory in serve
     workers, process-local in the ``workers=0`` path).
 
@@ -509,8 +511,13 @@ def decode_picture_into_pool(
                 order=plan.order, slices=len(parses),
             ):
                 reconstruct_slices(parses, seq, plan.header, out, fwd, bwd)
-        for row in corrupt_rows:
-            conceal_row(out, fwd, row)
+        if resilient:
+            lost = missing_rows(
+                mb_height,
+                (sl.vertical_position - 1 for sl in plan.slices),
+            )
+            concealed += len(lost)
+            conceal_rows(out, fwd, set(corrupt_rows).union(lost))
     finally:
         del out, fwd, bwd
     if counters is not None:
@@ -833,8 +840,22 @@ class MPSliceDecoder:
                     continue
                 published[order] = True
                 fwd = frames.get(plan.fwd) if plan.fwd is not None else None
-                for row in corrupt_final.pop(order, []):
-                    conceal_row(frame_of(order), fwd, row)
+                rows = set(corrupt_final.pop(order, []))
+                if self.resilient:
+                    lost = missing_rows(
+                        mbh,
+                        (sl.vertical_position - 1 for sl in plan.slices),
+                    )
+                    if counters is not None:
+                        counters.concealed_slices += len(lost)
+                    rows.update(lost)
+                if rows:
+                    t0 = time.perf_counter()
+                    n_t, n_s = conceal_rows(frame_of(order), fwd, rows)
+                    record_concealment(
+                        self.last_stalls, "scheduler", n_t, n_s,
+                        time.perf_counter() - t0,
+                    )
                 for done in merger.push(plan.display_index, order):
                     # frame_of(): a zero-slice picture (possible in a
                     # truncated-but-indexable stream) auto-settles
@@ -1024,15 +1045,25 @@ class MPSliceDecoder:
             return result
 
         def conceal_picture(order: int) -> None:
-            """Parent-side concealment: rows whose *final* slice was
-            corrupt get the sequential decoder's conceal_row."""
+            """Parent-side concealment sweep: rows whose *final* slice
+            was corrupt, plus — in resilient mode — rows no slice
+            covered at all, get the sequential decoder's end-of-picture
+            :func:`conceal_rows` sweep."""
             plan = self.plans[order]
-            rows = [
+            rows = {
                 sl.vertical_position - 1
                 for sidx, sl in enumerate(plan.slices)
                 if sl.reconstruct
                 and status.get(order, {}).get(sidx) == "corrupt"
-            ]
+            }
+            if self.resilient:
+                lost = missing_rows(
+                    self.index.mb_height,
+                    (sl.vertical_position - 1 for sl in plan.slices),
+                )
+                if counters is not None:
+                    counters.concealed_slices += len(lost)
+                rows.update(lost)
             if not rows:
                 return
             out = pool.view_frame(order, plan.header.temporal_reference)
@@ -1040,8 +1071,12 @@ class MPSliceDecoder:
                 pool.view_frame(plan.fwd) if plan.fwd is not None else None
             )
             try:
-                for row in rows:
-                    conceal_row(out, fwd, row)
+                t0 = time.perf_counter()
+                n_t, n_s = conceal_rows(out, fwd, rows)
+                record_concealment(
+                    stalls, "scheduler", n_t, n_s,
+                    time.perf_counter() - t0,
+                )
             finally:
                 del out, fwd
 

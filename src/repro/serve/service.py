@@ -45,6 +45,7 @@ import multiprocessing
 import os
 import queue as queue_mod
 import tempfile
+import threading
 import time
 from typing import Callable
 
@@ -146,6 +147,17 @@ def _serve_worker_main(
             msg = task_q.get()
             if msg is None:
                 break
+            if msg[0] == "__meta__":
+                # Dynamic admission: attach the new session's segments.
+                _, new_sid, m = msg
+                meta[new_sid] = m
+                pools[new_sid] = SharedFramePool(
+                    m["layout"], slots=0, name=m["pool_name"]
+                )
+                arenas[new_sid] = StreamArena(
+                    name=m["arena_name"], size=m["arena_size"]
+                )
+                continue
             sid, key, orders = msg
             now = time.monotonic_ns()
             if now > last_end:
@@ -296,6 +308,20 @@ class DecodeService:
         self.last_wall_seconds = 0.0
         self.last_pool_bytes = 0
         self._ran = False
+        # -- dynamic-serving control plane (run_forever) ---------------
+        # Other threads talk to the run loop exclusively through these,
+        # under one lock; the loop drains them at loop-safe points.
+        self._control_lock = threading.Lock()
+        self._cancel_requests: list[str] = []
+        self._intake: list[tuple] = []
+        self._stop = False
+        self._drain = False
+        self._dynamic = False
+        self._stopping = False
+        #: Set by the active runner: creates the frame pool (and, for
+        #: the mp path, arena + worker meta broadcast) for a session
+        #: admitted mid-run.
+        self._add_pool: Callable[[str], None] | None = None
 
     # ------------------------------------------------------------------
     # submission / admission
@@ -319,8 +345,21 @@ class DecodeService:
         """
         if self._ran:
             raise RuntimeError("submit() after run() is not supported")
+        return self._submit_impl(name, data, weight, resilient, on_frame)
+
+    def _submit_impl(
+        self,
+        name: str,
+        data: bytes,
+        weight: float = 1.0,
+        resilient: bool | None = None,
+        on_frame: Callable[[int, Frame | None], None] | None = None,
+    ) -> StreamSession:
         if name in self.sessions:
             raise ValueError(f"duplicate session name {name!r}")
+        if name.startswith("__"):
+            # "__meta__"-style names are worker-protocol control tags.
+            raise ValueError(f"reserved session name {name!r}")
         resilient = self.resilient if resilient is None else resilient
         try:
             sess = StreamSession(
@@ -356,6 +395,124 @@ class DecodeService:
         if on_frame is not None:
             self._sinks[name] = on_frame
         return sess
+
+    # ------------------------------------------------------------------
+    # dynamic control plane (thread-safe; the net server's interface)
+    # ------------------------------------------------------------------
+    def submit_dynamic(
+        self,
+        name: str,
+        data: bytes,
+        weight: float = 1.0,
+        resilient: bool | None = None,
+        on_frame: Callable[[int, Frame | None], None] | None = None,
+        timeout_s: float = 30.0,
+    ) -> StreamSession:
+        """Offer a stream to a service running under :meth:`run_forever`.
+
+        Callable from any thread.  Blocks until the run loop has taken
+        the session through scan + admission (microseconds-to-
+        milliseconds) and returns the session with its verdict on
+        ``status``, exactly like :meth:`submit` before a static run.
+        """
+        if not self._dynamic:
+            raise RuntimeError(
+                "submit_dynamic() requires a run_forever() service"
+            )
+        done = threading.Event()
+        box: dict = {}
+        with self._control_lock:
+            self._intake.append((name, data, weight, resilient, on_frame,
+                                 done, box))
+        if not done.wait(timeout_s):
+            raise TimeoutError(
+                f"service did not process submission {name!r} "
+                f"within {timeout_s}s"
+            )
+        result = box["session"]
+        if isinstance(result, BaseException):
+            raise result
+        return result
+
+    def request_cancel(self, name: str) -> None:
+        """Ask the run loop to cancel a session (thread-safe).
+
+        The client-went-away path: at the next loop-safe point the
+        session flips to CANCELLED, its unstarted tasks leave the
+        scheduler, and any result a worker is still computing for it is
+        discarded on arrival — the shared worker pool is never poisoned
+        by a mid-GOP disconnect.  Unknown or already-terminal names are
+        ignored (a disconnect can race normal completion).
+        """
+        with self._control_lock:
+            self._cancel_requests.append(name)
+
+    def shutdown(self, drain: bool = False) -> None:
+        """Ask :meth:`run_forever` to return (thread-safe).
+
+        ``drain=True`` finishes in-flight sessions first; the default
+        cancels every non-terminal session (service teardown).
+        """
+        with self._control_lock:
+            self._stop = True
+            self._drain = drain
+
+    def _cancel_session(self, sid: str) -> None:
+        sess = self.sessions.get(sid)
+        if sess is None or sess.terminal:
+            return
+        sess.status = SessionStatus.CANCELLED
+        metrics().counter("serve.sessions.cancelled").inc()
+        self._promote(self.scheduler.finish_session(sid))
+
+    def _process_intake(self) -> None:
+        with self._control_lock:
+            batch, self._intake = self._intake, []
+        for name, data, weight, resilient, on_frame, done, box in batch:
+            try:
+                if self._stopping:
+                    raise RuntimeError("service is shutting down")
+                sess = self._submit_impl(
+                    name, data, weight=weight, resilient=resilient,
+                    on_frame=on_frame,
+                )
+                if not sess.terminal:
+                    self._add_pool(sess.name)
+                box["session"] = sess
+            except BaseException as exc:
+                box["session"] = exc
+            finally:
+                done.set()
+
+    def _apply_control(self) -> None:
+        """One loop-safe point: cancels, intake, then shutdown."""
+        with self._control_lock:
+            cancels, self._cancel_requests = self._cancel_requests, []
+            stop, drain = self._stop, self._drain
+        for sid in cancels:
+            self._cancel_session(sid)
+        if self._dynamic:
+            if stop and not self._stopping:
+                self._stopping = True
+                if not drain:
+                    for sid in self._nonterminal():
+                        self._cancel_session(sid)
+            self._process_intake()
+
+    def _drain_control(self) -> None:
+        """Post-run: unblock any submitter that raced the shutdown."""
+        with self._control_lock:
+            batch, self._intake = self._intake, []
+            self._cancel_requests = []
+        for item in batch:
+            done, box = item[-2], item[-1]
+            box["session"] = RuntimeError("service stopped")
+            done.set()
+
+    def _should_exit(self) -> bool:
+        if self._dynamic:
+            return self._stopping and not self._nonterminal()
+        return not self._nonterminal()
 
     # ------------------------------------------------------------------
     # shared result handling (mp and in-process paths)
@@ -519,6 +676,31 @@ class DecodeService:
             self.last_wall_seconds = time.perf_counter() - t_run
         return self.report()
 
+    def run_forever(self) -> dict:
+        """Serve dynamically-submitted sessions until :meth:`shutdown`.
+
+        Blocking — run it on a dedicated thread and feed it through the
+        thread-safe control plane (:meth:`submit_dynamic`,
+        :meth:`request_cancel`, :meth:`shutdown`); this is how the
+        network front end (:mod:`repro.net.server`) drives the service.
+        Sessions submitted with plain :meth:`submit` *before* this call
+        are served too.  Returns the service report.
+        """
+        if self._ran:
+            raise RuntimeError("DecodeService may only be run once")
+        self._ran = True
+        self._dynamic = True
+        t_run = time.perf_counter()
+        try:
+            if self.workers == 0:
+                self._run_inprocess()
+            else:
+                self._run_mp()
+        finally:
+            self.last_wall_seconds = time.perf_counter() - t_run
+            self._drain_control()
+        return self.report()
+
     # -- in-process ----------------------------------------------------
     def _run_inprocess(self) -> None:
         self._pools = {}
@@ -529,15 +711,30 @@ class DecodeService:
             self._pools[sid] = LocalFramePool(
                 sess.layout, slots=sess.picture_count
             )
+
+        def add_session(sid: str) -> None:
+            sess = self.sessions[sid]
+            self._pools[sid] = LocalFramePool(
+                sess.layout, slots=sess.picture_count
+            )
+
+        self._add_pool = add_session
         self.last_pool_bytes = 0
-        while self._nonterminal():
+        while True:
+            self._apply_control()
+            if self._should_exit():
+                break
             task = self.scheduler.next_task()
             if task is None:
                 before = set(self._nonterminal())
                 self._strand_check()
-                if set(self._nonterminal()) == before:
-                    break  # only queued-forever/rejected remain
-                continue
+                if set(self._nonterminal()) != before:
+                    continue
+                if self._dynamic and not self._stopping:
+                    # Idle dynamic service: wait for intake/cancel.
+                    time.sleep(0.001)
+                    continue
+                break  # only queued-forever/rejected remain
             sid = task.session
             sess = self.sessions[sid]
             counters = WorkCounters()
@@ -576,6 +773,16 @@ class DecodeService:
 
     def _run_mp(self) -> None:
         ctx = multiprocessing.get_context(self.start_method)
+        # A dynamic service may fork its workers before any shared
+        # memory exists.  A child forked with no inherited resource
+        # tracker lazily starts its *own* on attach, and that tracker
+        # "cleans up" the still-live segment when the worker exits —
+        # unlinking it out from under the parent.  Starting the
+        # parent's tracker first makes every child inherit it, so
+        # segments are unlinked exactly once, by their owner.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
         trace_dir = (
             tempfile.mkdtemp(prefix="repro-trace-")
             if tracing_enabled()
@@ -607,8 +814,9 @@ class DecodeService:
                 "resilient": sess.resilient,
             }
         self.last_pool_bytes = sum(p.nbytes for p in self._pools.values())
-        if not meta:
-            # Nothing decodable was admitted; settle and bail.
+        if not meta and not self._dynamic:
+            # Nothing decodable was admitted; settle and bail.  (A
+            # dynamic service starts empty on purpose and waits.)
             for seg in list(self._pools.values()) + list(
                 self._arenas.values()
             ):
@@ -627,6 +835,36 @@ class DecodeService:
                 ctx, next_wid, meta, result_q, trace_dir
             )
             next_wid += 1
+
+        def add_session(sid: str) -> None:
+            # Mid-run admission: publish the session's segments, then
+            # broadcast the decode context to every live worker (late
+            # replacements get it via the mutated ``meta`` at spawn).
+            sess = self.sessions[sid]
+            pool = SharedFramePool(sess.layout, slots=sess.picture_count)
+            arena = StreamArena(sess.data)
+            self._pools[sid] = pool
+            self._arenas[sid] = arena
+            m = {
+                "arena_name": arena.name,
+                "arena_size": arena.size,
+                "plans": sess.plans,
+                "seq": sess.seq,
+                "layout": sess.layout,
+                "pool_name": pool.name,
+                "mb_width": sess.index.mb_width,
+                "mb_height": sess.index.mb_height,
+                "resilient": sess.resilient,
+            }
+            meta[sid] = m
+            self.last_pool_bytes += pool.nbytes
+            for entry in workers.values():
+                try:
+                    entry["task_q"].put(("__meta__", sid, m))
+                except (OSError, ValueError):  # pragma: no cover
+                    pass  # dying worker; its replacement gets full meta
+
+        self._add_pool = add_session
 
         depth_gauge = metrics().gauge("serve.inflight")
 
@@ -733,15 +971,25 @@ class DecodeService:
 
         try:
             dispatch()
-            while self._nonterminal():
+            while True:
+                self._apply_control()
+                if self._should_exit():
+                    break
+                if not self._nonterminal():
+                    # Dynamic service with no sessions yet: idle-wait.
+                    time.sleep(0.002)
+                    continue
                 if not assignment:
                     dispatch()
                     if not assignment:
                         before = set(self._nonterminal())
                         self._strand_check()
-                        if set(self._nonterminal()) == before:
-                            break
-                        continue
+                        if set(self._nonterminal()) != before:
+                            continue
+                        if self._dynamic and not self._stopping:
+                            time.sleep(0.002)
+                            continue
+                        break
                 result = wait_result()
                 if result is None:
                     dispatch()

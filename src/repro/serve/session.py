@@ -35,6 +35,7 @@ class SessionStatus(str, Enum):
     DONE = "done"          # every picture emitted or deliberately dropped
     FAILED = "failed"      # contained per-session error
     REJECTED = "rejected"  # admission control turned it away
+    CANCELLED = "cancelled"  # client went away; remaining work shed
 
 
 class StreamSession:
@@ -135,7 +136,10 @@ class StreamSession:
     @property
     def terminal(self) -> bool:
         return self.status in (
-            SessionStatus.DONE, SessionStatus.FAILED, SessionStatus.REJECTED
+            SessionStatus.DONE,
+            SessionStatus.FAILED,
+            SessionStatus.REJECTED,
+            SessionStatus.CANCELLED,
         )
 
     def fail(self, error: BaseException | dict) -> None:

@@ -1,0 +1,91 @@
+"""Bandwidth profiler: wire-byte accounting and admission arithmetic."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.bandwidth import (
+    BandwidthProfile,
+    admissible_sessions,
+    format_profile,
+    profile_stream,
+)
+from repro.mpeg2.index import build_index
+
+VECTOR_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "vectors")
+
+
+def load(name: str) -> bytes:
+    with open(os.path.join(VECTOR_DIR, f"{name}.m2v"), "rb") as fh:
+        return fh.read()
+
+
+class TestProfileStream:
+    def test_accounts_almost_every_wire_byte(self):
+        # Per-GOP sums cover the stream minus the sequence header and
+        # end code — nothing double counted, nothing big missed.
+        data = load("two_gop_48x32")
+        p = profile_stream(data, fps=30.0)
+        covered = sum(g.wire_bytes for g in p.gops)
+        assert covered <= len(data)
+        assert covered >= len(data) - 64  # seq header + end code slack
+
+    def test_mean_rate_matches_duration(self):
+        data = load("ipb_64x48_gop13")
+        p = profile_stream(data, fps=25.0)
+        assert p.pictures == 13
+        assert p.mean_bps == pytest.approx(len(data) * 8 * 25.0 / 13)
+
+    def test_i_pictures_cost_more_than_b(self):
+        p = profile_stream(load("ipb_64x48_gop13"))
+        assert p.mean_picture_bytes["I"] > p.mean_picture_bytes["B"]
+
+    def test_burstiness_is_peak_over_mean_and_at_least_one(self):
+        for name in ("ipb_64x48_gop13", "two_gop_48x32", "rc_64x48_gop4"):
+            p = profile_stream(load(name))
+            assert p.burstiness >= 1.0
+            assert p.peak_bps == pytest.approx(p.burstiness * p.mean_bps)
+
+    def test_prebuilt_index_is_accepted(self):
+        data = load("two_gop_48x32")
+        a = profile_stream(data, index=build_index(data))
+        b = profile_stream(data)
+        assert a.to_json() == b.to_json()
+
+    def test_rejects_bad_fps(self):
+        with pytest.raises(ValueError):
+            profile_stream(load("two_gop_48x32"), fps=0)
+
+    def test_report_renders(self):
+        text = format_profile(profile_stream(load("two_gop_48x32")))
+        assert "burstiness" in text and "per-GOP bandwidth" in text
+
+
+class TestAdmission:
+    def _profile(self, peak: float) -> BandwidthProfile:
+        return BandwidthProfile(
+            stream_bytes=1000,
+            pictures=10,
+            fps=30.0,
+            mean_bps=peak / 2,
+            peak_bps=peak,
+            burstiness=2.0,
+            gops=(),
+        )
+
+    def test_admits_prefix_within_budget_on_peaks(self):
+        profiles = [self._profile(40_000)] * 4
+        assert admissible_sessions(profiles, link_bps=100_000) == 2
+        assert admissible_sessions(profiles, link_bps=160_000) == 4
+
+    def test_first_session_always_admitted(self):
+        assert admissible_sessions([self._profile(1e9)], link_bps=1000) == 1
+
+    def test_empty_offer_admits_zero(self):
+        assert admissible_sessions([], link_bps=1000) == 0
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            admissible_sessions([], link_bps=0)

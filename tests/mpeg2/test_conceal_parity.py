@@ -1,0 +1,208 @@
+"""Concealment parity: dropped slices conceal bit-identically everywhere.
+
+The ``conceal_*`` golden vectors (``tests/vectors/generate_vectors.py``)
+drop whole slices off the wire — the packet-loss malformation the
+streaming edge must survive.  The resilient decode's output is pinned:
+temporal concealment (co-located rows of the forward reference) where a
+reference exists, spatial row-copy where none does.  Every decode path
+— scalar oracle, batched fast path, slice-parallel in both barrier
+modes, real worker processes — must produce the pinned digests *and*
+the pinned ``concealed_slices`` count, or lost-slice behaviour has
+silently forked between the local decoders and the network client's
+concealment (which reuses the same :mod:`repro.mpeg2.reconstruct`
+primitives).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.mpeg2.counters import WorkCounters
+from repro.mpeg2.decoder import SequenceDecoder
+from repro.mpeg2.frame import Frame
+from repro.mpeg2.reconstruct import (
+    conceal_row_spatial,
+    conceal_row_temporal,
+    conceal_rows,
+    missing_rows,
+)
+from repro.obs.stalls import (
+    REASON_CONCEAL_SPATIAL,
+    REASON_CONCEAL_TEMPORAL,
+)
+from repro.parallel.mp import MPGopDecoder
+from repro.parallel.mp_slice import MPSliceDecoder
+
+VECTOR_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "vectors")
+
+with open(os.path.join(VECTOR_DIR, "digests.json")) as _fh:
+    CONCEAL: dict[str, dict] = json.load(_fh)["conceal"]
+
+CONCEAL_NAMES = sorted(CONCEAL)
+
+#: name -> resilient decode callable returning (frames, counters).
+PATHS = {
+    "scalar": lambda d, c: SequenceDecoder(
+        d, engine="scalar", resilient=True
+    ).decode_all(c),
+    "batched": lambda d, c: SequenceDecoder(
+        d, engine="batched", resilient=True
+    ).decode_all(c),
+    "mp-gop-0": lambda d, c: MPGopDecoder(
+        d, workers=0, resilient=True
+    ).decode_all(c),
+    "mp-slice-0-simple": lambda d, c: MPSliceDecoder(
+        d, workers=0, mode="simple", resilient=True
+    ).decode_all(c),
+    "mp-slice-0-improved": lambda d, c: MPSliceDecoder(
+        d, workers=0, mode="improved", resilient=True
+    ).decode_all(c),
+}
+
+#: Real worker processes are exercised on one vector per policy flavour
+#: (temporal + the zero-slice picture); the in-process paths cover the
+#: full conceal corpus cheaply.
+MP_WORKER_VECTORS = ("conceal_p_temporal", "conceal_lost_picture")
+
+
+def load_vector(name: str) -> bytes:
+    with open(os.path.join(VECTOR_DIR, CONCEAL[name]["file"]), "rb") as fh:
+        return fh.read()
+
+
+class TestConcealCorpusIntegrity:
+    @pytest.mark.parametrize("name", CONCEAL_NAMES)
+    def test_stream_bytes_match_committed_hash(self, name):
+        data = load_vector(name)
+        assert len(data) == CONCEAL[name]["stream_bytes"]
+        assert (
+            hashlib.sha256(data).hexdigest() == CONCEAL[name]["stream_sha256"]
+        )
+
+    def test_corpus_covers_both_policies(self):
+        notes = " ".join(e["note"] for e in CONCEAL.values())
+        assert "temporal" in notes and "spatial" in notes
+        assert len(CONCEAL_NAMES) >= 3
+
+
+class TestConcealParity:
+    @pytest.mark.parametrize("path", sorted(PATHS))
+    @pytest.mark.parametrize("name", CONCEAL_NAMES)
+    def test_path_reproduces_pinned_concealment(self, name, path):
+        entry = CONCEAL[name]
+        counters = WorkCounters()
+        frames = PATHS[path](load_vector(name), counters)
+        assert [f.digest() for f in frames] == entry["frame_digests"], (
+            f"{path} concealment of {name} drifted from the pinned digests"
+        )
+        assert counters.concealed_slices == entry["concealed_slices"]
+
+    @pytest.mark.parametrize("name", MP_WORKER_VECTORS)
+    def test_real_worker_pool_conceals_identically(self, name):
+        entry = CONCEAL[name]
+        counters = WorkCounters()
+        frames = MPSliceDecoder(
+            load_vector(name), workers=2, mode="improved", resilient=True
+        ).decode_all(counters)
+        assert [f.digest() for f in frames] == entry["frame_digests"]
+        assert counters.concealed_slices == entry["concealed_slices"]
+
+    def test_strict_decode_rejects_nothing_is_hidden(self):
+        # A dropped slice leaves the stream structurally valid, so the
+        # strict decoders *decode* it — but to different pixels.  The
+        # conceal digests must never equal the base vector's (the
+        # corpus would be toothless).
+        with open(os.path.join(VECTOR_DIR, "digests.json")) as fh:
+            streams = json.load(fh)["streams"]
+        for name in CONCEAL_NAMES:
+            base = CONCEAL[name]["base"]
+            assert (
+                CONCEAL[name]["frame_digests"]
+                != streams[base]["frame_digests"]
+            ), name
+
+
+class TestConcealStallReasons:
+    def test_temporal_concealment_recorded_in_stalls(self):
+        dec = MPSliceDecoder(
+            load_vector("conceal_p_temporal"),
+            workers=0,
+            mode="improved",
+            resilient=True,
+        )
+        dec.decode_all()
+        reasons = dec.last_stalls.by_reason()
+        assert REASON_CONCEAL_TEMPORAL in reasons
+        assert REASON_CONCEAL_SPATIAL not in reasons
+
+    def test_spatial_concealment_recorded_in_stalls(self):
+        dec = MPSliceDecoder(
+            load_vector("conceal_i_spatial"),
+            workers=0,
+            mode="improved",
+            resilient=True,
+        )
+        dec.decode_all()
+        reasons = dec.last_stalls.by_reason()
+        assert REASON_CONCEAL_SPATIAL in reasons
+
+
+class TestConcealPrimitives:
+    """Unit pins for the row-level helpers the client reuses."""
+
+    def _frame(self, fill: int = 0) -> Frame:
+        f = Frame.blank(48, 32)
+        f.y[:] = fill
+        f.cb[:] = fill
+        f.cr[:] = fill
+        return f
+
+    def test_temporal_copies_colocated_rows(self):
+        out, ref = self._frame(0), self._frame(0)
+        ref.y[16:32, :] = 77
+        ref.cb[8:16, :] = 78
+        ref.cr[8:16, :] = 79
+        conceal_row_temporal(out, ref, 1)
+        assert np.all(out.y[16:32] == 77)
+        assert np.all(out.cb[8:16] == 78)
+        assert np.all(out.cr[8:16] == 79)
+        assert np.all(out.y[0:16] == 0)
+
+    def test_spatial_row0_falls_back_to_grey(self):
+        out = self._frame(5)
+        conceal_row_spatial(out, 0)
+        assert np.all(out.y[0:16] == 128)
+        assert np.all(out.cb[0:8] == 128)
+        assert np.all(out.y[16:32] == 5)
+
+    def test_spatial_cascade_is_top_down(self):
+        # Rows 1 then 2 concealed ascending: both end up as copies of
+        # row 0 (row 2 copies the *already concealed* row 1).
+        out = Frame.blank(48, 48)
+        out.y[0:16, :] = 9
+        out.y[16:32, :] = 50
+        out.y[32:48, :] = 60
+        n_t, n_s = conceal_rows(out, None, [2, 1])
+        assert (n_t, n_s) == (0, 2)
+        assert np.all(out.y[16:32] == 9)
+        assert np.all(out.y[32:48] == 9)
+
+    def test_conceal_rows_counts_policies_and_counters(self):
+        out, ref = self._frame(0), self._frame(1)
+        counters = WorkCounters()
+        n_t, n_s = conceal_rows(out, ref, [0, 1], counters)
+        assert (n_t, n_s) == (2, 0)
+        assert counters.concealed_slices == 2
+
+    def test_missing_rows_complement(self):
+        assert missing_rows(4, [0, 2]) == [1, 3]
+        assert missing_rows(3, []) == [0, 1, 2]
+        assert missing_rows(2, [0, 1]) == []
+        # Out-of-range covered rows (corrupt vertical_position) are
+        # ignored harmlessly.
+        assert missing_rows(2, [0, 1, 7]) == []

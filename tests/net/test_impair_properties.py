@@ -1,0 +1,272 @@
+"""Property suite: impairment shim + framing under adversarial inputs.
+
+The load-bearing invariants of the network path, checked over
+Hypothesis-generated traffic and link shapes:
+
+* **Sequence-number conservation** — every droppable message is
+  delivered exactly once or appears in the shim's drop record; the
+  union is the full sent set, the intersection empty.  No duplication,
+  no silent loss.
+* **Bounded reorder** — a held (swapped) message is overtaken by at
+  most one successor, and control messages are never overtaken at all
+  (a ``PIC_DONE`` cannot beat its own slices to the client).
+* **Framing is chunking-proof** — any concatenation of frames split at
+  arbitrary byte boundaries reassembles to the identical message list.
+* **No deadlock** — the full asyncio transport round trip under loss +
+  reorder + jitter + a bandwidth cap completes within a SIGALRM bound.
+* **Schedule determinism** — verdicts are a pure function of
+  ``(seed, index)``: recomputing in any order changes nothing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.impair import (
+    ImpairedSender,
+    ImpairmentProfile,
+    ImpairmentSchedule,
+)
+from repro.net.protocol import (
+    MSG_PIC_DONE,
+    MSG_SLICE,
+    StreamFramer,
+    encode_message,
+)
+
+profiles = st.builds(
+    ImpairmentProfile,
+    loss=st.floats(0.0, 0.6),
+    reorder=st.floats(0.0, 0.5),
+    jitter_ms=st.floats(0.0, 0.2),
+    seed=st.integers(0, 2**16),
+)
+
+
+class _PipeWriter:
+    """Minimal writer: collects frames, async-compatible drain."""
+
+    def __init__(self) -> None:
+        self.chunks: list[bytes] = []
+
+    def write(self, data: bytes) -> None:
+        self.chunks.append(data)
+
+    async def drain(self) -> None:
+        pass
+
+
+async def _pump(profile: ImpairmentProfile, n_msgs: int, picdone_every: int):
+    """Send n droppable slices (+ periodic control commits) through the
+    shim; return (delivered Messages, ImpairStats)."""
+    writer = _PipeWriter()
+    sender = ImpairedSender(writer, ImpairmentSchedule(profile))
+    seq = 0
+    for i in range(n_msgs):
+        await sender.send(
+            encode_message(MSG_SLICE, seq, {"i": i}),
+            droppable=True, seq=seq,
+        )
+        seq += 1
+        if picdone_every and (i + 1) % picdone_every == 0:
+            await sender.send(
+                encode_message(MSG_PIC_DONE, seq, {"upto": i}),
+                droppable=False, seq=seq,
+            )
+            seq += 1
+    await sender.flush()
+    framer = StreamFramer()
+    delivered = []
+    for chunk in writer.chunks:
+        delivered.extend(framer.feed(chunk))
+    assert framer.pending_bytes == 0
+    return delivered, sender.stats
+
+
+class TestConservation:
+    @given(profile=profiles, n=st.integers(0, 120),
+           picdone_every=st.integers(0, 7))
+    @settings(max_examples=120, deadline=None)
+    def test_exactly_once_or_recorded_dropped(self, profile, n, picdone_every):
+        delivered, stats = asyncio.run(_pump(profile, n, picdone_every))
+        slices = [m for m in delivered if m.type == MSG_SLICE]
+        got = [m.seq for m in slices]
+        assert len(got) == len(set(got)), "duplicate delivery"
+        # Replay the sender's seq assignment to find which sequence
+        # numbers were droppable slices vs reliable commits.
+        expected_slice_seqs, seq = set(), 0
+        for i in range(n):
+            expected_slice_seqs.add(seq)
+            seq += 1
+            if picdone_every and (i + 1) % picdone_every == 0:
+                seq += 1  # the PIC_DONE
+        # delivered + dropped partitions the sent slice universe.
+        assert not (set(got) & set(stats.dropped_seqs))
+        assert set(got) | set(stats.dropped_seqs) == expected_slice_seqs
+        assert len(slices) + stats.dropped == n
+        # Reliable commits all arrive.
+        commits = [m for m in delivered if m.type == MSG_PIC_DONE]
+        assert len(commits) == (n // picdone_every if picdone_every else 0)
+
+    @given(profile=profiles, n=st.integers(0, 120))
+    @settings(max_examples=100, deadline=None)
+    def test_reorder_displacement_is_bounded(self, profile, n):
+        delivered, stats = asyncio.run(_pump(profile, n, 0))
+        got = [m.seq for m in delivered if m.type == MSG_SLICE]
+        expected = sorted(got)
+        # A held frame is overtaken by at most its immediate successor:
+        # every message lands within one position of sorted order.
+        for pos, s in enumerate(got):
+            assert abs(pos - expected.index(s)) <= 1
+
+    @given(profile=profiles, n=st.integers(1, 60),
+           picdone_every=st.integers(1, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_control_messages_never_overtaken(self, profile, n, picdone_every):
+        delivered, _ = asyncio.run(_pump(profile, n, picdone_every))
+        # Every slice delivered after a PIC_DONE must have been *sent*
+        # after it (larger seq): commits flush held slices first.
+        last_control_seq = -1
+        for m in delivered:
+            if m.type == MSG_PIC_DONE:
+                last_control_seq = m.seq
+            else:
+                assert m.seq > last_control_seq or last_control_seq == -1
+
+
+class TestScheduleDeterminism:
+    @given(profile=profiles, idx=st.integers(0, 1000))
+    @settings(max_examples=150, deadline=None)
+    def test_verdict_is_pure(self, profile, idx):
+        sched = ImpairmentSchedule(profile)
+        first = sched.verdict(idx)
+        # Poke other indices in between; the verdict must not move.
+        sched.verdict(idx + 1)
+        sched.verdict(max(0, idx - 1))
+        assert ImpairmentSchedule(profile).verdict(idx) == first
+        assert sched.verdict(idx) == first
+        assert 0.0 <= first.delay_s <= profile.jitter_ms / 1e3
+        assert not (first.drop and first.swap)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            ImpairmentProfile(loss=1.5)
+        with pytest.raises(ValueError):
+            ImpairmentProfile(reorder=-0.1)
+        with pytest.raises(ValueError):
+            ImpairmentProfile(jitter_ms=-1)
+        with pytest.raises(ValueError):
+            ImpairmentProfile(bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            ImpairmentSchedule(ImpairmentProfile()).verdict(-1)
+
+
+class TestFramingChunking:
+    headers = st.dictionaries(
+        st.text(min_size=1, max_size=8),
+        st.one_of(st.integers(-1000, 1000), st.text(max_size=12),
+                  st.booleans()),
+        max_size=4,
+    )
+    messages = st.lists(
+        st.tuples(
+            st.sampled_from([MSG_SLICE, MSG_PIC_DONE]),
+            st.integers(0, 2**31), headers, st.binary(max_size=200),
+        ),
+        max_size=12,
+    )
+
+    @given(msgs=messages, data=st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_chunk_boundaries(self, msgs, data):
+        wire = b"".join(
+            encode_message(t, s, h, p) for t, s, h, p in msgs
+        )
+        cuts = sorted(
+            data.draw(
+                st.lists(st.integers(0, len(wire)), max_size=10)
+            )
+        )
+        framer = StreamFramer()
+        got = []
+        prev = 0
+        for cut in cuts + [len(wire)]:
+            got.extend(framer.feed(wire[prev:cut]))
+            prev = cut
+        assert framer.pending_bytes == 0
+        assert [(m.type, m.seq, m.header, m.payload) for m in got] == msgs
+
+
+class TestNoDeadlock:
+    """Real asyncio transport under a hostile link, SIGALRM-bounded."""
+
+    BOUND_S = 60
+
+    @pytest.fixture(autouse=True)
+    def alarm(self):
+        def on_alarm(signum, frame):  # pragma: no cover - only on bug
+            raise TimeoutError(
+                f"impaired transport did not finish in {self.BOUND_S}s"
+            )
+
+        old = signal.signal(signal.SIGALRM, on_alarm)
+        signal.alarm(self.BOUND_S)
+        yield
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)
+
+    @given(
+        profile=st.builds(
+            ImpairmentProfile,
+            loss=st.floats(0.0, 0.5),
+            reorder=st.floats(0.0, 0.5),
+            jitter_ms=st.floats(0.0, 0.3),
+            bandwidth_bps=st.one_of(
+                st.none(), st.floats(2e6, 1e8)
+            ),
+            seed=st.integers(0, 2**16),
+        ),
+        n=st.integers(1, 40),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_socket_roundtrip_terminates(self, profile, n):
+        async def run() -> int:
+            received: list = []
+            done = asyncio.Event()
+
+            async def handle(reader, writer):
+                framer = StreamFramer()
+                while True:
+                    data = await reader.read(4096)
+                    if not data:
+                        break
+                    received.extend(framer.feed(data))
+                done.set()
+                writer.close()
+
+            server = await asyncio.start_server(
+                handle, host="127.0.0.1", port=0
+            )
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            sender = ImpairedSender(writer, ImpairmentSchedule(profile))
+            for i in range(n):
+                await sender.send(
+                    encode_message(MSG_SLICE, i, {"i": i}, b"p" * 64),
+                    droppable=True, seq=i,
+                )
+            await sender.flush()
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.wait_for(done.wait(), timeout=30)
+            server.close()
+            await server.wait_closed()
+            assert len(received) + sender.stats.dropped == n
+            return len(received)
+
+        asyncio.run(run())

@@ -1,0 +1,316 @@
+"""End-to-end streaming: server + client over real localhost sockets.
+
+The tentpole invariants:
+
+* **Transparency** — on a clean link the client's reassembled frames
+  are bit-identical to the pinned golden digests (the same pixels the
+  scalar oracle produces); the network edge adds zero drift.
+* **Delivered-or-concealed** — under packet loss every announced
+  picture still ends in a receipt: complete, concealed (with the
+  shared ``conceal_rows`` primitives), or explicitly shed; sessions
+  never fail from slice loss.
+* **Containment** — rejects (unknown stream, capacity, bandwidth) are
+  explicit wire messages; a client disconnect cancels only its own
+  session and the server keeps serving everyone else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.net.client import stream_session
+from repro.net.impair import ImpairmentProfile
+from repro.net.server import NetServer
+from repro.obs.stalls import REASON_CONCEAL_SPATIAL, REASON_CONCEAL_TEMPORAL
+
+pytestmark = pytest.mark.net
+
+VECTOR_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(__file__)), "vectors"
+)
+
+with open(os.path.join(VECTOR_DIR, "digests.json")) as _fh:
+    DIGESTS = json.load(_fh)["streams"]
+
+
+def load(name: str) -> bytes:
+    with open(os.path.join(VECTOR_DIR, f"{name}.m2v"), "rb") as fh:
+        return fh.read()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _long_stream() -> bytes:
+    """~48 pictures: a decode window wide enough (~0.25 s in-process)
+    that a second client reliably arrives while the first session is
+    still *decoding* (the service capacity window) and still
+    *streaming* (the bandwidth window)."""
+    from repro.mpeg2.encoder import EncoderConfig, encode_sequence
+    from repro.video.synthetic import SyntheticVideo
+
+    video = SyntheticVideo(width=48, height=32, seed=19).frames(48)
+    return encode_sequence(video, EncoderConfig(gop_size=4, qscale_code=3))
+
+
+STREAMS = {
+    "ipb": load("ipb_64x48_gop13"),
+    "two_gop": load("two_gop_48x32"),
+    "long": _long_stream(),
+}
+
+
+async def _serve_one(server_kwargs, client_kwargs):
+    srv = NetServer(STREAMS, workers=0, **server_kwargs)
+    await srv.start()
+    try:
+        result = await stream_session(
+            "127.0.0.1", srv.port, **client_kwargs
+        )
+    finally:
+        report = await srv.aclose()
+    return result, report
+
+
+class TestCleanLink:
+    @pytest.mark.parametrize(
+        "stream,vector",
+        [("ipb", "ipb_64x48_gop13"), ("two_gop", "two_gop_48x32")],
+    )
+    def test_frames_bit_identical_to_golden(self, stream, vector):
+        result, report = run(
+            _serve_one(
+                {"fps": 240.0},
+                {"stream": stream, "keep_frames": True},
+            )
+        )
+        assert result.complete
+        assert result.concealed_slices == 0 and result.late_slices == 0
+        assert [f.digest() for f in result.frames] == (
+            DIGESTS[vector]["frame_digests"]
+        )
+        assert report["service"]["status_counts"] == {"done": 1}
+
+    def test_lateness_is_measured_per_picture(self):
+        result, _ = run(
+            _serve_one({"fps": 240.0}, {"stream": "two_gop"})
+        )
+        assert result.pacer.emitted == result.pictures
+        assert result.to_json()["lateness"] is not None
+
+
+class TestLossyLink:
+    def test_delivered_or_concealed_under_loss(self):
+        # 20% loss: enough that some slice in 8 pictures x 2 rows
+        # virtually always drops, and every picture must still settle.
+        result, report = run(
+            _serve_one(
+                {
+                    "fps": 240.0,
+                    "impairment": ImpairmentProfile(loss=0.2, seed=11),
+                },
+                {"stream": "two_gop"},
+            )
+        )
+        assert result.complete, result.to_json()
+        assert len(result.receipts) == result.pictures
+        assert result.concealed_slices > 0
+        impair = report["connections"][0]["impair"]
+        assert impair["dropped"] > 0
+        # Conservation across the wire: bands received + dropped =
+        # bands sent (rows per picture x pictures that sent bands).
+        sent_bands = sum(r.rows for r in result.receipts if not r.shed)
+        got_bands = sum(r.bands for r in result.receipts)
+        assert got_bands + impair["dropped"] == sent_bands
+        # The client's STATS receipts made it back into the report.
+        assert report["client_concealed_slices"] == result.concealed_slices
+
+    def test_concealment_uses_canonical_stall_reasons(self):
+        result, _ = run(
+            _serve_one(
+                {
+                    "fps": 240.0,
+                    "impairment": ImpairmentProfile(loss=0.3, seed=5),
+                },
+                {"stream": "ipb"},
+            )
+        )
+        assert result.complete
+        reasons = set(result.stalls.by_reason())
+        assert reasons <= {REASON_CONCEAL_TEMPORAL, REASON_CONCEAL_SPATIAL}
+        assert reasons, "30% loss produced no concealment stalls"
+
+    def test_reorder_and_jitter_alone_need_no_concealment(self):
+        result, _ = run(
+            _serve_one(
+                {
+                    "fps": 240.0,
+                    "impairment": ImpairmentProfile(
+                        reorder=0.4, jitter_ms=0.5, seed=3
+                    ),
+                },
+                {"stream": "two_gop", "keep_frames": True},
+            )
+        )
+        assert result.complete
+        assert result.concealed_slices == 0
+        assert [f.digest() for f in result.frames] == (
+            DIGESTS["two_gop_48x32"]["frame_digests"]
+        )
+
+    def test_bandwidth_cap_delays_but_delivers(self):
+        result, report = run(
+            _serve_one(
+                {
+                    "fps": 240.0,
+                    "impairment": ImpairmentProfile(
+                        bandwidth_bps=20e6, seed=1
+                    ),
+                },
+                {"stream": "two_gop"},
+            )
+        )
+        assert result.complete and result.concealed_slices == 0
+        assert report["connections"][0]["impair"]["delayed"] > 0
+
+
+class TestAdmission:
+    def test_unknown_stream_rejected(self):
+        result, _ = run(
+            _serve_one({"fps": 240.0}, {"stream": "nope"})
+        )
+        assert result.status == "rejected:unknown-stream"
+
+    def test_capacity_gate_rejects_overload(self):
+        async def scenario():
+            srv = NetServer(
+                STREAMS, workers=0, fps=30.0, capacity=1, max_queue=0
+            )
+            await srv.start()
+            try:
+                # The long stream decodes for ~0.25s, so the second
+                # client arrives while the only capacity slot is busy.
+                first = asyncio.ensure_future(
+                    stream_session("127.0.0.1", srv.port, "long")
+                )
+                await asyncio.sleep(0.05)
+                second = await stream_session(
+                    "127.0.0.1", srv.port, "two_gop"
+                )
+                return await first, second
+            finally:
+                await srv.aclose()
+
+        first, second = run(scenario())
+        assert first.complete
+        assert second.status == "rejected:capacity"
+
+    def test_bandwidth_gate_rejects_second_session(self):
+        async def scenario():
+            srv = NetServer(
+                STREAMS, workers=0, fps=30.0, capacity=4,
+                link_bps=1.0,  # below any stream's peak: 1 admit max
+            )
+            await srv.start()
+            try:
+                first = asyncio.ensure_future(
+                    stream_session("127.0.0.1", srv.port, "ipb")
+                )
+                await asyncio.sleep(0.1)
+                second = await stream_session(
+                    "127.0.0.1", srv.port, "two_gop"
+                )
+                return await first, second
+            finally:
+                await srv.aclose()
+
+        first, second = run(scenario())
+        # First always admitted (degrades on the wire, never refused).
+        assert first.complete
+        assert second.status == "rejected:bandwidth"
+
+    def test_bandwidth_slot_freed_after_session_ends(self):
+        async def scenario():
+            srv = NetServer(STREAMS, workers=0, fps=240.0, link_bps=1.0)
+            await srv.start()
+            try:
+                a = await stream_session("127.0.0.1", srv.port, "ipb")
+                b = await stream_session("127.0.0.1", srv.port, "ipb")
+                return a, b
+            finally:
+                await srv.aclose()
+
+        a, b = run(scenario())
+        assert a.complete and b.complete
+
+
+class TestDisconnectContainment:
+    def test_disconnect_cancels_only_own_session(self):
+        async def scenario():
+            srv = NetServer(STREAMS, workers=0, fps=60.0, capacity=4)
+            await srv.start()
+            try:
+                quitter = asyncio.ensure_future(
+                    stream_session(
+                        "127.0.0.1", srv.port, "ipb", disconnect_after=2
+                    )
+                )
+                stayer = asyncio.ensure_future(
+                    stream_session("127.0.0.1", srv.port, "two_gop")
+                )
+                q, s = await asyncio.gather(quitter, stayer)
+                # A third client connects *after* the hangup: the
+                # server is still healthy.
+                late = await stream_session(
+                    "127.0.0.1", srv.port, "ipb", keep_frames=True
+                )
+                return q, s, late
+            finally:
+                report = await srv.aclose()
+                scenario.report = report
+
+        q, s, late = run(scenario())
+        assert q.status == "disconnected"
+        assert len(q.receipts) == 2
+        assert s.complete
+        assert late.complete
+        assert [f.digest() for f in late.frames] == (
+            DIGESTS["ipb_64x48_gop13"]["frame_digests"]
+        )
+        counts = scenario.report["service"]["status_counts"]
+        # The quitter's session either finished decoding before the
+        # hangup landed (tiny stream) or was cancelled — never failed.
+        assert counts.get("failed", 0) == 0
+        assert counts.get("done", 0) >= 2
+
+    def test_lossy_multi_client_all_settle(self):
+        async def scenario():
+            srv = NetServer(
+                STREAMS, workers=0, fps=120.0, capacity=4,
+                impairment=ImpairmentProfile(loss=0.05, seed=42),
+            )
+            await srv.start()
+            try:
+                results = await asyncio.gather(*[
+                    stream_session(
+                        "127.0.0.1", srv.port,
+                        "ipb" if i % 2 == 0 else "two_gop",
+                    )
+                    for i in range(4)
+                ])
+                return results
+            finally:
+                report = await srv.aclose()
+                scenario.report = report
+
+        results = run(scenario())
+        assert all(r.complete for r in results), [
+            r.to_json() for r in results
+        ]
+        counts = scenario.report["service"]["status_counts"]
+        assert counts == {"done": 4}

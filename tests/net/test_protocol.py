@@ -1,0 +1,99 @@
+"""Wire protocol units: framing, band serialisation, error paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpeg2.frame import Frame
+from repro.net.protocol import (
+    MSG_HELLO,
+    MSG_PIC_DONE,
+    MSG_SLICE,
+    MSG_STATS,
+    ProtocolError,
+    StreamFramer,
+    band_bytes,
+    band_into,
+    decode_body,
+    encode_message,
+)
+
+
+class TestFraming:
+    def test_roundtrip_single_message(self):
+        wire = encode_message(MSG_SLICE, 7, {"pic": 3, "row": 1}, b"\x01\x02")
+        msgs = StreamFramer().feed(wire)
+        assert len(msgs) == 1
+        m = msgs[0]
+        assert (m.type, m.seq, m.header, m.payload) == (
+            MSG_SLICE, 7, {"pic": 3, "row": 1}, b"\x01\x02"
+        )
+        assert m.droppable and m.type_name == "slice"
+
+    def test_byte_at_a_time_reassembly(self):
+        wire = encode_message(MSG_PIC_DONE, 0, {"pic": 0, "bands": 3}) + \
+            encode_message(MSG_STATS, 1, {"pic": 0}, b"x" * 100)
+        framer = StreamFramer()
+        got = []
+        for i in range(len(wire)):
+            got.extend(framer.feed(wire[i : i + 1]))
+        assert [m.type for m in got] == [MSG_PIC_DONE, MSG_STATS]
+        assert framer.pending_bytes == 0
+
+    def test_empty_header_and_payload(self):
+        m = StreamFramer().feed(encode_message(MSG_HELLO, 0, {}))[0]
+        assert m.header == {} and m.payload == b""
+
+    def test_control_messages_are_not_droppable(self):
+        m = decode_body(encode_message(MSG_PIC_DONE, 2, {"pic": 0})[4:])
+        assert not m.droppable
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ProtocolError):
+            encode_message(99, 0, {})
+        wire = bytearray(encode_message(MSG_SLICE, 0, {}))
+        wire[4] = 99  # type byte lives right after the length prefix
+        with pytest.raises(ProtocolError):
+            StreamFramer().feed(bytes(wire))
+
+    def test_rejects_negative_seq_and_truncated_body(self):
+        with pytest.raises(ProtocolError):
+            encode_message(MSG_SLICE, -1, {})
+        with pytest.raises(ProtocolError):
+            decode_body(b"\x04")
+
+    def test_rejects_oversized_frame_length(self):
+        framer = StreamFramer()
+        with pytest.raises(ProtocolError):
+            framer.feed((17 << 20).to_bytes(4, "big") + b"\x00" * 8)
+
+    def test_rejects_corrupt_json_header(self):
+        wire = bytearray(encode_message(MSG_SLICE, 0, {"a": 1}))
+        wire[-3] = 0xFF  # stomp inside the JSON header
+        with pytest.raises(ProtocolError):
+            StreamFramer().feed(bytes(wire))
+
+
+class TestBandSerialisation:
+    def test_roundtrip_preserves_planes(self):
+        rng = np.random.default_rng(3)
+        src = Frame.blank(48, 32)
+        src.y[:] = rng.integers(0, 256, src.y.shape, dtype=np.uint8)
+        src.cb[:] = rng.integers(0, 256, src.cb.shape, dtype=np.uint8)
+        src.cr[:] = rng.integers(0, 256, src.cr.shape, dtype=np.uint8)
+        dst = Frame.blank(48, 32)
+        for row in range(src.mb_height):
+            band_into(dst, row, band_bytes(src, row))
+        assert src.same_pixels(dst)
+        assert dst.digest() == src.digest()
+
+    def test_band_length_is_row_exact(self):
+        f = Frame.blank(64, 48)
+        # 16 luma rows of 64 + 2 chroma bands of 8 rows of 32.
+        assert len(band_bytes(f, 0)) == 16 * 64 + 2 * 8 * 32
+
+    def test_band_into_rejects_wrong_size(self):
+        f = Frame.blank(48, 32)
+        with pytest.raises(ProtocolError):
+            band_into(f, 0, b"\x00" * 10)

@@ -115,6 +115,19 @@ def duplicate_slice(data: bytes, gop: int, pic: int, sl: int) -> bytes:
     return data[: s.payload_end] + chunk + data[s.payload_end :]
 
 
+def drop_slice(data: bytes, gop: int, pic: int, sl: int) -> bytes:
+    """Remove one slice's wire bytes (start code + payload) entirely.
+
+    The streaming-loss malformation: the slice never arrives, so the
+    resilient decoders must *conceal* its macroblock row rather than
+    parse-and-fail.  Indices refer to the stream as passed in —
+    apply multiple drops to the same picture in descending slice
+    order.
+    """
+    s = build_index(data).gops[gop].pictures[pic].slices[sl]
+    return data[: s.payload_start - 4] + data[s.payload_end :]
+
+
 #: name -> (base vector, surgery callable).  Both derive from the
 #: headline I/P/B vector and target picture 2 (coding order) — a
 #: P-picture, so the malformed rows also feed later predictions.
@@ -130,6 +143,68 @@ NEGATIVES: dict[str, dict] = {
         note="slice 1 of picture 2 repeated back to back",
     ),
 }
+
+
+# ----------------------------------------------------------------------
+# concealment corpus: dropped slices, pinned *concealed* output
+# ----------------------------------------------------------------------
+#
+# Each entry drops whole slices off the wire (the packet-loss
+# malformation the streaming edge must survive) and pins the digests
+# of the ``resilient=True`` decode — temporal concealment (co-located
+# rows of the forward reference) where a reference exists, spatial
+# row-copy where none does.  Every decode path must conceal
+# bit-identically; ``tests/mpeg2/test_conceal_parity.py`` re-asserts
+# this from the committed files on every run.
+#
+# ``drops`` are ``(gop, pic, slice)`` triples applied in order, each
+# against the stream produced by the previous drop (so same-picture
+# drops are listed in descending slice order).
+
+CONCEAL: dict[str, dict] = {
+    "conceal_p_temporal": dict(
+        base="ipb_64x48_gop13",
+        drops=((0, 2, 1),),
+        note=(
+            "slice 1 of P-picture 2 dropped; row concealed from the "
+            "co-located row of the forward reference (temporal)"
+        ),
+    ),
+    "conceal_i_spatial": dict(
+        base="ipb_64x48_gop13",
+        drops=((0, 0, 2), (0, 0, 1)),
+        note=(
+            "slices 1+2 of the opening I-picture dropped; no reference "
+            "exists, so both rows conceal as a spatial row-copy "
+            "cascade from row 0"
+        ),
+    ),
+    "conceal_b_temporal": dict(
+        base="two_gop_48x32",
+        drops=((0, 2, 0),),
+        note=(
+            "slice 0 of a B-picture dropped; temporal concealment, and "
+            "the damage cannot propagate (B is never a reference)"
+        ),
+    ),
+    "conceal_lost_picture": dict(
+        base="two_gop_48x32",
+        drops=((0, 1, 1), (0, 1, 0)),
+        note=(
+            "every slice of P-picture 1 dropped; the whole picture is "
+            "concealed from the I-picture (zero-slice settle path)"
+        ),
+    ),
+}
+
+
+def conceal_reference(data: bytes) -> tuple[list[str], WorkCounters]:
+    """Resilient scalar-oracle digests + counters for a lossy stream."""
+    counters = WorkCounters()
+    frames = SequenceDecoder(data, engine="scalar", resilient=True).decode_all(
+        counters
+    )
+    return [f.digest() for f in frames], counters
 
 
 # ----------------------------------------------------------------------
@@ -242,19 +317,33 @@ def negative_reference(data: bytes) -> tuple[list[str], WorkCounters]:
     return [f.digest() for f in frames], counters
 
 
-def _engine_run(data: bytes, engine: str) -> tuple[list[str], WorkCounters]:
+def _engine_run(
+    data: bytes, engine: str, resilient: bool = False
+) -> tuple[list[str], WorkCounters]:
     counters = WorkCounters()
-    frames = SequenceDecoder(data, engine=engine).decode_all(counters)
+    frames = SequenceDecoder(
+        data, engine=engine, resilient=resilient
+    ).decode_all(counters)
+    return [f.digest() for f in frames], counters
+
+
+def _gop_run(
+    data: bytes, workers: int, resilient: bool = False
+) -> tuple[list[str], WorkCounters]:
+    counters = WorkCounters()
+    frames = MPGopDecoder(
+        data, workers=workers, resilient=resilient
+    ).decode_all(counters)
     return [f.digest() for f in frames], counters
 
 
 def _slice_run(
-    data: bytes, workers: int, mode: str
+    data: bytes, workers: int, mode: str, resilient: bool = False
 ) -> tuple[list[str], WorkCounters]:
     counters = WorkCounters()
-    frames = MPSliceDecoder(data, workers=workers, mode=mode).decode_all(
-        counters
-    )
+    frames = MPSliceDecoder(
+        data, workers=workers, mode=mode, resilient=resilient
+    ).decode_all(counters)
     return [f.digest() for f in frames], counters
 
 
@@ -331,6 +420,60 @@ def main() -> int:
         }
         print(f"{name}: {len(data)} bytes ({spec['note']})")
 
+    conceal: dict[str, dict] = {}
+    for name, spec in CONCEAL.items():
+        data = built[spec["base"]]
+        for gop, pic, sl in spec["drops"]:
+            data = drop_slice(data, gop, pic, sl)
+        assert data != built[spec["base"]], name
+        golden, counters = conceal_reference(data)
+        assert counters.concealed_slices >= len(spec["drops"]), name
+        # Concealment must be bit-identical on every decode path —
+        # pixels *and* work counters (concealed_slices included).
+        for describe, decode in (
+            (
+                "batched",
+                lambda d: _engine_run(d, "batched", resilient=True),
+            ),
+            (
+                "mp-gop-0",
+                lambda d: _gop_run(d, 0, resilient=True),
+            ),
+            (
+                "mp-slice-0-simple",
+                lambda d: _slice_run(d, 0, "simple", resilient=True),
+            ),
+            (
+                "mp-slice-0-improved",
+                lambda d: _slice_run(d, 0, "improved", resilient=True),
+            ),
+            (
+                "mp-slice-2-improved",
+                lambda d: _slice_run(d, 2, "improved", resilient=True),
+            ),
+        ):
+            digests, got = decode(data)
+            assert digests == golden, (name, describe)
+            assert got == counters, (name, describe)
+
+        path = os.path.join(VECTOR_DIR, f"{name}.m2v")
+        with open(path, "wb") as fh:
+            fh.write(data)
+        conceal[name] = {
+            "file": f"{name}.m2v",
+            "base": spec["base"],
+            "note": spec["note"],
+            "drops": [list(d) for d in spec["drops"]],
+            "stream_sha256": hashlib.sha256(data).hexdigest(),
+            "stream_bytes": len(data),
+            "concealed_slices": counters.concealed_slices,
+            "frame_digests": golden,
+        }
+        print(
+            f"{name}: {len(data)} bytes, "
+            f"{counters.concealed_slices} concealed ({spec['note'][:40]}...)"
+        )
+
     # Promoted fuzz mutants ride in the same negative corpus (after
     # the base vector files above are on disk — the recipe reads them).
     negative.update(promote_fuzz_mutants())
@@ -345,6 +488,7 @@ def main() -> int:
                 ),
                 "streams": corpus,
                 "negative": negative,
+                "conceal": conceal,
             },
             fh,
             indent=2,
