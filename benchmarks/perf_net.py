@@ -13,8 +13,11 @@ root:
   the server's admission gate consumes;
 * ``sweep`` — one record per (loss, sessions) point: per-client
   delivery accounting (intact / concealed / shed / abandoned), the
-  per-client lateness CDF (:meth:`WallClockPacer.miss_cdf` knots),
-  concealment rates, and the shim's own drop ledger;
+  per-client lateness CDF at fixed percentiles
+  (:meth:`WallClockPacer.lateness_percentiles` — p50/p90/p99/max, a
+  stable shape instead of the old raw knot list; readers accept both),
+  the server's per-connection SLO snapshot (burn rate, budget spent,
+  breaches), concealment rates, and the shim's own drop ledger;
 * ``gates`` — the acceptance summary the pytest gate asserts.
 
 The gate (``perf`` marker, never tier-1): at every point with **loss
@@ -66,6 +69,11 @@ FPS = 30.0
 
 IMPAIR_SEED = 0x10C5
 
+#: Server pushes a live STATS frame (SLO snapshot) every N pictures, so
+#: the bench exercises the telemetry path and each client's JSON block
+#: carries the server-observed SLO state.
+STATS_PUSH_PICTURES = 8
+
 #: The streamed workload: IPB GOPs so temporal concealment has a
 #: previous picture to borrow from and B slices actually drop.
 NET_SPEC = TestStreamSpec(
@@ -100,6 +108,7 @@ async def _run_point(
         capacity=sessions,
         impairment=impairment,
         preroll_pictures=2,
+        stats_push_pictures=STATS_PUSH_PICTURES,
     )
     await srv.start()
     t0 = perf_counter()
@@ -131,6 +140,9 @@ def _point_record(loss, sessions, results, report, wall) -> dict:
         for c in report["connections"]
     )
     counts = report["service"]["status_counts"]
+    slo_blocks = [
+        c["slo"] for c in report["connections"] if c.get("slo") is not None
+    ]
     return {
         "loss": loss,
         "sessions": sessions,
@@ -144,6 +156,8 @@ def _point_record(loss, sessions, results, report, wall) -> dict:
         "slices_concealed": concealed,
         "slices_expected": total_rows,
         "concealment_rate": concealed / total_rows if total_rows else 0.0,
+        # Server-side SLO accounting, one block per connection.
+        "slo": slo_blocks,
     }
 
 
@@ -232,9 +246,18 @@ def test_perf_net(record) -> None:
         "dropped and concealed slice counts diverge at the gate"
     )
     # Every client recorded a lateness CDF (the per-client evidence).
+    # Current records carry fixed percentiles under ``lateness_cdf``;
+    # pre-PR-8 files carried raw knots under ``miss_cdf`` — accept both
+    # so the gate can read an old committed BENCH_net.json.
     for p in report["sweep"]:
         for c in p["clients"]:
-            assert c["miss_cdf"], "client recorded no lateness CDF"
+            cdf = c.get("lateness_cdf") or c.get("miss_cdf")
+            assert cdf, "client recorded no lateness CDF"
+        # The telemetry path ran: the server tracked an SLO per
+        # connection and pushed live snapshots on the wire.
+        assert p["slo"], "no per-connection SLO blocks recorded"
+        for c in p["clients"]:
+            assert c["server_stats_pushes"] > 0, "no STATS pushes seen"
 
 
 if __name__ == "__main__":

@@ -297,6 +297,24 @@ def _cmd_net_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
 
+    slo = None
+    if args.slo_miss_budget is not None or args.slo_p99_ms is not None:
+        from repro.obs.slo import SLOPolicy
+
+        defaults = SLOPolicy()
+        slo = SLOPolicy(
+            deadline_miss_budget=(
+                args.slo_miss_budget
+                if args.slo_miss_budget is not None
+                else defaults.deadline_miss_budget
+            ),
+            p99_lateness_ms=(
+                args.slo_p99_ms
+                if args.slo_p99_ms is not None
+                else defaults.p99_lateness_ms
+            ),
+        )
+
     async def serve() -> dict:
         srv = NetServer(
             streams,
@@ -308,8 +326,17 @@ def _cmd_net_serve(args: argparse.Namespace) -> int:
             preroll_pictures=args.preroll,
             host=args.host,
             port=args.port,
+            metrics_port=args.metrics_port,
+            slo=slo,
+            stats_push_pictures=args.stats_push,
+            flight_dir=args.flight_dir,
         )
         await srv.start()
+        if srv.metrics_port is not None:
+            print(
+                "metrics exposition on "
+                f"http://{srv.host}:{srv.metrics_port}/metrics"
+            )
         shim = (
             f", impaired (loss {args.loss:.0%}, reorder {args.reorder:.0%},"
             f" jitter {args.jitter_ms:g}ms"
@@ -351,6 +378,12 @@ def _cmd_net_serve(args: argparse.Namespace) -> int:
         f"sessions {counts or '{}'}; client-concealed slices "
         f"{report['client_concealed_slices']}"
     )
+    if report.get("flight_dumps"):
+        print(
+            f"flight-recorder dumps ({len(report['flight_dumps'])}):"
+        )
+        for path in report["flight_dumps"]:
+            print(f"  {path}")
     if args.trace:
         doc = get_tracer().write_chrome(args.trace)
         disable_tracing()
@@ -369,12 +402,22 @@ def _cmd_net_client(args: argparse.Namespace) -> int:
     import json
 
     from repro.net.client import stream_session
+    from repro.obs import disable_tracing, enable_tracing, get_tracer
 
+    if args.trace:
+        enable_tracing(process_name=f"net-client ({args.stream})")
     result = asyncio.run(
         stream_session(
-            args.host, args.port, args.stream, timeout_s=args.timeout
+            args.host, args.port, args.stream, timeout_s=args.timeout,
+            disconnect_after=args.disconnect_after,
         )
     )
+    if args.trace:
+        doc = get_tracer().write_chrome(args.trace)
+        disable_tracing()
+        print(
+            f"wrote {len(doc['traceEvents'])} trace events to {args.trace}"
+        )
     j = result.to_json()
     print(
         f"{args.stream}: {j['status']} — {j['pictures']} pictures "
@@ -393,10 +436,20 @@ def _cmd_net_client(args: argparse.Namespace) -> int:
             f"deadlines: {late['late_pictures']}/{late['emitted']} late, "
             f"max {late['max_lateness_s'] * 1e3:.1f} ms"
         )
+    if j["slo"] is not None:
+        slo = j["slo"]
+        breaches = ", ".join(slo["breaches"]) or "none"
+        print(
+            f"server SLO: budget spent {slo['budget_spent']:.2f}, "
+            f"burn rate {slo['burn_rate']:.2f}, breaches: {breaches} "
+            f"({j['server_stats_pushes']} pushes)"
+        )
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(j, fh, indent=2)
         print(f"wrote client report to {args.json}")
+    if args.disconnect_after is not None and result.status == "disconnected":
+        return 0  # the hangup was the point
     return 0 if result.complete else 1
 
 
@@ -594,6 +647,22 @@ def build_parser() -> argparse.ArgumentParser:
     nsrv.add_argument("--trace", metavar="OUT.json",
                       help="record a Chrome trace-event timeline of the "
                            "service while serving")
+    nsrv.add_argument("--metrics-port", type=int, default=None, metavar="N",
+                      help="expose Prometheus metrics on this HTTP port "
+                           "(0 = pick a free one)")
+    nsrv.add_argument("--stats-push", type=int, default=0, metavar="K",
+                      help="push a live STATS frame (SLO snapshot + "
+                           "metrics digest) to each client every K "
+                           "pictures (0 = off)")
+    nsrv.add_argument("--flight-dir", metavar="DIR",
+                      help="dump per-session flight-recorder rings here "
+                           "on failure/cancel/SLO burnout")
+    nsrv.add_argument("--slo-miss-budget", type=float, default=None,
+                      help="SLO: allowed deadline-miss fraction "
+                           "(default 0.05)")
+    nsrv.add_argument("--slo-p99-ms", type=float, default=None,
+                      help="SLO: p99 lateness objective in ms "
+                           "(default 100)")
     nsrv.set_defaults(func=_cmd_net_serve)
 
     ncli = sub.add_parser(
@@ -607,6 +676,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="whole-session wall-clock bound")
     ncli.add_argument("--json", metavar="OUT.json",
                       help="write the client delivery report")
+    ncli.add_argument("--trace", metavar="OUT.json",
+                      help="record the client's trace shard (merge with "
+                           "the server's via obs_report --merged)")
+    ncli.add_argument("--disconnect-after", type=int, default=None,
+                      metavar="K",
+                      help="hang up abruptly after K picture commits "
+                           "(exercises server-side cancel + flight dump)")
     ncli.set_defaults(func=_cmd_net_client)
 
     simp = sub.add_parser("simulate", help="simulated parallel decode")

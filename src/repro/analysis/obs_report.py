@@ -16,9 +16,21 @@ written by ``python -m repro decode ... --trace out.json``:
   comparable with the simulator's ``DecodeRunResult.stall_breakdown``
   and the mp pipeline's ``MPGopDecoder.stall_breakdown``.
 
+PR-8 adds ``--merged``: given the *server* trace shard first and any
+number of client shards after it, the shards are joined onto the
+server's clock (:func:`repro.obs.propagate.merge_traces`, using each
+client's recorded ``clock.sync`` offset), every client picture is
+validated against its matching server send
+(:func:`~repro.obs.propagate.validate_joins`), and the end-to-end
+latency waterfall — ``decode → pace → wire → reassemble → conceal →
+deadline lateness`` — is printed per stage.  A join failure (a client
+picture with no matching server span) exits nonzero, which is what the
+CI telemetry job gates on.
+
 Usage::
 
     python -m repro.analysis.obs_report out.json
+    python -m repro.analysis.obs_report --merged server.json client*.json
 
 Exported timestamps/durations are microseconds (Chrome trace format),
 rebased so the earliest event is at 0.
@@ -32,6 +44,14 @@ import sys
 from collections import defaultdict
 
 from repro.analysis.report import TextTable
+from repro.obs.propagate import (
+    TraceJoinError,
+    clock_syncs,
+    merge_traces,
+    sessions_in,
+    validate_joins,
+    waterfall,
+)
 from repro.obs.stalls import format_stall_breakdown
 from repro.obs.trace import validate_chrome_trace
 
@@ -209,16 +229,105 @@ def render_report(doc: dict) -> str:
     return "\n\n".join(sections)
 
 
+def render_merged_report(doc: dict) -> str:
+    """Join summary + clock-sync bounds + end-to-end waterfall table."""
+    sections: list[str] = []
+
+    stats = validate_joins(doc)
+    sections.append(
+        "merged trace: {joined} pictures joined across the socket "
+        "boundary ({client} client spans, {server} server spans; "
+        "server pids {spids}, client pids {cpids}; sessions: "
+        "{sessions})".format(
+            joined=stats["joined"],
+            client=stats["client_spans"],
+            server=stats["server_spans"],
+            spids=sorted(stats["server_pids"]),
+            cpids=sorted(stats["client_pids"]),
+            sessions=", ".join(str(s) for s in sessions_in(doc)) or "-",
+        )
+    )
+
+    syncs = clock_syncs(doc)
+    if syncs:
+        table = TextTable(
+            ["session", "offset ms", "rtt ms", "error bound ms"],
+            title="clock sync (per client shard)",
+        )
+        for sync in syncs:
+            table.add_row(
+                sync.get("session", "-"),
+                round(sync["offset_ns"] / 1e6, 3),
+                round(sync["rtt_ns"] / 1e6, 3),
+                round(sync["error_bound_ns"] / 1e6, 3),
+            )
+        sections.append(table.render())
+
+    stages = waterfall(doc)
+    table = TextTable(
+        ["stage", "count", "mean ms", "p50 ms", "p99 ms", "max ms"],
+        title="end-to-end latency waterfall (parse→display deadline)",
+    )
+    for stage, rec in stages.items():
+        table.add_row(
+            stage, rec["count"],
+            round(rec["mean_ms"], 3), round(rec["p50_ms"], 3),
+            round(rec["p99_ms"], 3), round(rec["max_ms"], 3),
+        )
+    sections.append(table.render())
+
+    return "\n\n".join(sections)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.analysis.obs_report",
         description="Per-worker utilization and stall report from a "
         "--trace Chrome trace file",
     )
-    parser.add_argument("trace", help="trace JSON written by --trace")
+    parser.add_argument(
+        "trace", nargs="+",
+        help="trace JSON written by --trace (with --merged: the server "
+        "shard first, then client shards)",
+    )
+    parser.add_argument(
+        "--merged", action="store_true",
+        help="merge server + client shards onto the server clock, "
+        "validate cross-boundary joins, print the e2e waterfall",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="with --merged: also write the merged Chrome trace here",
+    )
     args = parser.parse_args(argv)
-    doc = load_trace(args.trace)
-    print(f"{args.trace}: {len(doc['traceEvents'])} events")
+    if not args.merged and len(args.trace) > 1:
+        parser.error("multiple trace files require --merged")
+
+    if args.merged:
+        docs = [load_trace(path) for path in args.trace]
+        try:
+            doc = merge_traces(docs)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(doc, fh)
+        print(
+            "merged {n} shard(s): {events} events".format(
+                n=len(docs), events=len(doc["traceEvents"])
+            )
+        )
+        print()
+        try:
+            print(render_merged_report(doc))
+        except TraceJoinError as exc:
+            print(f"join validation FAILED: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
+    doc = load_trace(args.trace[0])
+    print(f"{args.trace[0]}: {len(doc['traceEvents'])} events")
     print()
     print(render_report(doc))
     return 0

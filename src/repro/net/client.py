@@ -13,6 +13,15 @@ Measurement mirrors the serve layer: a
 :class:`~repro.parallel.pacing.WallClockPacer` anchors at the first
 commit and records per-picture lateness; concealment time lands in a
 :class:`~repro.obs.stalls.StallTable` under the ``conceal.*`` reasons.
+
+PR-8 telemetry: the client mints a trace id, performs the clock-offset
+handshake over HELLO/ACCEPT (:class:`repro.obs.propagate.ClockSync`)
+and — when tracing is enabled — emits the client half of the
+per-picture end-to-end spans (``e2e.reassemble``, ``e2e.conceal``, the
+``e2e.deadline`` instant) plus a ``clock.sync`` instant carrying the
+measured offset, which is what lets its trace shard merge onto the
+server's clock.  Server-pushed ``STATS`` frames (live SLO snapshots)
+are collected on :attr:`ClientResult.server_stats`.
 """
 
 from __future__ import annotations
@@ -36,7 +45,17 @@ from repro.net.protocol import (
     encode_message,
     read_message,
 )
+from repro.obs.propagate import (
+    E2E_CATEGORY,
+    EVENT_CLOCK_SYNC,
+    EVENT_DEADLINE,
+    SPAN_CONCEAL,
+    SPAN_REASSEMBLE,
+    ClockSync,
+    new_trace_id,
+)
 from repro.obs.stalls import StallTable, record_concealment
+from repro.obs.trace import trace_complete, trace_instant
 from repro.parallel.pacing import WallClockPacer
 
 
@@ -70,6 +89,18 @@ class ClientResult:
     pacer: WallClockPacer = field(default_factory=WallClockPacer)
     reject_reason: str | None = None
     late_slices: int = 0     # bands that arrived after their commit
+    session: str | None = None   # server-assigned session id
+    trace_id: str | None = None  # client-minted, echoed by ACCEPT
+    clock: ClockSync | None = None
+    server_stats: list[dict] = field(default_factory=list)
+
+    @property
+    def slo(self) -> dict | None:
+        """Most recent server-pushed SLO snapshot (None before one)."""
+        for header in reversed(self.server_stats):
+            if header.get("slo") is not None:
+                return header["slo"]
+        return None
 
     @property
     def delivered(self) -> int:
@@ -112,7 +143,18 @@ class ClientResult:
             "abandoned": self.abandoned,
             "late_slices": self.late_slices,
             "lateness": self.pacer.summary() if self.pacer.enabled else None,
-            "miss_cdf": self.pacer.miss_cdf() if self.pacer.enabled else [],
+            # Fixed percentiles, not the raw per-picture CDF knots —
+            # keeps BENCH_net.json small (readers accept both shapes).
+            "lateness_cdf": (
+                self.pacer.lateness_percentiles()
+                if self.pacer.enabled
+                else None
+            ),
+            "session": self.session,
+            "trace_id": self.trace_id,
+            "clock": self.clock.to_json() if self.clock else None,
+            "slo": self.slo,
+            "server_stats_pushes": len(self.server_stats),
         }
 
 
@@ -154,10 +196,18 @@ async def _run(
     disconnect_after,
 ) -> None:
     seq = 0
-    writer.write(encode_message(MSG_HELLO, seq, {"stream": stream}))
+    result.trace_id = new_trace_id()
+    t_send_ns = time.monotonic_ns()
+    writer.write(
+        encode_message(
+            MSG_HELLO, seq,
+            {"stream": stream, "trace": result.trace_id, "t_ns": t_send_ns},
+        )
+    )
     seq += 1
     await writer.drain()
     first = await read_message(reader)
+    t_recv_ns = time.monotonic_ns()
     if first is None:
         result.status = "disconnected"
         return
@@ -171,12 +221,30 @@ async def _run(
     width = first.header["width"]
     height = first.header["height"]
     result.pictures = first.header["pictures"]
+    result.session = first.header.get("session", stream)
     result.pacer = WallClockPacer(
         rate_hz=first.header["fps"],
         preroll_pictures=first.header.get("preroll", 0),
     )
+    clock = first.header.get("clock")
+    if clock is not None:
+        result.clock = ClockSync(
+            t_client_send_ns=t_send_ns,
+            t_server_recv_ns=clock["recv_ns"],
+            t_server_send_ns=clock["send_ns"],
+            t_client_recv_ns=t_recv_ns,
+        )
+        # Recorded into the trace so the shard carries its own mapping
+        # onto the server clock (repro.obs.propagate.merge_traces).
+        trace_instant(
+            EVENT_CLOCK_SYNC, E2E_CATEGORY,
+            session=result.session,
+            trace=result.trace_id,
+            **result.clock.to_json(),
+        )
 
     bands: dict[int, dict[int, bytes]] = {}
+    first_band_ns: dict[int, int] = {}
     finalized: set[int] = set()
     prev_frame: Frame | None = None
 
@@ -190,7 +258,13 @@ async def _run(
             if pic in finalized:
                 result.late_slices += 1
                 continue
+            if pic not in first_band_ns:
+                first_band_ns[pic] = time.monotonic_ns()
             bands.setdefault(pic, {})[msg.header["row"]] = msg.payload
+            continue
+        if msg.type == MSG_STATS:
+            # Server-side telemetry push (live SLO + metrics digest).
+            result.server_stats.append(msg.header)
             continue
         if msg.type == MSG_BYE:
             # Early BYE: server gave up (decode failure) — everything
@@ -213,7 +287,13 @@ async def _run(
             # picture; nothing to conceal.
             result.receipts.append(receipt)
             receipt.late_s = result.pacer.on_emit(pic)
+            trace_instant(
+                EVENT_DEADLINE, E2E_CATEGORY,
+                session=result.session, pic=pic, shed=True,
+                late_ms=receipt.late_s * 1e3,
+            )
             continue
+        assemble_start_ns = first_band_ns.pop(pic, time.monotonic_ns())
         frame = Frame.blank(width, height)
         missing = []
         for row in range(rows):
@@ -224,14 +304,35 @@ async def _run(
                 band_into(frame, row, payload)
         if missing:
             t0 = time.perf_counter()
+            conceal_start_ns = time.monotonic_ns()
             n_t, n_s = conceal_rows(frame, prev_frame, missing)
             record_concealment(
                 result.stalls, "client", n_t, n_s,
                 time.perf_counter() - t0,
             )
+            trace_complete(
+                SPAN_CONCEAL, E2E_CATEGORY,
+                conceal_start_ns,
+                time.monotonic_ns() - conceal_start_ns,
+                session=result.session, pic=pic,
+                temporal=n_t, spatial=n_s,
+            )
             receipt.concealed_temporal = n_t
             receipt.concealed_spatial = n_s
+        trace_complete(
+            SPAN_REASSEMBLE, E2E_CATEGORY,
+            assemble_start_ns,
+            time.monotonic_ns() - assemble_start_ns,
+            session=result.session, pic=pic,
+            bands=receipt.bands, rows=rows,
+            concealed=receipt.concealed,
+        )
         receipt.late_s = result.pacer.on_emit(pic)
+        trace_instant(
+            EVENT_DEADLINE, E2E_CATEGORY,
+            session=result.session, pic=pic,
+            late_ms=receipt.late_s * 1e3,
+        )
         result.receipts.append(receipt)
         prev_frame = frame
         if keep_frames:
@@ -243,6 +344,7 @@ async def _run(
                     {
                         "pic": pic,
                         "bands": receipt.bands,
+                        "rows": rows,
                         "concealed_temporal": receipt.concealed_temporal,
                         "concealed_spatial": receipt.concealed_spatial,
                         "late_ms": receipt.late_s * 1e3,

@@ -25,6 +25,18 @@ Design points:
   can observe gaps (losses) and inversions (reorder) explicitly; the
   property suite checks conservation: every seq is delivered exactly
   once or accounted as dropped.
+* **Telemetry rides the existing headers** (PR-8).  ``HELLO`` carries
+  a client-minted trace id plus ``t_ns`` (client monotonic send time);
+  ``ACCEPT`` echoes the trace id and returns ``clock: {recv_ns,
+  send_ns}`` — the NTP-style two-timestamp handshake
+  (:mod:`repro.obs.propagate`) that lets client and server trace
+  shards merge onto one clock.  ``SLICE``/``PIC_DONE`` carry ``ts``
+  (server monotonic send ns), and ``STATS`` flows both ways: client →
+  server per-picture receipts as before, and server → client periodic
+  pushes (``src: "server"``) holding the live SLO snapshot and a small
+  metrics digest.  All additions are plain JSON header fields — the
+  frame grammar is unchanged, and old peers ignore keys they don't
+  know.
 
 The framer is a plain byte machine (feed bytes, get messages) usable
 without sockets — the Hypothesis suite drives it directly.
@@ -44,13 +56,13 @@ _HDR = struct.Struct("!BIH")
 MAX_FRAME_BYTES = 16 << 20
 
 # message types ------------------------------------------------------
-MSG_HELLO = 1      # client -> server: {stream, fps?, resilient?}
-MSG_ACCEPT = 2     # server -> client: stream geometry + session verdict
+MSG_HELLO = 1      # client -> server: {stream, fps?, resilient?, trace, t_ns}
+MSG_ACCEPT = 2     # server -> client: geometry + verdict + {trace, clock}
 MSG_REJECT = 3     # server -> client: {reason}
-MSG_SLICE = 4      # server -> client: one MB-row band (droppable)
-MSG_PIC_DONE = 5   # server -> client: picture commit (reliable)
+MSG_SLICE = 4      # server -> client: one MB-row band (droppable; ts)
+MSG_PIC_DONE = 5   # server -> client: picture commit (reliable; ts)
 MSG_BYE = 6        # server -> client: end of session summary
-MSG_STATS = 7      # client -> server: per-picture receipt report
+MSG_STATS = 7      # bidirectional: client receipts / server SLO pushes
 
 _TYPE_NAMES = {
     MSG_HELLO: "hello",

@@ -24,12 +24,30 @@ session is shed without poisoning the shared worker pool.  The
 optional :class:`~repro.net.impair.ImpairmentProfile` applies the
 seeded loss/reorder/jitter/bandwidth shim to every connection's
 outgoing slice traffic (CI's stand-in for a lossy network).
+
+PR-8 telemetry at the net edge:
+
+* the ``HELLO``/``ACCEPT`` exchange carries the trace id and the
+  clock-offset handshake (:mod:`repro.obs.propagate`), ``SLICE``/
+  ``PIC_DONE`` carry server send timestamps, and — when tracing is on
+  — the server emits the server half of the per-picture end-to-end
+  spans (``e2e.decode``, ``e2e.pace``, ``e2e.wire``);
+* ``metrics_port=`` starts a Prometheus-exposition
+  :class:`~repro.obs.export.MetricsExporter` side port for live
+  scraping, and ``stats_push_pictures=N`` pushes a ``STATS`` frame to
+  each client every N pictures with the live SLO snapshot;
+* every connection owns an :class:`~repro.obs.slo.SLOTracker` fed
+  from client receipts; its snapshot lands in the report and in
+  ``BENCH_net.json``, and a burnout triggers a flight-recorder dump
+  (:mod:`repro.obs.flightrec`) alongside the fail/cancel dumps the
+  service itself performs.
 """
 
 from __future__ import annotations
 
 import asyncio
 import threading
+import time
 
 from repro.analysis.bandwidth import BandwidthProfile, profile_stream
 from repro.net.impair import ImpairedSender, ImpairmentProfile, ImpairmentSchedule
@@ -46,7 +64,16 @@ from repro.net.protocol import (
     encode_message,
     read_message,
 )
+from repro.obs.export import MetricsExporter
 from repro.obs.metrics import metrics
+from repro.obs.propagate import (
+    E2E_CATEGORY,
+    SPAN_DECODE,
+    SPAN_PACE,
+    SPAN_WIRE,
+)
+from repro.obs.slo import SLOPolicy, SLOTracker
+from repro.obs.trace import trace_complete
 from repro.serve.service import DecodeService
 from repro.serve.session import SessionStatus
 
@@ -66,15 +93,26 @@ class NetServer:
         preroll_pictures: int = 1,
         host: str = "127.0.0.1",
         port: int = 0,
+        metrics_port: int | None = None,
+        slo: SLOPolicy | None = None,
+        stats_push_pictures: int = 0,
+        flight_dir: str | None = None,
         **service_kwargs,
     ) -> None:
         if fps <= 0:
             raise ValueError(f"fps must be > 0, got {fps}")
+        if stats_push_pictures < 0:
+            raise ValueError("stats_push_pictures must be >= 0")
         self.streams = dict(streams)
         self.fps = fps
         self.link_bps = link_bps
         self.impairment = impairment
         self.preroll_pictures = preroll_pictures
+        self.slo_policy = slo or SLOPolicy()
+        #: 0 disables server->client STATS pushes.
+        self.stats_push_pictures = stats_push_pictures
+        self.metrics_port = metrics_port
+        self.exporter: MetricsExporter | None = None
         self.host = host
         self._requested_port = port
         self.port: int | None = None
@@ -94,8 +132,11 @@ class NetServer:
             capacity=capacity,
             resilient=resilient,
             preroll_pictures=preroll_pictures,
+            slo_policy=slo,
+            flight_dir=flight_dir,
             **service_kwargs,
         )
+        self._slo_trackers: dict[int, SLOTracker] = {}
         self.connections: list[dict] = []
         self._next_conn = 0
         self._server: asyncio.AbstractServer | None = None
@@ -117,6 +158,11 @@ class NetServer:
             port=self._requested_port,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_port is not None:
+            self.exporter = MetricsExporter(
+                host=self.host, port=self.metrics_port
+            )
+            self.metrics_port = self.exporter.start()
 
     def _run_service(self) -> None:
         self._service_report = self.service.run_forever()
@@ -136,6 +182,8 @@ class NetServer:
         self.service.shutdown(drain=drain)
         if self._service_thread is not None:
             await asyncio.to_thread(self._service_thread.join, 30.0)
+        if self.exporter is not None:
+            self.exporter.stop()
         return self.report()
 
     # ------------------------------------------------------------------
@@ -176,9 +224,22 @@ class NetServer:
             sid = record.get("session")
             if sid is not None:
                 # The cancel path: shed the session, keep the pool clean.
+                self.service.flight.record(
+                    sid, "net.disconnected", conn=conn_id,
+                    error=record["error"],
+                )
+                # Dump here, not just from the service's cancel path: a
+                # fast in-process decode often finishes (DONE) before
+                # the wire notices the hangup, and a done session no
+                # longer cancels — but the broken connection is still
+                # worth an autopsy.
+                self.service.flight_dump(sid, "net-disconnected")
                 self.service.request_cancel(sid)
                 metrics().counter("net.sessions.cancelled").inc()
         finally:
+            tracker = self._slo_trackers.pop(conn_id, None)
+            if tracker is not None and tracker.pictures:
+                record["slo"] = tracker.snapshot()
             sid = record.get("session")
             if sid is not None:
                 self._admitted_bps.pop(sid, None)
@@ -190,9 +251,13 @@ class NetServer:
 
     async def _serve_client(self, conn_id, record, reader, writer) -> None:
         hello = await read_message(reader)
+        hello_recv_ns = time.monotonic_ns()
         if hello is None or hello.type != MSG_HELLO:
             raise ProtocolError("expected HELLO")
         name = hello.header.get("stream")
+        trace_id = hello.header.get("trace")
+        if trace_id is not None:
+            record["trace_id"] = trace_id
         seq = 0
 
         async def reject(reason: str) -> None:
@@ -217,15 +282,22 @@ class NetServer:
             await reject("bandwidth")
             return
         record["session"] = sid
+        self.service.flight.record(
+            sid, "net.hello", conn=conn_id, stream=name, trace=trace_id
+        )
 
         loop = asyncio.get_running_loop()
         frames: asyncio.Queue = asyncio.Queue()
 
         def sink(display_index, frame) -> None:
-            # Runs on the service thread; hop to the event loop.
+            # Runs on the service thread; hop to the event loop.  The
+            # ready timestamp is taken here, on the decode side of the
+            # hop, so the e2e.decode span ends when the picture was
+            # actually produced, not when the loop got around to it.
             try:
                 loop.call_soon_threadsafe(
-                    frames.put_nowait, (display_index, frame)
+                    frames.put_nowait,
+                    (display_index, frame, time.monotonic_ns()),
                 )
             except RuntimeError:  # pragma: no cover - loop tearing down
                 pass
@@ -256,12 +328,23 @@ class NetServer:
                 "peak_bps": profile.peak_bps,
                 "burstiness": profile.burstiness,
             },
+            # Clock-offset handshake: the client sent t_ns in HELLO;
+            # it closes the NTP-style exchange with these two stamps.
+            "clock": {
+                "recv_ns": hello_recv_ns,
+                "send_ns": time.monotonic_ns(),
+            },
         }
+        if trace_id is not None:
+            header["trace"] = trace_id
         writer.write(encode_message(MSG_ACCEPT, seq, header))
         seq += 1
         await writer.drain()
         record["status"] = "streaming"
         metrics().counter("net.sessions.accepted").inc()
+        tracker = SLOTracker(self.slo_policy, session=sid)
+        self._slo_trackers[conn_id] = tracker
+        self.service.flight.record(sid, "net.accept", conn=conn_id)
 
         schedule = (
             ImpairmentSchedule(self.impairment)
@@ -270,11 +353,12 @@ class NetServer:
         )
         sender = ImpairedSender(writer, schedule)
         stats_task = asyncio.ensure_future(
-            self._read_stats(reader, record)
+            self._read_stats(reader, record, tracker)
         )
         try:
             await self._stream_pictures(
-                record, sess, frames, sender, seq, pictures, mb_height
+                record, sess, frames, sender, seq, pictures, mb_height,
+                tracker,
             )
             # The client may close as soon as it has every picture; the
             # stats reader finishing (EOF) is not an error here.
@@ -284,18 +368,24 @@ class NetServer:
                 stats_task.cancel()
             record["impair"] = sender.stats.to_json()
         record["status"] = "done"
+        self.service.flight.record(sid, "net.done", conn=conn_id)
 
     async def _stream_pictures(
-        self, record, sess, frames, sender, seq, pictures, mb_height
+        self, record, sess, frames, sender, seq, pictures, mb_height,
+        tracker=None,
     ) -> None:
         """Pace display-ordered pictures onto the wire as slice bands."""
         loop = asyncio.get_running_loop()
         period = 1.0 / self.fps
         t0: float | None = None
         sent_pics = 0
+        sid = record.get("session")
+        # Decode-span anchor: the pipeline is busy on this picture from
+        # the moment the previous one was ready (or from stream start).
+        prev_ready_ns = time.monotonic_ns()
         while sent_pics < pictures:
             try:
-                display_index, frame = await asyncio.wait_for(
+                display_index, frame, ready_ns = await asyncio.wait_for(
                     frames.get(), timeout=0.5
                 )
             except asyncio.TimeoutError:
@@ -312,6 +402,12 @@ class NetServer:
                     )
                     return
                 continue
+            trace_complete(
+                SPAN_DECODE, E2E_CATEGORY,
+                prev_ready_ns, max(0, ready_ns - prev_ready_ns),
+                session=sid, pic=display_index,
+            )
+            prev_ready_ns = ready_ns
             now = loop.time()
             if t0 is None:
                 t0 = now
@@ -319,25 +415,43 @@ class NetServer:
                 deadline = t0 + (display_index + self.preroll_pictures) * period
                 if deadline > now:
                     await asyncio.sleep(deadline - now)
+            wire_start_ns = time.monotonic_ns()
+            trace_complete(
+                SPAN_PACE, E2E_CATEGORY,
+                ready_ns, max(0, wire_start_ns - ready_ns),
+                session=sid, pic=display_index,
+            )
             if frame is None:
                 # Shed by degradation: reliable commit, zero bands.
+                # Counts as a deadline miss — the viewer never saw it.
                 await sender.send(
                     encode_message(
                         MSG_PIC_DONE, seq,
                         {"pic": display_index, "bands": 0,
-                         "rows": mb_height, "shed": True},
+                         "rows": mb_height, "shed": True,
+                         "ts": time.monotonic_ns()},
                     ),
                     droppable=False, seq=seq,
                 )
                 seq += 1
                 sent_pics += 1
+                if tracker is not None:
+                    tracker.observe(shed=True)
+                if (
+                    self.stats_push_pictures
+                    and sent_pics % self.stats_push_pictures == 0
+                ):
+                    seq = await self._push_stats(
+                        sender, seq, sid, display_index, tracker
+                    )
                 continue
             bands = 0
             for row in range(mb_height):
                 ok = await sender.send(
                     encode_message(
                         MSG_SLICE, seq,
-                        {"pic": display_index, "row": row},
+                        {"pic": display_index, "row": row,
+                         "ts": time.monotonic_ns()},
                         band_bytes(frame, row),
                     ),
                     droppable=True, seq=seq,
@@ -349,13 +463,25 @@ class NetServer:
                 encode_message(
                     MSG_PIC_DONE, seq,
                     {"pic": display_index, "bands": bands,
-                     "rows": mb_height},
+                     "rows": mb_height, "ts": time.monotonic_ns()},
                 ),
                 droppable=False, seq=seq,
             )
             seq += 1
             sent_pics += 1
+            trace_complete(
+                SPAN_WIRE, E2E_CATEGORY,
+                wire_start_ns, max(0, time.monotonic_ns() - wire_start_ns),
+                session=sid, pic=display_index, bands=bands,
+            )
             metrics().counter("net.pictures.sent").inc()
+            if (
+                self.stats_push_pictures
+                and sent_pics % self.stats_push_pictures == 0
+            ):
+                seq = await self._push_stats(
+                    sender, seq, sid, display_index, tracker
+                )
         await sender.flush()
         await sender.send(
             encode_message(
@@ -366,14 +492,59 @@ class NetServer:
             droppable=False, seq=seq,
         )
 
-    async def _read_stats(self, reader, record) -> None:
-        """Drain client STATS receipts until EOF."""
+    async def _push_stats(self, sender, seq, sid, pic, tracker) -> int:
+        """Push one server->client STATS frame (live SLO + metrics)."""
+        snapshot = metrics().snapshot()
+        digest = {
+            name: value
+            for name, value in snapshot.get("counters", {}).items()
+            if name.startswith("net.")
+        }
+        await sender.send(
+            encode_message(
+                MSG_STATS, seq,
+                {
+                    "src": "server",
+                    "session": sid,
+                    "pic": pic,
+                    "slo": tracker.snapshot() if tracker else None,
+                    "metrics": digest,
+                },
+            ),
+            droppable=False, seq=seq,
+        )
+        metrics().counter("net.stats.pushed").inc()
+        return seq + 1
+
+    async def _read_stats(self, reader, record, tracker=None) -> None:
+        """Drain client STATS receipts until EOF, feeding the SLO."""
+        sid = record.get("session")
+        slo_dumped = False
         while True:
             msg = await read_message(reader)
             if msg is None:
                 return
             if msg.type == MSG_STATS:
                 record["stats"].append(msg.header)
+                if tracker is None:
+                    continue
+                hdr = msg.header
+                concealed = hdr.get("concealed_temporal", 0) + hdr.get(
+                    "concealed_spatial", 0
+                )
+                tracker.observe(
+                    late_s=max(0.0, hdr.get("late_ms", 0.0)) / 1e3,
+                    concealed_rows=concealed,
+                    rows=hdr.get("rows", 0),
+                )
+                if tracker.burned_out and not slo_dumped and sid:
+                    slo_dumped = True
+                    self.service.flight.record(
+                        sid, "slo.burnout",
+                        breaches=tracker.breaches(),
+                        burn_rate=tracker.burn_rate,
+                    )
+                    self.service.flight_dump(sid, "slo-burnout")
 
     # ------------------------------------------------------------------
     def report(self) -> dict:
@@ -389,5 +560,8 @@ class NetServer:
             "streams": sorted(self.streams),
             "connections": self.connections,
             "client_concealed_slices": concealed,
+            "slo_policy": self.slo_policy.to_json(),
+            "metrics_port": self.metrics_port,
+            "flight_dumps": list(self.service.flight_dumps),
             "service": service,
         }

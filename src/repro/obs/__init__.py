@@ -14,7 +14,35 @@ Three always-compiled-in facilities, wired through every decode path
   reason vocabulary shared by the SMP simulator (cycles) and the mp
   pipeline (seconds), so simulated and real "% time blocked"
   breakdowns are directly comparable (paper Table 3).
+
+PR-8 extends the layer across the socket boundary:
+
+* :mod:`repro.obs.propagate` — trace/session ids, the clock-offset
+  handshake and merging of client+server trace shards into one
+  end-to-end timeline with per-picture spans.
+* :mod:`repro.obs.export` — Prometheus text-exposition exporter on a
+  stdlib HTTP side port, plus the matching parser for tests/CI.
+* :mod:`repro.obs.slo` — declarative per-session objectives evaluated
+  online with burn-rate accounting.
+* :mod:`repro.obs.flightrec` — always-on bounded per-session event
+  rings, dumped as JSON when a session fails, cancels or burns out.
 """
+
+from repro.obs.export import (
+    MetricsExporter,
+    parse_exposition,
+    render_exposition,
+)
+from repro.obs.flightrec import FlightRecorder
+from repro.obs.propagate import (
+    ClockSync,
+    TraceJoinError,
+    merge_traces,
+    new_trace_id,
+    validate_joins,
+    waterfall,
+)
+from repro.obs.slo import SLOPolicy, SLOTracker
 
 from repro.obs.metrics import (
     Counter,
@@ -57,6 +85,18 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "MetricsExporter",
+    "parse_exposition",
+    "render_exposition",
+    "FlightRecorder",
+    "ClockSync",
+    "TraceJoinError",
+    "merge_traces",
+    "new_trace_id",
+    "validate_joins",
+    "waterfall",
+    "SLOPolicy",
+    "SLOTracker",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,196 @@
+"""Live metrics export: Prometheus text exposition over stdlib HTTP.
+
+The PR-3 metrics registry was snapshot-at-exit only; this module makes
+it scrapeable while a server is running.  ``render_exposition`` turns a
+registry snapshot into Prometheus text exposition format 0.0.4 —
+counters as ``*_total``, gauges as a value plus a ``*_max`` high-water
+series, histograms as summaries with ``quantile`` labels — and
+``MetricsExporter`` serves it from a daemonised
+``ThreadingHTTPServer`` on a side port (stdlib only; no client
+libraries, no dependencies).
+
+The exporter meters itself: every scrape bumps
+``obs.export.scrapes`` and records ``obs.export.render_ms``, so the
+cost of being observed is itself observable (the overhead-guard test
+pins it).  ``parse_exposition`` is the matching reader used by tests
+and CI to assert on scraped values without a Prometheus binary.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+
+from .metrics import MetricsRegistry, metrics
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: quantiles exported for each histogram (from its snapshot fields)
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted registry name onto the Prometheus grammar.
+
+    ``net.pictures.sent`` becomes ``repro_net_pictures_sent`` — dots
+    (and anything else outside ``[a-zA-Z0-9_:]``) collapse to ``_`` and
+    every series carries the ``repro_`` namespace prefix.
+    """
+
+    clean = _NAME_OK.sub("_", name.strip())
+    if not clean or not (clean[0].isalpha() or clean[0] in "_:"):
+        clean = "_" + clean
+    return f"repro_{clean}"
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_exposition(snapshot: Mapping[str, Any]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as exposition text."""
+
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = sanitize_metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges", {})):
+        gauge = snapshot["gauges"][name]
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(gauge.get('value', 0.0))}")
+        lines.append(f"# TYPE {metric}_max gauge")
+        lines.append(f"{metric}_max {_fmt(gauge.get('max', 0.0))}")
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        count = hist.get("count", 0)
+        for label, key in _QUANTILES:
+            if key in hist:
+                lines.append(
+                    f'{metric}{{quantile="{label}"}} {_fmt(hist[key])}'
+                )
+        lines.append(f"{metric}_sum {_fmt(hist.get('sum', 0.0))}")
+        lines.append(f"{metric}_count {_fmt(count)}")
+        if "max" in hist:
+            lines.append(f"# TYPE {metric}_max gauge")
+            lines.append(f"{metric}_max {_fmt(hist['max'])}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> dict[str, float]:
+    """Parse exposition text back into ``{series: value}``.
+
+    Labelled series keep their label block verbatim in the key
+    (``repro_x{quantile="0.99"}``).  Used by tests and the CI telemetry
+    job to assert on scraped values without external tooling.
+    """
+
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        if not series:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        out[series] = float(value)
+    return out
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-metrics/1.0"
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
+        exporter: MetricsExporter = self.server.exporter  # type: ignore[attr-defined]
+        if self.path.rstrip("/") not in ("", "/metrics"):
+            self.send_error(404, "try /metrics")
+            return
+        body = exporter.scrape().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        # Scrapes are periodic; don't spam the server's stderr.
+        pass
+
+
+class MetricsExporter:
+    """A pull-based /metrics endpoint over the process registry.
+
+    ``port=0`` binds an ephemeral port (the bound port is returned by
+    :meth:`start` and kept in :attr:`port`), which is what tests use.
+    The serving thread is a daemon so a crashed server never hangs on
+    its exporter.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._registry = registry
+        self.host = host
+        self.port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else metrics()
+
+    def scrape(self) -> str:
+        """Render the registry, metering the scrape itself."""
+
+        t0 = time.perf_counter()
+        # Metered before rendering so a scrape observes itself; the
+        # render time necessarily lands one scrape late.
+        self.registry.counter("obs.export.scrapes").inc()
+        text = render_exposition(self.registry.snapshot())
+        self.registry.histogram("obs.export.render_ms").observe(
+            (time.perf_counter() - t0) * 1000.0
+        )
+        return text
+
+    def start(self) -> int:
+        if self._httpd is not None:
+            return self.port
+        httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        httpd.daemon_threads = True
+        httpd.exporter = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self.port = httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="repro-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"

@@ -1,0 +1,106 @@
+"""Per-session flight recorder: bounded event rings + postmortem dumps.
+
+When a session dies mid-stream — corrupt input, a client walking away,
+an SLO burning out — the interesting evidence is the last few hundred
+events *before* the failure: admissions, degrade ladder moves, dropped
+pictures, concealments, worker deaths.  Traces capture that too, but
+only when tracing was enabled up front; the flight recorder is always
+on, bounded, and dumps automatically at the moment of failure.
+
+Each session owns a ring of at most ``capacity`` events; older events
+fall off the front and are counted in ``dropped`` so a dump is honest
+about what it no longer holds.  Recording is a deque append plus a
+small dict build — cheap enough to leave on unconditionally in the
+serve and net paths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from collections import deque
+from typing import Any, Callable
+
+DEFAULT_CAPACITY = 256
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _safe_name(text: str) -> str:
+    return _SAFE.sub("_", text) or "session"
+
+
+class FlightRecorder:
+    """Bounded per-session event rings with JSON postmortem dumps."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        clock: Callable[[], int] = time.monotonic_ns,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._clock = clock
+        self._rings: dict[str, deque[dict[str, Any]]] = {}
+        self._dropped: dict[str, int] = {}
+        self._dump_count = 0
+
+    def record(self, session: str, kind: str, **detail: Any) -> None:
+        """Append one event to a session's ring (creating it lazily)."""
+
+        ring = self._rings.get(session)
+        if ring is None:
+            ring = deque(maxlen=self.capacity)
+            self._rings[session] = ring
+            self._dropped[session] = 0
+        if len(ring) == self.capacity:
+            self._dropped[session] += 1
+        event: dict[str, Any] = {"t_ns": self._clock(), "kind": kind}
+        if detail:
+            event.update(detail)
+        ring.append(event)
+
+    def events(self, session: str) -> list[dict[str, Any]]:
+        return list(self._rings.get(session, ()))
+
+    def sessions(self) -> list[str]:
+        return sorted(self._rings)
+
+    def discard(self, session: str) -> None:
+        """Forget a session that ended cleanly — nothing to autopsy."""
+
+        self._rings.pop(session, None)
+        self._dropped.pop(session, None)
+
+    def dump(self, session: str, reason: str) -> dict[str, Any]:
+        """Build the postmortem document for one session."""
+
+        return {
+            "session": session,
+            "reason": reason,
+            "dumped_at_ns": self._clock(),
+            "capacity": self.capacity,
+            "dropped": self._dropped.get(session, 0),
+            "events": self.events(session),
+        }
+
+    def dump_to(self, directory: str, session: str, reason: str) -> str:
+        """Write the postmortem JSON to ``directory`` and return its path.
+
+        File names carry the session and reason plus a running counter
+        so repeated failures of one session never overwrite evidence.
+        """
+
+        os.makedirs(directory, exist_ok=True)
+        self._dump_count += 1
+        name = (
+            f"flight-{_safe_name(session)}-{_safe_name(reason)}-"
+            f"{self._dump_count:03d}.json"
+        )
+        path = os.path.join(directory, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.dump(session, reason), fh, indent=1)
+        return path

@@ -250,6 +250,12 @@ def to_chrome(events: Iterable[dict]) -> dict:
     microseconds from the earliest non-metadata event, so traces open
     at t=0 in Perfetto regardless of machine uptime.  Metadata ("M")
     events keep ts 0 and sort first.
+
+    The rebase origin is preserved as a top-level ``baseTimeNs`` key
+    (ignored by Chrome/Perfetto): ``baseTimeNs + ts * 1000`` restores
+    each event's absolute monotonic nanosecond timestamp, which is
+    what lets independently exported shards from different processes
+    be merged onto one timeline (``repro.obs.propagate``).
     """
     raw = sorted(events, key=lambda e: (e.get("ph") != "M", e.get("ts", 0)))
     base = min(
@@ -264,7 +270,11 @@ def to_chrome(events: Iterable[dict]) -> dict:
             if "dur" in c:
                 c["dur"] = c["dur"] / 1000.0
         out.append(c)
-    return {"traceEvents": out, "displayTimeUnit": "ms"}
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "baseTimeNs": int(base),
+    }
 
 
 def validate_chrome_trace(doc: dict) -> list[dict]:

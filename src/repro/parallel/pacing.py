@@ -178,6 +178,32 @@ class WallClockPacer:
             out.append({"lateness_s": x, "fraction": frac})
         return out
 
+    def lateness_percentiles(self) -> dict[str, float]:
+        """Fixed lateness percentiles in seconds: p50/p90/p99/max.
+
+        The compact replacement for shipping the full :meth:`miss_cdf`
+        knot list in bench payloads — four numbers instead of
+        thousands of per-picture samples (linear interpolation between
+        order statistics, max exact).
+        """
+        ordered = sorted(self.lateness)
+        if not ordered:
+            return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+
+        def pct(q: float) -> float:
+            pos = q * (len(ordered) - 1)
+            lo = int(pos)
+            hi = min(lo + 1, len(ordered) - 1)
+            frac = pos - lo
+            return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+        return {
+            "p50": pct(0.50),
+            "p90": pct(0.90),
+            "p99": pct(0.99),
+            "max": ordered[-1],
+        }
+
     def summary(self) -> dict[str, float]:
         return {
             "emitted": self.emitted,

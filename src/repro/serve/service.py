@@ -41,9 +41,12 @@ suite leans on.
 
 from __future__ import annotations
 
+import glob
+import json
 import multiprocessing
 import os
 import queue as queue_mod
+import shutil
 import tempfile
 import threading
 import time
@@ -52,7 +55,9 @@ from typing import Callable
 from repro.mpeg2.counters import WorkCounters
 from repro.mpeg2.decoder import DecodeError
 from repro.mpeg2.frame import Frame
-from repro.obs.metrics import metrics
+from repro.obs.flightrec import FlightRecorder
+from repro.obs.metrics import metrics, reset_metrics
+from repro.obs.slo import SLOPolicy
 from repro.obs.stalls import (
     REASON_ADMISSION,
     REASON_DEGRADE_DROP_B,
@@ -99,12 +104,28 @@ def _exc_payload(exc: BaseException) -> tuple[str, str]:
 # ======================================================================
 # worker side
 # ======================================================================
+def _write_metrics_shard(path: str) -> None:
+    """Persist this process's metrics snapshot (atomic replace).
+
+    Mirrors the trace-shard protocol: workers overwrite their own
+    ``metrics-<pid>.json`` after every task, so whatever a worker had
+    recorded survives even if it is later killed mid-task; the parent
+    merges all shards at shutdown (``os.replace`` keeps a concurrent
+    kill from ever exposing a torn file).
+    """
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(metrics().snapshot(), fh)
+    os.replace(tmp, path)
+
+
 def _serve_worker_main(
     wid: int,
     meta: dict,
     task_q,
     result_q,
     trace_dir: str | None,
+    obs_dir: str | None,
     crash_task: tuple | None,
     hang_task: tuple | None,
 ) -> None:
@@ -121,6 +142,15 @@ def _serve_worker_main(
     """
     name = f"serve-worker-{wid}"
     pid = os.getpid()
+    # Under fork the child inherits the parent's already-populated
+    # registry; counting from zero keeps shard merges from double-
+    # counting the parent's totals.
+    reset_metrics()
+    metrics_shard = (
+        os.path.join(obs_dir, f"metrics-{pid}.json")
+        if obs_dir is not None
+        else None
+    )
     shard = (
         os.path.join(trace_dir, f"shard-{pid}.jsonl")
         if trace_dir is not None
@@ -175,6 +205,7 @@ def _serve_worker_main(
                     time.sleep(60.0)
             m = meta[sid]
             counters = WorkCounters()
+            task_t0 = time.perf_counter()
             try:
                 with trace_span(
                     "serve.task", cat="serve",
@@ -191,15 +222,25 @@ def _serve_worker_main(
                             m["resilient"],
                             counters,
                         )
+                metrics().counter("serve.worker.pictures").inc(len(orders))
                 result_q.put(("ok", wid, sid, key, counters))
             except BaseException as exc:  # containment: report, carry on
                 cls, msg_text = _exc_payload(exc)
+                metrics().counter("serve.worker.task_errors").inc()
                 result_q.put(("err", wid, sid, key, cls, msg_text))
+            metrics().counter("serve.worker.tasks").inc()
+            metrics().histogram("serve.worker.task_ms").observe(
+                (time.perf_counter() - task_t0) * 1e3
+            )
+            if metrics_shard is not None:
+                _write_metrics_shard(metrics_shard)
             tracer = get_tracer()
             if tracer is not None and shard is not None:
                 tracer.write_shard(shard)
             last_end = time.monotonic_ns()
         result_q.put(("obs", wid, None, stalls.snapshot()))
+        if metrics_shard is not None:
+            _write_metrics_shard(metrics_shard)
         tracer = get_tracer()
         if tracer is not None and shard is not None:
             tracer.instant("serve.worker.stop", cat="serve")
@@ -264,6 +305,8 @@ class DecodeService:
         preroll_pictures: int = 0,
         clock: Callable[[], float] = time.monotonic,
         bench_path: str | None = None,
+        slo_policy: SLOPolicy | None = None,
+        flight_dir: str | None = None,
         _crash_task: tuple | None = None,  # (wid, sid, key) test hook
         _hang_task: tuple | None = None,   # (wid, sid, key) test hook
     ) -> None:
@@ -291,6 +334,16 @@ class DecodeService:
         self.policy = policy or DegradePolicy()
         self.preroll_pictures = preroll_pictures
         self.clock = clock
+        self.slo_policy = slo_policy
+        #: Always-on bounded per-session event rings; ``flight_dir``
+        #: additionally enables automatic JSON dumps on fail/cancel/
+        #: SLO-burnout (paths collected in :attr:`flight_dumps`).
+        self.flight = FlightRecorder()
+        self.flight_dir = flight_dir
+        self.flight_dumps: list[str] = []
+        #: Per-worker metrics snapshots merged at shutdown
+        #: (``[{"pid": ..., "metrics": ...}]``); empty for workers=0.
+        self.last_worker_metrics: list[dict] = []
         self._crash_task = _crash_task
         self._hang_task = _hang_task
 
@@ -370,6 +423,7 @@ class DecodeService:
                 fps=self.fps,
                 preroll_pictures=self.preroll_pictures,
                 policy=self.policy,
+                slo_policy=self.slo_policy,
             )
         except Exception as exc:
             # Corrupt-input containment, scan stage: the poison stream
@@ -377,18 +431,26 @@ class DecodeService:
             sess = StreamSession.failed(name, exc)
             self.sessions[name] = sess
             metrics().counter("serve.sessions.failed_scan").inc()
+            self.flight.record(
+                name, "scan.failed",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            self.flight_dump(name, "scan-failed")
             return sess
         tasks = sess.tasks()
         verdict = self.scheduler.submit(name, tasks, weight=weight)
         if verdict is Admission.ADMITTED:
             sess.status = SessionStatus.ACTIVE
             sess.admitted_at = self.clock()
+            self.flight.record(name, "admitted", tasks=len(tasks))
         elif verdict is Admission.QUEUED:
             sess.status = SessionStatus.QUEUED
             sess.queued_at = self.clock()
+            self.flight.record(name, "queued")
         else:
             sess.status = SessionStatus.REJECTED
             metrics().counter("serve.sessions.rejected").inc()
+            self.flight.record(name, "rejected")
         for t in tasks:
             self._tasks_by_key[(name, t.key)] = t
         self.sessions[name] = sess
@@ -457,12 +519,23 @@ class DecodeService:
             self._stop = True
             self._drain = drain
 
+    def flight_dump(self, sid: str, reason: str) -> str | None:
+        """Dump a session's flight ring (no-op without ``flight_dir``)."""
+        if self.flight_dir is None:
+            return None
+        path = self.flight.dump_to(self.flight_dir, sid, reason)
+        self.flight_dumps.append(path)
+        metrics().counter("obs.flight.dumps").inc()
+        return path
+
     def _cancel_session(self, sid: str) -> None:
         sess = self.sessions.get(sid)
         if sess is None or sess.terminal:
             return
         sess.status = SessionStatus.CANCELLED
         metrics().counter("serve.sessions.cancelled").inc()
+        self.flight.record(sid, "cancelled")
+        self.flight_dump(sid, "cancelled")
         self._promote(self.scheduler.finish_session(sid))
 
     def _process_intake(self) -> None:
@@ -525,6 +598,11 @@ class DecodeService:
             if dropped:
                 sess.dropped_pictures += 1
                 metrics().counter("serve.pictures.dropped").inc()
+                self.flight.record(
+                    sess.name, "picture.dropped", pic=display_index
+                )
+                if sess.slo is not None:
+                    sess.slo.observe(shed=True)
                 if sink is not None:
                     sink(display_index, None)
                 continue
@@ -542,6 +620,20 @@ class DecodeService:
                     metrics().histogram("serve.deadline.lateness_ms").observe(
                         late_s * 1e3
                     )
+                    self.flight.record(
+                        sess.name, "deadline.miss",
+                        pic=display_index, late_ms=late_s * 1e3,
+                    )
+                if sess.slo is not None:
+                    sess.slo.observe(late_s=late_s)
+                    if sess.slo.burned_out and not sess.slo_dumped:
+                        sess.slo_dumped = True
+                        self.flight.record(
+                            sess.name, "slo.burnout",
+                            breaches=sess.slo.breaches(),
+                            burn_rate=sess.slo.burn_rate,
+                        )
+                        self.flight_dump(sess.name, "slo-burnout")
                 action = sess.degrade.on_emit(late_s > 0)
                 if action is not None:
                     self._apply_degrade(sess, action, late_s)
@@ -572,6 +664,10 @@ class DecodeService:
         # for the fuzz suite's invariants).
         if action == ACTION_DROP_B:
             assert all(t.kind == "b" for t in dropped)
+        self.flight.record(
+            sess.name, "degrade", action=reason, tasks=len(dropped),
+            debt_ms=max(debt_s, 0.0) * 1e3,
+        )
         self.last_stalls.record(sess.name, reason, max(debt_s, 0.0))
         trace_complete(
             "serve.degrade", "stall",
@@ -591,6 +687,8 @@ class DecodeService:
         if self.scheduler.session_idle(sid) and sess.display_done:
             sess.status = SessionStatus.DONE
             metrics().counter("serve.sessions.done").inc()
+            # Clean finish: nothing to autopsy, release the ring.
+            self.flight.discard(sid)
             self._promote(self.scheduler.finish_session(sid))
 
     def _fail_session(self, sid: str, error: BaseException | dict) -> None:
@@ -599,6 +697,8 @@ class DecodeService:
             return
         sess.fail(error)
         metrics().counter("serve.sessions.failed").inc()
+        self.flight.record(sid, "failed", error=sess.error)
+        self.flight_dump(sid, "failed")
         self._promote(self.scheduler.finish_session(sid))
 
     def _promote(self, promoted: list[str]) -> None:
@@ -738,6 +838,7 @@ class DecodeService:
             sid = task.session
             sess = self.sessions[sid]
             counters = WorkCounters()
+            task_t0 = time.perf_counter()
             try:
                 for order in task.orders:
                     decode_picture_into_pool(
@@ -753,23 +854,57 @@ class DecodeService:
             except Exception as exc:
                 # No scheduler.complete(): _fail_session retires the
                 # whole lane, in-flight task included.
+                metrics().counter("serve.worker.task_errors").inc()
                 self._handle_err(sid, task.key, *(_exc_payload(exc)))
                 continue
+            finally:
+                # Same worker-metric names as the mp path (the parent
+                # stands in for the worker), so report consumers see
+                # one vocabulary regardless of ``workers``.
+                metrics().counter("serve.worker.tasks").inc()
+                metrics().histogram("serve.worker.task_ms").observe(
+                    (time.perf_counter() - task_t0) * 1e3
+                )
+            metrics().counter("serve.worker.pictures").inc(len(task.orders))
             self._handle_ok(sid, task.key, counters)
 
     # -- real processes ------------------------------------------------
-    def _spawn_worker(self, ctx, wid: int, meta: dict, result_q, trace_dir):
+    def _spawn_worker(
+        self, ctx, wid: int, meta: dict, result_q, trace_dir, obs_dir
+    ):
         task_q = ctx.Queue()
         proc = ctx.Process(
             target=_serve_worker_main,
             args=(
-                wid, meta, task_q, result_q, trace_dir,
+                wid, meta, task_q, result_q, trace_dir, obs_dir,
                 self._crash_task, self._hang_task,
             ),
             daemon=True,
         )
         proc.start()
         return {"proc": proc, "task_q": task_q, "wid": wid}
+
+    def _collect_metric_shards(self, obs_dir: str) -> None:
+        """Merge per-pid worker metric shards into the parent registry.
+
+        Runs after every worker has been joined, so each shard is that
+        worker's final state.  Shards from workers killed mid-write
+        cannot occur (atomic replace), but unreadable files are skipped
+        rather than failing teardown.  The per-pid snapshots are kept
+        on :attr:`last_worker_metrics` so callers (and the regression
+        test) can check parent totals == sum of worker totals.
+        """
+        for path in sorted(glob.glob(os.path.join(obs_dir, "metrics-*.json"))):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    snap = json.load(fh)
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                continue
+            pid_text = os.path.basename(path)[len("metrics-"):-len(".json")]
+            self.last_worker_metrics.append(
+                {"pid": int(pid_text), "metrics": snap}
+            )
+            metrics().merge_snapshot(snap)
 
     def _run_mp(self) -> None:
         ctx = multiprocessing.get_context(self.start_method)
@@ -788,6 +923,9 @@ class DecodeService:
             if tracing_enabled()
             else None
         )
+        # Worker metric shards (unconditional — unlike tracing, the
+        # metrics registry is always on and recording is cheap).
+        obs_dir = tempfile.mkdtemp(prefix="repro-serve-obs-")
         # Frame pools, bitstream arenas (published once per session) +
         # the immutable worker-side decode context for every admitted
         # (active or queued) session.
@@ -822,6 +960,7 @@ class DecodeService:
             ):
                 seg.close()
                 seg.unlink()
+            shutil.rmtree(obs_dir, ignore_errors=True)
             return
 
         result_q = ctx.Queue()
@@ -832,7 +971,7 @@ class DecodeService:
         next_wid = 0
         for _ in range(self.workers):
             workers[next_wid] = self._spawn_worker(
-                ctx, next_wid, meta, result_q, trace_dir
+                ctx, next_wid, meta, result_q, trace_dir, obs_dir
             )
             next_wid += 1
 
@@ -908,6 +1047,11 @@ class DecodeService:
             held = assignment.pop(wid, None)
             metrics().counter(f"serve.worker.{why}").inc()
             if held is not None:
+                self.flight.record(
+                    held[0].session, "worker.lost", wid=wid, why=why,
+                    key=str(held[0].key),
+                )
+            if held is not None:
                 depth_gauge.dec()
                 task, _t0 = held
                 sess = self.sessions[task.session]
@@ -933,7 +1077,7 @@ class DecodeService:
                     self.scheduler.requeue(task)
             # Keep the pool at strength: one replacement per loss.
             workers[next_wid] = self._spawn_worker(
-                ctx, next_wid, meta, result_q, trace_dir
+                ctx, next_wid, meta, result_q, trace_dir, obs_dir
             )
             next_wid += 1
 
@@ -1049,6 +1193,11 @@ class DecodeService:
             ):
                 seg.close()
                 seg.unlink()
+            # Workers are joined: merge their final metric shards (the
+            # cross-process gap fix — worker counters now reach the
+            # parent registry), then the shards are gone.
+            self._collect_metric_shards(obs_dir)
+            shutil.rmtree(obs_dir, ignore_errors=True)
             if trace_dir is not None:
                 collect_trace_shards(trace_dir)
 

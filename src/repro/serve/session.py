@@ -21,6 +21,7 @@ from typing import Iterator
 
 from repro.mpeg2.counters import WorkCounters
 from repro.mpeg2.index import build_index
+from repro.obs.slo import SLOPolicy, SLOTracker
 from repro.parallel.mp import FrameLayout
 from repro.parallel.mp_slice import DisplayMerger, PicturePlan, scan_slice_tasks
 from repro.parallel.pacing import WallClockPacer
@@ -50,6 +51,7 @@ class StreamSession:
         fps: float | None = None,
         preroll_pictures: int = 0,
         policy: DegradePolicy | None = None,
+        slo_policy: SLOPolicy | None = None,
     ) -> None:
         if weight <= 0:
             raise ValueError(f"weight must be > 0, got {weight}")
@@ -69,6 +71,16 @@ class StreamSession:
             rate_hz=fps, preroll_pictures=preroll_pictures
         )
         self.degrade = DegradeState(policy or DegradePolicy())
+        #: Online SLO evaluation of emit-time deadlines; only tracked
+        #: when the service declared objectives AND the session is
+        #: paced (no deadlines, nothing to evaluate).
+        self.slo = (
+            SLOTracker(slo_policy, session=name)
+            if slo_policy is not None and fps is not None
+            else None
+        )
+        #: one burnout flight-dump per session, not one per picture
+        self.slo_dumped = False
         self.status = SessionStatus.PENDING
         self.error: dict | None = None
         #: Work counters (sequential-oracle parity): GOP + picture
@@ -114,6 +126,8 @@ class StreamSession:
         sess.merger = DisplayMerger(0)
         sess.pacer = WallClockPacer(rate_hz=None)
         sess.degrade = DegradeState(DegradePolicy())
+        sess.slo = None
+        sess.slo_dumped = False
         sess.status = SessionStatus.FAILED
         sess.error = {
             "type": type(error).__name__,
@@ -238,6 +252,8 @@ class StreamSession:
             "degrade": self.degrade.snapshot(),
             "deadline": self.pacer.summary() if self.pacer.enabled else None,
         }
+        if self.slo is not None:
+            doc["slo"] = self.slo.snapshot()
         if self.error is not None:
             doc["error"] = self.error
         return doc

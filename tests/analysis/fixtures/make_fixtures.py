@@ -1,0 +1,157 @@
+"""Regenerate the committed miniature trace fixtures.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/analysis/fixtures/make_fixtures.py
+
+The fixtures are deterministic synthetic traces built through the real
+``to_chrome`` exporter (so their shape always matches what the tracer
+writes), small enough to read by eye and committed so the obs_report
+CLI tests need no live decode:
+
+* ``solo_trace.json`` — one process with decode/idct spans and a stall,
+  for the single-file report path;
+* ``server_shard.json`` / ``client_shard.json`` — a matched pair of
+  e2e shards (3 pictures, one concealment, a clock.sync instant with a
+  2ms offset) for the ``--merged`` path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.propagate import (
+    EVENT_CLOCK_SYNC,
+    EVENT_DEADLINE,
+    SPAN_CONCEAL,
+    SPAN_DECODE,
+    SPAN_PACE,
+    SPAN_REASSEMBLE,
+    SPAN_WIRE,
+)
+from repro.obs.trace import to_chrome
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+MS = 1_000_000  # ns
+SESSION = "fix#0"
+#: client clock = server clock - OFFSET (so offset_ns = +2ms)
+OFFSET_NS = 2 * MS
+
+
+def _meta(pid: int, name: str) -> dict:
+    return {
+        "ph": "M", "name": "process_name", "ts": 0,
+        "pid": pid, "tid": 0, "args": {"name": name},
+    }
+
+
+def _span(name, cat, pid, ts, dur, **args) -> dict:
+    return {
+        "ph": "X", "name": name, "cat": cat, "pid": pid, "tid": 0,
+        "ts": ts, "dur": dur, "args": args,
+    }
+
+
+def _instant(name, cat, pid, ts, **args) -> dict:
+    return {
+        "ph": "i", "name": name, "cat": cat, "pid": pid, "tid": 0,
+        "ts": ts, "s": "t", "args": args,
+    }
+
+
+def solo_trace() -> dict:
+    base = 50 * MS
+    events = [_meta(100, "decode worker")]
+    for i in range(3):
+        t = base + i * 10 * MS
+        events.append(_span("decode.picture", "decode", 100, t, 6 * MS, pic=i))
+        events.append(_span("idct", "decode", 100, t + 1 * MS, 2 * MS))
+        events.append(
+            _span(
+                "stall.input", "stall", 100, t + 7 * MS, 1 * MS,
+                reason="input",
+            )
+        )
+    return to_chrome(events)
+
+
+def server_shard() -> dict:
+    base = 1000 * MS  # server clock
+    events = [_meta(100, "net-serve (acceptor+service)")]
+    for pic in range(3):
+        t = base + pic * 33 * MS
+        events.append(
+            _span(SPAN_DECODE, "e2e", 100, t, 4 * MS, session=SESSION, pic=pic)
+        )
+        events.append(
+            _span(
+                SPAN_PACE, "e2e", 100, t + 4 * MS, 20 * MS,
+                session=SESSION, pic=pic,
+            )
+        )
+        events.append(
+            _span(
+                SPAN_WIRE, "e2e", 100, t + 24 * MS, 2 * MS,
+                session=SESSION, pic=pic, bands=8,
+            )
+        )
+    return to_chrome(events)
+
+
+def client_shard() -> dict:
+    # Client timestamps sit on a clock 2ms BEHIND the server's; its
+    # recorded offset (+2ms) shifts them back during the merge.
+    base = 1000 * MS - OFFSET_NS
+    events = [_meta(200, "net-client (fix)")]
+    events.append(
+        _instant(
+            EVENT_CLOCK_SYNC, "e2e", 200, base,
+            session=SESSION, offset_ns=OFFSET_NS, rtt_ns=MS,
+            error_bound_ns=MS // 2 + 1,
+        )
+    )
+    for pic in range(3):
+        # reassembly starts 2ms after the server's wire send (the
+        # synthetic one-way flight), expressed on the client's clock
+        t = base + pic * 33 * MS + 26 * MS
+        events.append(
+            _span(
+                SPAN_REASSEMBLE, "e2e", 200, t, 3 * MS,
+                session=SESSION, pic=pic, bands=8 if pic != 1 else 7,
+                rows=8, concealed=0 if pic != 1 else 1,
+            )
+        )
+        if pic == 1:
+            events.append(
+                _span(
+                    SPAN_CONCEAL, "e2e", 200, t + 1 * MS, MS // 2,
+                    session=SESSION, pic=pic, temporal=1, spatial=0,
+                )
+            )
+        events.append(
+            _instant(
+                EVENT_DEADLINE, "e2e", 200, t + 3 * MS,
+                session=SESSION, pic=pic, late_ms=float(pic),
+            )
+        )
+    return to_chrome(events)
+
+
+def main() -> None:
+    fixtures = {
+        "solo_trace.json": solo_trace(),
+        "server_shard.json": server_shard(),
+        "client_shard.json": client_shard(),
+    }
+    for name, doc in fixtures.items():
+        path = os.path.join(HERE, name)
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path} ({len(doc['traceEvents'])} events)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""Prometheus exposition: rendering, parsing, the live HTTP endpoint."""
+
+from __future__ import annotations
+
+import urllib.request
+
+import pytest
+
+from repro.obs.export import (
+    CONTENT_TYPE,
+    MetricsExporter,
+    parse_exposition,
+    render_exposition,
+    sanitize_metric_name,
+)
+from repro.obs.metrics import MetricsRegistry, metrics
+
+
+class TestNames:
+    def test_prefix_and_dots(self):
+        assert (
+            sanitize_metric_name("net.pictures.sent")
+            == "repro_net_pictures_sent"
+        )
+
+    def test_invalid_chars_replaced(self):
+        name = sanitize_metric_name("a-b c/d")
+        assert " " not in name and "-" not in name and "/" not in name
+
+
+class TestRender:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("net.pictures.sent").inc(5)
+        reg.gauge("serve.queue.depth").set(3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            reg.histogram("serve.task.ms").observe(v)
+        return reg
+
+    def test_counters_as_total(self):
+        text = render_exposition(self._registry().snapshot())
+        assert "# TYPE repro_net_pictures_sent_total counter" in text
+        assert "repro_net_pictures_sent_total 5" in text
+
+    def test_gauges_with_max(self):
+        text = render_exposition(self._registry().snapshot())
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "repro_serve_queue_depth 3" in text
+        assert "repro_serve_queue_depth_max 3" in text
+
+    def test_histograms_as_summaries(self):
+        text = render_exposition(self._registry().snapshot())
+        assert "# TYPE repro_serve_task_ms summary" in text
+        assert 'repro_serve_task_ms{quantile="0.5"}' in text
+        assert "repro_serve_task_ms_count 4" in text
+        assert "repro_serve_task_ms_sum 10" in text
+
+    def test_round_trip_through_parser(self):
+        text = render_exposition(self._registry().snapshot())
+        series = parse_exposition(text)
+        assert series["repro_net_pictures_sent_total"] == 5.0
+        assert series["repro_serve_queue_depth"] == 3.0
+        assert 1.0 <= series['repro_serve_task_ms{quantile="0.5"}'] <= 4.0
+        assert series["repro_serve_task_ms_count"] == 4.0
+
+    def test_empty_snapshot_renders(self):
+        text = render_exposition(MetricsRegistry().snapshot())
+        assert parse_exposition(text) == {}
+
+
+class TestHTTPEndpoint:
+    def test_scrape_over_http(self):
+        metrics().counter("net.pictures.sent").inc(7)
+        exporter = MetricsExporter()
+        port = exporter.start()
+        try:
+            url = f"http://127.0.0.1:{port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"] == CONTENT_TYPE
+                body = resp.read().decode()
+        finally:
+            exporter.stop()
+        series = parse_exposition(body)
+        assert series["repro_net_pictures_sent_total"] == 7.0
+        # The scrape metered itself.
+        assert "repro_obs_export_scrapes_total" in series
+
+    def test_unknown_path_404(self):
+        exporter = MetricsExporter()
+        port = exporter.start()
+        try:
+            req = urllib.request.Request(
+                f"http://127.0.0.1:{port}/nope"
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=5)
+            assert err.value.code == 404
+        finally:
+            exporter.stop()
+
+    def test_exporter_url_property(self):
+        exporter = MetricsExporter()
+        port = exporter.start()
+        try:
+            assert exporter.url == f"http://127.0.0.1:{port}/metrics"
+        finally:
+            exporter.stop()
+
+    def test_stop_is_idempotent(self):
+        exporter = MetricsExporter()
+        exporter.start()
+        exporter.stop()
+        exporter.stop()
+
+    def test_scrapes_own_registry_not_global(self):
+        reg = MetricsRegistry()
+        reg.counter("custom.thing").inc()
+        metrics().counter("net.pictures.sent").inc()
+        exporter = MetricsExporter(registry=reg)
+        port = exporter.start()
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=5
+            ) as resp:
+                body = resp.read().decode()
+        finally:
+            exporter.stop()
+        series = parse_exposition(body)
+        assert "repro_custom_thing_total" in series
+        assert "repro_net_pictures_sent_total" not in series

@@ -1,0 +1,122 @@
+"""Flight recorder: bounded rings, dump files, service integration."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.flightrec import DEFAULT_CAPACITY, FlightRecorder
+
+
+class TestRing:
+    def test_records_ordered_events(self):
+        rec = FlightRecorder()
+        rec.record("s", "a", x=1)
+        rec.record("s", "b", y=2)
+        events = rec.events("s")
+        assert [e["kind"] for e in events] == ["a", "b"]
+        assert events[0]["x"] == 1
+        assert all("t_ns" in e for e in events)
+
+    def test_sessions_isolated(self):
+        rec = FlightRecorder()
+        rec.record("a", "one")
+        rec.record("b", "two")
+        assert [e["kind"] for e in rec.events("a")] == ["one"]
+        assert [e["kind"] for e in rec.events("b")] == ["two"]
+        assert set(rec.sessions()) == {"a", "b"}
+
+    def test_ring_bounded_and_counts_dropped(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record("s", f"e{i}")
+        events = rec.events("s")
+        assert len(events) == 4
+        assert [e["kind"] for e in events] == ["e6", "e7", "e8", "e9"]
+        assert rec.dump("s", "test")["dropped"] == 6
+
+    def test_default_capacity(self):
+        rec = FlightRecorder()
+        for i in range(DEFAULT_CAPACITY + 5):
+            rec.record("s", "e")
+        assert len(rec.events("s")) == DEFAULT_CAPACITY
+
+    def test_discard_frees_session(self):
+        rec = FlightRecorder()
+        rec.record("s", "e")
+        rec.discard("s")
+        assert rec.events("s") == []
+        assert "s" not in rec.sessions()
+
+    def test_deterministic_clock_injectable(self):
+        ticks = iter(range(100, 200))
+        rec = FlightRecorder(clock=lambda: next(ticks))
+        rec.record("s", "a")
+        rec.record("s", "b")
+        assert [e["t_ns"] for e in rec.events("s")] == [100, 101]
+
+
+class TestDump:
+    def test_dump_shape(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record("s#0", "net.hello", conn=1)
+        doc = rec.dump("s#0", "failed")
+        assert doc["session"] == "s#0"
+        assert doc["reason"] == "failed"
+        assert doc["capacity"] == 8
+        assert doc["dropped"] == 0
+        assert len(doc["events"]) == 1
+        json.dumps(doc)  # JSON-safe end to end
+
+    def test_dump_to_writes_numbered_files(self, tmp_path):
+        rec = FlightRecorder()
+        rec.record("s#0", "e")
+        p1 = rec.dump_to(str(tmp_path), "s#0", "failed")
+        p2 = rec.dump_to(str(tmp_path), "s#0", "failed")
+        assert p1 != p2  # a second dump never overwrites the first
+        for p in (p1, p2):
+            assert os.path.exists(p)
+            with open(p) as fh:
+                assert json.load(fh)["session"] == "s#0"
+
+    def test_dump_filenames_sanitized(self, tmp_path):
+        rec = FlightRecorder()
+        rec.record("weird/../name#0", "e")
+        path = rec.dump_to(str(tmp_path), "weird/../name#0", "why not")
+        assert os.path.dirname(path) == str(tmp_path)
+        base = os.path.basename(path)
+        assert "/" not in base and "#" not in base and " " not in base
+
+
+class TestServiceIntegration:
+    """The service dumps a ring when a session dies."""
+
+    def _corrupt_stream(self) -> bytes:
+        return b"\x00\x00\x01\xb3" + b"\x00" * 64
+
+    def test_scan_failure_dumps_flight_ring(self, tmp_path):
+        from repro.serve.service import DecodeService
+
+        svc = DecodeService(workers=0, flight_dir=str(tmp_path))
+        svc.submit("bad", self._corrupt_stream())
+        svc.run()
+        assert svc.sessions["bad"].status.value == "failed"
+        assert svc.flight_dumps, "no flight dump recorded"
+        path = svc.flight_dumps[0]
+        assert os.path.exists(path)
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert doc["session"] == "bad"
+        kinds = [e["kind"] for e in doc["events"]]
+        assert "scan.failed" in kinds
+
+    def test_no_flight_dir_means_no_dump_files(self, tmp_path):
+        from repro.serve.service import DecodeService
+
+        svc = DecodeService(workers=0)
+        svc.submit("bad", self._corrupt_stream())
+        svc.run()
+        assert svc.sessions["bad"].status.value == "failed"
+        assert svc.flight_dumps == []

@@ -9,6 +9,12 @@ Two properties pinned here:
 2. **Observation is inert** — decoded frames and work counters are
    bit-identical with tracing enabled and disabled, for both engines
    and for the mp pipeline.
+
+PR-8 extends both properties across the wire: a full net
+serve/stream session with telemetry available but tracing *disabled*
+still constructs zero span objects (the e2e instrumentation all goes
+through the module-level ``trace_*`` guards), and the frames a client
+reassembles are bit-identical with tracing on and off.
 """
 
 from __future__ import annotations
@@ -101,3 +107,68 @@ class TestObservationIsInert:
             disable_tracing()
         assert_frames_identical(frames_off, frames_on)
         assert counters_off.as_dict() == counters_on.as_dict()
+
+
+@pytest.mark.net
+class TestNetPathOverhead:
+    """The telemetry-instrumented wire path obeys the same guards."""
+
+    def _stream_once(self, data: bytes, fps: float = 250.0):
+        import asyncio
+
+        from repro.net.client import stream_session
+        from repro.net.server import NetServer
+
+        async def go():
+            srv = NetServer({"s": data}, workers=0, fps=fps)
+            await srv.start()
+            try:
+                result = await stream_session(
+                    "127.0.0.1", srv.port, "s",
+                    keep_frames=True, timeout_s=60.0,
+                )
+            finally:
+                await srv.aclose()
+            return result
+
+        return asyncio.run(go())
+
+    def test_net_session_constructs_no_spans_when_disabled(
+        self, two_gop_stream, monkeypatch
+    ):
+        # The e2e spans (decode/pace/wire server-side, reassemble/
+        # conceal/deadline client-side) ride the module-level trace_*
+        # guards: with tracing disabled a full traced-capable session
+        # must never touch a Tracer method.
+        calls = {"n": 0}
+        for meth in ("span", "complete", "instant", "counter"):
+            orig = getattr(Tracer, meth)
+
+            def counting(self, *a, _o=orig, **k):
+                calls["n"] += 1
+                return _o(self, *a, **k)
+
+            monkeypatch.setattr(Tracer, meth, counting)
+
+        assert trace_mod._tracer is None  # disabled
+        result = self._stream_once(two_gop_stream)
+        assert result.status == "done"
+        assert calls["n"] == 0
+
+        # Control: the same session with tracing enabled does trace.
+        enable_tracing(process_name="net-overhead-control")
+        try:
+            self._stream_once(two_gop_stream)
+        finally:
+            disable_tracing()
+        assert calls["n"] > 0
+
+    def test_net_frames_identical_tracing_on_off(self, two_gop_stream):
+        result_off = self._stream_once(two_gop_stream)
+        enable_tracing(process_name="net-overhead")
+        try:
+            result_on = self._stream_once(two_gop_stream)
+        finally:
+            disable_tracing()
+        assert result_off.status == result_on.status == "done"
+        assert_frames_identical(result_off.frames, result_on.frames)

@@ -1,0 +1,218 @@
+"""Cross-boundary trace propagation: clock algebra, merge, joins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.propagate import (
+    EVENT_CLOCK_SYNC,
+    EVENT_DEADLINE,
+    SPAN_REASSEMBLE,
+    SPAN_WIRE,
+    ClockSync,
+    TraceJoinError,
+    clock_syncs,
+    doc_clock_offset_ns,
+    merge_traces,
+    new_trace_id,
+    sessions_in,
+    validate_joins,
+    waterfall,
+)
+from repro.obs.trace import Tracer, to_chrome
+
+
+def _instant(tracer, name, ts_ns, args):
+    tracer.extend([{
+        "ph": "i", "name": name, "cat": "e2e", "ts": ts_ns,
+        "pid": tracer.pid, "tid": 0, "s": "t", "args": args,
+    }])
+
+
+class TestTraceId:
+    def test_unique_and_hex(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        for tid in ids:
+            assert len(tid) == 16
+            int(tid, 16)
+
+
+class TestClockSync:
+    def test_symmetric_link_recovers_exact_offset(self):
+        # Server clock runs 1000ns ahead; both legs take 50ns.
+        sync = ClockSync(
+            t_client_send_ns=0,
+            t_server_recv_ns=1050,
+            t_server_send_ns=1250,
+            t_client_recv_ns=300,
+        )
+        assert sync.offset_ns == 1000
+        assert sync.rtt_ns == 100
+        assert sync.error_bound_ns == 51
+
+    def test_error_bound_covers_asymmetry(self):
+        # True offset 1000, but legs are 10ns / 90ns — the estimate is
+        # wrong by the asymmetry, which stays inside the rtt/2 bound.
+        sync = ClockSync(
+            t_client_send_ns=0,
+            t_server_recv_ns=1010,
+            t_server_send_ns=1210,
+            t_client_recv_ns=300,
+        )
+        assert sync.offset_ns != 1000
+        assert abs(sync.offset_ns - 1000) <= sync.error_bound_ns
+
+    def test_rtt_never_negative(self):
+        sync = ClockSync(0, 500, 5000, 100)
+        assert sync.rtt_ns == 0
+
+    def test_to_json_round_trips_derived_fields(self):
+        sync = ClockSync(0, 1050, 1250, 300)
+        j = sync.to_json()
+        assert j == {
+            "offset_ns": 1000,
+            "rtt_ns": 100,
+            "error_bound_ns": 51,
+        }
+
+
+def _server_doc(pics=(0, 1), base=1_000_000_000, session="s#0"):
+    tracer = Tracer(process_name="server")
+    for pic in pics:
+        tracer.complete(
+            SPAN_WIRE, "e2e", base + pic * 1_000_000, 200_000,
+            args={"session": session, "pic": pic},
+        )
+    return to_chrome(tracer.events)
+
+
+def _client_doc(
+    pics=(0, 1), base=2_000_000_000, offset_ns=-500_000_000,
+    session="s#0", pid_name="client",
+):
+    # The client clock reads `server - offset`; its shard records the
+    # measured offset in a clock.sync instant just like the real client.
+    tracer = Tracer(process_name=pid_name)
+    _instant(
+        tracer, EVENT_CLOCK_SYNC, base,
+        {"session": session, "offset_ns": offset_ns,
+         "rtt_ns": 1000, "error_bound_ns": 501},
+    )
+    for pic in pics:
+        tracer.complete(
+            SPAN_REASSEMBLE, "e2e",
+            base + pic * 1_000_000 + 300_000, 100_000,
+            args={"session": session, "pic": pic},
+        )
+        _instant(
+            tracer, EVENT_DEADLINE, base + pic * 1_000_000 + 400_000,
+            {"session": session, "pic": pic, "late_ms": 2.0 * pic},
+        )
+    return to_chrome(tracer.events)
+
+
+class TestMerge:
+    def test_requires_base_time(self):
+        doc = _server_doc()
+        del doc["baseTimeNs"]
+        with pytest.raises(ValueError, match="baseTimeNs"):
+            merge_traces([doc])
+
+    def test_client_shifted_onto_server_clock(self):
+        # Server events at 1.0s+; client events at 2.0s+ on a clock
+        # that is 500ms BEHIND... offset_ns = server - client = -0.5s
+        # means client is AHEAD; shifting by the offset lands the
+        # client events back at ~1.5s-equivalents on the server axis.
+        server = _server_doc(base=1_000_000_000)
+        client = _client_doc(base=1_500_000_000, offset_ns=-500_000_000)
+        merged = merge_traces([server, client])
+        wire = [
+            e for e in merged["traceEvents"]
+            if e.get("name") == SPAN_WIRE
+        ]
+        reasm = [
+            e for e in merged["traceEvents"]
+            if e.get("name") == SPAN_REASSEMBLE
+        ]
+        assert wire and reasm
+        for w, r in zip(
+            sorted(wire, key=lambda e: e["ts"]),
+            sorted(reasm, key=lambda e: e["ts"]),
+        ):
+            # On the merged axis the reassembly starts 300µs after the
+            # wire send (the synthetic one-way latency), clock skew
+            # fully cancelled.
+            assert r["ts"] - w["ts"] == pytest.approx(300.0, abs=1.0)
+
+    def test_doc_clock_offset_mean_and_default(self):
+        assert doc_clock_offset_ns(_server_doc()) == 0
+        client = _client_doc(offset_ns=100)
+        assert doc_clock_offset_ns(client) == 100
+
+    def test_merge_preserves_both_pids(self):
+        merged = merge_traces([_server_doc(), _client_doc()])
+        stats = validate_joins(merged)
+        assert stats["client_pids"] and stats["server_pids"]
+
+    def test_empty_doc_list_rejected(self):
+        with pytest.raises(ValueError):
+            merge_traces([])
+
+
+class TestJoins:
+    def test_joined_counts(self):
+        merged = merge_traces([_server_doc(), _client_doc()])
+        stats = validate_joins(merged)
+        assert stats["joined"] == 2
+        assert stats["client_spans"] == 2
+        assert stats["server_spans"] == 2
+
+    def test_orphan_client_span_fails(self):
+        merged = merge_traces(
+            [_server_doc(pics=(0,)), _client_doc(pics=(0, 1))]
+        )
+        with pytest.raises(TraceJoinError, match="no matching"):
+            validate_joins(merged)
+
+    def test_no_client_spans_fails_loudly(self):
+        with pytest.raises(TraceJoinError, match="no client"):
+            validate_joins(merge_traces([_server_doc()]))
+
+
+class TestWaterfall:
+    def test_stage_stats_and_lateness(self):
+        merged = merge_traces(
+            [_server_doc(pics=(0, 1, 2)), _client_doc(pics=(0, 1, 2))]
+        )
+        stages = waterfall(merged)
+        assert stages[SPAN_WIRE]["count"] == 3
+        assert stages[SPAN_WIRE]["mean_ms"] == pytest.approx(0.2)
+        late = stages["deadline.lateness"]
+        assert late["count"] == 3
+        assert late["max_ms"] == pytest.approx(4.0)
+
+    def test_lateness_clamped_at_zero(self):
+        doc = _client_doc(pics=(0,))
+        for e in doc["traceEvents"]:
+            if e.get("name") == EVENT_DEADLINE:
+                e["args"]["late_ms"] = -3.0
+        stages = waterfall(doc)
+        assert stages["deadline.lateness"]["max_ms"] == 0.0
+
+
+class TestHelpers:
+    def test_clock_syncs_and_sessions(self):
+        merged = merge_traces(
+            [
+                _server_doc(),
+                _client_doc(session="s#0"),
+                _client_doc(
+                    session="s#1", offset_ns=250, pid_name="client2"
+                ),
+            ]
+        )
+        syncs = clock_syncs(merged)
+        assert len(syncs) == 2
+        assert {s["session"] for s in syncs} == {"s#0", "s#1"}
+        assert sessions_in(merged) == ["s#0", "s#1"]

@@ -1,0 +1,110 @@
+"""SLO tracker: budget accounting, burn rate, breach detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slo import SLOPolicy, SLOTracker
+
+
+class TestPolicy:
+    def test_defaults_valid(self):
+        p = SLOPolicy()
+        assert 0 < p.deadline_miss_budget < 1
+        assert p.window_pictures > 0
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            SLOPolicy(deadline_miss_budget=0.0)
+        with pytest.raises(ValueError):
+            SLOPolicy(deadline_miss_budget=1.5)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            SLOPolicy(window_pictures=0)
+
+    def test_to_json_is_plain(self):
+        j = SLOPolicy().to_json()
+        assert j["deadline_miss_budget"] == 0.05
+        assert j["p99_lateness_ms"] == 100.0
+
+
+class TestTracker:
+    def test_no_breach_before_min_pictures(self):
+        t = SLOTracker(SLOPolicy(min_pictures=10))
+        for _ in range(9):
+            t.observe(late_s=10.0)  # catastrophically late
+        assert t.breaches() == []
+        assert not t.burned_out
+        t.observe(late_s=10.0)
+        assert "deadline-miss-budget" in t.breaches()
+        assert t.burned_out
+
+    def test_on_time_pictures_never_breach(self):
+        t = SLOTracker(SLOPolicy(min_pictures=1))
+        for _ in range(100):
+            t.observe(late_s=0.0)
+        assert t.breaches() == []
+        assert t.miss_rate == 0.0
+        assert t.budget_spent == 0.0
+
+    def test_budget_spent_is_miss_rate_over_budget(self):
+        t = SLOTracker(SLOPolicy(deadline_miss_budget=0.1, min_pictures=1))
+        for i in range(10):
+            t.observe(late_s=1.0 if i == 0 else 0.0)
+        assert t.miss_rate == pytest.approx(0.1)
+        assert t.budget_spent == pytest.approx(1.0)
+
+    def test_shed_counts_as_miss(self):
+        t = SLOTracker(SLOPolicy(min_pictures=1))
+        t.observe(shed=True)
+        assert t.snapshot()["misses"] == 1
+        assert t.snapshot()["shed"] == 1
+
+    def test_burn_rate_windowed(self):
+        # Misses all concentrated at the start: lifetime budget stays
+        # burnt but the rolling window recovers once they age out.
+        t = SLOTracker(
+            SLOPolicy(
+                deadline_miss_budget=0.1, window_pictures=10,
+                min_pictures=1,
+            )
+        )
+        for _ in range(5):
+            t.observe(late_s=1.0)
+        burn_hot = t.burn_rate
+        for _ in range(50):
+            t.observe(late_s=0.0)
+        assert burn_hot > 1.0
+        assert t.burn_rate == 0.0
+        assert t.budget_spent > 0.0
+
+    def test_p99_lateness_breach(self):
+        t = SLOTracker(
+            SLOPolicy(p99_lateness_ms=5.0, min_pictures=1,
+                      deadline_miss_budget=0.999)
+        )
+        for _ in range(100):
+            t.observe(late_s=0.010)
+        assert "p99-lateness" in t.breaches()
+
+    def test_conceal_rate_breach(self):
+        t = SLOTracker(
+            SLOPolicy(conceal_rate_ceiling=0.01, min_pictures=1)
+        )
+        for _ in range(20):
+            t.observe(late_s=0.0, concealed_rows=1, rows=10)
+        assert "conceal-rate" in t.breaches()
+
+    def test_snapshot_json_safe(self):
+        import json
+
+        t = SLOTracker(session="s#0")
+        t.observe(late_s=0.002, concealed_rows=1, rows=8)
+        snap = t.snapshot()
+        json.dumps(snap)
+        assert snap["session"] == "s#0"
+        assert snap["pictures"] == 1
+        assert "policy" in snap
+        assert "burn_rate" in snap
+        assert "burned_out" in snap
