@@ -229,10 +229,144 @@ def bench_overload_2x(data: bytes, workers: int = 2) -> dict[str, object]:
     }
 
 
+def bench_trickplay_abr(data: bytes, workers: int = 2) -> dict[str, object]:
+    """Trick-play traversal rates + the ABR rung ladder under overload.
+
+    Two measurements share this section:
+
+    * **trick rates** — wall time of the fast-forward / I-frame
+      traversals against the linear decode of the same stream (the
+      refs-only, strided-GOP selection is the whole point: serving 4x
+      content speed must cost *less* than 1x decode, not more);
+    * **ABR overload** — the 2x-overload replay with a rung ladder
+      attached and ``switch_rung`` armed *below* drop-B, plus one
+      mid-stream-join session riding the same pool.  Gracefulness now
+      includes the ladder: the switch fires before any shed action,
+      continuations complete, and every source picture is emitted,
+      deliberately dropped, or handed to its continuation — nothing
+      vanishes across the switch.
+    """
+    from repro.access import trick_decode
+    from repro.mpeg2.decoder import SequenceDecoder
+    from repro.mpeg2.index import build_index
+    from repro.serve.rungs import build_rung_ladder
+
+    sessions = max(2, workers)
+    shm_before = _shm_entries()
+
+    t0 = perf_counter()
+    linear_pictures = len(SequenceDecoder(data).decode_all())
+    linear_s = perf_counter() - t0
+    trick_rates = []
+    for mode in ("ff2", "ff4", "iframes"):
+        t0 = perf_counter()
+        pairs = trick_decode(data, mode)
+        wall = perf_counter() - t0
+        trick_rates.append(
+            {
+                "mode": mode,
+                "pictures": len(pairs),
+                "wall_seconds": wall,
+                "speedup_vs_linear": (linear_s / wall) if wall > 0 else None,
+            }
+        )
+
+    rungs = [r.data for r in build_rung_ladder(data, levels=1)]
+    join_gop = len(build_index(data).gops) // 2
+
+    _, unpaced = _run_sessions(data, workers, sessions, fps=None)
+    total_pictures = sum(s["pictures"] for s in unpaced["sessions"])
+    pps = total_pictures / unpaced["measured_wall_seconds"]
+    overload_fps = 2.0 * pps / sessions
+
+    policy = DegradePolicy(
+        drop_b_after=2, skip_gop_after=4, recover_after=6,
+        switch_rung_after=2,
+    )
+    # Capacity leaves room for every continuation (a rejected
+    # continuation would void the switch and reinstate the shed).
+    svc = DecodeService(
+        workers=workers,
+        fps=overload_fps,
+        capacity=2 * sessions + 1,
+        policy=policy,
+        preroll_pictures=2,
+    )
+    for i in range(sessions):
+        svc.submit(f"abr{i}", data, rungs=list(rungs))
+    svc.submit("join", data, start_gop=join_gop)
+    t0 = perf_counter()
+    report = svc.run()
+    wall_s = perf_counter() - t0
+    shm_leaked = sorted(_shm_entries() - shm_before)
+
+    by_name = {s["session"]: s for s in report["sessions"]}
+    per_session = []
+    accounted = True
+    continuations_ok = True
+    switch_total = 0
+    switch_before_drop = True
+    for s in report["sessions"]:
+        switched = s.get("switched_pictures", 0)
+        accounted &= (
+            s["emitted"] + s["dropped_pictures"] + switched == s["pictures"]
+        )
+        actions = s["degrade"]["actions"]
+        switch_total += s["degrade"]["switch_rung_actions"]
+        if "switch_rung" in actions:
+            drops = [
+                i for i, a in enumerate(actions) if a in ("drop_b", "skip_gop")
+            ]
+            if drops and actions.index("switch_rung") > min(drops):
+                switch_before_drop = False
+        cont = s.get("continuation")
+        if cont is not None:
+            continuations_ok &= (
+                cont in by_name and by_name[cont]["pictures"] == switched
+            )
+        per_session.append(
+            {
+                "session": s["session"],
+                "status": s["status"],
+                "emitted": s["emitted"],
+                "dropped_pictures": s["dropped_pictures"],
+                "switched_pictures": switched,
+                "rung_level": s.get("rung_level", 0),
+                "continuation": cont,
+                "join_gop": s.get("join_gop", 0),
+                "degrade": s["degrade"],
+            }
+        )
+    return {
+        "workers": workers,
+        "sessions": sessions,
+        "linear_pictures": linear_pictures,
+        "linear_wall_seconds": linear_s,
+        "trick_rates": trick_rates,
+        "rung_levels": len(rungs),
+        "rung_bytes": [len(r) for r in rungs],
+        "join_gop": join_gop,
+        "unpaced_aggregate_pictures_per_sec": pps,
+        "overload_fps_per_session": overload_fps,
+        "policy": asdict(policy),
+        "deadline": report["deadline"],
+        "wall_seconds": wall_s,
+        "status_counts": report["status_counts"],
+        "per_session": per_session,
+        "switch_rung_total": switch_total,
+        "switch_before_drop_b": switch_before_drop,
+        "all_pictures_accounted": accounted,
+        "continuations_consistent": continuations_ok,
+        "failed_sessions": report["status_counts"].get("failed", 0),
+        "shm_leaked": shm_leaked,
+    }
+
+
 def run(path: str = OUTPUT_PATH) -> dict[str, object]:
     data = build_stream(SERVE_SPEC)
     sessions_vs_workers = bench_sessions_vs_workers(data)
     overload = bench_overload_2x(data, workers=min(2, max(1, _cores() - 1)))
+    trickplay = bench_trickplay_abr(data, workers=min(2, max(1, _cores() - 1)))
     report = {
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": sys.version.split()[0],
@@ -246,6 +380,7 @@ def run(path: str = OUTPUT_PATH) -> dict[str, object]:
         "miss_budget": MISS_BUDGET,
         "sessions_vs_workers": sessions_vs_workers,
         "overload_2x": overload,
+        "trickplay_abr": trickplay,
     }
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -268,6 +403,20 @@ def _format_report(report: dict) -> str:
         f"workers): miss {ov['deadline']['miss_fraction'] * 100:.1f}%, "
         f"degrade actions {ov['degrade_actions_total']}, "
         f"failed {ov['failed_sessions']}, shm leaked {len(ov['shm_leaked'])}"
+    )
+    tp = report["trickplay_abr"]
+    rates = "  ".join(
+        f"{r['mode']}:{r['pictures']}pics,{r['speedup_vs_linear']:.1f}x"
+        for r in tp["trick_rates"]
+    )
+    lines.append(f"trick rates vs linear ({tp['linear_pictures']} pics): [{rates}]")
+    lines.append(
+        f"ABR overload ({tp['sessions']} laddered sessions + 1 join @ "
+        f"{tp['overload_fps_per_session']:.1f} fps): rung switches "
+        f"{tp['switch_rung_total']} (before drop_b: "
+        f"{tp['switch_before_drop_b']}), failed {tp['failed_sessions']}, "
+        f"accounted {tp['all_pictures_accounted']}, "
+        f"shm leaked {len(tp['shm_leaked'])}"
     )
     lines.append(
         f"cores available: {report['cpu_affinity']} "
@@ -300,6 +449,28 @@ def test_perf_serve(record) -> None:
     # that can decode the stream at all faster than real time.
     one_worker = report["sessions_vs_workers"][str(WORKER_COUNTS[0])]
     assert one_worker["points"], "sweep recorded no points"
+    # -- trick-play / ABR gate ----------------------------------------
+    tp = report["trickplay_abr"]
+    assert tp["failed_sessions"] == 0, "ABR overload crashed sessions"
+    assert tp["shm_leaked"] == [], f"leaked shm: {tp['shm_leaked']}"
+    assert tp["status_counts"].get("done", 0) == len(tp["per_session"])
+    assert tp["switch_rung_total"] >= 1, (
+        "overload with a rung ladder never fired switch_rung"
+    )
+    assert tp["switch_before_drop_b"], (
+        "a session shed pictures before trying its cheaper rung"
+    )
+    assert tp["all_pictures_accounted"], (
+        "pictures vanished across the rung switch"
+    )
+    assert tp["continuations_consistent"], (
+        "continuation picture counts disagree with the handover"
+    )
+    join = next(s for s in tp["per_session"] if s["session"] == "join")
+    assert join["status"] == "done" and join["join_gop"] == tp["join_gop"]
+    # Fast-forward must shrink the work, not just the output.
+    ff4 = next(r for r in tp["trick_rates"] if r["mode"] == "ff4")
+    assert ff4["pictures"] < tp["linear_pictures"]
 
 
 if __name__ == "__main__":

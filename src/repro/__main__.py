@@ -90,7 +90,65 @@ def _cmd_decode(args: argparse.Namespace) -> int:
     reset_metrics()
     counters = WorkCounters()
     mp_decoder = None
-    if args.workers is not None:
+    trick = (
+        args.seek is not None
+        or args.rate != 1
+        or args.reverse
+        or args.iframes
+    )
+    if trick:
+        from repro.access import trick_decode, trick_decode_mp
+        from repro.mpeg2.index import build_index, sequence_prefix
+
+        if sum(map(bool, (args.reverse, args.iframes, args.rate != 1))) > 1:
+            print(
+                "decode: --reverse, --iframes and --rate are exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        target = 0
+        if args.reverse:
+            mode = "reverse"
+        elif args.iframes:
+            mode = "iframes"
+        elif args.rate != 1:
+            mode = f"ff{args.rate}"
+            if args.seek is not None:
+                # Compose seek + fast-forward the way the net server
+                # does: join at the closed GOP owning the target, then
+                # fast-forward over the tail substream.
+                index = build_index(data)
+                join = index.gop_for_display_index(args.seek)
+                base = index.gop_display_base(join)
+                data = (
+                    sequence_prefix(data, index)
+                    + data[index.gops[join].start_offset :]
+                )
+                print(f"joined at GOP {join} (display base {base})")
+        else:
+            mode = "seek"
+            target = args.seek
+        if args.workers is not None:
+            pairs = trick_decode_mp(
+                data, mode, target=target, workers=args.workers,
+                resilient=args.resilient, counters=counters,
+            )
+        else:
+            pairs = trick_decode(
+                data, mode, target=target, engine=args.engine,
+                resilient=args.resilient, counters=counters,
+            )
+        frames = [f for _, f in pairs]
+        # Dump under the *display* index so a seek tail diffs 1:1
+        # against the same files from a linear decode.
+        dump_indices = [d for d, _ in pairs]
+        lo = min(dump_indices) if pairs else 0
+        hi = max(dump_indices) if pairs else 0
+        print(
+            f"trick-play {mode}: {len(frames)} pictures "
+            f"(display indices {lo}..{hi})"
+        )
+    elif args.workers is not None:
         mode = (
             f"{args.workers} worker processes"
             if args.workers
@@ -149,7 +207,9 @@ def _cmd_decode(args: argparse.Namespace) -> int:
             )
     if args.dump_dir:
         os.makedirs(args.dump_dir, exist_ok=True)
-        for i, frame in enumerate(frames):
+        if not trick:
+            dump_indices = range(len(frames))
+        for i, frame in zip(dump_indices, frames):
             y, _, _ = frame.display_view()
             path = os.path.join(args.dump_dir, f"frame{i:04d}.pgm")
             with open(path, "wb") as fh:
@@ -410,6 +470,7 @@ def _cmd_net_client(args: argparse.Namespace) -> int:
         stream_session(
             args.host, args.port, args.stream, timeout_s=args.timeout,
             disconnect_after=args.disconnect_after,
+            seek=args.seek, rate=args.rate,
         )
     )
     if args.trace:
@@ -424,6 +485,11 @@ def _cmd_net_client(args: argparse.Namespace) -> int:
         f"({j['delivered']} intact, {j['concealed_pictures']} concealed, "
         f"{j['shed_pictures']} shed, {j['abandoned']} abandoned)"
     )
+    if j.get("join_gop") or j.get("rate", 1) != 1:
+        print(
+            f"trick-play: joined at GOP {j['join_gop']} "
+            f"(display base {j['join_display_base']}), rate {j['rate']}x"
+        )
     if j["concealed_slices"]:
         per = result.stalls.by_reason()
         detail = ", ".join(
@@ -562,6 +628,19 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument("--engine", default="batched",
                      choices=["scalar", "batched"],
                      help="decode engine (both bit-identical)")
+    dec.add_argument("--seek", type=int, default=None, metavar="PIC",
+                     help="trick-play: start at the closed GOP owning "
+                          "display picture PIC (bit-identical to the "
+                          "same tail of a linear decode)")
+    dec.add_argument("--rate", type=int, default=1, choices=[1, 2, 4],
+                     help="trick-play: fast-forward at Nx (reference "
+                          "pictures only, every (N/2)-th GOP); "
+                          "composes with --seek")
+    dec.add_argument("--reverse", action="store_true",
+                     help="trick-play: emit pictures in reverse display "
+                          "order (GOPs last-to-first)")
+    dec.add_argument("--iframes", action="store_true",
+                     help="trick-play: emit only each GOP's I picture")
     dec.add_argument("--trace", metavar="OUT.json",
                      help="record a Chrome trace-event timeline (spans "
                           "from every process; open in Perfetto)")
@@ -683,6 +762,12 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="K",
                       help="hang up abruptly after K picture commits "
                            "(exercises server-side cancel + flight dump)")
+    ncli.add_argument("--seek", type=int, default=None, metavar="PIC",
+                      help="join mid-stream at the closed GOP owning "
+                           "display picture PIC (reliable SEEK frame)")
+    ncli.add_argument("--rate", type=int, default=1, choices=[1, 2, 4],
+                      help="fast-forward at Nx (reliable RATE frame; "
+                           "server serves reference pictures only)")
     ncli.set_defaults(func=_cmd_net_client)
 
     simp = sub.add_parser("simulate", help="simulated parallel decode")

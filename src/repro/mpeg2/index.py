@@ -178,6 +178,81 @@ class StreamIndex:
     def mb_height(self) -> int:
         return mb_ceil(self.sequence_header.height)
 
+    # ------------------------------------------------------------------
+    # Random access: byte offsets <-> (GOP, picture), join points
+    # ------------------------------------------------------------------
+    def gop_display_base(self, gop: int) -> int:
+        """Display index of the first picture of GOP ``gop``.
+
+        Closed GOPs partition display order into contiguous blocks, so
+        GOP ``g`` owns display indices ``[base, base + len(pictures))``.
+        """
+        if not 0 <= gop < len(self.gops):
+            raise StreamIndexError(f"GOP {gop} out of range (stream has {len(self.gops)})")
+        return sum(len(g.pictures) for g in self.gops[:gop])
+
+    def locate_offset(self, offset: int) -> tuple[int, int]:
+        """Map a byte offset to the ``(gop, coding_position)`` covering it.
+
+        ``offset`` may land anywhere inside a GOP's wire range — a GOP
+        or picture header, a slice payload — and resolves to the GOP
+        that contains it and the coding position of the picture whose
+        bytes cover it (position 0 when the offset falls in the GOP
+        header itself).  Offsets before the first GOP resolve to
+        ``(0, 0)``; offsets at or past ``total_bytes`` raise.
+        """
+        if offset < 0 or offset >= self.total_bytes:
+            raise StreamIndexError(
+                f"offset {offset} outside stream of {self.total_bytes} bytes"
+            )
+        gop = 0
+        for i, g in enumerate(self.gops):
+            if offset < g.start_offset:
+                break
+            gop = i
+        g = self.gops[gop]
+        pos = 0
+        for i, p in enumerate(g.pictures):
+            if offset < p.start_offset:
+                break
+            pos = i
+        return gop, pos
+
+    def gop_for_display_index(self, display_index: int) -> int:
+        """GOP number owning display index ``display_index``."""
+        if not 0 <= display_index < self.picture_count:
+            raise StreamIndexError(
+                f"display index {display_index} outside stream of "
+                f"{self.picture_count} pictures"
+            )
+        base = 0
+        for i, g in enumerate(self.gops):
+            if display_index < base + len(g.pictures):
+                return i
+            base += len(g.pictures)
+        raise StreamIndexError(f"display index {display_index} unmapped")
+
+    def join_point(self, position: int) -> int:
+        """Earliest closed GOP at or after GOP number ``position``.
+
+        This is the admission rule for mid-stream join and seek: a
+        session may only enter the stream at a closed GOP because no
+        coded state crosses a closed-GOP boundary (paper Section 5.1),
+        so frames decoded from the join point are bit-identical to the
+        linear decode.  Raises :class:`StreamIndexError` when
+        ``position`` is past EOF or no closed GOP remains.
+        """
+        if position < 0 or position >= len(self.gops):
+            raise StreamIndexError(
+                f"join point {position} past EOF (stream has {len(self.gops)} GOPs)"
+            )
+        for g in range(position, len(self.gops)):
+            if self.gops[g].closed_gop:
+                return g
+        raise StreamIndexError(
+            f"no closed GOP at or after GOP {position}; cannot join"
+        )
+
 
 # ----------------------------------------------------------------------
 # GOP byte-range extraction (scan products for process-level workers)

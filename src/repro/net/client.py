@@ -37,7 +37,9 @@ from repro.net.protocol import (
     MSG_BYE,
     MSG_HELLO,
     MSG_PIC_DONE,
+    MSG_RATE,
     MSG_REJECT,
+    MSG_SEEK,
     MSG_SLICE,
     MSG_STATS,
     ProtocolError,
@@ -93,6 +95,9 @@ class ClientResult:
     trace_id: str | None = None  # client-minted, echoed by ACCEPT
     clock: ClockSync | None = None
     server_stats: list[dict] = field(default_factory=list)
+    rate: int = 1                # server-confirmed trick-play rate
+    join_gop: int = 0            # closed GOP the session joined at
+    join_display_base: int = 0   # source display index of picture 0
 
     @property
     def slo(self) -> dict | None:
@@ -151,6 +156,9 @@ class ClientResult:
                 else None
             ),
             "session": self.session,
+            "rate": self.rate,
+            "join_gop": self.join_gop,
+            "join_display_base": self.join_display_base,
             "trace_id": self.trace_id,
             "clock": self.clock.to_json() if self.clock else None,
             "slo": self.slo,
@@ -166,18 +174,23 @@ async def stream_session(
     send_stats: bool = True,
     disconnect_after: int | None = None,
     timeout_s: float = 60.0,
+    seek: int | None = None,
+    rate: int = 1,
 ) -> ClientResult:
     """Stream one session and return its :class:`ClientResult`.
 
     ``disconnect_after=k`` hangs up abruptly after ``k`` picture
     commits (the misbehaving-client fixture the disconnect tests use).
+    ``seek=p`` requests a mid-stream join at the closed GOP owning
+    source picture ``p``; ``rate`` in (2, 4) requests fast-forward —
+    both travel as reliable SEEK/RATE frames right after HELLO.
     """
     result = ClientResult(stream=stream)
     reader, writer = await asyncio.open_connection(host, port)
     try:
         await asyncio.wait_for(
             _run(result, reader, writer, stream, keep_frames,
-                 send_stats, disconnect_after),
+                 send_stats, disconnect_after, seek=seek, rate=rate),
             timeout=timeout_s,
         )
     except (ConnectionError, ProtocolError, asyncio.TimeoutError):
@@ -193,18 +206,29 @@ async def stream_session(
 
 async def _run(
     result, reader, writer, stream, keep_frames, send_stats,
-    disconnect_after,
+    disconnect_after, seek=None, rate=1,
 ) -> None:
     seq = 0
     result.trace_id = new_trace_id()
     t_send_ns = time.monotonic_ns()
+    controls = (0 if seek is None else 1) + (0 if rate == 1 else 1)
     writer.write(
         encode_message(
             MSG_HELLO, seq,
-            {"stream": stream, "trace": result.trace_id, "t_ns": t_send_ns},
+            {"stream": stream, "trace": result.trace_id, "t_ns": t_send_ns,
+             "controls": controls},
         )
     )
     seq += 1
+    # Trick-play controls ride the reliable channel, announced by
+    # HELLO's ``controls`` count so the server reads exactly these
+    # before admission.
+    if seek is not None:
+        writer.write(encode_message(MSG_SEEK, seq, {"picture": int(seek)}))
+        seq += 1
+    if rate != 1:
+        writer.write(encode_message(MSG_RATE, seq, {"rate": int(rate)}))
+        seq += 1
     await writer.drain()
     first = await read_message(reader)
     t_recv_ns = time.monotonic_ns()
@@ -222,6 +246,9 @@ async def _run(
     height = first.header["height"]
     result.pictures = first.header["pictures"]
     result.session = first.header.get("session", stream)
+    result.rate = int(first.header.get("rate", 1))
+    result.join_gop = int(first.header.get("join_gop", 0))
+    result.join_display_base = int(first.header.get("join_display_base", 0))
     result.pacer = WallClockPacer(
         rate_hz=first.header["fps"],
         preroll_pictures=first.header.get("preroll", 0),

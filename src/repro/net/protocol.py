@@ -21,6 +21,15 @@ Design points:
   slices and carries how many bands were sent, so the client knows
   which rows never arrived and conceals them — every picture is
   *delivered or concealed*, never silently missing.
+* **Trick-play rides the reliable channel.**  ``SEEK`` (a mid-stream
+  join at the closed GOP owning a requested picture) and ``RATE``
+  (fast-forward: reference pictures only, every (N/2)-th GOP) are
+  control messages — never droppable.  ``HELLO`` announces ``controls:
+  N`` and the server reads exactly N ``SEEK``/``RATE`` frames before
+  admission, so the request is deterministic, not a race with slice
+  traffic.  ``ACCEPT``'s ``pictures`` counts the trick-play
+  sub-sequence, which keeps delivered-or-concealed accounting and the
+  lateness CDF working unchanged during rate changes.
 * **Sequence numbers are assigned before impairment**, so the receiver
   can observe gaps (losses) and inversions (reorder) explicitly; the
   property suite checks conservation: every seq is delivered exactly
@@ -63,6 +72,8 @@ MSG_SLICE = 4      # server -> client: one MB-row band (droppable; ts)
 MSG_PIC_DONE = 5   # server -> client: picture commit (reliable; ts)
 MSG_BYE = 6        # server -> client: end of session summary
 MSG_STATS = 7      # bidirectional: client receipts / server SLO pushes
+MSG_SEEK = 8       # client -> server: {picture} join/seek request (reliable)
+MSG_RATE = 9       # client -> server: {rate} trick-play request (reliable)
 
 _TYPE_NAMES = {
     MSG_HELLO: "hello",
@@ -72,6 +83,8 @@ _TYPE_NAMES = {
     MSG_PIC_DONE: "pic_done",
     MSG_BYE: "bye",
     MSG_STATS: "stats",
+    MSG_SEEK: "seek",
+    MSG_RATE: "rate",
 }
 
 #: Types the impairment shim may drop.  Everything else models the

@@ -56,7 +56,9 @@ from repro.net.protocol import (
     MSG_BYE,
     MSG_HELLO,
     MSG_PIC_DONE,
+    MSG_RATE,
     MSG_REJECT,
+    MSG_SEEK,
     MSG_SLICE,
     MSG_STATS,
     ProtocolError,
@@ -74,6 +76,8 @@ from repro.obs.propagate import (
 )
 from repro.obs.slo import SLOPolicy, SLOTracker
 from repro.obs.trace import trace_complete
+from repro.access import AccessError, plan_trick
+from repro.mpeg2.index import StreamIndex, StreamIndexError, build_index
 from repro.serve.service import DecodeService
 from repro.serve.session import SessionStatus
 
@@ -121,9 +125,15 @@ class NetServer:
         #: A poison entry in ``streams`` must not take the server down;
         #: its sessions are refused at HELLO with ``scan-failed``.
         self.profile_errors: dict[str, str] = {}
+        #: name -> scan index; drives SEEK target -> GOP resolution.
+        self.indexes: dict[str, StreamIndex] = {}
         for name, data in self.streams.items():
             try:
-                self.profiles[name] = profile_stream(data, fps=fps)
+                index = build_index(data)
+                self.indexes[name] = index
+                self.profiles[name] = profile_stream(
+                    data, fps=fps, index=index
+                )
             except Exception as exc:
                 self.profile_errors[name] = type(exc).__name__
         self.service = DecodeService(
@@ -277,13 +287,47 @@ class NetServer:
         if profile is None:
             await reject("scan-failed")
             return
+        # Trick-play control handshake: HELLO announced ``controls: N``
+        # reliable SEEK/RATE frames which we read *before* admission —
+        # the request shapes the session (join GOP, served picture
+        # set), so it must be part of the handshake, not a race with
+        # slice traffic.
+        controls = int(hello.header.get("controls", 0) or 0)
+        seek_picture: int | None = None
+        rate = 1
+        for _ in range(controls):
+            ctrl = await read_message(reader)
+            if ctrl is None:
+                raise ProtocolError("EOF during trick-play handshake")
+            if ctrl.type == MSG_SEEK:
+                seek_picture = int(ctrl.header.get("picture", 0))
+            elif ctrl.type == MSG_RATE:
+                rate = int(ctrl.header.get("rate", 1))
+            else:
+                raise ProtocolError(
+                    f"expected SEEK/RATE in handshake, got {ctrl.type_name}"
+                )
+        if rate not in (1, 2, 4):
+            await reject("bad-rate")
+            return
+        start_gop = 0
+        if seek_picture is not None:
+            index = self.indexes[name]
+            try:
+                # The session joins at the next *closed* GOP at/after
+                # the one owning the target (StreamSession.join_point).
+                start_gop = index.gop_for_display_index(seek_picture)
+            except StreamIndexError:
+                await reject("seek-past-eof")
+                return
         sid = f"{name}#{conn_id}"
         if not self._bandwidth_admit(sid, profile):
             await reject("bandwidth")
             return
         record["session"] = sid
         self.service.flight.record(
-            sid, "net.hello", conn=conn_id, stream=name, trace=trace_id
+            sid, "net.hello", conn=conn_id, stream=name, trace=trace_id,
+            seek=seek_picture, rate=rate,
         )
 
         loop = asyncio.get_running_loop()
@@ -303,7 +347,8 @@ class NetServer:
                 pass
 
         sess = await asyncio.to_thread(
-            self.service.submit_dynamic, sid, data, on_frame=sink
+            self.service.submit_dynamic, sid, data,
+            on_frame=sink, start_gop=start_gop,
         )
         if sess.status is SessionStatus.REJECTED:
             await reject("capacity")
@@ -312,7 +357,23 @@ class NetServer:
             await reject("scan-failed")
             return
 
-        pictures = sess.picture_count
+        # Fast-forward: only the ffN plan's pictures go on the wire,
+        # renumbered contiguously so the client's delivered-or-
+        # concealed accounting and lateness CDF work unchanged — at
+        # rate N the k-th served picture is due at k/fps, which is
+        # exactly N-times content speed.
+        selected: dict[int, int] | None = None
+        if rate > 1:
+            try:
+                plan = plan_trick(sess.index, f"ff{rate}")
+            except AccessError:
+                self.service.request_cancel(sid)
+                await reject("bad-rate")
+                return
+            selected = {
+                di: k for k, di in enumerate(plan.display_indices(sess.index))
+            }
+        pictures = len(selected) if selected is not None else sess.picture_count
         mb_height = sess.index.mb_height
         header = {
             "session": sid,
@@ -321,6 +382,9 @@ class NetServer:
             "height": sess.seq.height,
             "mb_height": mb_height,
             "pictures": pictures,
+            "rate": rate,
+            "join_gop": sess.join_gop,
+            "join_display_base": sess.join_display_base,
             "fps": self.fps,
             "preroll": self.preroll_pictures,
             "profile": {
@@ -358,8 +422,13 @@ class NetServer:
         try:
             await self._stream_pictures(
                 record, sess, frames, sender, seq, pictures, mb_height,
-                tracker,
+                tracker, selected=selected,
             )
+            if selected is not None:
+                # Fast-forward served its last wire picture; whatever
+                # the session is still decoding is unwatchable — shed
+                # it instead of burning worker time.
+                self.service.request_cancel(sid)
             # The client may close as soon as it has every picture; the
             # stats reader finishing (EOF) is not an error here.
             await asyncio.wait_for(stats_task, timeout=5.0)
@@ -372,9 +441,15 @@ class NetServer:
 
     async def _stream_pictures(
         self, record, sess, frames, sender, seq, pictures, mb_height,
-        tracker=None,
+        tracker=None, selected=None,
     ) -> None:
-        """Pace display-ordered pictures onto the wire as slice bands."""
+        """Pace display-ordered pictures onto the wire as slice bands.
+
+        ``selected`` (fast-forward) maps the session display indices to
+        serve onto contiguous wire picture numbers; decoded pictures
+        outside the map are consumed and discarded without charging a
+        deadline.
+        """
         loop = asyncio.get_running_loop()
         period = 1.0 / self.fps
         t0: float | None = None
@@ -402,6 +477,10 @@ class NetServer:
                     )
                     return
                 continue
+            if selected is not None:
+                if display_index not in selected:
+                    continue
+                display_index = selected[display_index]
             trace_complete(
                 SPAN_DECODE, E2E_CATEGORY,
                 prev_ready_ns, max(0, ready_ns - prev_ready_ns),

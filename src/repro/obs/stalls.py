@@ -34,6 +34,10 @@ Canonical reasons
 :data:`REASON_DEGRADE_SKIP_GOP` overload degradation skipped whole
                           pending GOPs (duration = the deadline debt
                           that triggered the skip)
+:data:`REASON_DEGRADE_SWITCH_RUNG` overload degradation downshifted a
+                          session to a cheaper ABR rung ahead of any
+                          picture shedding (duration = the deadline
+                          debt that triggered the switch)
 :data:`REASON_ADMISSION`  a session sat in the admission queue before
                           a slot opened (multi-stream serve layer)
 :data:`REASON_CONCEAL_TEMPORAL` a lost or corrupt slice was concealed
@@ -65,6 +69,7 @@ REASON_LOCK = "lock"
 REASON_CONDITION = "condition"
 REASON_DEGRADE_DROP_B = "degrade.drop_b"
 REASON_DEGRADE_SKIP_GOP = "degrade.skip_gop"
+REASON_DEGRADE_SWITCH_RUNG = "degrade.switch_rung"
 REASON_ADMISSION = "degrade.admission_wait"
 REASON_CONCEAL_TEMPORAL = "conceal.temporal"
 REASON_CONCEAL_SPATIAL = "conceal.spatial"
@@ -81,6 +86,7 @@ CANONICAL_REASONS = (
     REASON_CONDITION,
     REASON_DEGRADE_DROP_B,
     REASON_DEGRADE_SKIP_GOP,
+    REASON_DEGRADE_SWITCH_RUNG,
     REASON_ADMISSION,
     REASON_CONCEAL_TEMPORAL,
     REASON_CONCEAL_SPATIAL,

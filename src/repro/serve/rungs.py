@@ -1,0 +1,140 @@
+"""ABR rung ladder: cheaper encodings of the same content, profiled.
+
+The paper's Table 1 profiles the decode cost of the same material at a
+ladder of resolutions — the observation behind adaptive-bitrate
+serving: a half-resolution encoding of a stream is a *complete*
+decode at roughly a quarter of the IDCT/MC work, so an overloaded
+service can downshift a session's rung and still emit every picture,
+where dropping B pictures emits fewer.  :func:`build_rung_ladder`
+realises that ladder with the repo's own encoder: decode the source,
+box-downsample each frame by 2 per rung, re-encode with the *same GOP
+structure* (so rung N's GOP ``g`` covers exactly the source's GOP
+``g`` — the property the mid-stream-join rung switch relies on), and
+profile each rung's wire cost with
+:func:`repro.analysis.bandwidth.profile_stream`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.bandwidth import BandwidthProfile, profile_stream
+from repro.mpeg2.constants import PictureType
+from repro.mpeg2.decoder import SequenceDecoder
+from repro.mpeg2.encoder import EncoderConfig, encode_sequence
+from repro.mpeg2.frame import Frame
+from repro.mpeg2.index import StreamIndex, build_index
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One ladder entry: a coded stream + its measured cost shape."""
+
+    level: int
+    width: int
+    height: int
+    data: bytes
+    profile: BandwidthProfile
+
+    def to_json(self) -> dict:
+        return {
+            "level": self.level,
+            "width": self.width,
+            "height": self.height,
+            "stream_bytes": len(self.data),
+            "mean_bps": self.profile.mean_bps,
+            "peak_bps": self.profile.peak_bps,
+            "burstiness": self.profile.burstiness,
+        }
+
+
+def downscale_frame(frame: Frame, factor: int = 2) -> Frame:
+    """Box-filter ``frame`` down by ``factor`` in each dimension."""
+    w, h = frame.display_width, frame.display_height
+    if w % (2 * factor) or h % (2 * factor):
+        raise ValueError(
+            f"display size {w}x{h} not divisible by {2 * factor}; "
+            "cannot downscale exactly (4:2:0 chroma needs even planes)"
+        )
+
+    def box(plane: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+        view = plane[: out_h * factor, : out_w * factor]
+        return (
+            view.reshape(out_h, factor, out_w, factor)
+            .mean(axis=(1, 3))
+            .round()
+            .astype(np.uint8)
+        )
+
+    y = box(frame.y, h // factor, w // factor)
+    cb = box(frame.cb, h // (2 * factor), w // (2 * factor))
+    cr = box(frame.cr, h // (2 * factor), w // (2 * factor))
+    out = Frame.from_planes(y, cb, cr)
+    out.temporal_reference = frame.temporal_reference
+    return out
+
+
+def _gop_structure(index: StreamIndex) -> tuple[int, int]:
+    """(gop_size, ip_distance) of the source, read off the scan index."""
+    gop_size = len(index.gops[0].pictures)
+    ip = 1
+    saw_ref = False
+    for pic in index.gops[0].pictures:
+        if pic.picture_type.is_reference:
+            if saw_ref:
+                break
+            saw_ref = True
+        elif saw_ref:
+            ip += 1
+    return gop_size, ip
+
+
+def build_rung_ladder(
+    data: bytes,
+    levels: int = 1,
+    fps: float = 30.0,
+    qscale_code: int | None = None,
+    index: StreamIndex | None = None,
+) -> list[Rung]:
+    """Encode ``levels`` successively half-resolution rungs of ``data``.
+
+    Rung ``k`` is the source downscaled by ``2**k`` and re-encoded
+    with the source's own GOP size and I/P distance, so every rung
+    partitions its pictures into GOPs identically to the source —
+    a rung switch at GOP ``g`` of one rung resumes at GOP ``g`` of the
+    next with no picture gained or lost.  Returns rungs in descending
+    cost order (the order :class:`~repro.serve.session.StreamSession`
+    consumes them in).
+    """
+    if levels < 1:
+        raise ValueError(f"levels must be >= 1, got {levels}")
+    idx = index if index is not None else build_index(data)
+    gop_size, ip_distance = _gop_structure(idx)
+    frames = SequenceDecoder(data, index=idx).decode_all()
+    intra_only = all(
+        p.picture_type is PictureType.I for g in idx.gops for p in g.pictures
+    )
+    rungs: list[Rung] = []
+    for level in range(1, levels + 1):
+        frames = [downscale_frame(f) for f in frames]
+        config = EncoderConfig(
+            gop_size=gop_size,
+            ip_distance=1 if intra_only else ip_distance,
+            qscale_code=(
+                qscale_code if qscale_code is not None else 3
+            ),
+            frame_rate_code=5,
+        )
+        coded = encode_sequence(frames, config)
+        rungs.append(
+            Rung(
+                level=level,
+                width=frames[0].display_width,
+                height=frames[0].display_height,
+                data=coded,
+                profile=profile_stream(coded, fps=fps),
+            )
+        )
+    return rungs

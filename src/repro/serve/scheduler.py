@@ -347,6 +347,31 @@ class Scheduler:
             lane.pending.remove(t)
         return dropped
 
+    def truncate_from_gop(self, sid: str) -> tuple[int | None, list[ServeTask]]:
+        """Cancel every pending task from the earliest all-unstarted GOP on.
+
+        The scheduler half of the ABR rung switch: the returned GOP
+        number is the *cut point* — every GOP at or after it has had no
+        task dispatched or published, so the session can keep the work
+        it already paid for (everything before the cut) while a
+        continuation session on a cheaper rung joins mid-stream at the
+        cut GOP.  Cutting anywhere finer would strand decoded
+        reference pictures, exactly the invariant
+        :meth:`skip_next_gop` protects.  Returns ``(cut_gop,
+        dropped_tasks)``; ``(None, [])`` when no clean cut exists.
+        """
+        lane = self._lanes[sid]
+        if not lane.pending:
+            return None, []
+        started = lane.started_gops()
+        cut = (max(started) + 1) if started else min(t.gop for t in lane.pending)
+        dropped = [t for t in lane.pending if t.gop >= cut]
+        if not dropped:
+            return None, []
+        for t in dropped:
+            lane.pending.remove(t)
+        return cut, dropped
+
     # -- diagnostics ---------------------------------------------------
     def served_work(self, sid: str) -> float:
         return self._lanes[sid].served

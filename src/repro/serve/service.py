@@ -62,6 +62,7 @@ from repro.obs.stalls import (
     REASON_ADMISSION,
     REASON_DEGRADE_DROP_B,
     REASON_DEGRADE_SKIP_GOP,
+    REASON_DEGRADE_SWITCH_RUNG,
     REASON_QUEUE_GET,
     StallTable,
 )
@@ -80,7 +81,12 @@ from repro.parallel.mp import (
     collect_trace_shards,
 )
 from repro.parallel.mp_slice import decode_picture_into_pool
-from repro.serve.degrade import ACTION_DROP_B, ACTION_SKIP_GOP, DegradePolicy
+from repro.serve.degrade import (
+    ACTION_DROP_B,
+    ACTION_SKIP_GOP,
+    ACTION_SWITCH_RUNG,
+    DegradePolicy,
+)
 from repro.serve.scheduler import (
     Admission,
     Scheduler,
@@ -386,6 +392,8 @@ class DecodeService:
         weight: float = 1.0,
         resilient: bool | None = None,
         on_frame: Callable[[int, Frame | None], None] | None = None,
+        start_gop: int = 0,
+        rungs: list[bytes] | None = None,
     ) -> StreamSession:
         """Offer one stream to the service (before :meth:`run`).
 
@@ -395,10 +403,18 @@ class DecodeService:
         ``on_frame(display_index, frame_or_None)`` receives every
         display-ordered emission (``None`` = picture shed by
         degradation); omit it to skip pixel reads entirely.
+        ``start_gop`` admits the session mid-stream at the next closed
+        GOP at/after that GOP number (exact join — see
+        :class:`StreamSession`); ``rungs`` attaches an ABR ladder of
+        cheaper encodings the ``switch_rung`` degrade action may
+        downshift to.
         """
         if self._ran:
             raise RuntimeError("submit() after run() is not supported")
-        return self._submit_impl(name, data, weight, resilient, on_frame)
+        return self._submit_impl(
+            name, data, weight, resilient, on_frame,
+            start_gop=start_gop, rungs=rungs,
+        )
 
     def _submit_impl(
         self,
@@ -407,6 +423,9 @@ class DecodeService:
         weight: float = 1.0,
         resilient: bool | None = None,
         on_frame: Callable[[int, Frame | None], None] | None = None,
+        start_gop: int = 0,
+        rungs: list[bytes] | None = None,
+        rung_level: int = 0,
     ) -> StreamSession:
         if name in self.sessions:
             raise ValueError(f"duplicate session name {name!r}")
@@ -424,6 +443,9 @@ class DecodeService:
                 preroll_pictures=self.preroll_pictures,
                 policy=self.policy,
                 slo_policy=self.slo_policy,
+                start_gop=start_gop,
+                rungs=rungs,
+                rung_level=rung_level,
             )
         except Exception as exc:
             # Corrupt-input containment, scan stage: the poison stream
@@ -437,6 +459,12 @@ class DecodeService:
             )
             self.flight_dump(name, "scan-failed")
             return sess
+        if sess.join_gop:
+            self.flight.record(
+                name, "joined",
+                gop=sess.join_gop, display_base=sess.join_display_base,
+            )
+            metrics().counter("serve.sessions.joined").inc()
         tasks = sess.tasks()
         verdict = self.scheduler.submit(name, tasks, weight=weight)
         if verdict is Admission.ADMITTED:
@@ -469,6 +497,8 @@ class DecodeService:
         resilient: bool | None = None,
         on_frame: Callable[[int, Frame | None], None] | None = None,
         timeout_s: float = 30.0,
+        start_gop: int = 0,
+        rungs: list[bytes] | None = None,
     ) -> StreamSession:
         """Offer a stream to a service running under :meth:`run_forever`.
 
@@ -476,6 +506,7 @@ class DecodeService:
         the session through scan + admission (microseconds-to-
         milliseconds) and returns the session with its verdict on
         ``status``, exactly like :meth:`submit` before a static run.
+        ``start_gop`` requests a mid-stream join (see :meth:`submit`).
         """
         if not self._dynamic:
             raise RuntimeError(
@@ -485,7 +516,7 @@ class DecodeService:
         box: dict = {}
         with self._control_lock:
             self._intake.append((name, data, weight, resilient, on_frame,
-                                 done, box))
+                                 start_gop, rungs, done, box))
         if not done.wait(timeout_s):
             raise TimeoutError(
                 f"service did not process submission {name!r} "
@@ -541,13 +572,14 @@ class DecodeService:
     def _process_intake(self) -> None:
         with self._control_lock:
             batch, self._intake = self._intake, []
-        for name, data, weight, resilient, on_frame, done, box in batch:
+        for (name, data, weight, resilient, on_frame,
+             start_gop, rungs, done, box) in batch:
             try:
                 if self._stopping:
                     raise RuntimeError("service is shutting down")
                 sess = self._submit_impl(
                     name, data, weight=weight, resilient=resilient,
-                    on_frame=on_frame,
+                    on_frame=on_frame, start_gop=start_gop, rungs=rungs,
                 )
                 if not sess.terminal:
                     self._add_pool(sess.name)
@@ -596,6 +628,14 @@ class DecodeService:
         for order, dropped in ready:
             display_index = sess.plans[order].display_index
             if dropped:
+                if order in sess.switched_orders:
+                    # Not shed: this picture's decode moved to the rung
+                    # continuation session, which emits it there.  The
+                    # marker only exists to let this session's display
+                    # merger run to completion.
+                    sess.switched_pictures += 1
+                    metrics().counter("serve.pictures.switched").inc()
+                    continue
                 sess.dropped_pictures += 1
                 metrics().counter("serve.pictures.dropped").inc()
                 self.flight.record(
@@ -642,6 +682,9 @@ class DecodeService:
         self, sess: StreamSession, action: str, debt_s: float
     ) -> None:
         """Shed work for an overloaded session; account it in obs."""
+        if action == ACTION_SWITCH_RUNG:
+            self._switch_rung(sess, debt_s)
+            return
         if action == ACTION_DROP_B:
             dropped = self.scheduler.drop_b_tasks(
                 sess.name, gops=self.policy.drop_b_gops
@@ -677,6 +720,70 @@ class DecodeService:
         orders = tuple(o for t in dropped for o in t.orders)
         # Drop markers flow through the same display merger, so the
         # reorder buffer can release runs blocked behind shed pictures.
+        ready = sess.push_dropped(orders)
+        self._emit(sess, ready, self._pools[sess.name])
+
+    def _switch_rung(self, sess: StreamSession, debt_s: float) -> None:
+        """Downshift an overloaded session to its next ABR rung.
+
+        The scheduler cancels everything from the earliest GOP with no
+        started work, and that tail is resubmitted as a *continuation
+        session* decoding the next rung of the session's ladder,
+        joining mid-stream at the cut GOP (the tentpole join path —
+        closed GOPs make the hand-off exact at a picture boundary).
+        Unlike ``drop_b``/``skip_gop``, no picture is shed: every cut
+        picture is emitted by the continuation, at lower resolution
+        and a fraction of the decode cost.  No-op when the session has
+        no ladder, no clean cut exists, or the service cannot admit
+        the continuation.
+        """
+        if not sess.rungs or self._add_pool is None:
+            return
+        cut, dropped = self.scheduler.truncate_from_gop(sess.name)
+        if cut is None or not dropped:
+            return
+        rung_data, remaining = sess.rungs[0], sess.rungs[1:]
+        cont_name = f"{sess.name}~rung{sess.rung_level + 1}"
+        cont = self._submit_impl(
+            cont_name,
+            rung_data,
+            weight=sess.weight,
+            resilient=sess.resilient,
+            # ``cut`` is relative to this session's (possibly already
+            # joined) tail; the rung ladder always holds full streams.
+            start_gop=sess.join_gop + cut,
+            rungs=remaining,
+            rung_level=sess.rung_level + 1,
+        )
+        if cont.status is SessionStatus.FAILED or cont.status is SessionStatus.REJECTED:
+            # Could not place the continuation; put the tail back so
+            # the pictures are decoded at the original rung instead of
+            # silently vanishing.
+            for t in reversed(dropped):
+                self.scheduler._lanes[sess.name].pending.insert(0, t)
+            return
+        self._add_pool(cont_name)
+        sess.continuation = cont_name
+        orders = tuple(o for t in dropped for o in t.orders)
+        sess.switched_orders.update(orders)
+        metrics().counter("serve.degrade.switch_rung").inc()
+        self.flight.record(
+            sess.name, "degrade", action=REASON_DEGRADE_SWITCH_RUNG,
+            cut_gop=cut, pictures=len(orders), continuation=cont_name,
+            debt_ms=max(debt_s, 0.0) * 1e3,
+        )
+        self.last_stalls.record(
+            sess.name, REASON_DEGRADE_SWITCH_RUNG, max(debt_s, 0.0)
+        )
+        trace_complete(
+            "serve.degrade", "stall",
+            time.monotonic_ns(), int(max(debt_s, 0.0) * 1e9),
+            session=sess.name, reason=REASON_DEGRADE_SWITCH_RUNG,
+            tasks=len(dropped),
+        )
+        # Switch markers flow through the display merger so the old
+        # session can still finish; _emit routes them to the switched
+        # accounting, not the dropped path.
         ready = sess.push_dropped(orders)
         self._emit(sess, ready, self._pools[sess.name])
 

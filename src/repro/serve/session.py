@@ -20,7 +20,7 @@ from enum import Enum
 from typing import Iterator
 
 from repro.mpeg2.counters import WorkCounters
-from repro.mpeg2.index import build_index
+from repro.mpeg2.index import build_index, sequence_prefix
 from repro.obs.slo import SLOPolicy, SLOTracker
 from repro.parallel.mp import FrameLayout
 from repro.parallel.mp_slice import DisplayMerger, PicturePlan, scan_slice_tasks
@@ -52,6 +52,9 @@ class StreamSession:
         preroll_pictures: int = 0,
         policy: DegradePolicy | None = None,
         slo_policy: SLOPolicy | None = None,
+        start_gop: int = 0,
+        rungs: list[bytes] | None = None,
+        rung_level: int = 0,
     ) -> None:
         if weight <= 0:
             raise ValueError(f"weight must be > 0, got {weight}")
@@ -63,6 +66,27 @@ class StreamSession:
         # and turns it into a FAILED session (corrupt-input
         # containment).
         self.index = build_index(data)
+        # Mid-stream join: admit at the next closed GOP at/after
+        # ``start_gop`` and decode the tail *substream* (sequence
+        # prefix + remaining GOP bytes).  Because no coded state
+        # crosses a closed-GOP boundary, every picture of the tail is
+        # bit-identical to the same picture of a linear decode — the
+        # join is exact, and all downstream machinery (plans, merger,
+        # shared-pool meta) sees an ordinary stream.  join_point
+        # raises StreamIndexError past EOF (contained like any other
+        # scan failure).
+        self.join_gop = 0
+        self.join_display_base = 0
+        if start_gop:
+            join = self.index.join_point(start_gop)
+            self.join_gop = join
+            self.join_display_base = self.index.gop_display_base(join)
+            tail = (
+                sequence_prefix(data, self.index)
+                + data[self.index.gops[join].start_offset :]
+            )
+            self.data = tail
+            self.index = build_index(tail)
         self.seq = self.index.sequence_header
         self.layout = FrameLayout.for_display(self.seq.width, self.seq.height)
         self.plans: list[PicturePlan] = scan_slice_tasks(self.index)
@@ -81,6 +105,19 @@ class StreamSession:
         )
         #: one burnout flight-dump per session, not one per picture
         self.slo_dumped = False
+        # -- ABR rung ladder -------------------------------------------
+        #: Cheaper encodings of the same content, descending cost; the
+        #: ``switch_rung`` degrade action consumes the head of this
+        #: list by handing the not-yet-started tail of the stream to a
+        #: continuation session decoding that rung (mid-stream join).
+        self.rungs: list[bytes] = list(rungs or [])
+        self.rung_level = rung_level
+        #: Coding orders handed off to a rung continuation (their
+        #: pictures are emitted *there*, not here).
+        self.switched_orders: set[int] = set()
+        self.switched_pictures = 0
+        #: Name of the continuation session, once a switch happened.
+        self.continuation: str | None = None
         self.status = SessionStatus.PENDING
         self.error: dict | None = None
         #: Work counters (sequential-oracle parity): GOP + picture
@@ -119,6 +156,8 @@ class StreamSession:
         sess.data = b""
         sess.weight = 1.0
         sess.resilient = False
+        sess.join_gop = 0
+        sess.join_display_base = 0
         sess.index = None
         sess.seq = None
         sess.layout = None
@@ -128,6 +167,11 @@ class StreamSession:
         sess.degrade = DegradeState(DegradePolicy())
         sess.slo = None
         sess.slo_dumped = False
+        sess.rungs = []
+        sess.rung_level = 0
+        sess.switched_orders = set()
+        sess.switched_pictures = 0
+        sess.continuation = None
         sess.status = SessionStatus.FAILED
         sess.error = {
             "type": type(error).__name__,
@@ -252,6 +296,13 @@ class StreamSession:
             "degrade": self.degrade.snapshot(),
             "deadline": self.pacer.summary() if self.pacer.enabled else None,
         }
+        if self.join_gop:
+            doc["join_gop"] = self.join_gop
+            doc["join_display_base"] = self.join_display_base
+        if self.rung_level or self.switched_pictures or self.continuation:
+            doc["rung_level"] = self.rung_level
+            doc["switched_pictures"] = self.switched_pictures
+            doc["continuation"] = self.continuation
         if self.slo is not None:
             doc["slo"] = self.slo.snapshot()
         if self.error is not None:

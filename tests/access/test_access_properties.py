@@ -1,0 +1,176 @@
+"""Property suite for StreamIndex random access + join-point selection.
+
+Hypothesis drives the committed golden vectors (every GOP shape the
+corpus pins: 1..4 GOPs, I-only through I/P/B, padded display sizes)
+with arbitrary offsets and targets.  Four families of invariants:
+
+* **offset round-trip** — ``locate_offset`` is total over the stream's
+  byte range and lands inside the GOP/picture whose wire bytes cover
+  the offset; ``gop_display_base`` is its exact display-order inverse.
+* **seek monotonicity** — display targets map to monotonically
+  non-decreasing GOPs, and a seek plan emits exactly the display tail
+  ``[target, picture_count)``.
+* **join-point admission** — ``join_point`` never selects a GOP before
+  the requested position, always selects a *closed* GOP, and skips
+  nothing: there is no closed GOP between the request and the answer.
+* **ff(N) subset conservation** — fast-forward emits exactly the
+  reference pictures of the strided GOP subset the stride predicts:
+  nothing extra, nothing missing, every picture accounted for exactly
+  once.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.access import FF_GOP_STRIDE, plan_trick
+from repro.mpeg2.index import build_index
+
+from tests.conftest import DIGEST_PATH, GoldenCache
+
+with open(DIGEST_PATH) as _fh:
+    _DOC = json.load(_fh)
+VECTOR_NAMES = sorted(_DOC["streams"])
+
+#: Module-level cache (Hypothesis re-enters the test body many times;
+#: the function-scoped ``golden`` fixture pattern would rebuild it).
+_CACHE = GoldenCache()
+_INDEXES = {name: build_index(_CACHE.data(name)) for name in VECTOR_NAMES}
+
+vector_names = st.sampled_from(VECTOR_NAMES)
+
+
+def _display_table(index):
+    """display index -> (gop, picture) over display order."""
+    table = {}
+    for gi, gop in enumerate(index.gops):
+        base = index.gop_display_base(gi)
+        for rank, pic in enumerate(
+            sorted(gop.pictures, key=lambda p: p.temporal_reference)
+        ):
+            table[base + rank] = (gi, pic)
+    return table
+
+
+# ----------------------------------------------------------------------
+# offset round-trip
+# ----------------------------------------------------------------------
+@given(name=vector_names, data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_locate_offset_lands_in_covering_gop(name, data):
+    index = _INDEXES[name]
+    offset = data.draw(st.integers(0, index.total_bytes - 1))
+    gop, pos = index.locate_offset(offset)
+    g = index.gops[gop]
+    assert 0 <= pos < len(g.pictures)
+    # The resolved GOP is the last one starting at/before the offset
+    # (bytes before the first GOP — the sequence prefix — resolve to
+    # GOP 0 by decree).
+    if offset >= index.gops[0].start_offset:
+        assert g.start_offset <= offset
+    if gop + 1 < len(index.gops):
+        assert offset < index.gops[gop + 1].start_offset
+
+
+@given(name=vector_names, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_locate_offset_refuses_outside_stream(name, data):
+    index = _INDEXES[name]
+    bad = data.draw(
+        st.one_of(
+            st.integers(min_value=-100, max_value=-1),
+            st.integers(index.total_bytes, index.total_bytes + 100),
+        )
+    )
+    try:
+        index.locate_offset(bad)
+    except Exception as exc:
+        assert type(exc).__name__ == "StreamIndexError"
+    else:
+        raise AssertionError(f"offset {bad} resolved outside the stream")
+
+
+@given(name=vector_names)
+@settings(max_examples=20, deadline=None)
+def test_display_base_partitions_display_order(name):
+    index = _INDEXES[name]
+    # Bases are the exact prefix sums of GOP picture counts: block g
+    # owns [base_g, base_g + len) and the blocks tile [0, count).
+    edge = 0
+    for gi, gop in enumerate(index.gops):
+        assert index.gop_display_base(gi) == edge
+        edge += len(gop.pictures)
+    assert edge == index.picture_count
+
+
+# ----------------------------------------------------------------------
+# seek monotonicity
+# ----------------------------------------------------------------------
+@given(name=vector_names, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_seek_gop_mapping_is_monotone(name, data):
+    index = _INDEXES[name]
+    count = index.picture_count
+    a = data.draw(st.integers(0, count - 1))
+    b = data.draw(st.integers(0, count - 1))
+    lo, hi = sorted((a, b))
+    g_lo = index.gop_for_display_index(lo)
+    g_hi = index.gop_for_display_index(hi)
+    assert g_lo <= g_hi
+    # ...and the owning GOP really owns it.
+    base = index.gop_display_base(g_lo)
+    assert base <= lo < base + len(index.gops[g_lo].pictures)
+
+
+@given(name=vector_names, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_seek_plan_emits_exact_display_tail(name, data):
+    index = _INDEXES[name]
+    target = data.draw(st.integers(0, index.picture_count - 1))
+    plan = plan_trick(index, "seek", target=target)
+    assert plan.display_indices(index) == list(
+        range(target, index.picture_count)
+    )
+
+
+# ----------------------------------------------------------------------
+# join-point admission
+# ----------------------------------------------------------------------
+@given(name=vector_names, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_join_point_never_before_position_and_closed(name, data):
+    index = _INDEXES[name]
+    position = data.draw(st.integers(0, len(index.gops) - 1))
+    join = index.join_point(position)
+    assert join >= position, "joined before the requested position"
+    assert index.gops[join].closed_gop, "joined at an open GOP"
+    # No closed GOP was skipped: the answer is the *earliest* legal one.
+    assert all(
+        not index.gops[g].closed_gop for g in range(position, join)
+    )
+
+
+# ----------------------------------------------------------------------
+# ff(N) subset conservation
+# ----------------------------------------------------------------------
+@given(name=vector_names, rate=st.sampled_from(sorted(FF_GOP_STRIDE)))
+@settings(max_examples=60, deadline=None)
+def test_ff_emits_exactly_the_predicted_reference_subset(name, rate):
+    index = _INDEXES[name]
+    stride = FF_GOP_STRIDE[rate]
+    table = _display_table(index)
+    predicted = [
+        d
+        for d in sorted(table)
+        if table[d][0] % stride == 0
+        and table[d][1].picture_type.letter != "B"
+    ]
+    plan = plan_trick(index, f"ff{rate}")
+    got = plan.display_indices(index)
+    # Conservation: the emission list IS the predicted subset — every
+    # display index exactly once, in display order, nothing dropped,
+    # nothing invented.
+    assert got == predicted, (name, rate)
+    assert len(set(got)) == len(got)

@@ -1,0 +1,189 @@
+"""Trick-play conformance: every mode, every vector, bit-identical.
+
+Random access is only worth having if it is *exact*: a seek, a
+reverse scan, a fast-forward pass or an I-frame skim must emit frames
+that are bit-for-bit the frames a linear decode would have produced
+at the same display indices.  Closed GOPs make that a theorem (no
+coded state crosses an entry point); this suite makes it a gate.
+
+Three layers of pinning:
+
+* the committed ``trickplay`` digest sets in ``digests.json`` — the
+  scalar engine must reproduce them exactly (drift detection, same
+  contract as the linear golden digests);
+* the shared :class:`GoldenCache` trick oracle — the planner's
+  selection over the one session-wide linear decode — compared
+  frame-for-frame against the batched engine and the mp path;
+* the negative surface: seek past EOF and seek into an open GOP must
+  refuse on every path, never emit a best-effort frame.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.access import (
+    FF_GOP_STRIDE,
+    SeekError,
+    plan_trick,
+    trick_decode,
+    trick_decode_mp,
+)
+from repro.mpeg2.index import StreamIndexError, build_index
+
+from tests.conftest import DIGEST_PATH
+from tests.mpeg2.test_golden_vectors import load_vector
+
+with open(DIGEST_PATH) as _fh:
+    _DOC = json.load(_fh)
+TRICKPLAY: dict[str, dict] = _DOC["trickplay"]
+NEGATIVE: dict[str, dict] = _DOC["negative"]
+
+VECTOR_NAMES = sorted(TRICKPLAY)
+
+#: (vector, mode label, mode, target) for every pinned trick entry.
+CASES = [
+    (name, label, *(("seek", int(label.split("@")[1]))
+                    if label.startswith("seek@") else (label, 0)))
+    for name in VECTOR_NAMES
+    for label in sorted(TRICKPLAY[name]["modes"])
+]
+
+
+def _ids(cases):
+    return [f"{n}-{label}" for n, label, _, _ in cases]
+
+
+class TestPinnedDigests:
+    """The scalar engine reproduces every committed trick digest."""
+
+    @pytest.mark.parametrize("name,label,mode,target", CASES, ids=_ids(CASES))
+    def test_scalar_matches_pinned(self, golden, name, label, mode, target):
+        entry = TRICKPLAY[name]["modes"][label]
+        pairs = trick_decode(
+            golden.data(name), mode, target=target,
+            index=golden.index(name), engine="scalar",
+        )
+        assert [d for d, _ in pairs] == entry["display_indices"], (name, label)
+        assert [f.digest() for _, f in pairs] == entry["frame_digests"], (
+            f"{name} {label}: scalar trick decode drifted from the "
+            "pinned digests"
+        )
+
+    @pytest.mark.parametrize("name", VECTOR_NAMES)
+    def test_trick_digests_are_subsets_of_linear(self, name):
+        # Transitivity anchor: every pinned trick digest IS the pinned
+        # linear digest at its display index, by construction.
+        linear = _DOC["streams"][name]["frame_digests"]
+        for label, entry in TRICKPLAY[name]["modes"].items():
+            assert entry["frame_digests"] == [
+                linear[d] for d in entry["display_indices"]
+            ], (name, label)
+
+
+class TestEngineParity:
+    """batched and mp agree with the shared linear-oracle selection."""
+
+    @pytest.mark.parametrize("name,label,mode,target", CASES, ids=_ids(CASES))
+    @pytest.mark.parametrize("path", ["batched", "mp-inprocess"])
+    def test_path_matches_oracle(self, golden, name, label, mode, target, path):
+        expect = golden.trick(name, mode, target=target)
+        if path == "batched":
+            pairs = trick_decode(
+                golden.data(name), mode, target=target,
+                index=golden.index(name), engine="batched",
+            )
+        else:
+            pairs = trick_decode_mp(
+                golden.data(name), mode, target=target,
+                index=golden.index(name), workers=0,
+            )
+        assert [d for d, _ in pairs] == [d for d, _ in expect], (name, label)
+        for (d, got), (_, want) in zip(pairs, expect):
+            assert got.digest() == want.digest(), (
+                f"{name} {label} [{path}]: display index {d} diverges "
+                "from the linear oracle"
+            )
+
+    def test_mp_worker_processes_match_oracle(self, golden):
+        # One real worker-pool run (the in-process fallback covered the
+        # full matrix above); two GOPs so the pool actually fans out.
+        name = "two_gop_48x32"
+        expect = golden.trick(name, "ff2")
+        pairs = trick_decode_mp(golden.data(name), "ff2", workers=2)
+        assert [(d, f.digest()) for d, f in pairs] == [
+            (d, f.digest()) for d, f in expect
+        ]
+
+
+class TestTrickSemantics:
+    """Mode semantics pinned structurally, not just by digest."""
+
+    @pytest.mark.parametrize("name", VECTOR_NAMES)
+    def test_seek_emits_exact_tail(self, golden, name):
+        index = golden.index(name)
+        for target in TRICKPLAY[name]["seek_targets"]:
+            plan = plan_trick(index, "seek", target=target)
+            assert plan.display_indices(index) == list(
+                range(target, index.picture_count)
+            ), (name, target)
+
+    @pytest.mark.parametrize("name", VECTOR_NAMES)
+    def test_reverse_is_reversed_linear(self, golden, name):
+        index = golden.index(name)
+        plan = plan_trick(index, "reverse")
+        assert plan.display_indices(index) == list(
+            reversed(range(index.picture_count))
+        )
+
+    @pytest.mark.parametrize("name", VECTOR_NAMES)
+    @pytest.mark.parametrize("rate", sorted(FF_GOP_STRIDE))
+    def test_ff_emits_only_references(self, golden, name, rate):
+        index = golden.index(name)
+        plan = plan_trick(index, f"ff{rate}")
+        by_display = {}
+        for gi, gop in enumerate(index.gops):
+            for rank, pic in enumerate(
+                sorted(gop.pictures, key=lambda p: p.temporal_reference)
+            ):
+                by_display[index.gop_display_base(gi) + rank] = (
+                    pic.picture_type.letter
+                )
+        letters = {by_display[d] for d in plan.display_indices(index)}
+        assert "B" not in letters, (name, rate)
+
+
+class TestNegativeSurface:
+    @pytest.mark.parametrize("name", VECTOR_NAMES)
+    def test_seek_past_eof_refused(self, golden, name):
+        count = golden.index(name).picture_count
+        for attempt in (
+            lambda: trick_decode(golden.data(name), "seek", target=count),
+            lambda: trick_decode_mp(
+                golden.data(name), "seek", target=count, workers=0
+            ),
+        ):
+            with pytest.raises(SeekError):
+                attempt()
+
+    def test_join_past_eof_refused(self, golden):
+        index = golden.index("two_gop_48x32")
+        with pytest.raises(StreamIndexError):
+            index.join_point(len(index.gops))
+
+    def test_open_gop_seek_refused_on_every_path(self):
+        entry = NEGATIVE["neg_open_gop_seek"]
+        data = load_vector("neg_open_gop_seek")
+        target = entry["seek_target"]
+        for attempt in (
+            lambda: trick_decode(data, "seek", target=target, engine="scalar"),
+            lambda: trick_decode(data, "seek", target=target, engine="batched"),
+            lambda: trick_decode_mp(data, "seek", target=target, workers=0),
+        ):
+            with pytest.raises(SeekError):
+                attempt()
+        # join_point must refuse too: no closed GOP remains at/after 1.
+        with pytest.raises(StreamIndexError):
+            build_index(data).join_point(1)

@@ -43,8 +43,14 @@ class GoldenCache:
             doc = json.load(fh)
         self.corpus: dict[str, dict] = doc["streams"]
         self.negative: dict[str, dict] = doc["negative"]
+        self.trickplay: dict[str, dict] = doc.get("trickplay", {})
         self._bytes: dict[str, bytes] = {}
-        self._scalar: dict[str, tuple] = {}
+        #: (vector, mode[, target]) -> decode products.  Keying on the
+        #: *mode* matters: trick-play oracles are selections over the
+        #: one linear decode, so asking for every mode of a vector
+        #: still costs exactly one scalar decode per session.
+        self._oracle: dict[tuple, tuple] = {}
+        self._index: dict[str, object] = {}
 
     @property
     def names(self) -> list[str]:
@@ -60,9 +66,18 @@ class GoldenCache:
                 self._bytes[name] = fh.read()
         return self._bytes[name]
 
+    def index(self, name: str):
+        """Shared scan index for a committed vector."""
+        if name not in self._index:
+            from repro.mpeg2.index import build_index
+
+            self._index[name] = build_index(self.data(name))
+        return self._index[name]
+
     def scalar(self, name: str) -> tuple:
         """``(frames, counters)`` from one shared scalar-oracle decode."""
-        if name not in self._scalar:
+        key = (name, "linear")
+        if key not in self._oracle:
             from repro.mpeg2.counters import WorkCounters
             from repro.mpeg2.decoder import SequenceDecoder
 
@@ -70,8 +85,27 @@ class GoldenCache:
             frames = SequenceDecoder(
                 self.data(name), engine="scalar"
             ).decode_all(counters)
-            self._scalar[name] = (frames, counters)
-        return self._scalar[name]
+            self._oracle[key] = (frames, counters)
+        return self._oracle[key]
+
+    def trick(self, name: str, mode: str, target: int = 0) -> list:
+        """Expected ``(display_index, frame)`` pairs for a trick mode.
+
+        Closed GOPs make every trick mode an exact *subset* of the
+        linear decode, so the oracle is the planner's selection over
+        the shared scalar frames — no second decode, and any decoder
+        output compared against it is transitively compared against
+        the pinned linear digests.
+        """
+        key = (name, mode, target)
+        if key not in self._oracle:
+            from repro.access import plan_trick
+
+            frames, _ = self.scalar(name)
+            plan = plan_trick(self.index(name), mode, target=target)
+            dis = plan.display_indices(self.index(name))
+            self._oracle[key] = [(d, frames[d]) for d in dis]
+        return self._oracle[key]
 
 
 @pytest.fixture(scope="session")

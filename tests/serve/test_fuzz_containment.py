@@ -42,6 +42,7 @@ import signal
 
 import pytest
 
+from repro.access import AccessError, trick_decode, trick_decode_mp
 from repro.bitstream.reader import BitstreamError
 from repro.mpeg2.blockcoding import BlockSyntaxError
 from repro.mpeg2.counters import WorkCounters
@@ -215,9 +216,10 @@ def run_path(fn, data):
 @pytest.fixture(scope="module", autouse=True)
 def fuzz_watchdog():
     """One SIGALRM budget for the whole mutant sweep: ~0.5 s/mutant
-    with a generous floor, plus headroom for the network round.  A
-    single wedged mutant trips it."""
-    budget = max(180, MUTANT_COUNT + 120)
+    with a generous floor, plus headroom for the network round and the
+    seek round (three random-access probes per mutant).  A single
+    wedged mutant trips it."""
+    budget = max(240, 2 * MUTANT_COUNT + 120)
 
     def on_alarm(signum, frame):  # pragma: no cover - only on bug
         raise TimeoutError("fuzz sweep wedged: a decode path hung on a mutant")
@@ -270,6 +272,85 @@ class TestDifferentialAgreement:
                 f"mutant {idx} ({op} of {base}): paths disagree on error "
                 f"class: {direct}"
             )
+
+
+# ----------------------------------------------------------------------
+# trick-play seek fuzz: random access into garbage
+# ----------------------------------------------------------------------
+#
+# Seek is a *different traversal* of the same bytes — it indexes the
+# stream, enters at a closed GOP and decodes only the tail — so a
+# mutant can legitimately decode under seek while failing linearly
+# (the corruption lives in a skipped GOP) and vice versa.  What must
+# hold is engine agreement: for every mutant and every probed target,
+# the scalar, batched and mp random-access paths reach the *same*
+# verdict — identical (display index, digest) emissions, or the same
+# deliberate error class.  SeekError (refusing an unprovable entry
+# point) is a verdict, not a crash.
+
+#: Seek targets are drawn from a *separate* seeded stream per mutant —
+#: never from the mutant recipe's rng, which is pinned forever.
+SEEKS_PER_MUTANT = 3
+
+TRICK_ALLOWED_ERRORS = ALLOWED_ERRORS + (AccessError,)
+
+
+def seek_targets(idx: int) -> list[int]:
+    rng = random.Random(FUZZ_SEED + idx)
+    # [0, 32): past-EOF targets included on purpose — refusal is a
+    # verdict the paths must agree on too.
+    return [rng.randrange(0, 32) for _ in range(SEEKS_PER_MUTANT)]
+
+
+TRICK_PATHS = {
+    "scalar": lambda d, t: trick_decode(d, "seek", target=t, engine="scalar"),
+    "batched": lambda d, t: trick_decode(d, "seek", target=t, engine="batched"),
+    "mp-gop": lambda d, t: trick_decode_mp(d, "seek", target=t, workers=0),
+}
+
+
+def run_trick(fn, data, target):
+    """-> ("ok", ((display_index, digest), ...)) | ("err", class_name)."""
+    try:
+        pairs = fn(data, target)
+    except TRICK_ALLOWED_ERRORS as exc:
+        return ("err", type(exc).__name__)
+    return ("ok", tuple((d, f.digest()) for d, f in pairs))
+
+
+class TestTrickPlaySeekFuzz:
+    """Random access into every mutant: engine paths agree, contained."""
+
+    @pytest.mark.parametrize(
+        "idx,base,op,data",
+        MUTANTS,
+        ids=[f"{i:03d}-{b}-{o}" for i, b, o, _ in MUTANTS],
+    )
+    def test_seek_paths_agree(self, idx, base, op, data, no_shm_leak):
+        for target in seek_targets(idx):
+            verdicts = {
+                name: run_trick(fn, data, target)
+                for name, fn in TRICK_PATHS.items()
+            }
+            kinds = {v[0] for v in verdicts.values()}
+            assert len(kinds) == 1, (
+                f"mutant {idx} ({op} of {base}) seek@{target}: split "
+                f"verdict: { {n: v[0] for n, v in verdicts.items()} }"
+            )
+            if kinds == {"ok"}:
+                ref = verdicts["scalar"][1]
+                for name, (_, emissions) in verdicts.items():
+                    assert emissions == ref, (
+                        f"mutant {idx} ({op} of {base}) seek@{target}: "
+                        f"{name} emissions diverge from scalar"
+                    )
+            else:
+                classes = {v[1] for v in verdicts.values()}
+                assert len(classes) == 1, (
+                    f"mutant {idx} ({op} of {base}) seek@{target}: "
+                    f"paths disagree on error class: "
+                    f"{ {n: v[1] for n, v in verdicts.items()} }"
+                )
 
 
 class TestNetworkFuzz:

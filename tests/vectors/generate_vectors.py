@@ -310,6 +310,146 @@ def promote_fuzz_mutants() -> dict[str, dict]:
     return out
 
 
+# ----------------------------------------------------------------------
+# trick-play corpus: random-access digest sets over the positive corpus
+# ----------------------------------------------------------------------
+#
+# Every trick-play mode is a *selection* over the linear decode —
+# closed GOPs guarantee no coded state crosses an entry point, so each
+# emitted picture must be bit-identical to the same display index of
+# the committed linear digests.  The generator enforces exactly that
+# before pinning anything, on the scalar + batched engines and the mp
+# path, so a trick digest that disagrees with its stream's linear
+# digests can never be committed.
+
+#: Target-free modes pinned for every stream; ``seek`` entries are
+#: derived per stream from :func:`repro.access.default_seek_targets`.
+TRICK_MODES_PINNED = ("reverse", "ff2", "ff4", "iframes")
+
+
+def trick_corpus(built: dict[str, bytes]) -> dict[str, dict]:
+    from repro.access import default_seek_targets, trick_decode, trick_decode_mp
+
+    out: dict[str, dict] = {}
+    for name, data in built.items():
+        index = build_index(data)
+        oracle = SequenceDecoder(data, engine="scalar").decode_all()
+        oracle_digests = [f.digest() for f in oracle]
+        targets = default_seek_targets(index)
+        runs = [(f"seek@{t}", "seek", t) for t in targets]
+        runs += [(m, m, 0) for m in TRICK_MODES_PINNED]
+        modes: dict[str, dict] = {}
+        for label, mode, target in runs:
+            pairs = trick_decode(
+                data, mode, target=target, index=index, engine="scalar"
+            )
+            dis = [d for d, _ in pairs]
+            digs = [f.digest() for _, f in pairs]
+            assert digs == [oracle_digests[d] for d in dis], (name, label)
+            for check in (
+                lambda: trick_decode(
+                    data, mode, target=target, index=index, engine="batched"
+                ),
+                lambda: trick_decode_mp(
+                    data, mode, target=target, index=index, workers=0
+                ),
+            ):
+                got = check()
+                assert [d for d, _ in got] == dis, (name, label)
+                assert [f.digest() for _, f in got] == digs, (name, label)
+            modes[label] = {"display_indices": dis, "frame_digests": digs}
+        # One real worker-pool cross-check per stream (the in-process
+        # path above already covered every mode).
+        label, mode, target = runs[0]
+        pool = trick_decode_mp(data, mode, target=target, workers=2)
+        assert [f.digest() for _, f in pool] == modes[label]["frame_digests"], name
+        out[name] = {"seek_targets": targets, "modes": modes}
+        print(
+            f"{name}: trick-play {len(modes)} modes "
+            f"(seek targets {targets})"
+        )
+    return out
+
+
+def open_gop_negative(built: dict[str, bytes]) -> dict:
+    """Clear a GOP's closed_gop flag; random access must refuse it.
+
+    The GOP-parallel decomposition (and therefore the whole codebase's
+    bit-exactness story) rests on the paper's closed-GOP assumption,
+    so *every* GOP-level path rejects the stream with ``DecodeError``
+    — and the access layer must refuse seek/join into the open GOP
+    with ``SeekError`` rather than risk a non-bit-exact entry.
+    """
+    from repro.access import SeekError, trick_decode, trick_decode_mp
+    from repro.mpeg2.decoder import DecodeError
+    from repro.mpeg2.index import StreamIndexError
+
+    base = built["two_gop_48x32"]
+    index = build_index(base)
+    gop = index.gops[1]
+    mutated = bytearray(base)
+    # closed_gop is bit 6 of the byte at offset 7 inside the GOP
+    # header (start code + 25 bits of timecode before it).
+    mutated[gop.start_offset + 7] &= ~0x40
+    data = bytes(mutated)
+    midx = build_index(data)
+    assert not midx.gops[1].closed_gop, "surgery failed to clear the flag"
+    target = midx.gop_display_base(1)
+
+    # The linear GOP-level decode refuses open GOPs outright.
+    try:
+        SequenceDecoder(data, engine="scalar").decode_all()
+    except DecodeError:
+        pass
+    else:
+        raise AssertionError("linear decode accepted an open GOP")
+
+    for describe, attempt in (
+        ("scalar", lambda: trick_decode(data, "seek", target=target,
+                                        engine="scalar")),
+        ("batched", lambda: trick_decode(data, "seek", target=target,
+                                         engine="batched")),
+        ("mp-0", lambda: trick_decode_mp(data, "seek", target=target,
+                                         workers=0)),
+    ):
+        try:
+            attempt()
+        except SeekError:
+            pass
+        else:
+            raise AssertionError(f"open-GOP seek decoded on {describe}")
+    # join_point must refuse too: no closed GOP at/after the target.
+    try:
+        midx.join_point(1)
+    except StreamIndexError:
+        pass
+    else:
+        raise AssertionError("join_point accepted an open GOP")
+
+    name = "neg_open_gop_seek"
+    with open(os.path.join(VECTOR_DIR, f"{name}.m2v"), "wb") as fh:
+        fh.write(data)
+    print(f"{name}: {len(data)} bytes (seek into open GOP refused)")
+    return {
+        name: {
+            "file": f"{name}.m2v",
+            "base": "two_gop_48x32",
+            "note": (
+                "GOP 1's closed_gop flag cleared; GOP-level decode "
+                "rejects with DecodeError (paper assumption), and "
+                "seek/join into GOP 1 must refuse (SeekError / "
+                "StreamIndexError) on every path — an unprovable "
+                "entry point is not an entry point"
+            ),
+            "stream_sha256": hashlib.sha256(data).hexdigest(),
+            "stream_bytes": len(data),
+            "error": "DecodeError",
+            "trick_error": "SeekError",
+            "seek_target": target,
+        }
+    }
+
+
 def negative_reference(data: bytes) -> tuple[list[str], WorkCounters]:
     """Scalar-oracle digests + counters for a negative stream."""
     counters = WorkCounters()
@@ -474,6 +614,11 @@ def main() -> int:
             f"{counters.concealed_slices} concealed ({spec['note'][:40]}...)"
         )
 
+    # Trick-play digest sets (selections over the linear decode) and
+    # the open-GOP random-access refusal vector.
+    trickplay = trick_corpus(built)
+    negative.update(open_gop_negative(built))
+
     # Promoted fuzz mutants ride in the same negative corpus (after
     # the base vector files above are on disk — the recipe reads them).
     negative.update(promote_fuzz_mutants())
@@ -489,6 +634,7 @@ def main() -> int:
                 "streams": corpus,
                 "negative": negative,
                 "conceal": conceal,
+                "trickplay": trickplay,
             },
             fh,
             indent=2,
