@@ -134,8 +134,9 @@ def _cmd_decode(args: argparse.Namespace) -> int:
                 resilient=args.resilient, counters=counters,
             )
         else:
+            engine = "batched" if args.engine == "auto" else args.engine
             pairs = trick_decode(
-                data, mode, target=target, engine=args.engine,
+                data, mode, target=target, engine=engine,
                 resilient=args.resilient, counters=counters,
             )
         frames = [f for _, f in pairs]
@@ -148,6 +149,36 @@ def _cmd_decode(args: argparse.Namespace) -> int:
             f"trick-play {mode}: {len(frames)} pictures "
             f"(display indices {lo}..{hi})"
         )
+    elif args.grain is not None or args.engine == "auto":
+        # The unified executor path: typed task graph + auto (or
+        # pinned) grain/engine decisions over the shared backend.
+        from repro.exec import TaskGraphExecutor
+
+        ex = TaskGraphExecutor(
+            data,
+            grain=args.grain or "auto",
+            engine=args.engine,
+            workers=args.workers,
+            mode=args.barrier,
+            resilient=args.resilient,
+        )
+        frames = ex.decode_all(counters)
+        mp_decoder = ex
+        mode = (
+            f"{ex.workers} worker processes"
+            if ex.workers
+            else "in-process fallback"
+        )
+        print(
+            f"executor decode ({mode}, grain {args.grain or 'auto'}, "
+            f"engine {args.engine})"
+        )
+        for i, d in enumerate(ex.last_decisions):
+            print(
+                f"  plan[{i}]: grain={d.grain} engine={d.engine} "
+                f"[{d.reason}] est {d.est_cost:.3f}s "
+                f"(alt {d.alt_grain}/{d.alt_engine} {d.alt_cost:.3f}s)"
+            )
     elif args.workers is not None:
         mode = (
             f"{args.workers} worker processes"
@@ -243,6 +274,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         resilient=args.resilient,
         task_timeout_s=args.task_timeout,
         preroll_pictures=args.preroll,
+        grain=args.grain,
+        engine=args.engine,
     )
     for spec in args.streams:
         weight = 1.0
@@ -626,8 +659,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "every picture (simple) or only after "
                           "reference pictures (improved)")
     dec.add_argument("--engine", default="batched",
-                     choices=["scalar", "batched"],
-                     help="decode engine (both bit-identical)")
+                     choices=["scalar", "batched", "auto"],
+                     help="decode engine (bit-identical either way); "
+                          "'auto' lets the executor's cost model pick")
+    dec.add_argument("--grain", default=None,
+                     choices=["auto", "gop", "slice"],
+                     help="route through the unified task-graph "
+                          "executor (repro.exec): pin the decomposition "
+                          "grain, or 'auto' to choose per stream and "
+                          "re-pick at GOP boundaries from observed "
+                          "stage timings")
     dec.add_argument("--seek", type=int, default=None, metavar="PIC",
                      help="trick-play: start at the closed GOP owning "
                           "display picture PIC (bit-identical to the "
@@ -672,6 +713,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-session in-flight task bound (backpressure)")
     srv.add_argument("--preroll", type=int, default=0,
                      help="deadline preroll buffer in pictures")
+    srv.add_argument("--grain", default=None,
+                     choices=["auto", "gop", "slice"],
+                     help="scheduler task grain per session: 'gop' = "
+                          "one task per GOP, 'slice' = fine ref/B "
+                          "tasks (default), 'auto' = per-stream pick "
+                          "from the bandwidth profile's cost estimate")
+    srv.add_argument("--engine", default=None,
+                     choices=["auto", "scalar", "batched"],
+                     help="cost-model engine hint for --grain auto")
     srv.add_argument("--task-timeout", type=float, default=60.0,
                      help="per-task wall-clock budget before the worker "
                           "is presumed wedged and the task retried")

@@ -1,0 +1,77 @@
+"""``repro.exec``: the unified task-graph executor.
+
+One execution substrate for every parallel decode path in the repo.
+Historically ``repro.parallel.mp`` (GOP grain), ``repro.parallel.
+mp_slice`` (slice grain) and ``repro.serve`` (multi-stream) each
+carried a private copy of the same machinery: shared-memory frame
+pools and bitstream arenas, a liveness-polled result wait, worker
+teardown ordering, trace-shard collection.  This package hoists that
+machinery into one place and layers a planner/executor split on top:
+
+* :mod:`repro.exec.shm` — the shared-memory substrate
+  (:class:`FrameLayout`, :class:`SharedFramePool`,
+  :class:`LocalFramePool`, :class:`StreamArena`).
+* :mod:`repro.exec.backend` — the persistent worker-pool backend:
+  pool registry, liveness polling (:data:`LIVENESS_POLL_S`), dead
+  worker detection, canonical teardown, trace-shard collection, and
+  the GOP-chunk worker body every GOP-grain decode dispatches through.
+* :mod:`repro.exec.graph` — typed task nodes
+  (parse / reconstruct / publish) with explicit ref-dependency edges
+  and conservation accounting.
+* :mod:`repro.exec.plan` — planners that lower a scan index into a
+  :class:`~repro.exec.graph.TaskGraph` at GOP or slice grain.
+* :mod:`repro.exec.auto` — the :class:`AutoGranularity` controller:
+  chooses engine + grain per stream from the bandwidth profiler's
+  cost estimate and re-picks at GOP boundaries from observed obs
+  stage timings.
+* :mod:`repro.exec.executor` — :class:`TaskGraphExecutor`, the
+  unified front end behind ``--grain auto|gop|slice`` and
+  ``--engine auto|scalar|batched``.
+
+The legacy modules remain as *planners* over this substrate and
+re-export the moved names, so existing imports keep working.
+"""
+
+from repro.exec.auto import AutoGranularity, CostModel, Decision, ObsSnapshot
+from repro.exec.backend import (
+    LIVENESS_POLL_S,
+    collect_trace_shards,
+    get_persistent_pool,
+    invalidate_persistent_pool,
+    persistent_worker_pids,
+    shutdown_persistent_pools,
+)
+from repro.exec.executor import TaskGraphExecutor, decode_auto
+from repro.exec.graph import TaskGraph, TaskNode
+from repro.exec.plan import plan_gop_graph, plan_slice_graph
+from repro.exec.shm import (
+    FrameLayout,
+    FramePoolBase,
+    LocalFramePool,
+    SharedFramePool,
+    StreamArena,
+)
+
+__all__ = [
+    "AutoGranularity",
+    "CostModel",
+    "Decision",
+    "ObsSnapshot",
+    "LIVENESS_POLL_S",
+    "collect_trace_shards",
+    "get_persistent_pool",
+    "invalidate_persistent_pool",
+    "persistent_worker_pids",
+    "shutdown_persistent_pools",
+    "TaskGraphExecutor",
+    "decode_auto",
+    "TaskGraph",
+    "TaskNode",
+    "plan_gop_graph",
+    "plan_slice_graph",
+    "FrameLayout",
+    "FramePoolBase",
+    "LocalFramePool",
+    "SharedFramePool",
+    "StreamArena",
+]

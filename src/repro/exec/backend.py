@@ -1,0 +1,626 @@
+"""The persistent worker-pool backend every parallel decode runs on.
+
+This module is the single home of the machinery that used to be
+duplicated across the three schedulers (``repro.parallel.mp``,
+``repro.parallel.mp_slice``, ``repro.serve.service``):
+
+* the liveness-poll constant (:data:`LIVENESS_POLL_S`) and the
+  chunked, liveness-checked result wait (:func:`timed_queue_get`);
+* dead-worker detection and the canonical ``DecodeError`` it raises
+  (:func:`worker_death_error`);
+* the process-wide **persistent pool registry**
+  (:func:`get_persistent_pool` and friends) — pre-forked once per
+  ``(workers, start_method)``, shared by every GOP-grain decode in
+  the process;
+* the GOP-chunk worker body (:func:`_decode_gop_chunk`) and its
+  stream-agnostic attachment caches — the execution engine behind
+  both ``MPGopDecoder`` and the executor's GOP grain;
+* canonical teardown ordering (:func:`reap_processes`,
+  :func:`close_queues`, :func:`release_segments`) and trace-shard
+  collection (:func:`collect_trace_shards`);
+* :class:`WorkerTeam` — the spawn / liveness-wait / sentinel / reap
+  lifecycle for explicitly-managed worker process sets (the slice
+  decoder's shape).
+
+The planners above stay thin: they decide *what* to decode (byte
+ranges, dependency edges, availability rules) and this backend decides
+*how* it runs and dies.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import queue as queue_mod
+import shutil
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from glob import glob
+from typing import Callable, Iterator
+
+from repro.exec.shm import FrameLayout, SharedFramePool, StreamArena
+from repro.mpeg2.counters import WorkCounters
+from repro.mpeg2.decoder import DecodeError, SequenceDecoder
+from repro.mpeg2.frame import Frame
+from repro.mpeg2.index import StreamIndex
+from repro.obs.metrics import metrics, reset_metrics
+from repro.obs.stalls import REASON_QUEUE_GET, StallTable
+from repro.obs.trace import (
+    Tracer,
+    enable_tracing,
+    get_tracer,
+    trace_complete,
+    trace_span,
+)
+
+#: Seconds between liveness polls while a parent blocks on results.
+#: A dead worker (crash, OOM kill, SIGKILL) is detected within one
+#: poll instead of hanging the merge loop forever on a lost task.
+#: One constant for every scheduler — the per-module copies drifted
+#: once and are gone.
+LIVENESS_POLL_S = 0.2
+
+
+def worker_death_error(role: str, unit: str, loss: str, codes) -> DecodeError:
+    """The canonical dead-worker failure, shared by every scheduler.
+
+    ``role``/``unit``/``loss`` parameterize the historical messages
+    exactly ("GOP … mid-stream … its task", "slice … mid-picture …
+    its slice"), so tests pinning them keep passing while the raising
+    code lives in one place.
+    """
+    return DecodeError(
+        f"{role} worker process died mid-{unit} "
+        f"(exit codes {codes}); its {loss} is lost — "
+        "aborting the parallel decode"
+    )
+
+
+def timed_queue_get(
+    q,
+    on_timeout: Callable[[], bool | None],
+    stalls: StallTable | None = None,
+    who: str = "merge",
+    span: str = "mp.result.wait",
+):
+    """Liveness-polled result wait: the one blocking-get all parents use.
+
+    Blocks on ``q`` in :data:`LIVENESS_POLL_S` chunks.  Every empty
+    poll runs ``on_timeout()``, which may
+
+    * raise (fatal: a dead worker whose task is unrecoverable),
+    * return truthy to abandon the wait (a *handled* loss — the serve
+      layer requeues and respawns; ``None`` is returned), or
+    * return falsy to keep polling.
+
+    A successful get records the elapsed wait as the parent's
+    ``queue.get`` stall under ``span`` — identical attribution across
+    all schedulers.
+    """
+    t0 = time.monotonic_ns()
+    while True:
+        try:
+            result = q.get(timeout=LIVENESS_POLL_S)
+            break
+        except queue_mod.Empty:
+            if on_timeout():
+                return None
+    waited = time.monotonic_ns() - t0
+    trace_complete(span, "stall", t0, waited, reason=REASON_QUEUE_GET)
+    if stalls is not None:
+        stalls.record(who, REASON_QUEUE_GET, waited / 1e9)
+    return result
+
+
+# ----------------------------------------------------------------------
+# canonical teardown ordering
+# ----------------------------------------------------------------------
+def reap_processes(procs, grace: float = 5.0) -> None:
+    """Terminate-then-join every still-alive worker (escalating)."""
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+            p.join(timeout=grace)
+            if p.is_alive():  # pragma: no cover - defensive
+                p.kill()
+                p.join(timeout=grace)
+
+
+def close_queues(*queues) -> None:
+    """Close mp queues without blocking on their feeder threads."""
+    for q in queues:
+        q.close()
+        q.cancel_join_thread()
+
+
+def release_segments(*segs) -> None:
+    """Owner-side shared-memory teardown: close, then unlink."""
+    for seg in segs:
+        seg.close()
+        seg.unlink()
+
+
+class WorkerTeam:
+    """Spawn / liveness-wait / sentinel / reap for explicit worker sets.
+
+    The lifecycle shape of the slice decoder (and any planner that
+    manages its own ``ctx.Process`` list with shared task/result
+    queues), with the liveness and teardown ordering owned here:
+
+    1. :meth:`spawn` each worker (daemonized, started immediately);
+    2. :meth:`get_result` in the merge loop — liveness-polled, raising
+       the canonical dead-worker :class:`DecodeError` via
+       ``role``/``unit``/``loss``;
+    3. :meth:`send_sentinels` + drain the final observability
+       messages, then :meth:`join_all`;
+    4. :meth:`teardown` in the ``finally``: escalating reap, queue
+       close (the caller releases its own shared segments and trace
+       shards — those belong to the decode, not the team).
+    """
+
+    def __init__(
+        self,
+        ctx,
+        role: str = "slice",
+        unit: str = "picture",
+        loss: str = "slice",
+        span: str = "mp.result.wait",
+        who: str = "merge",
+    ) -> None:
+        self.ctx = ctx
+        self.role = role
+        self.unit = unit
+        self.loss = loss
+        self.span = span
+        self.who = who
+        self.task_q = ctx.Queue()
+        self.result_q = ctx.Queue()
+        self.procs: list = []
+
+    def spawn(self, target, args) -> object:
+        p = self.ctx.Process(target=target, args=args, daemon=True)
+        p.start()
+        self.procs.append(p)
+        return p
+
+    def check_dead(self) -> None:
+        """Raise the canonical DecodeError if any worker died unclean."""
+        dead = [p for p in self.procs if p.exitcode not in (None, 0)]
+        if dead:
+            codes = sorted(
+                p.exitcode for p in dead if p.exitcode is not None
+            )
+            raise worker_death_error(self.role, self.unit, self.loss, codes)
+
+    def get_result(self, stalls: StallTable | None = None):
+        return timed_queue_get(
+            self.result_q,
+            on_timeout=self.check_dead,
+            stalls=stalls,
+            who=self.who,
+            span=self.span,
+        )
+
+    def send_sentinels(self) -> None:
+        for _ in self.procs:
+            self.task_q.put(None)
+
+    def join_all(self, grace: float = 10.0) -> None:
+        for p in self.procs:
+            p.join(timeout=grace)
+
+    def teardown(self, grace: float = 5.0) -> None:
+        reap_processes(self.procs, grace)
+        close_queues(self.task_q, self.result_q)
+
+
+# ----------------------------------------------------------------------
+# GOP-grain tasks and the chunked worker body
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GopTask:
+    """One unit of worker work: a GOP's byte range + its frame slots."""
+
+    gop: int
+    byte_start: int
+    byte_end: int
+    picture_count: int
+    slot_base: int
+
+
+@dataclass
+class GopResult:
+    """What a worker sends back: metadata only, never pixels."""
+
+    gop: int
+    slot_base: int
+    temporal_references: list[int] = field(default_factory=list)
+    counters: WorkCounters = field(default_factory=WorkCounters)
+    #: Observability payloads: the worker's per-task metrics snapshot
+    #: (``repro.obs.metrics`` shape, merged into the parent registry)
+    #: and its stall-table snapshot (idle-between-tasks attribution).
+    #: Tiny dicts — pixel data still never crosses the boundary.
+    metrics_snap: dict | None = None
+    stalls_snap: dict | None = None
+
+
+def scan_gop_tasks(index: StreamIndex) -> list[GopTask]:
+    """The scan step: split the index into per-GOP tasks.
+
+    Slot bases are assigned cumulatively so every decoded picture in
+    the stream has a reserved slot in the shared pool — the mp
+    equivalent of the paper's decoded-frame memory that Fig. 8 charts.
+    """
+    tasks: list[GopTask] = []
+    slot = 0
+    for gi, gop in enumerate(index.gops):
+        tasks.append(
+            GopTask(
+                gop=gi,
+                byte_start=gop.start_offset,
+                byte_end=gop.end_offset,
+                picture_count=len(gop.pictures),
+                slot_base=slot,
+            )
+        )
+        slot += len(gop.pictures)
+    return tasks
+
+
+#: Worker-process attachment caches: shared segments this worker has
+#: already mapped, keyed by segment name.  Persistent workers outlive
+#: any single stream, so attachments are cached across tasks (attach
+#: once per stream per worker, not per task) and evicted LRU so a
+#: long-lived pool serving many streams holds at most
+#: ``_ATTACH_CACHE_SLOTS`` stale mappings.
+_ARENA_CACHE: "OrderedDict[str, StreamArena]" = OrderedDict()
+_POOL_CACHE: "OrderedDict[str, SharedFramePool]" = OrderedDict()
+_ATTACH_CACHE_SLOTS = 4
+
+#: Worker idle-attribution baseline (`queue.get` stall between tasks).
+_LAST_END_NS = 0
+
+#: Whether this worker process has enabled its process-local tracer.
+_TRACING_ON = False
+
+
+def _evict_lru(cache: OrderedDict) -> None:
+    while len(cache) > _ATTACH_CACHE_SLOTS:
+        _name, seg = cache.popitem(last=False)
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - exported views linger
+            pass
+
+
+def _attached_arena(name: str, size: int) -> memoryview:
+    arena = _ARENA_CACHE.get(name)
+    if arena is None:
+        arena = StreamArena(name=name, size=size)
+        _ARENA_CACHE[name] = arena
+        _evict_lru(_ARENA_CACHE)
+    else:
+        _ARENA_CACHE.move_to_end(name)
+    return arena.view
+
+
+def _attached_pool(name: str, layout: FrameLayout) -> SharedFramePool:
+    pool = _POOL_CACHE.get(name)
+    if pool is None:
+        pool = SharedFramePool(layout, slots=0, name=name)
+        _POOL_CACHE[name] = pool
+        _evict_lru(_POOL_CACHE)
+    else:
+        _POOL_CACHE.move_to_end(name)
+    return pool
+
+
+def _ensure_worker_tracing(trace_dir: str | None) -> str | None:
+    """Lazily enable this worker's tracer; return its shard path.
+
+    Persistent workers don't know at fork time whether any given run
+    will trace, so tracing is enabled on the first traced task and the
+    shard directory rides in on every task.
+    """
+    global _TRACING_ON
+    if trace_dir is None:
+        return None
+    pid = os.getpid()
+    if not _TRACING_ON:
+        enable_tracing(process_name=f"worker-{pid}")
+        _TRACING_ON = True
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.instant("mp.worker.start", cat="mp")
+    return os.path.join(trace_dir, f"shard-{pid}.jsonl")
+
+
+def _init_persistent_worker() -> None:
+    """Pool initializer: stream-agnostic — per-stream state attaches
+    lazily from the segment names each task carries."""
+    global _LAST_END_NS
+    reset_metrics()
+    _LAST_END_NS = time.monotonic_ns()
+
+
+def _decode_substream(
+    substream: bytes, engine: str, resilient: bool
+) -> tuple[list[Frame], WorkCounters]:
+    """Decode a single-GOP substream to display-ordered frames."""
+    counters = WorkCounters()
+    frames = SequenceDecoder(
+        substream, engine=engine, resilient=resilient
+    ).decode_all(counters)
+    return frames, counters
+
+
+@dataclass(frozen=True)
+class GopChunk:
+    """One dispatch unit: consecutive GOP tasks + the decode context.
+
+    Everything a stream-agnostic persistent worker needs: the shared
+    segment names (bitstream arena + frame pool), the tiny
+    sequence-header prefix, and the member tasks.  One queue message
+    dispatches the whole chunk; one message publishes all its results.
+    """
+
+    arena_name: str
+    arena_size: int
+    prefix: bytes
+    pool_name: str
+    layout: FrameLayout
+    engine: str
+    resilient: bool
+    trace_dir: str | None
+    crash_gop: int | None
+    tasks: tuple[GopTask, ...]
+    #: Parent's dispatch timestamp (``time.monotonic_ns()``).  Persistent
+    #: workers clamp idle attribution to this: time spent between *runs*
+    #: (the pool sat warm while no decode was active) is not a
+    #: ``queue.get`` stall of the run that happens to come next.
+    epoch_ns: int = 0
+
+
+@dataclass
+class ChunkResult:
+    """All of one chunk's GOP results in a single queue message."""
+
+    results: list[GopResult]
+    metrics_snap: dict | None = None
+    stalls_snap: dict | None = None
+
+
+def coalesce_gop_tasks(
+    tasks: list[GopTask], workers: int
+) -> list[tuple[GopTask, ...]]:
+    """Group consecutive GOP tasks into coarse dispatch chunks.
+
+    When a stream has many more GOPs than the pool has workers, per-GOP
+    messages are pure overhead: the pool still load-balances with two
+    waves of chunks per worker, so tasks are grouped to at most
+    ``2 * workers`` chunks.  Short streams (or big pools) degenerate to
+    one GOP per chunk — coalescing never *reduces* available
+    parallelism.  Consecutive grouping keeps completions roughly in
+    stream order, which keeps the display reorder buffer shallow.
+    """
+    if workers <= 0 or not tasks:
+        return [(t,) for t in tasks]
+    per = -(-len(tasks) // (2 * workers))  # ceil
+    return [tuple(tasks[i : i + per]) for i in range(0, len(tasks), per)]
+
+
+def _decode_gop_chunk(chunk: GopChunk) -> ChunkResult:
+    """Worker body: decode a chunk of GOPs, park frames in shared memory.
+
+    The bitstream is parsed in place from the arena segment — only the
+    chunk's own GOP byte ranges are ever materialised as ``bytes``.
+    """
+    global _LAST_END_NS
+    shard = _ensure_worker_tracing(chunk.trace_dir)
+    # Idle attribution: the gap since the previous task ended is time
+    # this worker spent waiting on the task queue (queue.get stall).
+    # Clamped to the chunk's dispatch epoch so a warm persistent worker
+    # does not book the dead time between two unrelated runs as a
+    # stall of the later one.
+    now_ns = time.monotonic_ns()
+    baseline_ns = max(_LAST_END_NS, chunk.epoch_ns)
+    idle_ns = now_ns - baseline_ns if baseline_ns else 0
+    stalls = StallTable()
+    if idle_ns > 0:
+        trace_complete(
+            "mp.worker.idle", "stall", now_ns - idle_ns, idle_ns,
+            reason=REASON_QUEUE_GET,
+        )
+        metrics().histogram("mp.worker.idle_ms").observe(idle_ns / 1e6)
+        stalls.record(f"worker-{os.getpid()}", REASON_QUEUE_GET, idle_ns / 1e9)
+
+    data = _attached_arena(chunk.arena_name, chunk.arena_size)
+    pool = _attached_pool(chunk.pool_name, chunk.layout)
+    results: list[GopResult] = []
+    for task in chunk.tasks:
+        if chunk.crash_gop == task.gop:
+            # Fault-injection hook (tests only): die mid-stream exactly
+            # the way an OOM kill / segfault would — no cleanup, no
+            # result.
+            os._exit(23)
+        substream = chunk.prefix + bytes(
+            data[task.byte_start : task.byte_end]
+        )
+        with trace_span(
+            "mp.worker.decode_gop", cat="mp",
+            gop=task.gop, pictures=task.picture_count,
+        ):
+            frames, counters = _decode_substream(
+                substream, chunk.engine, chunk.resilient
+            )
+        refs: list[int] = []
+        with trace_span("mp.shm.write", cat="mp", frames=len(frames)):
+            for j, frame in enumerate(frames):
+                pool.write_frame(task.slot_base + j, frame)
+                refs.append(frame.temporal_reference)
+        results.append(
+            GopResult(
+                gop=task.gop,
+                slot_base=task.slot_base,
+                temporal_references=refs,
+                counters=counters,
+            )
+        )
+    _LAST_END_NS = time.monotonic_ns()
+
+    # Ship the observability payloads once per *chunk*: metrics
+    # accumulated during it (then reset, so chunks never double-count)
+    # and the stall records; flush trace events to this worker's shard.
+    snap = metrics().snapshot()
+    reset_metrics()
+    tracer = get_tracer()
+    if tracer is not None and shard is not None:
+        tracer.write_shard(shard)
+    return ChunkResult(
+        results=results,
+        metrics_snap=snap,
+        stalls_snap=stalls.snapshot() if stalls else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# persistent pools: pre-forked once, shared across every decode
+# ----------------------------------------------------------------------
+_PERSISTENT_POOLS: dict[tuple[int, str | None], object] = {}
+
+
+def get_persistent_pool(workers: int, start_method: str | None = None):
+    """The process-wide pre-forked pool for ``(workers, start_method)``.
+
+    Created on first use and reused by every subsequent parallel
+    decode (and the serve layer's repeated requests), so fork +
+    interpreter warm-up is paid once per process instead of once per
+    run.  Workers are stream-agnostic (:func:`_init_persistent_worker`)
+    — per-stream context rides in on each :class:`GopChunk`.
+    """
+    key = (workers, start_method)
+    pool = _PERSISTENT_POOLS.get(key)
+    if pool is None:
+        ctx = multiprocessing.get_context(start_method)
+        pool = ctx.Pool(
+            processes=workers, initializer=_init_persistent_worker
+        )
+        _PERSISTENT_POOLS[key] = pool
+    return pool
+
+
+def invalidate_persistent_pool(
+    workers: int, start_method: str | None = None
+) -> None:
+    """Tear down one cached pool (after a worker death poisoned it)."""
+    pool = _PERSISTENT_POOLS.pop((workers, start_method), None)
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+
+
+def shutdown_persistent_pools() -> None:
+    """Terminate every cached pool (atexit + test isolation hook)."""
+    for pool in list(_PERSISTENT_POOLS.values()):
+        pool.terminate()
+        pool.join()
+    _PERSISTENT_POOLS.clear()
+
+
+def persistent_worker_pids() -> set[int]:
+    """PIDs of live persistent-pool workers.
+
+    These processes outlive individual decodes *by design*; test
+    helpers that assert "no stray children after a crash" use this to
+    tell an intentional long-lived pool worker from a leaked one.
+    """
+    pids: set[int] = set()
+    for pool in _PERSISTENT_POOLS.values():
+        for proc in getattr(pool, "_pool", []):
+            if proc.pid is not None and proc.is_alive():
+                pids.add(proc.pid)
+    return pids
+
+
+atexit.register(shutdown_persistent_pools)
+
+
+def iter_chunk_results(
+    completions,
+    pool,
+    workers: int,
+    start_method: str | None,
+    stalls: StallTable,
+    reg,
+    occupancy,
+) -> Iterator[GopResult]:
+    """Drain a persistent pool's chunk completions with liveness checks.
+
+    The parent-side wait loop of every GOP-grain decode: times each
+    blocking wait on the completion iterator (the ``queue.get`` stall
+    + its trace span), chunks waits into :data:`LIVENESS_POLL_S` polls
+    so a worker that died mid-chunk (its tasks are lost — the pool
+    never resubmits) surfaces as a clean :class:`DecodeError` instead
+    of an infinite hang, folds each chunk's shipped observability
+    payloads into ``reg``/``stalls``, and yields the member
+    :class:`GopResult` records.  Death is detected both by a non-zero
+    exitcode *and* by the worker pid set drifting from its baseline
+    (the pool auto-respawns replacements); the poisoned pool is then
+    discarded so the next run pre-forks a clean one.
+    """
+    baseline = {p.pid for p in getattr(pool, "_pool", [])}
+    while True:
+        t0 = time.monotonic_ns()
+        while True:
+            try:
+                chunk_result = completions.next(timeout=LIVENESS_POLL_S)
+                break
+            except multiprocessing.TimeoutError:
+                procs = list(getattr(pool, "_pool", []))
+                dead = [p for p in procs if p.exitcode not in (None, 0)]
+                if dead or (
+                    baseline and {p.pid for p in procs} != baseline
+                ):
+                    codes = sorted(
+                        p.exitcode for p in dead if p.exitcode is not None
+                    )
+                    invalidate_persistent_pool(workers, start_method)
+                    raise worker_death_error(
+                        "GOP", "stream", "task", codes or "unknown"
+                    )
+            except StopIteration:
+                return
+        waited = time.monotonic_ns() - t0
+        trace_complete(
+            "mp.result.wait", "stall", t0, waited,
+            reason=REASON_QUEUE_GET,
+        )
+        stalls.record("merge", REASON_QUEUE_GET, waited / 1e9)
+        # Fold the chunk's shipped observability payloads in (one
+        # message per chunk, not per GOP).
+        if chunk_result.metrics_snap is not None:
+            reg.merge_snapshot(chunk_result.metrics_snap)
+        if chunk_result.stalls_snap is not None:
+            stalls.merge(chunk_result.stalls_snap)
+        for result in chunk_result.results:
+            occupancy.inc(len(result.temporal_references))
+            yield result
+
+
+def collect_trace_shards(trace_dir: str) -> None:
+    """Merge worker trace shards into the parent tracer, clean up.
+
+    Shared by every scheduler: each worker process appends raw events
+    to ``shard-<pid>.jsonl`` under ``trace_dir``; the parent folds
+    every shard into its own tracer so ``--trace`` produces one merged
+    timeline, then removes the directory.
+    """
+    tracer = get_tracer()
+    try:
+        if tracer is not None:
+            for path in sorted(glob(os.path.join(trace_dir, "shard-*.jsonl"))):
+                tracer.extend(Tracer.read_shard(path))
+    finally:
+        shutil.rmtree(trace_dir, ignore_errors=True)

@@ -1,0 +1,223 @@
+"""Typed task graphs: the executor's unit of planning and accounting.
+
+A :class:`TaskGraph` is the explicit form of what the schedulers used
+to encode implicitly in control flow: *which* units of work exist
+(typed :class:`TaskNode` records — ``parse`` / ``reconstruct`` /
+``publish``), and *which edges* must publish before a node may run
+(reference-dependency edges, the paper's synchronization constraint).
+
+The graph is deliberately an accounting structure, not a runtime
+scheduler: planners (:mod:`repro.exec.plan`) lower a scan index into a
+graph, the executor dispatches work through the worker-pool backend,
+and the graph's conservation law — ``planned == dispatched ==
+completed + cancelled`` — is what the property suite
+(``tests/exec/test_exec_properties.py``) holds every execution to.
+Dependency safety is structural: :meth:`TaskGraph.dispatch` refuses a
+node whose ref edges have not completed, so "never schedule before the
+refs publish" is enforced by construction, not by convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: The three task kinds of the paper's pipeline: ``parse`` (entropy
+#: decode / headers), ``reconstruct`` (dequant + IDCT + motion comp),
+#: ``publish`` (make a decoded reference picture visible to waiters).
+TASK_KINDS = ("parse", "reconstruct", "publish")
+
+PENDING = "pending"
+DISPATCHED = "dispatched"
+COMPLETED = "completed"
+CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class TaskNode:
+    """One typed unit of work with explicit ref-dependency edges.
+
+    ``tid`` is unique within its graph; ``deps`` names the tids whose
+    completion (reference publication) gates this node.  ``stream`` /
+    ``gop`` / ``order`` locate the work in the coded stream so planners
+    and tests can reason about what a node decodes without carrying
+    byte payloads around.
+    """
+
+    tid: str
+    kind: str
+    stream: int = 0
+    gop: int = 0
+    order: int = 0
+    deps: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in TASK_KINDS:
+            raise ValueError(
+                f"unknown task kind {self.kind!r}; expected one of {TASK_KINDS}"
+            )
+
+
+class TaskGraph:
+    """A DAG of :class:`TaskNode` with conservation accounting.
+
+    Nodes move ``pending -> dispatched -> completed`` (or ``pending ->
+    cancelled`` when an error abandons downstream work).  Every
+    transition is checked:
+
+    * :meth:`add` rejects duplicate tids, unknown deps (edges must
+      point at already-added nodes, which also makes cycles
+      unrepresentable), and self-edges;
+    * :meth:`dispatch` rejects a node whose deps have not completed —
+      the "never schedule before the refs publish" invariant;
+    * :meth:`verify_conservation` checks ``planned == dispatched ==
+      completed + cancelled`` once a run finishes.
+    """
+
+    def __init__(self) -> None:
+        self.nodes: dict[str, TaskNode] = {}
+        self.state: dict[str, str] = {}
+        #: Monotone counters — never decremented, so the conservation
+        #: law audits history, not just the final state.
+        self.planned = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.cancelled = 0
+
+    # ------------------------------------------------------------------
+    def add(self, node: TaskNode) -> TaskNode:
+        if node.tid in self.nodes:
+            raise ValueError(f"duplicate task id {node.tid!r}")
+        for dep in node.deps:
+            if dep == node.tid:
+                raise ValueError(f"task {node.tid!r} depends on itself")
+            if dep not in self.nodes:
+                raise ValueError(
+                    f"task {node.tid!r} depends on unknown task {dep!r} "
+                    "(edges must point at already-planned nodes)"
+                )
+        self.nodes[node.tid] = node
+        self.state[node.tid] = PENDING
+        self.planned += 1
+        return node
+
+    def ready(self) -> list[TaskNode]:
+        """Pending nodes whose every dep has completed, in plan order."""
+        return [
+            node
+            for tid, node in self.nodes.items()
+            if self.state[tid] == PENDING
+            and all(self.state[d] == COMPLETED for d in node.deps)
+        ]
+
+    def dispatch(self, tid: str) -> TaskNode:
+        node = self.nodes[tid]
+        if self.state[tid] != PENDING:
+            raise ValueError(
+                f"task {tid!r} dispatched twice (state {self.state[tid]!r})"
+            )
+        unpublished = [d for d in node.deps if self.state[d] != COMPLETED]
+        if unpublished:
+            raise ValueError(
+                f"task {tid!r} scheduled before its ref edges published: "
+                f"{unpublished}"
+            )
+        self.state[tid] = DISPATCHED
+        self.dispatched += 1
+        return node
+
+    def complete(self, tid: str) -> None:
+        if self.state[tid] != DISPATCHED:
+            raise ValueError(
+                f"task {tid!r} completed without dispatch "
+                f"(state {self.state[tid]!r})"
+            )
+        self.state[tid] = COMPLETED
+        self.completed += 1
+
+    def cancel(self, tid: str) -> None:
+        """Abandon a node (error paths): pending nodes only.
+
+        A cancelled node counts toward conservation — work planned but
+        deliberately not done is still accounted for, unlike work
+        silently lost.
+        """
+        if self.state[tid] != PENDING:
+            raise ValueError(
+                f"task {tid!r} cancelled after dispatch "
+                f"(state {self.state[tid]!r})"
+            )
+        self.state[tid] = CANCELLED
+        self.cancelled += 1
+
+    def cancel_pending(self) -> int:
+        """Cancel every still-pending node; returns how many."""
+        n = 0
+        for tid, st in self.state.items():
+            if st == PENDING:
+                self.cancel(tid)
+                n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    def run_all(self, on_node=None) -> int:
+        """Drive the graph to completion in dependency order.
+
+        Repeatedly dispatches every ready node (calling ``on_node`` if
+        given) and completes it.  Returns the number of nodes run.
+        Raises if the graph stalls with pending nodes whose deps can
+        never publish (a planner bug).
+        """
+        ran = 0
+        while True:
+            batch = self.ready()
+            if not batch:
+                break
+            for node in batch:
+                self.dispatch(node.tid)
+                if on_node is not None:
+                    on_node(node)
+                self.complete(node.tid)
+                ran += 1
+        stuck = [t for t, s in self.state.items() if s == PENDING]
+        if stuck:
+            raise RuntimeError(
+                f"task graph stalled with unrunnable pending nodes: {stuck}"
+            )
+        return ran
+
+    # ------------------------------------------------------------------
+    def is_settled(self) -> bool:
+        """True when no node is pending or in flight."""
+        return all(s in (COMPLETED, CANCELLED) for s in self.state.values())
+
+    def verify_conservation(self) -> None:
+        """Assert ``planned == dispatched + cancelled`` and
+        ``dispatched == completed`` once the run settled.
+
+        Raises ``RuntimeError`` naming the leak otherwise — the
+        executor calls this after every run, so a lost task is a loud
+        failure, never a silent hang.
+        """
+        if self.planned != len(self.nodes):
+            raise RuntimeError(
+                f"planned counter drifted: {self.planned} != {len(self.nodes)}"
+            )
+        if self.planned != self.dispatched + self.cancelled:
+            raise RuntimeError(
+                "task conservation violated: "
+                f"planned={self.planned} != dispatched={self.dispatched} "
+                f"+ cancelled={self.cancelled}"
+            )
+        if self.dispatched != self.completed:
+            raise RuntimeError(
+                "task conservation violated: "
+                f"dispatched={self.dispatched} != completed={self.completed}"
+            )
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "planned": self.planned,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "cancelled": self.cancelled,
+        }

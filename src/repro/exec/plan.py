@@ -1,0 +1,136 @@
+"""Planners: lower a scan index into a typed :class:`TaskGraph`.
+
+Two grains, mirroring the paper's decomposition study:
+
+* :func:`plan_gop_graph` — the coarse grain.  Closed GOPs share no
+  coded state, so each GOP is an independent ``parse -> reconstruct ->
+  publish`` chain with **no cross-GOP edges**: maximum parallelism,
+  synchronization only at the display merge.
+* :func:`plan_slice_graph` — the fine grain.  Each *picture* gets a
+  ``parse`` node and a ``reconstruct`` node; reference pictures (I/P)
+  additionally get a ``publish`` node.  A reconstruct depends on its
+  own parse **and on the publish of every reference picture it
+  predicts from** (the paper's improved barrier: wait only for the
+  refs you read, not for every earlier picture).  B-picture
+  reconstructs fan in from both the forward and backward reference
+  publishes and publish nothing themselves — they are the leaves that
+  make slice-grain parallelism wide.
+
+The graphs carry stream coordinates, not byte payloads: they are the
+executor's accounting spine (dependency safety + task conservation),
+while the actual pixel work runs through the worker-pool backend.
+"""
+
+from __future__ import annotations
+
+from repro.exec.graph import TaskGraph, TaskNode
+from repro.mpeg2.index import StreamIndex
+
+
+def plan_gop_graph(index: StreamIndex, stream: int = 0) -> TaskGraph:
+    """GOP-grain plan: one independent chain per closed GOP."""
+    graph = TaskGraph()
+    for gi, _gop in enumerate(index.gops):
+        parse = graph.add(
+            TaskNode(tid=f"g{gi}.parse", kind="parse", stream=stream, gop=gi)
+        )
+        recon = graph.add(
+            TaskNode(
+                tid=f"g{gi}.reconstruct",
+                kind="reconstruct",
+                stream=stream,
+                gop=gi,
+                deps=(parse.tid,),
+            )
+        )
+        graph.add(
+            TaskNode(
+                tid=f"g{gi}.publish",
+                kind="publish",
+                stream=stream,
+                gop=gi,
+                deps=(recon.tid,),
+            )
+        )
+    return graph
+
+
+def plan_slice_graph(index: StreamIndex, stream: int = 0) -> TaskGraph:
+    """Slice-grain plan: per-picture nodes with ref-publish edges.
+
+    Pictures are walked in coding (stream) order per GOP.  ``fwd`` and
+    ``bwd`` track the publish tids of the two most recent reference
+    pictures — exactly the prediction sources the MPEG-2 bitstream
+    semantics allow inside a closed GOP — so each reconstruct's dep
+    tuple *is* the improved barrier of the paper: P waits only on its
+    forward reference's publish, B on both references', I on nothing
+    but its own parse.
+    """
+    graph = TaskGraph()
+    for gi, gop in enumerate(index.gops):
+        fwd: str | None = None  # publish tid of the older reference
+        bwd: str | None = None  # publish tid of the newer reference
+        for order, pic in enumerate(gop.pictures):
+            parse = graph.add(
+                TaskNode(
+                    tid=f"g{gi}.p{order}.parse",
+                    kind="parse",
+                    stream=stream,
+                    gop=gi,
+                    order=order,
+                )
+            )
+            deps = [parse.tid]
+            if pic.picture_type.is_reference:
+                # P predicts from the most recent reference; the
+                # opening I predicts from nothing.
+                if pic.picture_type.name == "P":
+                    if bwd is not None:
+                        deps.append(bwd)
+                recon = graph.add(
+                    TaskNode(
+                        tid=f"g{gi}.p{order}.reconstruct",
+                        kind="reconstruct",
+                        stream=stream,
+                        gop=gi,
+                        order=order,
+                        deps=tuple(deps),
+                    )
+                )
+                publish = graph.add(
+                    TaskNode(
+                        tid=f"g{gi}.p{order}.publish",
+                        kind="publish",
+                        stream=stream,
+                        gop=gi,
+                        order=order,
+                        deps=(recon.tid,),
+                    )
+                )
+                fwd, bwd = bwd, publish.tid
+            else:
+                # B predicts from both surrounding references and
+                # publishes nothing — nobody waits on a B.
+                for ref in (fwd, bwd):
+                    if ref is not None:
+                        deps.append(ref)
+                graph.add(
+                    TaskNode(
+                        tid=f"g{gi}.p{order}.reconstruct",
+                        kind="reconstruct",
+                        stream=stream,
+                        gop=gi,
+                        order=order,
+                        deps=tuple(deps),
+                    )
+                )
+    return graph
+
+
+def plan_graph(index: StreamIndex, grain: str, stream: int = 0) -> TaskGraph:
+    """Dispatch on grain name (``gop`` | ``slice``)."""
+    if grain == "gop":
+        return plan_gop_graph(index, stream)
+    if grain == "slice":
+        return plan_slice_graph(index, stream)
+    raise ValueError(f"unknown grain {grain!r}; expected 'gop' or 'slice'")

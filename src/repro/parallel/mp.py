@@ -6,28 +6,35 @@ cannot show real speedup under the GIL.  This module escapes the GIL
 the same way the paper escaped a single R4400: separate OS processes
 (`multiprocessing`), one per worker, each decoding whole closed GOPs.
 
+This module is now a thin *planner* over :mod:`repro.exec` — the
+shared-memory substrate (:mod:`repro.exec.shm`), the persistent
+worker-pool backend, liveness polling, teardown ordering, and the
+GOP-chunk worker body all live in :mod:`repro.exec.backend` and are
+re-exported here, so historical imports keep working.
+
 The paper's three roles map onto real primitives:
 
 * **scan** — the parent builds a :class:`repro.mpeg2.index.StreamIndex`
   (start-code scan, no decoding) and splits it into per-GOP byte-range
-  tasks (:func:`scan_gop_tasks` /
+  tasks (:func:`repro.exec.backend.scan_gop_tasks` /
   :func:`repro.mpeg2.index.gop_byte_ranges`).
 * **workers** — a *persistent*, pre-forked :class:`multiprocessing.Pool`
-  (:func:`get_persistent_pool`), created once per ``(workers,
-  start_method)`` and reused across every decode in the process, so
-  repeated runs pay fork + interpreter warm-up exactly once.  The
-  coded stream is published **once** into POSIX shared memory
-  (:class:`StreamArena`); workers attach by name and slice their GOP's
-  bytes straight out of the segment — the bitstream never crosses the
-  task pipe.  Each worker rebuilds a stand-alone substream
+  (:func:`repro.exec.backend.get_persistent_pool`), created once per
+  ``(workers, start_method)`` and reused across every decode in the
+  process, so repeated runs pay fork + interpreter warm-up exactly
+  once.  The coded stream is published **once** into POSIX shared
+  memory (:class:`StreamArena`); workers attach by name and slice
+  their GOP's bytes straight out of the segment — the bitstream never
+  crosses the task pipe.  Each worker rebuilds a stand-alone substream
   (sequence-header prefix + GOP bytes), decodes it with the batched
   :class:`~repro.mpeg2.decoder.SequenceDecoder`, and writes the
   decoded planes straight into a shared-memory frame pool.  Tasks are
-  *chunks* of consecutive GOPs (:func:`coalesce_gop_tasks`) so streams
-  with many more GOPs than workers cost one queue message per chunk —
-  dispatch and result publication both — instead of one per GOP; only
-  tiny metadata (temporal references + work counters) crosses the
-  process boundary through pickling, and pixel arrays never do.
+  *chunks* of consecutive GOPs
+  (:func:`repro.exec.backend.coalesce_gop_tasks`) so streams with many
+  more GOPs than workers cost one queue message per chunk — dispatch
+  and result publication both — instead of one per GOP; only tiny
+  metadata (temporal references + work counters) crosses the process
+  boundary through pickling, and pixel arrays never do.
 * **display** — the parent merges completed GOPs back into display
   order through a reorder buffer (:func:`_merge_in_order`), reading
   frames out of the shared pool.
@@ -48,636 +55,47 @@ by ``tests/parallel/test_mp_parity.py`` and the golden-vector suite.
 
 from __future__ import annotations
 
-import atexit
-import multiprocessing
 import os
-import shutil
 import tempfile
 import time
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from glob import glob
-from multiprocessing import shared_memory
 from typing import Callable, Iterator
 
-import numpy as np
-
+from repro.exec.backend import (  # noqa: F401  (re-exported legacy names)
+    LIVENESS_POLL_S,
+    ChunkResult,
+    GopChunk,
+    GopResult,
+    GopTask,
+    _decode_gop_chunk,
+    _decode_substream,
+    _init_persistent_worker,
+    coalesce_gop_tasks,
+    collect_trace_shards,
+    get_persistent_pool,
+    invalidate_persistent_pool,
+    iter_chunk_results,
+    persistent_worker_pids,
+    scan_gop_tasks,
+    shutdown_persistent_pools,
+)
+from repro.exec.shm import (  # noqa: F401  (re-exported legacy names)
+    FrameLayout,
+    FramePoolBase,
+    LocalFramePool,
+    SharedFramePool,
+    StreamArena,
+)
 from repro.mpeg2.counters import WorkCounters
-from repro.mpeg2.decoder import ENGINES, DecodeError, SequenceDecoder
+from repro.mpeg2.decoder import ENGINES
 from repro.mpeg2.frame import Frame
 from repro.mpeg2.index import (
     StreamIndex,
     build_index,
     sequence_prefix,
 )
-from repro.obs.metrics import metrics, reset_metrics
-from repro.obs.stalls import (
-    REASON_MERGE,
-    REASON_QUEUE_GET,
-    StallTable,
-)
-from repro.obs.trace import (
-    Tracer,
-    enable_tracing,
-    get_tracer,
-    trace_complete,
-    trace_span,
-    tracing_enabled,
-)
-
-
-@dataclass(frozen=True)
-class FrameLayout:
-    """Byte layout of one decoded 4:2:0 frame slot in the shared pool.
-
-    Slots are sized for *coded* planes (multiples of 16); display
-    dimensions ride along so frames can be rebuilt exactly.
-    """
-
-    display_width: int
-    display_height: int
-    coded_width: int
-    coded_height: int
-
-    @classmethod
-    def for_display(cls, width: int, height: int) -> "FrameLayout":
-        blank = Frame.blank(width, height)
-        return cls(
-            display_width=width,
-            display_height=height,
-            coded_width=blank.coded_width,
-            coded_height=blank.coded_height,
-        )
-
-    @property
-    def y_bytes(self) -> int:
-        return self.coded_width * self.coded_height
-
-    @property
-    def chroma_bytes(self) -> int:
-        return (self.coded_width // 2) * (self.coded_height // 2)
-
-    @property
-    def slot_bytes(self) -> int:
-        """Bytes per frame slot: Y + Cb + Cr, stored contiguously."""
-        return self.y_bytes + 2 * self.chroma_bytes
-
-    def slot_views(
-        self, buf, slot: int
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Zero-copy ``uint8`` plane views over slot ``slot`` of ``buf``."""
-        base = slot * self.slot_bytes
-        ch, cw = self.coded_height, self.coded_width
-        y = np.ndarray((ch, cw), dtype=np.uint8, buffer=buf, offset=base)
-        cb = np.ndarray(
-            (ch // 2, cw // 2),
-            dtype=np.uint8,
-            buffer=buf,
-            offset=base + self.y_bytes,
-        )
-        cr = np.ndarray(
-            (ch // 2, cw // 2),
-            dtype=np.uint8,
-            buffer=buf,
-            offset=base + self.y_bytes + self.chroma_bytes,
-        )
-        return y, cb, cr
-
-
-class FramePoolBase:
-    """Slot-addressed decoded-frame storage over an arbitrary buffer.
-
-    Concrete pools supply ``_pool_buf`` (a writable buffer of at least
-    ``layout.slot_bytes * slots`` bytes).  :class:`SharedFramePool`
-    backs it with POSIX shared memory (the real-silicon path);
-    :class:`LocalFramePool` with a plain ``numpy`` array (the
-    ``workers=0`` in-process path and the serve layer's fallback).
-    """
-
-    layout: FrameLayout
-    slots: int
-
-    @property
-    def _pool_buf(self):  # pragma: no cover - abstract
-        raise NotImplementedError
-
-    @property
-    def nbytes(self) -> int:
-        """Allocated pool size (the Fig. 8 quantity, measured for real)."""
-        return self.layout.slot_bytes * self.slots
-
-    def write_frame(self, slot: int, frame: Frame) -> None:
-        """Copy ``frame``'s planes into ``slot`` (worker side)."""
-        y, cb, cr = self.layout.slot_views(self._pool_buf, slot)
-        y[:, :] = frame.y
-        cb[:, :] = frame.cb
-        cr[:, :] = frame.cr
-        del y, cb, cr  # release exported buffers before any close()
-
-    def read_frame(self, slot: int, temporal_reference: int) -> Frame:
-        """Rebuild the :class:`Frame` stored in ``slot`` (display side)."""
-        y, cb, cr = self.layout.slot_views(self._pool_buf, slot)
-        frame = Frame(
-            y=y.copy(),
-            cb=cb.copy(),
-            cr=cr.copy(),
-            display_width=self.layout.display_width,
-            display_height=self.layout.display_height,
-            temporal_reference=temporal_reference,
-        )
-        del y, cb, cr
-        return frame
-
-    def view_frame(self, slot: int, temporal_reference: int = 0) -> Frame:
-        """A zero-copy :class:`Frame` whose planes alias slot ``slot``.
-
-        This is how the slice-level workers read reference pictures
-        and write their own rows **in place**: no pixel ever crosses a
-        process boundary.  The caller must drop every reference to the
-        returned frame (and any views derived from it) before
-        :meth:`close`, or the exported-buffer check in
-        ``SharedMemory.close`` will raise.
-        """
-        y, cb, cr = self.layout.slot_views(self._pool_buf, slot)
-        return Frame(
-            y=y,
-            cb=cb,
-            cr=cr,
-            display_width=self.layout.display_width,
-            display_height=self.layout.display_height,
-            temporal_reference=temporal_reference,
-        )
-
-    def close(self) -> None:  # pragma: no cover - overridden
-        pass
-
-    def unlink(self) -> None:  # pragma: no cover - overridden
-        pass
-
-
-class SharedFramePool(FramePoolBase):
-    """A block of ``slots`` decoded-frame slots in POSIX shared memory.
-
-    Workers write planes in place (:meth:`write_frame`); the display
-    merger copies them out (:meth:`read_frame`).  The *owner* (parent
-    process) creates and eventually unlinks the segment; workers attach
-    by name and never unlink.
-    """
-
-    def __init__(
-        self, layout: FrameLayout, slots: int, name: str | None = None
-    ) -> None:
-        self.layout = layout
-        self.slots = slots
-        if name is None:
-            self._shm = shared_memory.SharedMemory(
-                create=True, size=max(layout.slot_bytes * slots, 1)
-            )
-            self._owner = True
-        else:
-            # Attach-only: pool workers share the parent's resource
-            # tracker (they are forked/spawned from it), so the segment
-            # is registered exactly once and unlinked exactly once by
-            # the owning parent — no per-worker unregister needed.
-            self._shm = shared_memory.SharedMemory(name=name)
-            self._owner = False
-
-    @property
-    def _pool_buf(self):
-        return self._shm.buf
-
-    @property
-    def name(self) -> str:
-        return self._shm.name
-
-    def close(self) -> None:
-        self._shm.close()
-
-    def unlink(self) -> None:
-        if self._owner:
-            self._shm.unlink()
-
-
-class LocalFramePool(FramePoolBase):
-    """The same slot discipline on a process-local ``numpy`` buffer.
-
-    Used by the in-process (``workers=0``) paths — deterministic on
-    constrained CI, never touches ``/dev/shm``, nothing to unlink.
-    """
-
-    def __init__(self, layout: FrameLayout, slots: int) -> None:
-        self.layout = layout
-        self.slots = slots
-        self._arr = np.zeros(max(layout.slot_bytes * slots, 1), dtype=np.uint8)
-
-    @property
-    def _pool_buf(self):
-        return self._arr.data
-
-    def close(self) -> None:
-        pass
-
-    def unlink(self) -> None:
-        pass
-
-
-class StreamArena:
-    """The coded bitstream, published once into POSIX shared memory.
-
-    The low-overhead dispatch contract: the parent copies the stream
-    into a segment exactly once per decode; every worker attaches by
-    name and parses **in place** through :attr:`view`, materialising
-    only the few-KB byte range of its own task.  Nothing about the
-    bitstream ever rides the task pipe — with a spawn start method the
-    per-worker cost drops from pickling the whole stream to pickling a
-    segment name, and with fork it removes the initargs copy entirely.
-
-    The parent (owner) creates and eventually unlinks the segment;
-    workers attach and only ever :meth:`close`.
-    """
-
-    def __init__(
-        self,
-        data: bytes | None = None,
-        *,
-        name: str | None = None,
-        size: int = 0,
-    ) -> None:
-        if name is None:
-            if data is None:
-                raise ValueError("StreamArena needs data (create) or name (attach)")
-            self._shm = shared_memory.SharedMemory(
-                create=True, size=max(len(data), 1)
-            )
-            self._shm.buf[: len(data)] = data
-            self.size = len(data)
-            self._owner = True
-        else:
-            self._shm = shared_memory.SharedMemory(name=name)
-            self.size = size
-            self._owner = False
-        self._view: memoryview | None = None
-
-    @property
-    def name(self) -> str:
-        return self._shm.name
-
-    @property
-    def view(self) -> memoryview:
-        """Zero-copy view of the published bytes (cached; released by
-        :meth:`close`)."""
-        if self._view is None:
-            self._view = self._shm.buf[: self.size]
-        return self._view
-
-    def close(self) -> None:
-        if self._view is not None:
-            self._view.release()
-            self._view = None
-        self._shm.close()
-
-    def unlink(self) -> None:
-        if self._owner:
-            self._shm.unlink()
-
-
-# ----------------------------------------------------------------------
-# scan: GOP byte ranges -> tasks
-# ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class GopTask:
-    """One unit of worker work: a GOP's byte range + its frame slots."""
-
-    gop: int
-    byte_start: int
-    byte_end: int
-    picture_count: int
-    slot_base: int
-
-
-@dataclass
-class GopResult:
-    """What a worker sends back: metadata only, never pixels."""
-
-    gop: int
-    slot_base: int
-    temporal_references: list[int] = field(default_factory=list)
-    counters: WorkCounters = field(default_factory=WorkCounters)
-    #: Observability payloads: the worker's per-task metrics snapshot
-    #: (``repro.obs.metrics`` shape, merged into the parent registry)
-    #: and its stall-table snapshot (idle-between-tasks attribution).
-    #: Tiny dicts — pixel data still never crosses the boundary.
-    metrics_snap: dict | None = None
-    stalls_snap: dict | None = None
-
-
-def scan_gop_tasks(index: StreamIndex) -> list[GopTask]:
-    """The scan step: split the index into per-GOP tasks.
-
-    Slot bases are assigned cumulatively so every decoded picture in
-    the stream has a reserved slot in the shared pool — the mp
-    equivalent of the paper's decoded-frame memory that Fig. 8 charts.
-    """
-    tasks: list[GopTask] = []
-    slot = 0
-    for gi, gop in enumerate(index.gops):
-        tasks.append(
-            GopTask(
-                gop=gi,
-                byte_start=gop.start_offset,
-                byte_end=gop.end_offset,
-                picture_count=len(gop.pictures),
-                slot_base=slot,
-            )
-        )
-        slot += len(gop.pictures)
-    return tasks
-
-
-# ----------------------------------------------------------------------
-# worker side
-# ----------------------------------------------------------------------
-#: Seconds between liveness polls while the parent blocks on results.
-#: A dead worker (crash, OOM kill, SIGKILL) is detected within one
-#: poll instead of hanging the merge loop forever on a lost task.
-LIVENESS_POLL_S = 0.2
-
-#: Worker-process attachment caches: shared segments this worker has
-#: already mapped, keyed by segment name.  Persistent workers outlive
-#: any single stream, so attachments are cached across tasks (attach
-#: once per stream per worker, not per task) and evicted LRU so a
-#: long-lived pool serving many streams holds at most
-#: ``_ATTACH_CACHE_SLOTS`` stale mappings.
-_ARENA_CACHE: "OrderedDict[str, StreamArena]" = OrderedDict()
-_POOL_CACHE: "OrderedDict[str, SharedFramePool]" = OrderedDict()
-_ATTACH_CACHE_SLOTS = 4
-
-#: Worker idle-attribution baseline (`queue.get` stall between tasks).
-_LAST_END_NS = 0
-
-#: Whether this worker process has enabled its process-local tracer.
-_TRACING_ON = False
-
-
-def _evict_lru(cache: OrderedDict) -> None:
-    while len(cache) > _ATTACH_CACHE_SLOTS:
-        _name, seg = cache.popitem(last=False)
-        try:
-            seg.close()
-        except BufferError:  # pragma: no cover - exported views linger
-            pass
-
-
-def _attached_arena(name: str, size: int) -> memoryview:
-    arena = _ARENA_CACHE.get(name)
-    if arena is None:
-        arena = StreamArena(name=name, size=size)
-        _ARENA_CACHE[name] = arena
-        _evict_lru(_ARENA_CACHE)
-    else:
-        _ARENA_CACHE.move_to_end(name)
-    return arena.view
-
-
-def _attached_pool(name: str, layout: FrameLayout) -> SharedFramePool:
-    pool = _POOL_CACHE.get(name)
-    if pool is None:
-        pool = SharedFramePool(layout, slots=0, name=name)
-        _POOL_CACHE[name] = pool
-        _evict_lru(_POOL_CACHE)
-    else:
-        _POOL_CACHE.move_to_end(name)
-    return pool
-
-
-def _ensure_worker_tracing(trace_dir: str | None) -> str | None:
-    """Lazily enable this worker's tracer; return its shard path.
-
-    Persistent workers don't know at fork time whether any given run
-    will trace, so tracing is enabled on the first traced task and the
-    shard directory rides in on every task.
-    """
-    global _TRACING_ON
-    if trace_dir is None:
-        return None
-    pid = os.getpid()
-    if not _TRACING_ON:
-        enable_tracing(process_name=f"worker-{pid}")
-        _TRACING_ON = True
-        tracer = get_tracer()
-        if tracer is not None:
-            tracer.instant("mp.worker.start", cat="mp")
-    return os.path.join(trace_dir, f"shard-{pid}.jsonl")
-
-
-def _init_persistent_worker() -> None:
-    """Pool initializer: stream-agnostic — per-stream state attaches
-    lazily from the segment names each task carries."""
-    global _LAST_END_NS
-    reset_metrics()
-    _LAST_END_NS = time.monotonic_ns()
-
-
-def _decode_substream(
-    substream: bytes, engine: str, resilient: bool
-) -> tuple[list[Frame], WorkCounters]:
-    """Decode a single-GOP substream to display-ordered frames."""
-    counters = WorkCounters()
-    frames = SequenceDecoder(
-        substream, engine=engine, resilient=resilient
-    ).decode_all(counters)
-    return frames, counters
-
-
-@dataclass(frozen=True)
-class GopChunk:
-    """One dispatch unit: consecutive GOP tasks + the decode context.
-
-    Everything a stream-agnostic persistent worker needs: the shared
-    segment names (bitstream arena + frame pool), the tiny
-    sequence-header prefix, and the member tasks.  One queue message
-    dispatches the whole chunk; one message publishes all its results.
-    """
-
-    arena_name: str
-    arena_size: int
-    prefix: bytes
-    pool_name: str
-    layout: FrameLayout
-    engine: str
-    resilient: bool
-    trace_dir: str | None
-    crash_gop: int | None
-    tasks: tuple[GopTask, ...]
-    #: Parent's dispatch timestamp (``time.monotonic_ns()``).  Persistent
-    #: workers clamp idle attribution to this: time spent between *runs*
-    #: (the pool sat warm while no decode was active) is not a
-    #: ``queue.get`` stall of the run that happens to come next.
-    epoch_ns: int = 0
-
-
-@dataclass
-class ChunkResult:
-    """All of one chunk's GOP results in a single queue message."""
-
-    results: list[GopResult]
-    metrics_snap: dict | None = None
-    stalls_snap: dict | None = None
-
-
-def coalesce_gop_tasks(
-    tasks: list[GopTask], workers: int
-) -> list[tuple[GopTask, ...]]:
-    """Group consecutive GOP tasks into coarse dispatch chunks.
-
-    When a stream has many more GOPs than the pool has workers, per-GOP
-    messages are pure overhead: the pool still load-balances with two
-    waves of chunks per worker, so tasks are grouped to at most
-    ``2 * workers`` chunks.  Short streams (or big pools) degenerate to
-    one GOP per chunk — coalescing never *reduces* available
-    parallelism.  Consecutive grouping keeps completions roughly in
-    stream order, which keeps the display reorder buffer shallow.
-    """
-    if workers <= 0 or not tasks:
-        return [(t,) for t in tasks]
-    per = -(-len(tasks) // (2 * workers))  # ceil
-    return [tuple(tasks[i : i + per]) for i in range(0, len(tasks), per)]
-
-
-def _decode_gop_chunk(chunk: GopChunk) -> ChunkResult:
-    """Worker body: decode a chunk of GOPs, park frames in shared memory.
-
-    The bitstream is parsed in place from the arena segment — only the
-    chunk's own GOP byte ranges are ever materialised as ``bytes``.
-    """
-    global _LAST_END_NS
-    shard = _ensure_worker_tracing(chunk.trace_dir)
-    # Idle attribution: the gap since the previous task ended is time
-    # this worker spent waiting on the task queue (queue.get stall).
-    # Clamped to the chunk's dispatch epoch so a warm persistent worker
-    # does not book the dead time between two unrelated runs as a
-    # stall of the later one.
-    now_ns = time.monotonic_ns()
-    baseline_ns = max(_LAST_END_NS, chunk.epoch_ns)
-    idle_ns = now_ns - baseline_ns if baseline_ns else 0
-    stalls = StallTable()
-    if idle_ns > 0:
-        trace_complete(
-            "mp.worker.idle", "stall", now_ns - idle_ns, idle_ns,
-            reason=REASON_QUEUE_GET,
-        )
-        metrics().histogram("mp.worker.idle_ms").observe(idle_ns / 1e6)
-        stalls.record(f"worker-{os.getpid()}", REASON_QUEUE_GET, idle_ns / 1e9)
-
-    data = _attached_arena(chunk.arena_name, chunk.arena_size)
-    pool = _attached_pool(chunk.pool_name, chunk.layout)
-    results: list[GopResult] = []
-    for task in chunk.tasks:
-        if chunk.crash_gop == task.gop:
-            # Fault-injection hook (tests only): die mid-stream exactly
-            # the way an OOM kill / segfault would — no cleanup, no
-            # result.
-            os._exit(23)
-        substream = chunk.prefix + bytes(
-            data[task.byte_start : task.byte_end]
-        )
-        with trace_span(
-            "mp.worker.decode_gop", cat="mp",
-            gop=task.gop, pictures=task.picture_count,
-        ):
-            frames, counters = _decode_substream(
-                substream, chunk.engine, chunk.resilient
-            )
-        refs: list[int] = []
-        with trace_span("mp.shm.write", cat="mp", frames=len(frames)):
-            for j, frame in enumerate(frames):
-                pool.write_frame(task.slot_base + j, frame)
-                refs.append(frame.temporal_reference)
-        results.append(
-            GopResult(
-                gop=task.gop,
-                slot_base=task.slot_base,
-                temporal_references=refs,
-                counters=counters,
-            )
-        )
-    _LAST_END_NS = time.monotonic_ns()
-
-    # Ship the observability payloads once per *chunk*: metrics
-    # accumulated during it (then reset, so chunks never double-count)
-    # and the stall records; flush trace events to this worker's shard.
-    snap = metrics().snapshot()
-    reset_metrics()
-    tracer = get_tracer()
-    if tracer is not None and shard is not None:
-        tracer.write_shard(shard)
-    return ChunkResult(
-        results=results,
-        metrics_snap=snap,
-        stalls_snap=stalls.snapshot() if stalls else None,
-    )
-
-
-# ----------------------------------------------------------------------
-# persistent pools: pre-forked once, shared across every decode
-# ----------------------------------------------------------------------
-_PERSISTENT_POOLS: dict[tuple[int, str | None], object] = {}
-
-
-def get_persistent_pool(workers: int, start_method: str | None = None):
-    """The process-wide pre-forked pool for ``(workers, start_method)``.
-
-    Created on first use and reused by every subsequent parallel
-    decode (and the serve layer's repeated requests), so fork +
-    interpreter warm-up is paid once per process instead of once per
-    run.  Workers are stream-agnostic (:func:`_init_persistent_worker`)
-    — per-stream context rides in on each :class:`GopChunk`.
-    """
-    key = (workers, start_method)
-    pool = _PERSISTENT_POOLS.get(key)
-    if pool is None:
-        ctx = multiprocessing.get_context(start_method)
-        pool = ctx.Pool(
-            processes=workers, initializer=_init_persistent_worker
-        )
-        _PERSISTENT_POOLS[key] = pool
-    return pool
-
-
-def invalidate_persistent_pool(
-    workers: int, start_method: str | None = None
-) -> None:
-    """Tear down one cached pool (after a worker death poisoned it)."""
-    pool = _PERSISTENT_POOLS.pop((workers, start_method), None)
-    if pool is not None:
-        pool.terminate()
-        pool.join()
-
-
-def shutdown_persistent_pools() -> None:
-    """Terminate every cached pool (atexit + test isolation hook)."""
-    for pool in list(_PERSISTENT_POOLS.values()):
-        pool.terminate()
-        pool.join()
-    _PERSISTENT_POOLS.clear()
-
-
-def persistent_worker_pids() -> set[int]:
-    """PIDs of live persistent-pool workers.
-
-    These processes outlive individual decodes *by design*; test
-    helpers that assert "no stray children after a crash" use this to
-    tell an intentional long-lived pool worker from a leaked one.
-    """
-    pids: set[int] = set()
-    for pool in _PERSISTENT_POOLS.values():
-        for proc in getattr(pool, "_pool", []):
-            if proc.pid is not None and proc.is_alive():
-                pids.add(proc.pid)
-    return pids
-
-
-atexit.register(shutdown_persistent_pools)
+from repro.obs.metrics import metrics
+from repro.obs.stalls import REASON_MERGE, StallTable
+from repro.obs.trace import trace_complete, trace_span, tracing_enabled
 
 
 # ----------------------------------------------------------------------
@@ -906,75 +324,26 @@ class MPGopDecoder:
                 int(seconds * 1e9), gop=gop, reason=REASON_MERGE,
             )
 
-        def timed(completions, pool) -> Iterator[GopResult]:
-            # Time every blocking wait on the result queue: the
-            # parent-side queue.get stall (and its trace span).  Waits
-            # are chunked into short liveness polls so a worker that
-            # died mid-chunk (its tasks are lost — the pool never
-            # resubmits) surfaces as a clean DecodeError instead of an
-            # infinite hang.  The pool auto-respawns replacements for
-            # dead workers, so death is detected both by a non-zero
-            # exitcode *and* by the worker pid set drifting from its
-            # baseline; the poisoned pool is then discarded so the next
-            # run pre-forks a clean one.
-            baseline = {p.pid for p in getattr(pool, "_pool", [])}
-            while True:
-                t0 = time.monotonic_ns()
-                while True:
-                    try:
-                        chunk_result = completions.next(
-                            timeout=LIVENESS_POLL_S
-                        )
-                        break
-                    except multiprocessing.TimeoutError:
-                        procs = list(getattr(pool, "_pool", []))
-                        dead = [
-                            p for p in procs if p.exitcode not in (None, 0)
-                        ]
-                        if dead or (
-                            baseline and {p.pid for p in procs} != baseline
-                        ):
-                            codes = sorted(
-                                p.exitcode for p in dead
-                                if p.exitcode is not None
-                            )
-                            invalidate_persistent_pool(
-                                workers, self.start_method
-                            )
-                            raise DecodeError(
-                                "GOP worker process died mid-stream "
-                                f"(exit codes {codes or 'unknown'}); "
-                                "its task is lost — aborting the "
-                                "parallel decode"
-                            )
-                    except StopIteration:
-                        return
-                waited = time.monotonic_ns() - t0
-                trace_complete(
-                    "mp.result.wait", "stall", t0, waited,
-                    reason=REASON_QUEUE_GET,
-                )
-                self.last_stalls.record(
-                    "merge", REASON_QUEUE_GET, waited / 1e9
-                )
-                # Fold the chunk's shipped observability payloads in
-                # (one message per chunk, not per GOP).
-                if chunk_result.metrics_snap is not None:
-                    reg.merge_snapshot(chunk_result.metrics_snap)
-                if chunk_result.stalls_snap is not None:
-                    self.last_stalls.merge(chunk_result.stalls_snap)
-                for result in chunk_result.results:
-                    occupancy.inc(len(result.temporal_references))
-                    yield result
-
         t_run = time.perf_counter()
         try:
             pool = get_persistent_pool(workers, self.start_method)
             completions = pool.imap_unordered(
                 _decode_gop_chunk, chunks, chunksize=1
             )
+            # The liveness-polled drain — timed queue.get stalls, dead
+            # worker detection, per-chunk obs payload folding — is the
+            # backend's iter_chunk_results; this planner only merges
+            # display order and reads frames back out of the pool.
             for result in _merge_in_order(
-                timed(completions, pool),
+                iter_chunk_results(
+                    completions,
+                    pool,
+                    workers,
+                    self.start_method,
+                    self.last_stalls,
+                    reg,
+                    occupancy,
+                ),
                 len(self.tasks),
                 on_hold=on_hold,
                 on_depth=depth.set,
@@ -1004,24 +373,6 @@ class MPGopDecoder:
     @staticmethod
     def _collect_shards(trace_dir: str) -> None:
         collect_trace_shards(trace_dir)
-
-
-def collect_trace_shards(trace_dir: str) -> None:
-    """Merge worker trace shards into the parent tracer, clean up.
-
-    Shared by the GOP-level and slice-level mp decoders: each worker
-    process appends raw events to ``shard-<pid>.jsonl`` under
-    ``trace_dir``; the parent folds every shard into its own tracer so
-    ``--trace`` produces one merged timeline, then removes the
-    directory.
-    """
-    tracer = get_tracer()
-    try:
-        if tracer is not None:
-            for path in sorted(glob(os.path.join(trace_dir, "shard-*.jsonl"))):
-                tracer.extend(Tracer.read_shard(path))
-    finally:
-        shutil.rmtree(trace_dir, ignore_errors=True)
 
 
 def decode_parallel(

@@ -80,7 +80,6 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import queue as queue_mod
 import tempfile
 import time
 from dataclasses import dataclass
@@ -113,13 +112,12 @@ from repro.obs.trace import (
     trace_span,
     tracing_enabled,
 )
-from repro.parallel.mp import (
-    LIVENESS_POLL_S,
-    FrameLayout,
-    SharedFramePool,
-    StreamArena,
+from repro.exec.backend import (
+    WorkerTeam,
     collect_trace_shards,
+    release_segments,
 )
+from repro.exec.shm import FrameLayout, SharedFramePool, StreamArena
 from repro.parallel.slice_level import SliceMode
 
 
@@ -944,8 +942,11 @@ class MPSliceDecoder:
             if tracing_enabled()
             else None
         )
-        task_q = ctx.Queue()
-        result_q = ctx.Queue()
+        # The spawn / liveness-wait / sentinel / reap lifecycle is the
+        # backend's WorkerTeam; this planner keeps only the slice
+        # scheduling itself (claim/complete queue, publish, merge).
+        team = WorkerTeam(ctx, role="slice", unit="picture", loss="slice")
+        task_q = team.task_q
 
         # -- scheduler-side stall attribution --------------------------
         gated_since: dict[int, int] = {}
@@ -992,7 +993,6 @@ class MPSliceDecoder:
         merger = DisplayMerger(len(self.plans))
         held_since: dict[int, int] = {}
         status: dict[int, dict[int, str]] = {}
-        procs: list = []
         t_run = time.perf_counter()
 
         def dispatch() -> None:
@@ -1014,35 +1014,6 @@ class MPSliceDecoder:
                     task_q.put((order, tuple(sidxs[i : i + per])))
                     depth_gauge.inc()
                     dispatch_msgs.inc()
-
-        def get_result():
-            t0 = time.monotonic_ns()
-            while True:
-                try:
-                    result = result_q.get(timeout=LIVENESS_POLL_S)
-                    break
-                except queue_mod.Empty:
-                    dead = [
-                        p for p in procs if p.exitcode not in (None, 0)
-                    ]
-                    if dead:
-                        codes = sorted(
-                            p.exitcode
-                            for p in dead
-                            if p.exitcode is not None
-                        )
-                        raise DecodeError(
-                            "slice worker process died mid-picture "
-                            f"(exit codes {codes}); its slice is lost — "
-                            "aborting the parallel decode"
-                        )
-            waited = time.monotonic_ns() - t0
-            trace_complete(
-                "mp.result.wait", "stall", t0, waited,
-                reason=REASON_QUEUE_GET,
-            )
-            stalls.record("merge", REASON_QUEUE_GET, waited / 1e9)
-            return result
 
         def conceal_picture(order: int) -> None:
             """Parent-side concealment sweep: rows whose *final* slice
@@ -1121,9 +1092,9 @@ class MPSliceDecoder:
 
         try:
             for wid in range(self.workers):
-                p = ctx.Process(
-                    target=_slice_worker_main,
-                    args=(
+                team.spawn(
+                    _slice_worker_main,
+                    (
                         wid,
                         arena.name,
                         arena.size,
@@ -1134,22 +1105,19 @@ class MPSliceDecoder:
                         self.index.mb_width,
                         self.index.mb_height,
                         self.resilient,
-                        task_q,
-                        result_q,
+                        team.task_q,
+                        team.result_q,
                         trace_dir,
                         self._crash_task,
                     ),
-                    daemon=True,
                 )
-                p.start()
-                procs.append(p)
 
             ready = publish_new()
             dispatch()
             yield from emit(ready)
             outstanding = sum(len(p.slices) for p in self.plans)
             while outstanding > 0:
-                msg = get_result()
+                msg = team.get_result(stalls)
                 if msg[0] == "obs":  # pragma: no cover - defensive
                     continue
                 _, order, entries = msg
@@ -1171,11 +1139,10 @@ class MPSliceDecoder:
 
             # Graceful shutdown: sentinel per worker, then collect the
             # final observability message from each.
-            for _ in procs:
-                task_q.put(None)
-            obs_left = len(procs)
+            team.send_sentinels()
+            obs_left = len(team.procs)
             while obs_left > 0:
-                msg = get_result()
+                msg = team.get_result(stalls)
                 if msg[0] != "obs":  # pragma: no cover - defensive
                     continue
                 _, wid, metrics_snap, stalls_snap = msg
@@ -1184,21 +1151,11 @@ class MPSliceDecoder:
                 if stalls_snap is not None:
                     stalls.merge(stalls_snap)
                 obs_left -= 1
-            for p in procs:
-                p.join(timeout=10.0)
+            team.join_all(10.0)
         finally:
             self.last_wall_seconds = time.perf_counter() - t_run
-            for p in procs:
-                if p.is_alive():
-                    p.terminate()
-                    p.join(timeout=5.0)
-            for mpq in (task_q, result_q):
-                mpq.close()
-                mpq.cancel_join_thread()
-            pool.close()
-            pool.unlink()
-            arena.close()
-            arena.unlink()
+            team.teardown(5.0)
+            release_segments(pool, arena)
             if trace_dir is not None:
                 collect_trace_shards(trace_dir)
 

@@ -73,13 +73,15 @@ from repro.obs.trace import (
     trace_span,
     tracing_enabled,
 )
-from repro.parallel.mp import (
+from repro.exec.backend import (
     LIVENESS_POLL_S,
-    LocalFramePool,
-    SharedFramePool,
-    StreamArena,
+    close_queues,
     collect_trace_shards,
+    reap_processes,
+    release_segments,
+    timed_queue_get,
 )
+from repro.exec.shm import LocalFramePool, SharedFramePool, StreamArena
 from repro.parallel.mp_slice import decode_picture_into_pool
 from repro.serve.degrade import (
     ACTION_DROP_B,
@@ -313,6 +315,8 @@ class DecodeService:
         bench_path: str | None = None,
         slo_policy: SLOPolicy | None = None,
         flight_dir: str | None = None,
+        grain: str | None = None,
+        engine: str | None = None,
         _crash_task: tuple | None = None,  # (wid, sid, key) test hook
         _hang_task: tuple | None = None,   # (wid, sid, key) test hook
     ) -> None:
@@ -324,6 +328,23 @@ class DecodeService:
             raise ValueError("task_timeout_s must be > 0")
         if max_task_retries < 0:
             raise ValueError("max_task_retries must be >= 0")
+        if grain not in (None, "auto", "gop", "slice"):
+            raise ValueError(
+                f"unknown grain {grain!r}; expected auto, gop or slice"
+            )
+        if engine not in (None, "auto", "scalar", "batched"):
+            raise ValueError(
+                f"unknown engine {engine!r}; expected auto, scalar or batched"
+            )
+        #: Task-decomposition grain: ``None`` keeps the legacy fine
+        #: decomposition (per-GOP ref task + per-B tasks); ``"gop"``
+        #: one coarse task per GOP; ``"slice"`` the fine decomposition
+        #: explicitly; ``"auto"`` a per-session AutoGranularity
+        #: decision at submit time (traced as ``exec.plan``).
+        self.grain = grain
+        #: Cost-model engine hint for auto decisions (the serve worker
+        #: decode path is the batched two-phase machinery either way).
+        self.engine = engine
         self.workers = workers
         self.fps = fps
         self.capacity = (
@@ -385,6 +406,42 @@ class DecodeService:
     # ------------------------------------------------------------------
     # submission / admission
     # ------------------------------------------------------------------
+    def _task_grain(self, sess: StreamSession) -> str:
+        """Resolve this service's grain setting for one session.
+
+        ``"auto"`` asks the :class:`~repro.exec.auto.AutoGranularity`
+        controller, feeding it the session's bandwidth profile; a GOP
+        pick maps to the coarse one-task-per-GOP decomposition, a
+        slice pick to the fine ref+B decomposition.  The decision is
+        traced as an ``exec.plan`` span (chosen grain/engine plus the
+        rejected alternative's estimated cost) and counted in the
+        ``exec.plan.*`` metrics, exactly like the executor's.
+        """
+        if self.grain is None or self.grain == "slice":
+            return "fine"
+        if self.grain == "gop":
+            return "coarse"
+        from repro.analysis.bandwidth import profile_stream
+        from repro.exec.auto import AutoGranularity
+        from repro.exec.executor import _trace_decision
+
+        profile = profile_stream(sess.data, index=sess.index)
+        controller = AutoGranularity(
+            profile=profile,
+            workers=self.workers,
+            engine_hint=(
+                self.engine if self.engine not in (None, "auto") else None
+            ),
+        )
+        decision = controller.decide()
+        _trace_decision(decision, window=0, gop=0)
+        self.flight.record(
+            sess.name, "exec.plan",
+            grain=decision.grain, engine=decision.engine,
+            reason=decision.reason,
+        )
+        return "coarse" if decision.grain == "gop" else "fine"
+
     def submit(
         self,
         name: str,
@@ -465,7 +522,7 @@ class DecodeService:
                 gop=sess.join_gop, display_base=sess.join_display_base,
             )
             metrics().counter("serve.sessions.joined").inc()
-        tasks = sess.tasks()
+        tasks = sess.tasks(grain=self._task_grain(sess))
         verdict = self.scheduler.submit(name, tasks, weight=weight)
         if verdict is Admission.ADMITTED:
             sess.status = SessionStatus.ACTIVE
@@ -1062,11 +1119,9 @@ class DecodeService:
         if not meta and not self._dynamic:
             # Nothing decodable was admitted; settle and bail.  (A
             # dynamic service starts empty on purpose and waits.)
-            for seg in list(self._pools.values()) + list(
-                self._arenas.values()
-            ):
-                seg.close()
-                seg.unlink()
+            release_segments(
+                *self._pools.values(), *self._arenas.values()
+            )
             shutil.rmtree(obs_dir, ignore_errors=True)
             return
 
@@ -1143,13 +1198,7 @@ class DecodeService:
         def handle_worker_loss(wid: int, why: str) -> None:
             nonlocal next_wid
             entry = workers.pop(wid)
-            proc = entry["proc"]
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=_SHUTDOWN_GRACE_S)
-                if proc.is_alive():  # pragma: no cover - defensive
-                    proc.kill()
-                    proc.join(timeout=_SHUTDOWN_GRACE_S)
+            reap_processes([entry["proc"]], _SHUTDOWN_GRACE_S)
             dead_queues.append(entry["task_q"])
             held = assignment.pop(wid, None)
             metrics().counter(f"serve.worker.{why}").inc()
@@ -1188,37 +1237,35 @@ class DecodeService:
             )
             next_wid += 1
 
+        def on_timeout() -> bool:
+            """Liveness check between polls: handle a dead or hung
+            worker (truthy return abandons the wait so the caller can
+            re-dispatch), or bail out when nothing is in flight."""
+            now = time.monotonic()
+            for wid in list(workers):
+                proc = workers[wid]["proc"]
+                if proc.exitcode is not None:
+                    handle_worker_loss(wid, "died")
+                    return True
+                held = assignment.get(wid)
+                if (
+                    held is not None
+                    and now - held[1] > self.task_timeout_s
+                ):
+                    handle_worker_loss(wid, "timeout")
+                    return True
+            return not assignment  # nothing in flight; let caller act
+
         def wait_result():
             """Liveness-polled result wait; returns None on a handled
             death/timeout (caller re-dispatches and loops)."""
-            t0 = time.monotonic_ns()
-            while True:
-                try:
-                    result = result_q.get(timeout=LIVENESS_POLL_S)
-                    break
-                except queue_mod.Empty:
-                    now = time.monotonic()
-                    for wid in list(workers):
-                        proc = workers[wid]["proc"]
-                        if proc.exitcode is not None:
-                            handle_worker_loss(wid, "died")
-                            return None
-                        held = assignment.get(wid)
-                        if (
-                            held is not None
-                            and now - held[1] > self.task_timeout_s
-                        ):
-                            handle_worker_loss(wid, "timeout")
-                            return None
-                    if not assignment:
-                        return None  # nothing in flight; let caller act
-            waited = time.monotonic_ns() - t0
-            self.last_stalls.record("serve", REASON_QUEUE_GET, waited / 1e9)
-            trace_complete(
-                "serve.result.wait", "stall", t0, waited,
-                reason=REASON_QUEUE_GET,
+            return timed_queue_get(
+                result_q,
+                on_timeout=on_timeout,
+                stalls=self.last_stalls,
+                who="serve",
+                span="serve.result.wait",
             )
-            return result
 
         try:
             dispatch()
@@ -1287,19 +1334,17 @@ class DecodeService:
                     obs_expected -= 1
             for entry in workers.values():
                 entry["proc"].join(timeout=_SHUTDOWN_GRACE_S)
-                if entry["proc"].is_alive():
-                    entry["proc"].terminate()
-                    entry["proc"].join(timeout=_SHUTDOWN_GRACE_S)
-            for q in [e["task_q"] for e in workers.values()] + dead_queues:
-                q.close()
-                q.cancel_join_thread()
-            result_q.close()
-            result_q.cancel_join_thread()
-            for seg in list(self._pools.values()) + list(
-                self._arenas.values()
-            ):
-                seg.close()
-                seg.unlink()
+            reap_processes(
+                [e["proc"] for e in workers.values()], _SHUTDOWN_GRACE_S
+            )
+            close_queues(
+                *[e["task_q"] for e in workers.values()],
+                *dead_queues,
+                result_q,
+            )
+            release_segments(
+                *self._pools.values(), *self._arenas.values()
+            )
             # Workers are joined: merge their final metric shards (the
             # cross-process gap fix — worker counters now reach the
             # parent registry), then the shards are gone.

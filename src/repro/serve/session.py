@@ -211,17 +211,43 @@ class StreamSession:
             }
 
     # ------------------------------------------------------------------
-    def tasks(self) -> list[ServeTask]:
-        """The scheduler decomposition: per-GOP ref task + per-B tasks.
+    def tasks(self, grain: str = "fine") -> list[ServeTask]:
+        """The scheduler decomposition, at a chosen grain.
 
-        Coding order within the session; a B task depends on its own
-        GOP's reference task (closed GOPs guarantee both references
-        live there).  Every picture appears in exactly one task.
+        ``"fine"`` (default, the historical decomposition): per-GOP
+        reference task + one task per B-picture, the B depending on
+        its own GOP's reference task (closed GOPs guarantee both
+        references live there).  Every picture appears in exactly one
+        task.
+
+        ``"coarse"``: one task per GOP carrying every picture in
+        coding order, kind ``"ref"``, no deps — fewer scheduler
+        messages and no intra-GOP synchronization, at the cost that
+        the ``drop_b`` degrade action has no standalone B tasks to
+        shed (a documented tradeoff of the coarse grain; ``skip_gop``
+        still applies).
         """
+        if grain not in ("fine", "coarse"):
+            raise ValueError(
+                f"unknown task grain {grain!r}; expected 'fine' or 'coarse'"
+            )
         out: list[ServeTask] = []
         by_gop: dict[int, list[PicturePlan]] = {}
         for plan in self.plans:
             by_gop.setdefault(plan.gop, []).append(plan)
+        if grain == "coarse":
+            for gop in sorted(by_gop):
+                plans = by_gop[gop]
+                out.append(
+                    ServeTask(
+                        session=self.name,
+                        key=("ref", gop),
+                        kind="ref",
+                        gop=gop,
+                        orders=tuple(p.order for p in plans),
+                    )
+                )
+            return out
         for gop in sorted(by_gop):
             plans = by_gop[gop]
             refs = tuple(p.order for p in plans if p.is_reference)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the executor suites.
+
+Reuses the fault-injection helpers from
+``tests/parallel/test_mp_fault_injection.py`` so the unified backend
+is held to the exact same "no leaks, no hangs, no zombies"
+postconditions as the decoders it replaced.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+
+import pytest
+
+from tests.parallel.test_mp_fault_injection import (
+    FAIL_DEADLINE_S,
+    shm_snapshot,
+)
+
+
+@pytest.fixture
+def no_shm_leak():
+    """Assert the test leaves no new /dev/shm entries behind."""
+    before = shm_snapshot()
+    yield
+    for _ in range(20):
+        leaked = shm_snapshot() - before
+        if not leaked:
+            return
+        time.sleep(0.1)
+    raise AssertionError(f"leaked shared-memory segments: {sorted(leaked)}")
+
+
+@pytest.fixture
+def deadline():
+    """SIGALRM watchdog: a fault must surface, not hang the suite."""
+
+    def on_alarm(signum, frame):  # pragma: no cover - only on bug
+        raise TimeoutError(
+            f"executor fault did not surface within {FAIL_DEADLINE_S}s — "
+            "the unified backend's liveness poll is broken"
+        )
+
+    old = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(FAIL_DEADLINE_S)
+    yield
+    signal.alarm(0)
+    signal.signal(signal.SIGALRM, old)

@@ -1,0 +1,384 @@
+"""Hypothesis properties of the executor's graph + controller.
+
+Three families, matching the guarantees the executor's docstrings
+claim:
+
+1. **Dependency safety** — over *generated* task graphs (random DAGs,
+   random dispatch interleavings): no node is ever scheduled before
+   its ref edges published.  :meth:`TaskGraph.dispatch` must refuse
+   structurally, and :meth:`TaskGraph.run_all`'s visit order must
+   respect every edge.
+2. **Task conservation** — ``planned == dispatched == completed +
+   cancelled`` after any mix of full runs and error-path
+   cancellations; the monotone counters cannot drift from the state
+   map.
+3. **Decision determinism** — :class:`AutoGranularity` is a pure
+   function: the same profile yields the same :class:`Decision`, and
+   the same ``(prev, ObsSnapshot)`` yields the same re-pick, every
+   time.  This is what makes ``--grain auto`` runs reproducible given
+   the same observations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bandwidth import BandwidthProfile, GopBandwidth
+from repro.exec.auto import (
+    IDLE_REPICK_FRAC,
+    SYNC_REPICK_FRAC,
+    AutoGranularity,
+    CostModel,
+    Decision,
+    ObsSnapshot,
+)
+from repro.exec.graph import TaskGraph, TaskNode
+from repro.exec.plan import plan_gop_graph, plan_graph, plan_slice_graph
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def task_graphs(draw) -> TaskGraph:
+    """A random DAG: each node depends on a subset of earlier nodes.
+
+    Edges only point backwards in plan order, so every generated graph
+    is acyclic by construction — the same property :meth:`TaskGraph.
+    add`'s "deps must already exist" rule enforces for planners.
+    """
+    n = draw(st.integers(min_value=1, max_value=24))
+    graph = TaskGraph()
+    kinds = ("parse", "reconstruct", "publish")
+    for i in range(n):
+        max_deps = min(i, 3)
+        k = draw(st.integers(min_value=0, max_value=max_deps))
+        deps = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=i - 1),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        ) if i else []
+        graph.add(
+            TaskNode(
+                tid=f"t{i}",
+                kind=kinds[i % 3],
+                order=i,
+                deps=tuple(f"t{d}" for d in deps),
+            )
+        )
+    return graph
+
+
+@st.composite
+def profiles(draw) -> BandwidthProfile:
+    """A synthetic per-stream bandwidth profile (profiler-shaped)."""
+    n_gops = draw(st.integers(min_value=1, max_value=12))
+    pics_per_gop = draw(st.integers(min_value=1, max_value=15))
+    gop_bytes = draw(st.integers(min_value=64, max_value=200_000))
+    fps = 30.0
+    gops = tuple(
+        GopBandwidth(
+            gop=g,
+            pictures=pics_per_gop,
+            wire_bytes=gop_bytes,
+            seconds=pics_per_gop / fps,
+            bps=gop_bytes * 8 * fps / pics_per_gop,
+        )
+        for g in range(n_gops)
+    )
+    total = gop_bytes * n_gops
+    return BandwidthProfile(
+        stream_bytes=total,
+        pictures=pics_per_gop * n_gops,
+        fps=fps,
+        mean_bps=gops[0].bps,
+        peak_bps=gops[0].bps,
+        burstiness=1.0,
+        gops=gops,
+        mean_picture_bytes={"I": float(gop_bytes) / pics_per_gop},
+    )
+
+
+def snapshots():
+    finite = st.floats(
+        min_value=0.0, max_value=1e3, allow_nan=False, allow_infinity=False
+    )
+    return st.builds(
+        ObsSnapshot,
+        wall_s=st.floats(
+            min_value=1e-3, max_value=1e3,
+            allow_nan=False, allow_infinity=False,
+        ),
+        pictures=st.integers(min_value=1, max_value=10_000),
+        queue_depth=st.integers(min_value=0, max_value=64),
+        worker_idle_s=finite,
+        barrier_s=finite,
+        ref_publish_s=finite,
+    )
+
+
+def decisions():
+    grains = st.sampled_from(("gop", "slice"))
+    engines = st.sampled_from(("scalar", "batched"))
+    cost = st.floats(
+        min_value=0.0, max_value=1e3, allow_nan=False, allow_infinity=False
+    )
+    return st.builds(
+        Decision,
+        grain=grains,
+        engine=engines,
+        est_cost=cost,
+        alt_grain=grains,
+        alt_engine=engines,
+        alt_cost=cost,
+        reason=st.sampled_from(("profile", "steady", "fixed")),
+    )
+
+
+# ----------------------------------------------------------------------
+# 1. dependency safety
+# ----------------------------------------------------------------------
+class TestDependencySafety:
+    @settings(max_examples=60, deadline=None)
+    @given(graph=task_graphs())
+    def test_run_all_never_schedules_before_refs_publish(self, graph):
+        done: set[str] = set()
+
+        def on_node(node: TaskNode) -> None:
+            for dep in node.deps:
+                assert dep in done, (
+                    f"{node.tid} scheduled before ref edge {dep} published"
+                )
+            done.add(node.tid)
+
+        ran = graph.run_all(on_node=on_node)
+        assert ran == len(graph.nodes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=task_graphs())
+    def test_dispatch_refuses_unpublished_deps(self, graph):
+        # Any node with at least one dep must be refused while that
+        # dep is still pending; nodes with no deps must be accepted.
+        for node in graph.nodes.values():
+            if node.deps:
+                with pytest.raises(ValueError, match="before its ref edges"):
+                    graph.dispatch(node.tid)
+                break
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=task_graphs(), data=st.data())
+    def test_random_interleaving_stays_safe(self, graph, data):
+        # Drive the graph manually with randomized ready-set picks;
+        # whatever the order, dispatch only ever accepts ready nodes.
+        while True:
+            ready = graph.ready()
+            if not ready:
+                break
+            node = data.draw(
+                st.sampled_from(ready), label="next dispatch"
+            )
+            graph.dispatch(node.tid)
+            graph.complete(node.tid)
+        graph.verify_conservation()
+
+    def test_graph_construction_rejects_bad_edges(self):
+        g = TaskGraph()
+        g.add(TaskNode(tid="a", kind="parse"))
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add(TaskNode(tid="a", kind="parse"))
+        with pytest.raises(ValueError, match="unknown task"):
+            g.add(TaskNode(tid="b", kind="parse", deps=("missing",)))
+        with pytest.raises(ValueError, match="itself"):
+            g.add(TaskNode(tid="c", kind="parse", deps=("c",)))
+        with pytest.raises(ValueError, match="unknown task kind"):
+            TaskNode(tid="d", kind="bogus")
+
+
+# ----------------------------------------------------------------------
+# 2. conservation
+# ----------------------------------------------------------------------
+class TestConservation:
+    @settings(max_examples=60, deadline=None)
+    @given(graph=task_graphs())
+    def test_full_run_conserves(self, graph):
+        graph.run_all()
+        graph.verify_conservation()
+        c = graph.counts()
+        assert c["planned"] == c["dispatched"] == c["completed"]
+        assert c["cancelled"] == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=task_graphs(), stop_after=st.integers(min_value=0, max_value=24))
+    def test_aborted_run_conserves_with_cancellations(self, graph, stop_after):
+        # Simulate an error path: run some prefix, then cancel the
+        # rest (what the executor does when a worker dies).
+        ran = 0
+        while ran < stop_after:
+            ready = graph.ready()
+            if not ready:
+                break
+            graph.dispatch(ready[0].tid)
+            graph.complete(ready[0].tid)
+            ran += 1
+        graph.cancel_pending()
+        assert graph.is_settled()
+        graph.verify_conservation()
+        c = graph.counts()
+        assert c["planned"] == c["completed"] + c["cancelled"]
+
+    def test_conservation_violation_is_loud(self):
+        g = TaskGraph()
+        g.add(TaskNode(tid="a", kind="parse"))
+        with pytest.raises(RuntimeError, match="conservation"):
+            g.verify_conservation()  # planned but never dispatched
+
+    def test_planner_graphs_conserve_on_real_index(self, golden):
+        index = golden.index("ipb_64x48_gop13")
+        for grain in ("gop", "slice"):
+            graph = plan_graph(index, grain)
+            graph.run_all()
+            graph.verify_conservation()
+
+    def test_gop_plan_shape(self, golden):
+        index = golden.index("two_gop_48x32")
+        graph = plan_gop_graph(index)
+        # Three typed nodes per GOP, chained parse->reconstruct->publish.
+        assert len(graph.nodes) == 3 * len(index.gops)
+        for gi in range(len(index.gops)):
+            rec = graph.nodes[f"g{gi}.reconstruct"]
+            assert rec.deps == (f"g{gi}.parse",)
+            pub = graph.nodes[f"g{gi}.publish"]
+            assert pub.deps == (f"g{gi}.reconstruct",)
+
+    def test_slice_plan_b_pictures_wait_on_both_refs(self, golden):
+        index = golden.index("ipb_64x48_gop13")
+        graph = plan_slice_graph(index)
+        graph.run_all()  # structurally runnable
+        graph.verify_conservation()
+        # Every reconstruct node depends at least on its own parse.
+        for node in graph.nodes.values():
+            if node.kind == "reconstruct":
+                assert any(d.endswith(".parse") for d in node.deps)
+
+
+# ----------------------------------------------------------------------
+# 3. decision determinism
+# ----------------------------------------------------------------------
+class TestDecisionDeterminism:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        profile=profiles(),
+        workers=st.integers(min_value=0, max_value=8),
+    )
+    def test_decide_is_deterministic(self, profile, workers):
+        ctl = AutoGranularity(profile=profile, workers=workers)
+        assert ctl.decide() == ctl.decide()
+        # And a freshly-built controller over the same inputs agrees.
+        again = AutoGranularity(profile=profile, workers=workers)
+        assert again.decide() == ctl.decide()
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        profile=profiles(),
+        workers=st.integers(min_value=0, max_value=8),
+        prev=decisions(),
+        snap=snapshots(),
+    )
+    def test_repick_is_deterministic(self, profile, workers, prev, snap):
+        ctl = AutoGranularity(profile=profile, workers=workers)
+        assert ctl.repick(prev, snap) == ctl.repick(prev, snap)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        profile=profiles(),
+        workers=st.integers(min_value=0, max_value=8),
+        prev=decisions(),
+        snap=snapshots(),
+    )
+    def test_repick_moves_only_on_the_documented_signals(
+        self, profile, workers, prev, snap
+    ):
+        ctl = AutoGranularity(profile=profile, workers=workers)
+        new = ctl.repick(prev, snap)
+        if new.grain != prev.grain:
+            if new.grain == "slice":
+                assert prev.grain == "gop"
+                assert snap.idle_frac > IDLE_REPICK_FRAC
+                assert new.reason == "worker-idle"
+            else:
+                assert prev.grain == "slice"
+                assert snap.sync_frac > SYNC_REPICK_FRAC
+                assert new.reason == "sync-bound"
+        else:
+            assert new.reason in ("steady", "worker-idle", "sync-bound")
+        # A re-pick never flips the engine mid-stream.
+        assert new.engine == prev.engine
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        profile=profiles(),
+        workers=st.integers(min_value=0, max_value=8),
+        prev=decisions(),
+        snap=snapshots(),
+    )
+    def test_pinned_grain_never_repicks(self, profile, workers, prev, snap):
+        ctl = AutoGranularity(
+            profile=profile, workers=workers, grain_hint=prev.grain
+        )
+        new = ctl.repick(prev, snap)
+        assert (new.grain, new.engine) == (prev.grain, prev.engine)
+        assert new.reason == "pinned"
+
+    @settings(max_examples=40, deadline=None)
+    @given(profile=profiles(), workers=st.integers(min_value=0, max_value=8))
+    def test_decision_carries_the_rejected_alternative(self, profile, workers):
+        d = AutoGranularity(profile=profile, workers=workers).decide()
+        assert d.est_cost <= d.alt_cost
+        assert (d.grain, d.engine) != (d.alt_grain, d.alt_engine)
+
+    @settings(max_examples=40, deadline=None)
+    @given(profile=profiles(), workers=st.integers(min_value=0, max_value=8))
+    def test_hints_pin_their_axis(self, profile, workers):
+        for grain in ("gop", "slice"):
+            d = AutoGranularity(
+                profile=profile, workers=workers, grain_hint=grain
+            ).decide()
+            assert d.grain == grain
+        for engine in ("scalar", "batched"):
+            d = AutoGranularity(
+                profile=profile, workers=workers, engine_hint=engine
+            ).decide()
+            assert d.engine == engine
+
+    def test_obs_snapshot_from_stall_table(self):
+        from repro.obs.stalls import (
+            REASON_BARRIER,
+            REASON_QUEUE_GET,
+            REASON_REF_PUBLISH,
+            StallTable,
+        )
+
+        stalls = StallTable()
+        stalls.record("worker-0", REASON_QUEUE_GET, 0.5)
+        stalls.record("worker-1", REASON_QUEUE_GET, 0.25)
+        stalls.record("merge", REASON_QUEUE_GET, 9.0)  # not worker idle
+        stalls.record("worker-0", REASON_BARRIER, 0.125)
+        stalls.record("worker-1", REASON_REF_PUBLISH, 0.0625)
+        snap = ObsSnapshot.from_run(stalls, wall_s=1.0, pictures=10)
+        assert snap.worker_idle_s == pytest.approx(0.75)
+        assert snap.barrier_s == pytest.approx(0.125)
+        assert snap.ref_publish_s == pytest.approx(0.0625)
+        assert snap.idle_frac == pytest.approx(0.75)
+        assert snap.sync_frac == pytest.approx(0.1875)
+
+    def test_cost_model_prefers_batched(self):
+        # Same shape, scalar engine strictly more expensive.
+        model = CostModel()
+        assert model.engine_cost(10_000, "scalar") > model.engine_cost(
+            10_000, "batched"
+        )
